@@ -1,0 +1,264 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: how the
+// aware flow consumes context (§5 variants), the OPC recipe's effect on
+// the systematic residual, the non-gate-length corner component's dilution
+// of the headline reduction, and the §6 exposure-dose sensitivity.
+package svtiming_test
+
+import (
+	"fmt"
+	"testing"
+
+	"svtiming/internal/core"
+	"svtiming/internal/expt"
+	"svtiming/internal/liberty"
+	"svtiming/internal/opc"
+	"svtiming/internal/opt"
+	"svtiming/internal/process"
+	"svtiming/internal/seq"
+	"svtiming/internal/ssta"
+	"svtiming/internal/stdcell"
+)
+
+// BenchmarkVariantAblation compares the 81-version library against the §5
+// parameterized model and the §5 simplified (no-border) fallback.
+func BenchmarkVariantAblation(b *testing.B) {
+	f := sharedFlow(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := expt.VariantAblation(f, "c432")
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("variants", "== §5 variant ablation (c432) ==\n"+
+			expt.FormatVariantAblation(rows))
+		// Sanity: parametric tracks binned; simplified loses most benefit
+		// on small-cell libraries (§5's own caveat).
+		if rows[2].ReductionPct() > rows[0].ReductionPct()/2 {
+			b.Fatalf("simplified variant unexpectedly strong: %+v", rows)
+		}
+	}
+}
+
+// BenchmarkOPCRecipeAblation contrasts the production-like Standard recipe
+// with the converged Ideal recipe: both retain a systematic through-pitch
+// residual (the model-fidelity floor), Standard adds iteration-budget
+// noise on top.
+func BenchmarkOPCRecipeAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		wafer := process.Nominal90nm()
+		model := opc.ModelProcess(wafer)
+		std := opc.BuildPitchTable(wafer, opc.Standard(model), stdcell.DrawnCD, core.DefaultPitchSweep)
+		model.ClearCache()
+		wafer.ClearCache()
+		ideal := opc.BuildPitchTable(wafer, opc.Ideal(model), stdcell.DrawnCD, core.DefaultPitchSweep)
+		printFirst("recipes", fmt.Sprintf(
+			"== OPC recipe ablation ==\nstandard recipe residual span: %.2f nm\nideal recipe residual span:    %.2f nm\n"+
+				"even converged OPC keeps a systematic residual (model fidelity floor)",
+			std.Span(), ideal.Span()))
+		if ideal.Span() <= 0 {
+			b.Fatal("ideal recipe erased the systematic residual entirely")
+		}
+	}
+}
+
+// BenchmarkBudgetSweep shows how the non-gate-length corner component
+// dilutes the headline uncertainty reduction: with no other-parameter
+// variation the reduction approaches the per-arc theoretical values; the
+// larger the non-L share, the smaller the benefit.
+func BenchmarkBudgetSweep(b *testing.B) {
+	f := sharedFlow(b)
+	d, err := f.PrepareDesign("c432")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var lines string
+		prev := 101.0
+		for _, frac := range []float64{0, 0.04, 0.08, 0.12} {
+			fc := *f
+			fc.Budget.OtherDelayFrac = frac
+			cmp, err := fc.Compare(d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lines += fmt.Sprintf("other-parameter delay ±%.0f%%: reduction %5.1f%%\n",
+				100*frac, cmp.ReductionPct())
+			if cmp.ReductionPct() >= prev {
+				b.Fatalf("reduction did not fall as the non-L share grew")
+			}
+			prev = cmp.ReductionPct()
+		}
+		printFirst("budget", "== corner budget sweep (c432) ==\n"+lines)
+	}
+}
+
+// BenchmarkDoseClassification runs the §6 exposure study: smile/frown
+// boundary versus dose and the induced device-class flips.
+func BenchmarkDoseClassification(b *testing.B) {
+	f := sharedFlow(b)
+	for i := 0; i < b.N; i++ {
+		study, err := expt.DoseClassification(f, "c432", []float64{0.9, 1.0, 1.1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("dose", "== §6 dose study (c432) ==\n"+study.String())
+	}
+}
+
+// BenchmarkProcessWindow runs the dense+iso overlapping process-window
+// analysis.
+func BenchmarkProcessWindow(b *testing.B) {
+	f := sharedFlow(b)
+	zs := []float64{-300, -200, -100, 0, 100, 200, 300}
+	doses := []float64{0.90, 0.95, 1.0, 1.05, 1.10}
+	for i := 0; i < b.N; i++ {
+		ws, err := expt.ProcessWindowStudy(f.Wafer, 0.10, zs, doses)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("window", "== overlapping process window ==\n"+expt.FormatWindowStudy(ws))
+	}
+}
+
+// BenchmarkLineEndShortening runs the 2-D line-end experiment: bare
+// pullback versus hammerhead-corrected.
+func BenchmarkLineEndShortening(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bare, err := opc.DefaultLineEnd().Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := opc.DefaultLineEnd()
+		cfg.HammerWidth = 110
+		cfg.HammerLength = 80
+		capped, err := cfg.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("lineend", fmt.Sprintf(
+			"== 2-D line-end study ==\nbare pullback:       %.1f nm\nhammerhead pullback: %.1f nm",
+			bare.Pullback, capped.Pullback))
+	}
+}
+
+// BenchmarkMEEFCurve sweeps the mask error enhancement factor over pitch.
+func BenchmarkMEEFCurve(b *testing.B) {
+	f := sharedFlow(b)
+	for i := 0; i < b.N; i++ {
+		pts, err := opc.MEEFCurve(f.Wafer, 90, []float64{240, 300, 390, 520, 690})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var s string
+		for _, p := range pts {
+			if p.Pitch == 0 {
+				s += fmt.Sprintf("iso:   MEEF %.2f\n", p.MEEF)
+			} else {
+				s += fmt.Sprintf("p%3.0f:  MEEF %.2f\n", p.Pitch, p.MEEF)
+			}
+		}
+		printFirst("meef", "== MEEF vs pitch (drawn 90) ==\n"+s)
+	}
+}
+
+// BenchmarkWhitespaceOptimization times the litho-aware placement
+// optimizer and reports the WC improvement it finds.
+func BenchmarkWhitespaceOptimization(b *testing.B) {
+	f := sharedFlow(b)
+	var impr float64
+	for i := 0; i < b.N; i++ {
+		d, err := f.PrepareDesign("c432")
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := opt.OptimizeWhitespace(f, d, opt.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		impr = res.ImprovementPct()
+		printFirst("opt", fmt.Sprintf(
+			"== whitespace optimization (c432) ==\nWC %.1f ps -> %.1f ps (%.2f%%, %d moves)",
+			res.BeforeWC, res.AfterWC, res.ImprovementPct(), res.Moves))
+	}
+	b.ReportMetric(impr, "%WCgain")
+}
+
+// BenchmarkBlockBasedSSTA times the closed-form statistical pass and
+// prints its agreement with Monte Carlo.
+func BenchmarkBlockBasedSSTA(b *testing.B) {
+	f := sharedFlow(b)
+	d, err := f.PrepareDesign("c432")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mc, err := ssta.MonteCarlo(f, d, ssta.Aware, ssta.Config{Samples: 400, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		can, err := ssta.BlockBased(f, d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("cssta", fmt.Sprintf(
+			"== block-based vs Monte Carlo SSTA (c432) ==\nblock-based: mean %.1f ps, sigma %.2f ps\nmonte carlo: mean %.1f ps, sigma %.2f ps",
+			can.Mean, can.Sigma(), mc.Mean, mc.Std))
+	}
+}
+
+// BenchmarkTransientCharacterization compares Table 2 under the
+// closed-form and transient-simulation characterization backends: absolute
+// delays shift, the uncertainty-reduction shape must hold.
+func BenchmarkTransientCharacterization(b *testing.B) {
+	f := sharedFlow(b)
+	for i := 0; i < b.N; i++ {
+		timing, err := liberty.Characterize(f.Lib, liberty.CharConfig{
+			Wafer: f.Wafer, Recipe: f.Recipe, Pitch: f.Pitch, Transient: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ft := *f
+		ft.Timing = timing
+		cmp, err := ft.CompareDesign("c432")
+		if err != nil {
+			b.Fatal(err)
+		}
+		base, err := f.CompareDesign("c432")
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("transient", fmt.Sprintf(
+			"== characterization backend ablation (c432) ==\nclosed-form: nom %.1f ps, reduction %.1f%%\ntransient:   nom %.1f ps, reduction %.1f%%",
+			base.NewNom, base.ReductionPct(), cmp.NewNom, cmp.ReductionPct()))
+		if r := cmp.ReductionPct(); r < 20 || r > 50 {
+			b.Fatalf("transient-backend reduction %v%% out of band", r)
+		}
+	}
+}
+
+// BenchmarkSequentialSignOff runs the sequential Fmax comparison on the
+// ISCAS89-class designs.
+func BenchmarkSequentialSignOff(b *testing.B) {
+	f := sharedFlow(b)
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		var out string
+		for _, name := range []string{"s298", "s1423", "s5378"} {
+			sd, err := seq.Generate(f.Lib, seq.ISCAS89Profiles[name])
+			if err != nil {
+				b.Fatal(err)
+			}
+			cmp, err := f.CompareSequential(sd)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gain = cmp.FmaxGainPct()
+			out += fmt.Sprintf("%-6s: trad %7.1f MHz, aware %7.1f MHz (%+.1f%%)\n",
+				name, cmp.TradSignOff.FmaxMHz, cmp.NewSignOff.FmaxMHz, cmp.FmaxGainPct())
+		}
+		printFirst("signoff", "== sequential sign-off (Fmax) ==\n"+out)
+	}
+	b.ReportMetric(gain, "%Fmaxgain")
+}

@@ -1,0 +1,247 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation. Each benchmark regenerates and prints (once) the rows or
+// series the paper reports, then times the regeneration.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package svtiming_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"svtiming/internal/core"
+	"svtiming/internal/expt"
+	"svtiming/internal/liberty"
+	"svtiming/internal/netlist"
+	"svtiming/internal/opc"
+	"svtiming/internal/process"
+	"svtiming/internal/ssta"
+	"svtiming/internal/stdcell"
+)
+
+var (
+	flowOnce sync.Once
+	flow     *core.Flow
+)
+
+func sharedFlow(b *testing.B) *core.Flow {
+	b.Helper()
+	flowOnce.Do(func() {
+		f, err := core.NewFlow()
+		if err != nil {
+			b.Fatalf("NewFlow: %v", err)
+		}
+		flow = f
+	})
+	return flow
+}
+
+var printOnce sync.Map
+
+// printFirst prints s the first time key is seen, so benchmark reruns
+// (b.N loops) don't spam the output.
+func printFirst(key, s string) {
+	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
+		fmt.Println(s)
+	}
+}
+
+// BenchmarkFig1ThroughPitch regenerates Figure 1: printed linewidth vs
+// pitch for drawn 130 nm lines under annular 193 nm / NA 0.7 illumination.
+func BenchmarkFig1ThroughPitch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := process.Nominal90nm() // fresh process: no cross-iteration cache
+		pts, err := expt.Fig1ThroughPitch(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("fig1", "== Figure 1 ==\n"+expt.FormatFig1(pts))
+	}
+}
+
+// BenchmarkFig2Bossung regenerates Figure 2: Bossung curves for the dense
+// (smiling) and isolated (frowning) 90 nm test structures across doses.
+func BenchmarkFig2Bossung(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := process.Nominal90nm()
+		r, err := expt.Fig2Bossung(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("fig2", fmt.Sprintf("== Figure 2 ==\n%s%s"+
+			"dense fit B2=%+.3g (smile), iso fit B2=%+.3g (frown)",
+			r.Dense.String(), r.Iso.String(), r.DenseFit.B2, r.IsoFit.B2))
+		if !r.DenseFit.Smiles() || r.IsoFit.Smiles() {
+			b.Fatalf("Bossung signs wrong: dense %+v iso %+v", r.DenseFit, r.IsoFit)
+		}
+	}
+}
+
+// BenchmarkTable1LibraryOPC regenerates Table 1: per-device agreement of
+// library-based OPC with full-chip OPC and the runtime contrast.
+func BenchmarkTable1LibraryOPC(b *testing.B) {
+	f := sharedFlow(b)
+	for i := 0; i < b.N; i++ {
+		libRT := expt.Table1LibraryRuntime(f)
+		var rows []expt.Table1Row
+		for _, name := range netlist.Table2Circuits {
+			row, err := expt.Table1Compare(f, name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows = append(rows, row)
+		}
+		printFirst("table1", "== Table 1 ==\n"+expt.FormatTable1(rows, libRT))
+	}
+}
+
+// BenchmarkTable2Timing regenerates Table 2: traditional vs
+// systematic-variation aware corners for the five testcases, and reports
+// the mean uncertainty reduction as a custom metric.
+func BenchmarkTable2Timing(b *testing.B) {
+	f := sharedFlow(b)
+	var meanRed float64
+	for i := 0; i < b.N; i++ {
+		rows, err := expt.Table2(f, netlist.Table2Circuits)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("table2", "== Table 2 ==\n"+expt.FormatTable2(rows))
+		meanRed = 0
+		for _, r := range rows {
+			meanRed += r.ReductionPct()
+		}
+		meanRed /= float64(len(rows))
+	}
+	b.ReportMetric(meanRed, "%reduction")
+}
+
+// BenchmarkFig7CDErrorHistogram regenerates Figure 7: the distribution of
+// CD error after full-chip model-based OPC on c3540.
+func BenchmarkFig7CDErrorHistogram(b *testing.B) {
+	f := sharedFlow(b)
+	for i := 0; i < b.N; i++ {
+		bins, err := expt.Fig7Histogram(f, "c3540", 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("fig7", "== Figure 7 (c3540) ==\n"+expt.FormatFig7(bins))
+	}
+}
+
+// BenchmarkFig6CornerDiagram regenerates the Figure 6 corner-construction
+// diagram (cheap; it is pure arithmetic over the budget).
+func BenchmarkFig6CornerDiagram(b *testing.B) {
+	f := sharedFlow(b)
+	for i := 0; i < b.N; i++ {
+		s := expt.Fig6Text(f.Budget)
+		printFirst("fig6", "== Figure 6 ==\n"+s)
+	}
+}
+
+// BenchmarkFullChipOPC and BenchmarkLibraryOPC reproduce the §3.1 runtime
+// claim's *shape*: full-chip correction cost scales with the design, the
+// library flow is a small one-time cost.
+func BenchmarkFullChipOPC(b *testing.B) {
+	f := sharedFlow(b)
+	d, err := f.PrepareDesign("c432")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Recipe.Model.ClearCache()
+		f.Wafer.ClearCache()
+		if _, err := f.FullChipCDs(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLibraryOPC(b *testing.B) {
+	f := sharedFlow(b)
+	for i := 0; i < b.N; i++ {
+		f.Recipe.Model.ClearCache()
+		for _, name := range f.Lib.Names() {
+			cell := f.Lib.MustCell(name)
+			f.Recipe.Correct(liberty.DummyEnvironment(cell), stdcell.DrawnCD)
+		}
+	}
+}
+
+// BenchmarkCharacterizeLibrary times the construction of the 81-version
+// expanded timing library.
+func BenchmarkCharacterizeLibrary(b *testing.B) {
+	f := sharedFlow(b)
+	for i := 0; i < b.N; i++ {
+		f.Wafer.ClearCache()
+		f.Recipe.Model.ClearCache()
+		if _, err := liberty.Characterize(f.Lib, liberty.CharConfig{
+			Wafer: f.Wafer, Recipe: f.Recipe, Pitch: f.Pitch,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPitchTable times the §3.1.1 through-pitch lookup construction.
+func BenchmarkPitchTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		wafer := process.Nominal90nm()
+		recipe := opc.Standard(opc.ModelProcess(wafer))
+		pt := opc.BuildPitchTable(wafer, recipe, stdcell.DrawnCD, core.DefaultPitchSweep)
+		if pt.Span() <= 0 {
+			b.Fatal("empty pitch table")
+		}
+	}
+}
+
+// BenchmarkContextualSTA times one systematic-variation aware STA pass
+// (the incremental cost over traditional STA is what makes the
+// methodology practical).
+func BenchmarkContextualSTA(b *testing.B) {
+	f := sharedFlow(b)
+	d, err := f.PrepareDesign("c880")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.AnalyzeContextual(d, core.WorstCase); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraditionalSTA is the baseline for BenchmarkContextualSTA.
+func BenchmarkTraditionalSTA(b *testing.B) {
+	f := sharedFlow(b)
+	d, err := f.PrepareDesign("c880")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.AnalyzeTraditional(d, core.WorstCase); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSSTAMonteCarlo times the statistical-timing extension.
+func BenchmarkSSTAMonteCarlo(b *testing.B) {
+	f := sharedFlow(b)
+	d, err := f.PrepareDesign("c432")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ssta.MonteCarlo(f, d, ssta.Aware, ssta.Config{Samples: 100, Seed: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

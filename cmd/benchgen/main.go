@@ -1,0 +1,78 @@
+// Command benchgen generates the synthetic ISCAS85-class benchmark
+// netlists, prints their statistics, and optionally writes them in .bench
+// format or dumps the characterized 81-version timing library.
+//
+// Usage:
+//
+//	benchgen                      # stats for every built-in profile
+//	benchgen -write c432 -o x.bench
+//	benchgen -writelib -o svtiming90.lib
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"svtiming/internal/core"
+	"svtiming/internal/liberty"
+	"svtiming/internal/netlist"
+	"svtiming/internal/stdcell"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchgen: ")
+	write := flag.String("write", "", "benchmark to write in .bench format")
+	writeLib := flag.Bool("writelib", false, "characterize and dump the 81-version timing library")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+
+	lib := stdcell.Default()
+	switch {
+	case *write != "":
+		n := netlist.MustGenerate(lib, *write)
+		if err := netlist.WriteBench(w, n); err != nil {
+			log.Fatal(err)
+		}
+	case *writeLib:
+		flow, err := core.NewFlow()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := liberty.WriteLib(w, flow.Timing); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		names := make([]string, 0, len(netlist.ISCAS85Profiles)+1)
+		names = append(names, "c17")
+		for n := range netlist.ISCAS85Profiles {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			n := netlist.MustGenerate(lib, name)
+			s, err := netlist.Summarize(n)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintln(w, s)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Command lithosim exercises the lithography substrate directly: it
+// regenerates the paper's Figure 1 (printed linewidth vs pitch), Figure 2
+// (Bossung curves through focus and dose), and the Figure 6 corner
+// construction diagram.
+//
+// Usage:
+//
+//	lithosim [-fig1] [-fig2] [-fig6]   (all three by default)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"svtiming/internal/corners"
+	"svtiming/internal/expt"
+	"svtiming/internal/opc"
+	"svtiming/internal/process"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lithosim: ")
+	fig1 := flag.Bool("fig1", false, "printed linewidth vs pitch (drawn 130 nm, annular 193 nm NA 0.7)")
+	fig2 := flag.Bool("fig2", false, "Bossung curves: dense 90/150-space vs isolated 90 nm")
+	fig6 := flag.Bool("fig6", false, "gate-length corner construction diagram")
+	window := flag.Bool("window", false, "dense+iso overlapping process window")
+	lineEnd := flag.Bool("lineend", false, "2-D line-end shortening and hammerhead correction")
+	flag.Parse()
+	all := !*fig1 && !*fig2 && !*fig6 && !*window && !*lineEnd
+
+	wafer := process.Nominal90nm()
+
+	if *fig1 || all {
+		pts, err := expt.Fig1ThroughPitch(wafer)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("== Figure 1: through-pitch linewidth variation ==")
+		fmt.Print(expt.FormatFig1(pts))
+		fmt.Println()
+	}
+	if *fig2 || all {
+		r, err := expt.Fig2Bossung(wafer)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("== Figure 2: Bossung curves ==")
+		fmt.Print(r.Dense.String())
+		fmt.Printf("quadratic fit at dose 1.0: CD(z) = %.2f %+.3g·z %+.3g·z²  → %s\n\n",
+			r.DenseFit.B0, r.DenseFit.B1, r.DenseFit.B2, smileName(r.DenseFit.Smiles()))
+		fmt.Print(r.Iso.String())
+		fmt.Printf("quadratic fit at dose 1.0: CD(z) = %.2f %+.3g·z %+.3g·z²  → %s\n\n",
+			r.IsoFit.B0, r.IsoFit.B1, r.IsoFit.B2, smileName(r.IsoFit.Smiles()))
+	}
+	if *fig6 || all {
+		fmt.Println("== Figure 6: corner construction ==")
+		fmt.Print(expt.Fig6Text(corners.Default90nm()))
+	}
+	if *window || all {
+		fmt.Println("\n== overlapping process window (±10% CD) ==")
+		ws, err := expt.ProcessWindowStudy(wafer, 0.10,
+			expt.Fig2Defocus, []float64{0.90, 0.95, 1.0, 1.05, 1.10})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(expt.FormatWindowStudy(ws))
+	}
+	if *lineEnd || all {
+		fmt.Println("\n== 2-D line-end study ==")
+		bare, err := opc.DefaultLineEnd().Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := opc.DefaultLineEnd()
+		cfg.HammerWidth = 110
+		cfg.HammerLength = 80
+		capped, err := cfg.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("bare line end:        mid-width %.1f nm, pullback %.1f nm\n",
+			bare.MidWidth, bare.Pullback)
+		fmt.Printf("with 110x80 hammer:   mid-width %.1f nm, pullback %.1f nm\n",
+			capped.MidWidth, capped.Pullback)
+	}
+}
+
+func smileName(smiles bool) string {
+	if smiles {
+		return "smile (dense-line behavior)"
+	}
+	return "frown (isolated-line behavior)"
+}

@@ -1,0 +1,69 @@
+// Command opcrun exercises the OPC engine: the library-based versus
+// full-chip OPC accuracy/runtime comparison (the paper's Table 1), the
+// post-OPC CD-error histogram (Figure 7), and the through-pitch lookup
+// table of §3.1.1.
+//
+// Usage:
+//
+//	opcrun [-table1] [-fig7 c3540] [-pitchtable] [-circuits c432,c880]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"svtiming/internal/core"
+	"svtiming/internal/expt"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("opcrun: ")
+	table1 := flag.Bool("table1", false, "library-based vs full-chip OPC comparison")
+	fig7 := flag.String("fig7", "", "benchmark for the CD error histogram (paper: c3540)")
+	pitch := flag.Bool("pitchtable", false, "print the through-pitch CD lookup table")
+	circuits := flag.String("circuits", "c432,c880,c1355,c1908,c3540",
+		"testcases for -table1")
+	flag.Parse()
+	all := !*table1 && *fig7 == "" && !*pitch
+
+	flow, err := core.NewFlow()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *pitch || all {
+		fmt.Println("== through-pitch lookup table (post standard OPC) ==")
+		fmt.Print(flow.Pitch.String())
+		fmt.Printf("span: %.2f nm (%.1f%% of target)\n\n",
+			flow.Pitch.Span(), 100*flow.Pitch.Span()/flow.Wafer.TargetCD)
+	}
+	if *table1 || all {
+		fmt.Println("== Table 1: library-based OPC vs full-chip OPC ==")
+		libRT := expt.Table1LibraryRuntime(flow)
+		var rows []expt.Table1Row
+		for _, name := range strings.Split(*circuits, ",") {
+			row, err := expt.Table1Compare(flow, strings.TrimSpace(name))
+			if err != nil {
+				log.Fatal(err)
+			}
+			rows = append(rows, row)
+		}
+		fmt.Print(expt.FormatTable1(rows, libRT))
+		fmt.Println()
+	}
+	if *fig7 != "" || all {
+		name := *fig7
+		if name == "" {
+			name = "c3540"
+		}
+		fmt.Printf("== Figure 7: CD error distribution after full-chip OPC (%s) ==\n", name)
+		bins, err := expt.Fig7Histogram(flow, name, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(expt.FormatFig7(bins))
+	}
+}

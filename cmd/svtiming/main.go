@@ -1,0 +1,125 @@
+// Command svtiming runs the systematic-variation aware timing flow on
+// ISCAS85-class benchmarks and prints the traditional-vs-aware corner
+// comparison (the paper's Table 2).
+//
+// Usage:
+//
+//	svtiming [-circuits c432,c880] [-table2] [-verbose]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"svtiming/internal/core"
+	"svtiming/internal/corners"
+	"svtiming/internal/expt"
+	"svtiming/internal/netlist"
+	"svtiming/internal/opt"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("svtiming: ")
+	circuits := flag.String("circuits", strings.Join(netlist.Table2Circuits, ","),
+		"comma-separated benchmark names (c17, c432, c499, c880, c1355, c1908, c2670, c3540, c5315, c6288, c7552)")
+	table2 := flag.Bool("table2", true, "print the Table 2 comparison")
+	verbose := flag.Bool("verbose", false, "also print per-circuit context statistics")
+	ablation := flag.Bool("ablation", false, "print the §5 variant ablation (first circuit only)")
+	dose := flag.Bool("dose", false, "print the §6 exposure-dose classification study (first circuit only)")
+	path := flag.Bool("path", false, "print the aware worst-case critical path (first circuit only)")
+	optimize := flag.Bool("optimize", false, "run litho-aware whitespace optimization (first circuit only)")
+	flag.Parse()
+
+	flow, err := core.NewFlow()
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := strings.Split(*circuits, ",")
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
+
+	if *verbose {
+		for _, name := range names {
+			d, err := flow.PrepareDesign(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			printContextStats(d)
+		}
+	}
+	if *table2 {
+		rows, err := expt.Table2(flow, names)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(expt.FormatTable2(rows))
+	}
+	if *ablation {
+		rows, err := expt.VariantAblation(flow, names[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n== §5 variant ablation (%s) ==\n%s", names[0],
+			expt.FormatVariantAblation(rows))
+	}
+	if *dose {
+		study, err := expt.DoseClassification(flow, names[0],
+			[]float64{0.90, 0.95, 1.0, 1.05, 1.10})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n== §6 exposure-dose study ==\n%s", study.String())
+	}
+	if *path {
+		d, err := flow.PrepareDesign(names[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := flow.AnalyzeContextual(d, core.WorstCase)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n== aware worst-case critical path (%s) ==\n%s",
+			names[0], rep.FormatPath(d.Netlist))
+		fmt.Print(rep.FormatSlackHistogram(100))
+	}
+	if *optimize {
+		d, err := flow.PrepareDesign(names[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := opt.OptimizeWhitespace(flow, d, opt.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err := opt.Report(flow, d, res)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n== litho-aware whitespace optimization (%s) ==\n%s", names[0], s)
+	}
+	os.Exit(0)
+}
+
+func printContextStats(d *core.Design) {
+	versions := make(map[string]int)
+	for _, v := range d.Version {
+		versions[v.Name()]++
+	}
+	classes := make(map[corners.ArcClass]int)
+	for _, pins := range d.ArcClass {
+		for _, c := range pins {
+			classes[c]++
+		}
+	}
+	fmt.Printf("%s: %d instances, %d rows, %d distinct context versions\n",
+		d.Netlist.Name, d.Netlist.NumGates(), len(d.Placement.Rows), len(versions))
+	fmt.Printf("  arcs: %d smile, %d frown, %d self-compensated, %d unclassified\n",
+		classes[corners.Smile], classes[corners.Frown],
+		classes[corners.SelfCompensated], classes[corners.Unclassified])
+}

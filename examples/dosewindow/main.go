@@ -1,0 +1,48 @@
+// Dose and process-window study (the paper's §6 exposure-variation
+// investigation): the dense+iso overlapping process window per dose, the
+// smile/frown boundary spacing as a function of dose, and the fraction of
+// a design's devices whose Figure-5 classification would flip across the
+// dose range.
+//
+// Run with:
+//
+//	go run ./examples/dosewindow
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"svtiming/internal/core"
+	"svtiming/internal/expt"
+)
+
+func main() {
+	log.SetFlags(0)
+	flow, err := core.NewFlow()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	defocus := []float64{-300, -250, -200, -150, -100, -50, 0, 50, 100, 150, 200, 250, 300}
+	doses := []float64{0.90, 0.95, 1.0, 1.05, 1.10}
+
+	fmt.Println("overlapping process window (CD within ±10% of its nominal):")
+	ws, err := expt.ProcessWindowStudy(flow.Wafer, 0.10, defocus, doses)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(expt.FormatWindowStudy(ws))
+	fmt.Println("dense patterns tolerate overdose, isolated ones underdose; the")
+	fmt.Println("usable common window peaks at nominal dose.")
+	fmt.Println()
+
+	study, err := expt.DoseClassification(flow, "c432", doses)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(study.String())
+	fmt.Println("exposure variation moves the smile/frown boundary, changing the")
+	fmt.Println("nature of devices near it (§6) — the flip fraction bounds how much")
+	fmt.Println("corner trimming could mis-fire under uncontrolled dose drift.")
+}

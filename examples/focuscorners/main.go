@@ -1,0 +1,119 @@
+// Focus-corner walkthrough on a small hand-written design: renders the
+// placed poly layout of one row (the paper's Figure 5 view), classifies
+// every device as dense / isolated / self-compensated, labels the timing
+// arcs smile / frown / self-compensated, and prints the per-arc gate-length
+// corners of §3.3.
+//
+// Run with:
+//
+//	go run ./examples/focuscorners
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"svtiming/internal/context"
+	"svtiming/internal/core"
+	"svtiming/internal/corners"
+	"svtiming/internal/netlist"
+)
+
+func main() {
+	log.SetFlags(0)
+	flow, err := core.NewFlow()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A small circuit with a mix of stack cells (dense pairs) and
+	// inverters (isolated gates).
+	n := &netlist.Netlist{
+		Name: "focusdemo",
+		PIs:  []string{"a", "b", "c"},
+		POs:  []string{"y"},
+		Instances: []netlist.Instance{
+			{Name: "U0", Cell: "NAND3X1", Inputs: []string{"a", "b", "c"}, Output: "n0"},
+			{Name: "U1", Cell: "INVX1", Inputs: []string{"n0"}, Output: "n1"},
+			{Name: "U2", Cell: "AOI21X1", Inputs: []string{"n1", "a", "b"}, Output: "n2"},
+			{Name: "U3", Cell: "NOR2X1", Inputs: []string{"n2", "c"}, Output: "n3"},
+			{Name: "U4", Cell: "INVX2", Inputs: []string{"n3"}, Output: "y"},
+		},
+	}
+	d, err := flow.PrepareNetlist(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for r := range d.Placement.Rows {
+		fmt.Printf("row %d layout (poly features, x in nm):\n%s\n",
+			r, renderRow(d, r))
+		classes := context.ClassifyRow(d.Placement, r)
+		for _, inst := range d.Placement.Rows[r] {
+			g := d.Netlist.Instances[inst]
+			cell := flow.Lib.MustCell(g.Cell)
+			var tags []string
+			for gi := range cell.Gates {
+				tags = append(tags, fmt.Sprintf("%s:%v", cell.Gates[gi].Name,
+					classes[[2]int{inst, gi}]))
+			}
+			fmt.Printf("  %-4s %-8s %s  version %s\n",
+				g.Name, g.Cell, strings.Join(tags, " "), d.Version[inst].Name())
+		}
+	}
+
+	fmt.Println("\nper-arc Bossung class and gate-length corners:")
+	fmt.Printf("%-4s %-8s %-4s %-17s %8s %8s %8s\n",
+		"inst", "cell", "pin", "class", "BC", "Nom", "WC")
+	for i, g := range d.Netlist.Instances {
+		cell := flow.Lib.MustCell(g.Cell)
+		entry, err := flow.Timing.Entry(g.Cell)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for pin, pinName := range cell.Inputs {
+			ai, err := entry.ArcIndex(pinName)
+			if err != nil {
+				log.Fatal(err)
+			}
+			lNew := entry.MeanL(d.Version[i].Index(), ai)
+			class := d.ArcClass[i][pin]
+			gc := corners.Contextual(flow.Budget, lNew, class)
+			fmt.Printf("%-4s %-8s %-4s %-17s %8.2f %8.2f %8.2f\n",
+				g.Name, g.Cell, pinName, class, gc.BC, gc.Nom, gc.WC)
+		}
+	}
+	trad := corners.Traditional(flow.Budget)
+	fmt.Printf("traditional (all arcs):        %8.2f %8.2f %8.2f\n",
+		trad.BC, trad.Nom, trad.WC)
+}
+
+// renderRow draws an ASCII strip chart of the row's poly features: '|' for
+// full-height gates, "'" for PMOS-only stubs, ',' for NMOS-only stubs.
+func renderRow(d *core.Design, r int) string {
+	lines := d.Placement.RowLines(r)
+	if len(lines) == 0 {
+		return "(empty)"
+	}
+	const scale = 30.0 // nm per character
+	x0 := lines[0].LeftEdge()
+	width := int((lines[len(lines)-1].RightEdge()-x0)/scale) + 1
+	row := []byte(strings.Repeat(" ", width))
+	for _, l := range lines {
+		ch := byte('|')
+		switch {
+		case l.Span.Lo > 200: // top-half stub
+			ch = '\''
+		case l.Span.Hi < 2200 && l.Span.Lo < 200:
+			ch = '|'
+		case l.Span.Hi < 2200:
+			ch = ','
+		}
+		i := int((l.CenterX - x0) / scale)
+		if i >= 0 && i < width {
+			row[i] = ch
+		}
+	}
+	return string(row)
+}

@@ -1,0 +1,71 @@
+// Iso-dense study: how printed gate length depends on the optical
+// neighborhood, how much of that survives standard OPC, and how much
+// sub-resolution assist features tame the focus response of isolated
+// lines.
+//
+// Run with:
+//
+//	go run ./examples/isodense
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"svtiming/internal/geom"
+	"svtiming/internal/opc"
+	"svtiming/internal/process"
+)
+
+func main() {
+	log.SetFlags(0)
+	wafer := process.Nominal90nm()
+	model := opc.ModelProcess(wafer)
+	recipe := opc.Standard(model)
+
+	// 1. Raw through-pitch behavior at the drawn gate length: the iso-dense
+	// bias before any correction.
+	fmt.Println("raw printing, drawn 90 nm lines (no OPC):")
+	fmt.Printf("%10s %12s\n", "pitch", "printed CD")
+	for _, pitch := range []float64{240, 300, 390, 520, 690} {
+		cd, ok := wafer.PrintCD(process.DensePitch(90, pitch, 4))
+		if !ok {
+			log.Fatalf("pitch %v does not print", pitch)
+		}
+		fmt.Printf("%10.0f %12.2f\n", pitch, cd)
+	}
+	iso, _ := wafer.PrintCD(process.Isolated(90))
+	fmt.Printf("%10s %12.2f\n\n", "isolated", iso)
+
+	// 2. The same ladder after standard model-based OPC: the residual is
+	// much smaller but still systematic in pitch (the paper's §2
+	// observation, ~10% of target).
+	pt := opc.BuildPitchTable(wafer, recipe, 90, []float64{240, 300, 390, 520, 690})
+	fmt.Println("after standard model-based OPC:")
+	fmt.Print(pt)
+	fmt.Printf("residual systematic span: %.2f nm (%.1f%% of target)\n\n",
+		pt.Span(), 100*pt.Span()/90)
+
+	// 3. Assist features: an isolated line frowns through focus; scatter
+	// bars make it behave more like a dense line.
+	bare := process.Isolated(60)
+	sBare, ok := opc.FocusSensitivity(wafer, bare, 250)
+	if !ok {
+		log.Fatal("isolated line does not print")
+	}
+	lines := opc.DefaultSRAF().Insert(bare.Lines(geom.Interval{Lo: 0, Hi: 1000}))
+	var assisted process.Env
+	for i, l := range lines {
+		if l.Width == 60 {
+			assisted = process.EnvAt(lines, i, wafer.RadiusOfInfluence)
+		}
+	}
+	sAssist, ok := opc.FocusSensitivity(wafer, assisted, 250)
+	if !ok {
+		log.Fatal("assisted line does not print")
+	}
+	fmt.Println("focus sensitivity d(CD)/dz² of a 60 nm isolated line:")
+	fmt.Printf("%18s %14.6g nm/nm²\n", "bare", sBare)
+	fmt.Printf("%18s %14.6g nm/nm²  (%.0f%% of bare)\n",
+		"with scatter bars", sAssist, 100*sAssist/sBare)
+}

@@ -1,0 +1,58 @@
+// Litho-aware timing optimization: the direction the paper's conclusion
+// points at ("the methodology brings process and design closer"). Because
+// the aware flow knows that printed gate length depends on placement
+// context, placement whitespace becomes a timing knob: moving free space
+// toward critical cells shortens their printed gates. Traditional STA
+// cannot see — let alone exploit — this lever.
+//
+// Run with:
+//
+//	go run ./examples/optimize
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"svtiming/internal/core"
+	"svtiming/internal/opt"
+)
+
+func main() {
+	log.SetFlags(0)
+	flow, err := core.NewFlow()
+	if err != nil {
+		log.Fatal(err)
+	}
+	design, err := flow.PrepareDesign("c880")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	before, err := flow.AnalyzeContextual(design, core.WorstCase)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("before: aware worst-case %.1f ps\n", before.MaxDelay)
+	fmt.Print(before.FormatPath(design.Netlist))
+	fmt.Println()
+
+	res, err := opt.OptimizeWhitespace(flow, design, opt.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := opt.Report(flow, design, res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report)
+	fmt.Println("\nthe traditional corner report is unchanged by these moves —")
+	fmt.Println("the improvement exists only in a context-aware timing view.")
+
+	// Confirm: traditional analysis cannot see the change.
+	trad, err := flow.AnalyzeTraditional(design, core.WorstCase)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("traditional WC before and after: %.1f ps (context-blind)\n", trad.MaxDelay)
+}

@@ -1,0 +1,46 @@
+// Sequential sign-off: what the corner tightening is worth in megahertz.
+// Registers partition an ISCAS89-class design into launch/capture paths;
+// the smallest clock period closing setup at the worst-case corner is the
+// shippable frequency. Because the aware worst case is tighter, the same
+// silicon signs off faster.
+//
+// Run with:
+//
+//	go run ./examples/signoff
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"svtiming/internal/core"
+	"svtiming/internal/seq"
+)
+
+func main() {
+	log.SetFlags(0)
+	flow, err := core.NewFlow()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-8s %6s | %22s | %22s | %s\n",
+		"design", "regs", "traditional sign-off", "aware sign-off", "Fmax gain")
+	for _, name := range []string{"s298", "s1423", "s5378"} {
+		sd, err := seq.Generate(flow.Lib, seq.ISCAS89Profiles[name])
+		if err != nil {
+			log.Fatal(err)
+		}
+		cmp, err := flow.CompareSequential(sd)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %6d | %8.1f ps %7.1f MHz | %8.1f ps %7.1f MHz | %+5.1f%%\n",
+			name, cmp.Registers,
+			cmp.TradSignOff.MinPeriod, cmp.TradSignOff.FmaxMHz,
+			cmp.NewSignOff.MinPeriod, cmp.NewSignOff.FmaxMHz,
+			cmp.FmaxGainPct())
+	}
+	fmt.Println("\nthe Table 2 uncertainty reduction, cashed in: the systematic-aware")
+	fmt.Println("worst case certifies the same silicon at a higher clock.")
+}

@@ -1,0 +1,101 @@
+// Statistical timing extension (the paper's §6 future work): Monte Carlo
+// critical-delay distributions under a naive independent-Gaussian gate
+// length model versus the systematic-variation aware model (predicted
+// per-gate nominal, chip-correlated focus, independent residual).
+//
+// Run with:
+//
+//	go run ./examples/ssta
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"svtiming/internal/core"
+	"svtiming/internal/ssta"
+)
+
+func main() {
+	log.SetFlags(0)
+	flow, err := core.NewFlow()
+	if err != nil {
+		log.Fatal(err)
+	}
+	design, err := flow.PrepareDesign("c432")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := ssta.Config{Samples: 400, Seed: 7}
+	naive, err := ssta.MonteCarlo(flow, design, ssta.Naive, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	aware, err := ssta.MonteCarlo(flow, design, ssta.Aware, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Monte Carlo critical delay of %s (%d samples):\n\n",
+		design.Netlist.Name, cfg.Samples)
+	for _, r := range []ssta.Result{naive, aware} {
+		fmt.Printf("%-18s mean %8.1f ps   std %6.1f ps   p01 %8.1f   p99 %8.1f\n",
+			r.Mode, r.Mean, r.Std, r.Quantile(0.01), r.Quantile(0.99))
+		fmt.Printf("%18s %s\n", "", sparkline(r))
+	}
+	fmt.Printf("\nmean shift: %.1f ps — the naive model is mis-centered because the\n",
+		naive.Mean-aware.Mean)
+	fmt.Println("systematic through-pitch component it treats as noise is in fact a")
+	fmt.Println("predictable shift of every gate's printed length.")
+	fmt.Printf("99%% spread: naive %.1f ps, aware %.1f ps\n", naive.Spread99(), aware.Spread99())
+	fmt.Println("the naive independent-Gaussian model also understates spread: its")
+	fmt.Println("per-gate noise averages out along paths, while the real focus")
+	fmt.Println("component is chip-correlated and does not — which the aware model")
+	fmt.Println("captures by moving dense and isolated gates together, in opposite")
+	fmt.Println("directions, with a single chip-wide defocus draw.")
+
+	can, err := ssta.BlockBased(flow, design)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nblock-based (canonical, Clark max): mean %8.1f ps   std %6.1f ps\n",
+		can.Mean, can.Sigma())
+	fmt.Println("the closed-form block-based pass matches the aware Monte Carlo to")
+	fmt.Println("within a percent at a tiny fraction of the cost.")
+
+	fmt.Println("\nparametric yield vs clock period:")
+	fmt.Print(ssta.FormatYieldComparison(naive, aware, 9))
+	fmt.Printf("\nclock for 99%% yield: naive %.1f ps, aware %.1f ps (%.1f ps recovered)\n",
+		naive.ClockForYield(0.99), aware.ClockForYield(0.99),
+		naive.ClockForYield(0.99)-aware.ClockForYield(0.99))
+}
+
+// sparkline renders a crude 40-bin histogram of the samples.
+func sparkline(r ssta.Result) string {
+	if len(r.Samples) == 0 {
+		return ""
+	}
+	lo := r.Samples[0]
+	hi := r.Samples[len(r.Samples)-1]
+	if hi <= lo {
+		return "(degenerate)"
+	}
+	const bins = 40
+	counts := make([]int, bins)
+	maxN := 0
+	for _, v := range r.Samples {
+		b := int(float64(bins-1) * (v - lo) / (hi - lo))
+		counts[b]++
+		if counts[b] > maxN {
+			maxN = counts[b]
+		}
+	}
+	glyphs := []rune(" .:-=+*#%@")
+	var sb strings.Builder
+	for _, c := range counts {
+		sb.WriteRune(glyphs[c*(len(glyphs)-1)/maxN])
+	}
+	return fmt.Sprintf("[%7.1f] %s [%7.1f]", lo, sb.String(), hi)
+}

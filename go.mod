@@ -1,0 +1,3 @@
+module svtiming
+
+go 1.22

@@ -1,0 +1,229 @@
+// Package context implements the placement-context analysis of the paper's
+// §3.1.3 and §3.2: extracting the four neighbor-spacing parameters
+// (nps_LT, nps_LB, nps_RT, nps_RB) for every placed cell instance, binning
+// them into the 3×3×3×3 = 81 library versions, and classifying devices and
+// timing arcs as dense/isolated/self-compensated for the focus-corner
+// trims.
+package context
+
+import (
+	"fmt"
+	"math"
+
+	"svtiming/internal/corners"
+	"svtiming/internal/geom"
+	"svtiming/internal/place"
+	"svtiming/internal/stdcell"
+)
+
+// Spacing bins for the nps parameters (§4): {[..,400), [400,600), [600,..)}
+// nm edge-to-edge spacing. The representative value of each bin is its
+// *lower* edge: dense geometries print larger in this process, so the
+// lower edge is the pessimistic choice.
+const (
+	NumBins = 3
+	// NumVersions is the size of the expanded library per cell master.
+	NumVersions = NumBins * NumBins * NumBins * NumBins // 81
+)
+
+var binEdges = [NumBins]float64{300, 400, 600}
+
+// Bin maps an edge-to-edge spacing to its bin index. Spacings below the
+// first edge clamp to bin 0; anything at or beyond 600 nm (the radius of
+// influence) is bin 2, which also represents "no neighbor".
+func Bin(spacing float64) int {
+	switch {
+	case spacing < binEdges[1]:
+		return 0
+	case spacing < binEdges[2]:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Representative returns the spacing value a bin is characterized at.
+func Representative(bin int) float64 {
+	if bin < 0 || bin >= NumBins {
+		panic(fmt.Sprintf("context: bin %d out of range", bin))
+	}
+	return binEdges[bin]
+}
+
+// Version identifies one of the 81 context versions of a cell: the bin
+// index of each of the four neighbor-spacing parameters.
+type Version struct {
+	LT, LB, RT, RB int
+}
+
+// Index returns the version's dense index in [0, 81).
+func (v Version) Index() int {
+	return ((v.LT*NumBins+v.LB)*NumBins+v.RT)*NumBins + v.RB
+}
+
+// Name returns the canonical version name, e.g. "v0120".
+func (v Version) Name() string {
+	return fmt.Sprintf("v%d%d%d%d", v.LT, v.LB, v.RT, v.RB)
+}
+
+// VersionFromIndex is the inverse of Index.
+func VersionFromIndex(i int) Version {
+	if i < 0 || i >= NumVersions {
+		panic(fmt.Sprintf("context: version index %d out of range", i))
+	}
+	v := Version{}
+	v.RB = i % NumBins
+	i /= NumBins
+	v.RT = i % NumBins
+	i /= NumBins
+	v.LB = i % NumBins
+	v.LT = i / NumBins
+	return v
+}
+
+// AllVersions enumerates all 81 versions in Index order.
+func AllVersions() []Version {
+	out := make([]Version, NumVersions)
+	for i := range out {
+		out[i] = VersionFromIndex(i)
+	}
+	return out
+}
+
+// NPS is the four neighbor-spacing parameters of a placed instance, in nm
+// (+Inf where the instance has no neighbor on that side).
+type NPS struct {
+	LT, LB, RT, RB float64
+}
+
+// Version bins the parameters.
+func (n NPS) Version() Version {
+	return Version{LT: Bin(n.LT), LB: Bin(n.LB), RT: Bin(n.RT), RB: Bin(n.RB)}
+}
+
+// ExtractNPS computes the nps parameters of instance inst in the
+// placement: the edge-to-edge distance from the instance's border devices
+// to the nearest poly feature of the neighboring cell, separately for the
+// PMOS (top) and NMOS (bottom) halves (Fig 4).
+func ExtractNPS(p *place.Placement, inst int) NPS {
+	pc := p.Cells[inst]
+	sLT, sLB, sRT, sRB := pc.Cell.BorderClearances()
+	left, right, leftGap, rightGap := p.Neighbors(inst)
+
+	out := NPS{LT: math.Inf(1), LB: math.Inf(1), RT: math.Inf(1), RB: math.Inf(1)}
+	if left >= 0 {
+		_, _, nRT, nRB := p.Cells[left].Cell.BorderClearances()
+		out.LT = sLT + leftGap + nRT
+		out.LB = sLB + leftGap + nRB
+	}
+	if right >= 0 {
+		nLT, nLB, _, _ := p.Cells[right].Cell.BorderClearances()
+		out.RT = sRT + rightGap + nLT
+		out.RB = sRB + rightGap + nLB
+	}
+	return out
+}
+
+// DeviceClass is the Fig 5 classification of a transistor gate.
+type DeviceClass int
+
+const (
+	DeviceDense DeviceClass = iota
+	DeviceIsolated
+	DeviceSelfComp
+)
+
+func (d DeviceClass) String() string {
+	switch d {
+	case DeviceDense:
+		return "dense"
+	case DeviceIsolated:
+		return "isolated"
+	default:
+		return "self-compensated"
+	}
+}
+
+// DenseSpacingMax is the spacing threshold for a "dense" flank: below the
+// contacted pitch less one drawn CD (footnote 5 of the paper: dense
+// spacing is less than the contacted pitch).
+const DenseSpacingMax = stdcell.ContactedPitch - stdcell.DrawnCD
+
+// ClassifyGate labels a device by its two flank spacings: dense on both
+// sides → dense; isolated on both → isolated; mixed → self-compensated.
+func ClassifyGate(leftSpacing, rightSpacing float64) DeviceClass {
+	return ClassifyGateAt(leftSpacing, rightSpacing, DenseSpacingMax)
+}
+
+// ClassifyGateAt is ClassifyGate with an explicit dense-spacing threshold,
+// for dose studies: the smile/frown boundary spacing moves with exposure
+// dose (§6), and a FEM-calibrated threshold can replace the geometric one.
+func ClassifyGateAt(leftSpacing, rightSpacing, threshold float64) DeviceClass {
+	l := leftSpacing < threshold
+	r := rightSpacing < threshold
+	switch {
+	case l && r:
+		return DeviceDense
+	case !l && !r:
+		return DeviceIsolated
+	default:
+		return DeviceSelfComp
+	}
+}
+
+// ClassifyRow classifies every transistor gate in row r of the placement
+// from the drawn layout (including neighbor-cell features). The result is
+// keyed by (instance, gate index).
+func ClassifyRow(p *place.Placement, r int) map[[2]int]DeviceClass {
+	return ClassifyRowAt(p, r, DenseSpacingMax)
+}
+
+// ClassifyRowAt is ClassifyRow with an explicit dense-spacing threshold.
+func ClassifyRowAt(p *place.Placement, r int, threshold float64) map[[2]int]DeviceClass {
+	lines := p.RowLines(r)
+	sp := geom.Spacings(lines, 1)
+	// Match gate lines back to their positions in the sorted row lines.
+	type key struct{ x float64 }
+	byX := make(map[float64]int, len(lines))
+	for i, l := range lines {
+		byX[l.CenterX] = i
+	}
+	out := make(map[[2]int]DeviceClass)
+	for _, rg := range p.RowGates(r) {
+		i, ok := byX[rg.Line.CenterX]
+		if !ok {
+			continue // coincident lines; classification keeps the survivor
+		}
+		out[[2]int{rg.Inst, rg.Gate}] = ClassifyGateAt(sp[i].Left, sp[i].Right, threshold)
+	}
+	return out
+}
+
+// ClassifyArc applies the majority rule of §3.2 footnote 6: the arc takes
+// the strict-majority device class (dense → smile, isolated → frown,
+// self-compensated → self-compensated). Without a strict majority the
+// arc's focus behavior is unknown and no corner may be trimmed, so it is
+// left unclassified.
+func ClassifyArc(devices []DeviceClass) corners.ArcClass {
+	var dense, iso, self int
+	for _, d := range devices {
+		switch d {
+		case DeviceDense:
+			dense++
+		case DeviceIsolated:
+			iso++
+		default:
+			self++
+		}
+	}
+	switch {
+	case dense > iso && dense > self:
+		return corners.Smile
+	case iso > dense && iso > self:
+		return corners.Frown
+	case self > dense && self > iso:
+		return corners.SelfCompensated
+	default:
+		return corners.Unclassified
+	}
+}

@@ -1,0 +1,226 @@
+package context
+
+import (
+	"math"
+	"testing"
+
+	"svtiming/internal/corners"
+	"svtiming/internal/netlist"
+	"svtiming/internal/place"
+	"svtiming/internal/stdcell"
+)
+
+var lib = stdcell.Default()
+
+func TestBinAndRepresentative(t *testing.T) {
+	cases := map[float64]int{
+		0: 0, 150: 0, 399.9: 0,
+		400: 1, 599.9: 1,
+		600: 2, 10000: 2, math.Inf(1): 2,
+	}
+	for spacing, want := range cases {
+		if got := Bin(spacing); got != want {
+			t.Errorf("Bin(%v) = %d, want %d", spacing, got, want)
+		}
+	}
+	reps := []float64{300, 400, 600}
+	for i, want := range reps {
+		if got := Representative(i); got != want {
+			t.Errorf("Representative(%d) = %v, want %v", i, got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Representative(3) did not panic")
+		}
+	}()
+	Representative(3)
+}
+
+func TestVersionIndexRoundTrip(t *testing.T) {
+	seen := make(map[int]bool)
+	for _, v := range AllVersions() {
+		i := v.Index()
+		if i < 0 || i >= NumVersions {
+			t.Fatalf("index %d out of range", i)
+		}
+		if seen[i] {
+			t.Fatalf("duplicate index %d", i)
+		}
+		seen[i] = true
+		if VersionFromIndex(i) != v {
+			t.Fatalf("round trip failed for %+v", v)
+		}
+	}
+	if len(seen) != 81 {
+		t.Fatalf("enumerated %d versions, want 81", len(seen))
+	}
+}
+
+func TestVersionName(t *testing.T) {
+	v := Version{LT: 0, LB: 1, RT: 2, RB: 0}
+	if v.Name() != "v0120" {
+		t.Errorf("Name = %q", v.Name())
+	}
+}
+
+func TestNPSVersionBinning(t *testing.T) {
+	n := NPS{LT: 350, LB: 450, RT: 700, RB: math.Inf(1)}
+	v := n.Version()
+	if v != (Version{LT: 0, LB: 1, RT: 2, RB: 2}) {
+		t.Errorf("Version = %+v", v)
+	}
+}
+
+func TestClassifyGate(t *testing.T) {
+	if got := ClassifyGate(150, 150); got != DeviceDense {
+		t.Errorf("both tight = %v", got)
+	}
+	if got := ClassifyGate(210, 400); got != DeviceIsolated {
+		t.Errorf("both open = %v", got)
+	}
+	if got := ClassifyGate(150, 300); got != DeviceSelfComp {
+		t.Errorf("mixed = %v", got)
+	}
+	// Boundary: exactly contacted-pitch spacing is not dense.
+	if got := ClassifyGate(DenseSpacingMax, DenseSpacingMax); got != DeviceIsolated {
+		t.Errorf("boundary spacing = %v, want isolated", got)
+	}
+}
+
+func TestClassifyArcMajorityRule(t *testing.T) {
+	d, i, s := DeviceDense, DeviceIsolated, DeviceSelfComp
+	cases := []struct {
+		devs []DeviceClass
+		want corners.ArcClass
+	}{
+		{[]DeviceClass{i, i, d}, corners.Frown}, // footnote 6's example
+		{[]DeviceClass{d, d, i}, corners.Smile},
+		{[]DeviceClass{s, s, i}, corners.SelfCompensated},
+		{[]DeviceClass{i}, corners.Frown},
+		{[]DeviceClass{d}, corners.Smile},
+		{[]DeviceClass{s}, corners.SelfCompensated},
+		{[]DeviceClass{d, i}, corners.Unclassified},    // tie
+		{[]DeviceClass{d, i, s}, corners.Unclassified}, // three-way tie
+		{[]DeviceClass{d, d, i, i}, corners.Unclassified},
+	}
+	for _, c := range cases {
+		if got := ClassifyArc(c.devs); got != c.want {
+			t.Errorf("ClassifyArc(%v) = %v, want %v", c.devs, got, c.want)
+		}
+	}
+}
+
+func placed(t *testing.T, name string) *place.Placement {
+	t.Helper()
+	n := netlist.MustGenerate(lib, name)
+	p, err := place.Place(n, lib, place.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestExtractNPSEndsOfRow(t *testing.T) {
+	p := placed(t, "c432")
+	row := p.Rows[0]
+	first, last := row[0], row[len(row)-1]
+	nFirst := ExtractNPS(p, first)
+	if !math.IsInf(nFirst.LT, 1) || !math.IsInf(nFirst.LB, 1) {
+		t.Errorf("row-start left nps = %+v, want +Inf", nFirst)
+	}
+	nLast := ExtractNPS(p, last)
+	if !math.IsInf(nLast.RT, 1) || !math.IsInf(nLast.RB, 1) {
+		t.Errorf("row-end right nps = %+v, want +Inf", nLast)
+	}
+}
+
+func TestExtractNPSMatchesGeometry(t *testing.T) {
+	p := placed(t, "c432")
+	// For every instance with a left neighbor, nps must equal the spacing
+	// from its leftmost feature to the neighbor's rightmost feature in the
+	// corresponding half.
+	for inst := range p.Cells {
+		left, _, gap, _ := p.Neighbors(inst)
+		if left < 0 {
+			continue
+		}
+		nps := ExtractNPS(p, inst)
+		sLT, sLB, _, _ := p.Cells[inst].Cell.BorderClearances()
+		_, _, nRT, nRB := p.Cells[left].Cell.BorderClearances()
+		if math.Abs(nps.LT-(sLT+gap+nRT)) > 1e-9 {
+			t.Fatalf("inst %d LT = %v, want %v", inst, nps.LT, sLT+gap+nRT)
+		}
+		if math.Abs(nps.LB-(sLB+gap+nRB)) > 1e-9 {
+			t.Fatalf("inst %d LB = %v, want %v", inst, nps.LB, sLB+gap+nRB)
+		}
+	}
+}
+
+func TestClassifyRowCoversAllGates(t *testing.T) {
+	p := placed(t, "c432")
+	for r := range p.Rows {
+		classes := ClassifyRow(p, r)
+		want := len(p.RowGates(r))
+		if len(classes) != want {
+			t.Fatalf("row %d classified %d gates, want %d", r, len(classes), want)
+		}
+	}
+}
+
+func TestIsolatedMajority(t *testing.T) {
+	// The paper observes that "majority of the devices in the layout are
+	// isolated (due to the whitespace distribution or the cell layout
+	// itself)". Check our layouts reproduce that.
+	p := placed(t, "c880")
+	counts := map[DeviceClass]int{}
+	for r := range p.Rows {
+		for _, c := range ClassifyRow(p, r) {
+			counts[c]++
+		}
+	}
+	total := counts[DeviceDense] + counts[DeviceIsolated] + counts[DeviceSelfComp]
+	if total == 0 {
+		t.Fatal("no devices classified")
+	}
+	if frac := float64(counts[DeviceIsolated]) / float64(total); frac < 0.5 {
+		t.Errorf("isolated fraction = %.2f (dense %d, iso %d, sc %d), want majority",
+			frac, counts[DeviceDense], counts[DeviceIsolated], counts[DeviceSelfComp])
+	}
+	if counts[DeviceSelfComp] == 0 {
+		t.Error("no self-compensated devices at all; Fig 5 classes should all occur")
+	}
+}
+
+func TestNAND3StackClasses(t *testing.T) {
+	// NAND3's A-B tight pair in a wide-open placement context: G0 sees
+	// open space left and 150 right (self-comp); G1 sees 150/210
+	// (self-comp); G2 210/open (isolated).
+	cell := lib.MustCell("NAND3X1")
+	lines := cell.PolyLines(0)
+	sp := make([]struct{ l, r float64 }, len(cell.Gates))
+	for i := range cell.Gates {
+		gl := cell.GateLines(0)[i]
+		l, r := math.Inf(1), math.Inf(1)
+		for j, other := range lines {
+			if j == i {
+				continue
+			}
+			if other.RightEdge() <= gl.LeftEdge() {
+				l = math.Min(l, gl.LeftEdge()-other.RightEdge())
+			} else if other.LeftEdge() >= gl.RightEdge() {
+				r = math.Min(r, other.LeftEdge()-gl.RightEdge())
+			}
+		}
+		sp[i] = struct{ l, r float64 }{l, r}
+	}
+	if got := ClassifyGate(sp[0].l, sp[0].r); got != DeviceSelfComp {
+		t.Errorf("G0 = %v", got)
+	}
+	if got := ClassifyGate(sp[1].l, sp[1].r); got != DeviceSelfComp {
+		t.Errorf("G1 = %v", got)
+	}
+	if got := ClassifyGate(sp[2].l, sp[2].r); got != DeviceIsolated {
+		t.Errorf("G2 = %v", got)
+	}
+}

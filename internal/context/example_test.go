@@ -1,0 +1,32 @@
+package context_test
+
+import (
+	"fmt"
+
+	"svtiming/internal/context"
+)
+
+// Binning a placed instance's four neighbor spacings into one of the 81
+// library versions (§3.1.3).
+func ExampleNPS_Version() {
+	nps := context.NPS{LT: 330, LB: 480, RT: 950, RB: 950}
+	v := nps.Version()
+	fmt.Println(v.Name(), "index", v.Index())
+	// Output: v0122 index 17
+}
+
+// The Figure 5 device classification and the footnote-6 arc majority rule.
+func ExampleClassifyArc() {
+	// A NAND3 stack: two devices flanked by a 150 nm tight pitch on one
+	// side, one fully isolated device.
+	devices := []context.DeviceClass{
+		context.ClassifyGate(600, 150), // self-compensated
+		context.ClassifyGate(150, 210), // self-compensated
+		context.ClassifyGate(210, 700), // isolated
+	}
+	fmt.Println(devices[0], "/", devices[1], "/", devices[2])
+	fmt.Println("arc class:", context.ClassifyArc(devices))
+	// Output:
+	// self-compensated / self-compensated / isolated
+	// arc class: self-compensated
+}

@@ -1,0 +1,266 @@
+// Package core wires the substrates into the paper's end-to-end flows:
+//
+//	netlist → placement → context extraction → (a) traditional corner STA
+//	                                           (b) systematic-variation
+//	                                               aware contextual STA
+//
+// and produces the traditional-vs-aware comparison rows of Table 2.
+package core
+
+import (
+	"fmt"
+
+	"svtiming/internal/context"
+	"svtiming/internal/corners"
+	"svtiming/internal/liberty"
+	"svtiming/internal/netlist"
+	"svtiming/internal/opc"
+	"svtiming/internal/place"
+	"svtiming/internal/process"
+	"svtiming/internal/sta"
+	"svtiming/internal/stdcell"
+)
+
+// Corner selects a process corner for analysis.
+type Corner int
+
+const (
+	Nominal Corner = iota
+	BestCase
+	WorstCase
+)
+
+func (c Corner) String() string {
+	switch c {
+	case Nominal:
+		return "nominal"
+	case BestCase:
+		return "best-case"
+	case WorstCase:
+		return "worst-case"
+	default:
+		return fmt.Sprintf("corner(%d)", int(c))
+	}
+}
+
+// DefaultPitchSweep is the pitch ladder used to build the through-pitch
+// lookup table (§3.3: minimum pitch up to slightly beyond contacted pitch,
+// extended into the isolated regime up to the radius of influence).
+var DefaultPitchSweep = []float64{240, 270, 300, 340, 390, 450, 520, 600, 690}
+
+// Flow holds everything built once per process/library: the lithography
+// models, the OPC recipe, the through-pitch lookup table, the
+// characterized 81-version timing library, and the corner budget.
+type Flow struct {
+	Lib    *stdcell.Library
+	Wafer  *process.Process
+	Recipe opc.Recipe
+	Pitch  opc.PitchTable
+	Timing *liberty.Library
+	Budget corners.Budget
+	STAOpt sta.Options
+
+	// WireCapPerUm, when positive, replaces the default per-fanout wire
+	// loading with the placement-derived HPWL model at this capacitance
+	// per micron (≈0.2 fF/µm at 90 nm).
+	WireCapPerUm float64
+}
+
+// StaOptions returns the STA options for a design, binding the HPWL wire
+// model to its placement when enabled.
+func (f *Flow) StaOptions(d *Design) sta.Options {
+	opt := f.STAOpt
+	if f.WireCapPerUm > 0 {
+		opt.Wire = sta.HPWLWire{
+			Placement: d.Placement,
+			CapPerUm:  f.WireCapPerUm,
+			MinCap:    1.0,
+		}
+	}
+	if d.PIArrival != nil {
+		opt.PIArrival = d.PIArrival
+	}
+	return opt
+}
+
+// NewFlow builds the default experimental flow: the nominal 90 nm process,
+// standard model-based OPC, the through-pitch table and the characterized
+// expanded library.
+func NewFlow() (*Flow, error) {
+	wafer := process.Nominal90nm()
+	recipe := opc.Standard(opc.ModelProcess(wafer))
+	pitch := opc.BuildPitchTable(wafer, recipe, stdcell.DrawnCD, DefaultPitchSweep)
+	lib := stdcell.Default()
+	timing, err := liberty.Characterize(lib, liberty.CharConfig{
+		Wafer:  wafer,
+		Recipe: recipe,
+		Pitch:  pitch,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: characterization failed: %w", err)
+	}
+	return &Flow{
+		Lib:    lib,
+		Wafer:  wafer,
+		Recipe: recipe,
+		Pitch:  pitch,
+		Timing: timing,
+		Budget: corners.Default90nm(),
+	}, nil
+}
+
+// Design is a prepared testcase: a placed netlist with its per-instance
+// context versions and per-arc Bossung classes.
+type Design struct {
+	Netlist   *netlist.Netlist
+	Placement *place.Placement
+	// Version[i] is the 81-way context version of instance i.
+	Version []context.Version
+	// ArcClass[i][pin] is the smile/frown/self-compensated label of the
+	// arc from input `pin` of instance i.
+	ArcClass [][]corners.ArcClass
+	// PIArrival optionally offsets primary-input launch times (used by
+	// sequential analysis for register clock-to-Q).
+	PIArrival map[string]float64
+}
+
+// PrepareDesign loads/generates the named benchmark, places it, and runs
+// the placement-context analysis of §3.1.3 and §3.2.
+func (f *Flow) PrepareDesign(name string) (*Design, error) {
+	n := netlist.MustGenerate(f.Lib, name)
+	return f.PrepareNetlist(n)
+}
+
+// PrepareNetlist places and context-analyzes an already-built netlist.
+func (f *Flow) PrepareNetlist(n *netlist.Netlist) (*Design, error) {
+	if err := n.Validate(f.Lib); err != nil {
+		return nil, err
+	}
+	p, err := place.Place(n, f.Lib, place.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Verify(); err != nil {
+		return nil, err
+	}
+	d := &Design{Netlist: n, Placement: p}
+	if err := f.RefreshContext(d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// RefreshContext recomputes the design's per-instance context versions and
+// per-arc Bossung classes from the current placement coordinates. Call it
+// after mutating the placement (e.g. whitespace optimization).
+func (f *Flow) RefreshContext(d *Design) error {
+	n := d.Netlist
+	p := d.Placement
+	d.Version = make([]context.Version, len(n.Instances))
+	d.ArcClass = make([][]corners.ArcClass, len(n.Instances))
+	// Per-row device classification, then per-instance context.
+	classByRow := make([]map[[2]int]context.DeviceClass, len(p.Rows))
+	for r := range p.Rows {
+		classByRow[r] = context.ClassifyRow(p, r)
+	}
+	for i, g := range n.Instances {
+		d.Version[i] = context.ExtractNPS(p, i).Version()
+		cell, err := f.Lib.Cell(g.Cell)
+		if err != nil {
+			return err
+		}
+		row := p.Cells[i].Row
+		d.ArcClass[i] = make([]corners.ArcClass, len(cell.Inputs))
+		for pin, pinName := range cell.Inputs {
+			arc, err := cell.ArcFor(pinName)
+			if err != nil {
+				return err
+			}
+			devs := make([]context.DeviceClass, len(arc.Devices))
+			for k, dev := range arc.Devices {
+				devs[k] = classByRow[row][[2]int{i, dev}]
+			}
+			d.ArcClass[i][pin] = context.ClassifyArc(devs)
+		}
+	}
+	return nil
+}
+
+// AnalyzeTraditional runs STA with the conventional corner model: every
+// arc at the drawn gate length shifted by the full ±total variation.
+func (f *Flow) AnalyzeTraditional(d *Design, c Corner) (*sta.Report, error) {
+	m, err := f.traditionalModel(d, c)
+	if err != nil {
+		return nil, err
+	}
+	return sta.Analyze(d.Netlist, f.Lib, m, f.StaOptions(d))
+}
+
+// AnalyzeContextual runs STA with the systematic-variation aware model:
+// each arc re-centered on its context-predicted printed gate length with
+// the pitch component removed and the focus component trimmed per its
+// Bossung class.
+func (f *Flow) AnalyzeContextual(d *Design, c Corner) (*sta.Report, error) {
+	m, err := f.contextualModel(d, c)
+	if err != nil {
+		return nil, err
+	}
+	return sta.Analyze(d.Netlist, f.Lib, m, f.StaOptions(d))
+}
+
+// Comparison is one row of the paper's Table 2.
+type Comparison struct {
+	Name  string
+	Gates int
+
+	TradNom, TradBC, TradWC float64 // ps
+	NewNom, NewBC, NewWC    float64 // ps
+}
+
+// TradSpread returns the traditional BC↔WC uncertainty, ps.
+func (c Comparison) TradSpread() float64 { return c.TradWC - c.TradBC }
+
+// NewSpread returns the systematic-aware BC↔WC uncertainty, ps.
+func (c Comparison) NewSpread() float64 { return c.NewWC - c.NewBC }
+
+// ReductionPct is the paper's "% Reduction in Uncertainty" column.
+func (c Comparison) ReductionPct() float64 {
+	if c.TradSpread() <= 0 {
+		return 0
+	}
+	return 100 * (1 - c.NewSpread()/c.TradSpread())
+}
+
+// CompareDesign runs both flows at all three corners for the named
+// benchmark and returns its Table 2 row.
+func (f *Flow) CompareDesign(name string) (Comparison, error) {
+	d, err := f.PrepareDesign(name)
+	if err != nil {
+		return Comparison{}, err
+	}
+	return f.Compare(d)
+}
+
+// Compare runs both flows at all three corners on a prepared design.
+func (f *Flow) Compare(d *Design) (Comparison, error) {
+	out := Comparison{Name: d.Netlist.Name, Gates: d.Netlist.NumGates()}
+	for _, c := range []Corner{Nominal, BestCase, WorstCase} {
+		tr, err := f.AnalyzeTraditional(d, c)
+		if err != nil {
+			return out, err
+		}
+		nw, err := f.AnalyzeContextual(d, c)
+		if err != nil {
+			return out, err
+		}
+		switch c {
+		case Nominal:
+			out.TradNom, out.NewNom = tr.MaxDelay, nw.MaxDelay
+		case BestCase:
+			out.TradBC, out.NewBC = tr.MaxDelay, nw.MaxDelay
+		case WorstCase:
+			out.TradWC, out.NewWC = tr.MaxDelay, nw.MaxDelay
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+
+	"svtiming/internal/context"
+	"svtiming/internal/process"
+)
+
+// GateKey addresses one transistor gate in a design: instance index and
+// gate index within the instance's cell.
+type GateKey struct {
+	Inst, Gate int
+}
+
+// FullChipCDs runs full-chip model-based OPC — every placement row
+// corrected in its true context — and returns the wafer-printed CD of
+// every transistor gate. This is the expensive reference flow of §3.1
+// ("several CPU days for modern multimillion gate designs"); the
+// library-based flow approximates it.
+//
+// Gates whose features fail to print are reported with ok=false in the
+// second map (none should occur on legal placements).
+func (f *Flow) FullChipCDs(d *Design) (map[GateKey]float64, error) {
+	out := make(map[GateKey]float64)
+	for r := range d.Placement.Rows {
+		lines := d.Placement.RowLines(r)
+		corrected := f.Recipe.Correct(lines, f.Wafer.TargetCD)
+
+		// Map each gate back to its (sorted) row-line index by position.
+		idxByX := make(map[float64]int, len(lines))
+		for i, l := range lines {
+			idxByX[l.CenterX] = i
+		}
+		for _, rg := range d.Placement.RowGates(r) {
+			i, ok := idxByX[rg.Line.CenterX]
+			if !ok {
+				return nil, fmt.Errorf("core: gate at x=%v lost in row %d", rg.Line.CenterX, r)
+			}
+			env := process.EnvAt(corrected, i, f.Wafer.RadiusOfInfluence)
+			cd, ok := f.Wafer.PrintCD(env)
+			if !ok {
+				return nil, fmt.Errorf("core: gate at x=%v does not print after full-chip OPC",
+					rg.Line.CenterX)
+			}
+			out[GateKey{Inst: rg.Inst, Gate: rg.Gate}] = cd
+		}
+	}
+	return out, nil
+}
+
+// LibraryCDs returns the library-based flow's CD prediction for every
+// transistor gate at the instance's *actual* neighbor spacings: interior
+// gates from the dummy-environment library OPC, border gates corrected
+// with the through-pitch sensitivity (§3.1.1's rule-based treatment of
+// peripheral devices). This is the Table 1 comparison flow; the timing
+// library additionally bins these contexts into the 81 versions.
+func (f *Flow) LibraryCDs(d *Design) (map[GateKey]float64, error) {
+	out := make(map[GateKey]float64)
+	for i, g := range d.Netlist.Instances {
+		nps := context.ExtractNPS(d.Placement, i)
+		cds, err := f.Timing.PredictGateCDs(g.Cell, nps)
+		if err != nil {
+			return nil, err
+		}
+		for gi, cd := range cds {
+			out[GateKey{Inst: i, Gate: gi}] = cd
+		}
+	}
+	return out, nil
+}

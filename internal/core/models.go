@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+
+	"svtiming/internal/corners"
+	"svtiming/internal/liberty"
+	"svtiming/internal/sta"
+)
+
+// arcLookup resolves (instance, pin) to the characterized cell entry and
+// arc index, shared by both timing models.
+type arcLookup struct {
+	flow   *Flow
+	design *Design
+	// arcIdx[cellName][pin] caches the pin→arc mapping.
+	arcIdx map[string][]int
+}
+
+func (f *Flow) newArcLookup(d *Design) (*arcLookup, error) {
+	al := &arcLookup{flow: f, design: d, arcIdx: make(map[string][]int)}
+	for _, name := range f.Lib.Names() {
+		cell := f.Lib.MustCell(name)
+		entry, err := f.Timing.Entry(name)
+		if err != nil {
+			return nil, err
+		}
+		idx := make([]int, len(cell.Inputs))
+		for pin, pinName := range cell.Inputs {
+			a, err := entry.ArcIndex(pinName)
+			if err != nil {
+				return nil, err
+			}
+			idx[pin] = a
+		}
+		al.arcIdx[name] = idx
+	}
+	return al, nil
+}
+
+func (al *arcLookup) resolve(inst, pin int) (*liberty.CellEntry, int, error) {
+	g := al.design.Netlist.Instances[inst]
+	entry, err := al.flow.Timing.Entry(g.Cell)
+	if err != nil {
+		return nil, 0, err
+	}
+	idx, ok := al.arcIdx[g.Cell]
+	if !ok || pin < 0 || pin >= len(idx) {
+		return nil, 0, fmt.Errorf("core: no arc for %s pin %d", g.Cell, pin)
+	}
+	return entry, idx[pin], nil
+}
+
+// traditionalModel scales every delay table by the same global corner gate
+// length: drawn ± the full variation budget. This is the sign-off model
+// the paper calls too conservative.
+type traditionalModel struct {
+	al     *arcLookup
+	l      float64 // corner gate length, nm
+	corner Corner
+}
+
+func (f *Flow) traditionalModel(d *Design, c Corner) (*traditionalModel, error) {
+	al, err := f.newArcLookup(d)
+	if err != nil {
+		return nil, err
+	}
+	g := corners.Traditional(f.Budget)
+	return &traditionalModel{al: al, l: pick(g, c), corner: c}, nil
+}
+
+func (m *traditionalModel) ArcTables(inst, pin int) (liberty.Table, liberty.Table, error) {
+	entry, a, err := m.al.resolve(inst, pin)
+	if err != nil {
+		return liberty.Table{}, liberty.Table{}, err
+	}
+	arc := entry.Arcs[a]
+	f := m.al.flow
+	scale := m.l / f.Timing.DrawnL * f.Budget.OtherScale(cornerDir(m.corner))
+	return arc.Delay.Scale(scale), arc.OutSlew, nil
+}
+
+// cornerDir maps a corner to the sign of the non-L parameter excursion.
+func cornerDir(c Corner) int {
+	switch c {
+	case BestCase:
+		return -1
+	case WorstCase:
+		return +1
+	default:
+		return 0
+	}
+}
+
+// contextualModel implements the paper's methodology: per-arc gate-length
+// corners from the instance's context version (Eq. 1) and Bossung class
+// (Eqs. 2–5).
+type contextualModel struct {
+	al     *arcLookup
+	corner Corner
+}
+
+func (f *Flow) contextualModel(d *Design, c Corner) (*contextualModel, error) {
+	al, err := f.newArcLookup(d)
+	if err != nil {
+		return nil, err
+	}
+	return &contextualModel{al: al, corner: c}, nil
+}
+
+func (m *contextualModel) ArcTables(inst, pin int) (liberty.Table, liberty.Table, error) {
+	entry, a, err := m.al.resolve(inst, pin)
+	if err != nil {
+		return liberty.Table{}, liberty.Table{}, err
+	}
+	d := m.al.design
+	f := m.al.flow
+	version := d.Version[inst].Index()
+	lNomNew := entry.MeanL(version, a)
+	class := d.ArcClass[inst][pin]
+	g := corners.Contextual(f.Budget, lNomNew, class)
+	arc := entry.Arcs[a]
+	scale := pick(g, m.corner) / f.Timing.DrawnL * f.Budget.OtherScale(cornerDir(m.corner))
+	return arc.Delay.Scale(scale), arc.OutSlew, nil
+}
+
+// NominalContextModel exposes the systematic-aware nominal-corner timing
+// model for external analyses (e.g. block-based statistical timing, which
+// freezes slews and loads at the nominal point).
+func (f *Flow) NominalContextModel(d *Design) (sta.Model, error) {
+	return f.contextualModel(d, Nominal)
+}
+
+func pick(g corners.Gate, c Corner) float64 {
+	switch c {
+	case BestCase:
+		return g.BC
+	case WorstCase:
+		return g.WC
+	default:
+		return g.Nom
+	}
+}

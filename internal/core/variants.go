@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+
+	"svtiming/internal/context"
+	"svtiming/internal/corners"
+	"svtiming/internal/liberty"
+	"svtiming/internal/sta"
+)
+
+// Variant selects how the systematic-variation aware flow consumes
+// placement context. The paper's §5 discusses all three: the 81-version
+// expanded library is what §3 implements and §4 evaluates; the
+// parameterized model is the "practical methodology" §5 proposes; the
+// simplified variant is §5's cheap fallback that treats peripheral devices
+// traditionally to avoid the 81-version characterization.
+type Variant int
+
+const (
+	// Binned81 uses the expanded library: each instance mapped to one of
+	// the 81 pre-characterized context versions (the paper's §3.1.2).
+	Binned81 Variant = iota
+	// Parametric evaluates each instance at its actual (continuous)
+	// neighbor spacings, as the §5 practical methodology proposes —
+	// "input to output delay is parameterized by s_LT, s_LB, s_RT, s_RB".
+	Parametric
+	// SimplifiedNoBorder ignores placement context for peripheral
+	// devices: they keep traditional full-budget corners, while interior
+	// devices get the full treatment. "With some loss in accuracy …
+	// huge characterization effort can be avoided" (§5).
+	SimplifiedNoBorder
+)
+
+func (v Variant) String() string {
+	switch v {
+	case Binned81:
+		return "binned-81"
+	case Parametric:
+		return "parametric"
+	case SimplifiedNoBorder:
+		return "simplified-no-border"
+	default:
+		return fmt.Sprintf("variant(%d)", int(v))
+	}
+}
+
+// AnalyzeVariant runs the systematic-variation aware STA under the chosen
+// context-consumption variant. AnalyzeContextual is equivalent to
+// AnalyzeVariant with Binned81.
+func (f *Flow) AnalyzeVariant(d *Design, c Corner, v Variant) (*sta.Report, error) {
+	var m sta.Model
+	var err error
+	switch v {
+	case Binned81:
+		return f.AnalyzeContextual(d, c)
+	case Parametric:
+		m, err = f.parametricModel(d, c)
+	case SimplifiedNoBorder:
+		m, err = f.simplifiedModel(d, c)
+	default:
+		return nil, fmt.Errorf("core: unknown variant %v", v)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return sta.Analyze(d.Netlist, f.Lib, m, f.StaOptions(d))
+}
+
+// parametricModel evaluates arcs at the instance's actual neighbor
+// spacings: no binning, no 81-version library — the CD prediction runs at
+// analysis time from the dummy anchor plus pitch-table sensitivities.
+type parametricModel struct {
+	al     *arcLookup
+	corner Corner
+	// cds[i] is the continuous per-gate CD prediction of instance i.
+	cds [][]float64
+}
+
+func (f *Flow) parametricModel(d *Design, c Corner) (*parametricModel, error) {
+	al, err := f.newArcLookup(d)
+	if err != nil {
+		return nil, err
+	}
+	m := &parametricModel{al: al, corner: c, cds: make([][]float64, len(d.Netlist.Instances))}
+	for i, g := range d.Netlist.Instances {
+		nps := context.ExtractNPS(d.Placement, i)
+		cds, err := f.Timing.PredictGateCDs(g.Cell, nps)
+		if err != nil {
+			return nil, err
+		}
+		m.cds[i] = cds
+	}
+	return m, nil
+}
+
+func (m *parametricModel) ArcTables(inst, pin int) (liberty.Table, liberty.Table, error) {
+	entry, a, err := m.al.resolve(inst, pin)
+	if err != nil {
+		return liberty.Table{}, liberty.Table{}, err
+	}
+	d := m.al.design
+	f := m.al.flow
+	arc := entry.Arcs[a]
+	var sum float64
+	for _, dev := range arc.Devices {
+		sum += m.cds[inst][dev]
+	}
+	lNomNew := sum / float64(len(arc.Devices))
+	g := corners.Contextual(f.Budget, lNomNew, d.ArcClass[inst][pin])
+	scale := pick(g, m.corner) / f.Timing.DrawnL * f.Budget.OtherScale(cornerDir(m.corner))
+	return arc.Delay.Scale(scale), arc.OutSlew, nil
+}
+
+// simplifiedModel gives border devices traditional corners and interior
+// devices contextual ones, mixing per arc by device count.
+type simplifiedModel struct {
+	al     *arcLookup
+	corner Corner
+}
+
+func (f *Flow) simplifiedModel(d *Design, c Corner) (*simplifiedModel, error) {
+	al, err := f.newArcLookup(d)
+	if err != nil {
+		return nil, err
+	}
+	return &simplifiedModel{al: al, corner: c}, nil
+}
+
+func (m *simplifiedModel) ArcTables(inst, pin int) (liberty.Table, liberty.Table, error) {
+	entry, a, err := m.al.resolve(inst, pin)
+	if err != nil {
+		return liberty.Table{}, liberty.Table{}, err
+	}
+	d := m.al.design
+	f := m.al.flow
+	arc := entry.Arcs[a]
+	nGates := len(entry.Master.Gates)
+	trad := corners.Traditional(f.Budget)
+
+	// Per-device corner gate lengths, averaged over the arc: border
+	// devices (first/last gate column) use the traditional corners;
+	// interior devices use the contextual ones. Interior-only arcs keep
+	// their Bossung class; arcs touching the periphery fall back to
+	// Unclassified for the contextual part, since the class was derived
+	// from context the simplified flow ignores.
+	touchesBorder := false
+	for _, dev := range arc.Devices {
+		if dev == 0 || dev == nGates-1 {
+			touchesBorder = true
+		}
+	}
+	class := d.ArcClass[inst][pin]
+	if touchesBorder {
+		class = corners.Unclassified
+	}
+	var sum float64
+	for _, dev := range arc.Devices {
+		if dev == 0 || dev == nGates-1 {
+			sum += pick(trad, m.corner)
+			continue
+		}
+		cds := entry.VersionGateCD[d.Version[inst].Index()]
+		g := corners.Contextual(f.Budget, cds[dev], class)
+		sum += pick(g, m.corner)
+	}
+	l := sum / float64(len(arc.Devices))
+	scale := l / f.Timing.DrawnL * f.Budget.OtherScale(cornerDir(m.corner))
+	return arc.Delay.Scale(scale), arc.OutSlew, nil
+}
+
+// CompareVariant is Compare with the aware flow replaced by the chosen
+// variant, for ablation studies.
+func (f *Flow) CompareVariant(d *Design, v Variant) (Comparison, error) {
+	out := Comparison{Name: d.Netlist.Name + "/" + v.String(), Gates: d.Netlist.NumGates()}
+	for _, c := range []Corner{Nominal, BestCase, WorstCase} {
+		tr, err := f.AnalyzeTraditional(d, c)
+		if err != nil {
+			return out, err
+		}
+		nw, err := f.AnalyzeVariant(d, c, v)
+		if err != nil {
+			return out, err
+		}
+		switch c {
+		case Nominal:
+			out.TradNom, out.NewNom = tr.MaxDelay, nw.MaxDelay
+		case BestCase:
+			out.TradBC, out.NewBC = tr.MaxDelay, nw.MaxDelay
+		case WorstCase:
+			out.TradWC, out.NewWC = tr.MaxDelay, nw.MaxDelay
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"svtiming/internal/seq"
+)
+
+func TestVariantStrings(t *testing.T) {
+	if Binned81.String() != "binned-81" || Parametric.String() != "parametric" ||
+		SimplifiedNoBorder.String() != "simplified-no-border" {
+		t.Error("variant names wrong")
+	}
+	if Variant(9).String() == "" {
+		t.Error("unknown variant has empty name")
+	}
+}
+
+func TestAnalyzeVariantBinnedMatchesContextual(t *testing.T) {
+	f := testFlow(t)
+	d, err := f.PrepareDesign("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := f.AnalyzeContextual(d, WorstCase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.AnalyzeVariant(d, WorstCase, Binned81)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MaxDelay != b.MaxDelay {
+		t.Errorf("Binned81 variant diverges from AnalyzeContextual: %v vs %v",
+			b.MaxDelay, a.MaxDelay)
+	}
+}
+
+func TestAnalyzeVariantUnknown(t *testing.T) {
+	f := testFlow(t)
+	d, err := f.PrepareDesign("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.AnalyzeVariant(d, Nominal, Variant(42)); err == nil {
+		t.Error("unknown variant accepted")
+	}
+}
+
+func TestVariantCornerOrdering(t *testing.T) {
+	f := testFlow(t)
+	d, err := f.PrepareDesign("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []Variant{Parametric, SimplifiedNoBorder} {
+		bc, err := f.AnalyzeVariant(d, BestCase, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nom, err := f.AnalyzeVariant(d, Nominal, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wc, err := f.AnalyzeVariant(d, WorstCase, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(bc.MaxDelay <= nom.MaxDelay && nom.MaxDelay <= wc.MaxDelay) {
+			t.Errorf("%v corners out of order: %v/%v/%v", v, bc.MaxDelay, nom.MaxDelay, wc.MaxDelay)
+		}
+	}
+}
+
+func TestParametricTracksBinned(t *testing.T) {
+	// The §5 parameterized model and the 81-version library consume the
+	// same context information, binned versus continuous; their results
+	// must agree to within the binning quantization (a few percent).
+	f := testFlow(t)
+	d, err := f.PrepareDesign("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bn, err := f.CompareVariant(d, Binned81)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := f.CompareVariant(d, Parametric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(pm.NewNom-bn.NewNom) / bn.NewNom; rel > 0.03 {
+		t.Errorf("parametric nominal diverges %.1f%% from binned", 100*rel)
+	}
+	if d := math.Abs(pm.ReductionPct() - bn.ReductionPct()); d > 5 {
+		t.Errorf("reduction differs by %v points between parametric and binned", d)
+	}
+}
+
+func TestSimplifiedLosesMostBenefit(t *testing.T) {
+	// §5: ignoring placement context for peripheral devices loses most of
+	// the benefit "especially for smaller sized cells which have no or
+	// very few parallel devices" — which describes this library.
+	f := testFlow(t)
+	d, err := f.PrepareDesign("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := f.CompareVariant(d, Binned81)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simp, err := f.CompareVariant(d, SimplifiedNoBorder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simp.ReductionPct() >= full.ReductionPct()/2 {
+		t.Errorf("simplified reduction %v%% not far below full %v%%",
+			simp.ReductionPct(), full.ReductionPct())
+	}
+	// It must still be conservative on the sign-off side: the aware WC
+	// never exceeds the traditional WC. (The BC side may drop below the
+	// traditional BC — the re-centering on short-printing gates is a
+	// genuine shift, not extra uncertainty.)
+	if simp.NewWC > simp.TradWC+1e-9 {
+		t.Errorf("simplified WC %v exceeds traditional %v", simp.NewWC, simp.TradWC)
+	}
+}
+
+func TestFullChipVsLibraryCDs(t *testing.T) {
+	f := testFlow(t)
+	d, err := f.PrepareDesign("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := f.FullChipCDs(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := f.LibraryCDs(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != len(lib) {
+		t.Fatalf("device counts differ: %d vs %d", len(full), len(lib))
+	}
+	want := 0
+	for _, g := range d.Netlist.Instances {
+		want += len(f.Lib.MustCell(g.Cell).Gates)
+	}
+	if len(full) != want {
+		t.Fatalf("covered %d devices, want %d", len(full), want)
+	}
+	for key, cd := range full {
+		if cd < 60 || cd > 120 {
+			t.Errorf("full-chip CD %v implausible at %+v", cd, key)
+		}
+		if math.Abs(lib[key]-cd)/cd > 0.08 {
+			t.Errorf("library CD %v far from full-chip %v at %+v", lib[key], cd, key)
+		}
+	}
+}
+
+func TestHPWLWireLoadingPreservesShape(t *testing.T) {
+	// Switching to placement-derived wire loading changes absolute delays
+	// but must preserve the methodology's comparison shape.
+	f := testFlow(t)
+	base, err := f.CompareDesign("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := *f
+	fw.WireCapPerUm = 0.2
+	wired, err := fw.CompareDesign("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wired.TradNom == base.TradNom {
+		t.Error("HPWL wire loading had no effect on delays")
+	}
+	if r := wired.ReductionPct(); r < 20 || r > 50 {
+		t.Errorf("reduction with wires = %v%%, out of band", r)
+	}
+	if wired.NewNom >= wired.TradNom {
+		t.Error("nominal improvement lost under wire loading")
+	}
+}
+
+func TestCompareSequentialFmaxGain(t *testing.T) {
+	f := testFlow(t)
+	sd, err := seq.Generate(f.Lib, seq.ISCAS89Profiles["s298"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := f.CompareSequential(sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.TradSignOff.MinPeriod <= 0 || cmp.NewSignOff.MinPeriod <= 0 {
+		t.Fatalf("degenerate sign-off: %+v", cmp)
+	}
+	// The aware corners must certify at least the traditional frequency,
+	// and on these layouts meaningfully more.
+	if cmp.NewSignOff.MinPeriod > cmp.TradSignOff.MinPeriod {
+		t.Errorf("aware min period %v above traditional %v",
+			cmp.NewSignOff.MinPeriod, cmp.TradSignOff.MinPeriod)
+	}
+	if g := cmp.FmaxGainPct(); g < 5 || g > 40 {
+		t.Errorf("Fmax gain %v%% outside the plausible band", g)
+	}
+	// Both reports account for the register launch offset: worst
+	// reg-to-reg arrival exceeds clock-to-Q.
+	if cmp.NewSignOff.WorstRegToReg <= seq.ClkToQ {
+		t.Errorf("reg-to-reg arrival %v does not include the launch", cmp.NewSignOff.WorstRegToReg)
+	}
+}

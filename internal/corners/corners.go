@@ -1,0 +1,160 @@
+// Package corners implements the gate-length corner arithmetic of the
+// paper's §3.3: starting from the traditional ±total variation around the
+// drawn gate length, the systematic-variation aware flow (a) re-centers
+// each timing arc on its predicted (context-dependent) printed gate length
+// and removes the through-pitch component from the spread (Eq. 1), then
+// (b) trims the focus component from whichever side the arc's Bossung
+// class cannot reach (Eqs. 2–5).
+package corners
+
+import "fmt"
+
+// Budget decomposes the total gate-length variation. All values in nm.
+// The paper assumes the pitch and focus components are each 30% of the
+// total (§4, citing [8]).
+type Budget struct {
+	LNom     float64 // drawn/target gate length
+	TotalVar float64 // ± total gate-length variation
+	PitchVar float64 // ± systematic through-pitch component (lvar_pitch)
+	FocusVar float64 // ± systematic through-focus component (lvar_focus)
+
+	// OtherDelayFrac is the ± fractional delay variation contributed by
+	// the non-gate-length process parameters (Vt, tox, mobility, ...) the
+	// corner libraries also move. Gate length is "an important component
+	// of process corner for timing" (§3.2) but not the only one; this
+	// part of the corner spread is untouched by the methodology and is
+	// applied identically in the traditional and aware flows.
+	OtherDelayFrac float64
+}
+
+// Default90nm returns the experiment budget: drawn 90 nm, total gate-length
+// variation ±12% of drawn, pitch and focus components each 30% of that
+// total (§4, citing [8]), and ±4% delay from the non-L corner parameters.
+func Default90nm() Budget {
+	total := 0.12 * 90
+	return Budget{
+		LNom: 90, TotalVar: total,
+		PitchVar: 0.3 * total, FocusVar: 0.3 * total,
+		OtherDelayFrac: 0.04,
+	}
+}
+
+// OtherScale returns the delay multiplier of the non-gate-length corner
+// parameters: >1 at worst case, <1 at best case. dir is +1 for worst case,
+// -1 for best case, 0 for nominal.
+func (b Budget) OtherScale(dir int) float64 {
+	return 1 + float64(dir)*b.OtherDelayFrac
+}
+
+// Validate checks budget consistency.
+func (b Budget) Validate() error {
+	if b.LNom <= 0 || b.TotalVar < 0 || b.PitchVar < 0 || b.FocusVar < 0 {
+		return fmt.Errorf("corners: negative budget component: %+v", b)
+	}
+	if b.PitchVar+b.FocusVar > b.TotalVar {
+		return fmt.Errorf("corners: pitch+focus (%g) exceed total (%g)",
+			b.PitchVar+b.FocusVar, b.TotalVar)
+	}
+	return nil
+}
+
+// ArcClass is the Bossung classification of a timing arc (§3.2): the
+// majority behavior of the devices in its worst-case transition.
+type ArcClass int
+
+const (
+	// Smile: dense devices; CD grows out of focus, so the best-case
+	// (short) gate length is unreachable through focus.
+	Smile ArcClass = iota
+	// Frown: isolated devices; CD shrinks out of focus, so the worst-case
+	// (long) gate length is unreachable through focus.
+	Frown
+	// SelfCompensated: a mix of dense and isolated devices whose focus
+	// responses cancel; both corners tighten.
+	SelfCompensated
+	// Unclassified: no focus information; both corners keep the full
+	// focus allowance (traditional behavior).
+	Unclassified
+)
+
+func (c ArcClass) String() string {
+	switch c {
+	case Smile:
+		return "smile"
+	case Frown:
+		return "frown"
+	case SelfCompensated:
+		return "self-compensated"
+	default:
+		return "unclassified"
+	}
+}
+
+// Gate holds the three gate-length corners of one timing arc, in nm.
+type Gate struct {
+	Nom, BC, WC float64
+}
+
+// Spread returns WC − BC.
+func (g Gate) Spread() float64 { return g.WC - g.BC }
+
+// Traditional returns the conventional corners: nominal at drawn, best and
+// worst at ±total variation, independent of layout and placement.
+func Traditional(b Budget) Gate {
+	return Gate{
+		Nom: b.LNom,
+		BC:  b.LNom - b.TotalVar,
+		WC:  b.LNom + b.TotalVar,
+	}
+}
+
+// PitchAware returns the Eq. (1) corners: the arc re-centered on its
+// predicted printed gate length lNomNew, with the through-pitch component
+// removed from the spread (it is no longer variation — it is known).
+func PitchAware(b Budget, lNomNew float64) Gate {
+	residual := b.TotalVar - b.PitchVar
+	return Gate{
+		Nom: lNomNew,
+		BC:  lNomNew - residual,
+		WC:  lNomNew + residual,
+	}
+}
+
+// Contextual returns the full systematic-variation aware corners for an
+// arc: Eq. (1) re-centering plus the Eqs. (2)–(5) focus trims for the
+// arc's Bossung class.
+func Contextual(b Budget, lNomNew float64, class ArcClass) Gate {
+	g := PitchAware(b, lNomNew)
+	switch class {
+	case Smile:
+		// Eq. (2): dense lines thicken out of focus; the thin (best-case)
+		// excursion cannot happen.
+		g.BC += b.FocusVar
+	case Frown:
+		// Eq. (3): isolated lines thin out of focus; the thick
+		// (worst-case) excursion cannot happen.
+		g.WC -= b.FocusVar
+	case SelfCompensated:
+		// Eqs. (4)–(5): opposing devices cancel; both excursions shrink.
+		g.BC += b.FocusVar
+		g.WC -= b.FocusVar
+	case Unclassified:
+		// Keep the Eq. (1) corners.
+	}
+	if g.BC > g.Nom {
+		g.BC = g.Nom
+	}
+	if g.WC < g.Nom {
+		g.WC = g.Nom
+	}
+	return g
+}
+
+// UncertaintyReduction returns the fractional reduction in BC↔WC spread of
+// got versus base (the paper's "% Reduction in Uncertainty" column).
+func UncertaintyReduction(base, got Gate) float64 {
+	if base.Spread() <= 0 {
+		return 0
+	}
+	return 1 - got.Spread()/base.Spread()
+}

@@ -1,0 +1,187 @@
+package corners
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testBudget() Budget {
+	return Budget{LNom: 90, TotalVar: 10.8, PitchVar: 3.24, FocusVar: 3.24, OtherDelayFrac: 0.04}
+}
+
+func TestDefault90nmValid(t *testing.T) {
+	b := Default90nm()
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if b.LNom != 90 {
+		t.Errorf("LNom = %v", b.LNom)
+	}
+	if math.Abs(b.PitchVar-0.3*b.TotalVar) > 1e-9 || math.Abs(b.FocusVar-0.3*b.TotalVar) > 1e-9 {
+		t.Error("pitch/focus components should each be 30% of total")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := testBudget()
+	bad.PitchVar = 6
+	bad.FocusVar = 6 // 12 > 10.8
+	if err := bad.Validate(); err == nil {
+		t.Error("components exceeding total accepted")
+	}
+	neg := testBudget()
+	neg.TotalVar = -1
+	if err := neg.Validate(); err == nil {
+		t.Error("negative budget accepted")
+	}
+}
+
+func TestTraditionalCorners(t *testing.T) {
+	g := Traditional(testBudget())
+	if g.Nom != 90 || g.BC != 79.2 || g.WC != 100.8 {
+		t.Errorf("Traditional = %+v", g)
+	}
+	if math.Abs(g.Spread()-21.6) > 1e-9 {
+		t.Errorf("Spread = %v", g.Spread())
+	}
+}
+
+func TestPitchAwareEq1(t *testing.T) {
+	b := testBudget()
+	g := PitchAware(b, 84) // arc re-centered on its predicted printed L
+	if g.Nom != 84 {
+		t.Errorf("Nom = %v", g.Nom)
+	}
+	residual := b.TotalVar - b.PitchVar
+	if math.Abs(g.WC-(84+residual)) > 1e-9 || math.Abs(g.BC-(84-residual)) > 1e-9 {
+		t.Errorf("Eq(1) corners = %+v, want ±%v around 84", g, residual)
+	}
+}
+
+func TestContextualEq2Through5(t *testing.T) {
+	b := testBudget()
+	base := PitchAware(b, 84)
+
+	smile := Contextual(b, 84, Smile)
+	if smile.WC != base.WC {
+		t.Error("Eq(2): smile must keep the worst case")
+	}
+	if math.Abs(smile.BC-(base.BC+b.FocusVar)) > 1e-9 {
+		t.Errorf("Eq(2): smile BC = %v, want %v", smile.BC, base.BC+b.FocusVar)
+	}
+
+	frown := Contextual(b, 84, Frown)
+	if frown.BC != base.BC {
+		t.Error("Eq(3): frown must keep the best case")
+	}
+	if math.Abs(frown.WC-(base.WC-b.FocusVar)) > 1e-9 {
+		t.Errorf("Eq(3): frown WC = %v", frown.WC)
+	}
+
+	sc := Contextual(b, 84, SelfCompensated)
+	if math.Abs(sc.WC-(base.WC-b.FocusVar)) > 1e-9 || math.Abs(sc.BC-(base.BC+b.FocusVar)) > 1e-9 {
+		t.Errorf("Eqs(4,5): self-compensated = %+v", sc)
+	}
+
+	un := Contextual(b, 84, Unclassified)
+	if un != base {
+		t.Errorf("unclassified should keep Eq(1) corners: %+v vs %+v", un, base)
+	}
+}
+
+func TestContextualCornerOrderingProperty(t *testing.T) {
+	// BC <= Nom <= WC for every class and any plausible printed L.
+	f := func(lRaw float64, classRaw uint8) bool {
+		b := testBudget()
+		l := 70 + math.Mod(math.Abs(lRaw), 40) // 70..110 nm
+		class := ArcClass(classRaw % 4)
+		g := Contextual(b, l, class)
+		return g.BC <= g.Nom && g.Nom <= g.WC
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContextualNeverWidensProperty(t *testing.T) {
+	// Any classified arc must have spread <= the Eq(1) spread, which in
+	// turn is below the traditional spread.
+	f := func(lRaw float64, classRaw uint8) bool {
+		b := testBudget()
+		l := 70 + math.Mod(math.Abs(lRaw), 40)
+		class := ArcClass(classRaw % 4)
+		g := Contextual(b, l, class)
+		trad := Traditional(b)
+		return g.Spread() <= PitchAware(b, l).Spread()+1e-9 &&
+			g.Spread() <= trad.Spread()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUncertaintyReduction(t *testing.T) {
+	b := testBudget()
+	trad := Traditional(b)
+	if r := UncertaintyReduction(trad, trad); r != 0 {
+		t.Errorf("self reduction = %v", r)
+	}
+	fr := Contextual(b, 90, Frown)
+	want := 1 - fr.Spread()/trad.Spread()
+	if r := UncertaintyReduction(trad, fr); math.Abs(r-want) > 1e-12 {
+		t.Errorf("reduction = %v want %v", r, want)
+	}
+	// The theoretical per-arc reductions at the 30/30 budget:
+	// unclassified 30%, smile/frown 45%, self-compensated 60%.
+	checks := []struct {
+		class ArcClass
+		want  float64
+	}{
+		{Unclassified, 0.30}, {Smile, 0.45}, {Frown, 0.45}, {SelfCompensated, 0.60},
+	}
+	for _, c := range checks {
+		g := Contextual(b, 90, c.class)
+		if r := UncertaintyReduction(trad, g); math.Abs(r-c.want) > 1e-9 {
+			t.Errorf("%v reduction = %v, want %v", c.class, r, c.want)
+		}
+	}
+	if r := UncertaintyReduction(Gate{Nom: 1, BC: 1, WC: 1}, trad); r != 0 {
+		t.Errorf("degenerate base reduction = %v, want 0", r)
+	}
+}
+
+func TestOtherScale(t *testing.T) {
+	b := testBudget()
+	if got := b.OtherScale(+1); math.Abs(got-1.04) > 1e-12 {
+		t.Errorf("WC scale = %v", got)
+	}
+	if got := b.OtherScale(-1); math.Abs(got-0.96) > 1e-12 {
+		t.Errorf("BC scale = %v", got)
+	}
+	if got := b.OtherScale(0); got != 1 {
+		t.Errorf("nominal scale = %v", got)
+	}
+}
+
+func TestArcClassString(t *testing.T) {
+	names := map[ArcClass]string{
+		Smile: "smile", Frown: "frown",
+		SelfCompensated: "self-compensated", Unclassified: "unclassified",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q", c, c.String())
+		}
+	}
+}
+
+func TestContextualClampsPathologicalInputs(t *testing.T) {
+	// If the predicted printed L is far from drawn, corners must still
+	// bracket the nominal.
+	b := testBudget()
+	g := Contextual(b, 75, SelfCompensated)
+	if g.BC > g.Nom || g.WC < g.Nom {
+		t.Errorf("corners do not bracket nominal: %+v", g)
+	}
+}

@@ -1,0 +1,162 @@
+// Package drc implements poly-layer design-rule and mask-rule checking:
+// the verification net under the layout-producing layers (standard cells,
+// placement, OPC). Cell masters, placed rows and OPC-corrected masks are
+// all checked against the same rule deck.
+package drc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"svtiming/internal/geom"
+	"svtiming/internal/place"
+	"svtiming/internal/stdcell"
+)
+
+// Rules is a poly-layer rule deck. Zero values disable a rule.
+type Rules struct {
+	MinWidth   float64 // minimum feature width, nm
+	MinSpace   float64 // minimum facing space, nm
+	Grid       float64 // placement/feature grid, nm
+	MaxWidth   float64 // maximum feature width, nm (catch runaway OPC)
+	RowHeight  float64 // expected row height for placement checks
+	CellBounds bool    // require features inside their cell outline
+}
+
+// DrawnRules returns the deck for drawn (pre-OPC) poly at the 90 nm node.
+func DrawnRules() Rules {
+	return Rules{
+		MinWidth:  90,
+		MinSpace:  140,
+		Grid:      5,
+		MaxWidth:  200,
+		RowHeight: stdcell.CellHeight,
+	}
+}
+
+// MaskRules returns the deck for OPC-corrected mask data: sub-drawn
+// widths are legal (down to the recipe's minimum), the grid is the mask
+// manufacturing grid.
+func MaskRules() Rules {
+	return Rules{
+		MinWidth: 40,
+		MinSpace: 80,
+		Grid:     1,
+		MaxWidth: 250,
+	}
+}
+
+// Violation is one rule violation.
+type Violation struct {
+	Rule    string
+	Detail  string
+	Where   geom.Rect
+	Measure float64
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s (%.2f) at %v", v.Rule, v.Detail, v.Measure, v.Where)
+}
+
+// CheckLines verifies a set of poly lines against the deck.
+func (r Rules) CheckLines(lines []geom.PolyLine) []Violation {
+	var out []Violation
+	for i, l := range lines {
+		if r.MinWidth > 0 && l.Width < r.MinWidth-1e-9 {
+			out = append(out, Violation{
+				Rule:    "poly.width.min",
+				Detail:  fmt.Sprintf("line %d width below %g", i, r.MinWidth),
+				Where:   l.Rect(),
+				Measure: l.Width,
+			})
+		}
+		if r.MaxWidth > 0 && l.Width > r.MaxWidth+1e-9 {
+			out = append(out, Violation{
+				Rule:    "poly.width.max",
+				Detail:  fmt.Sprintf("line %d width above %g", i, r.MaxWidth),
+				Where:   l.Rect(),
+				Measure: l.Width,
+			})
+		}
+		if r.Grid > 0 {
+			if off := math.Abs(math.Remainder(l.Width, r.Grid)); off > 1e-6 {
+				out = append(out, Violation{
+					Rule:    "poly.grid",
+					Detail:  fmt.Sprintf("line %d width off the %g grid", i, r.Grid),
+					Where:   l.Rect(),
+					Measure: off,
+				})
+			}
+		}
+	}
+	if r.MinSpace > 0 {
+		sp := geom.Spacings(lines, 1)
+		for i := range lines {
+			// Check the right side only; the left is the previous line's
+			// right, avoiding duplicate reports.
+			if s := sp[i].Right; !math.IsInf(s, 1) && s < r.MinSpace-1e-9 {
+				out = append(out, Violation{
+					Rule:    "poly.space.min",
+					Detail:  fmt.Sprintf("space right of line %d below %g", i, r.MinSpace),
+					Where:   lines[i].Rect(),
+					Measure: s,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// CheckCell verifies a cell master: its features against the deck, plus
+// containment inside the cell outline.
+func (r Rules) CheckCell(c *stdcell.Cell) []Violation {
+	lines := c.PolyLines(0)
+	out := r.CheckLines(lines)
+	for i, l := range lines {
+		if l.LeftEdge() < -1e-9 || l.RightEdge() > c.Width+1e-9 {
+			out = append(out, Violation{
+				Rule:    "cell.bounds",
+				Detail:  fmt.Sprintf("%s feature %d outside outline", c.Name, i),
+				Where:   l.Rect(),
+				Measure: l.CenterX,
+			})
+		}
+	}
+	return out
+}
+
+// CheckLibrary verifies every master in the library.
+func (r Rules) CheckLibrary(lib *stdcell.Library) []Violation {
+	var out []Violation
+	for _, c := range lib.Cells() {
+		out = append(out, r.CheckCell(c)...)
+	}
+	return out
+}
+
+// CheckPlacement verifies a full placement: per-row poly rules plus
+// cell-overlap detection.
+func (r Rules) CheckPlacement(p *place.Placement) []Violation {
+	var out []Violation
+	for rr := range p.Rows {
+		out = append(out, r.CheckLines(p.RowLines(rr))...)
+		// Cell overlap within the row.
+		row := append([]int(nil), p.Rows[rr]...)
+		sort.Slice(row, func(a, b int) bool { return p.Cells[row[a]].X < p.Cells[row[b]].X })
+		for k := 1; k < len(row); k++ {
+			prev := p.Cells[row[k-1]]
+			cur := p.Cells[row[k]]
+			if cur.X < prev.X+prev.Cell.Width-1e-6 {
+				out = append(out, Violation{
+					Rule:   "place.overlap",
+					Detail: fmt.Sprintf("row %d instances %d and %d overlap", rr, row[k-1], row[k]),
+					Where: geom.NewRect(cur.X, 0, prev.X+prev.Cell.Width,
+						stdcell.CellHeight),
+					Measure: prev.X + prev.Cell.Width - cur.X,
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package drc
+
+import (
+	"strings"
+	"testing"
+
+	"svtiming/internal/geom"
+	"svtiming/internal/netlist"
+	"svtiming/internal/opc"
+	"svtiming/internal/place"
+	"svtiming/internal/process"
+	"svtiming/internal/stdcell"
+)
+
+var lib = stdcell.Default()
+
+func span() geom.Interval { return geom.Interval{Lo: 0, Hi: 1000} }
+
+func TestDrawnLibraryIsClean(t *testing.T) {
+	for _, v := range DrawnRules().CheckLibrary(lib) {
+		t.Errorf("library violation: %v", v)
+	}
+}
+
+func TestPlacementsAreClean(t *testing.T) {
+	for _, name := range []string{"c17", "c432", "c880"} {
+		n := netlist.MustGenerate(lib, name)
+		p, err := place.Place(n, lib, place.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range DrawnRules().CheckPlacement(p) {
+			t.Errorf("%s placement violation: %v", name, v)
+		}
+	}
+}
+
+func TestOPCOutputObeysMaskRules(t *testing.T) {
+	wafer := process.Nominal90nm()
+	recipe := opc.Standard(opc.ModelProcess(wafer))
+	for _, env := range []process.Env{
+		process.DensePitch(90, 240, 3),
+		process.DensePitch(90, 300, 3),
+		process.Isolated(90),
+	} {
+		corr := recipe.Correct(env.Lines(span()), 90)
+		for _, v := range MaskRules().CheckLines(corr) {
+			t.Errorf("mask violation after OPC: %v", v)
+		}
+	}
+}
+
+func TestWidthRules(t *testing.T) {
+	r := Rules{MinWidth: 90, MaxWidth: 200}
+	thin := []geom.PolyLine{{CenterX: 0, Width: 50, Span: span()}}
+	vs := r.CheckLines(thin)
+	if len(vs) != 1 || vs[0].Rule != "poly.width.min" {
+		t.Errorf("thin line violations = %v", vs)
+	}
+	fat := []geom.PolyLine{{CenterX: 0, Width: 300, Span: span()}}
+	vs = r.CheckLines(fat)
+	if len(vs) != 1 || vs[0].Rule != "poly.width.max" {
+		t.Errorf("fat line violations = %v", vs)
+	}
+	ok := []geom.PolyLine{{CenterX: 0, Width: 120, Span: span()}}
+	if vs = r.CheckLines(ok); len(vs) != 0 {
+		t.Errorf("legal line flagged: %v", vs)
+	}
+}
+
+func TestSpaceRule(t *testing.T) {
+	r := Rules{MinSpace: 140}
+	lines := []geom.PolyLine{
+		{CenterX: 0, Width: 90, Span: span()},
+		{CenterX: 180, Width: 90, Span: span()}, // space 90 < 140
+	}
+	vs := r.CheckLines(lines)
+	if len(vs) != 1 || vs[0].Rule != "poly.space.min" {
+		t.Fatalf("violations = %v", vs)
+	}
+	// Non-facing lines are not space-checked.
+	apart := []geom.PolyLine{
+		{CenterX: 0, Width: 90, Span: geom.Interval{Lo: 0, Hi: 400}},
+		{CenterX: 180, Width: 90, Span: geom.Interval{Lo: 600, Hi: 1000}},
+	}
+	if vs = r.CheckLines(apart); len(vs) != 0 {
+		t.Errorf("non-facing lines flagged: %v", vs)
+	}
+}
+
+func TestGridRule(t *testing.T) {
+	r := Rules{Grid: 5}
+	off := []geom.PolyLine{{CenterX: 0, Width: 92.5, Span: span()}}
+	vs := r.CheckLines(off)
+	if len(vs) != 1 || vs[0].Rule != "poly.grid" {
+		t.Errorf("off-grid violations = %v", vs)
+	}
+	on := []geom.PolyLine{{CenterX: 0, Width: 95, Span: span()}}
+	if vs = r.CheckLines(on); len(vs) != 0 {
+		t.Errorf("on-grid width flagged: %v", vs)
+	}
+}
+
+func TestCellBoundsRule(t *testing.T) {
+	c := *lib.MustCell("INVX1")
+	c.Gates = []stdcell.Gate{{Name: "G0", OffsetX: 10}} // pokes out on the left
+	vs := (Rules{}).CheckCell(&c)
+	found := false
+	for _, v := range vs {
+		if v.Rule == "cell.bounds" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("out-of-outline gate not flagged: %v", vs)
+	}
+}
+
+func TestOverlapDetection(t *testing.T) {
+	n := netlist.MustGenerate(lib, "c17")
+	p, err := place.Place(n, lib, place.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the placement: slide the second cell of row 0 into the first.
+	row := p.Rows[0]
+	if len(row) < 2 {
+		t.Skip("row too short")
+	}
+	p.Cells[row[1]].X = p.Cells[row[0]].X + 10
+	vs := DrawnRules().CheckPlacement(p)
+	found := false
+	for _, v := range vs {
+		if v.Rule == "place.overlap" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("overlap not detected")
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Rule: "poly.width.min", Detail: "too thin", Measure: 42}
+	if s := v.String(); !strings.Contains(s, "poly.width.min") || !strings.Contains(s, "42") {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,175 @@
+package expt
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"svtiming/internal/core"
+	"svtiming/internal/corners"
+	"svtiming/internal/process"
+)
+
+var (
+	flowOnce sync.Once
+	flow     *core.Flow
+)
+
+func testFlow(t *testing.T) *core.Flow {
+	t.Helper()
+	flowOnce.Do(func() {
+		f, err := core.NewFlow()
+		if err != nil {
+			t.Fatalf("NewFlow: %v", err)
+		}
+		flow = f
+	})
+	if flow == nil {
+		t.Fatal("flow construction failed earlier")
+	}
+	return flow
+}
+
+func TestFig1Shape(t *testing.T) {
+	p := process.Nominal90nm()
+	pts, err := Fig1ThroughPitch(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(Fig1Pitches)+1 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// Dense end prints wider than the isolated reference, and the curve
+	// flattens (approaches iso) past the radius of influence.
+	iso := pts[len(pts)-1].CD
+	if pts[0].CD <= iso {
+		t.Errorf("densest pitch CD %v not above isolated %v", pts[0].CD, iso)
+	}
+	for _, pt := range pts {
+		if math.IsInf(pt.Pitch, 1) {
+			continue
+		}
+		if pt.Pitch >= 700 && math.Abs(pt.CD-iso) > 5 {
+			t.Errorf("pitch %v CD %v should be near isolated %v (radius of influence)",
+				pt.Pitch, pt.CD, iso)
+		}
+	}
+	// Overall downward trend: densest minus sparsest is a large positive
+	// fraction of drawn CD.
+	if drop := pts[0].CD - iso; drop < 0.05*Fig1DrawnCD {
+		t.Errorf("through-pitch drop = %v nm, too small", drop)
+	}
+	if s := FormatFig1(pts); !strings.Contains(s, "iso") {
+		t.Error("FormatFig1 lacks the isolated row")
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	p := process.Nominal90nm()
+	r, err := Fig2Bossung(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.DenseFit.Smiles() {
+		t.Errorf("dense grating should smile: %+v", r.DenseFit)
+	}
+	if r.IsoFit.Smiles() {
+		t.Errorf("isolated line should frown: %+v", r.IsoFit)
+	}
+	if len(r.Dense.Curves) != len(Fig2Doses) {
+		t.Errorf("dense FEM has %d curves", len(r.Dense.Curves))
+	}
+}
+
+func TestTable1Row(t *testing.T) {
+	f := testFlow(t)
+	row, err := Table1Compare(f, "c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Devices == 0 || row.Gates != 160 {
+		t.Fatalf("row = %+v", row)
+	}
+	// The paper's shape: around half (or more) within 1%, nearly all
+	// within 6%.
+	if row.N1 < 40 {
+		t.Errorf("N-1%% = %v, want >= 40", row.N1)
+	}
+	if row.N6 < 95 {
+		t.Errorf("N-6%% = %v, want >= 95", row.N6)
+	}
+	if row.N1 > row.N3 || row.N3 > row.N6 {
+		t.Error("N-i% must be monotone in i")
+	}
+	if row.FullChipRuntime <= 0 {
+		t.Error("no runtime measured")
+	}
+	rt := Table1LibraryRuntime(f)
+	if rt <= 0 {
+		t.Error("library runtime not measured")
+	}
+	s := FormatTable1([]Table1Row{row}, rt)
+	if !strings.Contains(s, "c432") || !strings.Contains(s, "N-1%") {
+		t.Errorf("FormatTable1 = %q", s)
+	}
+}
+
+func TestFig7HistogramShape(t *testing.T) {
+	f := testFlow(t)
+	bins, err := Fig7Histogram(f, "c432", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bins) < 2 {
+		t.Fatalf("only %d bins", len(bins))
+	}
+	total := 0
+	for _, b := range bins {
+		if b.HiPct-b.LoPct != 2 {
+			t.Errorf("bin width %v", b.HiPct-b.LoPct)
+		}
+		total += b.Count
+	}
+	// 345 devices in c432.
+	if total != 345 {
+		t.Errorf("histogram covers %d devices, want 345", total)
+	}
+	// The residual is systematic: the error distribution is offset from 0
+	// (the paper reports up to 20% discrepancy).
+	if bins[0].LoPct > -4 {
+		t.Errorf("error distribution starts at %v%%, expected a systematic offset", bins[0].LoPct)
+	}
+	if s := FormatFig7(bins); !strings.Contains(s, "#") {
+		t.Error("FormatFig7 renders no bars")
+	}
+}
+
+func TestTable2RowsShape(t *testing.T) {
+	f := testFlow(t)
+	rows, err := Table2(f, []string{"c17", "c432"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if red := r.ReductionPct(); red < 20 || red > 50 {
+			t.Errorf("%s reduction %v%% out of band", r.Name, red)
+		}
+	}
+	s := FormatTable2(rows)
+	if !strings.Contains(s, "c432") || !strings.Contains(s, "%") {
+		t.Errorf("FormatTable2 = %q", s)
+	}
+}
+
+func TestFig6TextContents(t *testing.T) {
+	s := Fig6Text(corners.Default90nm())
+	for _, want := range []string{"traditional", "smile", "frown", "self-compensated", "-60%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Fig6Text missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"svtiming/internal/context"
+	"svtiming/internal/core"
+	"svtiming/internal/fem"
+	"svtiming/internal/process"
+)
+
+// ---------------------------------------------------------------------------
+// §5 ablation: how the aware flow consumes placement context.
+
+// VariantRow is one row of the §5 variant ablation.
+type VariantRow struct {
+	Variant core.Variant
+	core.Comparison
+}
+
+// VariantAblation compares the three context-consumption variants of the
+// aware flow on one benchmark: the evaluated 81-version library, the §5
+// parameterized ("practical") model, and the §5 simplified variant that
+// treats peripheral devices traditionally.
+func VariantAblation(f *core.Flow, name string) ([]VariantRow, error) {
+	d, err := f.PrepareDesign(name)
+	if err != nil {
+		return nil, err
+	}
+	var out []VariantRow
+	for _, v := range []core.Variant{core.Binned81, core.Parametric, core.SimplifiedNoBorder} {
+		cmp, err := f.CompareVariant(d, v)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, VariantRow{Variant: v, Comparison: cmp})
+	}
+	return out, nil
+}
+
+// FormatVariantAblation renders the ablation table.
+func FormatVariantAblation(rows []VariantRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-22s %10s %10s %10s %10s\n",
+		"variant", "Nom (ps)", "BC (ps)", "WC (ps)", "%Red.")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-22s %10.1f %10.1f %10.1f %9.1f%%\n",
+			r.Variant, r.NewNom, r.NewBC, r.NewWC, r.ReductionPct())
+	}
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------------
+// §6 extension: exposure-dose variation.
+
+// DoseStudy quantifies the §6 observation that exposure variation can
+// alter the nature of devices: the smile/frown boundary spacing per dose,
+// and the fraction of a design's devices whose Fig-5 class would change if
+// classified at that dose's boundary instead of the nominal one.
+type DoseStudy struct {
+	Circuit    string
+	Devices    int
+	Boundaries []fem.BoundaryPoint
+	// FlipFrac[i] corresponds to Boundaries[i]: the fraction of devices
+	// whose class differs from the nominal-dose classification.
+	FlipFrac []float64
+}
+
+// DoseStudySpacings is the spacing ladder swept for the boundary search.
+var DoseStudySpacings = []float64{120, 150, 180, 210, 240, 280, 330, 400}
+
+// DoseStudyDefocus is the defocus grid for the boundary Bossung fits.
+var DoseStudyDefocus = []float64{-300, -200, -100, 0, 100, 200, 300}
+
+// DoseClassification runs the dose study on a benchmark.
+func DoseClassification(f *core.Flow, name string, doses []float64) (DoseStudy, error) {
+	d, err := f.PrepareDesign(name)
+	if err != nil {
+		return DoseStudy{}, err
+	}
+	bps, err := fem.SmileFrownBoundary(f.Wafer, DoseStudySpacings, DoseStudyDefocus, doses)
+	if err != nil {
+		return DoseStudy{}, err
+	}
+	study := DoseStudy{Circuit: name, Boundaries: bps}
+
+	// Reference classification at the nominal geometric threshold.
+	ref := classifyAll(d, context.DenseSpacingMax)
+	study.Devices = len(ref)
+	for _, bp := range bps {
+		if math.IsNaN(bp.Spacing) {
+			study.FlipFrac = append(study.FlipFrac, math.NaN())
+			continue
+		}
+		got := classifyAll(d, bp.Spacing)
+		flips := 0
+		for k, c := range got {
+			if ref[k] != c {
+				flips++
+			}
+		}
+		study.FlipFrac = append(study.FlipFrac, float64(flips)/float64(len(ref)))
+	}
+	return study, nil
+}
+
+func classifyAll(d *core.Design, threshold float64) map[[2]int]context.DeviceClass {
+	out := make(map[[2]int]context.DeviceClass)
+	for r := range d.Placement.Rows {
+		for k, c := range context.ClassifyRowAt(d.Placement, r, threshold) {
+			out[k] = c
+		}
+	}
+	return out
+}
+
+// FormatDoseStudy renders the dose study.
+func (s DoseStudy) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "exposure-dose sensitivity of device classification (%s, %d devices)\n",
+		s.Circuit, s.Devices)
+	fmt.Fprintf(&sb, "%8s %22s %18s\n", "dose", "smile/frown boundary", "class flips")
+	for i, bp := range s.Boundaries {
+		if math.IsNaN(bp.Spacing) {
+			fmt.Fprintf(&sb, "%8.2f %19s nm %17s\n", bp.Dose, "-", "-")
+			continue
+		}
+		fmt.Fprintf(&sb, "%8.2f %19.0f nm %16.1f%%\n",
+			bp.Dose, bp.Spacing, 100*s.FlipFrac[i])
+	}
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------------
+// Process-window summary (supporting litho analysis for the FEM section).
+
+// WindowSummary is the dense+iso overlapping process window per dose.
+type WindowSummary struct {
+	Dose                           float64
+	DenseDOF, IsoDOF, OverlapDOF   float64
+	DenseInSpec, IsoInSpec, InSpec bool
+}
+
+// ProcessWindowStudy computes the classic overlapping-window analysis for
+// the standard test patterns, each specified against its own best-focus
+// nominal-dose CD with the given tolerance.
+func ProcessWindowStudy(p *process.Process, tolFrac float64, defocus, doses []float64) ([]WindowSummary, error) {
+	pats := fem.StandardTestPatterns(p)
+	dense := fem.Build(p, "dense", pats["dense"], defocus, doses)
+	iso := fem.Build(p, "isolated", pats["isolated"], defocus, doses)
+	dT, okD := p.PrintCD(pats["dense"])
+	iT, okI := p.PrintCD(pats["isolated"])
+	if !okD || !okI {
+		return nil, fmt.Errorf("expt: test patterns do not print at nominal conditions")
+	}
+	dw := dense.ProcessWindow(dT, tolFrac)
+	iw := iso.ProcessWindow(iT, tolFrac)
+	ow := fem.OverlapWindow(dw, iw)
+	var out []WindowSummary
+	for i := range dw {
+		out = append(out, WindowSummary{
+			Dose:        dw[i].Dose,
+			DenseDOF:    dw[i].Depth(),
+			IsoDOF:      iw[i].Depth(),
+			OverlapDOF:  ow[i].Depth(),
+			DenseInSpec: dw[i].InSpec,
+			IsoInSpec:   iw[i].InSpec,
+			InSpec:      ow[i].InSpec,
+		})
+	}
+	return out, nil
+}
+
+// FormatWindowStudy renders the overlapping-window table.
+func FormatWindowStudy(rows []WindowSummary) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%8s %12s %12s %12s\n", "dose", "dense DOF", "iso DOF", "common DOF")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%8.2f %9.0f nm %9.0f nm %9.0f nm\n",
+			r.Dose, r.DenseDOF, r.IsoDOF, r.OverlapDOF)
+	}
+	return sb.String()
+}

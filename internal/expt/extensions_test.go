@@ -1,0 +1,104 @@
+package expt
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"svtiming/internal/core"
+)
+
+func TestVariantAblationShape(t *testing.T) {
+	f := testFlow(t)
+	rows, err := VariantAblation(f, "c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0].Variant != core.Binned81 || rows[1].Variant != core.Parametric ||
+		rows[2].Variant != core.SimplifiedNoBorder {
+		t.Error("variant order wrong")
+	}
+	// Binned and parametric deliver comparable reductions; simplified
+	// trails far behind on this small-cell library.
+	if math.Abs(rows[0].ReductionPct()-rows[1].ReductionPct()) > 8 {
+		t.Errorf("binned %v%% vs parametric %v%% too far apart",
+			rows[0].ReductionPct(), rows[1].ReductionPct())
+	}
+	if rows[2].ReductionPct() >= rows[0].ReductionPct() {
+		t.Error("simplified should not beat the full flow")
+	}
+	s := FormatVariantAblation(rows)
+	if !strings.Contains(s, "parametric") || !strings.Contains(s, "%") {
+		t.Errorf("FormatVariantAblation = %q", s)
+	}
+}
+
+func TestDoseClassificationStudy(t *testing.T) {
+	f := testFlow(t)
+	study, err := DoseClassification(f, "c17", []float64{0.95, 1.0, 1.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if study.Devices == 0 {
+		t.Fatal("no devices classified")
+	}
+	if len(study.Boundaries) != 3 || len(study.FlipFrac) != 3 {
+		t.Fatalf("study shape: %d boundaries, %d flip fractions",
+			len(study.Boundaries), len(study.FlipFrac))
+	}
+	// The boundary must move monotonically with dose (higher dose, lower
+	// effective threshold, tighter smiling region).
+	prev := math.Inf(1)
+	for _, bp := range study.Boundaries {
+		if math.IsNaN(bp.Spacing) {
+			t.Fatalf("no boundary at dose %v", bp.Dose)
+		}
+		if bp.Spacing >= prev {
+			t.Errorf("boundary did not tighten: %v nm at dose %v", bp.Spacing, bp.Dose)
+		}
+		prev = bp.Spacing
+	}
+	// At nominal dose the FEM boundary matches the geometric threshold,
+	// so nothing flips.
+	if study.FlipFrac[1] != 0 {
+		t.Errorf("nominal-dose flip fraction = %v, want 0", study.FlipFrac[1])
+	}
+	for _, fr := range study.FlipFrac {
+		if fr < 0 || fr > 1 {
+			t.Errorf("flip fraction %v out of [0,1]", fr)
+		}
+	}
+	if s := study.String(); !strings.Contains(s, "c17") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestProcessWindowStudy(t *testing.T) {
+	f := testFlow(t)
+	zs := []float64{-300, -200, -100, 0, 100, 200, 300}
+	doses := []float64{0.9, 1.0, 1.1}
+	ws, err := ProcessWindowStudy(f.Wafer, 0.10, zs, doses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 3 {
+		t.Fatalf("got %d rows", len(ws))
+	}
+	// The common window is widest at nominal dose and is never wider than
+	// either constituent window.
+	for _, w := range ws {
+		if w.OverlapDOF > w.DenseDOF+1e-9 || w.OverlapDOF > w.IsoDOF+1e-9 {
+			t.Errorf("overlap DOF %v exceeds constituents %v/%v",
+				w.OverlapDOF, w.DenseDOF, w.IsoDOF)
+		}
+	}
+	if ws[1].OverlapDOF <= 0 {
+		t.Error("no usable common window at nominal dose")
+	}
+	if s := FormatWindowStudy(ws); !strings.Contains(s, "common DOF") {
+		t.Errorf("FormatWindowStudy = %q", s)
+	}
+}

@@ -1,0 +1,182 @@
+// Package fem builds Focus-Exposure Matrices (FEM): printed CD as a
+// function of defocus and exposure dose, for a set of test patterns. The
+// paper (§3.3) derives its ±lvar_focus corner component "using the FEM
+// curves built from fabrication of test structures"; here the fab is
+// replaced by the aerial-image simulator sweeping drawn line/space test
+// gratings — the same structures a fab FEM wafer carries.
+//
+// Fitting each through-focus curve with a quadratic (the standard Bossung
+// parameterization) yields the smile/frown classification of §3.2: dense
+// test structures have positive curvature (CD grows out of focus, "smile"),
+// isolated ones negative ("frown").
+package fem
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"svtiming/internal/process"
+)
+
+// Curve is one Bossung curve: printed CD through defocus at a fixed dose.
+type Curve struct {
+	Dose    float64
+	Defocus []float64 // nm
+	CD      []float64 // nm; NaN where the feature failed to print
+}
+
+// Matrix is the FEM of one test pattern.
+type Matrix struct {
+	Pattern string  // label, e.g. "dense p240" or "isolated"
+	Pitch   float64 // line pitch of the structure, 0 for isolated
+	Curves  []Curve // one per dose, ascending dose
+}
+
+// BossungFit is the quadratic CD(z) = B0 + B1·z + B2·z².
+type BossungFit struct {
+	B0, B1, B2 float64
+}
+
+// At evaluates the fit at defocus z.
+func (f BossungFit) At(z float64) float64 { return f.B0 + f.B1*z + f.B2*z*z }
+
+// Smiles reports whether the curve opens upward (dense-line behavior).
+func (f BossungFit) Smiles() bool { return f.B2 > 0 }
+
+// Excursion returns the CD change from best focus to defocus z (sign
+// carries the smile/frown direction).
+func (f BossungFit) Excursion(z float64) float64 { return f.At(z) - f.B0 }
+
+// Build sweeps the process over the defocus × dose grid for the given
+// environment and returns its FEM.
+func Build(p *process.Process, pattern string, env process.Env, defocus, doses []float64) Matrix {
+	m := Matrix{Pattern: pattern}
+	if len(env.Left) > 0 {
+		m.Pitch = env.Left[0].Gap + (env.Left[0].Width+env.Width)/2
+	}
+	for _, dose := range doses {
+		c := Curve{Dose: dose, Defocus: append([]float64(nil), defocus...)}
+		for _, z := range defocus {
+			cd, ok := p.PrintCDCond(env, z, dose)
+			if !ok {
+				cd = math.NaN()
+			}
+			c.CD = append(c.CD, cd)
+		}
+		m.Curves = append(m.Curves, c)
+	}
+	return m
+}
+
+// StandardTestPatterns returns the canonical FEM test structures for a
+// process: a dense grating at the paper's Fig 2 geometry (target CD lines
+// with 150 nm spaces) and an isolated line.
+func StandardTestPatterns(p *process.Process) map[string]process.Env {
+	w := p.TargetCD
+	return map[string]process.Env{
+		"dense":    process.DensePitch(w, w+150, 4),
+		"isolated": process.Isolated(w),
+	}
+}
+
+// Fit least-squares fits a quadratic to the curve at the given dose
+// (nearest dose in the matrix), ignoring non-printing points. It returns
+// an error if fewer than three points printed.
+func (m Matrix) Fit(dose float64) (BossungFit, error) {
+	if len(m.Curves) == 0 {
+		return BossungFit{}, fmt.Errorf("fem: %s has no curves", m.Pattern)
+	}
+	best := 0
+	for i, c := range m.Curves {
+		if math.Abs(c.Dose-dose) < math.Abs(m.Curves[best].Dose-dose) {
+			best = i
+		}
+	}
+	return fitQuadratic(m.Curves[best])
+}
+
+func fitQuadratic(c Curve) (BossungFit, error) {
+	// Normal equations for [1, z, z²] with z scaled to keep the system
+	// well conditioned.
+	const zScale = 100.0
+	var s [5]float64 // sums of z^k
+	var t [3]float64 // sums of cd·z^k
+	n := 0
+	for i, z := range c.Defocus {
+		cd := c.CD[i]
+		if math.IsNaN(cd) {
+			continue
+		}
+		zz := z / zScale
+		pow := 1.0
+		for k := 0; k <= 4; k++ {
+			s[k] += pow
+			if k <= 2 {
+				t[k] += cd * pow
+			}
+			pow *= zz
+		}
+		n++
+	}
+	if n < 3 {
+		return BossungFit{}, fmt.Errorf("fem: only %d printable points at dose %g", n, c.Dose)
+	}
+	// Solve the 3x3 symmetric system [s0 s1 s2; s1 s2 s3; s2 s3 s4]·b = t.
+	a := [3][4]float64{
+		{s[0], s[1], s[2], t[0]},
+		{s[1], s[2], s[3], t[1]},
+		{s[2], s[3], s[4], t[2]},
+	}
+	for col := 0; col < 3; col++ {
+		// Partial pivot.
+		piv := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		a[col], a[piv] = a[piv], a[col]
+		if math.Abs(a[col][col]) < 1e-12 {
+			return BossungFit{}, fmt.Errorf("fem: singular fit at dose %g", c.Dose)
+		}
+		for r := 0; r < 3; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col] / a[col][col]
+			for k := col; k < 4; k++ {
+				a[r][k] -= f * a[col][k]
+			}
+		}
+	}
+	b0 := a[0][3] / a[0][0]
+	b1 := a[1][3] / a[1][1]
+	b2 := a[2][3] / a[2][2]
+	return BossungFit{B0: b0, B1: b1 / zScale, B2: b2 / (zScale * zScale)}, nil
+}
+
+// String renders the matrix as an aligned text table (the Fig 2 data).
+func (m Matrix) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FEM %s (pitch %.0f)\n%10s", m.Pattern, m.Pitch, "defocus")
+	for _, c := range m.Curves {
+		fmt.Fprintf(&b, " dose=%.2f", c.Dose)
+	}
+	b.WriteString("\n")
+	if len(m.Curves) == 0 {
+		return b.String()
+	}
+	for i, z := range m.Curves[0].Defocus {
+		fmt.Fprintf(&b, "%10.0f", z)
+		for _, c := range m.Curves {
+			if math.IsNaN(c.CD[i]) {
+				fmt.Fprintf(&b, " %9s", "-")
+			} else {
+				fmt.Fprintf(&b, " %9.2f", c.CD[i])
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,165 @@
+package fem
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"svtiming/internal/process"
+)
+
+var wafer = process.Nominal90nm()
+
+func defocusGrid() []float64 {
+	return []float64{-300, -200, -100, 0, 100, 200, 300}
+}
+
+func TestFitQuadraticExact(t *testing.T) {
+	// Fit recovers a known quadratic exactly.
+	c := Curve{Dose: 1}
+	b0, b1, b2 := 90.0, 0.01, 2e-4
+	for _, z := range defocusGrid() {
+		c.Defocus = append(c.Defocus, z)
+		c.CD = append(c.CD, b0+b1*z+b2*z*z)
+	}
+	m := Matrix{Pattern: "synthetic", Curves: []Curve{c}}
+	fit, err := m.Fit(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.B0-b0) > 1e-6 || math.Abs(fit.B1-b1) > 1e-9 || math.Abs(fit.B2-b2) > 1e-12 {
+		t.Errorf("fit = %+v, want %v/%v/%v", fit, b0, b1, b2)
+	}
+	if !fit.Smiles() {
+		t.Error("positive curvature should smile")
+	}
+	if ex := fit.Excursion(300); math.Abs(ex-(b1*300+b2*9e4)) > 1e-6 {
+		t.Errorf("Excursion = %v", ex)
+	}
+}
+
+func TestFitIgnoresNaN(t *testing.T) {
+	c := Curve{Dose: 1}
+	for _, z := range defocusGrid() {
+		c.Defocus = append(c.Defocus, z)
+		cd := 90 + 1e-4*z*z
+		if z == -300 {
+			cd = math.NaN()
+		}
+		c.CD = append(c.CD, cd)
+	}
+	m := Matrix{Curves: []Curve{c}}
+	fit, err := m.Fit(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.B2-1e-4) > 1e-9 {
+		t.Errorf("B2 = %v", fit.B2)
+	}
+}
+
+func TestFitErrorsWithTooFewPoints(t *testing.T) {
+	nan := math.NaN()
+	c := Curve{Dose: 1, Defocus: []float64{-100, 0, 100, 200},
+		CD: []float64{nan, 90, nan, nan}}
+	m := Matrix{Curves: []Curve{c}}
+	if _, err := m.Fit(1); err == nil {
+		t.Error("fit with one printable point accepted")
+	}
+	if _, err := (Matrix{}).Fit(1); err == nil {
+		t.Error("fit of empty matrix accepted")
+	}
+}
+
+func TestFitPicksNearestDose(t *testing.T) {
+	mk := func(dose, b0 float64) Curve {
+		c := Curve{Dose: dose}
+		for _, z := range defocusGrid() {
+			c.Defocus = append(c.Defocus, z)
+			c.CD = append(c.CD, b0)
+		}
+		return c
+	}
+	m := Matrix{Curves: []Curve{mk(0.9, 95), mk(1.0, 90), mk(1.1, 85)}}
+	fit, err := m.Fit(1.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.B0-90) > 1e-6 {
+		t.Errorf("nearest-dose fit B0 = %v, want 90", fit.B0)
+	}
+}
+
+func TestBuildDenseSmilesIsoFrowns(t *testing.T) {
+	// The Fig 2 shape from the simulator: the drawn dense test grating
+	// (target CD lines, 150 nm spaces) smiles; the isolated line frowns.
+	pats := StandardTestPatterns(wafer)
+	doses := []float64{1.0}
+	dense := Build(wafer, "dense", pats["dense"], defocusGrid(), doses)
+	iso := Build(wafer, "isolated", pats["isolated"], defocusGrid(), doses)
+
+	fd, err := dense.Fit(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, err := iso.Fit(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fd.Smiles() {
+		t.Errorf("dense grating B2 = %v, want smile (> 0)", fd.B2)
+	}
+	if fi.Smiles() {
+		t.Errorf("isolated line B2 = %v, want frown (< 0)", fi.B2)
+	}
+	if dense.Pitch != wafer.TargetCD+150 {
+		t.Errorf("dense pitch recorded as %v", dense.Pitch)
+	}
+}
+
+func TestBuildDoseSeparatesCurves(t *testing.T) {
+	// Higher dose erodes resist lines: at any fixed focus the printed CD
+	// decreases with dose (the vertical ordering of Fig 2's curve family).
+	pats := StandardTestPatterns(wafer)
+	m := Build(wafer, "dense", pats["dense"], []float64{0, 150}, []float64{0.9, 1.0, 1.1})
+	for zi := range m.Curves[0].Defocus {
+		for di := 1; di < len(m.Curves); di++ {
+			lo, hi := m.Curves[di].CD[zi], m.Curves[di-1].CD[zi]
+			if math.IsNaN(lo) || math.IsNaN(hi) {
+				continue
+			}
+			if lo >= hi {
+				t.Errorf("defocus %v: CD at dose %v (%v) >= CD at dose %v (%v)",
+					m.Curves[0].Defocus[zi], m.Curves[di].Dose, lo, m.Curves[di-1].Dose, hi)
+			}
+		}
+	}
+}
+
+func TestMatrixString(t *testing.T) {
+	pats := StandardTestPatterns(wafer)
+	m := Build(wafer, "dense", pats["dense"], []float64{0, 300}, []float64{0.9})
+	s := m.String()
+	if !strings.Contains(s, "FEM dense") || !strings.Contains(s, "dose=0.90") {
+		t.Errorf("String() = %q", s)
+	}
+	// Non-printing entries render as "-".
+	m.Curves[0].CD[1] = math.NaN()
+	if !strings.Contains(m.String(), "-") {
+		t.Error("NaN CD not rendered as dash")
+	}
+}
+
+func TestBossungSymmetryThroughFocus(t *testing.T) {
+	// The aerial image is symmetric in defocus sign (no odd aberrations),
+	// so B1 should be negligible compared to the quadratic term's reach.
+	pats := StandardTestPatterns(wafer)
+	m := Build(wafer, "dense", pats["dense"], defocusGrid(), []float64{1.0})
+	fit, err := m.Fit(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lin, quad := math.Abs(fit.B1*300), math.Abs(fit.B2*300*300); lin > quad/5 {
+		t.Errorf("linear term %v too large vs quadratic %v", lin, quad)
+	}
+}

@@ -1,0 +1,182 @@
+package fem
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"svtiming/internal/process"
+)
+
+// FocusWindow is the usable defocus range at one dose: the contiguous
+// range around best focus where the printed CD stays within tolerance of
+// target.
+type FocusWindow struct {
+	Dose   float64
+	ZMin   float64 // nm
+	ZMax   float64 // nm
+	InSpec bool    // false if the CD is out of spec even at best focus
+}
+
+// Depth returns the depth of focus (window length) in nm.
+func (w FocusWindow) Depth() float64 {
+	if !w.InSpec {
+		return 0
+	}
+	return w.ZMax - w.ZMin
+}
+
+// ProcessWindow computes, for every dose in the matrix, the focus window
+// keeping |CD − target| ≤ tolFrac·target. Non-printing points terminate
+// the window. Windows grow from the in-spec point nearest best focus.
+func (m Matrix) ProcessWindow(target, tolFrac float64) []FocusWindow {
+	var out []FocusWindow
+	for _, c := range m.Curves {
+		out = append(out, focusWindow(c, target, tolFrac))
+	}
+	return out
+}
+
+func focusWindow(c Curve, target, tolFrac float64) FocusWindow {
+	w := FocusWindow{Dose: c.Dose}
+	inSpec := func(i int) bool {
+		cd := c.CD[i]
+		return !math.IsNaN(cd) && math.Abs(cd-target) <= tolFrac*target
+	}
+	// Find the in-spec point closest to z = 0.
+	best := -1
+	for i, z := range c.Defocus {
+		if !inSpec(i) {
+			continue
+		}
+		if best < 0 || math.Abs(z) < math.Abs(c.Defocus[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return w
+	}
+	w.InSpec = true
+	lo, hi := best, best
+	for lo-1 >= 0 && inSpec(lo-1) {
+		lo--
+	}
+	for hi+1 < len(c.Defocus) && inSpec(hi+1) {
+		hi++
+	}
+	w.ZMin, w.ZMax = c.Defocus[lo], c.Defocus[hi]
+	return w
+}
+
+// ExposureLatitude returns the relative dose range (fraction of nominal)
+// over which the pattern stays within tolerance at best focus; it needs at
+// least one in-spec dose and returns 0 otherwise. The matrix's doses are
+// assumed to bracket the latitude of interest.
+func (m Matrix) ExposureLatitude(target, tolFrac float64) float64 {
+	var doses []float64
+	for _, c := range m.Curves {
+		// CD at the grid point nearest best focus.
+		best := -1
+		for i, z := range c.Defocus {
+			if best < 0 || math.Abs(z) < math.Abs(c.Defocus[best]) {
+				best = i
+			}
+			_ = z
+		}
+		if best < 0 {
+			continue
+		}
+		cd := c.CD[best]
+		if !math.IsNaN(cd) && math.Abs(cd-target) <= tolFrac*target {
+			doses = append(doses, c.Dose)
+		}
+	}
+	if len(doses) == 0 {
+		return 0
+	}
+	sort.Float64s(doses)
+	return doses[len(doses)-1] - doses[0]
+}
+
+// OverlapWindow intersects focus windows dose-by-dose: the common process
+// window where *both* patterns print in spec (the classic dense+iso
+// overlapping-window analysis). Doses present in only one input are
+// skipped.
+func OverlapWindow(a, b []FocusWindow) []FocusWindow {
+	byDose := make(map[float64]FocusWindow, len(b))
+	for _, w := range b {
+		byDose[w.Dose] = w
+	}
+	var out []FocusWindow
+	for _, wa := range a {
+		wb, ok := byDose[wa.Dose]
+		if !ok {
+			continue
+		}
+		w := FocusWindow{Dose: wa.Dose}
+		if wa.InSpec && wb.InSpec {
+			w.ZMin = math.Max(wa.ZMin, wb.ZMin)
+			w.ZMax = math.Min(wa.ZMax, wb.ZMax)
+			w.InSpec = w.ZMax >= w.ZMin
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// BoundaryPoint is one sample of the smile/frown boundary: at the given
+// dose, patterns with spacing below Spacing smile and above it frown
+// (linear interpolation of the Bossung curvature's zero crossing).
+type BoundaryPoint struct {
+	Dose    float64
+	Spacing float64 // nm; NaN if no sign change within the swept ladder
+}
+
+// SmileFrownBoundary locates, per dose, the neighbor spacing at which the
+// Bossung curvature changes sign — the §6 observation that "exposure
+// variation can alter the nature of devices (i.e. dense or isolated)".
+// The ladder of spacings is swept with width-targetCD line arrays.
+func SmileFrownBoundary(p *process.Process, spacings, defocus, doses []float64) ([]BoundaryPoint, error) {
+	if len(spacings) < 2 {
+		return nil, fmt.Errorf("fem: boundary needs at least two spacings")
+	}
+	w := p.TargetCD
+	// b2[di][si]: curvature per dose per spacing.
+	b2 := make([][]float64, len(doses))
+	for di := range doses {
+		b2[di] = make([]float64, len(spacings))
+	}
+	for si, s := range spacings {
+		env := process.DensePitch(w, w+s, 4)
+		m := Build(p, fmt.Sprintf("s=%.0f", s), env, defocus, doses)
+		for di, dose := range doses {
+			fit, err := m.Fit(dose)
+			if err != nil {
+				b2[di][si] = math.NaN()
+				continue
+			}
+			b2[di][si] = fit.B2
+		}
+	}
+	var out []BoundaryPoint
+	for di, dose := range doses {
+		out = append(out, BoundaryPoint{Dose: dose, Spacing: zeroCrossing(spacings, b2[di])})
+	}
+	return out, nil
+}
+
+// zeroCrossing finds the first + → − crossing of ys over xs (smile at
+// small spacing, frown at large), interpolating linearly.
+func zeroCrossing(xs, ys []float64) float64 {
+	for i := 0; i+1 < len(xs); i++ {
+		a, b := ys[i], ys[i+1]
+		if math.IsNaN(a) || math.IsNaN(b) {
+			continue
+		}
+		if a > 0 && b <= 0 {
+			t := a / (a - b)
+			return xs[i] + t*(xs[i+1]-xs[i])
+		}
+	}
+	return math.NaN()
+}

@@ -1,0 +1,177 @@
+package fem
+
+import (
+	"math"
+	"testing"
+
+	"svtiming/internal/context"
+	"svtiming/internal/process"
+)
+
+// synthCurve builds a quadratic Bossung curve cd(z) = b0 + b2·z² sampled
+// on a standard grid.
+func synthCurve(dose, b0, b2 float64) Curve {
+	c := Curve{Dose: dose}
+	for z := -300.0; z <= 300; z += 50 {
+		c.Defocus = append(c.Defocus, z)
+		c.CD = append(c.CD, b0+b2*z*z)
+	}
+	return c
+}
+
+func TestFocusWindowSymmetricSmile(t *testing.T) {
+	// cd = 90 + 2e-4·z²: within 10% of 90 (±9 nm) for |z| ≤ 212 →
+	// grid-quantized window ±200.
+	m := Matrix{Curves: []Curve{synthCurve(1, 90, 2e-4)}}
+	ws := m.ProcessWindow(90, 0.10)
+	if len(ws) != 1 {
+		t.Fatalf("got %d windows", len(ws))
+	}
+	w := ws[0]
+	if !w.InSpec {
+		t.Fatal("window not in spec at best focus")
+	}
+	if w.ZMin != -200 || w.ZMax != 200 {
+		t.Errorf("window = [%v, %v], want ±200", w.ZMin, w.ZMax)
+	}
+	if w.Depth() != 400 {
+		t.Errorf("Depth = %v", w.Depth())
+	}
+}
+
+func TestFocusWindowOutOfSpec(t *testing.T) {
+	// Centered 40 nm above target: never in spec.
+	m := Matrix{Curves: []Curve{synthCurve(1, 130, 0)}}
+	w := m.ProcessWindow(90, 0.10)[0]
+	if w.InSpec || w.Depth() != 0 {
+		t.Errorf("out-of-spec window = %+v", w)
+	}
+}
+
+func TestFocusWindowStopsAtNaN(t *testing.T) {
+	c := synthCurve(1, 90, 0)
+	c.CD[0] = math.NaN() // z = -300 failed to print
+	m := Matrix{Curves: []Curve{c}}
+	w := m.ProcessWindow(90, 0.10)[0]
+	if w.ZMin != -250 {
+		t.Errorf("window should stop before the non-printing point: ZMin = %v", w.ZMin)
+	}
+}
+
+func TestExposureLatitude(t *testing.T) {
+	m := Matrix{Curves: []Curve{
+		synthCurve(0.90, 104, 0), // out of spec (> 99)
+		synthCurve(0.95, 96, 0),
+		synthCurve(1.00, 90, 0),
+		synthCurve(1.05, 85, 0),
+		synthCurve(1.10, 78, 0), // out of spec (< 81)
+	}}
+	if el := m.ExposureLatitude(90, 0.10); math.Abs(el-0.10) > 1e-9 {
+		t.Errorf("EL = %v, want 0.10 (doses 0.95..1.05)", el)
+	}
+	empty := Matrix{Curves: []Curve{synthCurve(1, 200, 0)}}
+	if el := empty.ExposureLatitude(90, 0.10); el != 0 {
+		t.Errorf("EL of always-out-of-spec = %v", el)
+	}
+}
+
+func TestOverlapWindow(t *testing.T) {
+	a := []FocusWindow{{Dose: 1, ZMin: -200, ZMax: 100, InSpec: true}}
+	b := []FocusWindow{{Dose: 1, ZMin: -100, ZMax: 200, InSpec: true}}
+	ow := OverlapWindow(a, b)
+	if len(ow) != 1 || ow[0].ZMin != -100 || ow[0].ZMax != 100 || !ow[0].InSpec {
+		t.Errorf("overlap = %+v", ow)
+	}
+	// Disjoint windows → not in spec.
+	c := []FocusWindow{{Dose: 1, ZMin: 150, ZMax: 300, InSpec: true}}
+	ow = OverlapWindow(a, c)
+	if ow[0].InSpec {
+		t.Error("disjoint windows reported in spec")
+	}
+	// One side out of spec → out of spec.
+	d := []FocusWindow{{Dose: 1, InSpec: false}}
+	if ow = OverlapWindow(a, d); ow[0].InSpec {
+		t.Error("overlap with out-of-spec window reported in spec")
+	}
+	// Dose mismatch skipped.
+	e := []FocusWindow{{Dose: 2, ZMin: -1, ZMax: 1, InSpec: true}}
+	if ow = OverlapWindow(a, e); len(ow) != 0 {
+		t.Errorf("mismatched doses produced %d windows", len(ow))
+	}
+}
+
+func TestOverlapWindowPeaksNearNominalDose(t *testing.T) {
+	// The classic dense+iso overlapping-window analysis on the real
+	// simulator: the common window must be widest at (or adjacent to)
+	// nominal dose and shrink at the dose extremes.
+	p := process.Nominal90nm()
+	pats := StandardTestPatterns(p)
+	zs := []float64{-300, -200, -100, 0, 100, 200, 300}
+	doses := []float64{0.90, 1.0, 1.10}
+	dense := Build(p, "dense", pats["dense"], zs, doses)
+	iso := Build(p, "isolated", pats["isolated"], zs, doses)
+	dT, _ := p.PrintCD(pats["dense"])
+	iT, _ := p.PrintCD(pats["isolated"])
+	ow := OverlapWindow(dense.ProcessWindow(dT, 0.10), iso.ProcessWindow(iT, 0.10))
+	if len(ow) != 3 {
+		t.Fatalf("got %d overlap windows", len(ow))
+	}
+	mid := ow[1].Depth()
+	if mid <= ow[0].Depth() && mid <= ow[2].Depth() {
+		t.Errorf("nominal-dose overlap DOF %v not above extremes %v/%v",
+			mid, ow[0].Depth(), ow[2].Depth())
+	}
+	if mid <= 0 {
+		t.Error("no usable common process window at nominal dose")
+	}
+}
+
+func TestSmileFrownBoundaryMovesWithDose(t *testing.T) {
+	p := process.Nominal90nm()
+	zs := []float64{-300, -200, -100, 0, 100, 200, 300}
+	bps, err := SmileFrownBoundary(p,
+		[]float64{120, 160, 200, 240, 300}, zs, []float64{0.95, 1.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bps) != 2 {
+		t.Fatalf("got %d boundary points", len(bps))
+	}
+	lo, hi := bps[0].Spacing, bps[1].Spacing
+	if math.IsNaN(lo) || math.IsNaN(hi) {
+		t.Fatalf("boundary not found: %v / %v", lo, hi)
+	}
+	// Higher dose (lower effective threshold) shrinks the smiling region:
+	// the boundary moves to tighter spacings.
+	if hi >= lo {
+		t.Errorf("boundary at dose 1.10 (%v) not below dose 0.95 (%v)", hi, lo)
+	}
+}
+
+func TestBoundaryValidatesClassificationThreshold(t *testing.T) {
+	// At nominal dose the FEM-derived smile/frown boundary should sit
+	// near the geometric dense-spacing threshold used by the context
+	// classifier (contacted pitch minus drawn CD = 210 nm).
+	p := process.Nominal90nm()
+	zs := []float64{-300, -200, -100, 0, 100, 200, 300}
+	bps, err := SmileFrownBoundary(p,
+		[]float64{150, 180, 210, 240, 280}, zs, []float64{1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := bps[0].Spacing
+	if math.IsNaN(b) {
+		t.Fatal("no boundary found at nominal dose")
+	}
+	if math.Abs(b-context.DenseSpacingMax) > 30 {
+		t.Errorf("FEM boundary %v nm far from the classifier threshold %v nm",
+			b, context.DenseSpacingMax)
+	}
+}
+
+func TestSmileFrownBoundaryErrors(t *testing.T) {
+	p := process.Nominal90nm()
+	if _, err := SmileFrownBoundary(p, []float64{200}, []float64{0}, []float64{1}); err == nil {
+		t.Error("single-spacing ladder accepted")
+	}
+}

@@ -1,0 +1,121 @@
+// Package fourier implements the discrete Fourier transforms needed by the
+// lithography simulator. The standard library has no FFT, so a radix-2
+// Cooley-Tukey implementation is provided, together with helpers for real
+// signals and frequency-axis bookkeeping.
+package fourier
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// NextPow2 returns the smallest power of two >= n (and at least 1).
+func NextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// FFT computes the in-place forward discrete Fourier transform of x:
+//
+//	X[k] = Σ_n x[n]·exp(-2πi·kn/N)
+//
+// The length of x must be a power of two; FFT panics otherwise (a programming
+// error, since callers control buffer sizes).
+func FFT(x []complex128) {
+	fftInPlace(x, false)
+}
+
+// IFFT computes the in-place inverse DFT of x, including the 1/N
+// normalization, so IFFT(FFT(x)) == x up to rounding.
+func IFFT(x []complex128) {
+	fftInPlace(x, true)
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
+	}
+}
+
+func fftInPlace(x []complex128, inverse bool) {
+	n := len(x)
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("fourier: FFT length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := sign * 2 * math.Pi / float64(length)
+		wl := cmplx.Exp(complex(0, ang))
+		for start := 0; start < n; start += length {
+			w := complex(1, 0)
+			half := length / 2
+			for k := 0; k < half; k++ {
+				u := x[start+k]
+				v := x[start+k+half] * w
+				x[start+k] = u + v
+				x[start+k+half] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// FFTReal transforms a real signal, returning a freshly allocated complex
+// spectrum of the same (power-of-two) length.
+func FFTReal(x []float64) []complex128 {
+	out := make([]complex128, len(x))
+	for i, v := range x {
+		out[i] = complex(v, 0)
+	}
+	FFT(out)
+	return out
+}
+
+// FreqIndex maps spectral bin k (0..n-1) of an n-point DFT with sample
+// spacing dx to its signed spatial frequency in cycles per unit length. The
+// Nyquist bin (k = n/2 for even n) is reported as negative, matching the
+// usual fftfreq convention.
+func FreqIndex(k, n int, dx float64) float64 {
+	if 2*k >= n {
+		k -= n
+	}
+	return float64(k) / (float64(n) * dx)
+}
+
+// Convolve returns the circular convolution of a and b (equal power-of-two
+// lengths) computed via the FFT.
+func Convolve(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic("fourier: Convolve length mismatch")
+	}
+	fa := FFTReal(a)
+	fb := FFTReal(b)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	IFFT(fa)
+	out := make([]float64, len(a))
+	for i, v := range fa {
+		out[i] = real(v)
+	}
+	return out
+}

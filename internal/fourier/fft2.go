@@ -1,0 +1,39 @@
+package fourier
+
+// FFT2 computes the in-place 2-D forward DFT of a row-major nx×ny array
+// (x is the fastest-varying index): first each row, then each column.
+// Both dimensions must be powers of two.
+func FFT2(data []complex128, nx, ny int) {
+	fft2(data, nx, ny, false)
+}
+
+// IFFT2 computes the in-place 2-D inverse DFT including the 1/(nx·ny)
+// normalization.
+func IFFT2(data []complex128, nx, ny int) {
+	fft2(data, nx, ny, true)
+	n := complex(float64(nx*ny), 0)
+	for i := range data {
+		data[i] /= n
+	}
+}
+
+func fft2(data []complex128, nx, ny int, inverse bool) {
+	if len(data) != nx*ny {
+		panic("fourier: FFT2 size mismatch")
+	}
+	// Rows.
+	for y := 0; y < ny; y++ {
+		fftInPlace(data[y*nx:(y+1)*nx], inverse)
+	}
+	// Columns, via a scratch buffer.
+	col := make([]complex128, ny)
+	for x := 0; x < nx; x++ {
+		for y := 0; y < ny; y++ {
+			col[y] = data[y*nx+x]
+		}
+		fftInPlace(col, inverse)
+		for y := 0; y < ny; y++ {
+			data[y*nx+x] = col[y]
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package fourier
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestFFT2Impulse(t *testing.T) {
+	const nx, ny = 8, 4
+	data := make([]complex128, nx*ny)
+	data[0] = 1
+	FFT2(data, nx, ny)
+	for i, v := range data {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestFFT2RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const nx, ny = 16, 8
+	data := make([]complex128, nx*ny)
+	for i := range data {
+		data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	orig := append([]complex128(nil), data...)
+	FFT2(data, nx, ny)
+	IFFT2(data, nx, ny)
+	for i := range data {
+		if cmplx.Abs(data[i]-orig[i]) > 1e-9 {
+			t.Fatalf("round trip failed at %d", i)
+		}
+	}
+}
+
+func TestFFT2Separable(t *testing.T) {
+	// A rank-1 signal f(x)·g(y) transforms to F(kx)·G(ky).
+	const nx, ny = 8, 8
+	f := make([]complex128, nx)
+	g := make([]complex128, ny)
+	rng := rand.New(rand.NewSource(3))
+	for i := range f {
+		f[i] = complex(rng.NormFloat64(), 0)
+		g[i] = complex(rng.NormFloat64(), 0)
+	}
+	data := make([]complex128, nx*ny)
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			data[y*nx+x] = f[x] * g[y]
+		}
+	}
+	FFT2(data, nx, ny)
+	F := append([]complex128(nil), f...)
+	G := append([]complex128(nil), g...)
+	FFT(F)
+	FFT(G)
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			want := F[x] * G[y]
+			if cmplx.Abs(data[y*nx+x]-want) > 1e-9 {
+				t.Fatalf("separability broken at (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+func TestFFT2PanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("size mismatch accepted")
+		}
+	}()
+	FFT2(make([]complex128, 10), 4, 4)
+}

@@ -1,0 +1,189 @@
+package fourier
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIsPow2(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 1024} {
+		if !IsPow2(n) {
+			t.Errorf("IsPow2(%d) = false", n)
+		}
+	}
+	for _, n := range []int{0, -4, 3, 12, 1000} {
+		if IsPow2(n) {
+			t.Errorf("IsPow2(%d) = true", n)
+		}
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 5: 8, 1000: 1024}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// DFT of a unit impulse is all ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	FFT(x)
+	for k, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("bin %d = %v, want 1", k, v)
+		}
+	}
+}
+
+func TestFFTSingleTone(t *testing.T) {
+	// A complex exponential at bin 3 transforms to N at bin 3, 0 elsewhere.
+	const n = 64
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = cmplx.Exp(complex(0, 2*math.Pi*3*float64(i)/n))
+	}
+	FFT(x)
+	for k, v := range x {
+		want := complex(0, 0)
+		if k == 3 {
+			want = complex(n, 0)
+		}
+		if cmplx.Abs(v-want) > 1e-9 {
+			t.Errorf("bin %d = %v, want %v", k, v, want)
+		}
+	}
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 32
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	want := naiveDFT(x)
+	got := append([]complex128(nil), x...)
+	FFT(got)
+	for k := range want {
+		if cmplx.Abs(got[k]-want[k]) > 1e-9 {
+			t.Fatalf("bin %d: FFT %v, naive %v", k, got[k], want[k])
+		}
+	}
+}
+
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for m := 0; m < n; m++ {
+			s += x[m] * cmplx.Exp(complex(0, -2*math.Pi*float64(k*m)/float64(n)))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func TestFFTPanicsOnNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FFT on length 12 did not panic")
+		}
+	}()
+	FFT(make([]complex128, 12))
+}
+
+func TestIFFTRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (3 + rng.Intn(5)) // 8..128
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		y := append([]complex128(nil), x...)
+		FFT(y)
+		IFFT(y)
+		for i := range x {
+			if cmplx.Abs(y[i]-x[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	// Σ|x|² == (1/N)·Σ|X|² for any signal.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 64
+		x := make([]float64, n)
+		var te float64
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			te += x[i] * x[i]
+		}
+		spec := FFTReal(x)
+		var fe float64
+		for _, v := range spec {
+			fe += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return math.Abs(te-fe/n) < 1e-7*math.Max(1, te)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFreqIndex(t *testing.T) {
+	// 8 samples at dx=0.5: df = 1/(8*0.5) = 0.25.
+	if got := FreqIndex(0, 8, 0.5); got != 0 {
+		t.Errorf("FreqIndex(0) = %v", got)
+	}
+	if got := FreqIndex(1, 8, 0.5); got != 0.25 {
+		t.Errorf("FreqIndex(1) = %v", got)
+	}
+	if got := FreqIndex(7, 8, 0.5); got != -0.25 {
+		t.Errorf("FreqIndex(7) = %v, want -0.25 (negative frequency)", got)
+	}
+	if got := FreqIndex(4, 8, 0.5); got != -1.0 {
+		t.Errorf("FreqIndex(4) = %v, want -1 (Nyquist)", got)
+	}
+}
+
+func TestConvolveDelta(t *testing.T) {
+	// Convolving with a shifted delta shifts the signal circularly.
+	a := []float64{1, 2, 3, 4, 0, 0, 0, 0}
+	d := []float64{0, 1, 0, 0, 0, 0, 0, 0}
+	got := Convolve(a, d)
+	want := []float64{0, 1, 2, 3, 4, 0, 0, 0}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("Convolve[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func BenchmarkFFT1024(b *testing.B) {
+	x := make([]complex128, 1024)
+	for i := range x {
+		x[i] = complex(float64(i%17), 0)
+	}
+	buf := make([]complex128, len(x))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, x)
+		FFT(buf)
+	}
+}

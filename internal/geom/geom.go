@@ -1,0 +1,185 @@
+// Package geom provides the geometric primitives used throughout the
+// systematic-variation aware timing flow: nanometer-denominated points,
+// intervals and rectangles, plus the spacing and overlap queries needed to
+// reason about poly-level layout context.
+//
+// All coordinates are float64 nanometers. The x axis runs along a placement
+// row (left to right); the y axis runs across the row (bottom to top).
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in layout space, in nanometers.
+type Point struct {
+	X, Y float64
+}
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p translated by -q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+func (p Point) String() string { return fmt.Sprintf("(%.1f,%.1f)", p.X, p.Y) }
+
+// Interval is a closed 1-D range [Lo, Hi] in nanometers. An Interval with
+// Hi < Lo is empty.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Empty reports whether the interval contains no points.
+func (iv Interval) Empty() bool { return iv.Hi < iv.Lo }
+
+// Len returns the length of the interval, or 0 if it is empty.
+func (iv Interval) Len() float64 {
+	if iv.Empty() {
+		return 0
+	}
+	return iv.Hi - iv.Lo
+}
+
+// Center returns the midpoint of the interval.
+func (iv Interval) Center() float64 { return (iv.Lo + iv.Hi) / 2 }
+
+// Contains reports whether x lies in the closed interval.
+func (iv Interval) Contains(x float64) bool { return x >= iv.Lo && x <= iv.Hi }
+
+// Overlaps reports whether the two closed intervals share any point.
+func (iv Interval) Overlaps(other Interval) bool {
+	if iv.Empty() || other.Empty() {
+		return false
+	}
+	return iv.Lo <= other.Hi && other.Lo <= iv.Hi
+}
+
+// Intersect returns the common sub-interval (possibly empty).
+func (iv Interval) Intersect(other Interval) Interval {
+	return Interval{math.Max(iv.Lo, other.Lo), math.Min(iv.Hi, other.Hi)}
+}
+
+// Union returns the smallest interval covering both (treating either empty
+// interval as absent).
+func (iv Interval) Union(other Interval) Interval {
+	if iv.Empty() {
+		return other
+	}
+	if other.Empty() {
+		return iv
+	}
+	return Interval{math.Min(iv.Lo, other.Lo), math.Max(iv.Hi, other.Hi)}
+}
+
+// Gap returns the separation between two disjoint intervals, or 0 if they
+// touch or overlap.
+func (iv Interval) Gap(other Interval) float64 {
+	switch {
+	case iv.Empty() || other.Empty():
+		return math.Inf(1)
+	case iv.Hi < other.Lo:
+		return other.Lo - iv.Hi
+	case other.Hi < iv.Lo:
+		return iv.Lo - other.Hi
+	default:
+		return 0
+	}
+}
+
+// Expand returns the interval grown by d on both ends (shrunk if d < 0).
+func (iv Interval) Expand(d float64) Interval {
+	return Interval{iv.Lo - d, iv.Hi + d}
+}
+
+// Rect is an axis-aligned rectangle [X.Lo,X.Hi] x [Y.Lo,Y.Hi] in nanometers.
+type Rect struct {
+	X, Y Interval
+}
+
+// NewRect builds a rectangle from two corner coordinates in any order.
+func NewRect(x0, y0, x1, y1 float64) Rect {
+	return Rect{
+		X: Interval{math.Min(x0, x1), math.Max(x0, x1)},
+		Y: Interval{math.Min(y0, y1), math.Max(y0, y1)},
+	}
+}
+
+// Empty reports whether the rectangle has no area and no extent.
+func (r Rect) Empty() bool { return r.X.Empty() || r.Y.Empty() }
+
+// W returns the width (x extent) of the rectangle.
+func (r Rect) W() float64 { return r.X.Len() }
+
+// H returns the height (y extent) of the rectangle.
+func (r Rect) H() float64 { return r.Y.Len() }
+
+// Area returns the rectangle's area in nm².
+func (r Rect) Area() float64 { return r.W() * r.H() }
+
+// Center returns the rectangle's center point.
+func (r Rect) Center() Point { return Point{r.X.Center(), r.Y.Center()} }
+
+// Contains reports whether p lies in the closed rectangle.
+func (r Rect) Contains(p Point) bool {
+	return r.X.Contains(p.X) && r.Y.Contains(p.Y)
+}
+
+// Overlaps reports whether the two closed rectangles share any point.
+func (r Rect) Overlaps(other Rect) bool {
+	return r.X.Overlaps(other.X) && r.Y.Overlaps(other.Y)
+}
+
+// Intersect returns the common sub-rectangle (possibly empty).
+func (r Rect) Intersect(other Rect) Rect {
+	return Rect{r.X.Intersect(other.X), r.Y.Intersect(other.Y)}
+}
+
+// Union returns the bounding box of both rectangles.
+func (r Rect) Union(other Rect) Rect {
+	if r.Empty() {
+		return other
+	}
+	if other.Empty() {
+		return r
+	}
+	return Rect{r.X.Union(other.X), r.Y.Union(other.Y)}
+}
+
+// Translate returns the rectangle shifted by d.
+func (r Rect) Translate(d Point) Rect {
+	return Rect{
+		X: Interval{r.X.Lo + d.X, r.X.Hi + d.X},
+		Y: Interval{r.Y.Lo + d.Y, r.Y.Hi + d.Y},
+	}
+}
+
+// HGap returns the horizontal clearance between two rectangles whose y spans
+// overlap; it returns +Inf when the y spans do not overlap (the features do
+// not face each other) and 0 when the x spans touch or overlap.
+func (r Rect) HGap(other Rect) float64 {
+	if !r.Y.Overlaps(other.Y) {
+		return math.Inf(1)
+	}
+	return r.X.Gap(other.X)
+}
+
+func (r Rect) String() string {
+	return fmt.Sprintf("[%.1f,%.1f]x[%.1f,%.1f]", r.X.Lo, r.X.Hi, r.Y.Lo, r.Y.Hi)
+}
+
+// BoundingBox returns the smallest rectangle covering all given rectangles.
+// It returns an empty rectangle if rs is empty.
+func BoundingBox(rs []Rect) Rect {
+	out := Rect{Interval{1, 0}, Interval{1, 0}} // empty
+	for _, r := range rs {
+		out = out.Union(r)
+	}
+	return out
+}

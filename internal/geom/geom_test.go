@@ -1,0 +1,178 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointOps(t *testing.T) {
+	p := Point{1, 2}
+	q := Point{3, -1}
+	if got := p.Add(q); got != (Point{4, 1}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != (Point{-2, 3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Dist(q); math.Abs(got-math.Sqrt(13)) > 1e-12 {
+		t.Errorf("Dist = %v", got)
+	}
+}
+
+func TestIntervalBasics(t *testing.T) {
+	iv := Interval{2, 5}
+	if iv.Empty() {
+		t.Fatal("non-empty interval reported empty")
+	}
+	if iv.Len() != 3 {
+		t.Errorf("Len = %v, want 3", iv.Len())
+	}
+	if iv.Center() != 3.5 {
+		t.Errorf("Center = %v, want 3.5", iv.Center())
+	}
+	if !iv.Contains(2) || !iv.Contains(5) || iv.Contains(5.001) {
+		t.Error("Contains boundary behavior wrong")
+	}
+	empty := Interval{5, 2}
+	if !empty.Empty() || empty.Len() != 0 {
+		t.Error("empty interval misreported")
+	}
+}
+
+func TestIntervalOverlapIntersectUnion(t *testing.T) {
+	cases := []struct {
+		a, b    Interval
+		overlap bool
+		inter   Interval
+	}{
+		{Interval{0, 2}, Interval{1, 3}, true, Interval{1, 2}},
+		{Interval{0, 2}, Interval{2, 3}, true, Interval{2, 2}},
+		{Interval{0, 1}, Interval{2, 3}, false, Interval{2, 1}},
+		{Interval{0, 10}, Interval{3, 4}, true, Interval{3, 4}},
+	}
+	for _, c := range cases {
+		if got := c.a.Overlaps(c.b); got != c.overlap {
+			t.Errorf("%v overlaps %v = %v, want %v", c.a, c.b, got, c.overlap)
+		}
+		if got := c.a.Intersect(c.b); got.Empty() != c.inter.Empty() ||
+			(!got.Empty() && got != c.inter) {
+			t.Errorf("%v intersect %v = %v, want %v", c.a, c.b, got, c.inter)
+		}
+	}
+	u := (Interval{0, 1}).Union(Interval{3, 4})
+	if u != (Interval{0, 4}) {
+		t.Errorf("Union = %v", u)
+	}
+	if got := (Interval{5, 2}).Union(Interval{1, 3}); got != (Interval{1, 3}) {
+		t.Errorf("Union with empty = %v", got)
+	}
+}
+
+func TestIntervalGap(t *testing.T) {
+	if g := (Interval{0, 1}).Gap(Interval{3, 4}); g != 2 {
+		t.Errorf("Gap = %v, want 2", g)
+	}
+	if g := (Interval{3, 4}).Gap(Interval{0, 1}); g != 2 {
+		t.Errorf("Gap reversed = %v, want 2", g)
+	}
+	if g := (Interval{0, 2}).Gap(Interval{1, 3}); g != 0 {
+		t.Errorf("Gap overlapping = %v, want 0", g)
+	}
+	if g := (Interval{0, 2}).Gap(Interval{5, 4}); !math.IsInf(g, 1) {
+		t.Errorf("Gap to empty = %v, want +Inf", g)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := NewRect(3, 4, 1, 2) // corners given out of order
+	if r.X != (Interval{1, 3}) || r.Y != (Interval{2, 4}) {
+		t.Fatalf("NewRect normalized to %v", r)
+	}
+	if r.W() != 2 || r.H() != 2 || r.Area() != 4 {
+		t.Errorf("W/H/Area = %v/%v/%v", r.W(), r.H(), r.Area())
+	}
+	if r.Center() != (Point{2, 3}) {
+		t.Errorf("Center = %v", r.Center())
+	}
+	if !r.Contains(Point{1, 2}) || r.Contains(Point{0, 0}) {
+		t.Error("Contains wrong")
+	}
+	moved := r.Translate(Point{10, 20})
+	if moved != NewRect(11, 22, 13, 24) {
+		t.Errorf("Translate = %v", moved)
+	}
+}
+
+func TestRectOverlapAndHGap(t *testing.T) {
+	a := NewRect(0, 0, 2, 10)
+	b := NewRect(5, 0, 6, 10)
+	if a.Overlaps(b) {
+		t.Error("disjoint rects report overlap")
+	}
+	if g := a.HGap(b); g != 3 {
+		t.Errorf("HGap = %v, want 3", g)
+	}
+	c := NewRect(5, 20, 6, 30) // no y overlap
+	if g := a.HGap(c); !math.IsInf(g, 1) {
+		t.Errorf("HGap without facing spans = %v, want +Inf", g)
+	}
+	d := NewRect(1, 5, 3, 6)
+	if !a.Overlaps(d) || a.HGap(d) != 0 {
+		t.Error("overlapping rects should have HGap 0")
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	bb := BoundingBox([]Rect{NewRect(0, 0, 1, 1), NewRect(5, -2, 6, 3)})
+	if bb != NewRect(0, -2, 6, 3) {
+		t.Errorf("BoundingBox = %v", bb)
+	}
+	if !BoundingBox(nil).Empty() {
+		t.Error("BoundingBox(nil) should be empty")
+	}
+}
+
+func TestIntervalPropertyIntersectSubset(t *testing.T) {
+	f := func(a0, a1, b0, b1 float64) bool {
+		a := Interval{math.Min(a0, a1), math.Max(a0, a1)}
+		b := Interval{math.Min(b0, b1), math.Max(b0, b1)}
+		in := a.Intersect(b)
+		if in.Empty() {
+			return true
+		}
+		// Every point of the intersection lies in both intervals.
+		return a.Contains(in.Lo) && a.Contains(in.Hi) && b.Contains(in.Lo) && b.Contains(in.Hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntervalPropertyUnionSuperset(t *testing.T) {
+	f := func(a0, a1, b0, b1 float64) bool {
+		a := Interval{math.Min(a0, a1), math.Max(a0, a1)}
+		b := Interval{math.Min(b0, b1), math.Max(b0, b1)}
+		u := a.Union(b)
+		return u.Contains(a.Lo) && u.Contains(a.Hi) && u.Contains(b.Lo) && u.Contains(b.Hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectPropertyIntersectCommutes(t *testing.T) {
+	f := func(x0, y0, x1, y1, x2, y2, x3, y3 float64) bool {
+		a := NewRect(x0, y0, x1, y1)
+		b := NewRect(x2, y2, x3, y3)
+		i1 := a.Intersect(b)
+		i2 := b.Intersect(a)
+		if i1.Empty() && i2.Empty() {
+			return true
+		}
+		return i1 == i2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,123 @@
+package geom
+
+import (
+	"math"
+	"sort"
+)
+
+// PolyLine is a single vertical polysilicon line, the fundamental feature of
+// the poly layer in this flow. A line is described by the x coordinate of
+// its centerline, its drawn width (the critical dimension), and its vertical
+// span. Gates are the portions of poly lines crossing diffusion; for the
+// purpose of optical proximity all poly geometry matters.
+type PolyLine struct {
+	CenterX float64  // centerline x position, nm
+	Width   float64  // drawn linewidth (CD), nm
+	Span    Interval // vertical extent, nm
+}
+
+// Rect returns the rectangle occupied by the line.
+func (l PolyLine) Rect() Rect {
+	return Rect{
+		X: Interval{l.CenterX - l.Width/2, l.CenterX + l.Width/2},
+		Y: l.Span,
+	}
+}
+
+// LeftEdge returns the x coordinate of the line's left edge.
+func (l PolyLine) LeftEdge() float64 { return l.CenterX - l.Width/2 }
+
+// RightEdge returns the x coordinate of the line's right edge.
+func (l PolyLine) RightEdge() float64 { return l.CenterX + l.Width/2 }
+
+// Translate returns the line shifted by dx, dy.
+func (l PolyLine) Translate(dx, dy float64) PolyLine {
+	return PolyLine{
+		CenterX: l.CenterX + dx,
+		Width:   l.Width,
+		Span:    Interval{l.Span.Lo + dy, l.Span.Hi + dy},
+	}
+}
+
+// SortLinesByX sorts lines left to right by centerline position, in place.
+func SortLinesByX(lines []PolyLine) {
+	sort.Slice(lines, func(i, j int) bool { return lines[i].CenterX < lines[j].CenterX })
+}
+
+// NeighborSpacing describes the clearance from a poly line to its nearest
+// facing poly neighbor on each side. Spacings are edge-to-edge, in nm.
+// A side with no neighbor within the search window reports +Inf.
+type NeighborSpacing struct {
+	Left, Right float64
+}
+
+// Min returns the smaller of the two side spacings.
+func (ns NeighborSpacing) Min() float64 { return math.Min(ns.Left, ns.Right) }
+
+// Spacings computes, for each line in lines, the edge-to-edge clearance to
+// the nearest line on its left and on its right whose vertical span overlaps
+// the query span by at least minOverlap nm. Lines need not be sorted.
+func Spacings(lines []PolyLine, minOverlap float64) []NeighborSpacing {
+	idx := make([]int, len(lines))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return lines[idx[a]].CenterX < lines[idx[b]].CenterX })
+
+	out := make([]NeighborSpacing, len(lines))
+	for i := range out {
+		out[i] = NeighborSpacing{Left: math.Inf(1), Right: math.Inf(1)}
+	}
+	for a, ia := range idx {
+		la := lines[ia]
+		// Walk left from a until a facing neighbor is found.
+		for b := a - 1; b >= 0; b-- {
+			lb := lines[idx[b]]
+			if overlapLen(la.Span, lb.Span) >= minOverlap {
+				g := la.LeftEdge() - lb.RightEdge()
+				if g < 0 {
+					g = 0
+				}
+				out[ia].Left = g
+				break
+			}
+		}
+		// Walk right.
+		for b := a + 1; b < len(idx); b++ {
+			lb := lines[idx[b]]
+			if overlapLen(la.Span, lb.Span) >= minOverlap {
+				g := lb.LeftEdge() - la.RightEdge()
+				if g < 0 {
+					g = 0
+				}
+				out[ia].Right = g
+				break
+			}
+		}
+	}
+	return out
+}
+
+func overlapLen(a, b Interval) float64 {
+	iv := a.Intersect(b)
+	if iv.Empty() {
+		return 0
+	}
+	return iv.Len()
+}
+
+// ClipLines returns the lines whose rectangles overlap window, with vertical
+// spans clipped to the window's y range. Lines are returned sorted by x.
+func ClipLines(lines []PolyLine, window Rect) []PolyLine {
+	var out []PolyLine
+	for _, l := range lines {
+		if !l.Rect().Overlaps(window) {
+			continue
+		}
+		c := l
+		c.Span = c.Span.Intersect(window.Y)
+		out = append(out, c)
+	}
+	SortLinesByX(out)
+	return out
+}

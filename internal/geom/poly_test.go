@@ -1,0 +1,138 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func line(cx, w, y0, y1 float64) PolyLine {
+	return PolyLine{CenterX: cx, Width: w, Span: Interval{y0, y1}}
+}
+
+func TestPolyLineEdgesAndRect(t *testing.T) {
+	l := line(100, 90, 0, 1000)
+	if l.LeftEdge() != 55 || l.RightEdge() != 145 {
+		t.Errorf("edges = %v..%v", l.LeftEdge(), l.RightEdge())
+	}
+	r := l.Rect()
+	if r.W() != 90 || r.H() != 1000 {
+		t.Errorf("Rect = %v", r)
+	}
+	m := l.Translate(10, -5)
+	if m.CenterX != 110 || m.Span != (Interval{-5, 995}) {
+		t.Errorf("Translate = %+v", m)
+	}
+}
+
+func TestSpacingsThreeLines(t *testing.T) {
+	// Three parallel lines at centers 0, 300, 900, width 90.
+	lines := []PolyLine{
+		line(0, 90, 0, 1000),
+		line(300, 90, 0, 1000),
+		line(900, 90, 0, 1000),
+	}
+	sp := Spacings(lines, 1)
+	if !math.IsInf(sp[0].Left, 1) {
+		t.Errorf("line0 left = %v, want +Inf", sp[0].Left)
+	}
+	// Edge-to-edge: 300-45-45 = 210.
+	if sp[0].Right != 210 || sp[1].Left != 210 {
+		t.Errorf("gap 0-1 = %v/%v, want 210", sp[0].Right, sp[1].Left)
+	}
+	// 900-300 = 600 center to center, minus width = 510.
+	if sp[1].Right != 510 || sp[2].Left != 510 {
+		t.Errorf("gap 1-2 = %v/%v, want 510", sp[1].Right, sp[2].Left)
+	}
+	if !math.IsInf(sp[2].Right, 1) {
+		t.Errorf("line2 right = %v, want +Inf", sp[2].Right)
+	}
+	if sp[1].Min() != 210 {
+		t.Errorf("Min = %v, want 210", sp[1].Min())
+	}
+}
+
+func TestSpacingsRequiresFacingOverlap(t *testing.T) {
+	// Second line is vertically offset so it doesn't face the first; the
+	// third line does.
+	lines := []PolyLine{
+		line(0, 90, 0, 500),
+		line(200, 90, 600, 1000), // above: no overlap with line 0
+		line(400, 90, 0, 500),
+	}
+	sp := Spacings(lines, 1)
+	// Line 0's right neighbor skips line 1 and lands on line 2.
+	want := 400 - 45 - 45.0
+	if sp[0].Right != want {
+		t.Errorf("line0 right = %v, want %v (skip non-facing)", sp[0].Right, want)
+	}
+	if !math.IsInf(sp[1].Left, 1) || !math.IsInf(sp[1].Right, 1) {
+		t.Errorf("offset line should see no facing neighbors, got %+v", sp[1])
+	}
+}
+
+func TestSpacingsUnsortedInput(t *testing.T) {
+	lines := []PolyLine{
+		line(900, 90, 0, 1000),
+		line(0, 90, 0, 1000),
+		line(300, 90, 0, 1000),
+	}
+	sp := Spacings(lines, 1)
+	// lines[2] (center 300) is the middle line.
+	if sp[2].Left != 210 || sp[2].Right != 510 {
+		t.Errorf("unsorted spacings = %+v", sp[2])
+	}
+}
+
+func TestSpacingsOverlappingLinesClampToZero(t *testing.T) {
+	lines := []PolyLine{line(0, 90, 0, 100), line(50, 90, 0, 100)}
+	sp := Spacings(lines, 1)
+	if sp[0].Right != 0 || sp[1].Left != 0 {
+		t.Errorf("overlapping lines should report 0 gap, got %+v %+v", sp[0], sp[1])
+	}
+}
+
+func TestClipLines(t *testing.T) {
+	lines := []PolyLine{
+		line(100, 90, 0, 1000),
+		line(5000, 90, 0, 1000), // outside window
+		line(300, 90, -500, 2000),
+	}
+	w := NewRect(0, 0, 1000, 1000)
+	got := ClipLines(lines, w)
+	if len(got) != 2 {
+		t.Fatalf("ClipLines kept %d lines, want 2", len(got))
+	}
+	if got[0].CenterX != 100 || got[1].CenterX != 300 {
+		t.Errorf("ClipLines order = %v,%v", got[0].CenterX, got[1].CenterX)
+	}
+	if got[1].Span != (Interval{0, 1000}) {
+		t.Errorf("span not clipped: %v", got[1].Span)
+	}
+}
+
+func TestSpacingsPropertySymmetric(t *testing.T) {
+	// For a random row of non-overlapping equal-height lines, the right
+	// spacing of line i must equal the left spacing of line i+1.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(20)
+		lines := make([]PolyLine, n)
+		x := 0.0
+		for i := range lines {
+			x += 150 + rng.Float64()*800
+			lines[i] = line(x, 90, 0, 1000)
+		}
+		sp := Spacings(lines, 1)
+		for i := 0; i < n-1; i++ {
+			if math.Abs(sp[i].Right-sp[i+1].Left) > 1e-9 {
+				t.Fatalf("trial %d: asymmetric spacing at %d: %v vs %v",
+					trial, i, sp[i].Right, sp[i+1].Left)
+			}
+			wantGap := lines[i+1].LeftEdge() - lines[i].RightEdge()
+			if math.Abs(sp[i].Right-wantGap) > 1e-9 {
+				t.Fatalf("trial %d: wrong gap at %d: %v want %v", trial, i, sp[i].Right, wantGap)
+			}
+		}
+	}
+}

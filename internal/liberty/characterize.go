@@ -1,0 +1,168 @@
+package liberty
+
+import (
+	"fmt"
+
+	"svtiming/internal/context"
+	"svtiming/internal/geom"
+	"svtiming/internal/opc"
+	"svtiming/internal/process"
+	"svtiming/internal/stdcell"
+	"svtiming/internal/tran"
+)
+
+// Characterization axes: the slew/load grid all tables are sampled on.
+var (
+	DefaultSlews = []float64{10, 30, 60, 120, 240}   // ps
+	DefaultLoads = []float64{1, 2, 4, 8, 16, 32, 64} // fF
+)
+
+// DummyClearance is the outline-to-dummy-poly distance of the Fig 3
+// library-OPC environment, emulating a typical abutting neighbor.
+const DummyClearance = 150.0
+
+// CharConfig bundles the process data characterization needs.
+type CharConfig struct {
+	Wafer  *process.Process // the "real" process printing the wafer
+	Recipe opc.Recipe       // the standard OPC flow applied to each master
+	Pitch  opc.PitchTable   // §3.1.1 through-pitch lookup for border devices
+
+	// Transient switches the electrical backend from the closed-form
+	// formulas to per-point transient simulation (internal/tran) — the
+	// paper's "very intensive simulation process". Slower, nonlinear in
+	// slew and load.
+	Transient bool
+}
+
+// Characterize builds the expanded timing library: per master, the base
+// delay/slew tables (from the cell's electrical parameters, at drawn gate
+// length) and the printed gate CDs in the dummy environment and all 81
+// context versions.
+func Characterize(lib *stdcell.Library, cfg CharConfig) (*Library, error) {
+	if cfg.Wafer == nil || cfg.Recipe.Model == nil {
+		return nil, fmt.Errorf("liberty: characterization needs a wafer process and OPC recipe")
+	}
+	out := &Library{DrawnL: stdcell.DrawnCD, Pitch: cfg.Pitch, Cells: make(map[string]*CellEntry)}
+	for _, cell := range lib.Cells() {
+		e, err := characterizeCell(cell, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("liberty: cell %s: %w", cell.Name, err)
+		}
+		out.Cells[cell.Name] = e
+	}
+	// Version tables: the 81 binned contexts, predicted from the dummy
+	// anchor plus through-pitch sensitivities at the representative
+	// spacings.
+	for name, e := range out.Cells {
+		for _, v := range context.AllVersions() {
+			nps := context.NPS{
+				LT: context.Representative(v.LT),
+				LB: context.Representative(v.LB),
+				RT: context.Representative(v.RT),
+				RB: context.Representative(v.RB),
+			}
+			cds, err := out.PredictGateCDs(name, nps)
+			if err != nil {
+				return nil, err
+			}
+			e.VersionGateCD[v.Index()] = cds
+		}
+	}
+	return out, nil
+}
+
+func characterizeCell(cell *stdcell.Cell, cfg CharConfig) (*CellEntry, error) {
+	e := &CellEntry{Master: cell}
+
+	// Base electrical tables at drawn gate length.
+	delayAt := func(s, c float64) float64 {
+		return cell.Intrinsic + cell.DriveRes*(cell.ParCap+c) + cell.SlewSens*s
+	}
+	slewAt := func(s, c float64) float64 {
+		return 4 + 1.1*cell.DriveRes*(cell.ParCap+c) + 0.2*s
+	}
+	if cfg.Transient {
+		delayAt = func(s, c float64) float64 {
+			r, err := tran.DefaultStage(cell.DriveRes, cell.ParCap, c, cell.Intrinsic).Simulate(s)
+			if err != nil {
+				panic(fmt.Sprintf("liberty: transient characterization of %s: %v", cell.Name, err))
+			}
+			return r.DelayPS
+		}
+		slewAt = func(s, c float64) float64 {
+			r, err := tran.DefaultStage(cell.DriveRes, cell.ParCap, c, cell.Intrinsic).Simulate(s)
+			if err != nil {
+				panic(fmt.Sprintf("liberty: transient characterization of %s: %v", cell.Name, err))
+			}
+			return r.OutSlewPS
+		}
+	}
+	for _, arc := range cell.Arcs {
+		e.Arcs = append(e.Arcs, ArcSpec{
+			From:    arc.From,
+			Devices: append([]int(nil), arc.Devices...),
+			Delay:   Sample(DefaultSlews, DefaultLoads, delayAt),
+			OutSlew: Sample(DefaultSlews, DefaultLoads, slewAt),
+		})
+	}
+
+	// Library-based OPC in the dummy environment (Fig 3), then wafer-print
+	// each gate.
+	lines := DummyEnvironment(cell)
+	corrected := cfg.Recipe.Correct(lines, stdcell.DrawnCD)
+	e.DummyGateCD = make([]float64, len(cell.Gates))
+	for g := range cell.Gates {
+		env := process.EnvAt(corrected, g, cfg.Wafer.RadiusOfInfluence)
+		cd, ok := cfg.Wafer.PrintCD(env)
+		if !ok {
+			return nil, fmt.Errorf("gate %d does not print in the dummy environment", g)
+		}
+		e.DummyGateCD[g] = cd
+	}
+
+	return e, nil
+}
+
+// DummyEnvironment returns the cell's poly features flanked by full-height
+// dummy poly lines at DummyClearance from the cell outline — the Fig 3
+// library-OPC setup.
+func DummyEnvironment(cell *stdcell.Cell) []geom.PolyLine {
+	lines := cell.PolyLines(0)
+	span := stdcell.GateSpan()
+	w := stdcell.DrawnCD
+	// Dummies are appended after the cell's own features so that indices
+	// 0..len(Gates)-1 keep addressing the transistor gates.
+	lines = append(lines,
+		geom.PolyLine{CenterX: -(DummyClearance + w/2), Width: w, Span: span},
+		geom.PolyLine{CenterX: cell.Width + DummyClearance + w/2, Width: w, Span: span},
+	)
+	return lines
+}
+
+// stubShielding reports, per border quadrant, whether a routing stub lies
+// between the border gate and the cell edge in that half — in which case
+// the gate's printing there is set by the stub, not by the neighbor cell.
+func stubShielding(cell *stdcell.Cell) (shLT, shLB, shRT, shRB bool) {
+	if len(cell.Gates) == 0 {
+		return
+	}
+	first := cell.Gates[0].OffsetX
+	last := cell.Gates[len(cell.Gates)-1].OffsetX
+	for _, s := range cell.Stubs {
+		if s.OffsetX < first {
+			if s.Top {
+				shLT = true
+			} else {
+				shLB = true
+			}
+		}
+		if s.OffsetX > last {
+			if s.Top {
+				shRT = true
+			} else {
+				shRB = true
+			}
+		}
+	}
+	return
+}

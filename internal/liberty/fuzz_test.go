@@ -1,0 +1,34 @@
+package liberty
+
+import (
+	"strings"
+	"testing"
+
+	"svtiming/internal/stdcell"
+)
+
+// FuzzReadLib checks the library parser never panics on arbitrary input.
+func FuzzReadLib(f *testing.F) {
+	f.Add("library x drawn_length 90\n")
+	f.Add("library x drawn_length 90\ncell INVX1 gates 1\n  dummy_cd 80\nendcell\n")
+	f.Add("library x drawn_length abc\n")
+	f.Add("pitch_table drawn 90\nentry pitch\nend\n")
+	f.Add("library x drawn_length 90\ncell INVX1 gates 1\n  arc A devices 0\n    delay slews 1 2 loads 1 2\n      row 1 2\n      row 3 4\n    enddelay\n  endarc\nendcell\n")
+	// A real serialized library as a seed.
+	var golden strings.Builder
+	if err := WriteLib(&golden, testLib); err == nil {
+		f.Add(golden.String())
+	}
+	lib := stdcell.Default()
+	f.Fuzz(func(t *testing.T, src string) {
+		l, err := ReadLib(strings.NewReader(src), lib)
+		if err != nil {
+			return
+		}
+		// Accepted libraries must serialize back without error.
+		var buf strings.Builder
+		if err := WriteLib(&buf, l); err != nil {
+			t.Fatalf("write after successful read: %v", err)
+		}
+	})
+}

@@ -1,0 +1,342 @@
+package liberty
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"svtiming/internal/context"
+	"svtiming/internal/opc"
+	"svtiming/internal/process"
+	"svtiming/internal/stdcell"
+)
+
+func TestTableAtBilinear(t *testing.T) {
+	tab := Table{
+		Slews:  []float64{10, 20},
+		Loads:  []float64{1, 3},
+		Values: [][]float64{{100, 200}, {300, 400}},
+	}
+	if got := tab.At(10, 1); got != 100 {
+		t.Errorf("corner = %v", got)
+	}
+	if got := tab.At(20, 3); got != 400 {
+		t.Errorf("corner = %v", got)
+	}
+	if got := tab.At(15, 2); got != 250 {
+		t.Errorf("center = %v, want 250", got)
+	}
+	// Clamped extrapolation.
+	if got := tab.At(5, 0); got != 100 {
+		t.Errorf("below range = %v, want clamp 100", got)
+	}
+	if got := tab.At(100, 100); got != 400 {
+		t.Errorf("above range = %v, want clamp 400", got)
+	}
+}
+
+func TestTableScale(t *testing.T) {
+	tab := Table{
+		Slews:  []float64{10, 20},
+		Loads:  []float64{1, 3},
+		Values: [][]float64{{100, 200}, {300, 400}},
+	}
+	s := tab.Scale(1.1)
+	if got := s.At(10, 1); math.Abs(got-110) > 1e-9 {
+		t.Errorf("scaled = %v", got)
+	}
+	if tab.Values[0][0] != 100 {
+		t.Error("Scale mutated the original")
+	}
+}
+
+func TestTableValidate(t *testing.T) {
+	good := Sample([]float64{1, 2}, []float64{1, 2}, func(s, l float64) float64 { return s + l })
+	if err := good.Validate(); err != nil {
+		t.Errorf("good table rejected: %v", err)
+	}
+	bad := good
+	bad.Slews = []float64{2, 1}
+	if err := bad.Validate(); err == nil {
+		t.Error("descending axis accepted")
+	}
+	nan := Sample([]float64{1, 2}, []float64{1, 2}, func(s, l float64) float64 { return math.NaN() })
+	if err := nan.Validate(); err == nil {
+		t.Error("NaN values accepted")
+	}
+	tiny := Table{Slews: []float64{1}, Loads: []float64{1, 2}, Values: [][]float64{{1, 2}}}
+	if err := tiny.Validate(); err == nil {
+		t.Error("1-point axis accepted")
+	}
+}
+
+func TestTableAtMonotoneProperty(t *testing.T) {
+	// For a table sampled from a monotone function, lookup stays within
+	// the sampled range (bilinear interpolation cannot overshoot).
+	tab := Sample(DefaultSlews, DefaultLoads, func(s, l float64) float64 { return 10 + 2*l + 0.3*s })
+	lo := tab.Values[0][0]
+	hi := tab.Values[len(tab.Slews)-1][len(tab.Loads)-1]
+	f := func(sRaw, lRaw float64) bool {
+		s := math.Mod(math.Abs(sRaw), 300)
+		l := math.Mod(math.Abs(lRaw), 80)
+		v := tab.At(s, l)
+		return v >= lo-1e-9 && v <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// characterized builds the expanded library once for the package tests.
+var testLib = func() *Library {
+	wafer := process.Nominal90nm()
+	recipe := opc.Standard(opc.ModelProcess(wafer))
+	pitch := opc.BuildPitchTable(wafer, recipe, stdcell.DrawnCD,
+		[]float64{300, 390, 450, 600})
+	lib, err := Characterize(stdcell.Default(), CharConfig{
+		Wafer: wafer, Recipe: recipe, Pitch: pitch,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return lib
+}()
+
+func TestCharacterizeCoversLibrary(t *testing.T) {
+	names := stdcell.Default().Names()
+	if len(testLib.Names()) != len(names) {
+		t.Fatalf("characterized %d cells, want %d", len(testLib.Names()), len(names))
+	}
+	for _, name := range names {
+		e, err := testLib.Entry(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cell := stdcell.Default().MustCell(name)
+		if len(e.Arcs) != len(cell.Inputs) {
+			t.Errorf("%s: %d arcs for %d inputs", name, len(e.Arcs), len(cell.Inputs))
+		}
+		for _, a := range e.Arcs {
+			if err := a.Delay.Validate(); err != nil {
+				t.Errorf("%s arc %s delay table: %v", name, a.From, err)
+			}
+			if err := a.OutSlew.Validate(); err != nil {
+				t.Errorf("%s arc %s slew table: %v", name, a.From, err)
+			}
+		}
+		if len(e.DummyGateCD) != len(cell.Gates) {
+			t.Errorf("%s: %d dummy CDs for %d gates", name, len(e.DummyGateCD), len(cell.Gates))
+		}
+		for v := 0; v < context.NumVersions; v++ {
+			if len(e.VersionGateCD[v]) != len(cell.Gates) {
+				t.Fatalf("%s version %d has %d CDs", name, v, len(e.VersionGateCD[v]))
+			}
+		}
+	}
+	if _, err := testLib.Entry("DFFX1"); err == nil {
+		t.Error("unknown entry lookup should fail")
+	}
+}
+
+func TestCharacterizedCDsPlausible(t *testing.T) {
+	for _, name := range testLib.Names() {
+		e, _ := testLib.Entry(name)
+		for g, cd := range e.DummyGateCD {
+			if cd < 60 || cd > 120 {
+				t.Errorf("%s gate %d dummy CD = %v nm, implausible for a 90 nm target", name, g, cd)
+			}
+		}
+	}
+}
+
+func TestVersionCDsVaryOnlyAtBorders(t *testing.T) {
+	e, _ := testLib.Entry("NAND3X1")
+	nGates := len(e.Master.Gates)
+	v0 := e.VersionGateCD[0]
+	vLast := e.VersionGateCD[context.NumVersions-1]
+	// Interior gates identical across versions.
+	for g := 1; g < nGates-1; g++ {
+		if v0[g] != vLast[g] {
+			t.Errorf("interior gate %d CD changed across versions: %v vs %v", g, v0[g], vLast[g])
+		}
+	}
+	// Border gates must differ between the extreme versions (all-dense
+	// spacing vs all-isolated spacing).
+	if v0[0] == vLast[0] {
+		t.Error("left border gate CD identical across extreme versions")
+	}
+	if v0[nGates-1] == vLast[nGates-1] {
+		t.Error("right border gate CD identical across extreme versions")
+	}
+}
+
+func TestVersionBorderCDFollowsPitchTrend(t *testing.T) {
+	// Denser context (bin 0) should print the border gate larger than the
+	// isolated context (bin 2), following the through-pitch table's
+	// monotone trend between its extremes.
+	e, _ := testLib.Entry("INVX1")
+	dense := context.Version{LT: 0, LB: 0, RT: 0, RB: 0}
+	iso := context.Version{LT: 2, LB: 2, RT: 2, RB: 2}
+	cdDense := e.VersionGateCD[dense.Index()][0]
+	cdIso := e.VersionGateCD[iso.Index()][0]
+	if cdDense <= cdIso {
+		t.Errorf("dense-context CD %v <= isolated-context CD %v", cdDense, cdIso)
+	}
+}
+
+func TestStubShieldingBreaksSymmetry(t *testing.T) {
+	// AOI21X1 has a PMOS stub at the left edge: its left-top quadrant is
+	// shielded, so varying only the LT bin must change the border CD less
+	// than varying LB.
+	e, _ := testLib.Entry("AOI21X1")
+	base := context.Version{LT: 0, LB: 0, RT: 0, RB: 0}
+	ltOnly := context.Version{LT: 2, LB: 0, RT: 0, RB: 0}
+	lbOnly := context.Version{LT: 0, LB: 2, RT: 0, RB: 0}
+	dLT := math.Abs(e.VersionGateCD[ltOnly.Index()][0] - e.VersionGateCD[base.Index()][0])
+	dLB := math.Abs(e.VersionGateCD[lbOnly.Index()][0] - e.VersionGateCD[base.Index()][0])
+	if dLT != 0 {
+		t.Errorf("shielded quadrant responded to context: dLT = %v", dLT)
+	}
+	if dLB == 0 {
+		t.Error("unshielded quadrant did not respond to context")
+	}
+}
+
+func TestMeanL(t *testing.T) {
+	e, _ := testLib.Entry("NAND2X1")
+	a, err := e.ArcIndex("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := 0
+	var want float64
+	for _, d := range e.Arcs[a].Devices {
+		want += e.VersionGateCD[v][d]
+	}
+	want /= float64(len(e.Arcs[a].Devices))
+	if got := e.MeanL(v, a); math.Abs(got-want) > 1e-12 {
+		t.Errorf("MeanL = %v, want %v", got, want)
+	}
+	if got := e.DummyMeanL(a); got <= 0 {
+		t.Errorf("DummyMeanL = %v", got)
+	}
+	if _, err := e.ArcIndex("Z"); err == nil {
+		t.Error("unknown pin accepted")
+	}
+}
+
+func TestDummyEnvironmentShape(t *testing.T) {
+	cell := stdcell.Default().MustCell("INVX1")
+	lines := DummyEnvironment(cell)
+	if len(lines) != len(cell.PolyLines(0))+2 {
+		t.Fatalf("dummy environment has %d lines", len(lines))
+	}
+	// Gates keep their indices.
+	for g := range cell.Gates {
+		if lines[g].CenterX != cell.Gates[g].OffsetX {
+			t.Errorf("gate %d moved in dummy environment", g)
+		}
+	}
+	left := lines[len(lines)-2]
+	right := lines[len(lines)-1]
+	if left.RightEdge() != -DummyClearance {
+		t.Errorf("left dummy at %v, want right edge at %v", left.RightEdge(), -DummyClearance)
+	}
+	if right.LeftEdge() != cell.Width+DummyClearance {
+		t.Errorf("right dummy at %v", right.LeftEdge())
+	}
+}
+
+func TestCharacterizeRejectsMissingConfig(t *testing.T) {
+	if _, err := Characterize(stdcell.Default(), CharConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+}
+
+func TestTransientCharacterization(t *testing.T) {
+	wafer := process.Nominal90nm()
+	recipe := opc.Standard(opc.ModelProcess(wafer))
+	pitch := opc.BuildPitchTable(wafer, recipe, stdcell.DrawnCD, []float64{300, 450, 600})
+	lib, err := Characterize(stdcell.Default(), CharConfig{
+		Wafer: wafer, Recipe: recipe, Pitch: pitch, Transient: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tables are valid, monotone in load, and differ from the closed-form
+	// backend (nonlinearity is the whole point).
+	for _, name := range lib.Names() {
+		e, _ := lib.Entry(name)
+		ref, _ := testLib.Entry(name)
+		for ai, a := range e.Arcs {
+			if err := a.Delay.Validate(); err != nil {
+				t.Fatalf("%s arc %s: %v", name, a.From, err)
+			}
+			prev := -1.0
+			for _, load := range []float64{1, 4, 16, 64} {
+				d := a.Delay.At(60, load)
+				if d <= prev {
+					t.Fatalf("%s arc %s delay not monotone in load", name, a.From)
+				}
+				prev = d
+			}
+			if a.Delay.At(60, 8) == ref.Arcs[ai].Delay.At(60, 8) {
+				t.Errorf("%s arc %s: transient tables identical to closed form", name, a.From)
+			}
+		}
+	}
+}
+
+func TestPredictGateCDsProperties(t *testing.T) {
+	// Interior gates never respond to context; border CDs respond
+	// monotonically between the pitch table's extremes at the dummy anchor.
+	for _, name := range testLib.Names() {
+		e, _ := testLib.Entry(name)
+		n := len(e.Master.Gates)
+		wide, err := testLib.PredictGateCDs(name, context.NPS{
+			LT: math.Inf(1), LB: math.Inf(1), RT: math.Inf(1), RB: math.Inf(1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tight, err := testLib.PredictGateCDs(name, context.NPS{LT: 300, LB: 300, RT: 300, RB: 300})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for g := 1; g < n-1; g++ {
+			if wide[g] != e.DummyGateCD[g] || tight[g] != e.DummyGateCD[g] {
+				t.Errorf("%s interior gate %d responded to context", name, g)
+			}
+		}
+		for g := 0; g < n; g++ {
+			if wide[g] <= 0 || tight[g] <= 0 {
+				t.Errorf("%s gate %d predicted non-positive CD", name, g)
+			}
+		}
+	}
+	if _, err := testLib.PredictGateCDs("DFFX1", context.NPS{}); err == nil {
+		t.Error("unknown cell accepted")
+	}
+}
+
+func TestPredictGateCDsAtDummySpacingIsAnchor(t *testing.T) {
+	// Evaluating at exactly the dummy environment's spacings must return
+	// the dummy CDs (the sensitivity deltas vanish).
+	for _, name := range testLib.Names() {
+		e, _ := testLib.Entry(name)
+		sLT, sLB, sRT, sRB := e.Master.BorderClearances()
+		nps := context.NPS{
+			LT: sLT + DummyClearance, LB: sLB + DummyClearance,
+			RT: sRT + DummyClearance, RB: sRB + DummyClearance,
+		}
+		got, err := testLib.PredictGateCDs(name, nps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for g := range got {
+			if math.Abs(got[g]-e.DummyGateCD[g]) > 1e-9 {
+				t.Errorf("%s gate %d: anchor prediction %v != dummy %v",
+					name, g, got[g], e.DummyGateCD[g])
+			}
+		}
+	}
+}

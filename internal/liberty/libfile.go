@@ -1,0 +1,355 @@
+package liberty
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"svtiming/internal/context"
+	"svtiming/internal/opc"
+	"svtiming/internal/stdcell"
+)
+
+// WriteLib serializes the characterized library — base tables, dummy gate
+// CDs, the through-pitch table and all 81 version CD sets per cell — in a
+// line-oriented text format readable by ReadLib. This is the stand-in for
+// the paper's ".lib which has 81 versions of each cell".
+func WriteLib(w io.Writer, l *Library) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "library svtiming90 drawn_length %s\n", ftoa(l.DrawnL))
+	fmt.Fprintf(bw, "pitch_table drawn %s\n", ftoa(l.Pitch.DrawnCD))
+	for _, e := range l.Pitch.Entries {
+		fmt.Fprintf(bw, "  entry pitch %s space %s mask %s printed %s\n",
+			ftoa(e.Pitch), ftoa(e.Space), ftoa(e.MaskCD), ftoa(e.PrintedCD))
+	}
+	fmt.Fprintln(bw, "end")
+	for _, name := range l.Names() {
+		e := l.Cells[name]
+		fmt.Fprintf(bw, "cell %s gates %d\n", name, len(e.Master.Gates))
+		fmt.Fprintf(bw, "  dummy_cd%s\n", floats(e.DummyGateCD))
+		for _, a := range e.Arcs {
+			fmt.Fprintf(bw, "  arc %s devices%s\n", a.From, ints(a.Devices))
+			if err := writeTable(bw, "delay", a.Delay); err != nil {
+				return err
+			}
+			if err := writeTable(bw, "slew", a.OutSlew); err != nil {
+				return err
+			}
+			fmt.Fprintln(bw, "  endarc")
+		}
+		for v := 0; v < context.NumVersions; v++ {
+			fmt.Fprintf(bw, "  version %d cds%s\n", v, floats(e.VersionGateCD[v]))
+		}
+		fmt.Fprintln(bw, "endcell")
+	}
+	return bw.Flush()
+}
+
+func writeTable(w io.Writer, kind string, t Table) error {
+	fmt.Fprintf(w, "    %s slews%s loads%s\n", kind, floats(t.Slews), floats(t.Loads))
+	for _, row := range t.Values {
+		fmt.Fprintf(w, "      row%s\n", floats(row))
+	}
+	_, err := fmt.Fprintf(w, "    end%s\n", kind)
+	return err
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func floats(vs []float64) string {
+	var b strings.Builder
+	for _, v := range vs {
+		b.WriteByte(' ')
+		b.WriteString(ftoa(v))
+	}
+	return b.String()
+}
+
+func ints(vs []int) string {
+	var b strings.Builder
+	for _, v := range vs {
+		fmt.Fprintf(&b, " %d", v)
+	}
+	return b.String()
+}
+
+// ReadLib parses a library written by WriteLib. Cell masters are resolved
+// against lib (the geometric and electrical definitions are not part of
+// the file; the timing file carries tables and CDs only).
+func ReadLib(r io.Reader, lib *stdcell.Library) (*Library, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	p := &libParser{sc: sc, lib: lib}
+	out, err := p.parse()
+	if err != nil {
+		return nil, fmt.Errorf("liberty: line %d: %w", p.lineNo, err)
+	}
+	return out, nil
+}
+
+type libParser struct {
+	sc     *bufio.Scanner
+	lib    *stdcell.Library
+	lineNo int
+	peeked []string
+	havePk bool
+}
+
+func (p *libParser) next() ([]string, bool) {
+	if p.havePk {
+		p.havePk = false
+		return p.peeked, true
+	}
+	for p.sc.Scan() {
+		p.lineNo++
+		f := strings.Fields(p.sc.Text())
+		if len(f) == 0 {
+			continue
+		}
+		return f, true
+	}
+	return nil, false
+}
+
+func (p *libParser) unread(f []string) {
+	p.peeked = f
+	p.havePk = true
+}
+
+func (p *libParser) parse() (*Library, error) {
+	f, ok := p.next()
+	if !ok || len(f) < 4 || f[0] != "library" || f[2] != "drawn_length" {
+		return nil, fmt.Errorf("missing library header")
+	}
+	drawn, err := strconv.ParseFloat(f[3], 64)
+	if err != nil {
+		return nil, err
+	}
+	out := &Library{DrawnL: drawn, Cells: make(map[string]*CellEntry)}
+
+	for {
+		f, ok := p.next()
+		if !ok {
+			break
+		}
+		switch f[0] {
+		case "pitch_table":
+			pt, err := p.parsePitchTable(f)
+			if err != nil {
+				return nil, err
+			}
+			out.Pitch = pt
+		case "cell":
+			e, err := p.parseCell(f)
+			if err != nil {
+				return nil, err
+			}
+			out.Cells[e.Master.Name] = e
+		default:
+			return nil, fmt.Errorf("unexpected %q", f[0])
+		}
+	}
+	if len(out.Cells) == 0 {
+		return nil, fmt.Errorf("library has no cells")
+	}
+	return out, nil
+}
+
+func (p *libParser) parsePitchTable(hdr []string) (opc.PitchTable, error) {
+	var pt opc.PitchTable
+	if len(hdr) < 3 {
+		return pt, fmt.Errorf("malformed pitch_table header")
+	}
+	drawn, err := strconv.ParseFloat(hdr[2], 64)
+	if err != nil {
+		return pt, err
+	}
+	pt.DrawnCD = drawn
+	for {
+		f, ok := p.next()
+		if !ok {
+			return pt, fmt.Errorf("unterminated pitch_table")
+		}
+		if f[0] == "end" {
+			return pt, nil
+		}
+		if f[0] != "entry" || len(f) != 9 {
+			return pt, fmt.Errorf("malformed pitch entry %v", f)
+		}
+		vals := make([]float64, 4)
+		for i, pos := range []int{2, 4, 6, 8} {
+			v, err := strconv.ParseFloat(f[pos], 64)
+			if err != nil {
+				return pt, err
+			}
+			vals[i] = v
+		}
+		pt.Entries = append(pt.Entries, opc.PitchEntry{
+			Pitch: vals[0], Space: vals[1], MaskCD: vals[2], PrintedCD: vals[3],
+		})
+	}
+}
+
+func (p *libParser) parseCell(hdr []string) (*CellEntry, error) {
+	if len(hdr) < 4 {
+		return nil, fmt.Errorf("malformed cell header %v", hdr)
+	}
+	master, err := p.lib.Cell(hdr[1])
+	if err != nil {
+		return nil, err
+	}
+	nGates, err := strconv.Atoi(hdr[3])
+	if err != nil {
+		return nil, err
+	}
+	if nGates != len(master.Gates) {
+		return nil, fmt.Errorf("cell %s: file has %d gates, master has %d",
+			master.Name, nGates, len(master.Gates))
+	}
+	e := &CellEntry{Master: master}
+	for {
+		f, ok := p.next()
+		if !ok {
+			return nil, fmt.Errorf("unterminated cell %s", master.Name)
+		}
+		switch f[0] {
+		case "endcell":
+			if len(e.DummyGateCD) != nGates {
+				return nil, fmt.Errorf("cell %s: missing dummy_cd", master.Name)
+			}
+			for v := 0; v < context.NumVersions; v++ {
+				if len(e.VersionGateCD[v]) != nGates {
+					return nil, fmt.Errorf("cell %s: missing version %d", master.Name, v)
+				}
+			}
+			return e, nil
+		case "dummy_cd":
+			cds, err := parseFloats(f[1:])
+			if err != nil {
+				return nil, err
+			}
+			e.DummyGateCD = cds
+		case "arc":
+			arc, err := p.parseArc(f)
+			if err != nil {
+				return nil, err
+			}
+			e.Arcs = append(e.Arcs, arc)
+		case "version":
+			if len(f) < 3 || f[2] != "cds" {
+				return nil, fmt.Errorf("malformed version line %v", f)
+			}
+			v, err := strconv.Atoi(f[1])
+			if err != nil {
+				return nil, err
+			}
+			if v < 0 || v >= context.NumVersions {
+				return nil, fmt.Errorf("version %d out of range", v)
+			}
+			cds, err := parseFloats(f[3:])
+			if err != nil {
+				return nil, err
+			}
+			e.VersionGateCD[v] = cds
+		default:
+			return nil, fmt.Errorf("unexpected %q in cell", f[0])
+		}
+	}
+}
+
+func (p *libParser) parseArc(hdr []string) (ArcSpec, error) {
+	var arc ArcSpec
+	if len(hdr) < 4 || hdr[2] != "devices" {
+		return arc, fmt.Errorf("malformed arc header %v", hdr)
+	}
+	arc.From = hdr[1]
+	for _, s := range hdr[3:] {
+		d, err := strconv.Atoi(s)
+		if err != nil {
+			return arc, err
+		}
+		arc.Devices = append(arc.Devices, d)
+	}
+	for {
+		f, ok := p.next()
+		if !ok {
+			return arc, fmt.Errorf("unterminated arc %s", arc.From)
+		}
+		switch f[0] {
+		case "endarc":
+			if err := arc.Delay.Validate(); err != nil {
+				return arc, fmt.Errorf("arc %s delay: %w", arc.From, err)
+			}
+			if err := arc.OutSlew.Validate(); err != nil {
+				return arc, fmt.Errorf("arc %s slew: %w", arc.From, err)
+			}
+			return arc, nil
+		case "delay":
+			t, err := p.parseTable(f, "enddelay")
+			if err != nil {
+				return arc, err
+			}
+			arc.Delay = t
+		case "slew":
+			t, err := p.parseTable(f, "endslew")
+			if err != nil {
+				return arc, err
+			}
+			arc.OutSlew = t
+		default:
+			return arc, fmt.Errorf("unexpected %q in arc", f[0])
+		}
+	}
+}
+
+func (p *libParser) parseTable(hdr []string, terminator string) (Table, error) {
+	var t Table
+	// hdr: kind slews v... loads v...
+	li := -1
+	for i, s := range hdr {
+		if s == "loads" {
+			li = i
+		}
+	}
+	if li < 0 || hdr[1] != "slews" {
+		return t, fmt.Errorf("malformed table header %v", hdr)
+	}
+	var err error
+	if t.Slews, err = parseFloats(hdr[2:li]); err != nil {
+		return t, err
+	}
+	if t.Loads, err = parseFloats(hdr[li+1:]); err != nil {
+		return t, err
+	}
+	for {
+		f, ok := p.next()
+		if !ok {
+			return t, fmt.Errorf("unterminated table")
+		}
+		if f[0] == terminator {
+			return t, nil
+		}
+		if f[0] != "row" {
+			return t, fmt.Errorf("unexpected %q in table", f[0])
+		}
+		row, err := parseFloats(f[1:])
+		if err != nil {
+			return t, err
+		}
+		t.Values = append(t.Values, row)
+	}
+}
+
+func parseFloats(fs []string) ([]float64, error) {
+	out := make([]float64, 0, len(fs))
+	for _, s := range fs {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

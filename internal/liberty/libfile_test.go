@@ -1,0 +1,107 @@
+package liberty
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"svtiming/internal/context"
+	"svtiming/internal/stdcell"
+)
+
+func TestLibRoundTrip(t *testing.T) {
+	var buf strings.Builder
+	if err := WriteLib(&buf, testLib); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadLib(strings.NewReader(buf.String()), stdcell.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.DrawnL != testLib.DrawnL {
+		t.Errorf("DrawnL = %v, want %v", back.DrawnL, testLib.DrawnL)
+	}
+	if len(back.Pitch.Entries) != len(testLib.Pitch.Entries) {
+		t.Fatalf("pitch entries %d vs %d", len(back.Pitch.Entries), len(testLib.Pitch.Entries))
+	}
+	for i, e := range testLib.Pitch.Entries {
+		if back.Pitch.Entries[i] != e {
+			t.Fatalf("pitch entry %d changed: %+v vs %+v", i, back.Pitch.Entries[i], e)
+		}
+	}
+	if len(back.Names()) != len(testLib.Names()) {
+		t.Fatalf("cells %d vs %d", len(back.Names()), len(testLib.Names()))
+	}
+	for _, name := range testLib.Names() {
+		a := testLib.Cells[name]
+		b := back.Cells[name]
+		if b == nil {
+			t.Fatalf("cell %s lost", name)
+		}
+		if len(a.Arcs) != len(b.Arcs) {
+			t.Fatalf("%s arcs %d vs %d", name, len(a.Arcs), len(b.Arcs))
+		}
+		for ai := range a.Arcs {
+			aa, ba := a.Arcs[ai], b.Arcs[ai]
+			if aa.From != ba.From || len(aa.Devices) != len(ba.Devices) {
+				t.Fatalf("%s arc %d metadata changed", name, ai)
+			}
+			for _, probe := range []struct{ s, l float64 }{{10, 1}, {55, 7.2}, {240, 64}} {
+				if da, db := aa.Delay.At(probe.s, probe.l), ba.Delay.At(probe.s, probe.l); math.Abs(da-db) > 1e-12 {
+					t.Fatalf("%s arc %s delay(%v,%v): %v vs %v", name, aa.From, probe.s, probe.l, da, db)
+				}
+				if sa, sb := aa.OutSlew.At(probe.s, probe.l), ba.OutSlew.At(probe.s, probe.l); math.Abs(sa-sb) > 1e-12 {
+					t.Fatalf("%s arc %s slew changed", name, aa.From)
+				}
+			}
+		}
+		for g := range a.DummyGateCD {
+			if a.DummyGateCD[g] != b.DummyGateCD[g] {
+				t.Fatalf("%s dummy CD %d changed", name, g)
+			}
+		}
+		for v := 0; v < context.NumVersions; v++ {
+			for g := range a.VersionGateCD[v] {
+				if a.VersionGateCD[v][g] != b.VersionGateCD[v][g] {
+					t.Fatalf("%s version %d gate %d CD changed", name, v, g)
+				}
+			}
+		}
+	}
+}
+
+func TestReadLibErrors(t *testing.T) {
+	lib := stdcell.Default()
+	cases := map[string]string{
+		"empty":           "",
+		"bad header":      "something else\n",
+		"no cells":        "library x drawn_length 90\n",
+		"unknown cell":    "library x drawn_length 90\ncell DFFX1 gates 1\nendcell\n",
+		"gate mismatch":   "library x drawn_length 90\ncell INVX1 gates 7\nendcell\n",
+		"missing dummy":   "library x drawn_length 90\ncell INVX1 gates 1\nendcell\n",
+		"bad float":       "library x drawn_length 90\ncell INVX1 gates 1\n  dummy_cd abc\nendcell\n",
+		"unterminated":    "library x drawn_length 90\ncell INVX1 gates 1\n  dummy_cd 80\n",
+		"version range":   "library x drawn_length 90\ncell INVX1 gates 1\n  dummy_cd 80\n  version 99 cds 80\nendcell\n",
+		"unexpected word": "library x drawn_length 90\nfrobnicate\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadLib(strings.NewReader(src), lib); err == nil {
+			t.Errorf("%s: ReadLib accepted malformed input", name)
+		}
+	}
+}
+
+func TestWriteLibIsPlainText(t *testing.T) {
+	var buf strings.Builder
+	if err := WriteLib(&buf, testLib); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.HasPrefix(s, "library svtiming90 drawn_length 90") {
+		t.Errorf("unexpected header: %q", s[:60])
+	}
+	// One version line per cell per version.
+	if got := strings.Count(s, "\n  version "); got != 10*context.NumVersions {
+		t.Errorf("found %d version lines, want %d", got, 10*context.NumVersions)
+	}
+}

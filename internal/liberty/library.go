@@ -1,0 +1,137 @@
+package liberty
+
+import (
+	"fmt"
+	"sort"
+
+	"svtiming/internal/context"
+	"svtiming/internal/opc"
+	"svtiming/internal/stdcell"
+)
+
+// ArcSpec is one characterized timing arc at the drawn (nominal) gate
+// length. Context- and corner-dependent gate lengths scale these tables
+// linearly (§3.1.2: delay is assumed linear in gate length).
+type ArcSpec struct {
+	From    string
+	Devices []int
+	Delay   Table // ps, at drawn gate length
+	OutSlew Table // ps
+}
+
+// CellEntry is the characterized data of one master: its base tables plus
+// the predicted printed gate CDs in the library-OPC dummy environment and
+// in each of the 81 context versions.
+type CellEntry struct {
+	Master *stdcell.Cell
+	Arcs   []ArcSpec
+
+	// DummyGateCD[g] is the printed CD of gate g in the Fig 3 dummy
+	// environment (the library-OPC characterization context).
+	DummyGateCD []float64
+
+	// VersionGateCD[v][g] is the printed CD of gate g in context version
+	// v: interior gates keep their dummy-environment CD; border gates get
+	// the through-pitch lookup at the version's representative spacings.
+	VersionGateCD [context.NumVersions][]float64
+}
+
+// MeanL returns the mean printed gate length over the devices of arc a in
+// version v.
+func (e *CellEntry) MeanL(v int, a int) float64 {
+	arc := e.Arcs[a]
+	var sum float64
+	for _, d := range arc.Devices {
+		sum += e.VersionGateCD[v][d]
+	}
+	return sum / float64(len(arc.Devices))
+}
+
+// DummyMeanL returns the mean printed gate length over the devices of arc
+// a in the dummy (characterization) environment.
+func (e *CellEntry) DummyMeanL(a int) float64 {
+	arc := e.Arcs[a]
+	var sum float64
+	for _, d := range arc.Devices {
+		sum += e.DummyGateCD[d]
+	}
+	return sum / float64(len(arc.Devices))
+}
+
+// ArcIndex returns the index of the arc from the given pin.
+func (e *CellEntry) ArcIndex(pin string) (int, error) {
+	for i, a := range e.Arcs {
+		if a.From == pin {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("liberty: cell %s has no arc from %q", e.Master.Name, pin)
+}
+
+// Library is the characterized timing library: the paper's ".lib which has
+// 81 versions of each cell in the original library".
+type Library struct {
+	DrawnL float64 // nominal (drawn) gate length the tables are valid at
+	Pitch  opc.PitchTable
+	Cells  map[string]*CellEntry
+}
+
+// PredictGateCDs predicts the printed CD of every transistor gate of the
+// named cell in an arbitrary placement context given by the four actual
+// neighbor spacings (nm, +Inf for "no neighbor").
+//
+// Interior gates keep their dummy-environment CD (the library-OPC
+// simulation is exact for them: the radius of influence ends inside the
+// cell). Border gates are corrected per quadrant with the through-pitch
+// table used as a *sensitivity* model around the dummy anchor: the CD
+// shift for a one-sided spacing change is half the symmetric-array
+// table's shift, averaged over the PMOS and NMOS halves. Quadrants
+// shielded by a routing stub do not respond to the neighbor at all.
+func (l *Library) PredictGateCDs(name string, nps context.NPS) ([]float64, error) {
+	e, err := l.Entry(name)
+	if err != nil {
+		return nil, err
+	}
+	cell := e.Master
+	cds := append([]float64(nil), e.DummyGateCD...)
+	if len(cell.Gates) == 0 {
+		return cds, nil
+	}
+	shLT, shLB, shRT, shRB := stubShielding(cell)
+	sLT, sLB, sRT, sRB := cell.BorderClearances()
+
+	// delta is the one-sided CD shift for moving a neighbor from the
+	// dummy distance to the actual distance in one quadrant.
+	delta := func(shielded bool, actual, clearance float64) float64 {
+		if shielded {
+			return 0
+		}
+		dummySpace := clearance + DummyClearance
+		return (l.Pitch.Lookup(actual) - l.Pitch.Lookup(dummySpace)) / 2
+	}
+	left := (delta(shLT, nps.LT, sLT) + delta(shLB, nps.LB, sLB)) / 2
+	right := (delta(shRT, nps.RT, sRT) + delta(shRB, nps.RB, sRB)) / 2
+	last := len(cell.Gates) - 1
+	cds[0] += left
+	cds[last] += right
+	return cds, nil
+}
+
+// Entry returns the characterized cell or an error.
+func (l *Library) Entry(cell string) (*CellEntry, error) {
+	e, ok := l.Cells[cell]
+	if !ok {
+		return nil, fmt.Errorf("liberty: cell %q not characterized", cell)
+	}
+	return e, nil
+}
+
+// Names returns all characterized cell names, sorted.
+func (l *Library) Names() []string {
+	out := make([]string, 0, len(l.Cells))
+	for n := range l.Cells {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,119 @@
+// Package liberty implements the timing-library layer: NLDM-style lookup
+// tables (delay and output slew versus input slew and output load),
+// characterization of the 10-cell library from its electrical parameters,
+// and the paper's §3.1.2 expanded library — 81 context versions per cell,
+// one for each combination of the four binned neighbor-spacing parameters
+// nps_LT, nps_LB, nps_RT, nps_RB.
+package liberty
+
+import (
+	"fmt"
+	"math"
+)
+
+// Table is a 2-D lookup table over input slew (ps) and output load (fF),
+// bilinearly interpolated, with clamped extrapolation at the edges — the
+// standard NLDM table semantics.
+type Table struct {
+	Slews  []float64   // ascending, ps
+	Loads  []float64   // ascending, fF
+	Values [][]float64 // [slew index][load index], ps
+}
+
+// At evaluates the table at the given slew and load.
+func (t Table) At(slew, load float64) float64 {
+	i, fi := locate(t.Slews, slew)
+	j, fj := locate(t.Loads, load)
+	v00 := t.Values[i][j]
+	v01 := t.Values[i][j+1]
+	v10 := t.Values[i+1][j]
+	v11 := t.Values[i+1][j+1]
+	return v00*(1-fi)*(1-fj) + v01*(1-fi)*fj + v10*fi*(1-fj) + v11*fi*fj
+}
+
+// Scale returns a copy of the table with all values multiplied by k.
+func (t Table) Scale(k float64) Table {
+	out := Table{
+		Slews:  append([]float64(nil), t.Slews...),
+		Loads:  append([]float64(nil), t.Loads...),
+		Values: make([][]float64, len(t.Values)),
+	}
+	for i, row := range t.Values {
+		out.Values[i] = make([]float64, len(row))
+		for j, v := range row {
+			out.Values[i][j] = v * k
+		}
+	}
+	return out
+}
+
+// Validate checks the table's structural invariants.
+func (t Table) Validate() error {
+	if len(t.Slews) < 2 || len(t.Loads) < 2 {
+		return fmt.Errorf("liberty: table needs at least 2x2 points")
+	}
+	if !ascending(t.Slews) || !ascending(t.Loads) {
+		return fmt.Errorf("liberty: table axes must ascend")
+	}
+	if len(t.Values) != len(t.Slews) {
+		return fmt.Errorf("liberty: %d value rows for %d slews", len(t.Values), len(t.Slews))
+	}
+	for i, row := range t.Values {
+		if len(row) != len(t.Loads) {
+			return fmt.Errorf("liberty: row %d has %d values for %d loads", i, len(row), len(t.Loads))
+		}
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("liberty: non-finite table value")
+			}
+		}
+	}
+	return nil
+}
+
+func ascending(v []float64) bool {
+	for i := 1; i < len(v); i++ {
+		if v[i] <= v[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// locate returns the lower bracketing index and the interpolation fraction
+// for x over the ascending axis, clamping outside the range.
+func locate(axis []float64, x float64) (int, float64) {
+	n := len(axis)
+	if x <= axis[0] {
+		return 0, 0
+	}
+	if x >= axis[n-1] {
+		return n - 2, 1
+	}
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if axis[mid] <= x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, (x - axis[lo]) / (axis[lo+1] - axis[lo])
+}
+
+// Sample builds a table by evaluating f over the given axes.
+func Sample(slews, loads []float64, f func(slew, load float64) float64) Table {
+	t := Table{
+		Slews:  append([]float64(nil), slews...),
+		Loads:  append([]float64(nil), loads...),
+		Values: make([][]float64, len(slews)),
+	}
+	for i, s := range slews {
+		t.Values[i] = make([]float64, len(loads))
+		for j, l := range loads {
+			t.Values[i][j] = f(s, l)
+		}
+	}
+	return t
+}

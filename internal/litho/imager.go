@@ -1,0 +1,147 @@
+package litho
+
+import (
+	"fmt"
+	"math"
+
+	"svtiming/internal/fourier"
+	"svtiming/internal/mask"
+)
+
+// Imager is a scalar partially coherent projection system. It computes the
+// clear-field-normalized aerial image of a 1-D mask by Abbe's method: an
+// incoherent sum over source points, each imaged coherently through a hard
+// pupil carrying a defocus phase.
+type Imager struct {
+	Wavelength float64 // exposure wavelength, nm (193 for ArF)
+	NA         float64 // numerical aperture (0.7 in the paper)
+	Src        Source  // illumination shape
+	Defocus    float64 // focal plane offset, nm (0 = best focus)
+
+	// Aberration, if non-nil, adds an extra pupil phase (radians) as a
+	// function of normalized pupil radius g·λ/NA in [-1,1]. Used for
+	// model-fidelity studies.
+	Aberration func(rho float64) float64
+}
+
+// Profile is a sampled intensity profile, clear-field normalized: an empty
+// mask images to 1.0 everywhere.
+type Profile struct {
+	X0 float64   // left edge of the window, nm
+	Dx float64   // sample pitch, nm
+	I  []float64 // relative intensity per sample
+}
+
+// X returns the coordinate of sample i.
+func (p Profile) X(i int) float64 { return p.X0 + (float64(i)+0.5)*p.Dx }
+
+// At linearly interpolates the intensity at coordinate x, clamping to the
+// window ends.
+func (p Profile) At(x float64) float64 {
+	f := (x-p.X0)/p.Dx - 0.5
+	if f <= 0 {
+		return p.I[0]
+	}
+	if f >= float64(len(p.I)-1) {
+		return p.I[len(p.I)-1]
+	}
+	i := int(f)
+	t := f - float64(i)
+	return p.I[i]*(1-t) + p.I[i+1]*t
+}
+
+// Min returns the minimum intensity over [lo, hi].
+func (p Profile) Min(lo, hi float64) float64 {
+	m := math.Inf(1)
+	for i := range p.I {
+		x := p.X(i)
+		if x >= lo && x <= hi && p.I[i] < m {
+			m = p.I[i]
+		}
+	}
+	return m
+}
+
+// CutoffFreq returns the coherent pupil cutoff NA/λ in cycles/nm.
+func (im Imager) CutoffFreq() float64 { return im.NA / im.Wavelength }
+
+// Image computes the aerial image of m.
+//
+// For each source point at normalized offset σ the mask spectrum is shifted
+// by f_s = σ·NA/λ, filtered by the pupil (hard cutoff at NA/λ with defocus
+// phase evaluated at the true propagation angle), and back-transformed; the
+// intensities are summed with the source weights and normalized so an empty
+// mask images to 1.
+func (im Imager) Image(m *mask.Mask1D) Profile {
+	if im.Wavelength <= 0 || im.NA <= 0 || im.NA >= 1 {
+		panic(fmt.Sprintf("litho: invalid imager λ=%g NA=%g", im.Wavelength, im.NA))
+	}
+	n := m.N()
+	spec := fourier.FFTReal(m.Trans)
+
+	cut := im.CutoffFreq()
+	out := make([]float64, n)
+	field := make([]complex128, n)
+	totalW := im.Src.TotalWeight()
+	if totalW <= 0 {
+		panic("litho: source has no weight")
+	}
+
+	for _, sp := range im.Src.Points {
+		fs := sp.Sigma * cut
+		for k := 0; k < n; k++ {
+			f := fourier.FreqIndex(k, n, m.Dx)
+			g := f + fs // actual propagation frequency through the pupil
+			if math.Abs(g) > cut {
+				field[k] = 0
+				continue
+			}
+			field[k] = spec[k] * im.pupil(g)
+		}
+		fourier.IFFT(field)
+		for i := 0; i < n; i++ {
+			e := field[i]
+			out[i] += sp.Weight * (real(e)*real(e) + imag(e)*imag(e))
+		}
+	}
+	for i := range out {
+		out[i] /= totalW
+	}
+	return Profile{X0: m.X0, Dx: m.Dx, I: out}
+}
+
+// pupil returns the complex pupil value at propagation frequency g
+// (cycles/nm), |g| ≤ NA/λ: unit modulus with the exact (non-paraxial)
+// defocus optical path difference and any extra aberration phase.
+func (im Imager) pupil(g float64) complex128 {
+	sin := im.Wavelength * g // sine of the propagation angle
+	arg := 1 - sin*sin
+	if arg < 0 {
+		arg = 0
+	}
+	// OPD(z) = z·(1 − cosθ); phase = 2π/λ · OPD.
+	phase := 2 * math.Pi / im.Wavelength * im.Defocus * (1 - math.Sqrt(arg))
+	if im.Aberration != nil {
+		phase += im.Aberration(sin / im.NA)
+	}
+	return complex(math.Cos(phase), math.Sin(phase))
+}
+
+// WithDefocus returns a copy of the imager at the given defocus.
+func (im Imager) WithDefocus(z float64) Imager {
+	im.Defocus = z
+	return im
+}
+
+// ILS returns the normalized image log-slope |dI/dx|/I at coordinate x,
+// a standard lithographic quality metric (per nm).
+func (p Profile) ILS(x float64) float64 {
+	h := p.Dx
+	i1 := p.At(x + h)
+	i0 := p.At(x - h)
+	ic := p.At(x)
+	if ic <= 0 {
+		return 0
+	}
+	return math.Abs(i1-i0) / (2 * h) / ic
+}

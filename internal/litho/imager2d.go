@@ -1,0 +1,174 @@
+package litho
+
+import (
+	"fmt"
+	"math"
+
+	"svtiming/internal/fourier"
+	"svtiming/internal/mask"
+)
+
+// SourcePoint2D is one sample of a two-dimensional illumination shape.
+type SourcePoint2D struct {
+	Sx, Sy float64 // normalized offsets (fractions of NA)
+	Weight float64
+}
+
+// AnnularGrid samples an annular source on an n×n grid over the pupil,
+// keeping points inside the annulus. Weights are uniform cell areas.
+func AnnularGrid(sigmaIn, sigmaOut float64, n int) []SourcePoint2D {
+	if sigmaOut <= sigmaIn || sigmaIn < 0 || n < 2 {
+		panic(fmt.Sprintf("litho: invalid annular grid %g..%g n=%d", sigmaIn, sigmaOut, n))
+	}
+	ds := 2 * sigmaOut / float64(n)
+	var out []SourcePoint2D
+	for iy := 0; iy < n; iy++ {
+		sy := -sigmaOut + (float64(iy)+0.5)*ds
+		for ix := 0; ix < n; ix++ {
+			sx := -sigmaOut + (float64(ix)+0.5)*ds
+			r := math.Hypot(sx, sy)
+			if r >= sigmaIn && r <= sigmaOut {
+				out = append(out, SourcePoint2D{Sx: sx, Sy: sy, Weight: ds * ds})
+			}
+		}
+	}
+	return out
+}
+
+// Imager2D is the two-dimensional counterpart of Imager: scalar partially
+// coherent Abbe imaging of a 2-D mask. It resolves the effects the 1-D
+// path cannot: line-end pullback, corner rounding, and 2-D proximity.
+type Imager2D struct {
+	Wavelength float64
+	NA         float64
+	Src        []SourcePoint2D
+	Defocus    float64 // nm
+}
+
+// Profile2D is a clear-field-normalized 2-D intensity map (row-major,
+// x fastest).
+type Profile2D struct {
+	X0, Y0 float64
+	Dx, Dy float64
+	Nx, Ny int
+	I      []float64
+}
+
+// At bilinearly interpolates the intensity at (x, y), clamped at edges.
+func (p Profile2D) At(x, y float64) float64 {
+	fx := (x-p.X0)/p.Dx - 0.5
+	fy := (y-p.Y0)/p.Dy - 0.5
+	fx = math.Max(0, math.Min(fx, float64(p.Nx-1)))
+	fy = math.Max(0, math.Min(fy, float64(p.Ny-1)))
+	i, j := int(fx), int(fy)
+	if i >= p.Nx-1 {
+		i = p.Nx - 2
+	}
+	if j >= p.Ny-1 {
+		j = p.Ny - 2
+	}
+	tx, ty := fx-float64(i), fy-float64(j)
+	v00 := p.I[j*p.Nx+i]
+	v01 := p.I[j*p.Nx+i+1]
+	v10 := p.I[(j+1)*p.Nx+i]
+	v11 := p.I[(j+1)*p.Nx+i+1]
+	return v00*(1-tx)*(1-ty) + v01*tx*(1-ty) + v10*(1-tx)*ty + v11*tx*ty
+}
+
+// CutV extracts the vertical intensity cut at x as a 1-D profile over y,
+// so the 1-D resist measurement code applies along the line axis.
+func (p Profile2D) CutV(x float64) Profile {
+	out := Profile{X0: p.Y0, Dx: p.Dy, I: make([]float64, p.Ny)}
+	for j := 0; j < p.Ny; j++ {
+		out.I[j] = p.At(x, p.Y(j))
+	}
+	return out
+}
+
+// CutH extracts the horizontal cut at y as a 1-D profile over x.
+func (p Profile2D) CutH(y float64) Profile {
+	out := Profile{X0: p.X0, Dx: p.Dx, I: make([]float64, p.Nx)}
+	for i := 0; i < p.Nx; i++ {
+		out.I[i] = p.At(p.X(i), y)
+	}
+	return out
+}
+
+// X returns the x coordinate of column i.
+func (p Profile2D) X(i int) float64 { return p.X0 + (float64(i)+0.5)*p.Dx }
+
+// Y returns the y coordinate of row j.
+func (p Profile2D) Y(j int) float64 { return p.Y0 + (float64(j)+0.5)*p.Dy }
+
+// Image computes the 2-D aerial image of m by Abbe summation.
+func (im Imager2D) Image(m *mask.Mask2D) Profile2D {
+	if im.Wavelength <= 0 || im.NA <= 0 || im.NA >= 1 {
+		panic(fmt.Sprintf("litho: invalid 2D imager λ=%g NA=%g", im.Wavelength, im.NA))
+	}
+	if len(im.Src) == 0 {
+		panic("litho: 2D imager has no source points")
+	}
+	nx, ny := m.Nx, m.Ny
+	spec := make([]complex128, nx*ny)
+	for i, v := range m.Trans {
+		spec[i] = complex(v, 0)
+	}
+	fourier.FFT2(spec, nx, ny)
+
+	cut := im.NA / im.Wavelength
+	cut2 := cut * cut
+	out := make([]float64, nx*ny)
+	field := make([]complex128, nx*ny)
+	var totalW float64
+	for _, sp := range im.Src {
+		totalW += sp.Weight
+	}
+
+	// Precompute per-axis frequencies.
+	fxs := make([]float64, nx)
+	for i := range fxs {
+		fxs[i] = fourier.FreqIndex(i, nx, m.Dx)
+	}
+	fys := make([]float64, ny)
+	for j := range fys {
+		fys[j] = fourier.FreqIndex(j, ny, m.Dy)
+	}
+
+	for _, sp := range im.Src {
+		fsx := sp.Sx * cut
+		fsy := sp.Sy * cut
+		for j := 0; j < ny; j++ {
+			gy := fys[j] + fsy
+			row := field[j*nx : (j+1)*nx]
+			srow := spec[j*nx : (j+1)*nx]
+			for i := 0; i < nx; i++ {
+				gx := fxs[i] + fsx
+				g2 := gx*gx + gy*gy
+				if g2 > cut2 {
+					row[i] = 0
+					continue
+				}
+				row[i] = srow[i] * im.pupil2(g2)
+			}
+		}
+		fourier.IFFT2(field, nx, ny)
+		for i, e := range field {
+			out[i] += sp.Weight * (real(e)*real(e) + imag(e)*imag(e))
+		}
+	}
+	for i := range out {
+		out[i] /= totalW
+	}
+	return Profile2D{X0: m.X0, Y0: m.Y0, Dx: m.Dx, Dy: m.Dy, Nx: nx, Ny: ny, I: out}
+}
+
+// pupil2 returns the pupil value at squared radial frequency g² ≤ (NA/λ)².
+func (im Imager2D) pupil2(g2 float64) complex128 {
+	sin2 := im.Wavelength * im.Wavelength * g2
+	arg := 1 - sin2
+	if arg < 0 {
+		arg = 0
+	}
+	phase := 2 * math.Pi / im.Wavelength * im.Defocus * (1 - math.Sqrt(arg))
+	return complex(math.Cos(phase), math.Sin(phase))
+}

@@ -1,0 +1,147 @@
+package litho
+
+import (
+	"math"
+	"testing"
+
+	"svtiming/internal/geom"
+	"svtiming/internal/mask"
+)
+
+func test2D() Imager2D {
+	return Imager2D{
+		Wavelength: 193,
+		NA:         0.7,
+		Src:        AnnularGrid(0.55, 0.85, 8),
+	}
+}
+
+func TestAnnularGridWeights(t *testing.T) {
+	pts := AnnularGrid(0.55, 0.85, 24)
+	var w float64
+	for _, p := range pts {
+		r := math.Hypot(p.Sx, p.Sy)
+		if r < 0.55-0.05 || r > 0.85+0.05 {
+			t.Fatalf("source point at radius %v outside annulus", r)
+		}
+		w += p.Weight
+	}
+	want := math.Pi * (0.85*0.85 - 0.55*0.55)
+	if math.Abs(w-want) > 0.05*want {
+		t.Errorf("total weight %v, want ≈ %v", w, want)
+	}
+}
+
+func TestAnnularGridPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("inverted annulus accepted")
+		}
+	}()
+	AnnularGrid(0.9, 0.5, 8)
+}
+
+func TestImage2DClearField(t *testing.T) {
+	m := mask.NewClearField2D(0, 0, 512, 512, 8, 8)
+	p := test2D().Image(m)
+	for i, v := range p.I {
+		if math.Abs(v-1) > 1e-9 {
+			t.Fatalf("clear-field sample %d = %v", i, v)
+		}
+	}
+}
+
+func TestImage2DMatchesImage1DForLongLine(t *testing.T) {
+	// A very long vertical line imaged in 2-D must track the 1-D imaging
+	// of the same cut. The 1-D path projects the source onto the pattern
+	// axis and drops the transverse component from the pupil cutoff — a
+	// standard approximation — so agreement is expected to within several
+	// percent of clear field, not exactly.
+	w := 90.0
+	win2 := geom.NewRect(-1024, -1024, 1024, 1024)
+	m2 := mask.FromRects([]geom.Rect{geom.NewRect(-w/2, -1024, w/2, 1024)}, win2, 8, 8)
+	p2 := test2D().Image(m2)
+
+	lines := []geom.PolyLine{{CenterX: 0, Width: w, Span: geom.Interval{Lo: 0, Hi: 10}}}
+	m1 := mask.FromLines(lines, geom.Interval{Lo: -1024, Hi: 1024}, 8)
+	im1 := Imager{Wavelength: 193, NA: 0.7, Src: Annular(0.55, 0.85, 24)}
+	p1 := im1.Image(m1)
+
+	for _, x := range []float64{0, 30, 60, 100, 200, 400} {
+		a := p2.At(x, 0)
+		b := p1.At(x)
+		if math.Abs(a-b) > 0.09 {
+			t.Errorf("I2D(%v)=%v vs I1D=%v", x, a, b)
+		}
+	}
+}
+
+func TestImage2DSymmetry(t *testing.T) {
+	// A centered square images with 4-fold symmetry.
+	win := geom.NewRect(-512, -512, 512, 512)
+	m := mask.FromRects([]geom.Rect{geom.NewRect(-100, -100, 100, 100)}, win, 8, 8)
+	p := test2D().Image(m)
+	for _, probe := range [][2]float64{{60, 0}, {120, 40}, {0, 150}} {
+		x, y := probe[0], probe[1]
+		ref := p.At(x, y)
+		for _, mirror := range [][2]float64{{-x, y}, {x, -y}, {y, x}} {
+			if d := math.Abs(p.At(mirror[0], mirror[1]) - ref); d > 1e-6 {
+				t.Errorf("asymmetry at (%v,%v) vs (%v,%v): %v", x, y, mirror[0], mirror[1], d)
+			}
+		}
+	}
+}
+
+func TestImage2DCornerRounding(t *testing.T) {
+	// Intensity at a rectangle's corner is higher (more light leaks in)
+	// than at its edge midpoint — the cause of corner rounding.
+	win := geom.NewRect(-512, -512, 512, 512)
+	m := mask.FromRects([]geom.Rect{geom.NewRect(-150, -150, 150, 150)}, win, 8, 8)
+	p := test2D().Image(m)
+	corner := p.At(130, 130)
+	edge := p.At(130, 0)
+	if corner <= edge {
+		t.Errorf("corner intensity %v not above edge %v", corner, edge)
+	}
+}
+
+func TestCutsConsistentWithAt(t *testing.T) {
+	win := geom.NewRect(-512, -512, 512, 512)
+	m := mask.FromRects([]geom.Rect{geom.NewRect(-45, -200, 45, 200)}, win, 8, 8)
+	p := test2D().Image(m)
+	cv := p.CutV(0)
+	ch := p.CutH(0)
+	if math.Abs(cv.At(0)-p.At(0, 0)) > 1e-9 {
+		t.Error("CutV disagrees with At")
+	}
+	if math.Abs(ch.At(0)-p.At(0, 0)) > 1e-9 {
+		t.Error("CutH disagrees with At")
+	}
+}
+
+func TestImage2DPanics(t *testing.T) {
+	m := mask.NewClearField2D(0, 0, 64, 64, 8, 8)
+	for name, im := range map[string]Imager2D{
+		"bad NA":    {Wavelength: 193, NA: 1.5, Src: AnnularGrid(0.5, 0.8, 4)},
+		"no source": {Wavelength: 193, NA: 0.7},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			im.Image(m)
+		}()
+	}
+}
+
+func BenchmarkImage2D256(b *testing.B) {
+	win := geom.NewRect(-1024, -1024, 1024, 1024)
+	m := mask.FromRects([]geom.Rect{geom.NewRect(-45, -300, 45, 300)}, win, 8, 8)
+	im := test2D()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		im.Image(m)
+	}
+}

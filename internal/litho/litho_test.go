@@ -1,0 +1,193 @@
+package litho
+
+import (
+	"math"
+	"testing"
+
+	"svtiming/internal/geom"
+	"svtiming/internal/mask"
+)
+
+func testImager(src Source) Imager {
+	return Imager{Wavelength: 193, NA: 0.7, Src: src}
+}
+
+func TestSourceWeights(t *testing.T) {
+	conv := Conventional(0.5, 32)
+	// Projected disk density integrates to the disk area π·σ².
+	want := math.Pi * 0.25
+	if got := conv.TotalWeight(); math.Abs(got-want) > 0.02*want {
+		t.Errorf("conventional weight = %v, want ≈ %v", got, want)
+	}
+	ann := Annular(0.55, 0.85, 64)
+	wantAnn := math.Pi * (0.85*0.85 - 0.55*0.55)
+	if got := ann.TotalWeight(); math.Abs(got-wantAnn) > 0.02*wantAnn {
+		t.Errorf("annular weight = %v, want ≈ %v", got, wantAnn)
+	}
+}
+
+func TestSourceSymmetry(t *testing.T) {
+	for _, src := range []Source{Conventional(0.6, 20), Annular(0.5, 0.8, 20)} {
+		var m1 float64
+		for _, p := range src.Points {
+			m1 += p.Sigma * p.Weight
+		}
+		if math.Abs(m1) > 1e-9 {
+			t.Errorf("%s: first moment = %v, want 0 (symmetric)", src.Name, m1)
+		}
+	}
+}
+
+func TestSourcePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"conventional zero sigma": func() { Conventional(0, 8) },
+		"annular inverted":        func() { Annular(0.9, 0.5, 8) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestClearFieldImagesToUnity(t *testing.T) {
+	m := mask.NewClearField(0, 2048, 2)
+	for _, src := range []Source{Coherent(), Conventional(0.5, 16), Annular(0.55, 0.85, 16)} {
+		im := testImager(src)
+		p := im.Image(m)
+		for i, v := range p.I {
+			if math.Abs(v-1) > 1e-9 {
+				t.Fatalf("%s: clear field sample %d = %v, want 1", src.Name, i, v)
+			}
+		}
+	}
+}
+
+func TestClearFieldUnityThroughFocus(t *testing.T) {
+	m := mask.NewClearField(0, 1024, 2)
+	im := testImager(Annular(0.55, 0.85, 16))
+	im.Defocus = 300
+	p := im.Image(m)
+	if math.Abs(p.I[100]-1) > 1e-9 {
+		t.Errorf("defocused clear field = %v, want 1 (defocus is pure phase)", p.I[100])
+	}
+}
+
+func TestLineImageDarkAtCenter(t *testing.T) {
+	lines := []geom.PolyLine{{CenterX: 0, Width: 130, Span: geom.Interval{Lo: 0, Hi: 100}}}
+	m := mask.FromLines(lines, geom.Interval{Lo: -1024, Hi: 1024}, 2)
+	im := testImager(Annular(0.55, 0.85, 24))
+	p := im.Image(m)
+	center := p.At(0)
+	far := p.At(900)
+	if center >= 0.5 {
+		t.Errorf("intensity under line = %v, want dark (< 0.5)", center)
+	}
+	if math.Abs(far-1) > 0.02 {
+		t.Errorf("intensity far from line = %v, want ≈ 1", far)
+	}
+	// Symmetric pattern images symmetrically.
+	if d := math.Abs(p.At(100) - p.At(-100)); d > 1e-6 {
+		t.Errorf("asymmetry at ±100: %v", d)
+	}
+}
+
+func TestDefocusReducesContrast(t *testing.T) {
+	lines := []geom.PolyLine{{CenterX: 0, Width: 90, Span: geom.Interval{Lo: 0, Hi: 100}}}
+	m := mask.FromLines(lines, geom.Interval{Lo: -1024, Hi: 1024}, 2)
+	im := testImager(Annular(0.55, 0.85, 24))
+	focus := im.Image(m).At(0)
+	im.Defocus = 300
+	blur := im.Image(m).At(0)
+	if blur <= focus {
+		t.Errorf("defocus should raise the line-center intensity: focus %v, defocused %v", focus, blur)
+	}
+}
+
+func TestImageEnergyConservationDense(t *testing.T) {
+	// For a periodic pattern and an aberration-free in-focus system, the
+	// mean image intensity is bounded by the clear-field level and is
+	// positive. (A loose sanity bound; exact conservation doesn't hold
+	// because the pupil discards diffracted energy.)
+	lines := []geom.PolyLine{}
+	for i := -6; i <= 6; i++ {
+		lines = append(lines, geom.PolyLine{CenterX: float64(i) * 260, Width: 130,
+			Span: geom.Interval{Lo: 0, Hi: 100}})
+	}
+	m := mask.FromLines(lines, geom.Interval{Lo: -2048, Hi: 2048}, 2)
+	p := testImager(Annular(0.55, 0.85, 16)).Image(m)
+	var mean float64
+	for _, v := range p.I {
+		if v < 0 {
+			t.Fatalf("negative intensity %v", v)
+		}
+		mean += v
+	}
+	mean /= float64(len(p.I))
+	if mean <= 0 || mean > 1 {
+		t.Errorf("mean intensity = %v, want in (0, 1]", mean)
+	}
+}
+
+func TestProfileAtInterpolatesAndClamps(t *testing.T) {
+	p := Profile{X0: 0, Dx: 2, I: []float64{0, 1, 2, 3}}
+	if got := p.At(2); math.Abs(got-0.5) > 1e-12 { // between samples 0 (x=1) and 1 (x=3)
+		t.Errorf("At(2) = %v, want 0.5", got)
+	}
+	if got := p.At(-100); got != 0 {
+		t.Errorf("At(-100) = %v, want clamp to 0", got)
+	}
+	if got := p.At(100); got != 3 {
+		t.Errorf("At(100) = %v, want clamp to 3", got)
+	}
+}
+
+func TestProfileMin(t *testing.T) {
+	p := Profile{X0: 0, Dx: 1, I: []float64{5, 1, 7, 0.5, 9}}
+	if got := p.Min(0, 3); got != 1 {
+		t.Errorf("Min(0,3) = %v, want 1", got)
+	}
+	if got := p.Min(0, 5); got != 0.5 {
+		t.Errorf("Min(0,5) = %v, want 0.5", got)
+	}
+}
+
+func TestILSPositiveAtEdge(t *testing.T) {
+	lines := []geom.PolyLine{{CenterX: 0, Width: 130, Span: geom.Interval{Lo: 0, Hi: 100}}}
+	m := mask.FromLines(lines, geom.Interval{Lo: -1024, Hi: 1024}, 2)
+	p := testImager(Annular(0.55, 0.85, 16)).Image(m)
+	if ils := p.ILS(65); ils <= 0 {
+		t.Errorf("ILS at feature edge = %v, want > 0", ils)
+	}
+	if edge, flat := p.ILS(65), p.ILS(900); edge < 5*flat {
+		t.Errorf("ILS at edge (%v) should dwarf ILS in clear field (%v)", edge, flat)
+	}
+}
+
+func TestImagerPanicsOnBadNA(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for NA >= 1")
+		}
+	}()
+	im := Imager{Wavelength: 193, NA: 1.2, Src: Coherent()}
+	im.Image(mask.NewClearField(0, 64, 2))
+}
+
+func BenchmarkImageLocalWindow(b *testing.B) {
+	lines := []geom.PolyLine{
+		{CenterX: 0, Width: 90, Span: geom.Interval{Lo: 0, Hi: 100}},
+		{CenterX: -240, Width: 90, Span: geom.Interval{Lo: 0, Hi: 100}},
+		{CenterX: 240, Width: 90, Span: geom.Interval{Lo: 0, Hi: 100}},
+	}
+	m := mask.FromLines(lines, geom.Interval{Lo: -2048, Hi: 2048}, 2)
+	im := testImager(Annular(0.55, 0.85, 24))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		im.Image(m)
+	}
+}

@@ -1,0 +1,55 @@
+package litho
+
+// This file hosts pure-optics quality metrics that depend only on the
+// imaging model, not on resist or process conventions: image contrast and
+// depth-of-focus proxies used by the OPC and FEM layers' tests.
+
+import (
+	"math"
+
+	"svtiming/internal/mask"
+)
+
+// Contrast returns the Michelson contrast (Imax−Imin)/(Imax+Imin) of the
+// profile over [lo, hi].
+func Contrast(p Profile, lo, hi float64) float64 {
+	mn, mx := math.Inf(1), math.Inf(-1)
+	for i := range p.I {
+		x := p.X(i)
+		if x < lo || x > hi {
+			continue
+		}
+		if p.I[i] < mn {
+			mn = p.I[i]
+		}
+		if p.I[i] > mx {
+			mx = p.I[i]
+		}
+	}
+	if mx+mn <= 0 || mx < mn {
+		return 0
+	}
+	return (mx - mn) / (mx + mn)
+}
+
+// NILS returns the normalized image log slope w·|dI/dx|/I at coordinate x
+// for a feature of width w — the standard exposure-latitude predictor.
+func NILS(p Profile, x, w float64) float64 {
+	return w * p.ILS(x)
+}
+
+// PeriodicImage images one period of an infinite line/space grating by
+// tiling enough periods across the window to make border effects
+// negligible. The returned profile is centered on a line at x = 0.
+func (im Imager) PeriodicImage(lineWidth, pitch, dx float64, periods int) Profile {
+	if periods < 3 {
+		periods = 3
+	}
+	half := float64(periods) * pitch
+	m := mask.NewClearField(-half, 2*half, dx)
+	for k := -periods; k <= periods; k++ {
+		c := float64(k) * pitch
+		m.AddOpaque(c-lineWidth/2, c+lineWidth/2)
+	}
+	return im.Image(m)
+}

@@ -1,0 +1,66 @@
+package litho
+
+import (
+	"math"
+	"testing"
+
+	"svtiming/internal/geom"
+	"svtiming/internal/mask"
+)
+
+func TestContrast(t *testing.T) {
+	p := Profile{X0: 0, Dx: 1, I: []float64{1, 0.2, 1, 0.2}}
+	if c := Contrast(p, 0, 4); math.Abs(c-(0.8/1.2)) > 1e-12 {
+		t.Errorf("Contrast = %v", c)
+	}
+	if c := Contrast(p, 10, 20); c != 0 {
+		t.Errorf("empty-window contrast = %v", c)
+	}
+}
+
+func TestContrastDropsWithDefocus(t *testing.T) {
+	im := testImager(Annular(0.55, 0.85, 16))
+	p0 := im.PeriodicImage(90, 240, 2, 4)
+	imZ := im.WithDefocus(300)
+	pz := imZ.PeriodicImage(90, 240, 2, 4)
+	c0 := Contrast(p0, -120, 120)
+	cz := Contrast(pz, -120, 120)
+	if cz >= c0 {
+		t.Errorf("defocus did not reduce contrast: %v → %v", c0, cz)
+	}
+}
+
+func TestNILS(t *testing.T) {
+	lines := []geom.PolyLine{{CenterX: 0, Width: 130, Span: geom.Interval{Lo: 0, Hi: 100}}}
+	m := mask.FromLines(lines, geom.Interval{Lo: -1024, Hi: 1024}, 2)
+	p := testImager(Annular(0.55, 0.85, 16)).Image(m)
+	n := NILS(p, 65, 130)
+	if n <= 0.5 || n > 10 {
+		t.Errorf("NILS at feature edge = %v, outside plausible range", n)
+	}
+}
+
+func TestPeriodicImagePeriodicity(t *testing.T) {
+	im := testImager(Annular(0.55, 0.85, 16))
+	p := im.PeriodicImage(90, 300, 2, 5)
+	// Intensity one pitch apart must match near the center of the window.
+	for _, x := range []float64{-60, 0, 45, 100} {
+		a := p.At(x)
+		b := p.At(x + 300)
+		if math.Abs(a-b) > 0.02 {
+			t.Errorf("I(%v)=%v vs I(%v)=%v: not periodic", x, a, x+300, b)
+		}
+	}
+	// Dark at line centers, bright between.
+	if p.At(0) >= p.At(150) {
+		t.Errorf("line center %v not darker than space %v", p.At(0), p.At(150))
+	}
+}
+
+func TestPeriodicImageMinPeriods(t *testing.T) {
+	im := testImager(Conventional(0.6, 12))
+	p := im.PeriodicImage(90, 300, 2, 1) // clamped to 3 periods
+	if len(p.I) == 0 {
+		t.Fatal("empty profile")
+	}
+}

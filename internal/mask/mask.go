@@ -1,0 +1,111 @@
+// Package mask builds one-dimensional photomask transmission functions from
+// poly-level layout geometry.
+//
+// The flow images vertical poly lines, so a horizontal cut through the
+// layout fully describes the mask: a binary (chrome-on-glass) transmission
+// function that is 1 in clear field and 0 over poly features. Edges are
+// anti-aliased by area coverage so that sub-sample edge moves (as produced
+// by OPC) change the spectrum smoothly.
+package mask
+
+import (
+	"fmt"
+
+	"svtiming/internal/fourier"
+	"svtiming/internal/geom"
+)
+
+// Mask1D is a sampled 1-D amplitude transmission function over a window
+// [X0, X0+N·Dx). The sample count is always a power of two so the imaging
+// code can FFT it directly.
+type Mask1D struct {
+	X0    float64   // left edge of the window, nm
+	Dx    float64   // sample pitch, nm
+	Trans []float64 // amplitude transmission per sample, in [0,1]
+}
+
+// NewClearField returns a fully transparent mask covering at least width nm
+// starting at x0, sampled at dx. The sample count is rounded up to a power
+// of two, so the actual window may be slightly wider than requested.
+func NewClearField(x0, width, dx float64) *Mask1D {
+	if width <= 0 || dx <= 0 {
+		panic(fmt.Sprintf("mask: invalid window width %g dx %g", width, dx))
+	}
+	n := fourier.NextPow2(int(width/dx + 0.5))
+	m := &Mask1D{X0: x0, Dx: dx, Trans: make([]float64, n)}
+	for i := range m.Trans {
+		m.Trans[i] = 1
+	}
+	return m
+}
+
+// N returns the number of samples.
+func (m *Mask1D) N() int { return len(m.Trans) }
+
+// Width returns the window width in nm.
+func (m *Mask1D) Width() float64 { return float64(len(m.Trans)) * m.Dx }
+
+// X returns the coordinate of sample i (sample centers at X0 + (i+0.5)·Dx).
+func (m *Mask1D) X(i int) float64 { return m.X0 + (float64(i)+0.5)*m.Dx }
+
+// Window returns the covered x interval.
+func (m *Mask1D) Window() geom.Interval {
+	return geom.Interval{Lo: m.X0, Hi: m.X0 + m.Width()}
+}
+
+// AddOpaque blocks transmission over [lo, hi]. Partially covered boundary
+// samples get fractional transmission equal to their uncovered area, which
+// makes the mask spectrum a smooth function of edge positions.
+func (m *Mask1D) AddOpaque(lo, hi float64) {
+	if hi <= lo {
+		return
+	}
+	for i := range m.Trans {
+		sLo := m.X0 + float64(i)*m.Dx
+		sHi := sLo + m.Dx
+		cov := coverage(sLo, sHi, lo, hi)
+		if cov > 0 {
+			m.Trans[i] *= 1 - cov
+		}
+	}
+}
+
+// coverage returns the fraction of [sLo,sHi] covered by [lo,hi].
+func coverage(sLo, sHi, lo, hi float64) float64 {
+	l := sLo
+	if lo > l {
+		l = lo
+	}
+	h := sHi
+	if hi < h {
+		h = hi
+	}
+	if h <= l {
+		return 0
+	}
+	return (h - l) / (sHi - sLo)
+}
+
+// AddLine blocks transmission under the given poly line (its vertical span
+// is ignored; the caller is responsible for clipping to the cut of
+// interest).
+func (m *Mask1D) AddLine(l geom.PolyLine) {
+	m.AddOpaque(l.LeftEdge(), l.RightEdge())
+}
+
+// FromLines builds a clear-field mask over window and blocks it under each
+// line. Lines wholly outside the window are ignored.
+func FromLines(lines []geom.PolyLine, window geom.Interval, dx float64) *Mask1D {
+	m := NewClearField(window.Lo, window.Len(), dx)
+	for _, l := range lines {
+		m.AddLine(l)
+	}
+	return m
+}
+
+// Clone returns a deep copy of the mask.
+func (m *Mask1D) Clone() *Mask1D {
+	out := &Mask1D{X0: m.X0, Dx: m.Dx, Trans: make([]float64, len(m.Trans))}
+	copy(out.Trans, m.Trans)
+	return out
+}

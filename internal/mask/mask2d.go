@@ -1,0 +1,73 @@
+package mask
+
+import (
+	"fmt"
+
+	"svtiming/internal/fourier"
+	"svtiming/internal/geom"
+)
+
+// Mask2D is a sampled two-dimensional amplitude transmission function over
+// the window [X0, X0+Nx·Dx) × [Y0, Y0+Ny·Dy), stored row-major with x
+// fastest. Used by the 2-D imaging path for line-end and corner effects.
+type Mask2D struct {
+	X0, Y0 float64
+	Dx, Dy float64
+	Nx, Ny int
+	Trans  []float64 // Nx*Ny samples in [0,1]
+}
+
+// NewClearField2D returns a fully transparent 2-D mask covering at least
+// width × height nm; sample counts round up to powers of two.
+func NewClearField2D(x0, y0, width, height, dx, dy float64) *Mask2D {
+	if width <= 0 || height <= 0 || dx <= 0 || dy <= 0 {
+		panic(fmt.Sprintf("mask: invalid 2D window %gx%g dx %g dy %g", width, height, dx, dy))
+	}
+	nx := fourier.NextPow2(int(width/dx + 0.5))
+	ny := fourier.NextPow2(int(height/dy + 0.5))
+	m := &Mask2D{X0: x0, Y0: y0, Dx: dx, Dy: dy, Nx: nx, Ny: ny,
+		Trans: make([]float64, nx*ny)}
+	for i := range m.Trans {
+		m.Trans[i] = 1
+	}
+	return m
+}
+
+// X returns the x coordinate of column i (sample centers).
+func (m *Mask2D) X(i int) float64 { return m.X0 + (float64(i)+0.5)*m.Dx }
+
+// Y returns the y coordinate of row j.
+func (m *Mask2D) Y(j int) float64 { return m.Y0 + (float64(j)+0.5)*m.Dy }
+
+// AddOpaqueRect blocks transmission over the rectangle, with partial
+// coverage on boundary samples (separable in x and y).
+func (m *Mask2D) AddOpaqueRect(r geom.Rect) {
+	if r.Empty() {
+		return
+	}
+	for j := 0; j < m.Ny; j++ {
+		yLo := m.Y0 + float64(j)*m.Dy
+		cy := coverage(yLo, yLo+m.Dy, r.Y.Lo, r.Y.Hi)
+		if cy == 0 {
+			continue
+		}
+		row := m.Trans[j*m.Nx : (j+1)*m.Nx]
+		for i := 0; i < m.Nx; i++ {
+			xLo := m.X0 + float64(i)*m.Dx
+			cx := coverage(xLo, xLo+m.Dx, r.X.Lo, r.X.Hi)
+			if cx > 0 {
+				row[i] *= 1 - cx*cy
+			}
+		}
+	}
+}
+
+// FromRects builds a clear-field 2-D mask over the window and blocks it
+// under each rectangle.
+func FromRects(rects []geom.Rect, window geom.Rect, dx, dy float64) *Mask2D {
+	m := NewClearField2D(window.X.Lo, window.Y.Lo, window.W(), window.H(), dx, dy)
+	for _, r := range rects {
+		m.AddOpaqueRect(r)
+	}
+	return m
+}

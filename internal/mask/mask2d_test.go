@@ -1,0 +1,91 @@
+package mask
+
+import (
+	"math"
+	"testing"
+
+	"svtiming/internal/fourier"
+	"svtiming/internal/geom"
+)
+
+func TestNewClearField2D(t *testing.T) {
+	m := NewClearField2D(-100, -200, 300, 500, 4, 4)
+	if !fourier.IsPow2(m.Nx) || !fourier.IsPow2(m.Ny) {
+		t.Fatalf("dims %dx%d not powers of two", m.Nx, m.Ny)
+	}
+	if len(m.Trans) != m.Nx*m.Ny {
+		t.Fatal("storage size mismatch")
+	}
+	for _, v := range m.Trans {
+		if v != 1 {
+			t.Fatal("clear field not transparent")
+		}
+	}
+	if m.X(0) != -98 || m.Y(0) != -198 {
+		t.Errorf("sample centers: %v, %v", m.X(0), m.Y(0))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad window accepted")
+		}
+	}()
+	NewClearField2D(0, 0, -5, 10, 1, 1)
+}
+
+func TestAddOpaqueRectCoverage(t *testing.T) {
+	m := NewClearField2D(0, 0, 64, 64, 2, 2)
+	m.AddOpaqueRect(geom.NewRect(10, 10, 20, 20))
+	// Fully covered interior sample.
+	iIn := (6 * m.Nx) + 6 // sample covering (12..14, 12..14)
+	if m.Trans[iIn] != 0 {
+		t.Errorf("interior sample = %v", m.Trans[iIn])
+	}
+	// Outside sample untouched.
+	if m.Trans[0] != 1 {
+		t.Errorf("outside sample = %v", m.Trans[0])
+	}
+	// Area conservation: blocked area equals the rectangle's area.
+	var blocked float64
+	for _, v := range m.Trans {
+		blocked += (1 - v) * m.Dx * m.Dy
+	}
+	if math.Abs(blocked-100) > 1e-9 {
+		t.Errorf("blocked area = %v, want 100", blocked)
+	}
+}
+
+func TestAddOpaqueRectSubSampleAlignment(t *testing.T) {
+	// Area conservation holds at arbitrary sub-sample offsets.
+	for _, off := range []float64{0, 0.3, 0.77, 1.5} {
+		m := NewClearField2D(0, 0, 128, 128, 2, 2)
+		m.AddOpaqueRect(geom.NewRect(30+off, 40+off, 95+off, 77+off))
+		want := (95.0 - 30) * (77.0 - 40)
+		var blocked float64
+		for _, v := range m.Trans {
+			blocked += (1 - v) * m.Dx * m.Dy
+		}
+		if math.Abs(blocked-want) > 1e-6 {
+			t.Errorf("offset %v: blocked %v, want %v", off, blocked, want)
+		}
+	}
+}
+
+func TestFromRects(t *testing.T) {
+	win := geom.NewRect(-64, -64, 64, 64)
+	m := FromRects([]geom.Rect{
+		geom.NewRect(-10, -10, 10, 10),
+		geom.NewRect(30, 30, 50, 50),
+	}, win, 2, 2)
+	// Point in first rect opaque, gap clear.
+	iCenter := (m.Ny/2)*m.Nx + m.Nx/2
+	if m.Trans[iCenter] != 0 {
+		t.Errorf("center = %v", m.Trans[iCenter])
+	}
+	// Empty rect ignored.
+	m2 := FromRects([]geom.Rect{{X: geom.Interval{Lo: 5, Hi: 1}}}, win, 2, 2)
+	for _, v := range m2.Trans {
+		if v != 1 {
+			t.Fatal("empty rect modified the mask")
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package mask
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"svtiming/internal/fourier"
+	"svtiming/internal/geom"
+)
+
+func TestNewClearField(t *testing.T) {
+	m := NewClearField(-500, 1000, 2)
+	if !fourier.IsPow2(m.N()) {
+		t.Fatalf("N = %d, not a power of two", m.N())
+	}
+	if m.Width() < 1000 {
+		t.Errorf("Width = %v, want >= 1000", m.Width())
+	}
+	for i, v := range m.Trans {
+		if v != 1 {
+			t.Fatalf("sample %d = %v, want 1", i, v)
+		}
+	}
+	if m.Window().Lo != -500 {
+		t.Errorf("Window.Lo = %v", m.Window().Lo)
+	}
+}
+
+func TestNewClearFieldPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for zero width")
+		}
+	}()
+	NewClearField(0, 0, 2)
+}
+
+func TestAddOpaqueFullSamples(t *testing.T) {
+	m := NewClearField(0, 64, 2)
+	m.AddOpaque(10, 20) // exactly samples 5..9
+	for i := range m.Trans {
+		lo, hi := float64(i)*2, float64(i)*2+2
+		want := 1.0
+		if lo >= 10 && hi <= 20 {
+			want = 0
+		}
+		if lo < 10 && hi > 10 || lo < 20 && hi > 20 {
+			continue // partial, checked below
+		}
+		if m.Trans[i] != want {
+			t.Errorf("sample %d (%v..%v) = %v, want %v", i, lo, hi, m.Trans[i], want)
+		}
+	}
+}
+
+func TestAddOpaquePartialCoverage(t *testing.T) {
+	m := NewClearField(0, 64, 2)
+	m.AddOpaque(1, 2) // covers half of sample 0 (0..2)
+	if math.Abs(m.Trans[0]-0.5) > 1e-12 {
+		t.Errorf("half-covered sample = %v, want 0.5", m.Trans[0])
+	}
+	m2 := NewClearField(0, 64, 2)
+	m2.AddOpaque(0.5, 1.0) // a quarter of sample 0
+	if math.Abs(m2.Trans[0]-0.75) > 1e-12 {
+		t.Errorf("quarter-covered sample = %v, want 0.75", m2.Trans[0])
+	}
+}
+
+func TestAddOpaqueAreaConservation(t *testing.T) {
+	// Total blocked area equals feature width regardless of sub-sample
+	// alignment.
+	f := func(offset float64) bool {
+		off := math.Mod(math.Abs(offset), 2.0)
+		m := NewClearField(0, 256, 2)
+		m.AddOpaque(50+off, 140+off)
+		var blocked float64
+		for _, v := range m.Trans {
+			blocked += (1 - v) * m.Dx
+		}
+		return math.Abs(blocked-90) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddOpaqueIgnoresEmpty(t *testing.T) {
+	m := NewClearField(0, 64, 2)
+	m.AddOpaque(20, 10)
+	for _, v := range m.Trans {
+		if v != 1 {
+			t.Fatal("empty opaque region modified the mask")
+		}
+	}
+}
+
+func TestFromLines(t *testing.T) {
+	lines := []geom.PolyLine{
+		{CenterX: 0, Width: 90, Span: geom.Interval{Lo: 0, Hi: 100}},
+		{CenterX: 300, Width: 90, Span: geom.Interval{Lo: 0, Hi: 100}},
+	}
+	m := FromLines(lines, geom.Interval{Lo: -512, Hi: 512}, 2)
+	// Sample at x=0 must be opaque, at x=150 clear.
+	i0 := int((0 - m.X0) / m.Dx)
+	i150 := int((150 - m.X0) / m.Dx)
+	if m.Trans[i0] != 0 {
+		t.Errorf("center of line = %v, want 0", m.Trans[i0])
+	}
+	if m.Trans[i150] != 1 {
+		t.Errorf("space = %v, want 1", m.Trans[i150])
+	}
+}
+
+func TestClone(t *testing.T) {
+	m := NewClearField(0, 64, 2)
+	m.AddOpaque(10, 20)
+	c := m.Clone()
+	c.AddOpaque(30, 40)
+	i35 := int(35 / m.Dx)
+	if m.Trans[i35] != 1 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestXRoundTrip(t *testing.T) {
+	m := NewClearField(-100, 200, 4)
+	for i := 0; i < m.N(); i += 7 {
+		x := m.X(i)
+		if x < -100 || x > -100+m.Width() {
+			t.Fatalf("X(%d) = %v outside window", i, x)
+		}
+	}
+	if m.X(0) != -98 { // center of first 4nm sample
+		t.Errorf("X(0) = %v, want -98", m.X(0))
+	}
+}

@@ -1,0 +1,302 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ReadBench parses an ISCAS85 .bench format netlist and maps it onto the
+// 10-cell library. Primitive gates map directly where a master exists
+// (NAND2/3, NOR2/3, NOT, BUFF, XOR2); AND/OR and wide gates are decomposed
+// into NAND/NOR trees plus inverters, introducing instances and nets
+// suffixed with "_d<N>". Extended cell names (AOI21, OAI21) are accepted
+// as gate keywords for round-tripping netlists written by WriteBench.
+func ReadBench(name string, r io.Reader) (*Netlist, error) {
+	n := &Netlist{Name: name}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	aux := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "INPUT(") && strings.HasSuffix(line, ")"):
+			n.PIs = append(n.PIs, strings.TrimSuffix(strings.TrimPrefix(line, "INPUT("), ")"))
+		case strings.HasPrefix(line, "OUTPUT(") && strings.HasSuffix(line, ")"):
+			n.POs = append(n.POs, strings.TrimSuffix(strings.TrimPrefix(line, "OUTPUT("), ")"))
+		default:
+			out, op, args, err := parseAssign(line)
+			if err != nil {
+				return nil, fmt.Errorf("bench %s line %d: %w", name, lineNo, err)
+			}
+			if err := n.mapGate(out, op, args, &aux); err != nil {
+				return nil, fmt.Errorf("bench %s line %d: %w", name, lineNo, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bench %s: %w", name, err)
+	}
+	return n, nil
+}
+
+func parseAssign(line string) (out, op string, args []string, err error) {
+	eq := strings.Index(line, "=")
+	if eq < 0 {
+		return "", "", nil, fmt.Errorf("malformed line %q", line)
+	}
+	out = strings.TrimSpace(line[:eq])
+	rhs := strings.TrimSpace(line[eq+1:])
+	open := strings.Index(rhs, "(")
+	if open < 0 || !strings.HasSuffix(rhs, ")") {
+		return "", "", nil, fmt.Errorf("malformed gate %q", rhs)
+	}
+	op = strings.ToUpper(strings.TrimSpace(rhs[:open]))
+	inner := strings.TrimSuffix(rhs[open+1:], ")")
+	for _, a := range strings.Split(inner, ",") {
+		a = strings.TrimSpace(a)
+		if a != "" {
+			args = append(args, a)
+		}
+	}
+	if out == "" || len(args) == 0 {
+		return "", "", nil, fmt.Errorf("gate %q needs an output and inputs", line)
+	}
+	return out, op, args, nil
+}
+
+// mapGate lowers one bench primitive to library instances driving out.
+func (n *Netlist) mapGate(out, op string, args []string, aux *int) error {
+	newNet := func() string {
+		*aux++
+		return fmt.Sprintf("%s_d%d", out, *aux)
+	}
+	add := func(cell, output string, inputs ...string) {
+		n.Instances = append(n.Instances, Instance{
+			Name:   fmt.Sprintf("U%d_%s", len(n.Instances), output),
+			Cell:   cell,
+			Inputs: inputs,
+			Output: output,
+		})
+	}
+	// nandTree reduces args to a single net computing NAND(args) into dst.
+	var nandTree func(dst string, in []string)
+	nandTree = func(dst string, in []string) {
+		switch len(in) {
+		case 1:
+			add("INVX1", dst, in[0])
+		case 2:
+			add("NAND2X1", dst, in[0], in[1])
+		case 3:
+			add("NAND3X1", dst, in[0], in[1], in[2])
+		default:
+			// AND the first three, then NAND the rest.
+			t := newNet()
+			andInto(t, in[:3], add, newNet)
+			nandTree(dst, append([]string{t}, in[3:]...))
+		}
+	}
+	var norTree func(dst string, in []string)
+	norTree = func(dst string, in []string) {
+		switch len(in) {
+		case 1:
+			add("INVX1", dst, in[0])
+		case 2:
+			add("NOR2X1", dst, in[0], in[1])
+		case 3:
+			add("NOR3X1", dst, in[0], in[1], in[2])
+		default:
+			t := newNet()
+			orInto(t, in[:3], add, newNet)
+			norTree(dst, append([]string{t}, in[3:]...))
+		}
+	}
+	switch op {
+	case "NOT", "INV":
+		if len(args) != 1 {
+			return fmt.Errorf("NOT with %d inputs", len(args))
+		}
+		add("INVX1", out, args[0])
+	case "BUFF", "BUF":
+		if len(args) != 1 {
+			return fmt.Errorf("BUFF with %d inputs", len(args))
+		}
+		add("BUFX2", out, args[0])
+	case "NAND":
+		nandTree(out, args)
+	case "NOR":
+		norTree(out, args)
+	case "AND":
+		andInto(out, args, add, newNet)
+	case "OR":
+		orInto(out, args, add, newNet)
+	case "XOR":
+		if len(args) == 2 {
+			add("XOR2X1", out, args[0], args[1])
+		} else {
+			// Chain: XOR(a,b,c,...) = XOR(XOR(a,b),c)...
+			cur := args[0]
+			for i := 1; i < len(args); i++ {
+				dst := out
+				if i != len(args)-1 {
+					dst = newNet()
+				}
+				add("XOR2X1", dst, cur, args[i])
+				cur = dst
+			}
+		}
+	case "AOI21":
+		if len(args) != 3 {
+			return fmt.Errorf("AOI21 with %d inputs", len(args))
+		}
+		add("AOI21X1", out, args[0], args[1], args[2])
+	case "OAI21":
+		if len(args) != 3 {
+			return fmt.Errorf("OAI21 with %d inputs", len(args))
+		}
+		add("OAI21X1", out, args[0], args[1], args[2])
+	default:
+		// Accept direct library cell names (round-trip of WriteBench).
+		switch op {
+		case "INVX1", "INVX2", "BUFX2", "NAND2X1", "NAND3X1", "NOR2X1",
+			"NOR3X1", "AOI21X1", "OAI21X1", "XOR2X1":
+			add(op, out, args...)
+		default:
+			return fmt.Errorf("unknown gate %q", op)
+		}
+	}
+	return nil
+}
+
+func andInto(dst string, in []string, add func(cell, out string, ins ...string), newNet func() string) {
+	t := newNet()
+	switch len(in) {
+	case 1:
+		add("BUFX2", dst, in[0])
+		return
+	case 2:
+		add("NAND2X1", t, in[0], in[1])
+	case 3:
+		add("NAND3X1", t, in[0], in[1], in[2])
+	default:
+		// AND(a,b,c) then AND with the rest pairwise.
+		u := newNet()
+		andInto(u, in[:3], add, newNet)
+		andInto(dst, append([]string{u}, in[3:]...), add, newNet)
+		return
+	}
+	add("INVX1", dst, t)
+}
+
+func orInto(dst string, in []string, add func(cell, out string, ins ...string), newNet func() string) {
+	t := newNet()
+	switch len(in) {
+	case 1:
+		add("BUFX2", dst, in[0])
+		return
+	case 2:
+		add("NOR2X1", t, in[0], in[1])
+	case 3:
+		add("NOR3X1", t, in[0], in[1], in[2])
+	default:
+		u := newNet()
+		orInto(u, in[:3], add, newNet)
+		orInto(dst, append([]string{u}, in[3:]...), add, newNet)
+		return
+	}
+	add("INVX1", dst, t)
+}
+
+// WriteBench serializes the netlist in .bench format using library cell
+// names as gate keywords, which ReadBench accepts back.
+func WriteBench(w io.Writer, n *Netlist) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s: %d inputs, %d outputs, %d gates\n",
+		n.Name, len(n.PIs), len(n.POs), len(n.Instances))
+	for _, pi := range n.PIs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", pi)
+	}
+	for _, po := range n.POs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", po)
+	}
+	for _, g := range n.Instances {
+		fmt.Fprintf(bw, "%s = %s(%s)\n", g.Output, g.Cell, strings.Join(g.Inputs, ", "))
+	}
+	return bw.Flush()
+}
+
+// C17 returns the canonical ISCAS85 c17 netlist (six 2-input NANDs),
+// embedded verbatim from the benchmark distribution.
+func C17() *Netlist {
+	src := `# c17 ISCAS85 benchmark
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+`
+	n, err := ReadBench("c17", strings.NewReader(src))
+	if err != nil {
+		panic(err) // embedded text, cannot fail
+	}
+	return n
+}
+
+// Stats summarizes a netlist for reporting.
+type Stats struct {
+	Name   string
+	PIs    int
+	POs    int
+	Gates  int
+	Depth  int
+	ByCell map[string]int
+}
+
+// Summarize computes netlist statistics.
+func Summarize(n *Netlist) (Stats, error) {
+	d, err := n.Depth()
+	if err != nil {
+		return Stats{}, err
+	}
+	return Stats{
+		Name:   n.Name,
+		PIs:    len(n.PIs),
+		POs:    len(n.POs),
+		Gates:  n.NumGates(),
+		Depth:  d,
+		ByCell: n.CellHistogram(),
+	}, nil
+}
+
+func (s Stats) String() string {
+	cells := make([]string, 0, len(s.ByCell))
+	for c := range s.ByCell {
+		cells = append(cells, c)
+	}
+	sort.Strings(cells)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: PI=%d PO=%d gates=%d depth=%d [", s.Name, s.PIs, s.POs, s.Gates, s.Depth)
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s:%d", c, s.ByCell[c])
+	}
+	b.WriteString("]")
+	return b.String()
+}

@@ -1,0 +1,36 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadBench checks the .bench parser never panics and that anything it
+// accepts survives a write/re-read round trip. `go test` exercises the
+// seed corpus; `go test -fuzz=FuzzReadBench` explores further.
+func FuzzReadBench(f *testing.F) {
+	f.Add("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+	f.Add("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n")
+	f.Add("# comment\nINPUT(a)\nOUTPUT(y)\ny = OR(a, a, a, a, a)\n")
+	f.Add("y = FROB(a)\n")
+	f.Add("INPUT(\nOUTPUT)\n=\n")
+	f.Add("INPUT(a)\ny NAND(a)\n")
+	f.Add(strings.Repeat("INPUT(x)\n", 50))
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := ReadBench("fuzz", strings.NewReader(src))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf strings.Builder
+		if err := WriteBench(&buf, n); err != nil {
+			t.Fatalf("write after successful read: %v", err)
+		}
+		back, err := ReadBench("fuzz2", strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("re-read of written netlist: %v", err)
+		}
+		if back.NumGates() != n.NumGates() {
+			t.Fatalf("round trip changed gate count: %d vs %d", back.NumGates(), n.NumGates())
+		}
+	})
+}

@@ -1,0 +1,215 @@
+package netlist
+
+import (
+	"fmt"
+	"math/rand"
+
+	"svtiming/internal/stdcell"
+)
+
+// Profile describes the target statistics of a synthetic benchmark: the
+// published primary-input/output counts, gate count and logic depth of the
+// corresponding ISCAS85 circuit. The original gate-level netlists are not
+// redistributed here; Generate builds a deterministic circuit matching
+// these statistics mapped onto the 10-cell library (the paper itself
+// re-synthesized the benchmarks, so its gate counts differ from the
+// canonical netlists too).
+type Profile struct {
+	Name  string
+	PIs   int
+	POs   int
+	Gates int
+	Depth int
+	Seed  int64
+}
+
+// ISCAS85Profiles lists the published circuit statistics, keyed by name.
+var ISCAS85Profiles = map[string]Profile{
+	"c432":  {Name: "c432", PIs: 36, POs: 7, Gates: 160, Depth: 17, Seed: 432},
+	"c499":  {Name: "c499", PIs: 41, POs: 32, Gates: 202, Depth: 11, Seed: 499},
+	"c880":  {Name: "c880", PIs: 60, POs: 26, Gates: 383, Depth: 24, Seed: 880},
+	"c1355": {Name: "c1355", PIs: 41, POs: 32, Gates: 546, Depth: 24, Seed: 1355},
+	"c1908": {Name: "c1908", PIs: 33, POs: 25, Gates: 880, Depth: 40, Seed: 1908},
+	"c2670": {Name: "c2670", PIs: 233, POs: 140, Gates: 1193, Depth: 32, Seed: 2670},
+	"c3540": {Name: "c3540", PIs: 50, POs: 22, Gates: 1669, Depth: 47, Seed: 3540},
+	"c5315": {Name: "c5315", PIs: 178, POs: 123, Gates: 2307, Depth: 49, Seed: 5315},
+	"c6288": {Name: "c6288", PIs: 32, POs: 32, Gates: 2416, Depth: 124, Seed: 6288},
+	"c7552": {Name: "c7552", PIs: 207, POs: 108, Gates: 3512, Depth: 43, Seed: 7552},
+}
+
+// Table2Circuits are the five testcases used for the paper's Tables 1 and 2.
+var Table2Circuits = []string{"c432", "c880", "c1355", "c1908", "c3540"}
+
+// cellMix is the synthesis cell-type distribution (weights). The mix skews
+// toward NAND2/INV like area-driven mapping of control logic does.
+var cellMix = []struct {
+	cell   string
+	nIn    int
+	weight int
+}{
+	{"NAND2X1", 2, 28},
+	{"INVX1", 1, 18},
+	{"NOR2X1", 2, 14},
+	{"NAND3X1", 3, 9},
+	{"NOR3X1", 3, 7},
+	{"AOI21X1", 3, 7},
+	{"OAI21X1", 3, 6},
+	{"XOR2X1", 2, 5},
+	{"BUFX2", 1, 3},
+	{"INVX2", 1, 3},
+}
+
+// Generate builds a deterministic synthetic circuit for the profile,
+// mapped onto lib. The result is validated before being returned.
+func Generate(lib *stdcell.Library, p Profile) (*Netlist, error) {
+	if p.Gates < p.Depth || p.Depth < 1 || p.PIs < 1 || p.POs < 1 {
+		return nil, fmt.Errorf("netlist: invalid profile %+v", p)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	n := &Netlist{Name: p.Name}
+	for i := 0; i < p.PIs; i++ {
+		n.PIs = append(n.PIs, fmt.Sprintf("pi%d", i))
+	}
+
+	// Distribute gates across levels 1..Depth: a broad mid-heavy shape
+	// with at least one gate per level so the depth target is met exactly.
+	counts := levelCounts(p.Gates, p.Depth)
+
+	// nets[l] holds the nets available at level l (level 0 = PIs).
+	nets := make([][]string, p.Depth+1)
+	nets[0] = append([]string(nil), n.PIs...)
+
+	totalWeight := 0
+	for _, m := range cellMix {
+		totalWeight += m.weight
+	}
+	gid := 0
+	for lvl := 1; lvl <= p.Depth; lvl++ {
+		for k := 0; k < counts[lvl]; k++ {
+			m := pickCell(rng, totalWeight)
+			out := fmt.Sprintf("n%d_%d", lvl, gid)
+			ins := make([]string, m.nIn)
+			// First input from the immediately previous level to pin the
+			// gate's level; the rest from any earlier level with a bias
+			// toward recent levels (wiring locality).
+			ins[0] = pickNet(rng, nets[lvl-1])
+			for j := 1; j < m.nIn; j++ {
+				src := biasedLevel(rng, lvl)
+				ins[j] = pickNet(rng, nets[src])
+			}
+			n.Instances = append(n.Instances, Instance{
+				Name:   fmt.Sprintf("U%d", gid),
+				Cell:   m.cell,
+				Inputs: ins,
+				Output: out,
+			})
+			nets[lvl] = append(nets[lvl], out)
+			gid++
+		}
+	}
+
+	// Primary outputs: prefer the deepest nets, then fill from lower
+	// levels deterministically.
+	n.POs = choosePOs(rng, nets, p.POs)
+
+	if err := n.Validate(lib); err != nil {
+		return nil, fmt.Errorf("netlist: generated circuit invalid: %w", err)
+	}
+	return n, nil
+}
+
+// MustGenerate is Generate for the named built-in profile, panicking on
+// unknown names or generation bugs. Intended for benchmarks and examples.
+func MustGenerate(lib *stdcell.Library, name string) *Netlist {
+	if name == "c17" {
+		return C17()
+	}
+	p, ok := ISCAS85Profiles[name]
+	if !ok {
+		panic(fmt.Sprintf("netlist: unknown benchmark %q", name))
+	}
+	n, err := Generate(lib, p)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func levelCounts(gates, depth int) []int {
+	counts := make([]int, depth+1)
+	weights := make([]float64, depth+1)
+	var sum float64
+	for l := 1; l <= depth; l++ {
+		// Broad plateau rising from the PI side, tapering toward outputs.
+		x := float64(l) / float64(depth)
+		weights[l] = 0.4 + 1.6*x*(1.3-x)
+		sum += weights[l]
+	}
+	assigned := 0
+	for l := 1; l <= depth; l++ {
+		counts[l] = 1 + int(float64(gates-depth)*weights[l]/sum)
+		assigned += counts[l]
+	}
+	// Largest-remainder style fix-up to hit the exact gate count.
+	for assigned < gates {
+		counts[1+assigned%depth]++
+		assigned++
+	}
+	for assigned > gates {
+		for l := depth; l >= 1 && assigned > gates; l-- {
+			if counts[l] > 1 {
+				counts[l]--
+				assigned--
+			}
+		}
+	}
+	return counts
+}
+
+func pickCell(rng *rand.Rand, totalWeight int) struct {
+	cell   string
+	nIn    int
+	weight int
+} {
+	r := rng.Intn(totalWeight)
+	for _, m := range cellMix {
+		if r < m.weight {
+			return m
+		}
+		r -= m.weight
+	}
+	return cellMix[0]
+}
+
+func pickNet(rng *rand.Rand, pool []string) string {
+	return pool[rng.Intn(len(pool))]
+}
+
+// biasedLevel picks a source level in [0, lvl-1], biased toward recent
+// levels (geometric back-off).
+func biasedLevel(rng *rand.Rand, lvl int) int {
+	back := 1
+	for back < lvl && rng.Float64() < 0.55 {
+		back++
+	}
+	return lvl - back
+}
+
+func choosePOs(rng *rand.Rand, nets [][]string, want int) []string {
+	var pos []string
+	used := make(map[string]bool)
+	for lvl := len(nets) - 1; lvl >= 1 && len(pos) < want; lvl-- {
+		pool := append([]string(nil), nets[lvl]...)
+		rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+		for _, net := range pool {
+			if len(pos) >= want {
+				break
+			}
+			if !used[net] {
+				used[net] = true
+				pos = append(pos, net)
+			}
+		}
+	}
+	return pos
+}

@@ -1,0 +1,208 @@
+// Package netlist provides the gate-level combinational netlist model used
+// by the experiments: ISCAS85-style circuits mapped onto the 10-cell
+// library, with a .bench format reader/writer and a deterministic synthetic
+// generator matched to the published ISCAS85 circuit statistics.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+
+	"svtiming/internal/stdcell"
+)
+
+// Instance is one placed-and-mapped library gate.
+type Instance struct {
+	Name   string   // instance name, unique in the netlist
+	Cell   string   // library cell name
+	Inputs []string // driving net per cell input pin, in pin order
+	Output string   // net driven by this instance
+}
+
+// Netlist is a combinational circuit over library cells.
+type Netlist struct {
+	Name      string
+	PIs       []string // primary input nets
+	POs       []string // primary output nets
+	Instances []Instance
+}
+
+// NumGates returns the number of gate instances.
+func (n *Netlist) NumGates() int { return len(n.Instances) }
+
+// DriverOf returns a map net → index of the instance driving it.
+func (n *Netlist) DriverOf() map[string]int {
+	out := make(map[string]int, len(n.Instances))
+	for i, g := range n.Instances {
+		out[g.Output] = i
+	}
+	return out
+}
+
+// FanoutsOf returns a map net → indices of instances reading it.
+func (n *Netlist) FanoutsOf() map[string][]int {
+	out := make(map[string][]int)
+	for i, g := range n.Instances {
+		for _, in := range g.Inputs {
+			out[in] = append(out[in], i)
+		}
+	}
+	return out
+}
+
+// Validate checks structural sanity against a library: every instance
+// references a known cell with the right pin count, every input net is
+// driven by a PI or another instance, output nets are unique, and the
+// circuit is acyclic.
+func (n *Netlist) Validate(lib *stdcell.Library) error {
+	driven := make(map[string]bool, len(n.PIs)+len(n.Instances))
+	for _, pi := range n.PIs {
+		driven[pi] = true
+	}
+	for _, g := range n.Instances {
+		if driven[g.Output] {
+			return fmt.Errorf("netlist %s: net %q multiply driven", n.Name, g.Output)
+		}
+		driven[g.Output] = true
+	}
+	for _, g := range n.Instances {
+		c, err := lib.Cell(g.Cell)
+		if err != nil {
+			return fmt.Errorf("netlist %s: instance %s: %w", n.Name, g.Name, err)
+		}
+		if len(g.Inputs) != len(c.Inputs) {
+			return fmt.Errorf("netlist %s: instance %s has %d inputs, cell %s wants %d",
+				n.Name, g.Name, len(g.Inputs), g.Cell, len(c.Inputs))
+		}
+		for _, in := range g.Inputs {
+			if !driven[in] {
+				return fmt.Errorf("netlist %s: instance %s reads undriven net %q", n.Name, g.Name, in)
+			}
+		}
+	}
+	for _, po := range n.POs {
+		if !driven[po] {
+			return fmt.Errorf("netlist %s: primary output %q undriven", n.Name, po)
+		}
+	}
+	if _, err := n.Levelize(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Levelize returns, for each instance, its topological level (max level of
+// its fanins + 1, PIs at level 0). An error is returned if the netlist has
+// a combinational cycle.
+func (n *Netlist) Levelize() ([]int, error) {
+	driver := n.DriverOf()
+	level := make([]int, len(n.Instances))
+	state := make([]int8, len(n.Instances)) // 0 unvisited, 1 in progress, 2 done
+
+	var visit func(i int) error
+	visit = func(i int) error {
+		switch state[i] {
+		case 1:
+			return fmt.Errorf("netlist %s: combinational cycle through %s", n.Name, n.Instances[i].Name)
+		case 2:
+			return nil
+		}
+		state[i] = 1
+		lv := 0
+		for _, in := range n.Instances[i].Inputs {
+			if d, ok := driver[in]; ok {
+				if err := visit(d); err != nil {
+					return err
+				}
+				if level[d]+1 > lv {
+					lv = level[d] + 1
+				}
+			} else {
+				if lv < 1 {
+					lv = 1
+				}
+			}
+		}
+		level[i] = lv
+		state[i] = 2
+		return nil
+	}
+	for i := range n.Instances {
+		if err := visit(i); err != nil {
+			return nil, err
+		}
+	}
+	return level, nil
+}
+
+// Depth returns the maximum logic level in the netlist.
+func (n *Netlist) Depth() (int, error) {
+	lv, err := n.Levelize()
+	if err != nil {
+		return 0, err
+	}
+	d := 0
+	for _, l := range lv {
+		if l > d {
+			d = l
+		}
+	}
+	return d, nil
+}
+
+// TopoOrder returns instance indices sorted by level (stable within level).
+func (n *Netlist) TopoOrder() ([]int, error) {
+	lv, err := n.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]int, len(n.Instances))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return lv[idx[a]] < lv[idx[b]] })
+	return idx, nil
+}
+
+// Eval simulates the circuit for the given PI assignment and returns the
+// value of every net.
+func (n *Netlist) Eval(lib *stdcell.Library, piValues map[string]bool) (map[string]bool, error) {
+	vals := make(map[string]bool, len(n.PIs)+len(n.Instances))
+	for _, pi := range n.PIs {
+		v, ok := piValues[pi]
+		if !ok {
+			return nil, fmt.Errorf("netlist %s: missing value for PI %q", n.Name, pi)
+		}
+		vals[pi] = v
+	}
+	order, err := n.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	for _, i := range order {
+		g := n.Instances[i]
+		c, err := lib.Cell(g.Cell)
+		if err != nil {
+			return nil, err
+		}
+		in := make([]bool, len(g.Inputs))
+		for k, net := range g.Inputs {
+			v, ok := vals[net]
+			if !ok {
+				return nil, fmt.Errorf("netlist %s: net %q unresolved at %s", n.Name, net, g.Name)
+			}
+			in[k] = v
+		}
+		vals[g.Output] = c.Eval(in)
+	}
+	return vals, nil
+}
+
+// CellHistogram returns instance counts per cell name.
+func (n *Netlist) CellHistogram() map[string]int {
+	out := make(map[string]int)
+	for _, g := range n.Instances {
+		out[g.Cell]++
+	}
+	return out
+}

@@ -1,0 +1,320 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+
+	"svtiming/internal/stdcell"
+)
+
+var lib = stdcell.Default()
+
+func TestC17Structure(t *testing.T) {
+	n := C17()
+	if len(n.PIs) != 5 || len(n.POs) != 2 || n.NumGates() != 6 {
+		t.Fatalf("c17 = %d/%d/%d, want 5/2/6", len(n.PIs), len(n.POs), n.NumGates())
+	}
+	if err := n.Validate(lib); err != nil {
+		t.Fatalf("c17 invalid: %v", err)
+	}
+	d, err := n.Depth()
+	if err != nil || d != 3 {
+		t.Errorf("c17 depth = %d, %v, want 3", d, err)
+	}
+	for _, g := range n.Instances {
+		if g.Cell != "NAND2X1" {
+			t.Errorf("c17 instance %s has cell %s, want NAND2X1", g.Name, g.Cell)
+		}
+	}
+}
+
+func TestC17Truth(t *testing.T) {
+	// c17's known function: out22 = NAND(n10, n16), out23 = NAND(n16, n19)
+	// with n10=NAND(1,3), n11=NAND(3,6), n16=NAND(2,n11), n19=NAND(n11,7).
+	n := C17()
+	ref := func(i1, i2, i3, i6, i7 bool) (bool, bool) {
+		nand := func(a, b bool) bool { return !(a && b) }
+		n10 := nand(i1, i3)
+		n11 := nand(i3, i6)
+		n16 := nand(i2, n11)
+		n19 := nand(n11, i7)
+		return nand(n10, n16), nand(n16, n19)
+	}
+	for v := 0; v < 32; v++ {
+		bit := func(k int) bool { return v>>k&1 == 1 }
+		in := map[string]bool{
+			"1": bit(0), "2": bit(1), "3": bit(2), "6": bit(3), "7": bit(4),
+		}
+		vals, err := n.Eval(lib, in)
+		if err != nil {
+			t.Fatalf("Eval: %v", err)
+		}
+		w22, w23 := ref(in["1"], in["2"], in["3"], in["6"], in["7"])
+		if vals["22"] != w22 || vals["23"] != w23 {
+			t.Fatalf("input %05b: got %v/%v, want %v/%v", v, vals["22"], vals["23"], w22, w23)
+		}
+	}
+}
+
+func TestReadBenchDecomposition(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+OUTPUT(y)
+OUTPUT(z)
+t1 = AND(a, b)
+t2 = OR(c, d)
+y = XOR(t1, t2)
+z = NAND(a, b, c, d)
+`
+	n, err := ReadBench("t", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Validate(lib); err != nil {
+		t.Fatalf("decomposed netlist invalid: %v", err)
+	}
+	// Functional check: y = (a&b) ^ (c|d), z = !(a&b&c&d).
+	for v := 0; v < 16; v++ {
+		bit := func(k int) bool { return v>>k&1 == 1 }
+		in := map[string]bool{"a": bit(0), "b": bit(1), "c": bit(2), "d": bit(3)}
+		vals, err := n.Eval(lib, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wy := (in["a"] && in["b"]) != (in["c"] || in["d"])
+		wz := !(in["a"] && in["b"] && in["c"] && in["d"])
+		if vals["y"] != wy || vals["z"] != wz {
+			t.Fatalf("input %04b: y=%v z=%v, want %v/%v", v, vals["y"], vals["z"], wy, wz)
+		}
+	}
+}
+
+func TestReadBenchWideGates(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+INPUT(e)
+OUTPUT(y)
+y = OR(a, b, c, d, e)
+`
+	n, err := ReadBench("wide", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Validate(lib); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 32; v++ {
+		bit := func(k int) bool { return v>>k&1 == 1 }
+		in := map[string]bool{"a": bit(0), "b": bit(1), "c": bit(2), "d": bit(3), "e": bit(4)}
+		vals, err := n.Eval(lib, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := in["a"] || in["b"] || in["c"] || in["d"] || in["e"]
+		if vals["y"] != want {
+			t.Fatalf("input %05b: y=%v, want %v", v, vals["y"], want)
+		}
+	}
+}
+
+func TestReadBenchErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing equals": "INPUT(a)\ny NAND(a, a)\n",
+		"unknown gate":   "INPUT(a)\ny = FROB(a)\n",
+		"no inputs":      "INPUT(a)\ny = NAND()\n",
+		"bad NOT arity":  "INPUT(a)\nINPUT(b)\ny = NOT(a, b)\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadBench("bad", strings.NewReader(src)); err == nil {
+			t.Errorf("%s: ReadBench accepted malformed input", name)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	orig := MustGenerate(lib, "c432")
+	var buf strings.Builder
+	if err := WriteBench(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBench("c432", strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumGates() != orig.NumGates() ||
+		len(back.PIs) != len(orig.PIs) || len(back.POs) != len(orig.POs) {
+		t.Fatalf("round trip changed shape: %d/%d/%d vs %d/%d/%d",
+			len(back.PIs), len(back.POs), back.NumGates(),
+			len(orig.PIs), len(orig.POs), orig.NumGates())
+	}
+	if err := back.Validate(lib); err != nil {
+		t.Fatal(err)
+	}
+	// Instances preserve cell types in order.
+	for i := range back.Instances {
+		if back.Instances[i].Cell != orig.Instances[i].Cell ||
+			back.Instances[i].Output != orig.Instances[i].Output {
+			t.Fatalf("instance %d changed: %+v vs %+v", i, back.Instances[i], orig.Instances[i])
+		}
+	}
+}
+
+func TestValidateCatchesBrokenNetlists(t *testing.T) {
+	good := C17()
+	multi := *good
+	multi.Instances = append([]Instance(nil), good.Instances...)
+	multi.Instances[1].Output = multi.Instances[0].Output
+	if err := multi.Validate(lib); err == nil {
+		t.Error("multiply driven net accepted")
+	}
+
+	undriven := *good
+	undriven.Instances = append([]Instance(nil), good.Instances...)
+	undriven.Instances[0].Inputs = []string{"nosuch", "1"}
+	if err := undriven.Validate(lib); err == nil {
+		t.Error("undriven input accepted")
+	}
+
+	badcell := *good
+	badcell.Instances = append([]Instance(nil), good.Instances...)
+	badcell.Instances[0].Cell = "DFFX1"
+	if err := badcell.Validate(lib); err == nil {
+		t.Error("unknown cell accepted")
+	}
+
+	badpins := *good
+	badpins.Instances = append([]Instance(nil), good.Instances...)
+	badpins.Instances[0].Inputs = []string{"1"}
+	if err := badpins.Validate(lib); err == nil {
+		t.Error("pin count mismatch accepted")
+	}
+
+	cyclic := &Netlist{
+		Name: "cyc", PIs: []string{"a"}, POs: []string{"x"},
+		Instances: []Instance{
+			{Name: "U0", Cell: "NAND2X1", Inputs: []string{"a", "y"}, Output: "x"},
+			{Name: "U1", Cell: "INVX1", Inputs: []string{"x"}, Output: "y"},
+		},
+	}
+	if err := cyclic.Validate(lib); err == nil {
+		t.Error("combinational cycle accepted")
+	}
+}
+
+func TestLevelizeAndTopoOrder(t *testing.T) {
+	n := C17()
+	lv, err := n.Levelize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	driver := n.DriverOf()
+	for i, g := range n.Instances {
+		for _, in := range g.Inputs {
+			if d, ok := driver[in]; ok && lv[d] >= lv[i] {
+				t.Errorf("instance %d at level %d reads from level %d", i, lv[i], lv[d])
+			}
+		}
+	}
+	order, err := n.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for _, pi := range n.PIs {
+		seen[pi] = true
+	}
+	for _, i := range order {
+		for _, in := range n.Instances[i].Inputs {
+			if !seen[in] {
+				t.Fatalf("topo order visits %s before its input %s", n.Instances[i].Name, in)
+			}
+		}
+		seen[n.Instances[i].Output] = true
+	}
+}
+
+func TestGenerateMatchesProfiles(t *testing.T) {
+	for _, name := range Table2Circuits {
+		p := ISCAS85Profiles[name]
+		n, err := Generate(lib, p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if n.NumGates() != p.Gates {
+			t.Errorf("%s: %d gates, want %d", name, n.NumGates(), p.Gates)
+		}
+		if len(n.PIs) != p.PIs || len(n.POs) != p.POs {
+			t.Errorf("%s: PI/PO = %d/%d, want %d/%d", name, len(n.PIs), len(n.POs), p.PIs, p.POs)
+		}
+		d, err := n.Depth()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != p.Depth {
+			t.Errorf("%s: depth %d, want %d", name, d, p.Depth)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate(lib, "c880")
+	b := MustGenerate(lib, "c880")
+	if a.NumGates() != b.NumGates() {
+		t.Fatal("nondeterministic gate count")
+	}
+	for i := range a.Instances {
+		ga, gb := a.Instances[i], b.Instances[i]
+		if ga.Cell != gb.Cell || ga.Output != gb.Output {
+			t.Fatalf("instance %d differs between runs", i)
+		}
+		for k := range ga.Inputs {
+			if ga.Inputs[k] != gb.Inputs[k] {
+				t.Fatalf("instance %d input %d differs", i, k)
+			}
+		}
+	}
+}
+
+func TestGenerateUsesWholeLibrary(t *testing.T) {
+	n := MustGenerate(lib, "c3540")
+	hist := n.CellHistogram()
+	for _, cell := range lib.Names() {
+		if hist[cell] == 0 {
+			t.Errorf("generator never used %s in a 1669-gate circuit", cell)
+		}
+	}
+}
+
+func TestGenerateRejectsBadProfile(t *testing.T) {
+	if _, err := Generate(lib, Profile{Name: "bad", PIs: 2, POs: 1, Gates: 3, Depth: 10}); err == nil {
+		t.Error("profile with gates < depth accepted")
+	}
+}
+
+func TestMustGeneratePanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGenerate(unknown) did not panic")
+		}
+	}()
+	MustGenerate(lib, "c9999")
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize(C17())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Gates != 6 || s.Depth != 3 || s.ByCell["NAND2X1"] != 6 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if got := s.String(); !strings.Contains(got, "c17") || !strings.Contains(got, "NAND2X1:6") {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,91 @@
+package opc
+
+import (
+	"testing"
+)
+
+func TestLineEndShortening(t *testing.T) {
+	r, err := DefaultLineEnd().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Line ends pull back by tens of nm at dose-to-size — the classic 2-D
+	// effect 1-D imaging cannot express.
+	if r.Pullback < 15 {
+		t.Errorf("pullback = %v nm, expected substantial shortening", r.Pullback)
+	}
+	if r.Pullback > 120 {
+		t.Errorf("pullback = %v nm, implausibly large", r.Pullback)
+	}
+	if r.PrintedLength >= 600 {
+		t.Errorf("printed length %v not below drawn 600", r.PrintedLength)
+	}
+	// Mid-line width near the 90 nm target at the dose-to-size mask width.
+	if r.MidWidth < 70 || r.MidWidth > 110 {
+		t.Errorf("mid width = %v, want near 90", r.MidWidth)
+	}
+}
+
+func TestHammerheadReducesPullback(t *testing.T) {
+	bare, err := DefaultLineEnd().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultLineEnd()
+	cfg.HammerWidth = 110
+	cfg.HammerLength = 80
+	capped, err := cfg.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Pullback >= bare.Pullback/2 {
+		t.Errorf("hammerhead pullback %v not well below bare %v",
+			capped.Pullback, bare.Pullback)
+	}
+	// The correction must not blow up the mid-line width.
+	if capped.MidWidth > bare.MidWidth+15 {
+		t.Errorf("hammerhead widened mid-line: %v vs %v", capped.MidWidth, bare.MidWidth)
+	}
+}
+
+func TestWiderLinesPullBackLess(t *testing.T) {
+	narrow := DefaultLineEnd()
+	narrow.Width = 50
+	wide := DefaultLineEnd()
+	wide.Width = 70
+	rn, err := narrow.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := wide.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.Pullback >= rn.Pullback {
+		t.Errorf("wide line pullback %v not below narrow %v", rw.Pullback, rn.Pullback)
+	}
+}
+
+func TestLineEndErrors(t *testing.T) {
+	cfg := DefaultLineEnd()
+	cfg.Width = 15 // sub-resolution: never prints
+	if _, err := cfg.Run(); err == nil {
+		t.Error("sub-resolution line accepted")
+	}
+}
+
+func TestLineEndDefocusWorsensPullback(t *testing.T) {
+	bare := DefaultLineEnd()
+	r0, err := bare.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare.Imager.Defocus = 200
+	rz, err := bare.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rz.Pullback <= r0.Pullback {
+		t.Errorf("defocus should worsen pullback: %v → %v", r0.Pullback, rz.Pullback)
+	}
+}

@@ -1,0 +1,81 @@
+package opc
+
+import (
+	"math"
+	"testing"
+
+	"svtiming/internal/process"
+)
+
+func TestMEEFPositiveAndAboveOne(t *testing.T) {
+	// In the subwavelength regime the printed CD error exceeds the mask
+	// CD error: MEEF > 1 for dense patterns near the resolution limit.
+	m, err := MEEF(testWafer, 90, 240, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m <= 1 {
+		t.Errorf("dense MEEF = %v, want > 1 at 240 nm pitch", m)
+	}
+	if m > 6 {
+		t.Errorf("dense MEEF = %v, implausibly large", m)
+	}
+}
+
+func TestMEEFCurveShape(t *testing.T) {
+	pts, err := MEEFCurve(testWafer, 90, []float64{240, 300, 450, 690})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// Tightest pitch amplifies most.
+	if pts[0].MEEF <= pts[3].MEEF {
+		t.Errorf("MEEF at pitch 240 (%v) not above pitch 690 (%v)",
+			pts[0].MEEF, pts[3].MEEF)
+	}
+	// The isolated entry (Pitch 0 marker) is finite and positive.
+	iso := pts[len(pts)-1]
+	if iso.Pitch != 0 || iso.MEEF <= 0 || math.IsNaN(iso.MEEF) {
+		t.Errorf("isolated MEEF entry = %+v", iso)
+	}
+}
+
+func TestMEEFDefaultDelta(t *testing.T) {
+	a, err := MEEF(testWafer, 90, 300, 0) // delta defaults to 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MEEF(testWafer, 90, 300, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("default delta mismatch: %v vs %v", a, b)
+	}
+}
+
+func TestMEEFErrorsOnNonPrinting(t *testing.T) {
+	if _, err := MEEF(testWafer, 20, 0, 2); err == nil {
+		t.Error("sub-resolution feature accepted")
+	}
+}
+
+func TestMEEFExplainsGridResidual(t *testing.T) {
+	// The printed-CD quantization left by mask-grid snapping is the mask
+	// grid times MEEF; verify the relationship holds to first order.
+	m, err := MEEF(testWafer, 52, 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd1, ok1 := testWafer.PrintCD(process.DensePitch(52, 300, 4))
+	cd2, ok2 := testWafer.PrintCD(process.DensePitch(53, 300, 4))
+	if !ok1 || !ok2 {
+		t.Fatal("patterns do not print")
+	}
+	got := cd2 - cd1
+	if math.Abs(got-m) > 0.5*math.Abs(m) {
+		t.Errorf("1 nm mask step printed %v nm, MEEF predicts %v", got, m)
+	}
+}

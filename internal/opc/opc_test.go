@@ -1,0 +1,298 @@
+package opc
+
+import (
+	"math"
+	"testing"
+
+	"svtiming/internal/geom"
+	"svtiming/internal/process"
+)
+
+var (
+	testWafer = process.Nominal90nm()
+	testModel = ModelProcess(testWafer)
+)
+
+func span1000() geom.Interval { return geom.Interval{Lo: 0, Hi: 1000} }
+
+func TestModelProcessDiffersFromWafer(t *testing.T) {
+	m := ModelProcess(testWafer)
+	if m.Resist.Threshold == testWafer.Resist.Threshold {
+		t.Error("model threshold should carry a calibration offset")
+	}
+	if m.Resist.DiffusionLength != testWafer.Resist.DiffusionLength {
+		t.Error("model should keep the wafer diffusion length")
+	}
+	if m.TargetCD != testWafer.TargetCD || m.RadiusOfInfluence != testWafer.RadiusOfInfluence {
+		t.Error("model must share target and measurement conventions")
+	}
+	// CDs differ but by a small systematic amount.
+	cw, _ := testWafer.PrintCD(process.Isolated(60))
+	cm, _ := m.PrintCD(process.Isolated(60))
+	d := math.Abs(cw - cm)
+	if d == 0 || d > 20 {
+		t.Errorf("model-wafer CD gap = %v, want small but nonzero", d)
+	}
+}
+
+func TestCorrectConvergesOnModel(t *testing.T) {
+	r := Ideal(testModel)
+	lines := process.Isolated(90).Lines(span1000())
+	corr := r.Correct(lines, 90)
+	env := process.EnvAt(corr, 0, testModel.RadiusOfInfluence)
+	cd, ok := testModel.PrintCD(env)
+	if !ok {
+		t.Fatal("corrected feature does not print on model")
+	}
+	// Within tolerance + one mask-grid quantum.
+	if math.Abs(cd-90) > r.Tolerance+2.5 {
+		t.Errorf("post-OPC model CD = %v, want ≈ 90", cd)
+	}
+	// Centerline must be preserved (symmetric bias).
+	if corr[0].CenterX != lines[0].CenterX {
+		t.Error("OPC moved a centerline")
+	}
+}
+
+func TestCorrectDenseArrayConverges(t *testing.T) {
+	r := Ideal(testModel)
+	lines := process.DensePitch(90, 300, 3).Lines(span1000())
+	corr := r.Correct(lines, 90)
+	for i := range corr {
+		env := process.EnvAt(corr, i, testModel.RadiusOfInfluence)
+		cd, ok := testModel.PrintCD(env)
+		if !ok {
+			t.Fatalf("line %d lost after correction", i)
+		}
+		if math.Abs(cd-90) > 4 {
+			t.Errorf("line %d post-OPC model CD = %v, want ≈ 90", i, cd)
+		}
+	}
+}
+
+func TestCorrectRespectsMaskRules(t *testing.T) {
+	r := Standard(testModel)
+	lines := process.DensePitch(90, 240, 3).Lines(span1000())
+	corr := r.Correct(lines, 90)
+	for i, l := range corr {
+		if l.Width < r.MinWidth-1e-9 {
+			t.Errorf("line %d width %v below MinWidth %v", i, l.Width, r.MinWidth)
+		}
+		if math.Abs(l.Width-lines[i].Width) > r.MaxCorrection+1e-9 {
+			t.Errorf("line %d correction %v exceeds cap %v", i,
+				l.Width-lines[i].Width, r.MaxCorrection)
+		}
+	}
+	sp := geom.Spacings(corr, 1)
+	for i := range corr {
+		if s := sp[i].Min(); s < r.MinSpace-1e-9 {
+			t.Errorf("line %d space %v below MinSpace %v", i, s, r.MinSpace)
+		}
+	}
+}
+
+func TestCorrectEmptyAndPanics(t *testing.T) {
+	r := Standard(testModel)
+	if out := r.Correct(nil, 90); len(out) != 0 {
+		t.Error("empty input should correct to empty output")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Correct without model did not panic")
+		}
+	}()
+	(Recipe{}).Correct(process.Isolated(90).Lines(span1000()), 90)
+}
+
+func TestCorrectDoesNotMutateInput(t *testing.T) {
+	r := Standard(testModel)
+	lines := process.DensePitch(90, 300, 2).Lines(span1000())
+	orig := append([]geom.PolyLine(nil), lines...)
+	r.Correct(lines, 90)
+	for i := range lines {
+		if lines[i] != orig[i] {
+			t.Fatal("Correct mutated its input")
+		}
+	}
+}
+
+func TestBias(t *testing.T) {
+	drawn := process.Isolated(90).Lines(span1000())
+	corr := append([]geom.PolyLine(nil), drawn...)
+	corr[0].Width = 72
+	b := Bias(drawn, corr)
+	if len(b) != 1 || b[0] != -18 {
+		t.Errorf("Bias = %v, want [-18]", b)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	Bias(drawn, nil)
+}
+
+func TestBuildPitchTableShape(t *testing.T) {
+	pt := BuildPitchTable(testWafer, Standard(testModel), 90,
+		[]float64{300, 450, 600})
+	if len(pt.Entries) != 4 { // 3 pitches + isolated
+		t.Fatalf("entries = %d, want 4", len(pt.Entries))
+	}
+	for i := 1; i < len(pt.Entries); i++ {
+		if pt.Entries[i].Pitch <= pt.Entries[i-1].Pitch {
+			t.Error("entries not ascending in pitch")
+		}
+	}
+	for _, e := range pt.Entries {
+		if math.IsNaN(e.PrintedCD) {
+			t.Errorf("pitch %v failed to print", e.Pitch)
+		}
+		if math.Abs(e.PrintedCD-90) > 20 {
+			t.Errorf("pitch %v printed %v, implausibly far from target", e.Pitch, e.PrintedCD)
+		}
+	}
+	// The paper's systematic residual: roughly 10% of target across the
+	// table (between 4% and 20% keeps the shape meaningful).
+	if s := pt.Span(); s < 0.04*90 || s > 0.20*90 {
+		t.Errorf("through-pitch span = %v nm, want ~10%% of 90", s)
+	}
+}
+
+func TestPitchTableLookup(t *testing.T) {
+	pt := PitchTable{DrawnCD: 90, Entries: []PitchEntry{
+		{Pitch: 300, Space: 210, PrintedCD: 94},
+		{Pitch: 400, Space: 310, PrintedCD: 90},
+		{Pitch: 690, Space: 600, PrintedCD: 84},
+	}}
+	if got := pt.Lookup(210); got != 94 {
+		t.Errorf("Lookup(210) = %v", got)
+	}
+	if got := pt.Lookup(260); math.Abs(got-92) > 1e-9 {
+		t.Errorf("Lookup(260) = %v, want 92 (interpolated)", got)
+	}
+	if got := pt.Lookup(100); got != 94 {
+		t.Errorf("Lookup below range = %v, want clamp 94", got)
+	}
+	if got := pt.Lookup(1e9); got != 84 {
+		t.Errorf("Lookup beyond range = %v, want clamp 84", got)
+	}
+	if got := pt.Span(); got != 10 {
+		t.Errorf("Span = %v, want 10", got)
+	}
+	if got := (PitchTable{}).Lookup(100); !math.IsNaN(got) {
+		t.Errorf("empty table Lookup = %v, want NaN", got)
+	}
+}
+
+func TestPitchTableBiasTable(t *testing.T) {
+	pt := PitchTable{DrawnCD: 90, Entries: []PitchEntry{
+		{Pitch: 300, Space: 210, MaskCD: 80},
+		{Pitch: 690, Space: 600, MaskCD: 70},
+	}}
+	rt := pt.BiasTable()
+	if got := rt.BiasFor(210); got != -10 {
+		t.Errorf("BiasFor(210) = %v, want -10", got)
+	}
+	if got := rt.BiasFor(600); got != -20 {
+		t.Errorf("BiasFor(600) = %v, want -20", got)
+	}
+}
+
+func TestRuleTableApply(t *testing.T) {
+	rt := RuleTable{DrawnCD: 90, Entries: []RuleEntry{
+		{Space: 200, Bias: -10},
+		{Space: 600, Bias: -30},
+	}}
+	lines := []geom.PolyLine{
+		{CenterX: 0, Width: 90, Span: span1000()},
+		{CenterX: 290, Width: 90, Span: span1000()}, // space 200 to the left
+	}
+	out := rt.Apply(lines)
+	if math.Abs(out[0].Width-80) > 1e-9 || math.Abs(out[1].Width-80) > 1e-9 {
+		t.Errorf("Apply widths = %v, %v, want 80", out[0].Width, out[1].Width)
+	}
+	// Isolated line gets the far-space bias.
+	iso := rt.Apply([]geom.PolyLine{{CenterX: 0, Width: 90, Span: span1000()}})
+	if math.Abs(iso[0].Width-60) > 1e-9 {
+		t.Errorf("isolated width = %v, want 60", iso[0].Width)
+	}
+	if lines[0].Width != 90 {
+		t.Error("Apply mutated input")
+	}
+}
+
+func TestRuleTableBiasForUnsorted(t *testing.T) {
+	rt := RuleTable{Entries: []RuleEntry{
+		{Space: 600, Bias: -30},
+		{Space: 200, Bias: -10},
+	}}
+	if got := rt.BiasFor(400); math.Abs(got-(-20)) > 1e-9 {
+		t.Errorf("BiasFor(400) on unsorted table = %v, want -20", got)
+	}
+	if got := (RuleTable{}).BiasFor(100); got != 0 {
+		t.Errorf("empty rule table bias = %v, want 0", got)
+	}
+}
+
+func TestSRAFInsertion(t *testing.T) {
+	cfg := DefaultSRAF()
+	// Isolated line: bars on both sides.
+	iso := process.Isolated(60).Lines(span1000())
+	out := cfg.Insert(iso)
+	if len(out) != 3 {
+		t.Fatalf("isolated line got %d features, want 3 (line + 2 bars)", len(out))
+	}
+	// Dense array at 300 pitch: interior spaces (210 edge-to-edge after
+	// width 60 → 240) are below MinLanding+Width → only outer bars.
+	dense := process.DensePitch(60, 300, 2).Lines(span1000())
+	out = cfg.Insert(dense)
+	if len(out) != len(dense)+2 {
+		t.Errorf("dense array got %d features, want %d (outer bars only)",
+			len(out), len(dense)+2)
+	}
+}
+
+func TestSRAFBarsDoNotPrint(t *testing.T) {
+	cfg := DefaultSRAF()
+	if _, ok := testWafer.PrintCD(process.Isolated(cfg.Width)); ok {
+		t.Errorf("a lone %v nm assist bar printed; it must stay sub-resolution", cfg.Width)
+	}
+}
+
+func TestSRAFReducesIsoFocusSensitivity(t *testing.T) {
+	iso := process.Isolated(60)
+	s0, ok := FocusSensitivity(testWafer, iso, 250)
+	if !ok {
+		t.Fatal("isolated feature did not print")
+	}
+	lines := DefaultSRAF().Insert(iso.Lines(span1000()))
+	var envB process.Env
+	found := false
+	for i, l := range lines {
+		if l.Width == 60 {
+			envB = process.EnvAt(lines, i, testWafer.RadiusOfInfluence)
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("main feature lost after SRAF insertion")
+	}
+	s1, ok := FocusSensitivity(testWafer, envB, 250)
+	if !ok {
+		t.Fatal("assisted feature did not print")
+	}
+	if s0 >= 0 {
+		t.Fatalf("isolated line should frown, sensitivity %v", s0)
+	}
+	if math.Abs(s1) > 0.7*math.Abs(s0) {
+		t.Errorf("SRAF should tame focus sensitivity: bare %v, assisted %v", s0, s1)
+	}
+}
+
+func TestStandardVsIdealRuntimeShape(t *testing.T) {
+	// Ideal runs more model iterations than Standard — the §3.1 runtime
+	// trade. Compare by iteration budget (time is machine-dependent).
+	if Standard(testModel).MaxIter >= Ideal(testModel).MaxIter {
+		t.Error("Standard should be cheaper than Ideal")
+	}
+}

@@ -1,0 +1,142 @@
+package opc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"svtiming/internal/geom"
+	"svtiming/internal/process"
+)
+
+// PitchEntry is one row of a through-pitch characterization: test structures
+// at the given pitch (equal-width parallel lines), corrected with the
+// standard OPC flow, then measured on the wafer process.
+type PitchEntry struct {
+	Pitch     float64 // line pitch, nm
+	Space     float64 // edge-to-edge spacing, nm (pitch − drawn width)
+	MaskCD    float64 // post-OPC mask linewidth, nm
+	PrintedCD float64 // wafer printed linewidth, nm
+}
+
+// PitchTable is the §3.1.1 lookup table matching pitch (equivalently,
+// spacing to the nearest poly feature) to printed CD for a given process
+// and OPC recipe. It is used for devices at cell boundaries, whose
+// environment is not known at library-characterization time.
+type PitchTable struct {
+	DrawnCD float64
+	Entries []PitchEntry // ascending pitch
+}
+
+// BuildPitchTable characterizes the through-pitch behavior: for each pitch
+// it draws a parallel-line test layout at drawnCD, corrects it with the
+// recipe, and measures the center line on the wafer process. An isolated
+// entry (pitch = +Inf, represented by the wafer radius of influence plus
+// drawn width) is appended last.
+func BuildPitchTable(wafer *process.Process, recipe Recipe, drawnCD float64, pitches []float64) PitchTable {
+	t := PitchTable{DrawnCD: drawnCD}
+	sorted := append([]float64(nil), pitches...)
+	sort.Float64s(sorted)
+	for _, p := range sorted {
+		entry := characterizePitch(wafer, recipe, drawnCD, p)
+		t.Entries = append(t.Entries, entry)
+	}
+	// Isolated reference: a lone line. Its "pitch" is recorded as radius of
+	// influence + drawn width so interpolation saturates smoothly.
+	iso := characterizeIsolated(wafer, recipe, drawnCD)
+	iso.Pitch = wafer.RadiusOfInfluence + drawnCD
+	iso.Space = wafer.RadiusOfInfluence
+	if len(t.Entries) == 0 || t.Entries[len(t.Entries)-1].Pitch < iso.Pitch {
+		t.Entries = append(t.Entries, iso)
+	}
+	return t
+}
+
+func characterizePitch(wafer *process.Process, recipe Recipe, drawnCD, pitch float64) PitchEntry {
+	env := process.DensePitch(drawnCD, pitch, 4)
+	lines := env.Lines(spanUnit())
+	corr := recipe.Correct(lines, drawnCD)
+	cenv := process.EnvAt(corr, 0, wafer.RadiusOfInfluence)
+	cd, ok := wafer.PrintCD(cenv)
+	if !ok {
+		cd = math.NaN()
+	}
+	return PitchEntry{Pitch: pitch, Space: pitch - drawnCD, MaskCD: corr[0].Width, PrintedCD: cd}
+}
+
+func characterizeIsolated(wafer *process.Process, recipe Recipe, drawnCD float64) PitchEntry {
+	lines := process.Isolated(drawnCD).Lines(spanUnit())
+	corr := recipe.Correct(lines, drawnCD)
+	cd, ok := wafer.PrintCD(process.Env{Width: corr[0].Width})
+	if !ok {
+		cd = math.NaN()
+	}
+	return PitchEntry{MaskCD: corr[0].Width, PrintedCD: cd}
+}
+
+// Lookup returns the printed CD for a feature whose nearest-neighbor
+// spacing is space nm, by linear interpolation over the table (clamped at
+// the ends). Spacings at or beyond the radius of influence return the
+// isolated value.
+func (t PitchTable) Lookup(space float64) float64 {
+	if len(t.Entries) == 0 {
+		return math.NaN()
+	}
+	if space <= t.Entries[0].Space {
+		return t.Entries[0].PrintedCD
+	}
+	last := t.Entries[len(t.Entries)-1]
+	if space >= last.Space {
+		return last.PrintedCD
+	}
+	for i := 0; i+1 < len(t.Entries); i++ {
+		a, b := t.Entries[i], t.Entries[i+1]
+		if space >= a.Space && space <= b.Space {
+			f := (space - a.Space) / (b.Space - a.Space)
+			return a.PrintedCD*(1-f) + b.PrintedCD*f
+		}
+	}
+	return last.PrintedCD
+}
+
+// Span returns the total printed-CD range (max − min) across the table —
+// the ±lvar_pitch magnitude of §3.3 is half of this.
+func (t PitchTable) Span() float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, e := range t.Entries {
+		if math.IsNaN(e.PrintedCD) {
+			continue
+		}
+		lo = math.Min(lo, e.PrintedCD)
+		hi = math.Max(hi, e.PrintedCD)
+	}
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// BiasTable converts the pitch table into a rule-based OPC bias table
+// (space → mask bias).
+func (t PitchTable) BiasTable() RuleTable {
+	rt := RuleTable{DrawnCD: t.DrawnCD}
+	for _, e := range t.Entries {
+		rt.Entries = append(rt.Entries, RuleEntry{Space: e.Space, Bias: e.MaskCD - t.DrawnCD})
+	}
+	return rt
+}
+
+// String renders the table as aligned text, one row per pitch.
+func (t PitchTable) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "through-pitch table, drawn CD %.0f nm\n", t.DrawnCD)
+	fmt.Fprintf(&b, "%8s %8s %9s %10s\n", "pitch", "space", "maskCD", "printedCD")
+	for _, e := range t.Entries {
+		fmt.Fprintf(&b, "%8.0f %8.0f %9.1f %10.2f\n", e.Pitch, e.Space, e.MaskCD, e.PrintedCD)
+	}
+	return b.String()
+}
+
+// spanUnit is the canonical vertical span used for test structures.
+func spanUnit() geom.Interval { return geom.Interval{Lo: 0, Hi: 1000} }

@@ -1,0 +1,126 @@
+package opc
+
+import (
+	"math"
+	"sort"
+
+	"svtiming/internal/geom"
+	"svtiming/internal/process"
+)
+
+// RuleEntry maps a nearest-neighbor spacing to a mask bias.
+type RuleEntry struct {
+	Space float64 // edge-to-edge spacing, nm
+	Bias  float64 // mask width − drawn width, nm
+}
+
+// RuleTable is a rule-based (table-driven) OPC recipe: each feature's mask
+// width is biased according to the spacing to its nearest neighbor. This is
+// the fast, single-pass correction mode; production flows use it as a seed
+// for model-based OPC and for non-critical layers.
+type RuleTable struct {
+	DrawnCD float64
+	Entries []RuleEntry // ascending space
+}
+
+// BiasFor returns the interpolated bias for a nearest-neighbor spacing.
+func (rt RuleTable) BiasFor(space float64) float64 {
+	if len(rt.Entries) == 0 {
+		return 0
+	}
+	es := rt.Entries
+	if !sort.SliceIsSorted(es, func(i, j int) bool { return es[i].Space < es[j].Space }) {
+		es = append([]RuleEntry(nil), es...)
+		sort.Slice(es, func(i, j int) bool { return es[i].Space < es[j].Space })
+	}
+	if space <= es[0].Space {
+		return es[0].Bias
+	}
+	if space >= es[len(es)-1].Space {
+		return es[len(es)-1].Bias
+	}
+	for i := 0; i+1 < len(es); i++ {
+		a, b := es[i], es[i+1]
+		if space >= a.Space && space <= b.Space {
+			f := (space - a.Space) / (b.Space - a.Space)
+			return a.Bias*(1-f) + b.Bias*f
+		}
+	}
+	return es[len(es)-1].Bias
+}
+
+// Apply performs one-pass rule-based correction on a row of lines: each
+// line's width is biased by the table entry for its minimum facing spacing.
+// Isolated lines (no facing neighbor) use the largest-space entry. The
+// input is not modified.
+func (rt RuleTable) Apply(lines []geom.PolyLine) []geom.PolyLine {
+	out := append([]geom.PolyLine(nil), lines...)
+	sp := geom.Spacings(out, 1)
+	for i := range out {
+		s := sp[i].Min()
+		if math.IsInf(s, 1) {
+			s = 1e9
+		}
+		out[i].Width += rt.BiasFor(s)
+		if out[i].Width < 1 {
+			out[i].Width = 1
+		}
+	}
+	return out
+}
+
+// SRAFConfig controls sub-resolution assist feature insertion. Assist bars
+// make isolated features image like dense ones, flattening their Bossung
+// curvature, but are themselves too narrow to print.
+type SRAFConfig struct {
+	Width      float64 // assist bar width, nm — below the printing threshold
+	Offset     float64 // edge-to-edge distance from main feature to bar, nm
+	MinLanding float64 // minimum free space required to host a bar, nm
+}
+
+// DefaultSRAF returns the assist-feature rules used in the extension
+// experiments (scatter bars for a 90 nm ArF process).
+func DefaultSRAF() SRAFConfig {
+	return SRAFConfig{Width: 30, Offset: 150, MinLanding: 260}
+}
+
+// Insert places one assist bar on every side of every line whose facing
+// free space is at least MinLanding + Width. The returned slice contains
+// the original lines followed by the assist bars. Assist bars are marked by
+// their width (below any printable feature) and should be excluded from CD
+// measurement by callers.
+func (c SRAFConfig) Insert(lines []geom.PolyLine) []geom.PolyLine {
+	out := append([]geom.PolyLine(nil), lines...)
+	sp := geom.Spacings(lines, 1)
+	for i, l := range lines {
+		if sp[i].Left >= c.MinLanding+c.Width {
+			out = append(out, geom.PolyLine{
+				CenterX: l.LeftEdge() - c.Offset - c.Width/2,
+				Width:   c.Width,
+				Span:    l.Span,
+			})
+		}
+		if sp[i].Right >= c.MinLanding+c.Width {
+			out = append(out, geom.PolyLine{
+				CenterX: l.RightEdge() + c.Offset + c.Width/2,
+				Width:   c.Width,
+				Span:    l.Span,
+			})
+		}
+	}
+	geom.SortLinesByX(out)
+	return out
+}
+
+// FocusSensitivity measures d(CD)/d(defocus²) for the given environment on
+// a process, by sampling the printed CD at defocus 0 and z. Positive values
+// smile, negative frown. Used to quantify how much SRAFs tame isolated
+// lines.
+func FocusSensitivity(p *process.Process, env process.Env, z float64) (float64, bool) {
+	c0, ok0 := p.PrintCDCond(env, 0, p.Dose)
+	cz, okz := p.PrintCDCond(env, z, p.Dose)
+	if !ok0 || !okz {
+		return 0, false
+	}
+	return (cz - c0) / (z * z), true
+}

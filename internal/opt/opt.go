@@ -1,0 +1,184 @@
+// Package opt implements litho-aware timing optimization: the direction
+// the paper's conclusion points at ("the methodology brings process and
+// design closer") and its published follow-up (self-compensating design).
+//
+// The knob is placement whitespace. A cell's border devices print at a
+// pitch-dependent CD: on this process, tighter neighbor spacing prints
+// longer (slower) gates. Redistributing row whitespace toward the cells on
+// the critical path therefore shortens their printed gate lengths and the
+// aware worst-case delay — an optimization that is *invisible* to
+// traditional STA, which ignores placement context entirely.
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"svtiming/internal/core"
+)
+
+// Options controls the optimizer.
+type Options struct {
+	MaxMoves int     // accepted-move budget (default 40)
+	Step     float64 // whitespace quantum moved per attempt, nm (default 150)
+	MinGap   float64 // never shrink a donor gap below this, nm (default 0)
+}
+
+func (o *Options) fill() {
+	if o.MaxMoves == 0 {
+		o.MaxMoves = 40
+	}
+	if o.Step == 0 {
+		o.Step = 150
+	}
+}
+
+// Result summarizes an optimization run.
+type Result struct {
+	BeforeWC float64 // aware worst-case delay before, ps
+	AfterWC  float64 // after, ps
+	Moves    int     // accepted whitespace moves
+	Tried    int     // attempted moves
+}
+
+// ImprovementPct returns the relative WC delay improvement.
+func (r Result) ImprovementPct() float64 {
+	if r.BeforeWC <= 0 {
+		return 0
+	}
+	return 100 * (1 - r.AfterWC/r.BeforeWC)
+}
+
+// OptimizeWhitespace greedily moves whitespace from the widest gap of a
+// row to the flanks of critical-path cells in that row, re-running the
+// aware worst-case analysis after each move and keeping only improvements.
+// The design's placement and context annotations are updated in place.
+func OptimizeWhitespace(f *core.Flow, d *core.Design, opt Options) (Result, error) {
+	opt.fill()
+	rep, err := f.AnalyzeContextual(d, core.WorstCase)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{BeforeWC: rep.MaxDelay, AfterWC: rep.MaxDelay}
+
+	for res.Moves < opt.MaxMoves {
+		improved := false
+		for _, inst := range rep.CriticalCells() {
+			if res.Moves >= opt.MaxMoves {
+				break
+			}
+			for _, side := range []int{-1, +1} { // widen left, then right
+				res.Tried++
+				undo, ok := widenGap(d, inst, side, opt)
+				if !ok {
+					continue
+				}
+				if err := f.RefreshContext(d); err != nil {
+					return res, err
+				}
+				trial, err := f.AnalyzeContextual(d, core.WorstCase)
+				if err != nil {
+					return res, err
+				}
+				if trial.MaxDelay < res.AfterWC-1e-9 {
+					res.AfterWC = trial.MaxDelay
+					res.Moves++
+					rep = trial
+					improved = true
+				} else {
+					undo()
+					if err := f.RefreshContext(d); err != nil {
+						return res, err
+					}
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return res, nil
+}
+
+// widenGap moves opt.Step nm of whitespace from the row's widest gap to
+// the chosen flank of inst, by sliding the intervening cells. It returns
+// an undo closure and whether a legal move existed.
+func widenGap(d *core.Design, inst, side int, opt Options) (func(), bool) {
+	p := d.Placement
+	row := p.Rows[p.Cells[inst].Row]
+	pos := -1
+	for k, i := range row {
+		if i == inst {
+			pos = k
+		}
+	}
+	if pos < 0 {
+		return nil, false
+	}
+	// Gap slots: gap k sits left of row[k]; gap len(row) is the right-end
+	// slack (unbounded donor, zero-width receiver space at the row tail).
+	gapAt := func(k int) float64 {
+		switch {
+		case k == 0:
+			return p.Cells[row[0]].X
+		case k < len(row):
+			prev := p.Cells[row[k-1]]
+			return p.Cells[row[k]].X - (prev.X + prev.Cell.Width)
+		default:
+			return math.Inf(1) // row tail: effectively unlimited slack
+		}
+	}
+	target := pos
+	if side > 0 {
+		target = pos + 1
+	}
+	// Donor: the widest other gap (preferring the row tail, which is free).
+	donor := len(row)
+	best := gapAt(donor)
+	for k := 0; k <= len(row); k++ {
+		if k == target {
+			continue
+		}
+		if g := gapAt(k); g > best {
+			best = g
+			donor = k
+		}
+	}
+	if donor == target || best < opt.Step+opt.MinGap {
+		return nil, false
+	}
+	// Shift the cells between the two slots: widening gap `target` using
+	// slack from gap `donor` slides every cell in [min, max) range.
+	shift := func(from, to int, dx float64) {
+		for k := from; k < to && k < len(row); k++ {
+			p.Cells[row[k]].X += dx
+		}
+	}
+	var undo func()
+	if donor > target {
+		// Cells in [target, donor) move right by Step.
+		shift(target, donor, +opt.Step)
+		undo = func() { shift(target, donor, -opt.Step) }
+	} else {
+		// Cells in [donor, target) move left by Step.
+		shift(donor, target, -opt.Step)
+		undo = func() { shift(donor, target, +opt.Step) }
+	}
+	if err := p.Verify(); err != nil {
+		undo()
+		return nil, false
+	}
+	return undo, true
+}
+
+// Report renders an optimization result with the final critical path.
+func Report(f *core.Flow, d *core.Design, res Result) (string, error) {
+	rep, err := f.AnalyzeContextual(d, core.WorstCase)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf(
+		"litho-aware whitespace optimization: WC %.1f ps -> %.1f ps (%.2f%% better, %d/%d moves)\n%s",
+		res.BeforeWC, res.AfterWC, res.ImprovementPct(), res.Moves, res.Tried,
+		rep.FormatPath(d.Netlist)), nil
+}

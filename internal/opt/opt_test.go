@@ -1,0 +1,136 @@
+package opt
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"svtiming/internal/core"
+	"svtiming/internal/drc"
+)
+
+var (
+	once sync.Once
+	flow *core.Flow
+)
+
+func testFlow(t *testing.T) *core.Flow {
+	t.Helper()
+	once.Do(func() {
+		f, err := core.NewFlow()
+		if err != nil {
+			t.Fatalf("NewFlow: %v", err)
+		}
+		flow = f
+	})
+	if flow == nil {
+		t.Fatal("flow setup failed earlier")
+	}
+	return flow
+}
+
+func TestOptimizeImprovesWorstCase(t *testing.T) {
+	f := testFlow(t)
+	d, err := f.PrepareDesign("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := OptimizeWhitespace(f, d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AfterWC > res.BeforeWC+1e-9 {
+		t.Errorf("optimization worsened WC: %v -> %v", res.BeforeWC, res.AfterWC)
+	}
+	if res.Moves == 0 {
+		t.Error("no accepted moves on a whitespace-rich placement")
+	}
+	if res.Tried < res.Moves {
+		t.Errorf("counters inconsistent: tried %d < moved %d", res.Tried, res.Moves)
+	}
+	if res.ImprovementPct() <= 0 {
+		t.Errorf("improvement %v%%, want > 0", res.ImprovementPct())
+	}
+	// The state in d reflects the optimized placement: re-analysis agrees.
+	rep, err := f.AnalyzeContextual(d, core.WorstCase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxDelay != res.AfterWC {
+		t.Errorf("design state (%v) disagrees with result (%v)", rep.MaxDelay, res.AfterWC)
+	}
+}
+
+func TestOptimizedPlacementStaysLegal(t *testing.T) {
+	f := testFlow(t)
+	d, err := f.PrepareDesign("c880")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OptimizeWhitespace(f, d, Options{MaxMoves: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Placement.Verify(); err != nil {
+		t.Fatalf("placement illegal after optimization: %v", err)
+	}
+	for _, v := range drc.DrawnRules().CheckPlacement(d.Placement) {
+		t.Errorf("DRC violation after optimization: %v", v)
+	}
+}
+
+func TestOptimizeMoveBudget(t *testing.T) {
+	f := testFlow(t)
+	d, err := f.PrepareDesign("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := OptimizeWhitespace(f, d, Options{MaxMoves: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Moves > 3 {
+		t.Errorf("budget exceeded: %d moves", res.Moves)
+	}
+}
+
+func TestOptimizeDeterministic(t *testing.T) {
+	f := testFlow(t)
+	d1, err := f.PrepareDesign("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := OptimizeWhitespace(f, d1, Options{MaxMoves: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := f.PrepareDesign("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := OptimizeWhitespace(f, d2, Options{MaxMoves: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Errorf("nondeterministic: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestReport(t *testing.T) {
+	f := testFlow(t)
+	d, err := f.PrepareDesign("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := OptimizeWhitespace(f, d, Options{MaxMoves: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Report(f, d, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "critical path") || !strings.Contains(s, "WC") {
+		t.Errorf("Report = %q", s)
+	}
+}

@@ -1,0 +1,262 @@
+// Package place implements the row-based standard-cell placement substrate.
+//
+// The timing methodology only consumes the *horizontal context* placement
+// creates: which cell sits next to which, and how much whitespace separates
+// them. A greedy row placer with a deterministic whitespace model produces
+// the same distribution of placement environments a commercial placer
+// would, which is all the experiments need.
+package place
+
+import (
+	"fmt"
+	"math/rand"
+
+	"svtiming/internal/geom"
+	"svtiming/internal/netlist"
+	"svtiming/internal/stdcell"
+)
+
+// Placed is one placed cell instance.
+type Placed struct {
+	Inst int // index into the netlist's Instances
+	Cell *stdcell.Cell
+	X    float64 // left edge of the cell, nm
+	Row  int
+}
+
+// Placement is a legal row placement of a netlist.
+type Placement struct {
+	Netlist  *netlist.Netlist
+	Rows     [][]int  // per row: indices into Cells, left to right
+	Cells    []Placed // one per netlist instance, same order
+	RowWidth float64  // target row width, nm
+}
+
+// Options controls the placer.
+type Options struct {
+	Utilization float64 // target row fill, 0 < u <= 1 (default 0.75)
+	Seed        int64   // whitespace distribution seed (default: derived from name)
+	RowWidth    float64 // fixed row width, nm (default: computed from area)
+}
+
+// Place assigns every instance of n to a row position. Instances are
+// ordered by logic level (wiring locality) and packed into rows; the
+// leftover whitespace in each row is split into inter-cell gaps drawn
+// deterministically from a skewed distribution, so designs contain the
+// tight-abutment and wide-gap contexts the methodology classifies.
+func Place(n *netlist.Netlist, lib *stdcell.Library, opt Options) (*Placement, error) {
+	if opt.Utilization == 0 {
+		opt.Utilization = 0.75
+	}
+	if opt.Utilization < 0.05 || opt.Utilization > 1 {
+		return nil, fmt.Errorf("place: utilization %v out of range", opt.Utilization)
+	}
+	if opt.Seed == 0 {
+		for _, r := range n.Name {
+			opt.Seed = opt.Seed*31 + int64(r)
+		}
+		opt.Seed++
+	}
+	order, err := n.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+
+	cells := make([]*stdcell.Cell, len(n.Instances))
+	var totalW float64
+	for i, g := range n.Instances {
+		c, err := lib.Cell(g.Cell)
+		if err != nil {
+			return nil, err
+		}
+		cells[i] = c
+		totalW += c.Width
+	}
+
+	rowWidth := opt.RowWidth
+	if rowWidth <= 0 {
+		// Aim for a roughly square block at the target utilization.
+		area := totalW * stdcell.CellHeight / opt.Utilization
+		rowWidth = sqrtApprox(area)
+		if rowWidth < 4*totalW/float64(len(n.Instances)) {
+			rowWidth = 4 * totalW / float64(len(n.Instances))
+		}
+	}
+
+	p := &Placement{
+		Netlist:  n,
+		Cells:    make([]Placed, len(n.Instances)),
+		RowWidth: rowWidth,
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	budget := rowWidth * opt.Utilization
+	var row []int
+	var used float64
+	flushRow := func() {
+		if len(row) == 0 {
+			return
+		}
+		placeRow(p, cells, row, rowWidth-wsum(cells, row), rng)
+		p.Rows = append(p.Rows, row)
+		row = nil
+		used = 0
+	}
+	for _, inst := range order {
+		w := cells[inst].Width
+		if used+w > budget && len(row) > 0 {
+			flushRow()
+		}
+		row = append(row, inst)
+		used += w
+	}
+	flushRow()
+
+	for r, rowIdx := range p.Rows {
+		for _, inst := range rowIdx {
+			p.Cells[inst].Row = r
+		}
+	}
+	return p, nil
+}
+
+func wsum(cells []*stdcell.Cell, row []int) float64 {
+	var s float64
+	for _, i := range row {
+		s += cells[i].Width
+	}
+	return s
+}
+
+// placeRow distributes free whitespace into the row's n+1 gap slots with a
+// skewed draw: many abutments, some small gaps, occasional wide gaps —
+// the whitespace distribution the paper attributes most isolated devices
+// to.
+func placeRow(p *Placement, cells []*stdcell.Cell, row []int, free float64, rng *rand.Rand) {
+	if free < 0 {
+		free = 0
+	}
+	gaps := make([]float64, len(row)+1)
+	remaining := free
+	for g := range gaps {
+		if remaining <= 0 {
+			break
+		}
+		var want float64
+		switch r := rng.Float64(); {
+		case r < 0.45:
+			want = 0 // abutment
+		case r < 0.70:
+			want = 150
+		case r < 0.88:
+			want = 300
+		default:
+			want = 600 + rng.Float64()*600
+		}
+		if want > remaining {
+			want = remaining
+		}
+		gaps[g] = want
+		remaining -= want
+	}
+	// Any leftover goes to the end of the row.
+	gaps[len(gaps)-1] += remaining
+
+	x := gaps[0]
+	for k, inst := range row {
+		p.Cells[inst] = Placed{Inst: inst, Cell: cells[inst], X: x}
+		x += cells[inst].Width + gaps[k+1]
+	}
+}
+
+func sqrtApprox(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	x := v
+	for i := 0; i < 40; i++ {
+		x = 0.5 * (x + v/x)
+	}
+	return x
+}
+
+// RowLines returns all poly features of row r, in placed coordinates.
+func (p *Placement) RowLines(r int) []geom.PolyLine {
+	var out []geom.PolyLine
+	for _, inst := range p.Rows[r] {
+		pc := p.Cells[inst]
+		out = append(out, pc.Cell.PolyLines(pc.X)...)
+	}
+	geom.SortLinesByX(out)
+	return out
+}
+
+// RowGateLines returns only the transistor gate lines of row r together
+// with their owning instance and gate index, left to right.
+type RowGate struct {
+	Inst int // netlist instance index
+	Gate int // gate index within the cell
+	Line geom.PolyLine
+}
+
+// RowGates lists the transistor gates of a row with ownership information.
+func (p *Placement) RowGates(r int) []RowGate {
+	var out []RowGate
+	for _, inst := range p.Rows[r] {
+		pc := p.Cells[inst]
+		for gi, l := range pc.Cell.GateLines(pc.X) {
+			out = append(out, RowGate{Inst: inst, Gate: gi, Line: l})
+		}
+	}
+	return out
+}
+
+// Neighbors returns the instance indices immediately left and right of
+// inst in its row (-1 if none) and the corresponding whitespace gaps.
+func (p *Placement) Neighbors(inst int) (left, right int, leftGap, rightGap float64) {
+	pc := p.Cells[inst]
+	row := p.Rows[pc.Row]
+	left, right = -1, -1
+	leftGap, rightGap = -1, -1
+	for k, i := range row {
+		if i != inst {
+			continue
+		}
+		if k > 0 {
+			left = row[k-1]
+			lpc := p.Cells[left]
+			leftGap = pc.X - (lpc.X + lpc.Cell.Width)
+		}
+		if k < len(row)-1 {
+			right = row[k+1]
+			rpc := p.Cells[right]
+			rightGap = rpc.X - (pc.X + pc.Cell.Width)
+		}
+		break
+	}
+	return
+}
+
+// Verify checks placement legality: no overlaps, rows within width, every
+// instance placed exactly once.
+func (p *Placement) Verify() error {
+	seen := make(map[int]bool)
+	for r, row := range p.Rows {
+		lastEnd := -1.0
+		for _, inst := range row {
+			if seen[inst] {
+				return fmt.Errorf("place: instance %d placed twice", inst)
+			}
+			seen[inst] = true
+			pc := p.Cells[inst]
+			if pc.X < lastEnd-1e-6 {
+				return fmt.Errorf("place: overlap in row %d at instance %d", r, inst)
+			}
+			lastEnd = pc.X + pc.Cell.Width
+		}
+	}
+	if len(seen) != len(p.Netlist.Instances) {
+		return fmt.Errorf("place: %d of %d instances placed", len(seen), len(p.Netlist.Instances))
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+package place
+
+import (
+	"math"
+	"testing"
+
+	"svtiming/internal/netlist"
+	"svtiming/internal/stdcell"
+)
+
+var lib = stdcell.Default()
+
+func placeBench(t *testing.T, name string, opt Options) *Placement {
+	t.Helper()
+	n := netlist.MustGenerate(lib, name)
+	p, err := Place(n, lib, opt)
+	if err != nil {
+		t.Fatalf("Place(%s): %v", name, err)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatalf("Verify(%s): %v", name, err)
+	}
+	return p
+}
+
+func TestPlaceC17Legal(t *testing.T) {
+	placeBench(t, "c17", Options{})
+}
+
+func TestPlaceC432Legal(t *testing.T) {
+	p := placeBench(t, "c432", Options{})
+	if len(p.Rows) < 2 {
+		t.Errorf("c432 placed in %d rows, expected several", len(p.Rows))
+	}
+	// Every row stays within ~row width.
+	for r, row := range p.Rows {
+		last := p.Cells[row[len(row)-1]]
+		if end := last.X + last.Cell.Width; end > p.RowWidth*1.2 {
+			t.Errorf("row %d extends to %v, width target %v", r, end, p.RowWidth)
+		}
+	}
+}
+
+func TestPlaceDeterministic(t *testing.T) {
+	n := netlist.MustGenerate(lib, "c432")
+	p1, err := Place(n, lib, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Place(n, lib, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1.Cells {
+		if p1.Cells[i].X != p2.Cells[i].X || p1.Cells[i].Row != p2.Cells[i].Row {
+			t.Fatalf("instance %d placed at %v/%v then %v/%v",
+				i, p1.Cells[i].X, p1.Cells[i].Row, p2.Cells[i].X, p2.Cells[i].Row)
+		}
+	}
+}
+
+func TestPlaceSeedChangesWhitespace(t *testing.T) {
+	n := netlist.MustGenerate(lib, "c432")
+	p1, _ := Place(n, lib, Options{Seed: 1})
+	p2, _ := Place(n, lib, Options{Seed: 2})
+	diff := false
+	for i := range p1.Cells {
+		if p1.Cells[i].X != p2.Cells[i].X {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical placements")
+	}
+}
+
+func TestPlaceUtilizationRange(t *testing.T) {
+	n := netlist.MustGenerate(lib, "c17")
+	if _, err := Place(n, lib, Options{Utilization: 1.5}); err == nil {
+		t.Error("utilization > 1 accepted")
+	}
+	if _, err := Place(n, lib, Options{Utilization: 0.01}); err == nil {
+		t.Error("absurdly low utilization accepted")
+	}
+}
+
+func TestWhitespaceDistribution(t *testing.T) {
+	p := placeBench(t, "c880", Options{Utilization: 0.7})
+	abut, gaps, wide := 0, 0, 0
+	for _, row := range p.Rows {
+		for k := 1; k < len(row); k++ {
+			prev := p.Cells[row[k-1]]
+			cur := p.Cells[row[k]]
+			g := cur.X - (prev.X + prev.Cell.Width)
+			switch {
+			case g < 1:
+				abut++
+			case g < 500:
+				gaps++
+			default:
+				wide++
+			}
+		}
+	}
+	if abut == 0 || gaps == 0 || wide == 0 {
+		t.Errorf("whitespace distribution degenerate: abut=%d small=%d wide=%d", abut, gaps, wide)
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	p := placeBench(t, "c432", Options{})
+	row := p.Rows[0]
+	if len(row) < 3 {
+		t.Skip("first row too short")
+	}
+	mid := row[1]
+	l, r, lg, rg := p.Neighbors(mid)
+	if l != row[0] || r != row[2] {
+		t.Errorf("Neighbors = %d,%d want %d,%d", l, r, row[0], row[2])
+	}
+	if lg < 0 || rg < 0 {
+		t.Errorf("gaps = %v,%v want >= 0", lg, rg)
+	}
+	first := row[0]
+	l, _, lg, _ = p.Neighbors(first)
+	if l != -1 || lg != -1 {
+		t.Errorf("row-start neighbor = %d gap %v, want -1", l, lg)
+	}
+}
+
+func TestRowLinesSortedAndComplete(t *testing.T) {
+	p := placeBench(t, "c432", Options{})
+	for r := range p.Rows {
+		lines := p.RowLines(r)
+		wantGates := 0
+		wantTotal := 0
+		for _, inst := range p.Rows[r] {
+			wantGates += len(p.Cells[inst].Cell.Gates)
+			wantTotal += len(p.Cells[inst].Cell.Gates) + len(p.Cells[inst].Cell.Stubs)
+		}
+		if len(lines) != wantTotal {
+			t.Fatalf("row %d has %d lines, want %d", r, len(lines), wantTotal)
+		}
+		for i := 1; i < len(lines); i++ {
+			if lines[i].CenterX < lines[i-1].CenterX {
+				t.Fatalf("row %d lines not sorted", r)
+			}
+		}
+		gates := p.RowGates(r)
+		if len(gates) != wantGates {
+			t.Fatalf("row %d has %d gates, want %d", r, len(gates), wantGates)
+		}
+	}
+}
+
+func TestRowGatesOwnership(t *testing.T) {
+	p := placeBench(t, "c17", Options{})
+	for r := range p.Rows {
+		for _, rg := range p.RowGates(r) {
+			pc := p.Cells[rg.Inst]
+			wantX := pc.X + pc.Cell.Gates[rg.Gate].OffsetX
+			if math.Abs(rg.Line.CenterX-wantX) > 1e-9 {
+				t.Fatalf("gate line at %v, want %v", rg.Line.CenterX, wantX)
+			}
+		}
+	}
+}
+
+func TestPlacePreservesAllGateCounts(t *testing.T) {
+	p := placeBench(t, "c1355", Options{})
+	totalGates := 0
+	for r := range p.Rows {
+		totalGates += len(p.RowGates(r))
+	}
+	want := 0
+	for _, g := range p.Netlist.Instances {
+		want += len(lib.MustCell(g.Cell).Gates)
+	}
+	if totalGates != want {
+		t.Errorf("placement has %d gates, netlist wants %d", totalGates, want)
+	}
+}

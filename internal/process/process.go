@@ -1,0 +1,282 @@
+// Package process bundles the optical model, resist model and measurement
+// conventions into a single "process" object — the stand-in for the IBM
+// 90 nm pre-production process models the paper characterizes against.
+//
+// It also defines Env, the 1-D optical neighborhood of a poly line, and a
+// CD cache keyed on quantized environments: lines with identical
+// neighborhoods print identically, which collapses the cost of full-chip
+// CD prediction from one simulation per device to one per distinct
+// environment (standard-cell layouts repeat environments heavily).
+package process
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+
+	"svtiming/internal/geom"
+	"svtiming/internal/litho"
+	"svtiming/internal/mask"
+	"svtiming/internal/resist"
+)
+
+// Env is the optical neighborhood of one vertical poly line, described
+// outward from the line: the line's own mask width, then the flanking
+// features on each side (nearest first) within the radius of influence.
+type Env struct {
+	Width float64 // mask width of the line under measurement, nm
+	Left  []Flank // neighbors to the left, nearest first
+	Right []Flank // neighbors to the right, nearest first
+}
+
+// Flank is one neighboring feature: the edge-to-edge gap separating it from
+// the previous feature (or from the measured line, for the nearest flank)
+// and its mask width.
+type Flank struct {
+	Gap, Width float64
+}
+
+// Key returns a cache key with geometry quantized to 0.25 nm, well below
+// any CD difference the flow cares about.
+func (e Env) Key() string {
+	var b strings.Builder
+	q := func(v float64) int64 { return int64(math.Round(v * 4)) }
+	fmt.Fprintf(&b, "w%d", q(e.Width))
+	for _, f := range e.Left {
+		fmt.Fprintf(&b, "|L%d,%d", q(f.Gap), q(f.Width))
+	}
+	for _, f := range e.Right {
+		fmt.Fprintf(&b, "|R%d,%d", q(f.Gap), q(f.Width))
+	}
+	return b.String()
+}
+
+// Isolated returns an environment with no neighbors.
+func Isolated(width float64) Env { return Env{Width: width} }
+
+// DensePitch returns an environment of an infinite-like line array at the
+// given pitch: nFlank neighbors on each side, all of the given width.
+func DensePitch(width, pitch float64, nFlank int) Env {
+	gap := pitch - width
+	e := Env{Width: width}
+	for i := 0; i < nFlank; i++ {
+		e.Left = append(e.Left, Flank{Gap: gap, Width: width})
+		e.Right = append(e.Right, Flank{Gap: gap, Width: width})
+	}
+	return e
+}
+
+// EnvAt extracts the environment of lines[i] from a sorted-or-not slice of
+// lines in a row, keeping neighbors whose nearest edge lies within
+// radius nm of the measured line's nearest edge. Only lines whose vertical
+// span overlaps that of lines[i] are considered facing neighbors.
+func EnvAt(lines []geom.PolyLine, i int, radius float64) Env {
+	me := lines[i]
+	e := Env{Width: me.Width}
+
+	type nb struct {
+		edge  float64 // inner edge position
+		width float64
+	}
+	var lefts, rights []nb
+	for j, l := range lines {
+		if j == i {
+			continue
+		}
+		if l.Span.Intersect(me.Span).Empty() {
+			continue
+		}
+		// Features whose near edge lies beyond the radius of influence
+		// cannot affect the measured line; skipping them keeps this O(k)
+		// in the local feature count rather than the row length.
+		if l.RightEdge() <= me.LeftEdge() {
+			if me.LeftEdge()-l.RightEdge() <= radius {
+				lefts = append(lefts, nb{edge: l.RightEdge(), width: l.Width})
+			}
+		} else if l.LeftEdge() >= me.RightEdge() {
+			if l.LeftEdge()-me.RightEdge() <= radius {
+				rights = append(rights, nb{edge: l.LeftEdge(), width: l.Width})
+			}
+		}
+		// Overlapping lines are merged upstream; ignore here.
+	}
+	// Nearest first.
+	sortBy(lefts, func(a, b nb) bool { return a.edge > b.edge })
+	sortBy(rights, func(a, b nb) bool { return a.edge < b.edge })
+
+	prev := me.LeftEdge()
+	for _, n := range lefts {
+		if prev-n.edge > radius && len(e.Left) > 0 {
+			break
+		}
+		if me.LeftEdge()-n.edge > radius {
+			break
+		}
+		e.Left = append(e.Left, Flank{Gap: prev - n.edge, Width: n.width})
+		prev = n.edge - n.width
+	}
+	prev = me.RightEdge()
+	for _, n := range rights {
+		if n.edge-me.RightEdge() > radius {
+			break
+		}
+		e.Right = append(e.Right, Flank{Gap: n.edge - prev, Width: n.width})
+		prev = n.edge + n.width
+	}
+	return e
+}
+
+func sortBy[T any](s []T, less func(a, b T) bool) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && less(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Lines materializes the environment as poly lines centered on x = 0, for
+// mask construction. The measured line is the first entry.
+func (e Env) Lines(span geom.Interval) []geom.PolyLine {
+	out := []geom.PolyLine{{CenterX: 0, Width: e.Width, Span: span}}
+	x := -e.Width / 2
+	for _, f := range e.Left {
+		c := x - f.Gap - f.Width/2
+		out = append(out, geom.PolyLine{CenterX: c, Width: f.Width, Span: span})
+		x = c - f.Width/2
+	}
+	x = e.Width / 2
+	for _, f := range e.Right {
+		c := x + f.Gap + f.Width/2
+		out = append(out, geom.PolyLine{CenterX: c, Width: f.Width, Span: span})
+		x = c + f.Width/2
+	}
+	return out
+}
+
+// Process is a complete lithographic process: optics, resist, measurement
+// and mask-manufacturing conventions.
+type Process struct {
+	Optics litho.Imager // nominal-focus optical column
+	Resist resist.Model
+	Dose   float64 // nominal relative exposure dose
+
+	TargetCD          float64 // drawn/target gate length, nm
+	RadiusOfInfluence float64 // optical interaction radius, nm (~600)
+	MaskGrid          float64 // mask manufacturing grid, nm
+	Dx                float64 // simulation sample pitch, nm
+	GuardBand         float64 // clear-field margin beyond the outermost feature, nm
+
+	mu    sync.Mutex
+	cache map[string]cdResult
+}
+
+type cdResult struct {
+	cd float64
+	ok bool
+}
+
+// Nominal90nm returns the process used throughout the reproduction: ArF
+// (193 nm) annular illumination at NA 0.7, a constant-threshold resist with
+// modest diffusion, 90 nm target gate length and a 600 nm radius of
+// influence, matching the paper's §2 and §3.1.1 parameters.
+func Nominal90nm() *Process {
+	return &Process{
+		Optics: litho.Imager{
+			Wavelength: 193,
+			NA:         0.7,
+			Src:        litho.Annular(0.55, 0.85, 24),
+		},
+		Resist:            resist.Model{Threshold: 0.55, DiffusionLength: 20},
+		Dose:              1.0,
+		TargetCD:          90,
+		RadiusOfInfluence: 600,
+		MaskGrid:          1,
+		Dx:                2,
+		GuardBand:         800,
+	}
+}
+
+// SnapToGrid quantizes a mask dimension to the manufacturing grid.
+func (p *Process) SnapToGrid(v float64) float64 {
+	if p.MaskGrid <= 0 {
+		return v
+	}
+	return math.Round(v/p.MaskGrid) * p.MaskGrid
+}
+
+// PrintCDCond simulates the printed CD of the line described by env at the
+// given defocus (nm) and relative dose. Results at nominal conditions are
+// not cached here; see PrintCD for the cached nominal-condition path.
+func (p *Process) PrintCDCond(env Env, defocus, dose float64) (float64, bool) {
+	span := geom.Interval{Lo: 0, Hi: 1000}
+	lines := env.Lines(span)
+	var lo, hi float64
+	for _, l := range lines {
+		lo = math.Min(lo, l.LeftEdge())
+		hi = math.Max(hi, l.RightEdge())
+	}
+	lo -= p.GuardBand
+	hi += p.GuardBand
+	m := mask.FromLines(lines, geom.Interval{Lo: lo, Hi: hi}, p.Dx)
+	im := p.Optics.WithDefocus(defocus)
+	prof := im.Image(m)
+	cd, ok := p.Resist.PrintedCD(prof, 0, dose)
+	if !ok {
+		return 0, false
+	}
+	// Reject bridged features: if the measured extent reaches past the
+	// nearest neighbor's near edge the intervening space failed to print
+	// and there is no meaningful CD for this line.
+	limit := env.Width
+	if len(env.Left) > 0 {
+		limit += env.Left[0].Gap
+	} else {
+		limit += p.RadiusOfInfluence
+	}
+	if len(env.Right) > 0 {
+		limit += env.Right[0].Gap
+	} else {
+		limit += p.RadiusOfInfluence
+	}
+	if cd > limit {
+		return 0, false
+	}
+	return cd, true
+}
+
+// PrintCD simulates (with caching) the printed CD of env at nominal focus
+// and dose. The boolean reports whether the feature printed at all.
+func (p *Process) PrintCD(env Env) (float64, bool) {
+	key := env.Key()
+	p.mu.Lock()
+	if p.cache == nil {
+		p.cache = make(map[string]cdResult)
+	}
+	if r, ok := p.cache[key]; ok {
+		p.mu.Unlock()
+		return r.cd, r.ok
+	}
+	p.mu.Unlock()
+
+	cd, ok := p.PrintCDCond(env, 0, p.Dose)
+
+	p.mu.Lock()
+	p.cache[key] = cdResult{cd, ok}
+	p.mu.Unlock()
+	return cd, ok
+}
+
+// CacheSize returns the number of distinct environments simulated so far.
+func (p *Process) CacheSize() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.cache)
+}
+
+// ClearCache discards all cached CD results.
+func (p *Process) ClearCache() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cache = nil
+}

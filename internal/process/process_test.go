@@ -1,0 +1,196 @@
+package process
+
+import (
+	"math"
+	"testing"
+
+	"svtiming/internal/geom"
+)
+
+func TestEnvKeyDistinguishesAndQuantizes(t *testing.T) {
+	a := DensePitch(90, 240, 2)
+	b := DensePitch(90, 300, 2)
+	if a.Key() == b.Key() {
+		t.Error("different pitches share a key")
+	}
+	// Sub-quantum (0.05 nm) differences collapse to the same key.
+	c := DensePitch(90.05, 240.05, 2)
+	if a.Key() != c.Key() {
+		t.Errorf("keys differ for sub-quantum geometry change:\n%s\n%s", a.Key(), c.Key())
+	}
+	if Isolated(90).Key() == a.Key() {
+		t.Error("isolated and dense share a key")
+	}
+}
+
+func TestDensePitchConstruction(t *testing.T) {
+	e := DensePitch(90, 240, 3)
+	if len(e.Left) != 3 || len(e.Right) != 3 {
+		t.Fatalf("flank counts %d/%d", len(e.Left), len(e.Right))
+	}
+	for _, f := range append(append([]Flank{}, e.Left...), e.Right...) {
+		if f.Gap != 150 || f.Width != 90 {
+			t.Errorf("flank = %+v, want gap 150 width 90", f)
+		}
+	}
+}
+
+func TestEnvLines(t *testing.T) {
+	e := DensePitch(90, 240, 2)
+	lines := e.Lines(geom.Interval{Lo: 0, Hi: 100})
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5", len(lines))
+	}
+	if lines[0].CenterX != 0 {
+		t.Errorf("measured line center = %v", lines[0].CenterX)
+	}
+	// All centers should be multiples of the pitch.
+	for _, l := range lines {
+		m := math.Mod(math.Abs(l.CenterX), 240)
+		if m > 1e-9 && math.Abs(m-240) > 1e-9 {
+			t.Errorf("line center %v not on pitch grid", l.CenterX)
+		}
+	}
+}
+
+func TestEnvAtExtractsNeighborhood(t *testing.T) {
+	span := geom.Interval{Lo: 0, Hi: 1000}
+	lines := []geom.PolyLine{
+		{CenterX: 0, Width: 90, Span: span},
+		{CenterX: 300, Width: 90, Span: span},
+		{CenterX: 560, Width: 110, Span: span},
+		{CenterX: 2000, Width: 90, Span: span}, // beyond radius
+	}
+	e := EnvAt(lines, 1, 600)
+	if e.Width != 90 {
+		t.Errorf("Width = %v", e.Width)
+	}
+	if len(e.Left) != 1 || math.Abs(e.Left[0].Gap-210) > 1e-9 {
+		t.Fatalf("Left = %+v, want one flank with gap 210", e.Left)
+	}
+	// Right: line at 560 (width 110): gap = 560-55-345 = 160.
+	if len(e.Right) != 1 || math.Abs(e.Right[0].Gap-160) > 1e-9 || e.Right[0].Width != 110 {
+		t.Fatalf("Right = %+v", e.Right)
+	}
+}
+
+func TestEnvAtSkipsNonFacingLines(t *testing.T) {
+	lines := []geom.PolyLine{
+		{CenterX: 0, Width: 90, Span: geom.Interval{Lo: 0, Hi: 500}},
+		{CenterX: 300, Width: 90, Span: geom.Interval{Lo: 600, Hi: 1000}},
+	}
+	e := EnvAt(lines, 0, 600)
+	if len(e.Right) != 0 {
+		t.Errorf("non-facing line included: %+v", e.Right)
+	}
+}
+
+func TestEnvAtChainsGaps(t *testing.T) {
+	span := geom.Interval{Lo: 0, Hi: 1000}
+	lines := []geom.PolyLine{
+		{CenterX: 0, Width: 90, Span: span},
+		{CenterX: 240, Width: 90, Span: span},
+		{CenterX: 480, Width: 90, Span: span},
+	}
+	e := EnvAt(lines, 0, 600)
+	if len(e.Right) != 2 {
+		t.Fatalf("want 2 right flanks, got %+v", e.Right)
+	}
+	if math.Abs(e.Right[0].Gap-150) > 1e-9 || math.Abs(e.Right[1].Gap-150) > 1e-9 {
+		t.Errorf("chained gaps = %v, %v, want 150 each", e.Right[0].Gap, e.Right[1].Gap)
+	}
+}
+
+func TestPrintCDThroughPitchShape(t *testing.T) {
+	// The paper's Fig 1 shape: printed CD decreases with pitch and
+	// saturates past the radius of influence (~600 nm).
+	p := Nominal90nm()
+	cd260, ok1 := p.PrintCD(DensePitch(130, 260, 4))
+	cd450, ok2 := p.PrintCD(DensePitch(130, 450, 4))
+	cd800, ok3 := p.PrintCD(DensePitch(130, 800, 4))
+	iso, ok4 := p.PrintCD(Isolated(130))
+	if !ok1 || !ok2 || !ok3 || !ok4 {
+		t.Fatal("a pattern failed to print")
+	}
+	if !(cd260 > cd450) {
+		t.Errorf("dense should print wider: cd260=%v cd450=%v", cd260, cd450)
+	}
+	if math.Abs(cd800-iso) > 6 {
+		t.Errorf("beyond radius of influence CD should approach isolated: %v vs %v", cd800, iso)
+	}
+}
+
+func TestPrintCDBossungSigns(t *testing.T) {
+	// Dense lines smile (CD grows with |defocus|), isolated lines frown.
+	p := Nominal90nm()
+	dense0, _ := p.PrintCDCond(DensePitch(90, 240, 4), 0, 1)
+	denseZ, _ := p.PrintCDCond(DensePitch(90, 240, 4), 250, 1)
+	iso0, _ := p.PrintCDCond(Isolated(90), 0, 1)
+	isoZ, _ := p.PrintCDCond(Isolated(90), 250, 1)
+	if denseZ <= dense0 {
+		t.Errorf("dense should smile: z0=%v z250=%v", dense0, denseZ)
+	}
+	if isoZ >= iso0 {
+		t.Errorf("isolated should frown: z0=%v z250=%v", iso0, isoZ)
+	}
+}
+
+func TestPrintCDBridgeDetection(t *testing.T) {
+	// At strong defocus and low dose the dense spaces collapse; the guard
+	// must report not-ok rather than a window-sized CD.
+	p := Nominal90nm()
+	if cd, ok := p.PrintCDCond(DensePitch(90, 240, 4), 300, 0.9); ok {
+		t.Errorf("bridged pattern reported ok with cd=%v", cd)
+	}
+}
+
+func TestPrintCDCacheHits(t *testing.T) {
+	p := Nominal90nm()
+	env := DensePitch(90, 300, 3)
+	c1, _ := p.PrintCD(env)
+	n := p.CacheSize()
+	c2, _ := p.PrintCD(env)
+	if p.CacheSize() != n {
+		t.Error("repeated environment grew the cache")
+	}
+	if c1 != c2 {
+		t.Errorf("cache returned different CD: %v vs %v", c1, c2)
+	}
+	p.ClearCache()
+	if p.CacheSize() != 0 {
+		t.Error("ClearCache did not clear")
+	}
+}
+
+func TestSnapToGrid(t *testing.T) {
+	p := Nominal90nm()
+	p.MaskGrid = 2
+	if got := p.SnapToGrid(91.3); got != 92 {
+		t.Errorf("SnapToGrid(91.3) = %v, want 92", got)
+	}
+	if got := p.SnapToGrid(90.9); got != 90 {
+		t.Errorf("SnapToGrid(90.9) = %v, want 90", got)
+	}
+	p.MaskGrid = 0
+	if got := p.SnapToGrid(91.3); got != 91.3 {
+		t.Errorf("grid 0 should be identity, got %v", got)
+	}
+}
+
+func TestEnvAtSymmetricRow(t *testing.T) {
+	// In a symmetric row the center line's environment must be symmetric.
+	span := geom.Interval{Lo: 0, Hi: 1000}
+	var lines []geom.PolyLine
+	for i := -3; i <= 3; i++ {
+		lines = append(lines, geom.PolyLine{CenterX: float64(i) * 300, Width: 90, Span: span})
+	}
+	e := EnvAt(lines, 3, 600)
+	if len(e.Left) != len(e.Right) {
+		t.Fatalf("asymmetric flank counts: %d vs %d", len(e.Left), len(e.Right))
+	}
+	for i := range e.Left {
+		if math.Abs(e.Left[i].Gap-e.Right[i].Gap) > 1e-9 {
+			t.Errorf("flank %d gaps differ: %v vs %v", i, e.Left[i].Gap, e.Right[i].Gap)
+		}
+	}
+}

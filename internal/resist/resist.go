@@ -1,0 +1,155 @@
+// Package resist models the photoresist response that converts an aerial
+// image into printed geometry.
+//
+// The model is the standard constant-threshold resist with an optional
+// acid-diffusion blur: the resist line (positive resist under a chrome
+// feature) remains wherever the blurred, dose-scaled image intensity stays
+// below the development threshold. This is the same abstraction commercial
+// lithography simulators expose for fast CD prediction.
+package resist
+
+import (
+	"math"
+
+	"svtiming/internal/litho"
+)
+
+// Model is a constant-threshold resist.
+type Model struct {
+	// Threshold is the development threshold relative to clear-field
+	// intensity at nominal dose. Resist remains where dose·I < Threshold.
+	Threshold float64
+	// DiffusionLength is the 1-sigma acid diffusion blur in nm (0 = none).
+	DiffusionLength float64
+}
+
+// Blur returns the profile convolved with the model's Gaussian diffusion
+// kernel (circularly, which is safe given the guard bands the imaging
+// windows carry). With zero diffusion the profile is returned unchanged.
+func (m Model) Blur(p litho.Profile) litho.Profile {
+	if m.DiffusionLength <= 0 {
+		return p
+	}
+	n := len(p.I)
+	out := make([]float64, n)
+	// Direct truncated-kernel convolution: the kernel support (±4σ) is tiny
+	// compared to the window, so this is cheaper than an extra FFT pair.
+	halfW := int(4*m.DiffusionLength/p.Dx) + 1
+	kern := make([]float64, 2*halfW+1)
+	var sum float64
+	for j := -halfW; j <= halfW; j++ {
+		d := float64(j) * p.Dx / m.DiffusionLength
+		k := math.Exp(-0.5 * d * d)
+		kern[j+halfW] = k
+		sum += k
+	}
+	for j := range kern {
+		kern[j] /= sum
+	}
+	for i := 0; i < n; i++ {
+		var acc float64
+		for j := -halfW; j <= halfW; j++ {
+			idx := i + j
+			if idx < 0 {
+				idx += n
+			} else if idx >= n {
+				idx -= n
+			}
+			acc += kern[j+halfW] * p.I[idx]
+		}
+		out[i] = acc
+	}
+	return litho.Profile{X0: p.X0, Dx: p.Dx, I: out}
+}
+
+// EffectiveThreshold returns the intensity level on the (unit-dose) image
+// at which the resist edge forms for the given relative dose. Higher dose
+// lowers the effective threshold, eroding resist lines.
+func (m Model) EffectiveThreshold(dose float64) float64 {
+	if dose <= 0 {
+		return math.Inf(1)
+	}
+	return m.Threshold / dose
+}
+
+// PrintedCD measures the printed linewidth of the resist feature centered
+// near centerX on the blurred profile at the given relative dose. It
+// returns the edge-to-edge width and true, or 0 and false if the feature
+// does not print (intensity at center already above threshold).
+//
+// The edges are located by walking outward from the darkest sample near
+// centerX until the intensity crosses the effective threshold, with linear
+// interpolation between samples.
+func (m Model) PrintedCD(p litho.Profile, centerX, dose float64) (float64, bool) {
+	blurred := m.Blur(p)
+	teff := m.EffectiveThreshold(dose)
+
+	n := len(blurred.I)
+	ci := int((centerX-blurred.X0)/blurred.Dx - 0.5)
+	if ci < 1 {
+		ci = 1
+	}
+	if ci > n-2 {
+		ci = n - 2
+	}
+	// Snap to the local intensity minimum within ±2 samples so tiny center
+	// misalignment doesn't pick a flank sample.
+	for lo := maxInt(1, ci-2); lo <= minInt(n-2, ci+2); lo++ {
+		if blurred.I[lo] < blurred.I[ci] {
+			ci = lo
+		}
+	}
+	if blurred.I[ci] >= teff {
+		return 0, false
+	}
+	left, okL := crossOutward(blurred, ci, -1, teff)
+	right, okR := crossOutward(blurred, ci, +1, teff)
+	if !okL || !okR {
+		return 0, false
+	}
+	return right - left, true
+}
+
+// Edges returns all resist edges (threshold crossings at the given dose) in
+// the profile, sorted left to right. Useful for multi-feature inspection.
+func (m Model) Edges(p litho.Profile, dose float64) []float64 {
+	blurred := m.Blur(p)
+	teff := m.EffectiveThreshold(dose)
+	var out []float64
+	for i := 0; i+1 < len(blurred.I); i++ {
+		a, b := blurred.I[i], blurred.I[i+1]
+		if (a-teff)*(b-teff) < 0 {
+			t := (teff - a) / (b - a)
+			out = append(out, blurred.X(i)+t*blurred.Dx)
+		}
+	}
+	return out
+}
+
+// crossOutward walks from index ci in direction dir until the intensity
+// rises through teff, returning the interpolated crossing coordinate.
+func crossOutward(p litho.Profile, ci, dir int, teff float64) (float64, bool) {
+	n := len(p.I)
+	for i := ci; i+dir >= 0 && i+dir < n; i += dir {
+		a, b := p.I[i], p.I[i+dir]
+		if a < teff && b >= teff {
+			t := (teff - a) / (b - a)
+			return p.X(i) + float64(dir)*t*p.Dx, true
+		}
+	}
+	return 0, false
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

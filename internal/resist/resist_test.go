@@ -1,0 +1,160 @@
+package resist
+
+import (
+	"math"
+	"testing"
+
+	"svtiming/internal/litho"
+)
+
+// vProfile builds a synthetic V-shaped intensity dip of the given floor and
+// half-width centered at 0 over [-256,256] at 1 nm sampling.
+func vProfile(floor, halfWidth float64) litho.Profile {
+	n := 512
+	p := litho.Profile{X0: -256, Dx: 1, I: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		x := p.X(i)
+		v := floor + (1-floor)*math.Abs(x)/halfWidth
+		if v > 1 {
+			v = 1
+		}
+		p.I[i] = v
+	}
+	return p
+}
+
+func TestEffectiveThreshold(t *testing.T) {
+	m := Model{Threshold: 0.5}
+	if got := m.EffectiveThreshold(1); got != 0.5 {
+		t.Errorf("at dose 1: %v", got)
+	}
+	if got := m.EffectiveThreshold(2); got != 0.25 {
+		t.Errorf("at dose 2: %v", got)
+	}
+	if got := m.EffectiveThreshold(0); !math.IsInf(got, 1) {
+		t.Errorf("at dose 0: %v, want +Inf", got)
+	}
+}
+
+func TestPrintedCDVShape(t *testing.T) {
+	// V dip from 0 at center to 1 at ±100; threshold 0.5 crosses at ±50.
+	p := vProfile(0, 100)
+	m := Model{Threshold: 0.5}
+	cd, ok := m.PrintedCD(p, 0, 1)
+	if !ok {
+		t.Fatal("feature did not print")
+	}
+	if math.Abs(cd-100) > 1.5 {
+		t.Errorf("CD = %v, want ≈ 100", cd)
+	}
+}
+
+func TestPrintedCDDoseScaling(t *testing.T) {
+	p := vProfile(0, 100)
+	m := Model{Threshold: 0.5}
+	lo, _ := m.PrintedCD(p, 0, 0.8) // teff 0.625 → wider line
+	hi, _ := m.PrintedCD(p, 0, 1.25)
+	if lo <= hi {
+		t.Errorf("lower dose should print wider: dose0.8→%v, dose1.25→%v", lo, hi)
+	}
+}
+
+func TestPrintedCDNotPrinting(t *testing.T) {
+	// Floor above threshold: no feature.
+	p := vProfile(0.7, 100)
+	m := Model{Threshold: 0.5}
+	if _, ok := m.PrintedCD(p, 0, 1); ok {
+		t.Error("feature with floor 0.7 printed at threshold 0.5")
+	}
+}
+
+func TestPrintedCDCenterSnap(t *testing.T) {
+	// Center given 3nm off the true minimum still measures the feature.
+	p := vProfile(0, 100)
+	m := Model{Threshold: 0.5}
+	cd, ok := m.PrintedCD(p, 2.5, 1)
+	if !ok || math.Abs(cd-100) > 2.5 {
+		t.Errorf("off-center measurement: cd=%v ok=%v", cd, ok)
+	}
+}
+
+func TestBlurPreservesMeanAndWidensDip(t *testing.T) {
+	p := vProfile(0, 50)
+	m := Model{Threshold: 0.5, DiffusionLength: 10}
+	b := m.Blur(p)
+	var m0, m1 float64
+	for i := range p.I {
+		m0 += p.I[i]
+		m1 += b.I[i]
+	}
+	if math.Abs(m0-m1) > 1e-6*m0 {
+		t.Errorf("blur changed total intensity: %v → %v", m0, m1)
+	}
+	if b.At(0) <= p.At(0) {
+		t.Errorf("blur should raise the dip floor: %v → %v", p.At(0), b.At(0))
+	}
+	// Zero diffusion returns the identical profile.
+	m2 := Model{Threshold: 0.5}
+	b2 := m2.Blur(p)
+	for i := range p.I {
+		if b2.I[i] != p.I[i] {
+			t.Fatal("zero-diffusion blur modified the profile")
+		}
+	}
+}
+
+func TestEdgesFindsAllCrossings(t *testing.T) {
+	// Two dips → four edges.
+	n := 1024
+	p := litho.Profile{X0: -512, Dx: 1, I: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		x := p.X(i)
+		d1 := math.Abs(x + 150)
+		d2 := math.Abs(x - 150)
+		v := math.Min(d1, d2) / 80
+		if v > 1 {
+			v = 1
+		}
+		p.I[i] = v
+	}
+	m := Model{Threshold: 0.5}
+	edges := m.Edges(p, 1)
+	if len(edges) != 4 {
+		t.Fatalf("found %d edges, want 4: %v", len(edges), edges)
+	}
+	want := []float64{-190, -110, 110, 190}
+	for i, w := range want {
+		if math.Abs(edges[i]-w) > 1.5 {
+			t.Errorf("edge %d = %v, want ≈ %v", i, edges[i], w)
+		}
+	}
+}
+
+func TestPrintedCDSymmetryProperty(t *testing.T) {
+	// For symmetric profiles the measured feature is centered: midpoint of
+	// the printed feature must sit at the dip center.
+	for _, hw := range []float64{40, 80, 120} {
+		p := vProfile(0.1, hw)
+		m := Model{Threshold: 0.5, DiffusionLength: 5}
+		cd, ok := m.PrintedCD(p, 0, 1)
+		if !ok {
+			t.Fatalf("halfwidth %v did not print", hw)
+		}
+		b := m.Blur(p)
+		teff := m.EffectiveThreshold(1)
+		// Recover edges and check midpoint.
+		var left, right float64
+		for i := 0; i+1 < len(b.I); i++ {
+			if b.I[i] < teff && b.I[i+1] >= teff {
+				right = b.X(i)
+			}
+			if b.I[i] >= teff && b.I[i+1] < teff {
+				left = b.X(i + 1)
+			}
+		}
+		mid := (left + right) / 2
+		if math.Abs(mid) > 2 {
+			t.Errorf("halfwidth %v: feature midpoint = %v, want ≈ 0 (cd %v)", hw, mid, cd)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+// Package seq adds sequential timing on top of the combinational engine:
+// registers partition a design into launch/capture domains, and the
+// sign-off question becomes "what clock period closes setup?" — which is
+// where the paper's corner tightening turns into shippable frequency.
+//
+// A sequential design is represented as a combinational core plus a
+// register list: each register's Q pin drives a pseudo primary input of
+// the core and its D pin is fed by a pseudo primary output. All domains
+// share one clock (single-clock designs, like the ISCAS89 benchmarks).
+package seq
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"svtiming/internal/netlist"
+	"svtiming/internal/stdcell"
+)
+
+// Register is one flip-flop: its data input net and output net in the
+// combinational core.
+type Register struct {
+	Name string
+	D    string // captured net (a pseudo-PO of the core)
+	Q    string // launched net (a pseudo-PI of the core)
+}
+
+// Timing parameters of the flip-flop (one master, matching the 10-cell
+// library's drive class).
+const (
+	ClkToQ = 45.0 // clock-to-output delay, ps
+	Setup  = 30.0 // setup requirement at D, ps
+)
+
+// Design is a single-clock sequential circuit.
+type Design struct {
+	Name string
+	// Core is the combinational view: register Q nets appear among its
+	// PIs, register D nets among its POs (alongside the true ports).
+	Core      *netlist.Netlist
+	Registers []Register
+	// TruePIs/TruePOs are the real ports (subsets of Core.PIs/POs that
+	// are not register pins).
+	TruePIs, TruePOs []string
+}
+
+// Validate checks the register/core wiring.
+func (d *Design) Validate(lib *stdcell.Library) error {
+	if err := d.Core.Validate(lib); err != nil {
+		return err
+	}
+	pis := make(map[string]bool, len(d.Core.PIs))
+	for _, pi := range d.Core.PIs {
+		pis[pi] = true
+	}
+	pos := make(map[string]bool, len(d.Core.POs))
+	for _, po := range d.Core.POs {
+		pos[po] = true
+	}
+	seen := make(map[string]bool)
+	for _, r := range d.Registers {
+		if !pis[r.Q] {
+			return fmt.Errorf("seq: register %s output %q is not a core PI", r.Name, r.Q)
+		}
+		if !pos[r.D] {
+			return fmt.Errorf("seq: register %s input %q is not a core PO", r.Name, r.D)
+		}
+		if seen[r.Q] || seen[r.D] {
+			return fmt.Errorf("seq: register %s shares a pin net", r.Name)
+		}
+		seen[r.Q], seen[r.D] = true, true
+	}
+	return nil
+}
+
+// Arrivals is the minimal view of a timing report seq needs: per-net
+// arrival times of the combinational core analyzed with register outputs
+// launching at ClkToQ and true PIs at 0.
+type Arrivals interface {
+	ArrivalOf(net string) (float64, bool)
+}
+
+// SignOff summarizes the sequential timing of one corner.
+type SignOff struct {
+	// WorstRegToReg is the worst launch→capture data arrival at a
+	// register D pin (already includes ClkToQ at the launch).
+	WorstRegToReg float64
+	WorstCapture  string // register whose D pin is critical
+	// WorstIO is the worst true-PI to true-PO arrival.
+	WorstIO float64
+	// MinPeriod is the smallest clock period closing setup on every
+	// register-to-register path.
+	MinPeriod float64
+	// FmaxMHz is 1e6/MinPeriod (ps → MHz).
+	FmaxMHz float64
+}
+
+// Analyze computes the sequential sign-off from a combinational arrival
+// report. The report must have been produced with register Q nets
+// launching at ClkToQ — see LaunchOffsets.
+func (d *Design) Analyze(rep Arrivals) (SignOff, error) {
+	out := SignOff{WorstRegToReg: math.Inf(-1), WorstIO: math.Inf(-1)}
+	anyReg := false
+	for _, r := range d.Registers {
+		at, ok := rep.ArrivalOf(r.D)
+		if !ok {
+			return out, fmt.Errorf("seq: no arrival at register %s data pin %q", r.Name, r.D)
+		}
+		anyReg = true
+		if at > out.WorstRegToReg {
+			out.WorstRegToReg = at
+			out.WorstCapture = r.Name
+		}
+	}
+	for _, po := range d.TruePOs {
+		at, ok := rep.ArrivalOf(po)
+		if !ok {
+			return out, fmt.Errorf("seq: no arrival at output %q", po)
+		}
+		if at > out.WorstIO {
+			out.WorstIO = at
+		}
+	}
+	if !anyReg {
+		return out, fmt.Errorf("seq: design has no registers")
+	}
+	out.MinPeriod = out.WorstRegToReg + Setup
+	out.FmaxMHz = 1e6 / out.MinPeriod
+	return out, nil
+}
+
+// LaunchOffsets returns the per-PI arrival offsets for the combinational
+// analysis: register outputs launch at the clock-to-Q delay, true primary
+// inputs at zero.
+func (d *Design) LaunchOffsets() map[string]float64 {
+	out := make(map[string]float64, len(d.Registers))
+	for _, r := range d.Registers {
+		out[r.Q] = ClkToQ
+	}
+	return out
+}
+
+// Profile describes a synthetic sequential benchmark: a combinational
+// profile plus a register count.
+type Profile struct {
+	Comb      netlist.Profile
+	Registers int
+}
+
+// ISCAS89Profiles are synthetic stand-ins matched to published s-series
+// statistics (PI/PO/gates/flip-flops; depth chosen to match reported
+// levels).
+var ISCAS89Profiles = map[string]Profile{
+	"s298":  {Comb: netlist.Profile{Name: "s298", PIs: 3, POs: 6, Gates: 119, Depth: 9, Seed: 298}, Registers: 14},
+	"s1423": {Comb: netlist.Profile{Name: "s1423", PIs: 17, POs: 5, Gates: 657, Depth: 59, Seed: 1423}, Registers: 74},
+	"s5378": {Comb: netlist.Profile{Name: "s5378", PIs: 35, POs: 49, Gates: 2779, Depth: 25, Seed: 5378}, Registers: 179},
+}
+
+// Generate builds a deterministic sequential benchmark: a combinational
+// core from the profile with the given number of register loops spliced
+// between its deepest outputs and its inputs.
+func Generate(lib *stdcell.Library, p Profile) (*Design, error) {
+	if p.Registers < 1 {
+		return nil, fmt.Errorf("seq: profile needs registers")
+	}
+	// Generate the core with extra ports to donate to the registers.
+	comb := p.Comb
+	comb.PIs += p.Registers
+	comb.POs += p.Registers
+	core, err := netlist.Generate(lib, comb)
+	if err != nil {
+		return nil, err
+	}
+	d := &Design{Name: p.Comb.Name, Core: core}
+	rng := rand.New(rand.NewSource(p.Comb.Seed + 89))
+
+	// Donate the last Registers PIs and a random selection of POs.
+	qNets := core.PIs[len(core.PIs)-p.Registers:]
+	poPool := append([]string(nil), core.POs...)
+	rng.Shuffle(len(poPool), func(i, j int) { poPool[i], poPool[j] = poPool[j], poPool[i] })
+	dNets := poPool[:p.Registers]
+	taken := make(map[string]bool, p.Registers)
+	for i := 0; i < p.Registers; i++ {
+		d.Registers = append(d.Registers, Register{
+			Name: fmt.Sprintf("R%d", i),
+			Q:    qNets[i],
+			D:    dNets[i],
+		})
+		taken[qNets[i]] = true
+		taken[dNets[i]] = true
+	}
+	for _, pi := range core.PIs {
+		if !taken[pi] {
+			d.TruePIs = append(d.TruePIs, pi)
+		}
+	}
+	for _, po := range core.POs {
+		if !taken[po] {
+			d.TruePOs = append(d.TruePOs, po)
+		}
+	}
+	if err := d.Validate(lib); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

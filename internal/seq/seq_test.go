@@ -1,0 +1,138 @@
+package seq
+
+import (
+	"math"
+	"testing"
+
+	"svtiming/internal/netlist"
+	"svtiming/internal/stdcell"
+)
+
+var lib = stdcell.Default()
+
+func TestGenerateProfiles(t *testing.T) {
+	for name, p := range ISCAS89Profiles {
+		d, err := Generate(lib, p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(d.Registers) != p.Registers {
+			t.Errorf("%s: %d registers, want %d", name, len(d.Registers), p.Registers)
+		}
+		if d.Core.NumGates() != p.Comb.Gates {
+			t.Errorf("%s: %d gates, want %d", name, d.Core.NumGates(), p.Comb.Gates)
+		}
+		if len(d.TruePIs) != p.Comb.PIs || len(d.TruePOs) < p.Comb.POs-p.Registers {
+			t.Errorf("%s: port counts off: %d true PIs, %d true POs",
+				name, len(d.TruePIs), len(d.TruePOs))
+		}
+		if err := d.Validate(lib); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(lib, ISCAS89Profiles["s298"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(lib, ISCAS89Profiles["s298"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Registers {
+		if a.Registers[i] != b.Registers[i] {
+			t.Fatal("register wiring not deterministic")
+		}
+	}
+}
+
+func TestValidateCatchesBadWiring(t *testing.T) {
+	d, err := Generate(lib, ISCAS89Profiles["s298"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := *d
+	bad.Registers = append([]Register(nil), d.Registers...)
+	bad.Registers[0].Q = "not-a-net"
+	if err := bad.Validate(lib); err == nil {
+		t.Error("dangling register output accepted")
+	}
+	dup := *d
+	dup.Registers = append([]Register(nil), d.Registers...)
+	dup.Registers[1].D = dup.Registers[0].D
+	if err := dup.Validate(lib); err == nil {
+		t.Error("shared register data net accepted")
+	}
+}
+
+// fakeArrivals implements Arrivals for unit tests.
+type fakeArrivals map[string]float64
+
+func (f fakeArrivals) ArrivalOf(net string) (float64, bool) {
+	v, ok := f[net]
+	return v, ok
+}
+
+func TestAnalyzeSignOff(t *testing.T) {
+	d := &Design{
+		Name: "toy",
+		Core: &netlist.Netlist{
+			Name: "toy", PIs: []string{"q0", "a"}, POs: []string{"d0", "z"},
+			Instances: []netlist.Instance{
+				{Name: "U0", Cell: "INVX1", Inputs: []string{"q0"}, Output: "d0"},
+				{Name: "U1", Cell: "INVX1", Inputs: []string{"a"}, Output: "z"},
+			},
+		},
+		Registers: []Register{{Name: "R0", D: "d0", Q: "q0"}},
+		TruePIs:   []string{"a"},
+		TruePOs:   []string{"z"},
+	}
+	if err := d.Validate(lib); err != nil {
+		t.Fatal(err)
+	}
+	rep := fakeArrivals{"d0": 200, "z": 120}
+	so, err := d.Analyze(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if so.WorstRegToReg != 200 || so.WorstCapture != "R0" {
+		t.Errorf("reg-to-reg = %v at %s", so.WorstRegToReg, so.WorstCapture)
+	}
+	if so.WorstIO != 120 {
+		t.Errorf("IO = %v", so.WorstIO)
+	}
+	if math.Abs(so.MinPeriod-(200+Setup)) > 1e-9 {
+		t.Errorf("MinPeriod = %v", so.MinPeriod)
+	}
+	if math.Abs(so.FmaxMHz-1e6/so.MinPeriod) > 1e-9 {
+		t.Errorf("Fmax = %v", so.FmaxMHz)
+	}
+	// Missing arrivals fail loudly.
+	if _, err := d.Analyze(fakeArrivals{"z": 1}); err == nil {
+		t.Error("missing register arrival accepted")
+	}
+}
+
+func TestLaunchOffsets(t *testing.T) {
+	d, err := Generate(lib, ISCAS89Profiles["s298"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := d.LaunchOffsets()
+	if len(off) != len(d.Registers) {
+		t.Fatalf("offsets for %d nets, want %d", len(off), len(d.Registers))
+	}
+	for _, r := range d.Registers {
+		if off[r.Q] != ClkToQ {
+			t.Errorf("register %s launch offset = %v", r.Name, off[r.Q])
+		}
+	}
+}
+
+func TestGenerateRejectsNoRegisters(t *testing.T) {
+	if _, err := Generate(lib, Profile{Comb: netlist.ISCAS85Profiles["c432"]}); err == nil {
+		t.Error("profile without registers accepted")
+	}
+}

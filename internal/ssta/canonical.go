@@ -1,0 +1,230 @@
+package ssta
+
+import (
+	"fmt"
+	"math"
+
+	"svtiming/internal/context"
+	"svtiming/internal/core"
+)
+
+// Canonical is the first-order canonical delay form of block-based
+// statistical STA (Visweswariah et al., the paper's reference [1] era):
+//
+//	d = Mean + FocusSens·F + Indep·R
+//
+// where F ~ N(0,1) is the chip-wide focus variable (fully correlated
+// across all gates) and R ~ N(0,1) is this term's own independent
+// variable. Sums propagate exactly; max uses Clark's moment matching.
+type Canonical struct {
+	Mean      float64
+	FocusSens float64 // sensitivity to the shared focus variable, ps
+	Indep     float64 // sigma of the independent part, ps (>= 0)
+}
+
+// Sigma returns the total standard deviation.
+func (c Canonical) Sigma() float64 {
+	return math.Sqrt(c.FocusSens*c.FocusSens + c.Indep*c.Indep)
+}
+
+// Quantile returns the Gaussian q-quantile of the canonical form.
+func (c Canonical) Quantile(q float64) float64 {
+	return c.Mean + c.Sigma()*probit(q)
+}
+
+// Add returns the canonical sum: means and correlated sensitivities add,
+// independent parts RSS.
+func (c Canonical) Add(o Canonical) Canonical {
+	return Canonical{
+		Mean:      c.Mean + o.Mean,
+		FocusSens: c.FocusSens + o.FocusSens,
+		Indep:     math.Hypot(c.Indep, o.Indep),
+	}
+}
+
+// Max returns Clark's moment-matched approximation of max(c, o),
+// re-expressed in canonical form: the mean and variance of the max are
+// matched, and the focus sensitivity is the probability-weighted blend of
+// the operands' sensitivities (the standard tightness-probability
+// linearization).
+func Max(a, b Canonical) Canonical {
+	sa, sb := a.Sigma(), b.Sigma()
+	// Variance of (a − b): correlated parts subtract, independent add.
+	theta := math.Sqrt((a.FocusSens-b.FocusSens)*(a.FocusSens-b.FocusSens) +
+		a.Indep*a.Indep + b.Indep*b.Indep)
+	if theta < 1e-12 {
+		// Fully correlated and equal-variance: max is whichever mean wins.
+		if a.Mean >= b.Mean {
+			return a
+		}
+		return b
+	}
+	alpha := (a.Mean - b.Mean) / theta
+	tp := phi(alpha) // tightness probability: P(a > b)
+	pdf := gauss(alpha)
+
+	mean := a.Mean*tp + b.Mean*(1-tp) + theta*pdf
+	second := (a.Mean*a.Mean+sa*sa)*tp + (b.Mean*b.Mean+sb*sb)*(1-tp) +
+		(a.Mean+b.Mean)*theta*pdf
+	variance := second - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	sens := a.FocusSens*tp + b.FocusSens*(1-tp)
+	indep2 := variance - sens*sens
+	if indep2 < 0 {
+		// Clamp: keep the matched variance by trimming the correlated part.
+		sens = math.Copysign(math.Sqrt(variance), sens)
+		indep2 = 0
+	}
+	return Canonical{Mean: mean, FocusSens: sens, Indep: math.Sqrt(indep2)}
+}
+
+// phi is the standard normal CDF.
+func phi(x float64) float64 { return 0.5 * math.Erfc(-x/math.Sqrt2) }
+
+// gauss is the standard normal PDF.
+func gauss(x float64) float64 { return math.Exp(-0.5*x*x) / math.Sqrt(2*math.Pi) }
+
+// probit is the inverse standard normal CDF, computed by bisection on phi
+// (robust, dependency-free, and fast enough for reporting quantiles).
+func probit(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	// Bisection on phi: robust and dependency-free; the CDF is monotone.
+	lo, hi := -10.0, 10.0
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if phi(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// BlockBased runs block-based statistical STA on a prepared design under
+// the systematic-aware gate-length model: each arc's canonical delay has
+// its context-predicted mean, a focus sensitivity signed by the arc
+// devices' Bossung classes, and an independent residual. Slews and loads
+// are frozen at their nominal-analysis values, and residuals of devices
+// shared between arcs of the same cell are treated as arc-independent —
+// both standard block-based simplifications.
+func BlockBased(f *core.Flow, d *core.Design) (Canonical, error) {
+	// Nominal pass for the frozen slews/loads and the per-arc nominal
+	// delays.
+	nomModel, err := f.NominalContextModel(d)
+	if err != nil {
+		return Canonical{}, err
+	}
+	nomRep, err := f.AnalyzeContextual(d, core.Nominal)
+	if err != nil {
+		return Canonical{}, err
+	}
+	arcs, err := resolveArcs(f, d)
+	if err != nil {
+		return Canonical{}, err
+	}
+	arcIdx := make(map[[2]int]*arcData, len(arcs))
+	for i := range arcs {
+		arcIdx[[2]int{arcs[i].inst, arcs[i].pin}] = &arcs[i]
+	}
+
+	b := f.Budget
+	// Linearized focus response: the Monte Carlo model draws u ~ U(-1,1)
+	// and shifts CDs by FocusVar·u². Matching the first two moments of u²
+	// (mean 1/3, std √(4/45) ≈ 0.298) to s·F with F ~ N(0,1) gives the
+	// canonical sensitivity; the mean shift folds into the arc mean.
+	const u2Mean = 1.0 / 3.0
+	u2Std := math.Sqrt(4.0 / 45.0)
+	focusMeanL := b.FocusVar * u2Mean
+	focusL := b.FocusVar * u2Std
+	residL := residualSigma(Aware, b.TotalVar, b.PitchVar, b.FocusVar)
+
+	order, err := d.Netlist.TopoOrder()
+	if err != nil {
+		return Canonical{}, err
+	}
+	arrival := make(map[string]Canonical)
+	for _, pi := range d.Netlist.PIs {
+		arrival[pi] = Canonical{}
+	}
+
+	for _, inst := range order {
+		g := d.Netlist.Instances[inst]
+		var acc Canonical
+		first := true
+		for pin, in := range g.Inputs {
+			inAT, ok := arrival[in]
+			if !ok {
+				return Canonical{}, fmt.Errorf("ssta: no arrival for %q", in)
+			}
+			a := arcIdx[[2]int{inst, pin}]
+			if a == nil {
+				return Canonical{}, fmt.Errorf("ssta: no arc data for inst %d pin %d", inst, pin)
+			}
+			// Nominal arc delay at the frozen slew and load.
+			dTab, _, err := nomModel.ArcTables(inst, pin)
+			if err != nil {
+				return Canonical{}, err
+			}
+			dNom := dTab.At(nomRep.Slew[in], nomRep.Load[g.Output])
+			// Delay sensitivity to gate length: delay scales linearly with
+			// L, so dD/dL = dNom / Lmean.
+			var lMean float64
+			for _, l := range a.devL {
+				lMean += l
+			}
+			lMean /= float64(len(a.devL))
+			dPerL := dNom / lMean
+			// Focus direction: signed mean over the arc's devices.
+			var sign float64
+			for _, cls := range a.devClass {
+				switch cls {
+				case context.DeviceDense:
+					sign += 1
+				case context.DeviceIsolated:
+					sign -= 1
+				}
+			}
+			sign /= float64(len(a.devClass))
+			arc := Canonical{
+				Mean:      dNom + dPerL*focusMeanL*sign,
+				FocusSens: dPerL * focusL * sign,
+				Indep:     dPerL * residL / math.Sqrt(float64(len(a.devL))),
+			}
+			at := inAT.Add(arc)
+			if first {
+				acc = at
+				first = false
+			} else {
+				acc = Max(acc, at)
+			}
+		}
+		arrival[g.Output] = acc
+	}
+
+	var out Canonical
+	first := true
+	for _, po := range d.Netlist.POs {
+		at, ok := arrival[po]
+		if !ok {
+			return Canonical{}, fmt.Errorf("ssta: no arrival at PO %q", po)
+		}
+		if first {
+			out = at
+			first = false
+		} else {
+			out = Max(out, at)
+		}
+	}
+	if first {
+		return Canonical{}, fmt.Errorf("ssta: netlist has no primary outputs")
+	}
+	return out, nil
+}

@@ -1,0 +1,169 @@
+package ssta
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCanonicalSigmaAndAdd(t *testing.T) {
+	a := Canonical{Mean: 10, FocusSens: 3, Indep: 4}
+	if got := a.Sigma(); got != 5 {
+		t.Errorf("Sigma = %v", got)
+	}
+	b := Canonical{Mean: 5, FocusSens: -1, Indep: 3}
+	s := a.Add(b)
+	if s.Mean != 15 || s.FocusSens != 2 || s.Indep != 5 {
+		t.Errorf("Add = %+v", s)
+	}
+}
+
+func TestQuantileSymmetry(t *testing.T) {
+	c := Canonical{Mean: 100, FocusSens: 0, Indep: 10}
+	if got := c.Quantile(0.5); math.Abs(got-100) > 1e-6 {
+		t.Errorf("median = %v", got)
+	}
+	hi := c.Quantile(0.8413) // +1 sigma
+	if math.Abs(hi-110) > 0.1 {
+		t.Errorf("q84 = %v, want ≈ 110", hi)
+	}
+	lo := c.Quantile(1 - 0.8413)
+	if math.Abs((hi-100)-(100-lo)) > 1e-6 {
+		t.Errorf("quantiles asymmetric: %v / %v", lo, hi)
+	}
+}
+
+func TestProbitRoundTrip(t *testing.T) {
+	for _, p := range []float64{0.01, 0.1, 0.5, 0.9, 0.99} {
+		x := probit(p)
+		if math.Abs(phi(x)-p) > 1e-9 {
+			t.Errorf("phi(probit(%v)) = %v", p, phi(x))
+		}
+	}
+	if !math.IsInf(probit(0), -1) || !math.IsInf(probit(1), 1) {
+		t.Error("probit endpoints wrong")
+	}
+}
+
+func TestMaxDominance(t *testing.T) {
+	// If a stochastically dominates b by a wide margin, Max ≈ a.
+	a := Canonical{Mean: 100, FocusSens: 2, Indep: 3}
+	b := Canonical{Mean: 10, FocusSens: 1, Indep: 1}
+	m := Max(a, b)
+	if math.Abs(m.Mean-a.Mean) > 0.01 || math.Abs(m.Sigma()-a.Sigma()) > 0.01 {
+		t.Errorf("Max of dominated pair = %+v, want ≈ %+v", m, a)
+	}
+}
+
+func TestMaxIdenticalCorrelated(t *testing.T) {
+	// max(X, X) = X for perfectly correlated equal operands.
+	a := Canonical{Mean: 50, FocusSens: 5, Indep: 0}
+	m := Max(a, a)
+	if m != a {
+		t.Errorf("Max(a, a) = %+v", m)
+	}
+}
+
+func TestMaxExceedsOperandsProperty(t *testing.T) {
+	// E[max(a,b)] >= max(E[a], E[b]) always.
+	f := func(m1, m2, s1, s2, f1, f2 float64) bool {
+		a := Canonical{Mean: math.Mod(m1, 100), FocusSens: math.Mod(f1, 10),
+			Indep: math.Abs(math.Mod(s1, 10))}
+		b := Canonical{Mean: math.Mod(m2, 100), FocusSens: math.Mod(f2, 10),
+			Indep: math.Abs(math.Mod(s2, 10))}
+		m := Max(a, b)
+		return m.Mean >= math.Max(a.Mean, b.Mean)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxAgainstMonteCarloMoments(t *testing.T) {
+	// Validate Clark's formula against direct sampling for a partially
+	// correlated pair.
+	a := Canonical{Mean: 100, FocusSens: 6, Indep: 4}
+	b := Canonical{Mean: 102, FocusSens: -3, Indep: 5}
+	m := Max(a, b)
+
+	// Analytic sampling of the same model.
+	const n = 200000
+	var sum, sq float64
+	rng := newDeterministicRNG()
+	for i := 0; i < n; i++ {
+		fv := rng.NormFloat64()
+		va := a.Mean + a.FocusSens*fv + a.Indep*rng.NormFloat64()
+		vb := b.Mean + b.FocusSens*fv + b.Indep*rng.NormFloat64()
+		v := math.Max(va, vb)
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	sigma := math.Sqrt(sq/n - mean*mean)
+	if math.Abs(m.Mean-mean) > 0.2 {
+		t.Errorf("Clark mean %v vs sampled %v", m.Mean, mean)
+	}
+	if math.Abs(m.Sigma()-sigma) > 0.2 {
+		t.Errorf("Clark sigma %v vs sampled %v", m.Sigma(), sigma)
+	}
+}
+
+func TestBlockBasedMatchesMonteCarlo(t *testing.T) {
+	f, d := setup(t)
+	can, err := BlockBased(f, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := MonteCarlo(f, d, Aware, Config{Samples: 400, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(can.Mean-mc.Mean) / mc.Mean; rel > 0.01 {
+		t.Errorf("block-based mean %v vs MC %v (%.2f%%)", can.Mean, mc.Mean, 100*rel)
+	}
+	if rel := math.Abs(can.Sigma()-mc.Std) / mc.Std; rel > 0.30 {
+		t.Errorf("block-based sigma %v vs MC %v (%.0f%%)", can.Sigma(), mc.Std, 100*rel)
+	}
+	if can.Sigma() <= 0 {
+		t.Error("degenerate canonical result")
+	}
+	// The chip-correlated focus component must survive propagation — it
+	// cannot average out along paths.
+	if math.Abs(can.FocusSens) < can.Indep/4 {
+		t.Errorf("focus sensitivity %v implausibly small vs independent %v",
+			can.FocusSens, can.Indep)
+	}
+}
+
+// newDeterministicRNG returns a seeded normal-variate source for the Clark
+// validation test.
+func newDeterministicRNG() *detRNG { return &detRNG{state: 12345} }
+
+type detRNG struct {
+	state uint64
+	spare float64
+	has   bool
+}
+
+// NormFloat64 produces standard normal variates via Box-Muller over a
+// simple xorshift stream (deterministic across platforms).
+func (r *detRNG) NormFloat64() float64 {
+	if r.has {
+		r.has = false
+		return r.spare
+	}
+	u1 := r.uniform()
+	u2 := r.uniform()
+	m := math.Sqrt(-2 * math.Log(u1))
+	r.spare = m * math.Sin(2*math.Pi*u2)
+	r.has = true
+	return m * math.Cos(2*math.Pi*u2)
+}
+
+func (r *detRNG) uniform() float64 {
+	r.state ^= r.state << 13
+	r.state ^= r.state >> 7
+	r.state ^= r.state << 17
+	// Map to (0,1).
+	return (float64(r.state>>11) + 0.5) / float64(1<<53)
+}

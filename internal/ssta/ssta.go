@@ -1,0 +1,238 @@
+// Package ssta is the statistical-timing extension the paper's §6 lists as
+// future work: Monte Carlo timing with "more realistic gate length
+// distribution based on iso-dense attributes and proximity spatial
+// information, as opposed to the simplistic Gaussian distribution".
+//
+// Two gate-length models are compared:
+//
+//   - Naive: every gate length is an independent Gaussian around the drawn
+//     value covering the full variation budget — the strawman the paper
+//     criticizes (it ignores that half the "variation" is systematic).
+//
+//   - Aware: each gate is centered on its context-predicted printed CD;
+//     a chip-wide defocus random variable moves dense and isolated gates
+//     in opposite directions (perfectly correlated across the chip, as
+//     focus is); only the residual random component remains independent.
+package ssta
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"svtiming/internal/context"
+	"svtiming/internal/core"
+	"svtiming/internal/liberty"
+	"svtiming/internal/sta"
+)
+
+// Mode selects the gate-length distribution.
+type Mode int
+
+const (
+	// Naive treats the full budget as independent Gaussian noise.
+	Naive Mode = iota
+	// Aware uses the systematic decomposition: predicted nominal,
+	// correlated focus, independent residual.
+	Aware
+)
+
+func (m Mode) String() string {
+	if m == Naive {
+		return "naive-gaussian"
+	}
+	return "systematic-aware"
+}
+
+// Config controls a Monte Carlo run.
+type Config struct {
+	Samples int   // number of Monte Carlo samples (default 200)
+	Seed    int64 // PRNG seed (default 1)
+}
+
+// Result summarizes the sampled critical-delay distribution.
+type Result struct {
+	Mode    Mode
+	Samples []float64 // sorted critical delays, ps
+	Mean    float64
+	Std     float64
+}
+
+// Quantile returns the q-quantile (0..1) of the sampled distribution.
+func (r Result) Quantile(q float64) float64 {
+	if len(r.Samples) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return r.Samples[0]
+	}
+	if q >= 1 {
+		return r.Samples[len(r.Samples)-1]
+	}
+	pos := q * float64(len(r.Samples)-1)
+	i := int(pos)
+	f := pos - float64(i)
+	return r.Samples[i]*(1-f) + r.Samples[i+1]*f
+}
+
+// Spread99 returns the 0.5%..99.5% spread, the statistical analogue of the
+// BC↔WC corner spread.
+func (r Result) Spread99() float64 { return r.Quantile(0.995) - r.Quantile(0.005) }
+
+// MonteCarlo samples the critical delay distribution of a prepared design
+// under the chosen gate-length model.
+func MonteCarlo(f *core.Flow, d *core.Design, mode Mode, cfg Config) (Result, error) {
+	if cfg.Samples == 0 {
+		cfg.Samples = 200
+	}
+	if cfg.Samples < 2 {
+		return Result{}, fmt.Errorf("ssta: need at least 2 samples")
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Pre-resolve the per-arc data: base tables, devices, per-device
+	// nominal lengths and classes.
+	arcs, err := resolveArcs(f, d)
+	if err != nil {
+		return Result{}, err
+	}
+
+	b := f.Budget
+	sigmaResidual := residualSigma(mode, b.TotalVar, b.PitchVar, b.FocusVar)
+
+	res := Result{Mode: mode, Samples: make([]float64, 0, cfg.Samples)}
+	for s := 0; s < cfg.Samples; s++ {
+		// Chip-wide defocus excursion: uniform in [-1, 1] of the rated
+		// focus window (focus drifts span the window, they are not tightly
+		// centered), squared response per the Bossung quadratic.
+		zFrac := rng.Float64()*2 - 1
+		focusShift := b.FocusVar * zFrac * zFrac
+
+		model := &sampleModel{arcs: arcs, drawnL: f.Timing.DrawnL}
+		model.scale = make([]float64, len(arcs))
+		for ai := range arcs {
+			a := &arcs[ai]
+			var sumL float64
+			for di := range a.devL {
+				var l float64
+				switch mode {
+				case Naive:
+					l = b.LNom + rng.NormFloat64()*sigmaResidual
+				case Aware:
+					l = a.devL[di] + rng.NormFloat64()*sigmaResidual
+					switch a.devClass[di] {
+					case context.DeviceDense:
+						l += focusShift // dense thickens out of focus
+					case context.DeviceIsolated:
+						l -= focusShift // isolated thins out of focus
+					}
+				}
+				sumL += l
+			}
+			model.scale[ai] = (sumL / float64(len(a.devL))) / f.Timing.DrawnL
+		}
+		rep, err := sta.Analyze(d.Netlist, f.Lib, model, f.StaOptions(d))
+		if err != nil {
+			return Result{}, err
+		}
+		res.Samples = append(res.Samples, rep.MaxDelay)
+	}
+	sort.Float64s(res.Samples)
+	var sum, sq float64
+	for _, v := range res.Samples {
+		sum += v
+	}
+	res.Mean = sum / float64(len(res.Samples))
+	for _, v := range res.Samples {
+		sq += (v - res.Mean) * (v - res.Mean)
+	}
+	res.Std = math.Sqrt(sq / float64(len(res.Samples)-1))
+	return res, nil
+}
+
+// residualSigma maps the ± budget components to a Gaussian sigma. The ±
+// range is read as a 3-sigma excursion.
+func residualSigma(mode Mode, total, pitch, focus float64) float64 {
+	if mode == Naive {
+		return total / 3
+	}
+	r := total - pitch - focus
+	if r < 0 {
+		r = 0
+	}
+	return r / 3
+}
+
+// arcData is the pre-resolved per-(instance,pin) information.
+type arcData struct {
+	inst, pin int
+	delay     liberty.Table
+	outSlew   liberty.Table
+	devL      []float64 // context-predicted printed length per device
+	devClass  []context.DeviceClass
+}
+
+func resolveArcs(f *core.Flow, d *core.Design) ([]arcData, error) {
+	// Device classes per row.
+	classByRow := make([]map[[2]int]context.DeviceClass, len(d.Placement.Rows))
+	for r := range d.Placement.Rows {
+		classByRow[r] = context.ClassifyRow(d.Placement, r)
+	}
+	var out []arcData
+	for i, g := range d.Netlist.Instances {
+		entry, err := f.Timing.Entry(g.Cell)
+		if err != nil {
+			return nil, err
+		}
+		cell := f.Lib.MustCell(g.Cell)
+		row := d.Placement.Cells[i].Row
+		version := d.Version[i].Index()
+		for pin, pinName := range cell.Inputs {
+			ai, err := entry.ArcIndex(pinName)
+			if err != nil {
+				return nil, err
+			}
+			arc := entry.Arcs[ai]
+			a := arcData{
+				inst: i, pin: pin,
+				delay:   arc.Delay,
+				outSlew: arc.OutSlew,
+			}
+			for _, dev := range arc.Devices {
+				a.devL = append(a.devL, entry.VersionGateCD[version][dev])
+				a.devClass = append(a.devClass, classByRow[row][[2]int{i, dev}])
+			}
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}
+
+// sampleModel adapts one Monte Carlo sample's per-arc length scales to the
+// sta.Model interface.
+type sampleModel struct {
+	arcs   []arcData
+	scale  []float64
+	drawnL float64
+	// index lookup built lazily: (inst,pin) → arc position.
+	idx map[[2]int]int
+}
+
+func (m *sampleModel) ArcTables(inst, pin int) (liberty.Table, liberty.Table, error) {
+	if m.idx == nil {
+		m.idx = make(map[[2]int]int, len(m.arcs))
+		for i, a := range m.arcs {
+			m.idx[[2]int{a.inst, a.pin}] = i
+		}
+	}
+	i, ok := m.idx[[2]int{inst, pin}]
+	if !ok {
+		return liberty.Table{}, liberty.Table{}, fmt.Errorf("ssta: no arc for inst %d pin %d", inst, pin)
+	}
+	a := m.arcs[i]
+	return a.delay.Scale(m.scale[i]), a.outSlew, nil
+}

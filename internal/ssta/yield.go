@@ -1,0 +1,63 @@
+package ssta
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Yield returns the fraction of Monte Carlo samples meeting the given
+// clock period (ps) — the parametric-yield estimate of the paper's
+// reference [4] applied to the sampled critical-delay distribution.
+func (r Result) Yield(clockPS float64) float64 {
+	if len(r.Samples) == 0 {
+		return 0
+	}
+	// Samples are sorted; binary search for the first sample > clock.
+	i := sort.SearchFloat64s(r.Samples, clockPS)
+	// Include samples equal to the clock (SearchFloat64s returns the
+	// first index with Samples[i] >= clock).
+	for i < len(r.Samples) && r.Samples[i] <= clockPS {
+		i++
+	}
+	return float64(i) / float64(len(r.Samples))
+}
+
+// ClockForYield returns the smallest clock period achieving the target
+// yield (0..1].
+func (r Result) ClockForYield(yield float64) float64 {
+	if yield <= 0 {
+		return r.Quantile(0)
+	}
+	if yield >= 1 {
+		return r.Quantile(1)
+	}
+	return r.Quantile(yield)
+}
+
+// YieldCurve tabulates yield at the given clock periods.
+func (r Result) YieldCurve(clocks []float64) []float64 {
+	out := make([]float64, len(clocks))
+	for i, c := range clocks {
+		out[i] = r.Yield(c)
+	}
+	return out
+}
+
+// FormatYieldComparison renders two models' yield curves over a shared
+// clock sweep spanning both distributions.
+func FormatYieldComparison(a, b Result, points int) string {
+	if points < 2 {
+		points = 9
+	}
+	lo := min(a.Quantile(0), b.Quantile(0))
+	hi := max(a.Quantile(1), b.Quantile(1))
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%12s %16s %18s\n", "clock (ps)", a.Mode.String(), b.Mode.String())
+	for i := 0; i < points; i++ {
+		c := lo + (hi-lo)*float64(i)/float64(points-1)
+		fmt.Fprintf(&sb, "%12.1f %15.1f%% %17.1f%%\n",
+			c, 100*a.Yield(c), 100*b.Yield(c))
+	}
+	return sb.String()
+}

@@ -1,0 +1,82 @@
+package ssta
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestYield(t *testing.T) {
+	r := Result{Samples: []float64{10, 20, 30, 40, 50}}
+	cases := map[float64]float64{
+		5:   0,
+		10:  0.2,
+		25:  0.4,
+		50:  1,
+		100: 1,
+	}
+	for clock, want := range cases {
+		if got := r.Yield(clock); math.Abs(got-want) > 1e-12 {
+			t.Errorf("Yield(%v) = %v, want %v", clock, got, want)
+		}
+	}
+	if (Result{}).Yield(100) != 0 {
+		t.Error("empty result should yield 0")
+	}
+}
+
+func TestYieldMonotoneProperty(t *testing.T) {
+	f, d := setup(t)
+	r, err := MonteCarlo(f, d, Aware, Config{Samples: 50, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for c := r.Quantile(0) - 10; c <= r.Quantile(1)+10; c += 5 {
+		y := r.Yield(c)
+		if y < prev-1e-12 {
+			t.Fatalf("yield not monotone at clock %v: %v < %v", c, y, prev)
+		}
+		prev = y
+	}
+	if r.Yield(r.Quantile(1)) != 1 {
+		t.Error("yield at max sample should be 1")
+	}
+}
+
+func TestClockForYield(t *testing.T) {
+	r := Result{Samples: []float64{10, 20, 30, 40, 50}}
+	if got := r.ClockForYield(1); got != 50 {
+		t.Errorf("ClockForYield(1) = %v", got)
+	}
+	if got := r.ClockForYield(0); got != 10 {
+		t.Errorf("ClockForYield(0) = %v", got)
+	}
+	mid := r.ClockForYield(0.5)
+	if mid < 10 || mid > 50 {
+		t.Errorf("ClockForYield(0.5) = %v", mid)
+	}
+	// Round trip: yield at the clock-for-yield is at least the target.
+	for _, y := range []float64{0.25, 0.5, 0.9} {
+		c := r.ClockForYield(y)
+		if got := r.Yield(c); got < y-0.21 { // quantile interpolation slack
+			t.Errorf("Yield(ClockForYield(%v)) = %v", y, got)
+		}
+	}
+}
+
+func TestYieldCurveAndFormat(t *testing.T) {
+	a := Result{Mode: Naive, Samples: []float64{10, 20, 30}}
+	b := Result{Mode: Aware, Samples: []float64{5, 15, 25}}
+	curve := a.YieldCurve([]float64{10, 30})
+	if curve[0] != 1.0/3 || curve[1] != 1 {
+		t.Errorf("YieldCurve = %v", curve)
+	}
+	s := FormatYieldComparison(a, b, 5)
+	if !strings.Contains(s, "naive-gaussian") || !strings.Contains(s, "systematic-aware") {
+		t.Errorf("FormatYieldComparison = %q", s)
+	}
+	if len(strings.Split(strings.TrimSpace(s), "\n")) != 6 {
+		t.Errorf("unexpected line count:\n%s", s)
+	}
+}

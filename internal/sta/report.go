@@ -1,0 +1,84 @@
+package sta
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"svtiming/internal/netlist"
+)
+
+// FormatPath renders the report's critical path as a sign-off style
+// timing report: one line per stage with the incremental delay, the
+// accumulated arrival time, and the driving cell/pin.
+func (r *Report) FormatPath(n *netlist.Netlist) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "critical path to %s (%d stages, %.1f ps)\n",
+		r.WorstPO, len(r.Crit)-1, r.MaxDelay)
+	fmt.Fprintf(&sb, "%-24s %-10s %4s %9s %9s\n", "net", "cell", "pin", "incr", "arrival")
+	for _, step := range r.Crit {
+		if step.Inst < 0 {
+			fmt.Fprintf(&sb, "%-24s %-10s %4s %9s %9.1f\n",
+				step.Net, "(input)", "-", "-", step.AtPS)
+			continue
+		}
+		g := n.Instances[step.Inst]
+		fmt.Fprintf(&sb, "%-24s %-10s %4d %9.1f %9.1f\n",
+			step.Net, g.Cell, step.Pin, step.Delay, step.AtPS)
+	}
+	return sb.String()
+}
+
+// SlackHistogram bins the slack of every net into bins of the given width
+// (ps); the zero bin holds the critical nets. Only nets with finite
+// required times are counted.
+func (r *Report) SlackHistogram(binWidth float64) map[int]int {
+	if binWidth <= 0 {
+		binWidth = 50
+	}
+	out := make(map[int]int)
+	for net := range r.Required {
+		s := r.Slack(net)
+		out[int(s/binWidth)]++
+	}
+	return out
+}
+
+// FormatSlackHistogram renders the slack distribution with text bars.
+func (r *Report) FormatSlackHistogram(binWidth float64) string {
+	if binWidth <= 0 {
+		binWidth = 50
+	}
+	h := r.SlackHistogram(binWidth)
+	keys := make([]int, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	maxN := 0
+	for _, k := range keys {
+		if h[k] > maxN {
+			maxN = h[k]
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("slack distribution (ps)\n")
+	for _, k := range keys {
+		bar := strings.Repeat("#", 1+h[k]*40/maxN)
+		fmt.Fprintf(&sb, "%7.0f..%-7.0f %6d %s\n",
+			float64(k)*binWidth, float64(k+1)*binWidth, h[k], bar)
+	}
+	return sb.String()
+}
+
+// CriticalCells returns the instance indices on the critical path, in
+// path order (useful for optimization loops).
+func (r *Report) CriticalCells() []int {
+	var out []int
+	for _, step := range r.Crit {
+		if step.Inst >= 0 {
+			out = append(out, step.Inst)
+		}
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package sta
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatPath(t *testing.T) {
+	nl := chain(3)
+	rep, err := Analyze(nl, lib, constModel{delay: 10, slew: 20}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.FormatPath(nl)
+	if !strings.Contains(s, "(input)") {
+		t.Error("path report lacks the input stage")
+	}
+	if !strings.Contains(s, "INVX1") {
+		t.Error("path report lacks cell names")
+	}
+	if !strings.Contains(s, "30.0") {
+		t.Errorf("path report lacks the final arrival:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 2+4 { // header x2 + input + 3 stages
+		t.Errorf("path report has %d lines:\n%s", len(lines), s)
+	}
+}
+
+func TestSlackHistogram(t *testing.T) {
+	nl := chain(4)
+	rep, err := Analyze(nl, lib, constModel{delay: 10, slew: 20}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := rep.SlackHistogram(50)
+	// Single path: everything has slack 0 → one bin.
+	if len(h) != 1 || h[0] == 0 {
+		t.Errorf("histogram = %v", h)
+	}
+	if s := rep.FormatSlackHistogram(50); !strings.Contains(s, "#") {
+		t.Errorf("FormatSlackHistogram = %q", s)
+	}
+	// Zero bin width falls back to a default rather than dividing by zero.
+	if h := rep.SlackHistogram(0); len(h) == 0 {
+		t.Error("zero bin width returned empty histogram")
+	}
+}
+
+func TestCriticalCells(t *testing.T) {
+	nl := chain(5)
+	rep, err := Analyze(nl, lib, constModel{delay: 10, slew: 20}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := rep.CriticalCells()
+	if len(cells) != 5 {
+		t.Fatalf("critical cells = %v", cells)
+	}
+	for i, inst := range cells {
+		if inst != i {
+			t.Errorf("cell %d = instance %d, want %d (chain order)", i, inst, i)
+		}
+	}
+}

@@ -1,0 +1,238 @@
+// Package sta is a graph-based static timing analyzer for combinational
+// netlists mapped onto the characterized library: topological arrival-time
+// propagation with slew propagation, lumped capacitive loading, required
+// times and slack, and critical-path extraction.
+//
+// The engine is corner-agnostic: it consumes a Model that supplies each
+// instance arc's delay and output-slew tables. Traditional corners and the
+// systematic-variation aware corners of the paper differ only in the Model
+// they plug in (see internal/core).
+package sta
+
+import (
+	"fmt"
+	"math"
+
+	"svtiming/internal/liberty"
+	"svtiming/internal/netlist"
+	"svtiming/internal/stdcell"
+)
+
+// Model supplies per-arc timing. pin is the index into the instance's
+// cell input pins.
+type Model interface {
+	// ArcTables returns the delay and output-slew tables for the arc from
+	// input pin `pin` of instance `inst`, already scaled for whatever
+	// corner and context the model represents.
+	ArcTables(inst, pin int) (delay, outSlew liberty.Table, err error)
+}
+
+// Options configures an analysis run.
+type Options struct {
+	PISlew           float64 // input slew at primary inputs, ps (default 40)
+	WireCapPerFanout float64 // default wire model: capacitance per fanout, fF (default 1.5)
+	POLoad           float64 // capacitive load on primary outputs, fF (default 4)
+	// Wire overrides the default per-fanout wire model (e.g. with the
+	// placement-derived HPWLWire).
+	Wire WireModel
+	// PIArrival offsets individual primary-input arrival times (ps) —
+	// e.g. register clock-to-Q launches in sequential analysis. Missing
+	// entries default to 0.
+	PIArrival map[string]float64
+}
+
+func (o *Options) fill() {
+	if o.PISlew == 0 {
+		o.PISlew = 40
+	}
+	if o.WireCapPerFanout == 0 {
+		o.WireCapPerFanout = 1.5
+	}
+	if o.POLoad == 0 {
+		o.POLoad = 4
+	}
+	if o.Wire == nil {
+		o.Wire = PerFanoutWire{CapPerFanout: o.WireCapPerFanout}
+	}
+}
+
+// PathStep is one hop of a critical path.
+type PathStep struct {
+	Inst  int     // instance index (-1 for the primary input step)
+	Pin   int     // input pin index taken into the instance
+	Net   string  // net at the step's output
+	AtPS  float64 // arrival time at the net, ps
+	Delay float64 // arc delay contributed, ps
+}
+
+// Report is the result of one analysis corner.
+type Report struct {
+	MaxDelay  float64            // worst primary-output arrival, ps
+	WorstPO   string             // the primary output achieving it
+	Arrival   map[string]float64 // per net, ps
+	Slew      map[string]float64 // per net, ps
+	Load      map[string]float64 // per net, fF (pins + wire + PO load)
+	Required  map[string]float64 // per net at MaxDelay constraint, ps
+	Crit      []PathStep         // critical path, inputs first
+	NumGates  int
+	NumLevels int
+}
+
+// ArrivalOf returns the arrival time of a net, if analyzed.
+func (r *Report) ArrivalOf(net string) (float64, bool) {
+	at, ok := r.Arrival[net]
+	return at, ok
+}
+
+// Slack returns the slack of a net under the report's implicit constraint
+// (required at the worst PO time).
+func (r *Report) Slack(net string) float64 {
+	req, ok := r.Required[net]
+	if !ok {
+		return math.Inf(1)
+	}
+	return req - r.Arrival[net]
+}
+
+// Analyze runs static timing on n using the model's arc tables.
+func Analyze(n *netlist.Netlist, lib *stdcell.Library, model Model, opt Options) (*Report, error) {
+	opt.fill()
+	order, err := n.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	levels, err := n.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	// Net loads: sink pin caps + modeled wire cap; POs get the PO load.
+	load, err := netLoads(n, lib, opt.Wire, opt.POLoad)
+	if err != nil {
+		return nil, err
+	}
+
+	arrival := make(map[string]float64, len(n.Instances)+len(n.PIs))
+	slew := make(map[string]float64, len(arrival))
+	// from[net] records the winning (latest) arc into the net's driver.
+	from := make(map[string]pred)
+
+	for _, pi := range n.PIs {
+		arrival[pi] = opt.PIArrival[pi]
+		slew[pi] = opt.PISlew
+	}
+
+	maxLevel := 0
+	for _, inst := range order {
+		g := n.Instances[inst]
+		if levels[inst] > maxLevel {
+			maxLevel = levels[inst]
+		}
+		outLoad := load[g.Output]
+		bestAT := math.Inf(-1)
+		var bestSlew, bestDelay float64
+		bestPin := -1
+		for pin, in := range g.Inputs {
+			inAT, ok := arrival[in]
+			if !ok {
+				return nil, fmt.Errorf("sta: net %q has no arrival at %s", in, g.Name)
+			}
+			dTab, sTab, err := model.ArcTables(inst, pin)
+			if err != nil {
+				return nil, err
+			}
+			d := dTab.At(slew[in], outLoad)
+			at := inAT + d
+			if at > bestAT {
+				bestAT = at
+				bestSlew = sTab.At(slew[in], outLoad)
+				bestDelay = d
+				bestPin = pin
+			}
+		}
+		arrival[g.Output] = bestAT
+		slew[g.Output] = bestSlew
+		from[g.Output] = pred{inst: inst, pin: bestPin, delay: bestDelay}
+	}
+
+	rep := &Report{
+		Arrival:   arrival,
+		Slew:      slew,
+		Load:      load,
+		MaxDelay:  math.Inf(-1),
+		NumGates:  n.NumGates(),
+		NumLevels: maxLevel,
+	}
+	for _, po := range n.POs {
+		if at := arrival[po]; at > rep.MaxDelay {
+			rep.MaxDelay = at
+			rep.WorstPO = po
+		}
+	}
+	if math.IsInf(rep.MaxDelay, -1) {
+		return nil, fmt.Errorf("sta: netlist %s has no primary outputs", n.Name)
+	}
+
+	// Required times: backward pass from the MaxDelay constraint.
+	rep.Required = requiredTimes(n, from, rep.MaxDelay)
+
+	// Critical path: trace predecessors from the worst PO.
+	rep.Crit = tracePath(n, from, rep.WorstPO, arrival)
+	return rep, nil
+}
+
+// pred records the winning (latest-arrival) arc into a net's driver.
+type pred struct {
+	inst, pin int
+	delay     float64
+}
+
+func requiredTimes(n *netlist.Netlist, from map[string]pred, constraint float64) map[string]float64 {
+
+	req := make(map[string]float64)
+	for _, po := range n.POs {
+		req[po] = constraint
+	}
+	// Walk instances in reverse topological order.
+	order, _ := n.TopoOrder()
+	for k := len(order) - 1; k >= 0; k-- {
+		inst := order[k]
+		g := n.Instances[inst]
+		outReq, ok := req[g.Output]
+		if !ok {
+			outReq = math.Inf(1)
+		}
+		// The winning arc's delay is recorded; required times for other
+		// fanins use the same delay — a conservative approximation whose
+		// error is second order (arc delays differ only via slew here).
+		d := from[g.Output].delay
+		for _, in := range g.Inputs {
+			r := outReq - d
+			if cur, ok := req[in]; !ok || r < cur {
+				req[in] = r
+			}
+		}
+	}
+	return req
+}
+
+func tracePath(n *netlist.Netlist, from map[string]pred, po string, arrival map[string]float64) []PathStep {
+	var rev []PathStep
+	net := po
+	for {
+		p, ok := from[net]
+		if !ok {
+			// Reached a primary input.
+			rev = append(rev, PathStep{Inst: -1, Pin: -1, Net: net, AtPS: arrival[net]})
+			break
+		}
+		rev = append(rev, PathStep{
+			Inst: p.inst, Pin: p.pin, Net: net, AtPS: arrival[net], Delay: p.delay,
+		})
+		net = n.Instances[p.inst].Inputs[p.pin]
+	}
+	// Reverse to inputs-first order.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

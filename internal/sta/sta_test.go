@@ -1,0 +1,255 @@
+package sta
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"svtiming/internal/liberty"
+	"svtiming/internal/netlist"
+	"svtiming/internal/stdcell"
+)
+
+var lib = stdcell.Default()
+
+// constModel gives every arc a constant delay and slew, making expected
+// arrival times hand-computable.
+type constModel struct {
+	delay float64
+	slew  float64
+}
+
+func (m constModel) ArcTables(inst, pin int) (liberty.Table, liberty.Table, error) {
+	mk := func(v float64) liberty.Table {
+		return liberty.Sample([]float64{1, 1000}, []float64{0.1, 1000},
+			func(_, _ float64) float64 { return v })
+	}
+	return mk(m.delay), mk(m.slew), nil
+}
+
+// loadModel's delay equals the output load, exposing the load computation.
+type loadModel struct{}
+
+func (loadModel) ArcTables(inst, pin int) (liberty.Table, liberty.Table, error) {
+	t := liberty.Sample([]float64{1, 1000}, []float64{0, 1000},
+		func(_, l float64) float64 { return l })
+	s := liberty.Sample([]float64{1, 1000}, []float64{0, 1000},
+		func(_, _ float64) float64 { return 10 })
+	return t, s, nil
+}
+
+// errModel fails on demand.
+type errModel struct{}
+
+func (errModel) ArcTables(inst, pin int) (liberty.Table, liberty.Table, error) {
+	return liberty.Table{}, liberty.Table{}, fmt.Errorf("no tables")
+}
+
+func chain(n int) *netlist.Netlist {
+	// PI -> INVX1 x n -> PO
+	nl := &netlist.Netlist{Name: fmt.Sprintf("chain%d", n), PIs: []string{"in"}}
+	prev := "in"
+	for i := 0; i < n; i++ {
+		out := fmt.Sprintf("n%d", i)
+		nl.Instances = append(nl.Instances, netlist.Instance{
+			Name: fmt.Sprintf("U%d", i), Cell: "INVX1",
+			Inputs: []string{prev}, Output: out,
+		})
+		prev = out
+	}
+	nl.POs = []string{prev}
+	return nl
+}
+
+func TestAnalyzeChainArrival(t *testing.T) {
+	nl := chain(5)
+	rep, err := Analyze(nl, lib, constModel{delay: 10, slew: 20}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.MaxDelay-50) > 1e-9 {
+		t.Errorf("MaxDelay = %v, want 50", rep.MaxDelay)
+	}
+	if rep.WorstPO != "n4" {
+		t.Errorf("WorstPO = %q", rep.WorstPO)
+	}
+	if rep.NumLevels != 5 {
+		t.Errorf("NumLevels = %d", rep.NumLevels)
+	}
+	// Critical path: PI + 5 gates.
+	if len(rep.Crit) != 6 {
+		t.Fatalf("critical path has %d steps", len(rep.Crit))
+	}
+	if rep.Crit[0].Inst != -1 || rep.Crit[0].Net != "in" {
+		t.Errorf("path does not start at the PI: %+v", rep.Crit[0])
+	}
+	if rep.Crit[5].Net != "n4" || math.Abs(rep.Crit[5].AtPS-50) > 1e-9 {
+		t.Errorf("path end = %+v", rep.Crit[5])
+	}
+}
+
+func TestAnalyzeMaxOverPaths(t *testing.T) {
+	// Two parallel paths of different depth converge on a NAND2.
+	nl := &netlist.Netlist{
+		Name: "reconv", PIs: []string{"a"},
+		Instances: []netlist.Instance{
+			{Name: "U0", Cell: "INVX1", Inputs: []string{"a"}, Output: "x1"},
+			{Name: "U1", Cell: "INVX1", Inputs: []string{"x1"}, Output: "x2"},
+			{Name: "U2", Cell: "NAND2X1", Inputs: []string{"a", "x2"}, Output: "y"},
+		},
+		POs: []string{"y"},
+	}
+	rep, err := Analyze(nl, lib, constModel{delay: 10, slew: 20}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Longest: a -> U0 -> U1 -> U2 = 30.
+	if math.Abs(rep.MaxDelay-30) > 1e-9 {
+		t.Errorf("MaxDelay = %v, want 30", rep.MaxDelay)
+	}
+	// The critical path enters U2 through pin 1 (net x2).
+	last := rep.Crit[len(rep.Crit)-1]
+	if last.Inst != 2 || last.Pin != 1 {
+		t.Errorf("critical path tail = %+v, want U2 via pin 1", last)
+	}
+}
+
+func TestLoadComputation(t *testing.T) {
+	// One INVX1 driving two INVX1 inputs and a PO:
+	// load = 2*(pincap 1.8 + wire 1.5) + poload 4 = 10.6.
+	nl := &netlist.Netlist{
+		Name: "fanout", PIs: []string{"a"},
+		Instances: []netlist.Instance{
+			{Name: "U0", Cell: "INVX1", Inputs: []string{"a"}, Output: "y"},
+			{Name: "U1", Cell: "INVX1", Inputs: []string{"y"}, Output: "z1"},
+			{Name: "U2", Cell: "INVX1", Inputs: []string{"y"}, Output: "z2"},
+		},
+		POs: []string{"y", "z1", "z2"},
+	}
+	rep, err := Analyze(nl, lib, loadModel{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2*(1.8+1.5) + 4.0
+	if math.Abs(rep.Arrival["y"]-want) > 1e-9 {
+		t.Errorf("arrival(y) = %v, want load %v", rep.Arrival["y"], want)
+	}
+}
+
+func TestSlewPropagationAffectsDelay(t *testing.T) {
+	// A model whose delay equals the input slew: the second gate's delay
+	// must equal the first gate's output slew.
+	sm := modelFunc(func(inst, pin int) (liberty.Table, liberty.Table, error) {
+		d := liberty.Sample([]float64{0, 1000}, []float64{0, 1000},
+			func(s, _ float64) float64 { return s })
+		o := liberty.Sample([]float64{0, 1000}, []float64{0, 1000},
+			func(_, _ float64) float64 { return 77 })
+		return d, o, nil
+	})
+	nl := chain(2)
+	rep, err := Analyze(nl, lib, sm, Options{PISlew: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gate 0 delay = 40 (PI slew); gate 1 delay = 77 (slew of n0).
+	if math.Abs(rep.MaxDelay-117) > 1e-9 {
+		t.Errorf("MaxDelay = %v, want 117", rep.MaxDelay)
+	}
+	if math.Abs(rep.Slew["n0"]-77) > 1e-9 {
+		t.Errorf("slew(n0) = %v", rep.Slew["n0"])
+	}
+}
+
+type modelFunc func(inst, pin int) (liberty.Table, liberty.Table, error)
+
+func (f modelFunc) ArcTables(inst, pin int) (liberty.Table, liberty.Table, error) {
+	return f(inst, pin)
+}
+
+func TestRequiredAndSlack(t *testing.T) {
+	nl := chain(3)
+	rep, err := Analyze(nl, lib, constModel{delay: 10, slew: 20}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single path: slack 0 everywhere along it.
+	for _, net := range []string{"in", "n0", "n1", "n2"} {
+		if s := rep.Slack(net); math.Abs(s) > 1e-9 {
+			t.Errorf("slack(%s) = %v, want 0 on the critical path", net, s)
+		}
+	}
+	if s := rep.Slack("nonexistent"); !math.IsInf(s, 1) {
+		t.Errorf("slack of unknown net = %v, want +Inf", s)
+	}
+}
+
+func TestSlackPositiveOffPath(t *testing.T) {
+	nl := &netlist.Netlist{
+		Name: "offpath", PIs: []string{"a", "b"},
+		Instances: []netlist.Instance{
+			{Name: "U0", Cell: "INVX1", Inputs: []string{"a"}, Output: "x1"},
+			{Name: "U1", Cell: "INVX1", Inputs: []string{"x1"}, Output: "x2"},
+			{Name: "U2", Cell: "NAND2X1", Inputs: []string{"b", "x2"}, Output: "y"},
+		},
+		POs: []string{"y"},
+	}
+	rep, err := Analyze(nl, lib, constModel{delay: 10, slew: 20}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := rep.Slack("b"); math.Abs(s-20) > 1e-9 {
+		t.Errorf("slack(b) = %v, want 20 (short branch)", s)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	nl := chain(2)
+	if _, err := Analyze(nl, lib, errModel{}, Options{}); err == nil {
+		t.Error("model error not propagated")
+	}
+	noPO := chain(2)
+	noPO.POs = nil
+	if _, err := Analyze(noPO, lib, constModel{delay: 1, slew: 1}, Options{}); err == nil {
+		t.Error("netlist without POs accepted")
+	}
+	cyc := &netlist.Netlist{
+		Name: "cyc", PIs: []string{"a"},
+		Instances: []netlist.Instance{
+			{Name: "U0", Cell: "NAND2X1", Inputs: []string{"a", "y"}, Output: "x"},
+			{Name: "U1", Cell: "INVX1", Inputs: []string{"x"}, Output: "y"},
+		},
+		POs: []string{"y"},
+	}
+	if _, err := Analyze(cyc, lib, constModel{delay: 1, slew: 1}, Options{}); err == nil {
+		t.Error("cyclic netlist accepted")
+	}
+}
+
+func TestAnalyzeC432Consistency(t *testing.T) {
+	nl := netlist.MustGenerate(lib, "c432")
+	rep, err := Analyze(nl, lib, constModel{delay: 10, slew: 20}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With constant arc delays, max delay = 10 × depth of the deepest PO
+	// cone, bounded by the netlist depth.
+	d, _ := nl.Depth()
+	if rep.MaxDelay > float64(10*d)+1e-9 {
+		t.Errorf("MaxDelay %v exceeds depth bound %v", rep.MaxDelay, 10*d)
+	}
+	if rep.MaxDelay <= 0 {
+		t.Error("MaxDelay not positive")
+	}
+	// Arrival must be defined for every net.
+	for _, g := range nl.Instances {
+		if _, ok := rep.Arrival[g.Output]; !ok {
+			t.Fatalf("no arrival for %s", g.Output)
+		}
+	}
+	// Critical path arrivals strictly increase.
+	for i := 1; i < len(rep.Crit); i++ {
+		if rep.Crit[i].AtPS < rep.Crit[i-1].AtPS {
+			t.Fatalf("arrival decreases along the critical path at step %d", i)
+		}
+	}
+}

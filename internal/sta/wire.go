@@ -1,0 +1,99 @@
+package sta
+
+import (
+	"svtiming/internal/netlist"
+	"svtiming/internal/place"
+	"svtiming/internal/stdcell"
+)
+
+// WireModel estimates a net's wiring capacitance (fF). The default model
+// in Options charges a fixed capacitance per fanout; placement-derived
+// models estimate length first.
+type WireModel interface {
+	// NetCap returns the wiring capacitance of the named net, given its
+	// driver instance (-1 for primary inputs) and sink instances.
+	NetCap(net string, driver int, sinks []int) float64
+}
+
+// PerFanoutWire is the default model: a fixed capacitance per sink.
+type PerFanoutWire struct {
+	CapPerFanout float64 // fF
+}
+
+// NetCap implements WireModel.
+func (m PerFanoutWire) NetCap(net string, driver int, sinks []int) float64 {
+	return m.CapPerFanout * float64(len(sinks))
+}
+
+// HPWLWire estimates wire capacitance from the half-perimeter wirelength
+// of the net's pin bounding box in the placement — the standard placement
+// metric — times a capacitance per unit length.
+type HPWLWire struct {
+	Placement *place.Placement
+	CapPerUm  float64 // fF per µm of estimated wire (≈0.2 at 90 nm)
+	// MinCap floors every net (local connection stubs), fF.
+	MinCap float64
+}
+
+// NetCap implements WireModel.
+func (m HPWLWire) NetCap(net string, driver int, sinks []int) float64 {
+	var xs, ys []float64
+	at := func(inst int) (float64, float64) {
+		pc := m.Placement.Cells[inst]
+		return pc.X + pc.Cell.Width/2, float64(pc.Row) * stdcell.CellHeight
+	}
+	if driver >= 0 {
+		x, y := at(driver)
+		xs, ys = append(xs, x), append(ys, y)
+	}
+	for _, s := range sinks {
+		x, y := at(s)
+		xs, ys = append(xs, x), append(ys, y)
+	}
+	if len(xs) < 2 {
+		return m.MinCap
+	}
+	minX, maxX := xs[0], xs[0]
+	minY, maxY := ys[0], ys[0]
+	for i := 1; i < len(xs); i++ {
+		minX = min(minX, xs[i])
+		maxX = max(maxX, xs[i])
+		minY = min(minY, ys[i])
+		maxY = max(maxY, ys[i])
+	}
+	hpwlNm := (maxX - minX) + (maxY - minY)
+	c := m.CapPerUm * hpwlNm / 1000
+	if c < m.MinCap {
+		c = m.MinCap
+	}
+	return c
+}
+
+// netLoads computes the total load per net: sink pin caps plus the wire
+// model's estimate plus the primary-output load.
+func netLoads(n *netlist.Netlist, lib *stdcell.Library, wire WireModel, poLoad float64) (map[string]float64, error) {
+	load := make(map[string]float64)
+	for _, po := range n.POs {
+		load[po] += poLoad
+	}
+	driver := n.DriverOf()
+	sinks := make(map[string][]int)
+	for i, g := range n.Instances {
+		c, err := lib.Cell(g.Cell)
+		if err != nil {
+			return nil, err
+		}
+		for _, in := range g.Inputs {
+			load[in] += c.PinCap
+			sinks[in] = append(sinks[in], i)
+		}
+	}
+	for net, sk := range sinks {
+		drv := -1
+		if d, ok := driver[net]; ok {
+			drv = d
+		}
+		load[net] += wire.NetCap(net, drv, sk)
+	}
+	return load, nil
+}

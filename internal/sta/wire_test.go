@@ -1,0 +1,94 @@
+package sta
+
+import (
+	"math"
+	"testing"
+
+	"svtiming/internal/netlist"
+	"svtiming/internal/place"
+)
+
+func TestPerFanoutWire(t *testing.T) {
+	m := PerFanoutWire{CapPerFanout: 1.5}
+	if got := m.NetCap("x", 0, []int{1, 2, 3}); got != 4.5 {
+		t.Errorf("NetCap = %v", got)
+	}
+	if got := m.NetCap("x", -1, nil); got != 0 {
+		t.Errorf("no sinks = %v", got)
+	}
+}
+
+func placedC432(t *testing.T) *place.Placement {
+	t.Helper()
+	n := netlist.MustGenerate(lib, "c432")
+	p, err := place.Place(n, lib, place.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestHPWLWire(t *testing.T) {
+	p := placedC432(t)
+	m := HPWLWire{Placement: p, CapPerUm: 0.2, MinCap: 0.5}
+
+	// Driver and sink in known positions: HPWL = |Δx| + |Δy|.
+	d, s := p.Rows[0][0], p.Rows[len(p.Rows)-1][0]
+	dx := math.Abs((p.Cells[d].X + p.Cells[d].Cell.Width/2) -
+		(p.Cells[s].X + p.Cells[s].Cell.Width/2))
+	dy := math.Abs(float64(p.Cells[d].Row-p.Cells[s].Row)) * 2400
+	want := 0.2 * (dx + dy) / 1000
+	if want < 0.5 {
+		want = 0.5
+	}
+	got := m.NetCap("x", d, []int{s})
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("NetCap = %v, want %v", got, want)
+	}
+
+	// Single-pin nets floor at MinCap.
+	if got := m.NetCap("pi", -1, []int{d}); got != 0.5 {
+		t.Errorf("single-pin net = %v, want MinCap", got)
+	}
+	// Same-cell degenerate net also floors.
+	if got := m.NetCap("loop", d, []int{d}); got != 0.5 {
+		t.Errorf("degenerate net = %v, want MinCap", got)
+	}
+}
+
+func TestHPWLWireIncreasesWithDistance(t *testing.T) {
+	p := placedC432(t)
+	m := HPWLWire{Placement: p, CapPerUm: 0.2, MinCap: 0.1}
+	d := p.Rows[0][0]
+	near := p.Rows[0][1]
+	far := p.Rows[len(p.Rows)-1][len(p.Rows[len(p.Rows)-1])-1]
+	if m.NetCap("a", d, []int{near}) >= m.NetCap("b", d, []int{far}) {
+		t.Error("far sink should load more than adjacent sink")
+	}
+}
+
+func TestAnalyzeWithHPWLWireModel(t *testing.T) {
+	n := netlist.MustGenerate(lib, "c432")
+	p, err := place.Place(n, lib, place.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repDefault, err := Analyze(n, lib, loadModel{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repHPWL, err := Analyze(n, lib, loadModel{}, Options{
+		Wire: HPWLWire{Placement: p, CapPerUm: 0.2, MinCap: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loadModel's delay equals the load, so different wire models must
+	// change arrival times; both stay positive and finite.
+	if repDefault.MaxDelay == repHPWL.MaxDelay {
+		t.Error("wire model had no effect on loads")
+	}
+	if repHPWL.MaxDelay <= 0 || math.IsInf(repHPWL.MaxDelay, 0) {
+		t.Errorf("HPWL analysis delay = %v", repHPWL.MaxDelay)
+	}
+}

@@ -1,0 +1,205 @@
+// Package stdcell defines the 90 nm standard-cell library used by the
+// experiments: the "10 most frequently used cells" of the paper's §4, each
+// with a poly-level layout (gate positions, widths, routing stubs), a logic
+// function, and the electrical parameters from which timing tables are
+// characterized.
+//
+// Layout conventions (nm):
+//   - Cell origin at its lower-left corner; placement translates in x.
+//   - Row/cell height is 2400; transistor gates span y ∈ [150, 2250].
+//     PMOS devices occupy the top half (y > 1200), NMOS the bottom half.
+//   - Drawn gate length (CD) is 90.
+//   - The contacted gate pitch is 300: gates with a contact between them
+//     sit 300 apart; series-stack gates that share diffusion sit at the
+//     tight pitch of 240 (spacing 150) — these are the cells' "dense"
+//     devices in the sense of the paper's Figure 5.
+package stdcell
+
+import (
+	"fmt"
+
+	"svtiming/internal/geom"
+)
+
+// Layout constants for the library.
+const (
+	CellHeight     = 2400.0 // placement row height, nm
+	GateSpanLo     = 150.0  // bottom of the transistor gates, nm
+	GateSpanHi     = 2250.0 // top of the transistor gates, nm
+	MidY           = 1200.0 // boundary between NMOS (below) and PMOS (above)
+	DrawnCD        = 90.0   // drawn gate length, nm
+	ContactedPitch = 300.0  // contacted gate pitch, nm
+	TightPitch     = 240.0  // diffusion-shared gate pitch, nm
+)
+
+// Gate is one transistor gate column: a vertical poly line crossing both
+// diffusions (its P and N devices switch together).
+type Gate struct {
+	Name    string  // designator, e.g. "G0"
+	OffsetX float64 // centerline offset from the cell's left edge, nm
+}
+
+// Stub is a non-gate poly feature (routing or hat) with a partial vertical
+// span. Stubs shape the optical environment — in particular they make the
+// top and bottom border spacings of a cell differ, which is why the paper
+// tracks four nps parameters rather than two.
+type Stub struct {
+	OffsetX float64 // centerline offset from the cell's left edge, nm
+	Width   float64 // linewidth, nm
+	Top     bool    // true: spans the PMOS half; false: the NMOS half
+}
+
+// Arc is a timing arc from an input pin to the output pin. Devices lists
+// the gate indices involved in the worst-case transition (paper §3.1.2:
+// "the devices are fixed for the worst-case transition"); the arc's delay
+// scales with the mean printed gate length of those devices.
+type Arc struct {
+	From    string
+	Devices []int
+}
+
+// Cell is one library cell master.
+type Cell struct {
+	Name   string
+	Inputs []string
+	Output string
+	Eval   func(in []bool) bool // logic function over Inputs
+	Width  float64              // cell width, nm
+	Gates  []Gate               // left to right
+	Stubs  []Stub
+	Arcs   []Arc
+
+	// Electrical parameters at nominal gate length, used to characterize
+	// the timing tables (internal/liberty).
+	DriveRes  float64 // effective drive resistance, kΩ (kΩ·fF = ps)
+	Intrinsic float64 // parasitic (unloaded) delay, ps
+	SlewSens  float64 // fraction of input slew added to delay
+	PinCap    float64 // input pin capacitance, fF
+	ParCap    float64 // output parasitic capacitance, fF
+}
+
+// NumGates returns the number of transistor gate columns.
+func (c *Cell) NumGates() int { return len(c.Gates) }
+
+// GateSpan returns the vertical extent of the transistor gates.
+func GateSpan() geom.Interval { return geom.Interval{Lo: GateSpanLo, Hi: GateSpanHi} }
+
+// PolyLines returns all poly features of the cell placed with its left edge
+// at originX: the transistor gates (full gate span) followed by any stubs
+// (half spans).
+func (c *Cell) PolyLines(originX float64) []geom.PolyLine {
+	out := make([]geom.PolyLine, 0, len(c.Gates)+len(c.Stubs))
+	for _, g := range c.Gates {
+		out = append(out, geom.PolyLine{
+			CenterX: originX + g.OffsetX,
+			Width:   DrawnCD,
+			Span:    GateSpan(),
+		})
+	}
+	for _, s := range c.Stubs {
+		span := geom.Interval{Lo: GateSpanLo, Hi: MidY}
+		if s.Top {
+			span = geom.Interval{Lo: MidY, Hi: GateSpanHi}
+		}
+		out = append(out, geom.PolyLine{
+			CenterX: originX + s.OffsetX,
+			Width:   s.Width,
+			Span:    span,
+		})
+	}
+	return out
+}
+
+// GateLines returns only the transistor gate lines placed at originX, in
+// gate order (matching Arc.Devices indices).
+func (c *Cell) GateLines(originX float64) []geom.PolyLine {
+	out := make([]geom.PolyLine, 0, len(c.Gates))
+	for _, g := range c.Gates {
+		out = append(out, geom.PolyLine{
+			CenterX: originX + g.OffsetX,
+			Width:   DrawnCD,
+			Span:    GateSpan(),
+		})
+	}
+	return out
+}
+
+// BorderClearances returns the four s parameters of the paper's §3.1.3:
+// the distance from the cell outline to the closest poly feature on the
+// left-top, left-bottom, right-top and right-bottom (sLT, sLB, sRT, sRB).
+func (c *Cell) BorderClearances() (sLT, sLB, sRT, sRB float64) {
+	lines := c.PolyLines(0)
+	sLT, sLB, sRT, sRB = c.Width, c.Width, c.Width, c.Width
+	for _, l := range lines {
+		// Positive-length overlap required: a feature that merely touches
+		// the P/N boundary belongs to one half only.
+		top := l.Span.Intersect(geom.Interval{Lo: MidY, Hi: GateSpanHi}).Len() > 0
+		bot := l.Span.Intersect(geom.Interval{Lo: GateSpanLo, Hi: MidY}).Len() > 0
+		if top {
+			sLT = min(sLT, l.LeftEdge())
+			sRT = min(sRT, c.Width-l.RightEdge())
+		}
+		if bot {
+			sLB = min(sLB, l.LeftEdge())
+			sRB = min(sRB, c.Width-l.RightEdge())
+		}
+	}
+	return
+}
+
+// ArcFor returns the timing arc from the given input pin, or an error if
+// the pin has no arc.
+func (c *Cell) ArcFor(pin string) (Arc, error) {
+	for _, a := range c.Arcs {
+		if a.From == pin {
+			return a, nil
+		}
+	}
+	return Arc{}, fmt.Errorf("stdcell: cell %s has no arc from pin %q", c.Name, pin)
+}
+
+// Validate checks structural invariants of the cell definition.
+func (c *Cell) Validate() error {
+	if c.Name == "" || c.Width <= 0 || len(c.Gates) == 0 {
+		return fmt.Errorf("stdcell: cell %q malformed", c.Name)
+	}
+	if len(c.Arcs) != len(c.Inputs) {
+		return fmt.Errorf("stdcell: cell %s has %d arcs for %d inputs", c.Name, len(c.Arcs), len(c.Inputs))
+	}
+	prev := -1.0
+	for i, g := range c.Gates {
+		if g.OffsetX-DrawnCD/2 < 0 || g.OffsetX+DrawnCD/2 > c.Width {
+			return fmt.Errorf("stdcell: cell %s gate %d outside outline", c.Name, i)
+		}
+		if g.OffsetX <= prev {
+			return fmt.Errorf("stdcell: cell %s gates not left-to-right", c.Name)
+		}
+		prev = g.OffsetX
+	}
+	for _, a := range c.Arcs {
+		ok := false
+		for _, in := range c.Inputs {
+			if in == a.From {
+				ok = true
+			}
+		}
+		if !ok {
+			return fmt.Errorf("stdcell: cell %s arc from unknown pin %q", c.Name, a.From)
+		}
+		if len(a.Devices) == 0 {
+			return fmt.Errorf("stdcell: cell %s arc %s has no devices", c.Name, a.From)
+		}
+		for _, d := range a.Devices {
+			if d < 0 || d >= len(c.Gates) {
+				return fmt.Errorf("stdcell: cell %s arc %s device %d out of range", c.Name, a.From, d)
+			}
+		}
+	}
+	if c.DriveRes <= 0 || c.PinCap <= 0 {
+		return fmt.Errorf("stdcell: cell %s missing electrical parameters", c.Name)
+	}
+	if c.Eval == nil {
+		return fmt.Errorf("stdcell: cell %s missing logic function", c.Name)
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+package stdcell
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Library is a set of cell masters indexed by name.
+type Library struct {
+	cells map[string]*Cell
+}
+
+// Default returns the 10-cell 90 nm library used in all experiments. Cell
+// geometry mixes tight-pitch (240 nm) series stacks with contacted-pitch
+// (300 nm) columns so that designs contain dense, isolated and mixed
+// devices, as in the paper's Figure 5.
+func Default() *Library {
+	cells := []*Cell{
+		{
+			Name: "INVX1", Inputs: []string{"A"}, Output: "Y",
+			Eval:     func(in []bool) bool { return !in[0] },
+			Width:    720,
+			Gates:    []Gate{{Name: "G0", OffsetX: 360}},
+			Arcs:     []Arc{{From: "A", Devices: []int{0}}},
+			DriveRes: 4.0, Intrinsic: 12, SlewSens: 0.15, PinCap: 1.8, ParCap: 1.0,
+		},
+		{
+			Name: "INVX2", Inputs: []string{"A"}, Output: "Y",
+			Eval:  func(in []bool) bool { return !in[0] },
+			Width: 900,
+			// Two parallel fingers; each finger needs source/drain
+			// contacts, so they sit at contacted pitch.
+			Gates:    []Gate{{Name: "G0", OffsetX: 300}, {Name: "G1", OffsetX: 600}},
+			Arcs:     []Arc{{From: "A", Devices: []int{0, 1}}},
+			DriveRes: 2.0, Intrinsic: 14, SlewSens: 0.15, PinCap: 3.6, ParCap: 1.8,
+		},
+		{
+			Name: "BUFX2", Inputs: []string{"A"}, Output: "Y",
+			Eval:  func(in []bool) bool { return in[0] },
+			Width: 960,
+			// Two inverter stages at contacted pitch; output-stage poly
+			// carries a bottom routing stub near the right edge.
+			Gates:    []Gate{{Name: "G0", OffsetX: 300}, {Name: "G1", OffsetX: 600}},
+			Stubs:    []Stub{{OffsetX: 840, Width: 90, Top: false}},
+			Arcs:     []Arc{{From: "A", Devices: []int{0, 1}}},
+			DriveRes: 2.0, Intrinsic: 30, SlewSens: 0.10, PinCap: 1.9, ParCap: 2.0,
+		},
+		{
+			Name: "NAND2X1", Inputs: []string{"A", "B"}, Output: "Y",
+			Eval:  func(in []bool) bool { return !(in[0] && in[1]) },
+			Width: 960,
+			// Both columns contacted: the output and internal nodes are
+			// strapped, a litho-friendly 90 nm layout style.
+			Gates: []Gate{{Name: "G0", OffsetX: 330}, {Name: "G1", OffsetX: 630}},
+			Arcs: []Arc{
+				{From: "A", Devices: []int{0, 1}},
+				{From: "B", Devices: []int{1}},
+			},
+			DriveRes: 4.5, Intrinsic: 16, SlewSens: 0.18, PinCap: 2.0, ParCap: 1.4,
+		},
+		{
+			Name: "NAND3X1", Inputs: []string{"A", "B", "C"}, Output: "Y",
+			Eval:  func(in []bool) bool { return !(in[0] && in[1] && in[2]) },
+			Width: 1080,
+			// A-B share diffusion (tight pitch); C is contacted.
+			Gates: []Gate{{Name: "G0", OffsetX: 300}, {Name: "G1", OffsetX: 540}, {Name: "G2", OffsetX: 840}},
+			Arcs: []Arc{
+				{From: "A", Devices: []int{0, 1, 2}},
+				{From: "B", Devices: []int{1, 2}},
+				{From: "C", Devices: []int{2}},
+			},
+			DriveRes: 5.0, Intrinsic: 20, SlewSens: 0.20, PinCap: 2.2, ParCap: 1.6,
+		},
+		{
+			Name: "NOR2X1", Inputs: []string{"A", "B"}, Output: "Y",
+			Eval:  func(in []bool) bool { return !(in[0] || in[1]) },
+			Width: 960,
+			Gates: []Gate{{Name: "G0", OffsetX: 330}, {Name: "G1", OffsetX: 630}},
+			Arcs: []Arc{
+				{From: "A", Devices: []int{0, 1}},
+				{From: "B", Devices: []int{1}},
+			},
+			DriveRes: 5.5, Intrinsic: 18, SlewSens: 0.20, PinCap: 2.0, ParCap: 1.4,
+		},
+		{
+			Name: "NOR3X1", Inputs: []string{"A", "B", "C"}, Output: "Y",
+			Eval:  func(in []bool) bool { return !(in[0] || in[1] || in[2]) },
+			Width: 1080,
+			// A-B share diffusion (tight pitch); C is contacted.
+			Gates: []Gate{{Name: "G0", OffsetX: 300}, {Name: "G1", OffsetX: 540}, {Name: "G2", OffsetX: 840}},
+			Arcs: []Arc{
+				{From: "A", Devices: []int{0, 1, 2}},
+				{From: "B", Devices: []int{1, 2}},
+				{From: "C", Devices: []int{2}},
+			},
+			DriveRes: 6.5, Intrinsic: 24, SlewSens: 0.22, PinCap: 2.2, ParCap: 1.6,
+		},
+		{
+			Name: "AOI21X1", Inputs: []string{"A", "B", "C"}, Output: "Y",
+			Eval:  func(in []bool) bool { return !((in[0] && in[1]) || in[2]) },
+			Width: 1140,
+			// A-B stack at tight pitch, C at contacted pitch; PMOS routing
+			// stub at the left edge.
+			Gates: []Gate{{Name: "G0", OffsetX: 390}, {Name: "G1", OffsetX: 630}, {Name: "G2", OffsetX: 930}},
+			Stubs: []Stub{{OffsetX: 150, Width: 90, Top: true}},
+			Arcs: []Arc{
+				{From: "A", Devices: []int{0, 1}},
+				{From: "B", Devices: []int{1}},
+				{From: "C", Devices: []int{2}},
+			},
+			DriveRes: 5.5, Intrinsic: 22, SlewSens: 0.20, PinCap: 2.1, ParCap: 1.7,
+		},
+		{
+			Name: "OAI21X1", Inputs: []string{"A", "B", "C"}, Output: "Y",
+			Eval:  func(in []bool) bool { return !((in[0] || in[1]) && in[2]) },
+			Width: 1140,
+			// C at contacted pitch from the A-B tight pair; NMOS routing
+			// stub at the right edge.
+			Gates: []Gate{{Name: "G0", OffsetX: 210}, {Name: "G1", OffsetX: 450}, {Name: "G2", OffsetX: 750}},
+			Stubs: []Stub{{OffsetX: 990, Width: 90, Top: false}},
+			Arcs: []Arc{
+				{From: "A", Devices: []int{0, 2}},
+				{From: "B", Devices: []int{1, 2}},
+				{From: "C", Devices: []int{2}},
+			},
+			DriveRes: 5.2, Intrinsic: 21, SlewSens: 0.20, PinCap: 2.1, ParCap: 1.7,
+		},
+		{
+			Name: "XOR2X1", Inputs: []string{"A", "B"}, Output: "Y",
+			Eval:  func(in []bool) bool { return in[0] != in[1] },
+			Width: 1500,
+			// Four contacted columns (cross-coupled pass structure, every
+			// node strapped).
+			Gates: []Gate{
+				{Name: "G0", OffsetX: 300}, {Name: "G1", OffsetX: 600},
+				{Name: "G2", OffsetX: 900}, {Name: "G3", OffsetX: 1200},
+			},
+			Arcs: []Arc{
+				{From: "A", Devices: []int{0, 1, 2}},
+				{From: "B", Devices: []int{1, 2, 3}},
+			},
+			DriveRes: 6.0, Intrinsic: 28, SlewSens: 0.22, PinCap: 2.6, ParCap: 2.2,
+		},
+	}
+	lib := &Library{cells: make(map[string]*Cell, len(cells))}
+	for _, c := range cells {
+		if err := c.Validate(); err != nil {
+			panic(err) // library definition bug, caught by tests
+		}
+		lib.cells[c.Name] = c
+	}
+	return lib
+}
+
+// Cell returns the named master or an error.
+func (l *Library) Cell(name string) (*Cell, error) {
+	c, ok := l.cells[name]
+	if !ok {
+		return nil, fmt.Errorf("stdcell: unknown cell %q", name)
+	}
+	return c, nil
+}
+
+// MustCell returns the named master, panicking on unknown names (library
+// definition and generator internals only).
+func (l *Library) MustCell(name string) *Cell {
+	c, err := l.Cell(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Names returns all cell names, sorted.
+func (l *Library) Names() []string {
+	out := make([]string, 0, len(l.cells))
+	for n := range l.cells {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Cells returns all masters in name order.
+func (l *Library) Cells() []*Cell {
+	out := make([]*Cell, 0, len(l.cells))
+	for _, n := range l.Names() {
+		out = append(out, l.cells[n])
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+package stdcell
+
+import (
+	"math"
+	"testing"
+
+	"svtiming/internal/geom"
+)
+
+func TestDefaultLibraryHasTenValidCells(t *testing.T) {
+	lib := Default()
+	names := lib.Names()
+	if len(names) != 10 {
+		t.Fatalf("library has %d cells, want 10: %v", len(names), names)
+	}
+	for _, c := range lib.Cells() {
+		if err := c.Validate(); err != nil {
+			t.Errorf("cell %s invalid: %v", c.Name, err)
+		}
+	}
+}
+
+func TestCellLookup(t *testing.T) {
+	lib := Default()
+	c, err := lib.Cell("NAND2X1")
+	if err != nil || c.Name != "NAND2X1" {
+		t.Fatalf("Cell(NAND2X1) = %v, %v", c, err)
+	}
+	if _, err := lib.Cell("DFFX1"); err == nil {
+		t.Error("unknown cell lookup should fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCell on unknown name did not panic")
+		}
+	}()
+	lib.MustCell("DFFX1")
+}
+
+func TestLogicFunctions(t *testing.T) {
+	lib := Default()
+	cases := []struct {
+		cell string
+		in   []bool
+		want bool
+	}{
+		{"INVX1", []bool{true}, false},
+		{"INVX1", []bool{false}, true},
+		{"INVX2", []bool{true}, false},
+		{"BUFX2", []bool{true}, true},
+		{"NAND2X1", []bool{true, true}, false},
+		{"NAND2X1", []bool{true, false}, true},
+		{"NAND3X1", []bool{true, true, true}, false},
+		{"NAND3X1", []bool{true, true, false}, true},
+		{"NOR2X1", []bool{false, false}, true},
+		{"NOR2X1", []bool{true, false}, false},
+		{"NOR3X1", []bool{false, false, false}, true},
+		{"AOI21X1", []bool{true, true, false}, false},
+		{"AOI21X1", []bool{true, false, false}, true},
+		{"AOI21X1", []bool{false, false, true}, false},
+		{"OAI21X1", []bool{false, false, true}, true},
+		{"OAI21X1", []bool{true, false, true}, false},
+		{"OAI21X1", []bool{true, true, false}, true},
+		{"XOR2X1", []bool{true, false}, true},
+		{"XOR2X1", []bool{true, true}, false},
+	}
+	for _, c := range cases {
+		cell := lib.MustCell(c.cell)
+		if got := cell.Eval(c.in); got != c.want {
+			t.Errorf("%s%v = %v, want %v", c.cell, c.in, got, c.want)
+		}
+	}
+}
+
+func TestGateGeometryInsideCell(t *testing.T) {
+	for _, c := range Default().Cells() {
+		lines := c.PolyLines(0)
+		for i, l := range lines {
+			if l.LeftEdge() < 0 || l.RightEdge() > c.Width {
+				t.Errorf("%s feature %d extends outside cell [0,%v]: %v..%v",
+					c.Name, i, c.Width, l.LeftEdge(), l.RightEdge())
+			}
+		}
+		if len(c.GateLines(0)) != len(c.Gates) {
+			t.Errorf("%s GateLines count mismatch", c.Name)
+		}
+	}
+}
+
+func TestPolyLinesTranslate(t *testing.T) {
+	c := Default().MustCell("INVX1")
+	l0 := c.PolyLines(0)
+	l1 := c.PolyLines(1000)
+	if l1[0].CenterX-l0[0].CenterX != 1000 {
+		t.Errorf("PolyLines does not translate with origin")
+	}
+}
+
+func TestCellsContainDenseAndContactedPitches(t *testing.T) {
+	// The library must expose both tight-pitch (dense) and
+	// contacted-pitch gate pairs for the Fig 5 classification to exercise.
+	lib := Default()
+	sawTight, sawContacted := false, false
+	for _, c := range lib.Cells() {
+		gl := c.GateLines(0)
+		for i := 1; i < len(gl); i++ {
+			pitch := gl[i].CenterX - gl[i-1].CenterX
+			if math.Abs(pitch-TightPitch) < 1 {
+				sawTight = true
+			}
+			if math.Abs(pitch-ContactedPitch) < 1 {
+				sawContacted = true
+			}
+		}
+	}
+	if !sawTight || !sawContacted {
+		t.Errorf("library pitches: tight=%v contacted=%v, want both", sawTight, sawContacted)
+	}
+}
+
+func TestBorderClearances(t *testing.T) {
+	lib := Default()
+	inv := lib.MustCell("INVX1")
+	sLT, sLB, sRT, sRB := inv.BorderClearances()
+	// Single centered gate at 360, width 90: edges at 315 and 405.
+	if sLT != 315 || sLB != 315 {
+		t.Errorf("INVX1 left clearances = %v/%v, want 315", sLT, sLB)
+	}
+	if sRT != 315 || sRB != 315 {
+		t.Errorf("INVX1 right clearances = %v/%v, want 315", sRT, sRB)
+	}
+	// AOI21X1 has a PMOS-only stub at x=120: top-left clearance shrinks,
+	// bottom-left stays at the first gate.
+	aoi := lib.MustCell("AOI21X1")
+	sLT, sLB, _, _ = aoi.BorderClearances()
+	if sLT >= sLB {
+		t.Errorf("AOI21X1 stub should shrink left-top clearance: sLT=%v sLB=%v", sLT, sLB)
+	}
+	if sLT != 105 { // stub center 150 - width 90/2
+		t.Errorf("AOI21X1 sLT = %v, want 105", sLT)
+	}
+	// OAI21X1 has an NMOS-only stub on the right.
+	oai := lib.MustCell("OAI21X1")
+	_, _, sRT, sRB = oai.BorderClearances()
+	if sRB >= sRT {
+		t.Errorf("OAI21X1 stub should shrink right-bottom clearance: sRT=%v sRB=%v", sRT, sRB)
+	}
+}
+
+func TestArcFor(t *testing.T) {
+	nand := Default().MustCell("NAND2X1")
+	a, err := nand.ArcFor("A")
+	if err != nil || len(a.Devices) != 2 {
+		t.Errorf("ArcFor(A) = %+v, %v", a, err)
+	}
+	if _, err := nand.ArcFor("Z"); err == nil {
+		t.Error("ArcFor on unknown pin should fail")
+	}
+}
+
+func TestValidateCatchesBadCells(t *testing.T) {
+	good := *Default().MustCell("INVX1")
+	cases := map[string]func(c *Cell){
+		"empty name":      func(c *Cell) { c.Name = "" },
+		"no gates":        func(c *Cell) { c.Gates = nil },
+		"gate outside":    func(c *Cell) { c.Gates = []Gate{{OffsetX: -10}} },
+		"arc unknown pin": func(c *Cell) { c.Arcs = []Arc{{From: "Q", Devices: []int{0}}} },
+		"arc no devices":  func(c *Cell) { c.Arcs = []Arc{{From: "A"}} },
+		"arc bad device":  func(c *Cell) { c.Arcs = []Arc{{From: "A", Devices: []int{7}}} },
+		"no drive":        func(c *Cell) { c.DriveRes = 0 },
+		"no eval":         func(c *Cell) { c.Eval = nil },
+		"arc count":       func(c *Cell) { c.Arcs = nil },
+	}
+	for name, mutate := range cases {
+		c := good // shallow copy; mutations below replace fields wholesale
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a bad cell", name)
+		}
+	}
+}
+
+func TestGateSpanCrossesBothDevices(t *testing.T) {
+	span := GateSpan()
+	if !span.Contains(MidY) {
+		t.Error("gate span must cross the P/N boundary")
+	}
+	if span.Lo != GateSpanLo || span.Hi != GateSpanHi {
+		t.Error("GateSpan constants inconsistent")
+	}
+}
+
+func TestStubSpans(t *testing.T) {
+	c := Default().MustCell("AOI21X1")
+	lines := c.PolyLines(0)
+	stub := lines[len(lines)-1]
+	if stub.Span != (geom.Interval{Lo: MidY, Hi: GateSpanHi}) {
+		t.Errorf("top stub span = %v", stub.Span)
+	}
+	o := Default().MustCell("OAI21X1")
+	lines = o.PolyLines(0)
+	stub = lines[len(lines)-1]
+	if stub.Span != (geom.Interval{Lo: GateSpanLo, Hi: MidY}) {
+		t.Errorf("bottom stub span = %v", stub.Span)
+	}
+}

@@ -1,0 +1,124 @@
+// Package tran is a small transient circuit simulator used as the
+// "intensive simulation" characterization backend the paper's §3 describes
+// ("Timing model for a standard-cell is characterized with very intensive
+// simulation process. It is reduced to a set of formulas…").
+//
+// Each timing arc is characterized as a switched nonlinear stage: the
+// input ramp modulates the pull network's conductance, which
+// charges/discharges the output capacitance. The ODE is integrated with
+// RK4 and the 50% crossings give delay; the 10%–90% crossing gives the
+// output transition time. The resulting tables are nonlinear in input
+// slew and load, unlike the closed-form default backend.
+package tran
+
+import (
+	"fmt"
+	"math"
+)
+
+// Stage is one characterized switching stage (normalized supply: voltages
+// in [0,1]).
+type Stage struct {
+	DriveRes  float64 // effective on-resistance at full gate drive, kΩ
+	Cap       float64 // total output capacitance (parasitic + load), fF
+	Vth       float64 // input threshold where the network starts conducting
+	Alpha     float64 // conduction nonlinearity exponent (velocity saturation)
+	Intrinsic float64 // fixed parasitic delay added to the simulated delay, ps
+}
+
+// DefaultStage returns the stage model for a cell's electrical parameters.
+func DefaultStage(driveRes, parCap, load, intrinsic float64) Stage {
+	return Stage{
+		DriveRes:  driveRes,
+		Cap:       parCap + load,
+		Vth:       0.4,
+		Alpha:     1.3,
+		Intrinsic: intrinsic,
+	}
+}
+
+// Result is the measured timing of one simulated transition.
+type Result struct {
+	DelayPS   float64 // input 50% to output 50%, plus the intrinsic term
+	OutSlewPS float64 // output 10%→90% time scaled to full swing
+}
+
+// Simulate drives the stage with an input ramp of the given transition
+// time (ps, interpreted as the 0→100% ramp duration) and integrates the
+// output from 1 (precharged) falling to 0.
+//
+//	dVout/dt = −g(Vin(t))·Vout/C,  g = (1/R)·((Vin−Vth)/(1−Vth))^α for Vin>Vth
+func (s Stage) Simulate(inSlewPS float64) (Result, error) {
+	if s.DriveRes <= 0 || s.Cap <= 0 {
+		return Result{}, fmt.Errorf("tran: invalid stage %+v", s)
+	}
+	if inSlewPS <= 0 {
+		inSlewPS = 1
+	}
+	rc := s.DriveRes * s.Cap // ps
+	dt := math.Min(inSlewPS, rc) / 400
+	if dt <= 0 {
+		return Result{}, fmt.Errorf("tran: degenerate time step")
+	}
+	vin := func(t float64) float64 {
+		v := t / inSlewPS
+		if v > 1 {
+			v = 1
+		}
+		if v < 0 {
+			v = 0
+		}
+		return v
+	}
+	g := func(v float64) float64 {
+		if v <= s.Vth {
+			return 0
+		}
+		x := (v - s.Vth) / (1 - s.Vth)
+		return math.Pow(x, s.Alpha) / s.DriveRes
+	}
+	deriv := func(t, vout float64) float64 {
+		return -g(vin(t)) * vout / s.Cap
+	}
+
+	tIn50 := 0.5 * inSlewPS
+	var t50, t90, t10 float64
+	found50, found90, found10 := false, false, false
+
+	v := 1.0
+	t := 0.0
+	maxT := 50*rc + 4*inSlewPS
+	prevV, prevT := v, t
+	for t < maxT {
+		// RK4 step.
+		k1 := deriv(t, v)
+		k2 := deriv(t+dt/2, v+dt/2*k1)
+		k3 := deriv(t+dt/2, v+dt/2*k2)
+		k4 := deriv(t+dt, v+dt*k3)
+		prevV, prevT = v, t
+		v += dt / 6 * (k1 + 2*k2 + 2*k3 + k4)
+		t += dt
+
+		cross := func(level float64) float64 {
+			f := (prevV - level) / (prevV - v)
+			return prevT + f*dt
+		}
+		if !found90 && v <= 0.9 {
+			t90, found90 = cross(0.9), true
+		}
+		if !found50 && v <= 0.5 {
+			t50, found50 = cross(0.5), true
+		}
+		if !found10 && v <= 0.1 {
+			t10, found10 = cross(0.1), true
+			break
+		}
+	}
+	if !found50 || !found10 || !found90 {
+		return Result{}, fmt.Errorf("tran: output did not complete its transition in %g ps", maxT)
+	}
+	return Result{
+		DelayPS:   s.Intrinsic + (t50 - tIn50),
+		OutSlewPS: (t10 - t90) / 0.8, // 10–90% back to full-swing equivalent
+	}, nil
+}

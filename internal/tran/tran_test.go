@@ -1,0 +1,117 @@
+package tran
+
+import (
+	"math"
+	"testing"
+)
+
+func sim(t *testing.T, s Stage, slew float64) Result {
+	t.Helper()
+	r, err := s.Simulate(slew)
+	if err != nil {
+		t.Fatalf("Simulate(%+v, %v): %v", s, slew, err)
+	}
+	return r
+}
+
+func TestDelayMonotoneInLoad(t *testing.T) {
+	prev := -1.0
+	for _, load := range []float64{1, 2, 4, 8, 16, 32, 64} {
+		r := sim(t, DefaultStage(4, 1, load, 12), 60)
+		if r.DelayPS <= prev {
+			t.Fatalf("delay not increasing with load: %v at load %v", r.DelayPS, load)
+		}
+		prev = r.DelayPS
+	}
+}
+
+func TestDelayMonotoneInSlew(t *testing.T) {
+	prev := -1.0
+	for _, slew := range []float64{10, 30, 60, 120, 240} {
+		r := sim(t, DefaultStage(4, 1, 8, 12), slew)
+		if r.DelayPS <= prev {
+			t.Fatalf("delay not increasing with slew: %v at slew %v", r.DelayPS, slew)
+		}
+		prev = r.DelayPS
+	}
+}
+
+func TestOutSlewMonotoneInLoad(t *testing.T) {
+	prev := -1.0
+	for _, load := range []float64{1, 4, 16, 64} {
+		r := sim(t, DefaultStage(4, 1, load, 12), 30)
+		if r.OutSlewPS <= prev {
+			t.Fatalf("output slew not increasing with load: %v at %v", r.OutSlewPS, load)
+		}
+		prev = r.OutSlewPS
+	}
+}
+
+func TestStrongerDriverIsFaster(t *testing.T) {
+	weak := sim(t, DefaultStage(6, 1, 8, 12), 60)
+	strong := sim(t, DefaultStage(2, 1, 8, 12), 60)
+	if strong.DelayPS >= weak.DelayPS {
+		t.Errorf("stronger driver slower: %v vs %v", strong.DelayPS, weak.DelayPS)
+	}
+	if strong.OutSlewPS >= weak.OutSlewPS {
+		t.Errorf("stronger driver has slower edge: %v vs %v", strong.OutSlewPS, weak.OutSlewPS)
+	}
+}
+
+func TestIntrinsicAddsDirectly(t *testing.T) {
+	a := sim(t, DefaultStage(4, 1, 8, 0), 60)
+	b := sim(t, DefaultStage(4, 1, 8, 25), 60)
+	if math.Abs((b.DelayPS-a.DelayPS)-25) > 1e-9 {
+		t.Errorf("intrinsic shift = %v, want 25", b.DelayPS-a.DelayPS)
+	}
+	if a.OutSlewPS != b.OutSlewPS {
+		t.Error("intrinsic changed the output slew")
+	}
+}
+
+func TestStepResponseMatchesRC(t *testing.T) {
+	// With a fast input ramp the stage approaches the ideal RC discharge:
+	// t(50%) ≈ RC·ln(2) after the ramp completes.
+	s := DefaultStage(4, 0, 16, 0) // RC = 64 ps
+	s.Vth = 0.01                   // conduct almost immediately
+	s.Alpha = 0.001                // essentially a closed switch
+	r := sim(t, s, 0.5)
+	want := 64 * math.Ln2
+	if math.Abs(r.DelayPS-want) > 0.05*want {
+		t.Errorf("near-step delay %v, want ≈ RC·ln2 = %v", r.DelayPS, want)
+	}
+}
+
+func TestTransientIsNonlinearInSlew(t *testing.T) {
+	// The closed-form backend is affine in slew; the simulated one must
+	// show curvature (the reason to pay for simulation).
+	d := func(slew float64) float64 {
+		return sim(t, DefaultStage(4, 1, 8, 0), slew).DelayPS
+	}
+	d1, d2, d3 := d(10), d(125), d(240)
+	linearMid := (d1 + d3) / 2
+	if math.Abs(d2-linearMid) < 0.5 {
+		t.Errorf("delay looks affine in slew: %v vs midpoint %v", d2, linearMid)
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	if _, err := (Stage{}).Simulate(10); err == nil {
+		t.Error("zero stage accepted")
+	}
+	if _, err := (Stage{DriveRes: -1, Cap: 1}).Simulate(10); err == nil {
+		t.Error("negative resistance accepted")
+	}
+	// Non-positive slew falls back to a fast ramp rather than failing.
+	if _, err := DefaultStage(4, 1, 4, 0).Simulate(0); err != nil {
+		t.Errorf("zero slew: %v", err)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := sim(t, DefaultStage(4, 1, 8, 12), 60)
+	b := sim(t, DefaultStage(4, 1, 8, 12), 60)
+	if a != b {
+		t.Error("simulation not deterministic")
+	}
+}
