@@ -1,0 +1,28 @@
+# Build and verification entry points.
+#
+#   make          — tier-1: build + unit tests (the PR gate)
+#   make tier2    — tier-1 plus vet and the race detector over the whole
+#                   tree; exercises the parallel execution engine
+#                   (internal/par, the sharded CD cache, every fanned-out
+#                   flow stage) under concurrent schedules
+#   make bench    — the serial-vs-parallel headline benchmarks
+
+GO ?= go
+
+.PHONY: all tier1 tier2 bench clean
+
+all: tier1
+
+tier1:
+	$(GO) build ./...
+	$(GO) test ./...
+
+tier2: tier1
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench 'Table2Timing|FullChipOPC' -benchmem .
+
+clean:
+	$(GO) clean ./...

@@ -112,7 +112,7 @@ func BenchmarkProcessWindow(b *testing.B) {
 	zs := []float64{-300, -200, -100, 0, 100, 200, 300}
 	doses := []float64{0.90, 0.95, 1.0, 1.05, 1.10}
 	for i := 0; i < b.N; i++ {
-		ws, err := expt.ProcessWindowStudy(f.Wafer, 0.10, zs, doses)
+		ws, err := expt.ProcessWindowStudy(f.Wafer, 0.10, zs, doses, f.Workers())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -145,7 +145,7 @@ func BenchmarkLineEndShortening(b *testing.B) {
 func BenchmarkMEEFCurve(b *testing.B) {
 	f := sharedFlow(b)
 	for i := 0; i < b.N; i++ {
-		pts, err := opc.MEEFCurve(f.Wafer, 90, []float64{240, 300, 390, 520, 690})
+		pts, err := opc.MEEFCurve(f.Wafer, 90, []float64{240, 300, 390, 520, 690}, f.Workers())
 		if err != nil {
 			b.Fatal(err)
 		}

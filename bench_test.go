@@ -39,6 +39,16 @@ func sharedFlow(b *testing.B) *core.Flow {
 	return flow
 }
 
+// serialFlow returns the shared flow pinned to a single worker, so the
+// *Serial benchmark variants time the exact same work without the pool.
+// Flow carries no locks, so the shallow copy is safe.
+func serialFlow(b *testing.B) *core.Flow {
+	b.Helper()
+	f := *sharedFlow(b)
+	f.Parallelism = 1
+	return &f
+}
+
 var printOnce sync.Map
 
 // printFirst prints s the first time key is seen, so benchmark reruns
@@ -54,7 +64,7 @@ func printFirst(key, s string) {
 func BenchmarkFig1ThroughPitch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		p := process.Nominal90nm() // fresh process: no cross-iteration cache
-		pts, err := expt.Fig1ThroughPitch(p)
+		pts, err := expt.Fig1ThroughPitch(p, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -67,7 +77,7 @@ func BenchmarkFig1ThroughPitch(b *testing.B) {
 func BenchmarkFig2Bossung(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		p := process.Nominal90nm()
-		r, err := expt.Fig2Bossung(p)
+		r, err := expt.Fig2Bossung(p, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -119,6 +129,17 @@ func BenchmarkTable2Timing(b *testing.B) {
 	b.ReportMetric(meanRed, "%reduction")
 }
 
+// BenchmarkTable2TimingSerial is BenchmarkTable2Timing with the worker
+// pool pinned to 1: the serial baseline for the parallel speedup.
+func BenchmarkTable2TimingSerial(b *testing.B) {
+	f := serialFlow(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Table2(f, netlist.Table2Circuits); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFig7CDErrorHistogram regenerates Figure 7: the distribution of
 // CD error after full-chip model-based OPC on c3540.
 func BenchmarkFig7CDErrorHistogram(b *testing.B) {
@@ -147,6 +168,24 @@ func BenchmarkFig6CornerDiagram(b *testing.B) {
 // library flow is a small one-time cost.
 func BenchmarkFullChipOPC(b *testing.B) {
 	f := sharedFlow(b)
+	d, err := f.PrepareDesign("c432")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Recipe.Model.ClearCache()
+		f.Wafer.ClearCache()
+		if _, err := f.FullChipCDs(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullChipOPCSerial is BenchmarkFullChipOPC with the worker pool
+// pinned to 1: the serial baseline for the parallel speedup.
+func BenchmarkFullChipOPCSerial(b *testing.B) {
+	f := serialFlow(b)
 	d, err := f.PrepareDesign("c432")
 	if err != nil {
 		b.Fatal(err)

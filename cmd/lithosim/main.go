@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	lithosim [-fig1] [-fig2] [-fig6]   (all three by default)
+//	lithosim [-fig1] [-fig2] [-fig6] [-j N]   (all studies by default)
 package main
 
 import (
@@ -27,13 +27,14 @@ func main() {
 	fig6 := flag.Bool("fig6", false, "gate-length corner construction diagram")
 	window := flag.Bool("window", false, "dense+iso overlapping process window")
 	lineEnd := flag.Bool("lineend", false, "2-D line-end shortening and hammerhead correction")
+	jobs := flag.Int("j", 0, "worker pool size for litho sweeps (0 = GOMAXPROCS)")
 	flag.Parse()
 	all := !*fig1 && !*fig2 && !*fig6 && !*window && !*lineEnd
 
 	wafer := process.Nominal90nm()
 
 	if *fig1 || all {
-		pts, err := expt.Fig1ThroughPitch(wafer)
+		pts, err := expt.Fig1ThroughPitch(wafer, *jobs)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -42,7 +43,7 @@ func main() {
 		fmt.Println()
 	}
 	if *fig2 || all {
-		r, err := expt.Fig2Bossung(wafer)
+		r, err := expt.Fig2Bossung(wafer, *jobs)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -61,7 +62,7 @@ func main() {
 	if *window || all {
 		fmt.Println("\n== overlapping process window (±10% CD) ==")
 		ws, err := expt.ProcessWindowStudy(wafer, 0.10,
-			expt.Fig2Defocus, []float64{0.90, 0.95, 1.0, 1.05, 1.10})
+			expt.Fig2Defocus, []float64{0.90, 0.95, 1.0, 1.05, 1.10}, *jobs)
 		if err != nil {
 			log.Fatal(err)
 		}

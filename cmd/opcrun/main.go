@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	opcrun [-table1] [-fig7 c3540] [-pitchtable] [-circuits c432,c880]
+//	opcrun [-table1] [-fig7 c3540] [-pitchtable] [-circuits c432,c880] [-j N]
 package main
 
 import (
@@ -26,10 +26,11 @@ func main() {
 	pitch := flag.Bool("pitchtable", false, "print the through-pitch CD lookup table")
 	circuits := flag.String("circuits", "c432,c880,c1355,c1908,c3540",
 		"testcases for -table1")
+	jobs := flag.Int("j", 0, "worker pool size for the flow (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 	all := !*table1 && *fig7 == "" && !*pitch
 
-	flow, err := core.NewFlow()
+	flow, err := core.NewFlow(core.WithParallelism(*jobs))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	svtiming [-circuits c432,c880] [-table2] [-verbose]
+//	svtiming [-circuits c432,c880] [-table2] [-verbose] [-j N]
 package main
 
 import (
@@ -32,9 +32,10 @@ func main() {
 	dose := flag.Bool("dose", false, "print the §6 exposure-dose classification study (first circuit only)")
 	path := flag.Bool("path", false, "print the aware worst-case critical path (first circuit only)")
 	optimize := flag.Bool("optimize", false, "run litho-aware whitespace optimization (first circuit only)")
+	jobs := flag.Int("j", 0, "worker pool size for the flow (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
-	flow, err := core.NewFlow()
+	flow, err := core.NewFlow(core.WithParallelism(*jobs))
 	if err != nil {
 		log.Fatal(err)
 	}

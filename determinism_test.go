@@ -1,0 +1,134 @@
+// Determinism contract of the parallel execution engine: a flow built and
+// run with WithParallelism(8) must be bit-identical — not merely close —
+// to the same flow at WithParallelism(1). internal/par guarantees this by
+// assigning results to their item index rather than completion order, and
+// ssta by giving every Monte Carlo trial its own derived PRNG stream.
+package svtiming_test
+
+import (
+	"reflect"
+	"testing"
+
+	"svtiming/internal/core"
+	"svtiming/internal/expt"
+	"svtiming/internal/ssta"
+)
+
+// buildFlows constructs the same default flow serially and with an
+// 8-worker pool (oversubscribed on small machines, which is the point:
+// completion order is then maximally shuffled).
+func buildFlows(t *testing.T) (serial, parallel *core.Flow) {
+	t.Helper()
+	f1, err := core.NewFlow(core.WithParallelism(1))
+	if err != nil {
+		t.Fatalf("serial NewFlow: %v", err)
+	}
+	f8, err := core.NewFlow(core.WithParallelism(8))
+	if err != nil {
+		t.Fatalf("parallel NewFlow: %v", err)
+	}
+	return f1, f8
+}
+
+func TestParallelFlowConstructionIsDeterministic(t *testing.T) {
+	f1, f8 := buildFlows(t)
+
+	// Through-pitch table: swept serially vs over 8 workers.
+	if !reflect.DeepEqual(f1.Pitch, f8.Pitch) {
+		t.Errorf("pitch tables differ:\nserial:\n%s\nparallel:\n%s",
+			f1.Pitch.String(), f8.Pitch.String())
+	}
+	// Characterized timing library: per-cell arcs and per-version CD
+	// tables. (Master cells hold func fields, so the library is compared
+	// entry by entry rather than with one DeepEqual.)
+	if len(f1.Timing.Cells) != len(f8.Timing.Cells) {
+		t.Fatalf("library sizes differ: %d vs %d cells",
+			len(f1.Timing.Cells), len(f8.Timing.Cells))
+	}
+	for name, e1 := range f1.Timing.Cells {
+		e8, ok := f8.Timing.Cells[name]
+		if !ok {
+			t.Errorf("cell %s missing from the parallel build", name)
+			continue
+		}
+		if !reflect.DeepEqual(e1.Arcs, e8.Arcs) {
+			t.Errorf("cell %s: characterized arcs differ", name)
+		}
+		if !reflect.DeepEqual(e1.DummyGateCD, e8.DummyGateCD) {
+			t.Errorf("cell %s: dummy-environment gate CDs differ", name)
+		}
+		if !reflect.DeepEqual(e1.VersionGateCD, e8.VersionGateCD) {
+			t.Errorf("cell %s: per-version gate CDs differ", name)
+		}
+	}
+}
+
+func TestParallelTable2IsDeterministic(t *testing.T) {
+	f1, f8 := buildFlows(t)
+	names := []string{"c17", "c432"}
+
+	r1, err := expt.Table2(f1, names)
+	if err != nil {
+		t.Fatalf("serial Table2: %v", err)
+	}
+	r8, err := expt.Table2(f8, names)
+	if err != nil {
+		t.Fatalf("parallel Table2: %v", err)
+	}
+	if !reflect.DeepEqual(r1, r8) {
+		t.Errorf("Table 2 rows differ:\nserial:\n%s\nparallel:\n%s",
+			expt.FormatTable2(r1), expt.FormatTable2(r8))
+	}
+}
+
+func TestParallelFullChipOPCIsDeterministic(t *testing.T) {
+	f1, f8 := buildFlows(t)
+	d1, err := f1.PrepareDesign("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d8, err := f8.PrepareDesign("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cds1, err := f1.FullChipCDs(d1)
+	if err != nil {
+		t.Fatalf("serial FullChipCDs: %v", err)
+	}
+	cds8, err := f8.FullChipCDs(d8)
+	if err != nil {
+		t.Fatalf("parallel FullChipCDs: %v", err)
+	}
+	if !reflect.DeepEqual(cds1, cds8) {
+		t.Error("full-chip OPC gate CDs differ between serial and parallel runs")
+	}
+}
+
+func TestParallelMonteCarloIsDeterministic(t *testing.T) {
+	f1, _ := buildFlows(t)
+	d, err := f1.PrepareDesign("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, mode := range []ssta.Mode{ssta.Naive, ssta.Aware} {
+		serial, err := ssta.MonteCarlo(f1, d, mode, ssta.Config{Samples: 64, Seed: 7, Workers: 1})
+		if err != nil {
+			t.Fatalf("%v serial MonteCarlo: %v", mode, err)
+		}
+		par8, err := ssta.MonteCarlo(f1, d, mode, ssta.Config{Samples: 64, Seed: 7, Workers: 8})
+		if err != nil {
+			t.Fatalf("%v parallel MonteCarlo: %v", mode, err)
+		}
+		if !reflect.DeepEqual(serial.Samples, par8.Samples) {
+			t.Errorf("%v: sampled distributions differ between 1 and 8 workers", mode)
+		}
+		for _, q := range []float64{0.005, 0.5, 0.995} {
+			if serial.Quantile(q) != par8.Quantile(q) {
+				t.Errorf("%v: q%.3f differs: %v vs %v",
+					mode, q, serial.Quantile(q), par8.Quantile(q))
+			}
+		}
+	}
+}

@@ -20,7 +20,12 @@ import (
 func main() {
 	log.SetFlags(0)
 
-	flow, err := core.NewFlow()
+	// NewFlow takes functional options; with none it builds the paper's
+	// default 90 nm flow using every available CPU. WithParallelism(1)
+	// would force a serial run — the results are identical either way.
+	flow, err := core.NewFlow(
+		core.WithParallelism(0), // 0 = one worker per CPU (the default)
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -28,6 +28,8 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Workers: 0 inherits the flow's pool. Trials draw from per-trial PRNG
+	// streams, so the distribution is bit-identical at any pool size.
 	cfg := ssta.Config{Samples: 400, Seed: 7}
 	naive, err := ssta.MonteCarlo(flow, design, ssta.Naive, cfg)
 	if err != nil {

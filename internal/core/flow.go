@@ -8,6 +8,7 @@
 package core
 
 import (
+	stdctx "context"
 	"fmt"
 
 	"svtiming/internal/context"
@@ -15,6 +16,7 @@ import (
 	"svtiming/internal/liberty"
 	"svtiming/internal/netlist"
 	"svtiming/internal/opc"
+	"svtiming/internal/par"
 	"svtiming/internal/place"
 	"svtiming/internal/process"
 	"svtiming/internal/sta"
@@ -64,6 +66,21 @@ type Flow struct {
 	// loading with the placement-derived HPWL model at this capacitance
 	// per micron (≈0.2 fF/µm at 90 nm).
 	WireCapPerUm float64
+
+	// Parallelism is the resolved worker-pool bound (≥ 1) every compute
+	// stage of this flow fans out to. Set it at construction with
+	// WithParallelism; 1 means fully serial. Parallel and serial runs
+	// produce bit-identical results (internal/par's ordering contract).
+	Parallelism int
+}
+
+// Workers returns the flow's worker-pool bound, treating a zero-value
+// Flow (constructed by hand in tests) as serial.
+func (f *Flow) Workers() int {
+	if f.Parallelism < 1 {
+		return 1
+	}
+	return f.Parallelism
 }
 
 // StaOptions returns the STA options for a design, binding the HPWL wire
@@ -83,29 +100,54 @@ func (f *Flow) StaOptions(d *Design) sta.Options {
 	return opt
 }
 
-// NewFlow builds the default experimental flow: the nominal 90 nm process,
+// NewFlow builds the experimental flow: the nominal 90 nm process,
 // standard model-based OPC, the through-pitch table and the characterized
-// expanded library.
-func NewFlow() (*Flow, error) {
+// expanded library, configured by functional options.
+//
+// NewFlow() with no options remains the legacy construction path and
+// builds the paper's default flow; prefer passing options over assigning
+// Flow fields after construction (construction-time inputs like the pitch
+// sweep are consumed while the tables build, so late assignment is
+// silently ignored — the failure mode the options API removes).
+func NewFlow(opts ...Option) (*Flow, error) {
+	cfg := flowConfig{ctx: stdctx.Background(), budget: corners.Default90nm()}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	workers := par.Workers(cfg.parallelism)
+	sweep := cfg.pitchSweep
+	if sweep == nil {
+		sweep = DefaultPitchSweep
+	}
+
 	wafer := process.Nominal90nm()
 	recipe := opc.Standard(opc.ModelProcess(wafer))
-	pitch := opc.BuildPitchTable(wafer, recipe, stdcell.DrawnCD, DefaultPitchSweep)
+	pitch := opc.BuildPitchTableCtx(cfg.ctx, wafer, recipe, stdcell.DrawnCD, sweep, workers)
+	if err := cfg.ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: flow construction cancelled: %w", err)
+	}
 	lib := stdcell.Default()
 	timing, err := liberty.Characterize(lib, liberty.CharConfig{
-		Wafer:  wafer,
-		Recipe: recipe,
-		Pitch:  pitch,
+		Wafer:     wafer,
+		Recipe:    recipe,
+		Pitch:     pitch,
+		Transient: cfg.transient,
+		Workers:   workers,
+		Ctx:       cfg.ctx,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: characterization failed: %w", err)
 	}
 	return &Flow{
-		Lib:    lib,
-		Wafer:  wafer,
-		Recipe: recipe,
-		Pitch:  pitch,
-		Timing: timing,
-		Budget: corners.Default90nm(),
+		Lib:          lib,
+		Wafer:        wafer,
+		Recipe:       recipe,
+		Pitch:        pitch,
+		Timing:       timing,
+		Budget:       cfg.budget,
+		STAOpt:       cfg.staOpt,
+		WireCapPerUm: cfg.wireCapPerUm,
+		Parallelism:  workers,
 	}, nil
 }
 
@@ -241,26 +283,34 @@ func (f *Flow) CompareDesign(name string) (Comparison, error) {
 	return f.Compare(d)
 }
 
-// Compare runs both flows at all three corners on a prepared design.
+// Compare runs both flows at all three corners on a prepared design. The
+// six (model, corner) analyses are independent reads of the prepared
+// design and fan out over the flow's worker pool; index-ordered collection
+// keeps the row identical to a serial run.
 func (f *Flow) Compare(d *Design) (Comparison, error) {
 	out := Comparison{Name: d.Netlist.Name, Gates: d.Netlist.NumGates()}
-	for _, c := range []Corner{Nominal, BestCase, WorstCase} {
-		tr, err := f.AnalyzeTraditional(d, c)
-		if err != nil {
-			return out, err
-		}
-		nw, err := f.AnalyzeContextual(d, c)
-		if err != nil {
-			return out, err
-		}
-		switch c {
-		case Nominal:
-			out.TradNom, out.NewNom = tr.MaxDelay, nw.MaxDelay
-		case BestCase:
-			out.TradBC, out.NewBC = tr.MaxDelay, nw.MaxDelay
-		case WorstCase:
-			out.TradWC, out.NewWC = tr.MaxDelay, nw.MaxDelay
-		}
+	corners := []Corner{Nominal, BestCase, WorstCase}
+	// Job k: corner k/2, traditional for even k, contextual for odd.
+	delays, err := par.Map(nil, f.Workers(), 2*len(corners),
+		func(_ stdctx.Context, k int) (float64, error) {
+			c := corners[k/2]
+			var rep *sta.Report
+			var err error
+			if k%2 == 0 {
+				rep, err = f.AnalyzeTraditional(d, c)
+			} else {
+				rep, err = f.AnalyzeContextual(d, c)
+			}
+			if err != nil {
+				return 0, err
+			}
+			return rep.MaxDelay, nil
+		})
+	if err != nil {
+		return out, err
 	}
+	out.TradNom, out.NewNom = delays[0], delays[1]
+	out.TradBC, out.NewBC = delays[2], delays[3]
+	out.TradWC, out.NewWC = delays[4], delays[5]
 	return out, nil
 }

@@ -1,9 +1,11 @@
 package core
 
 import (
+	stdctx "context"
 	"fmt"
 
 	"svtiming/internal/context"
+	"svtiming/internal/par"
 	"svtiming/internal/process"
 )
 
@@ -21,29 +23,51 @@ type GateKey struct {
 //
 // Gates whose features fail to print are reported with ok=false in the
 // second map (none should occur on legal placements).
+//
+// Placement rows are optically independent (the radius of influence ends
+// inside a row's own span), so every row's correct-and-measure chain fans
+// out over the flow's worker pool — the parallel counterpart of the
+// paper's "several CPU days" serial sweep. Rows share the wafer and model
+// processes' concurrent CD caches, so repeated environments across rows
+// are still simulated only once, whichever worker gets there first.
 func (f *Flow) FullChipCDs(d *Design) (map[GateKey]float64, error) {
-	out := make(map[GateKey]float64)
-	for r := range d.Placement.Rows {
-		lines := d.Placement.RowLines(r)
-		corrected := f.Recipe.Correct(lines, f.Wafer.TargetCD)
+	type gateCD struct {
+		key GateKey
+		cd  float64
+	}
+	rows, err := par.Map(nil, f.Workers(), len(d.Placement.Rows),
+		func(_ stdctx.Context, r int) ([]gateCD, error) {
+			lines := d.Placement.RowLines(r)
+			corrected := f.Recipe.Correct(lines, f.Wafer.TargetCD)
 
-		// Map each gate back to its (sorted) row-line index by position.
-		idxByX := make(map[float64]int, len(lines))
-		for i, l := range lines {
-			idxByX[l.CenterX] = i
-		}
-		for _, rg := range d.Placement.RowGates(r) {
-			i, ok := idxByX[rg.Line.CenterX]
-			if !ok {
-				return nil, fmt.Errorf("core: gate at x=%v lost in row %d", rg.Line.CenterX, r)
+			// Map each gate back to its (sorted) row-line index by position.
+			idxByX := make(map[float64]int, len(lines))
+			for i, l := range lines {
+				idxByX[l.CenterX] = i
 			}
-			env := process.EnvAt(corrected, i, f.Wafer.RadiusOfInfluence)
-			cd, ok := f.Wafer.PrintCD(env)
-			if !ok {
-				return nil, fmt.Errorf("core: gate at x=%v does not print after full-chip OPC",
-					rg.Line.CenterX)
+			var out []gateCD
+			for _, rg := range d.Placement.RowGates(r) {
+				i, ok := idxByX[rg.Line.CenterX]
+				if !ok {
+					return nil, fmt.Errorf("core: gate at x=%v lost in row %d", rg.Line.CenterX, r)
+				}
+				env := process.EnvAt(corrected, i, f.Wafer.RadiusOfInfluence)
+				cd, ok := f.Wafer.PrintCD(env)
+				if !ok {
+					return nil, fmt.Errorf("core: gate at x=%v does not print after full-chip OPC",
+						rg.Line.CenterX)
+				}
+				out = append(out, gateCD{key: GateKey{Inst: rg.Inst, Gate: rg.Gate}, cd: cd})
 			}
-			out[GateKey{Inst: rg.Inst, Gate: rg.Gate}] = cd
+			return out, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[GateKey]float64)
+	for _, row := range rows {
+		for _, g := range row {
+			out[g.key] = g.cd
 		}
 	}
 	return out, nil

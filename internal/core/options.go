@@ -1,0 +1,73 @@
+package core
+
+import (
+	stdctx "context"
+
+	"svtiming/internal/corners"
+	"svtiming/internal/sta"
+)
+
+// Option configures NewFlow. Options replace the old pattern of poking
+// Flow fields after construction: everything construction-time (the pitch
+// sweep, the characterization backend, the worker-pool bound) has to be
+// known *before* the flow builds its tables, which field assignment after
+// NewFlow could never guarantee.
+type Option func(*flowConfig)
+
+// flowConfig collects option state before the flow is built.
+type flowConfig struct {
+	ctx          stdctx.Context
+	parallelism  int
+	budget       corners.Budget
+	wireCapPerUm float64
+	pitchSweep   []float64
+	staOpt       sta.Options
+	transient    bool
+}
+
+// WithParallelism bounds the worker pool every compute stage of the flow
+// fans out to: library characterization, the through-pitch sweep,
+// full-chip OPC, corner analysis and (by default) Monte Carlo trials.
+// n ≤ 0 selects runtime.GOMAXPROCS — the default. Results are identical
+// at every setting; only wall-clock changes (see determinism_test.go).
+func WithParallelism(n int) Option {
+	return func(c *flowConfig) { c.parallelism = n }
+}
+
+// WithBudget replaces the default 90 nm gate-length variation budget.
+func WithBudget(b corners.Budget) Option {
+	return func(c *flowConfig) { c.budget = b }
+}
+
+// WithWireCapPerUm enables the placement-derived HPWL wire-loading model
+// at the given capacitance per micron (≈0.2 fF/µm at 90 nm). Zero or
+// negative keeps the default per-fanout loading.
+func WithWireCapPerUm(capPerUm float64) Option {
+	return func(c *flowConfig) { c.wireCapPerUm = capPerUm }
+}
+
+// WithPitchSweep replaces DefaultPitchSweep as the pitch ladder for the
+// §3.1.1 through-pitch lookup table. The slice is not copied; callers
+// must not mutate it afterwards.
+func WithPitchSweep(pitches []float64) Option {
+	return func(c *flowConfig) { c.pitchSweep = pitches }
+}
+
+// WithSTAOptions sets the base STA options (input slews, output loads,
+// wire model) every analysis of this flow starts from.
+func WithSTAOptions(o sta.Options) Option {
+	return func(c *flowConfig) { c.staOpt = o }
+}
+
+// WithTransientCharacterization switches library characterization from
+// the closed-form electrical formulas to per-point transient simulation —
+// the paper's "very intensive simulation process".
+func WithTransientCharacterization() Option {
+	return func(c *flowConfig) { c.transient = true }
+}
+
+// WithContext attaches a cancellation context to flow construction and
+// gives long builds (characterization, pitch sweep) an early-out.
+func WithContext(ctx stdctx.Context) Option {
+	return func(c *flowConfig) { c.ctx = ctx }
+}

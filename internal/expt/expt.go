@@ -5,6 +5,7 @@
 package expt
 
 import (
+	stdctx "context"
 	"fmt"
 	"math"
 	"sort"
@@ -15,6 +16,7 @@ import (
 	"svtiming/internal/corners"
 	"svtiming/internal/fem"
 	"svtiming/internal/liberty"
+	"svtiming/internal/par"
 	"svtiming/internal/process"
 	"svtiming/internal/stdcell"
 )
@@ -37,22 +39,26 @@ var Fig1Pitches = []float64{260, 290, 320, 360, 400, 450, 500, 560, 620, 700, 80
 
 // Fig1ThroughPitch regenerates Figure 1: raw (pre-OPC) printed CD of a
 // 130 nm line in a parallel-line array, versus pitch. The curve falls with
-// pitch and flattens past the radius of influence.
-func Fig1ThroughPitch(p *process.Process) ([]Fig1Point, error) {
-	var out []Fig1Point
-	for _, pitch := range Fig1Pitches {
-		cd, ok := p.PrintCD(process.DensePitch(Fig1DrawnCD, pitch, 4))
-		if !ok {
-			return nil, fmt.Errorf("expt: pitch %v does not print", pitch)
-		}
-		out = append(out, Fig1Point{Pitch: pitch, CD: cd})
-	}
-	iso, ok := p.PrintCD(process.Isolated(Fig1DrawnCD))
-	if !ok {
-		return nil, fmt.Errorf("expt: isolated line does not print")
-	}
-	out = append(out, Fig1Point{Pitch: math.Inf(1), CD: iso})
-	return out, nil
+// pitch and flattens past the radius of influence. The ladder fans out
+// over the par sweep helper (workers ≤ 0 uses GOMAXPROCS, 1 is serial);
+// the isolated reference rides along as a +Inf pitch point.
+func Fig1ThroughPitch(p *process.Process, workers int) ([]Fig1Point, error) {
+	points := append(append([]float64(nil), Fig1Pitches...), math.Inf(1))
+	return par.Sweep(nil, workers, points,
+		func(_ stdctx.Context, pitch float64) (Fig1Point, error) {
+			env := process.DensePitch(Fig1DrawnCD, pitch, 4)
+			if math.IsInf(pitch, 1) {
+				env = process.Isolated(Fig1DrawnCD)
+			}
+			cd, ok := p.PrintCD(env)
+			if !ok {
+				if math.IsInf(pitch, 1) {
+					return Fig1Point{}, fmt.Errorf("expt: isolated line does not print")
+				}
+				return Fig1Point{}, fmt.Errorf("expt: pitch %v does not print", pitch)
+			}
+			return Fig1Point{Pitch: pitch, CD: cd}, nil
+		})
 }
 
 // ---------------------------------------------------------------------------
@@ -70,12 +76,15 @@ type Fig2Result struct {
 	DenseFit, IsoFit fem.BossungFit
 }
 
-// Fig2Bossung regenerates Figure 2 from the simulator.
-func Fig2Bossung(p *process.Process) (Fig2Result, error) {
+// Fig2Bossung regenerates Figure 2 from the simulator, fanning each FEM's
+// defocus × dose grid out over the shared worker pool (workers ≤ 0 uses
+// GOMAXPROCS, 1 is serial).
+func Fig2Bossung(p *process.Process, workers int) (Fig2Result, error) {
 	pats := fem.StandardTestPatterns(p)
+	ctx := stdctx.Background()
 	r := Fig2Result{
-		Dense: fem.Build(p, "dense 90nm/150nm-space", pats["dense"], Fig2Defocus, Fig2Doses),
-		Iso:   fem.Build(p, "isolated 90nm", pats["isolated"], Fig2Defocus, Fig2Doses),
+		Dense: fem.BuildCtx(ctx, p, "dense 90nm/150nm-space", pats["dense"], Fig2Defocus, Fig2Doses, workers),
+		Iso:   fem.BuildCtx(ctx, p, "isolated 90nm", pats["isolated"], Fig2Defocus, Fig2Doses, workers),
 	}
 	var err error
 	if r.DenseFit, err = r.Dense.Fit(1.0); err != nil {
@@ -212,17 +221,19 @@ func Fig7Histogram(f *core.Flow, name string, binWidth float64) ([]Fig7Bin, erro
 // ---------------------------------------------------------------------------
 // Table 2: traditional vs systematic-variation aware timing.
 
-// Table2 runs both timing flows on the given circuits.
+// Table2 runs both timing flows on the given circuits. Benchmarks are
+// independent (each prepares its own design and corner analyses), so the
+// suite fans out over the flow's worker pool; rows come back in input
+// order, identical to a serial run.
 func Table2(f *core.Flow, names []string) ([]core.Comparison, error) {
-	var out []core.Comparison
-	for _, name := range names {
-		cmp, err := f.CompareDesign(name)
-		if err != nil {
-			return nil, fmt.Errorf("expt: %s: %w", name, err)
-		}
-		out = append(out, cmp)
-	}
-	return out, nil
+	return par.Map(nil, f.Workers(), len(names),
+		func(_ stdctx.Context, i int) (core.Comparison, error) {
+			cmp, err := f.CompareDesign(names[i])
+			if err != nil {
+				return core.Comparison{}, fmt.Errorf("expt: %s: %w", names[i], err)
+			}
+			return cmp, nil
+		})
 }
 
 // ---------------------------------------------------------------------------

@@ -33,7 +33,7 @@ func testFlow(t *testing.T) *core.Flow {
 
 func TestFig1Shape(t *testing.T) {
 	p := process.Nominal90nm()
-	pts, err := Fig1ThroughPitch(p)
+	pts, err := Fig1ThroughPitch(p, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +67,7 @@ func TestFig1Shape(t *testing.T) {
 
 func TestFig2Shape(t *testing.T) {
 	p := process.Nominal90nm()
-	r, err := Fig2Bossung(p)
+	r, err := Fig2Bossung(p, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	stdctx "context"
 	"fmt"
 	"math"
 	"strings"
@@ -80,7 +81,7 @@ func DoseClassification(f *core.Flow, name string, doses []float64) (DoseStudy, 
 	if err != nil {
 		return DoseStudy{}, err
 	}
-	bps, err := fem.SmileFrownBoundary(f.Wafer, DoseStudySpacings, DoseStudyDefocus, doses)
+	bps, err := fem.SmileFrownBoundary(f.Wafer, DoseStudySpacings, DoseStudyDefocus, doses, f.Workers())
 	if err != nil {
 		return DoseStudy{}, err
 	}
@@ -145,11 +146,13 @@ type WindowSummary struct {
 
 // ProcessWindowStudy computes the classic overlapping-window analysis for
 // the standard test patterns, each specified against its own best-focus
-// nominal-dose CD with the given tolerance.
-func ProcessWindowStudy(p *process.Process, tolFrac float64, defocus, doses []float64) ([]WindowSummary, error) {
+// nominal-dose CD with the given tolerance. The two FEM grids fan out over
+// the par worker pool (workers ≤ 0 uses GOMAXPROCS, 1 is serial).
+func ProcessWindowStudy(p *process.Process, tolFrac float64, defocus, doses []float64, workers int) ([]WindowSummary, error) {
 	pats := fem.StandardTestPatterns(p)
-	dense := fem.Build(p, "dense", pats["dense"], defocus, doses)
-	iso := fem.Build(p, "isolated", pats["isolated"], defocus, doses)
+	ctx := stdctx.Background()
+	dense := fem.BuildCtx(ctx, p, "dense", pats["dense"], defocus, doses, workers)
+	iso := fem.BuildCtx(ctx, p, "isolated", pats["isolated"], defocus, doses, workers)
 	dT, okD := p.PrintCD(pats["dense"])
 	iT, okI := p.PrintCD(pats["isolated"])
 	if !okD || !okI {

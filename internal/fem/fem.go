@@ -12,10 +12,12 @@
 package fem
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
 
+	"svtiming/internal/par"
 	"svtiming/internal/process"
 )
 
@@ -51,20 +53,35 @@ func (f BossungFit) Excursion(z float64) float64 { return f.At(z) - f.B0 }
 // Build sweeps the process over the defocus × dose grid for the given
 // environment and returns its FEM.
 func Build(p *process.Process, pattern string, env process.Env, defocus, doses []float64) Matrix {
+	return BuildCtx(context.Background(), p, pattern, env, defocus, doses, 1)
+}
+
+// BuildCtx is Build with the defocus × dose grid fanned out over one
+// shared par worker pool: every (dose, defocus) cell is an independent
+// simulation, and the grid's index-ordered collection keeps curve and
+// sample order identical to the serial sweep. workers ≤ 0 uses GOMAXPROCS.
+func BuildCtx(ctx context.Context, p *process.Process, pattern string, env process.Env, defocus, doses []float64, workers int) Matrix {
 	m := Matrix{Pattern: pattern}
 	if len(env.Left) > 0 {
 		m.Pitch = env.Left[0].Gap + (env.Left[0].Width+env.Width)/2
 	}
-	for _, dose := range doses {
-		c := Curve{Dose: dose, Defocus: append([]float64(nil), defocus...)}
-		for _, z := range defocus {
+	grid, err := par.Grid(ctx, workers, doses, defocus,
+		func(_ context.Context, dose, z float64) (float64, error) {
 			cd, ok := p.PrintCDCond(env, z, dose)
 			if !ok {
 				cd = math.NaN()
 			}
-			c.CD = append(c.CD, cd)
-		}
-		m.Curves = append(m.Curves, c)
+			return cd, nil
+		})
+	if err != nil {
+		return m // cancelled: no curves
+	}
+	for di, dose := range doses {
+		m.Curves = append(m.Curves, Curve{
+			Dose:    dose,
+			Defocus: append([]float64(nil), defocus...),
+			CD:      grid[di],
+		})
 	}
 	return m
 }

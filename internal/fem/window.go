@@ -1,10 +1,12 @@
 package fem
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"svtiming/internal/par"
 	"svtiming/internal/process"
 )
 
@@ -135,27 +137,38 @@ type BoundaryPoint struct {
 // SmileFrownBoundary locates, per dose, the neighbor spacing at which the
 // Bossung curvature changes sign — the §6 observation that "exposure
 // variation can alter the nature of devices (i.e. dense or isolated)".
-// The ladder of spacings is swept with width-targetCD line arrays.
-func SmileFrownBoundary(p *process.Process, spacings, defocus, doses []float64) ([]BoundaryPoint, error) {
+// The ladder of spacings is swept with width-targetCD line arrays, fanned
+// out over the par sweep helper (workers ≤ 0 uses GOMAXPROCS, 1 serial).
+func SmileFrownBoundary(p *process.Process, spacings, defocus, doses []float64, workers int) ([]BoundaryPoint, error) {
 	if len(spacings) < 2 {
 		return nil, fmt.Errorf("fem: boundary needs at least two spacings")
 	}
 	w := p.TargetCD
+	// curv[si][di]: curvature per spacing per dose.
+	curv, err := par.Sweep(nil, workers, spacings,
+		func(ctx context.Context, s float64) ([]float64, error) {
+			env := process.DensePitch(w, w+s, 4)
+			m := BuildCtx(ctx, p, fmt.Sprintf("s=%.0f", s), env, defocus, doses, 1)
+			fits := make([]float64, len(doses))
+			for di, dose := range doses {
+				fit, err := m.Fit(dose)
+				if err != nil {
+					fits[di] = math.NaN()
+					continue
+				}
+				fits[di] = fit.B2
+			}
+			return fits, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	// b2[di][si]: curvature per dose per spacing.
 	b2 := make([][]float64, len(doses))
 	for di := range doses {
 		b2[di] = make([]float64, len(spacings))
-	}
-	for si, s := range spacings {
-		env := process.DensePitch(w, w+s, 4)
-		m := Build(p, fmt.Sprintf("s=%.0f", s), env, defocus, doses)
-		for di, dose := range doses {
-			fit, err := m.Fit(dose)
-			if err != nil {
-				b2[di][si] = math.NaN()
-				continue
-			}
-			b2[di][si] = fit.B2
+		for si := range spacings {
+			b2[di][si] = curv[si][di]
 		}
 	}
 	var out []BoundaryPoint

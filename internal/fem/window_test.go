@@ -130,7 +130,7 @@ func TestSmileFrownBoundaryMovesWithDose(t *testing.T) {
 	p := process.Nominal90nm()
 	zs := []float64{-300, -200, -100, 0, 100, 200, 300}
 	bps, err := SmileFrownBoundary(p,
-		[]float64{120, 160, 200, 240, 300}, zs, []float64{0.95, 1.10})
+		[]float64{120, 160, 200, 240, 300}, zs, []float64{0.95, 1.10}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +155,7 @@ func TestBoundaryValidatesClassificationThreshold(t *testing.T) {
 	p := process.Nominal90nm()
 	zs := []float64{-300, -200, -100, 0, 100, 200, 300}
 	bps, err := SmileFrownBoundary(p,
-		[]float64{150, 180, 210, 240, 280}, zs, []float64{1.0})
+		[]float64{150, 180, 210, 240, 280}, zs, []float64{1.0}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +171,7 @@ func TestBoundaryValidatesClassificationThreshold(t *testing.T) {
 
 func TestSmileFrownBoundaryErrors(t *testing.T) {
 	p := process.Nominal90nm()
-	if _, err := SmileFrownBoundary(p, []float64{200}, []float64{0}, []float64{1}); err == nil {
+	if _, err := SmileFrownBoundary(p, []float64{200}, []float64{0}, []float64{1}, 1); err == nil {
 		t.Error("single-spacing ladder accepted")
 	}
 }

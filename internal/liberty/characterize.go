@@ -1,11 +1,13 @@
 package liberty
 
 import (
+	stdctx "context"
 	"fmt"
 
 	"svtiming/internal/context"
 	"svtiming/internal/geom"
 	"svtiming/internal/opc"
+	"svtiming/internal/par"
 	"svtiming/internal/process"
 	"svtiming/internal/stdcell"
 	"svtiming/internal/tran"
@@ -32,6 +34,15 @@ type CharConfig struct {
 	// paper's "very intensive simulation process". Slower, nonlinear in
 	// slew and load.
 	Transient bool
+
+	// Workers bounds the characterization worker pool: masters and the
+	// 81-version tables are independent and fan out over internal/par.
+	// 1 (and, for compatibility, 0) runs serially; negative uses
+	// GOMAXPROCS. Results are identical at any pool size.
+	Workers int
+
+	// Ctx, when non-nil, cancels an in-flight characterization early.
+	Ctx stdctx.Context
 }
 
 // Characterize builds the expanded timing library: per master, the base
@@ -42,31 +53,61 @@ func Characterize(lib *stdcell.Library, cfg CharConfig) (*Library, error) {
 	if cfg.Wafer == nil || cfg.Recipe.Model == nil {
 		return nil, fmt.Errorf("liberty: characterization needs a wafer process and OPC recipe")
 	}
-	out := &Library{DrawnL: stdcell.DrawnCD, Pitch: cfg.Pitch, Cells: make(map[string]*CellEntry)}
-	for _, cell := range lib.Cells() {
-		e, err := characterizeCell(cell, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("liberty: cell %s: %w", cell.Name, err)
-		}
-		out.Cells[cell.Name] = e
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = stdctx.Background()
 	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = 1 // zero-value config keeps the historical serial path
+	}
+
+	// Per-master characterization: each cell's OPC + wafer printing is
+	// independent, so the masters fan out over the pool. Entries land at
+	// their input index, keeping error selection and map contents
+	// identical to the serial loop.
+	cells := lib.Cells()
+	entries, err := par.Map(ctx, workers, len(cells),
+		func(_ stdctx.Context, i int) (*CellEntry, error) {
+			e, err := characterizeCell(cells[i], cfg)
+			if err != nil {
+				return nil, fmt.Errorf("liberty: cell %s: %w", cells[i].Name, err)
+			}
+			return e, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := &Library{DrawnL: stdcell.DrawnCD, Pitch: cfg.Pitch, Cells: make(map[string]*CellEntry)}
+	for i, cell := range cells {
+		out.Cells[cell.Name] = entries[i]
+	}
+
 	// Version tables: the 81 binned contexts, predicted from the dummy
 	// anchor plus through-pitch sensitivities at the representative
-	// spacings.
-	for name, e := range out.Cells {
-		for _, v := range context.AllVersions() {
+	// spacings. Every (master, version) pair is independent — each writes
+	// its own VersionGateCD slot from read-only inputs — so the whole
+	// cells × 81 grid shares one pool.
+	versions := context.AllVersions()
+	err = par.ForEach(ctx, workers, len(cells)*len(versions),
+		func(_ stdctx.Context, k int) error {
+			cell := cells[k/len(versions)]
+			v := versions[k%len(versions)]
 			nps := context.NPS{
 				LT: context.Representative(v.LT),
 				LB: context.Representative(v.LB),
 				RT: context.Representative(v.RT),
 				RB: context.Representative(v.RB),
 			}
-			cds, err := out.PredictGateCDs(name, nps)
+			cds, err := out.PredictGateCDs(cell.Name, nps)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			e.VersionGateCD[v.Index()] = cds
-		}
+			out.Cells[cell.Name].VersionGateCD[v.Index()] = cds
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

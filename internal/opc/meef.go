@@ -1,8 +1,10 @@
 package opc
 
 import (
+	"context"
 	"fmt"
 
+	"svtiming/internal/par"
 	"svtiming/internal/process"
 )
 
@@ -36,20 +38,16 @@ func MEEF(p *process.Process, w, pitch, delta float64) (float64, error) {
 }
 
 // MEEFCurve sweeps MEEF over a pitch ladder at the given mask width; a
-// final isolated point is appended with Pitch = 0.
-func MEEFCurve(p *process.Process, w float64, pitches []float64) ([]MEEFPoint, error) {
-	var out []MEEFPoint
-	for _, pitch := range pitches {
-		m, err := MEEF(p, w, pitch, 2)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, MEEFPoint{Pitch: pitch, MEEF: m})
-	}
-	m, err := MEEF(p, w, 0, 2)
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, MEEFPoint{Pitch: 0, MEEF: m})
-	return out, nil
+// final isolated point is appended with Pitch = 0. The sweep fans out
+// over the par worker pool (workers ≤ 0 uses GOMAXPROCS, 1 is serial).
+func MEEFCurve(p *process.Process, w float64, pitches []float64, workers int) ([]MEEFPoint, error) {
+	points := append(append([]float64{}, pitches...), 0) // 0 = isolated
+	return par.Sweep(nil, workers, points,
+		func(_ context.Context, pitch float64) (MEEFPoint, error) {
+			m, err := MEEF(p, w, pitch, 2)
+			if err != nil {
+				return MEEFPoint{}, err
+			}
+			return MEEFPoint{Pitch: pitch, MEEF: m}, nil
+		})
 }

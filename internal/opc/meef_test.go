@@ -23,7 +23,7 @@ func TestMEEFPositiveAndAboveOne(t *testing.T) {
 }
 
 func TestMEEFCurveShape(t *testing.T) {
-	pts, err := MEEFCurve(testWafer, 90, []float64{240, 300, 450, 690})
+	pts, err := MEEFCurve(testWafer, 90, []float64{240, 300, 450, 690}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,12 +1,14 @@
 package opc
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
 
 	"svtiming/internal/geom"
+	"svtiming/internal/par"
 	"svtiming/internal/process"
 )
 
@@ -35,16 +37,36 @@ type PitchTable struct {
 // entry (pitch = +Inf, represented by the wafer radius of influence plus
 // drawn width) is appended last.
 func BuildPitchTable(wafer *process.Process, recipe Recipe, drawnCD float64, pitches []float64) PitchTable {
+	return BuildPitchTableCtx(context.Background(), wafer, recipe, drawnCD, pitches, 1)
+}
+
+// BuildPitchTableCtx is BuildPitchTable with the sweep fanned out over the
+// par worker pool: each pitch's draw/correct/measure chain is independent,
+// so the ladder parallelizes perfectly while the index-ordered collection
+// keeps the table rows in ascending-pitch order regardless of completion
+// order. workers ≤ 0 uses GOMAXPROCS; cancellation via ctx returns the
+// (possibly partial) table built so far with unvisited rows NaN.
+func BuildPitchTableCtx(ctx context.Context, wafer *process.Process, recipe Recipe, drawnCD float64, pitches []float64, workers int) PitchTable {
 	t := PitchTable{DrawnCD: drawnCD}
 	sorted := append([]float64(nil), pitches...)
 	sort.Float64s(sorted)
-	for _, p := range sorted {
-		entry := characterizePitch(wafer, recipe, drawnCD, p)
-		t.Entries = append(t.Entries, entry)
+	// The isolated reference rides along as one more sweep point (+Inf
+	// pitch) so it shares the pool instead of running serially after.
+	points := append(append([]float64(nil), sorted...), math.Inf(1))
+	entries, _ := par.Sweep(ctx, workers, points,
+		func(_ context.Context, p float64) (PitchEntry, error) {
+			if math.IsInf(p, 1) {
+				return characterizeIsolated(wafer, recipe, drawnCD), nil
+			}
+			return characterizePitch(wafer, recipe, drawnCD, p), nil
+		})
+	if len(entries) == 0 {
+		return t
 	}
+	t.Entries = entries[:len(entries)-1]
 	// Isolated reference: a lone line. Its "pitch" is recorded as radius of
 	// influence + drawn width so interpolation saturates smoothly.
-	iso := characterizeIsolated(wafer, recipe, drawnCD)
+	iso := entries[len(entries)-1]
 	iso.Pitch = wafer.RadiusOfInfluence + drawnCD
 	iso.Space = wafer.RadiusOfInfluence
 	if len(t.Entries) == 0 || t.Entries[len(t.Entries)-1].Pitch < iso.Pitch {

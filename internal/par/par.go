@@ -1,0 +1,168 @@
+// Package par is the deterministic parallel-execution layer every
+// compute-bound stage of the flow runs through: full-chip OPC rows,
+// library characterization, the pitch/defocus/dose sweeps and the Monte
+// Carlo trials.
+//
+// Design rules, enforced here so callers don't have to re-invent them:
+//
+//   - Bounded worker pool. Work fans out over at most `workers`
+//     goroutines (0 or negative means runtime.GOMAXPROCS(0)); a single
+//     worker degenerates to an inline serial loop with no goroutines.
+//
+//   - Index-ordered collection. Results land at their input index, so
+//     parallel output is bit-identical to serial output regardless of
+//     completion order. Determinism is a contract, not an accident: a
+//     parallel run of any stage must produce the same bytes as a serial
+//     run (see determinism_test.go at the repo root).
+//
+//   - First-error cancellation. The reported error is the one with the
+//     LOWEST input index — exactly the error a serial loop would have hit
+//     first — and the shared context is cancelled so in-flight siblings
+//     can bail early. Workers never start items after cancellation.
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: n if positive, otherwise
+// runtime.GOMAXPROCS(0).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn(ctx, i) for i in [0, n) across a bounded worker pool and
+// returns the results in index order. On error it returns the
+// lowest-index error (the one a serial loop would report) and cancels the
+// context passed to still-running siblings. A nil ctx means Background.
+func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]T, n)
+	if n == 0 {
+		return out, ctx.Err()
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
+			v, err := fn(ctx, i)
+			if err != nil {
+				return out, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next   atomic.Int64 // next index to claim
+		mu     sync.Mutex
+		errIdx = n // lowest index that failed so far
+		first  error
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if i < errIdx {
+			errIdx, first = i, err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				if err := cctx.Err(); err != nil {
+					mu.Lock()
+					failed := errIdx < n
+					stop := failed && i > errIdx
+					mu.Unlock()
+					if stop {
+						// Items past the failing index are moot.
+						return
+					}
+					if !failed {
+						// Cancelled from outside, not by a worker.
+						fail(i, err)
+						return
+					}
+					// i < errIdx: run it anyway — the serial loop would have
+					// reached this item before the failing one, so its error
+					// (if any) must win for error determinism.
+				}
+				v, err := fn(cctx, i)
+				if err != nil {
+					fail(i, err)
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if errIdx < n {
+		return out, first
+	}
+	return out, ctx.Err()
+}
+
+// ForEach is Map without results: fn(ctx, i) for i in [0, n) with the
+// same pool, ordering and first-error semantics.
+func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	_, err := Map(ctx, workers, n, func(ctx context.Context, i int) (struct{}, error) {
+		return struct{}{}, fn(ctx, i)
+	})
+	return err
+}
+
+// Sweep is the unified 1-D sweep helper behind the flow's characterization
+// ladders (through-pitch tables, the Figure 1 litho pitch sweep): it
+// evaluates fn at every point with bounded parallelism and returns the
+// results in point order.
+func Sweep[P, R any](ctx context.Context, workers int, points []P, fn func(ctx context.Context, p P) (R, error)) ([]R, error) {
+	return Map(ctx, workers, len(points), func(ctx context.Context, i int) (R, error) {
+		return fn(ctx, points[i])
+	})
+}
+
+// Grid is the unified 2-D sweep helper (FEM defocus × dose matrices,
+// process-window studies): out[i][j] = fn(rows[i], cols[j]), evaluated
+// over one shared worker pool spanning the whole grid rather than one
+// pool per row.
+func Grid[A, B, R any](ctx context.Context, workers int, rows []A, cols []B, fn func(ctx context.Context, a A, b B) (R, error)) ([][]R, error) {
+	nc := len(cols)
+	flat, err := Map(ctx, workers, len(rows)*nc, func(ctx context.Context, k int) (R, error) {
+		return fn(ctx, rows[k/nc], cols[k%nc])
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]R, len(rows))
+	for i := range out {
+		out[i] = flat[i*nc : (i+1)*nc : (i+1)*nc]
+	}
+	return out, nil
+}

@@ -1,0 +1,192 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrdering(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		out, err := Map(context.Background(), workers, 50, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != 50 {
+			t.Fatalf("workers=%d: got %d results", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(context.Background(), 4, 0, func(_ context.Context, i int) (int, error) {
+		t.Fatal("fn called for empty input")
+		return 0, nil
+	})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("got %v, %v", out, err)
+	}
+}
+
+func TestMapNilContext(t *testing.T) {
+	out, err := Map(nil, 4, 3, func(_ context.Context, i int) (int, error) { return i, nil })
+	if err != nil || len(out) != 3 {
+		t.Fatalf("got %v, %v", out, err)
+	}
+}
+
+func TestMapBoundsWorkers(t *testing.T) {
+	const workers = 3
+	var active, peak atomic.Int64
+	_, err := Map(context.Background(), workers, 64, func(_ context.Context, i int) (int, error) {
+		n := active.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+		active.Add(-1)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds pool size %d", p, workers)
+	}
+}
+
+func TestMapFirstErrorIsLowestIndex(t *testing.T) {
+	// Several items fail; the reported error must be the lowest-index one —
+	// what a serial loop would have hit first — no matter the interleaving.
+	for trial := 0; trial < 20; trial++ {
+		_, err := Map(context.Background(), 8, 40, func(_ context.Context, i int) (int, error) {
+			if i%7 == 3 { // fails at 3, 10, 17, ...
+				return 0, fmt.Errorf("item %d", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "item 3" {
+			t.Fatalf("trial %d: got error %v, want item 3", trial, err)
+		}
+	}
+}
+
+func TestMapCancellationStopsWork(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	var once sync.Once
+	_, err := Map(ctx, 2, 10000, func(_ context.Context, i int) (int, error) {
+		ran.Add(1)
+		once.Do(cancel)
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n > 100 {
+		t.Fatalf("ran %d items after cancellation", n)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := ForEach(context.Background(), 4, 100, func(_ context.Context, i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 4950 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+}
+
+func TestSweep(t *testing.T) {
+	points := []float64{1, 2, 3, 4.5}
+	out, err := Sweep(context.Background(), 4, points, func(_ context.Context, p float64) (float64, error) {
+		return 2 * p, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range points {
+		if out[i] != 2*p {
+			t.Fatalf("out[%d] = %v", i, out[i])
+		}
+	}
+}
+
+func TestGrid(t *testing.T) {
+	rows := []int{10, 20, 30}
+	cols := []int{1, 2, 3, 4}
+	out, err := Grid(context.Background(), 8, rows, cols, func(_ context.Context, a, b int) (int, error) {
+		return a + b, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(rows) {
+		t.Fatalf("got %d rows", len(out))
+	}
+	for i, r := range rows {
+		if len(out[i]) != len(cols) {
+			t.Fatalf("row %d has %d cols", i, len(out[i]))
+		}
+		for j, c := range cols {
+			if out[i][j] != r+c {
+				t.Fatalf("out[%d][%d] = %d, want %d", i, j, out[i][j], r+c)
+			}
+		}
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if Workers(5) != 5 {
+		t.Error("positive count not honored")
+	}
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Error("non-positive count must resolve to at least 1")
+	}
+}
+
+// TestMapParallelMatchesSerial is the package-level determinism check: the
+// same fn over the same inputs yields identical output slices at any pool
+// size.
+func TestMapParallelMatchesSerial(t *testing.T) {
+	fn := func(_ context.Context, i int) (float64, error) {
+		v := float64(i)
+		for k := 0; k < 100; k++ {
+			v = v*1.0000001 + 0.5
+		}
+		return v, nil
+	}
+	serial, err := Map(context.Background(), 1, 200, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 16} {
+		parallel, err := Map(context.Background(), w, 200, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial {
+			if serial[i] != parallel[i] {
+				t.Fatalf("workers=%d: index %d differs: %v vs %v", w, i, serial[i], parallel[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package process
+
+import (
+	"hash/maphash"
+	"sync"
+)
+
+// cdCache is the concurrent printed-CD memo behind PrintCD/PrintCDCond.
+//
+// Cache contract:
+//
+//   - Keys. A result is keyed on the quantized environment (Env.Key, 0.25 nm
+//     geometry grid) PLUS the exposure condition (defocus and dose, same
+//     grid). Nominal-condition lookups (PrintCD) and off-nominal lookups
+//     (PrintCDCond) therefore share one cache and never collide: two
+//     lookups hit the same entry iff geometry AND condition agree to well
+//     below any CD difference the flow cares about.
+//
+//   - Sharding. Entries are spread over a fixed power-of-two number of
+//     shards by key hash, each shard behind its own mutex, so concurrent
+//     full-chip workers don't serialize on one lock.
+//
+//   - Single flight. Each shard tracks in-flight simulations; a worker that
+//     asks for a key another worker is already simulating blocks on that
+//     worker's result instead of re-running the (expensive) aerial-image
+//     simulation. Two workers never simulate the same environment twice.
+//
+//   - Determinism. The simulation is a pure function of (env, defocus,
+//     dose), so whichever worker computes an entry, every reader observes
+//     the same value; cache warmth can change runtime but never results.
+//
+// The zero value is ready to use, which keeps Process constructible as a
+// plain struct literal (see opc.ModelProcess). A cdCache must not be
+// copied after first use.
+type cdCache struct {
+	seed     maphash.Seed
+	seedOnce sync.Once
+	shards   [cacheShards]cdShard
+}
+
+// cacheShards balances lock spreading against footprint; it must be a
+// power of two for the mask in shardFor.
+const cacheShards = 32
+
+type cdShard struct {
+	mu       sync.Mutex
+	done     map[string]cdResult
+	inflight map[string]*cdCall
+}
+
+type cdResult struct {
+	cd float64
+	ok bool
+}
+
+// cdCall is one in-flight simulation; waiters block on wg.
+type cdCall struct {
+	wg  sync.WaitGroup
+	res cdResult
+}
+
+func (c *cdCache) shardFor(key string) *cdShard {
+	c.seedOnce.Do(func() { c.seed = maphash.MakeSeed() })
+	return &c.shards[maphash.String(c.seed, key)&(cacheShards-1)]
+}
+
+// do returns the cached result for key, or runs sim (at most once per key
+// across all concurrent callers) and caches it.
+func (c *cdCache) do(key string, sim func() (float64, bool)) (float64, bool) {
+	s := c.shardFor(key)
+
+	s.mu.Lock()
+	if r, ok := s.done[key]; ok {
+		s.mu.Unlock()
+		return r.cd, r.ok
+	}
+	if call, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		call.wg.Wait()
+		return call.res.cd, call.res.ok
+	}
+	call := &cdCall{}
+	call.wg.Add(1)
+	if s.inflight == nil {
+		s.inflight = make(map[string]*cdCall)
+	}
+	s.inflight[key] = call
+	s.mu.Unlock()
+
+	cd, ok := sim()
+	call.res = cdResult{cd: cd, ok: ok}
+
+	s.mu.Lock()
+	if s.done == nil {
+		s.done = make(map[string]cdResult)
+	}
+	s.done[key] = call.res
+	delete(s.inflight, key)
+	s.mu.Unlock()
+	call.wg.Done()
+	return cd, ok
+}
+
+// size returns the number of completed entries across all shards.
+func (c *cdCache) size() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.done)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// clear discards all completed entries. In-flight simulations finish and
+// publish into the cleared cache; callers that need a strictly cold cache
+// must quiesce concurrent lookups first (as the cold-runtime measurements
+// in internal/expt do).
+func (c *cdCache) clear() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.done = nil
+		s.mu.Unlock()
+	}
+}

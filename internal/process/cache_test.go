@@ -1,0 +1,157 @@
+package process
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCondKeyDistinguishesConditions(t *testing.T) {
+	env := DensePitch(90, 240, 2)
+	nom := condKey(env, 0, 1.0)
+	for _, k := range []string{
+		condKey(env, 50, 1.0),
+		condKey(env, 0, 1.05),
+		condKey(DensePitch(90, 241, 2), 0, 1.0),
+	} {
+		if k == nom {
+			t.Errorf("condition key collision: %q", k)
+		}
+	}
+	if condKey(env, 0.01, 1.0) != nom {
+		t.Error("sub-grid defocus must quantize to the nominal key")
+	}
+}
+
+func TestPrintCDCondIsCached(t *testing.T) {
+	p := Nominal90nm()
+	env := DensePitch(90, 300, 2)
+	cd1, ok1 := p.PrintCDCond(env, 100, 1.05)
+	n := p.CacheSize()
+	if n == 0 {
+		t.Fatal("off-nominal result not cached")
+	}
+	cd2, ok2 := p.PrintCDCond(env, 100, 1.05)
+	if cd1 != cd2 || ok1 != ok2 {
+		t.Fatalf("cached result differs: (%v,%v) vs (%v,%v)", cd1, ok1, cd2, ok2)
+	}
+	if p.CacheSize() != n {
+		t.Error("repeat off-nominal lookup grew the cache")
+	}
+	// Nominal and off-nominal conditions occupy distinct entries.
+	p.PrintCD(env)
+	if p.CacheSize() != n+1 {
+		t.Error("nominal lookup did not get its own entry")
+	}
+}
+
+func TestCacheSingleFlight(t *testing.T) {
+	var sims atomic.Int64
+	var c cdCache
+	const workers = 16
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	results := make([]float64, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			cd, _ := c.do("same-key", func() (float64, bool) {
+				sims.Add(1)
+				return 42.5, true
+			})
+			results[w] = cd
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if n := sims.Load(); n != 1 {
+		t.Fatalf("simulated %d times for one key, want 1", n)
+	}
+	for w, cd := range results {
+		if cd != 42.5 {
+			t.Fatalf("worker %d saw %v", w, cd)
+		}
+	}
+	if c.size() != 1 {
+		t.Fatalf("cache holds %d entries", c.size())
+	}
+}
+
+func TestCacheConcurrentMixedKeys(t *testing.T) {
+	var c cdCache
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = condKey(DensePitch(90, float64(240+10*i), 2), 0, 1.0)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				for i, k := range keys {
+					want := float64(i)
+					cd, ok := c.do(k, func() (float64, bool) { return want, true })
+					if !ok || cd != want {
+						t.Errorf("key %d: got (%v,%v), want (%v,true)", i, cd, ok, want)
+						return
+					}
+				}
+				if rep == 25 {
+					c.clear() // exercise clear racing lookups
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestConcurrentPrintCDMatchesSerial(t *testing.T) {
+	// The real simulation through the concurrent cache: many goroutines
+	// hammering overlapping environments must all observe the serial answers.
+	serial := Nominal90nm()
+	envs := []Env{
+		DensePitch(90, 240, 3),
+		DensePitch(90, 340, 3),
+		DensePitch(90, 520, 3),
+		Isolated(90),
+	}
+	want := make([]float64, len(envs))
+	for i, e := range envs {
+		cd, ok := serial.PrintCD(e)
+		if !ok {
+			t.Fatalf("env %d does not print", i)
+		}
+		want[i] = cd
+	}
+
+	shared := Nominal90nm()
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 3; rep++ {
+				for i, e := range envs {
+					cd, ok := shared.PrintCD(e)
+					if !ok || cd != want[i] {
+						errs <- "concurrent PrintCD diverged from serial"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+	if got := shared.CacheSize(); got != len(envs) {
+		t.Errorf("cache holds %d entries for %d distinct envs", got, len(envs))
+	}
+}

@@ -3,17 +3,20 @@
 // 90 nm pre-production process models the paper characterizes against.
 //
 // It also defines Env, the 1-D optical neighborhood of a poly line, and a
-// CD cache keyed on quantized environments: lines with identical
-// neighborhoods print identically, which collapses the cost of full-chip
-// CD prediction from one simulation per device to one per distinct
-// environment (standard-cell layouts repeat environments heavily).
+// sharded concurrent CD cache keyed on quantized (environment, defocus,
+// dose) triples: lines with identical neighborhoods print identically
+// under identical conditions, which collapses the cost of full-chip CD
+// prediction from one simulation per device to one per distinct
+// environment (standard-cell layouts repeat environments heavily). The
+// cache is safe for concurrent use by the internal/par worker pools and
+// guarantees each distinct triple is simulated at most once (see cache.go
+// for the full contract).
 package process
 
 import (
 	"fmt"
 	"math"
 	"strings"
-	"sync"
 
 	"svtiming/internal/geom"
 	"svtiming/internal/litho"
@@ -167,13 +170,7 @@ type Process struct {
 	Dx                float64 // simulation sample pitch, nm
 	GuardBand         float64 // clear-field margin beyond the outermost feature, nm
 
-	mu    sync.Mutex
-	cache map[string]cdResult
-}
-
-type cdResult struct {
-	cd float64
-	ok bool
+	cache cdCache
 }
 
 // Nominal90nm returns the process used throughout the reproduction: ArF
@@ -205,10 +202,28 @@ func (p *Process) SnapToGrid(v float64) float64 {
 	return math.Round(v/p.MaskGrid) * p.MaskGrid
 }
 
-// PrintCDCond simulates the printed CD of the line described by env at the
-// given defocus (nm) and relative dose. Results at nominal conditions are
-// not cached here; see PrintCD for the cached nominal-condition path.
+// PrintCDCond simulates (with caching) the printed CD of the line
+// described by env at the given defocus (nm) and relative dose. The cache
+// key covers both the quantized environment and the exposure condition, so
+// FEM sweeps and dose studies revisiting a (env, defocus, dose) triple get
+// the memoized result; see the cdCache contract in cache.go.
 func (p *Process) PrintCDCond(env Env, defocus, dose float64) (float64, bool) {
+	return p.cache.do(condKey(env, defocus, dose), func() (float64, bool) {
+		return p.simulateCD(env, defocus, dose)
+	})
+}
+
+// condKey extends the environment key with the exposure condition,
+// quantized on the same 0.25 nm / 0.25‰ grid as the geometry.
+func condKey(env Env, defocus, dose float64) string {
+	return fmt.Sprintf("%s|z%d|d%d",
+		env.Key(), int64(math.Round(defocus*4)), int64(math.Round(dose*4000)))
+}
+
+// simulateCD is the uncached aerial-image simulation behind PrintCDCond: a
+// pure function of (env, defocus, dose) — the determinism the concurrent
+// cache relies on.
+func (p *Process) simulateCD(env Env, defocus, dose float64) (float64, bool) {
 	span := geom.Interval{Lo: 0, Hi: 1000}
 	lines := env.Lines(span)
 	var lo, hi float64
@@ -246,37 +261,18 @@ func (p *Process) PrintCDCond(env Env, defocus, dose float64) (float64, bool) {
 }
 
 // PrintCD simulates (with caching) the printed CD of env at nominal focus
-// and dose. The boolean reports whether the feature printed at all.
+// and dose. The boolean reports whether the feature printed at all. It is
+// the nominal-condition entry of the shared (env, defocus, dose) cache;
+// safe for concurrent use.
 func (p *Process) PrintCD(env Env) (float64, bool) {
-	key := env.Key()
-	p.mu.Lock()
-	if p.cache == nil {
-		p.cache = make(map[string]cdResult)
-	}
-	if r, ok := p.cache[key]; ok {
-		p.mu.Unlock()
-		return r.cd, r.ok
-	}
-	p.mu.Unlock()
-
-	cd, ok := p.PrintCDCond(env, 0, p.Dose)
-
-	p.mu.Lock()
-	p.cache[key] = cdResult{cd, ok}
-	p.mu.Unlock()
-	return cd, ok
+	return p.PrintCDCond(env, 0, p.Dose)
 }
 
-// CacheSize returns the number of distinct environments simulated so far.
-func (p *Process) CacheSize() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.cache)
-}
+// CacheSize returns the number of distinct (environment, condition) pairs
+// simulated so far.
+func (p *Process) CacheSize() int { return p.cache.size() }
 
-// ClearCache discards all cached CD results.
-func (p *Process) ClearCache() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.cache = nil
-}
+// ClearCache discards all cached CD results. Concurrent lookups in flight
+// during the clear complete normally and repopulate the cache; callers
+// timing cold-cache runs should quiesce workers first.
+func (p *Process) ClearCache() { p.cache.clear() }

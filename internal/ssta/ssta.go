@@ -16,6 +16,7 @@
 package ssta
 
 import (
+	stdctx "context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -24,6 +25,7 @@ import (
 	"svtiming/internal/context"
 	"svtiming/internal/core"
 	"svtiming/internal/liberty"
+	"svtiming/internal/par"
 	"svtiming/internal/sta"
 )
 
@@ -49,6 +51,12 @@ func (m Mode) String() string {
 type Config struct {
 	Samples int   // number of Monte Carlo samples (default 200)
 	Seed    int64 // PRNG seed (default 1)
+
+	// Workers bounds the trial worker pool. 0 inherits the flow's
+	// parallelism; 1 forces serial. Each trial draws from its own
+	// deterministically-derived PRNG stream (see sampleSeed), so the
+	// sampled distribution is bit-identical at every pool size.
+	Workers int
 }
 
 // Result summarizes the sampled critical-delay distribution.
@@ -92,7 +100,10 @@ func MonteCarlo(f *core.Flow, d *core.Design, mode Mode, cfg Config) (Result, er
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = f.Workers()
+	}
 
 	// Pre-resolve the per-arc data: base tables, devices, per-device
 	// nominal lengths and classes.
@@ -104,43 +115,53 @@ func MonteCarlo(f *core.Flow, d *core.Design, mode Mode, cfg Config) (Result, er
 	b := f.Budget
 	sigmaResidual := residualSigma(mode, b.TotalVar, b.PitchVar, b.FocusVar)
 
-	res := Result{Mode: mode, Samples: make([]float64, 0, cfg.Samples)}
-	for s := 0; s < cfg.Samples; s++ {
-		// Chip-wide defocus excursion: uniform in [-1, 1] of the rated
-		// focus window (focus drifts span the window, they are not tightly
-		// centered), squared response per the Bossung quadratic.
-		zFrac := rng.Float64()*2 - 1
-		focusShift := b.FocusVar * zFrac * zFrac
+	// Trials fan out over the worker pool. Each trial seeds a private PRNG
+	// from (cfg.Seed, trial index), so the draw sequence of trial s does
+	// not depend on which worker runs it or what ran before it — the
+	// property that makes the parallel distribution bit-identical to the
+	// serial one.
+	samples, err := par.Map(nil, workers, cfg.Samples,
+		func(_ stdctx.Context, s int) (float64, error) {
+			rng := rand.New(rand.NewSource(sampleSeed(cfg.Seed, s)))
+			// Chip-wide defocus excursion: uniform in [-1, 1] of the rated
+			// focus window (focus drifts span the window, they are not
+			// tightly centered), squared response per the Bossung quadratic.
+			zFrac := rng.Float64()*2 - 1
+			focusShift := b.FocusVar * zFrac * zFrac
 
-		model := &sampleModel{arcs: arcs, drawnL: f.Timing.DrawnL}
-		model.scale = make([]float64, len(arcs))
-		for ai := range arcs {
-			a := &arcs[ai]
-			var sumL float64
-			for di := range a.devL {
-				var l float64
-				switch mode {
-				case Naive:
-					l = b.LNom + rng.NormFloat64()*sigmaResidual
-				case Aware:
-					l = a.devL[di] + rng.NormFloat64()*sigmaResidual
-					switch a.devClass[di] {
-					case context.DeviceDense:
-						l += focusShift // dense thickens out of focus
-					case context.DeviceIsolated:
-						l -= focusShift // isolated thins out of focus
+			model := &sampleModel{arcs: arcs, drawnL: f.Timing.DrawnL}
+			model.scale = make([]float64, len(arcs))
+			for ai := range arcs {
+				a := &arcs[ai]
+				var sumL float64
+				for di := range a.devL {
+					var l float64
+					switch mode {
+					case Naive:
+						l = b.LNom + rng.NormFloat64()*sigmaResidual
+					case Aware:
+						l = a.devL[di] + rng.NormFloat64()*sigmaResidual
+						switch a.devClass[di] {
+						case context.DeviceDense:
+							l += focusShift // dense thickens out of focus
+						case context.DeviceIsolated:
+							l -= focusShift // isolated thins out of focus
+						}
 					}
+					sumL += l
 				}
-				sumL += l
+				model.scale[ai] = (sumL / float64(len(a.devL))) / f.Timing.DrawnL
 			}
-			model.scale[ai] = (sumL / float64(len(a.devL))) / f.Timing.DrawnL
-		}
-		rep, err := sta.Analyze(d.Netlist, f.Lib, model, f.StaOptions(d))
-		if err != nil {
-			return Result{}, err
-		}
-		res.Samples = append(res.Samples, rep.MaxDelay)
+			rep, err := sta.Analyze(d.Netlist, f.Lib, model, f.StaOptions(d))
+			if err != nil {
+				return 0, err
+			}
+			return rep.MaxDelay, nil
+		})
+	if err != nil {
+		return Result{}, err
 	}
+	res := Result{Mode: mode, Samples: samples}
 	sort.Float64s(res.Samples)
 	var sum, sq float64
 	for _, v := range res.Samples {
@@ -152,6 +173,21 @@ func MonteCarlo(f *core.Flow, d *core.Design, mode Mode, cfg Config) (Result, er
 	}
 	res.Std = math.Sqrt(sq / float64(len(res.Samples)-1))
 	return res, nil
+}
+
+// sampleSeed derives the private PRNG seed of trial s from the run seed —
+// a splitmix64 finalizer over (base, s), so nearby trial indices and seeds
+// land in statistically unrelated streams. Deriving per-trial streams
+// (rather than sharing one sequential stream) is what decouples each
+// trial's draws from execution order.
+func sampleSeed(base int64, s int) int64 {
+	z := uint64(base) + uint64(s+1)*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
 }
 
 // residualSigma maps the ± budget components to a Gaussian sigma. The ±
