@@ -1,15 +1,18 @@
 # Build and verification entry points.
 #
 #   make          — tier-1: build + unit tests (the PR gate)
-#   make tier2    — tier-1 plus vet and the race detector over the whole
-#                   tree; exercises the parallel execution engine
-#                   (internal/par, the sharded CD cache, every fanned-out
-#                   flow stage) under concurrent schedules
+#   make lint     — svlint, the determinism/unit-safety analyzer suite
+#                   (detrand, maporder, floateq, walltime, unitsafety)
+#   make tier2    — tier-1 plus vet, svlint and the race detector over
+#                   the whole tree; exercises the parallel execution
+#                   engine (internal/par, the sharded CD cache, every
+#                   fanned-out flow stage) under concurrent schedules
+#   make ci       — the full gate: build + test + vet + lint + race
 #   make bench    — the serial-vs-parallel headline benchmarks
 
 GO ?= go
 
-.PHONY: all tier1 tier2 bench clean
+.PHONY: all tier1 tier2 lint ci bench clean
 
 all: tier1
 
@@ -17,9 +20,15 @@ tier1:
 	$(GO) build ./...
 	$(GO) test ./...
 
+lint:
+	$(GO) run ./cmd/svlint ./...
+
 tier2: tier1
 	$(GO) vet ./...
+	$(GO) run ./cmd/svlint ./...
 	$(GO) test -race ./...
+
+ci: tier2
 
 bench:
 	$(GO) test -run xxx -bench 'Table2Timing|FullChipOPC' -benchmem .

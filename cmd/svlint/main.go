@@ -1,0 +1,106 @@
+// Command svlint runs the repository's determinism- and unit-safety
+// static-analysis suite (internal/lint) over module packages:
+//
+//	svlint ./...                  # whole tree (the tier-2 gate)
+//	svlint ./internal/sta         # one package
+//	svlint -list                  # describe the analyzers
+//	svlint -only maporder ./...   # restrict to a subset
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure. Type
+// resolution problems are warnings on stderr — the build is gated
+// separately by go build — so partial type information degrades the
+// checks instead of masking them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"svtiming/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	verbose := flag.Bool("v", false, "report per-package progress and type-resolution warnings")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: svlint [-list] [-only names] [-v] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		byName := make(map[string]*lint.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		var picked []*lint.Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "svlint: unknown analyzer %q (see -list)\n", name)
+				os.Exit(2)
+			}
+			picked = append(picked, a)
+		}
+		analyzers = picked
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svlint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(root, flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "svlint: checking %s\n", pkg.Path)
+			for _, terr := range pkg.TypeErrors {
+				fmt.Fprintf(os.Stderr, "svlint: %s: type resolution: %v\n", pkg.Path, terr)
+			}
+		}
+		for _, d := range lint.RunPackage(pkg, analyzers) {
+			fmt.Println(d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "svlint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks upward from the working directory to the nearest
+// go.mod, so svlint can run from any subdirectory like the go tool.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,43 @@
+package expt
+
+import "time"
+
+// Clock abstracts the wall clock the experiment harness times runs
+// with. Production uses SystemClock; tests inject a fake via SetClock so
+// runtime-reporting experiments are testable without sleeping and the
+// rest of the tree stays wall-clock free (the svlint walltime analyzer
+// enforces that SystemClock.Now is the only time.Now call site).
+type Clock interface {
+	Now() time.Time
+}
+
+// SystemClock reads the real wall clock.
+type SystemClock struct{}
+
+// Now implements Clock.
+func (SystemClock) Now() time.Time {
+	return time.Now() //lint:allow walltime the one sanctioned wall-clock read; all experiment timing flows through expt.Clock
+}
+
+// clock is the package-wide clock every runtime measurement goes
+// through. Experiment timing is reporting-only (it never feeds result
+// data), so a package-level indirection is sufficient.
+var clock Clock = SystemClock{}
+
+// SetClock replaces the harness clock and returns a restore function,
+// for tests:
+//
+//	defer expt.SetClock(fake)()
+func SetClock(c Clock) (restore func()) {
+	prev := clock
+	clock = c
+	return func() { clock = prev }
+}
+
+// now is the internal read point for the injected clock.
+func now() time.Time { return clock.Now() }
+
+// since measures elapsed time against the injected clock (the
+// time.Since counterpart; time.Since itself reads the wall clock and is
+// forbidden by the walltime analyzer).
+func since(start time.Time) time.Duration { return now().Sub(start) }

@@ -1,0 +1,41 @@
+package expt
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock advances a fixed step per read, so elapsed-time math is
+// exactly predictable.
+type fakeClock struct {
+	t    time.Time
+	step time.Duration
+}
+
+func (c *fakeClock) Now() time.Time {
+	now := c.t
+	c.t = c.t.Add(c.step)
+	return now
+}
+
+func TestSetClockInjectsAndRestores(t *testing.T) {
+	fake := &fakeClock{t: time.Unix(1000, 0), step: 7 * time.Millisecond}
+	restore := SetClock(fake)
+	start := now()
+	if got := since(start); got != 7*time.Millisecond {
+		t.Errorf("since under fake clock = %v, want 7ms", got)
+	}
+	restore()
+	if _, ok := clock.(SystemClock); !ok {
+		t.Errorf("restore did not reinstate SystemClock, got %T", clock)
+	}
+}
+
+func TestSystemClockAdvances(t *testing.T) {
+	var c SystemClock
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Errorf("system clock went backwards: %v then %v", a, b)
+	}
+}

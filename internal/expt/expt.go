@@ -115,13 +115,13 @@ func Table1LibraryRuntime(f *core.Flow) time.Duration {
 	// Cold-cache measurement: library characterization would otherwise be
 	// free after the flow warm-up.
 	f.Recipe.Model.ClearCache()
-	start := time.Now()
+	start := now()
 	for _, name := range f.Lib.Names() {
 		cell := f.Lib.MustCell(name)
 		lines := liberty.DummyEnvironment(cell)
 		f.Recipe.Correct(lines, stdcell.DrawnCD)
 	}
-	return time.Since(start)
+	return since(start)
 }
 
 // Table1Compare builds one Table 1 row: full-chip OPC CDs versus the
@@ -139,12 +139,12 @@ func Table1Compare(f *core.Flow, name string) (Table1Row, error) {
 	// design rather than with what previous testcases already simulated.
 	f.Recipe.Model.ClearCache()
 	f.Wafer.ClearCache()
-	start := time.Now()
+	start := now()
 	fullCDs, err := f.FullChipCDs(d)
 	if err != nil {
 		return Table1Row{}, err
 	}
-	elapsed := time.Since(start)
+	elapsed := since(start)
 
 	row := Table1Row{Name: name, Gates: d.Netlist.NumGates(), FullChipRuntime: elapsed}
 	var within1, within3, within6 int

@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// DetRand flags draws from the global math/rand source. The global
+// functions share one lockstep stream, so any concurrent or
+// order-dependent caller makes the draw sequence depend on scheduling —
+// exactly what breaks the serial==parallel bit-identity contract.
+// Constructors (rand.New, rand.NewSource, rand.NewZipf) are the approved
+// idiom: derive an explicit per-task seed (internal/ssta's splitmix64
+// sampleSeed) and keep the generator private to the task.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "forbids the global math/rand top-level draw functions; randomness must come from explicitly seeded per-task generators",
+	Run:  runDetRand,
+}
+
+// globalRandFuncs are the math/rand (and v2) package-level functions that
+// consume the shared global source.
+var globalRandFuncs = map[string]bool{
+	"Seed": true, "Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true,
+	// math/rand/v2 spellings.
+	"IntN": true, "Int32": true, "Int32N": true, "Int64": true, "Int64N": true,
+	"Uint": true, "UintN": true, "Uint32N": true, "Uint64N": true, "N": true,
+}
+
+func runDetRand(p *Pass) {
+	for _, f := range p.Files {
+		file := f
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || !globalRandFuncs[sel.Sel.Name] {
+				return true
+			}
+			if p.isPkgIdent(file, id, "math/rand") || p.isPkgIdent(file, id, "math/rand/v2") {
+				p.Reportf(call.Pos(),
+					"rand.%s draws from the global run-order-dependent source; use a seeded rand.New(rand.NewSource(seed)) private to the task (per-trial splitmix64 idiom, see internal/ssta)",
+					sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point operands. Exact float
+// comparison is a determinism trap: two mathematically equal pipelines
+// differ in the last ulp as soon as evaluation order or fusion changes,
+// so equality must go through a tolerance helper (math.Abs(a-b) <= eps).
+// Two cases are exempt because they are exact by construction:
+//
+//   - comparisons where both operands are constants (folded at compile
+//     time), and
+//   - comparisons against the exact-zero literal, the repo-wide sentinel
+//     for "option not set" (e.g. opt.Utilization == 0).
+//
+// Intentional bit-exact comparisons (cache keys, canonical-form checks)
+// take a //lint:allow floateq directive with the justification.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "forbids ==/!= on float operands outside exact-zero sentinel checks and tolerance helpers",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			b, ok := n.(*ast.BinaryExpr)
+			if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatExpr(p, b.X) && !isFloatExpr(p, b.Y) {
+				return true
+			}
+			if isConstExpr(p, b.X) && isConstExpr(p, b.Y) {
+				return true // folded at compile time
+			}
+			if isExactZero(p, b.X) || isExactZero(p, b.Y) {
+				return true // unset-sentinel check
+			}
+			p.Reportf(b.OpPos,
+				"%s compares floats bit-exactly; use a tolerance (math.Abs(a-b) <= eps) or //lint:allow floateq with why exactness is intended",
+				b.Op)
+			return true
+		})
+	}
+}
+
+func isFloatExpr(p *Pass, e ast.Expr) bool {
+	t := p.typeOf(e)
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+func isConstExpr(p *Pass, e ast.Expr) bool {
+	if p.Info == nil {
+		return false
+	}
+	tv, ok := p.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isExactZero(p *Pass, e ast.Expr) bool {
+	if p.Info == nil {
+		return false
+	}
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}

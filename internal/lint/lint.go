@@ -1,0 +1,230 @@
+// Package lint is the svlint static-analysis driver: a stdlib-only
+// (go/parser + go/types, no x/tools dependency) analyzer suite that
+// mechanically enforces the repository's determinism contract — the
+// property, pinned by determinism_test.go, that serial and N-worker runs
+// agree bit-for-bit — plus the unit-suffix naming hygiene the litho/wire
+// arithmetic depends on.
+//
+// The suite:
+//
+//	detrand    — no draws from the global math/rand source; randomness
+//	             must come from an explicitly seeded *rand.Rand (the
+//	             per-trial splitmix64 idiom of internal/ssta).
+//	maporder   — no map iteration feeding ordered output (slice appends
+//	             without a later sort, direct writes, channel sends,
+//	             float accumulation).
+//	floateq    — no ==/!= on floats outside exact-zero sentinel checks.
+//	walltime   — no time.Now/Since/Until outside the sanctioned
+//	             internal/expt clock.
+//	unitsafety — no arithmetic mixing identifiers whose names carry
+//	             conflicting unit suffixes (…Nm vs …Um vs …PerUm).
+//
+// A finding is suppressed by a justified directive on the same line or
+// the line above:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// A directive without a reason is itself a finding, so every suppression
+// in the tree documents why the exact behavior is intended.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one svlint check.
+type Analyzer struct {
+	Name string // short identifier used in reports and //lint:allow
+	Doc  string // one-line description of what the analyzer forbids
+	Run  func(*Pass)
+}
+
+// Pass carries one package's parsed and type-checked state to an
+// analyzer. Type information may be partial (Info lookups can miss) when
+// the loader could not fully resolve an import; analyzers degrade to
+// syntactic checks in that case rather than failing.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// typeOf returns the static type of e, or nil when type information is
+// unavailable.
+func (p *Pass) typeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// isPkgIdent reports whether id names the import of pkgPath in file —
+// via type information when available, falling back to matching the
+// file's import table syntactically.
+func (p *Pass) isPkgIdent(file *ast.File, id *ast.Ident, pkgPath string) bool {
+	if p.Info != nil {
+		if obj, ok := p.Info.Uses[id]; ok {
+			pn, ok := obj.(*types.PkgName)
+			return ok && pn.Imported().Path() == pkgPath
+		}
+	}
+	for _, imp := range file.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		if path != pkgPath {
+			continue
+		}
+		name := path[strings.LastIndex(path, "/")+1:]
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == id.Name {
+			return true
+		}
+	}
+	return false
+}
+
+// Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// All returns the full analyzer suite in report order.
+func All() []*Analyzer {
+	return []*Analyzer{DetRand, MapOrder, FloatEq, WallTime, UnitSafety}
+}
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	file     string
+	line     int
+	analyzer string
+	reason   string
+}
+
+const allowPrefix = "lint:allow"
+
+// collectAllows parses every //lint:allow directive of pkg. Malformed
+// directives (no analyzer, no reason, or an unknown analyzer name) are
+// returned as diagnostics so a suppression can never silently rot.
+// Directive names are validated against the full suite plus the
+// analyzers being run, so restricting a run (-only) never misreports a
+// directive for an analyzer that exists but is switched off.
+func collectAllows(pkg *Package, analyzers []*Analyzer) ([]allowDirective, []Diagnostic) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var allows []allowDirective
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(text, allowPrefix))
+				switch {
+				case len(fields) == 0:
+					bad = append(bad, Diagnostic{Analyzer: "lintdirective", Pos: pos,
+						Message: "malformed //lint:allow: missing analyzer name and reason"})
+				case len(fields) == 1:
+					bad = append(bad, Diagnostic{Analyzer: "lintdirective", Pos: pos,
+						Message: fmt.Sprintf("//lint:allow %s has no reason; every suppression must say why the flagged behavior is intended", fields[0])})
+				case !known[fields[0]]:
+					bad = append(bad, Diagnostic{Analyzer: "lintdirective", Pos: pos,
+						Message: fmt.Sprintf("//lint:allow names unknown analyzer %q", fields[0])})
+				default:
+					allows = append(allows, allowDirective{
+						file:     pos.Filename,
+						line:     pos.Line,
+						analyzer: fields[0],
+						reason:   strings.Join(fields[1:], " "),
+					})
+				}
+			}
+		}
+	}
+	return allows, bad
+}
+
+// RunPackage runs the analyzers over one loaded package and returns the
+// findings that survive //lint:allow suppression, in position order.
+func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			analyzer: a,
+			diags:    &diags,
+		}
+		a.Run(pass)
+	}
+	allows, bad := collectAllows(pkg, analyzers)
+	allowed := func(d Diagnostic) bool {
+		for _, al := range allows {
+			if al.analyzer == d.Analyzer && al.file == d.Pos.Filename &&
+				(al.line == d.Pos.Line || al.line == d.Pos.Line-1) {
+				return true
+			}
+		}
+		return false
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !allowed(d) {
+			kept = append(kept, d)
+		}
+	}
+	kept = append(kept, bad...)
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept
+}

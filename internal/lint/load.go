@@ -1,0 +1,323 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked package. TypeErrors
+// collects non-fatal resolution problems (the analyzers still run, with
+// partial type information, when it is non-empty).
+type Package struct {
+	Path  string // import path ("svtiming/internal/sta", or a testdata pseudo-path)
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	TypeErrors []error
+}
+
+// Load parses and type-checks the module packages matched by patterns,
+// rooted at the module directory root (the directory holding go.mod).
+// Patterns follow the go tool's shape: "./..." walks recursively, plain
+// relative paths name single package directories. Directories named
+// "testdata" or starting with "." or "_" are skipped, as are directories
+// with no non-test Go files. Test files are not loaded: the contract
+// svlint enforces is about the shipped, deterministic surface, and tests
+// legitimately compare results bit-for-bit.
+//
+// The loader stays dependency-free by type-checking with the stdlib
+// source importer for external imports and serving module-internal
+// imports from its own (dependency-ordered) results.
+func Load(root string, patterns []string) ([]*Package, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := expandPatterns(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	type node struct {
+		pkg     *Package
+		imports []string // module-internal import paths
+	}
+	nodes := make(map[string]*node)
+	for _, dir := range dirs {
+		files, err := parseDir(fset, dir)
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			continue
+		}
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := modPath
+		if rel != "." {
+			path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		n := &node{pkg: &Package{Path: path, Dir: dir, Fset: fset, Files: files}}
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				p := strings.Trim(imp.Path.Value, `"`)
+				if p == modPath || strings.HasPrefix(p, modPath+"/") {
+					n.imports = append(n.imports, p)
+				}
+			}
+		}
+		nodes[path] = n
+	}
+
+	// Dependency-order the module packages so every internal import is
+	// checked before its importers. Imports that point outside the
+	// requested pattern set are loaded on demand.
+	var order []string
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case 1:
+			return fmt.Errorf("lint: import cycle through %s", path)
+		case 2:
+			return nil
+		}
+		n, ok := nodes[path]
+		if !ok {
+			// An internal import outside the requested patterns: load its
+			// directory now so type-checking can proceed.
+			dir := filepath.Join(root, filepath.FromSlash(strings.TrimPrefix(path, modPath+"/")))
+			files, err := parseDir(fset, dir)
+			if err != nil || len(files) == 0 {
+				return nil // leave it to the importer to report
+			}
+			n = &node{pkg: &Package{Path: path, Dir: dir, Fset: fset, Files: files}}
+			for _, f := range files {
+				for _, imp := range f.Imports {
+					p := strings.Trim(imp.Path.Value, `"`)
+					if strings.HasPrefix(p, modPath+"/") {
+						n.imports = append(n.imports, p)
+					}
+				}
+			}
+			nodes[path] = n
+		}
+		state[path] = 1
+		for _, dep := range n.imports {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[path] = 2
+		order = append(order, path)
+		return nil
+	}
+	paths := make([]string, 0, len(nodes))
+	for p := range nodes {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+
+	imp := &moduleImporter{
+		checked: make(map[string]*types.Package),
+		std:     importer.ForCompiler(fset, "source", nil),
+	}
+	var out []*Package
+	requested := make(map[string]bool, len(dirs))
+	for _, d := range dirs {
+		requested[d] = true
+	}
+	for _, path := range order {
+		n := nodes[path]
+		check(n.pkg, imp)
+		if n.pkg.Types != nil {
+			imp.checked[path] = n.pkg.Types
+		}
+		if requested[n.pkg.Dir] {
+			out = append(out, n.pkg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// LoadDir loads one directory as a standalone package with no module
+// context (imports resolve against the standard library only). This is
+// the entry point the golden-file tests use for testdata packages.
+func LoadDir(dir string) (*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	pkg := &Package{Path: "testdata/" + filepath.Base(dir), Dir: dir, Fset: fset, Files: files}
+	imp := &moduleImporter{
+		checked: make(map[string]*types.Package),
+		std:     importer.ForCompiler(fset, "source", nil),
+	}
+	check(pkg, imp)
+	return pkg, nil
+}
+
+// check type-checks pkg, collecting rather than failing on errors so
+// analyzers can run with partial information.
+func check(pkg *Package, imp types.Importer) {
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	tpkg, _ := conf.Check(pkg.Path, pkg.Fset, pkg.Files, info)
+	pkg.Types = tpkg
+	pkg.Info = info
+}
+
+// moduleImporter serves already-checked module packages and delegates
+// everything else to the stdlib source importer.
+type moduleImporter struct {
+	checked map[string]*types.Package
+	std     types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.checked[path]; ok {
+		return p, nil
+	}
+	return m.std.Import(path)
+}
+
+// parseDir parses every non-test Go file of dir (with comments, for
+// //lint:allow directives). A missing directory is not an error: it
+// returns no files.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var files []*ast.File
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// expandPatterns resolves go-tool-style package patterns to absolute
+// candidate directories.
+func expandPatterns(root string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(d string) {
+		d = filepath.Clean(d)
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, p := range patterns {
+		recursive := false
+		if p == "..." {
+			recursive, p = true, "."
+		} else if strings.HasSuffix(p, "/...") {
+			recursive, p = true, strings.TrimSuffix(p, "/...")
+		}
+		d := p
+		if !filepath.IsAbs(d) {
+			d = filepath.Join(root, p)
+		}
+		if !recursive {
+			add(d)
+			continue
+		}
+		err := filepath.WalkDir(d, func(path string, de fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !de.IsDir() {
+				return nil
+			}
+			name := de.Name()
+			if path != d && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// modulePath reads the module declaration of a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: not a module root: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s", gomod)
+}

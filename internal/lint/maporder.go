@@ -1,0 +1,238 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags map iterations whose bodies feed order-sensitive sinks:
+// appends to a slice that is never subsequently sorted, direct output
+// (fmt printing, Builder/Writer writes), channel sends, and float
+// accumulation (float addition is not associative, so the sum's bits
+// depend on visit order). Go randomizes map iteration order per run, so
+// any of these makes output differ run-to-run — the approved idiom is
+// the liberty Names() shape: collect keys, sort, then iterate. Writes
+// into another map, integer counters, and extrema tracking are
+// order-insensitive and not flagged.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "forbids map iteration feeding ordered output without a subsequent sort",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkFuncBody(p, body)
+			}
+			return true
+		})
+	}
+}
+
+// checkFuncBody examines the map ranges belonging directly to one
+// function body (nested function literals are visited by runMapOrder on
+// their own, with their own body as the sort-search scope).
+func checkFuncBody(p *Pass, body *ast.BlockStmt) {
+	var ranges []*ast.RangeStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if r, ok := n.(*ast.RangeStmt); ok && isMapRange(p, r) {
+			ranges = append(ranges, r)
+		}
+		return true
+	})
+	for _, r := range ranges {
+		checkMapRange(p, body, r)
+	}
+}
+
+func isMapRange(p *Pass, r *ast.RangeStmt) bool {
+	t := p.typeOf(r.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// appendTarget identifies the destination slice of an append inside a
+// map-range body, by object when resolvable and by name as a fallback.
+type appendTarget struct {
+	obj  types.Object
+	name string
+	pos  ast.Expr
+}
+
+func checkMapRange(p *Pass, funcBody *ast.BlockStmt, r *ast.RangeStmt) {
+	var appends []appendTarget
+	ast.Inspect(r.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.SendStmt:
+			p.Reportf(r.For, "map iteration sends on a channel in randomized order; collect and sort first (the liberty Names() idiom)")
+		case *ast.CallExpr:
+			if name, ok := outputCall(p, s); ok {
+				p.Reportf(r.For, "map iteration writes output via %s in randomized order; collect keys, sort, then emit", name)
+			}
+		case *ast.AssignStmt:
+			checkMapRangeAssign(p, r, s, &appends)
+		}
+		return true
+	})
+	for _, tgt := range appends {
+		if !sortedAfter(p, funcBody, r, tgt) {
+			p.Reportf(r.For,
+				"map iteration appends to %q without a later sort; sort the slice (sort.Strings/sort.Slice) before it feeds deterministic output", tgt.name)
+		}
+	}
+}
+
+func checkMapRangeAssign(p *Pass, r *ast.RangeStmt, s *ast.AssignStmt, appends *[]appendTarget) {
+	switch s.Tok.String() {
+	case "+=", "-=", "*=", "/=":
+		if len(s.Lhs) == 1 && isFloatExpr(p, s.Lhs[0]) && !perKeyWrite(p, r, s.Lhs[0]) {
+			p.Reportf(r.For,
+				"map iteration accumulates a float (%s) in randomized order; float addition is not associative, so the result is not bit-stable — iterate sorted keys", s.Tok)
+		}
+		return
+	}
+	if len(s.Rhs) != 1 || len(s.Lhs) != 1 {
+		return
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return
+	}
+	tgt := appendTarget{pos: s.Lhs[0]}
+	switch lhs := s.Lhs[0].(type) {
+	case *ast.Ident:
+		tgt.name = lhs.Name
+		if p.Info != nil {
+			tgt.obj = p.Info.ObjectOf(lhs)
+		}
+	case *ast.SelectorExpr:
+		tgt.name = lhs.Sel.Name
+	default:
+		return
+	}
+	*appends = append(*appends, tgt)
+}
+
+// perKeyWrite reports whether lhs indexes by the range's key variable
+// (load[net] += …): each iteration then touches a distinct element, so
+// the accumulation is order-insensitive and not a hazard.
+func perKeyWrite(p *Pass, r *ast.RangeStmt, lhs ast.Expr) bool {
+	idx, ok := lhs.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	key, ok := r.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return false
+	}
+	tgt := appendTarget{name: key.Name}
+	if p.Info != nil {
+		tgt.obj = p.Info.ObjectOf(key)
+	}
+	return exprMentions(p, idx.Index, tgt)
+}
+
+// outputCall reports whether call emits ordered output: an fmt print
+// function or a Write/WriteString/WriteByte/WriteRune method (the
+// strings.Builder and io.Writer surface).
+func outputCall(p *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		return sel.Sel.Name, true
+	case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+		if id, ok := sel.X.(*ast.Ident); ok {
+			for _, f := range p.Files {
+				if p.isPkgIdent(f, id, "fmt") {
+					return "fmt." + sel.Sel.Name, true
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+// sortedAfter reports whether, later in the same function body, the
+// append target is passed to a sort.* or slices.Sort* call — the
+// collect-then-sort idiom that makes the map iteration safe.
+func sortedAfter(p *Pass, funcBody *ast.BlockStmt, r *ast.RangeStmt, tgt appendTarget) bool {
+	sorted := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= r.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok || (pkgID.Name != "sort" && pkgID.Name != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if exprMentions(p, arg, tgt) {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// exprMentions reports whether e contains a reference to the target
+// slice (by object identity when available, by name otherwise).
+func exprMentions(p *Pass, e ast.Expr, tgt appendTarget) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if tgt.obj != nil && p.Info != nil {
+			if p.Info.ObjectOf(id) == tgt.obj {
+				found = true
+			}
+			return true
+		}
+		if id.Name == tgt.name {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,14 @@
+// Golden input for the directive checker: malformed //lint:allow
+// comments are findings, and a reasonless allow does not suppress.
+package badallow
+
+import "time"
+
+func reasonless() time.Time {
+	return time.Now() //lint:allow walltime
+}
+
+func unknownAnalyzer() time.Time {
+	t := time.Unix(0, 0) //lint:allow nosuchcheck because this analyzer does not exist
+	return t
+}

@@ -1,0 +1,26 @@
+// Golden input for the detrand analyzer: draws from the global
+// math/rand source are flagged; explicitly seeded generators and
+// justified suppressions are not.
+package detrand
+
+import "math/rand"
+
+func flaggedGlobalDraws() int {
+	rand.Seed(1)                       // want "rand.Seed draws from the global run-order-dependent source"
+	x := rand.Intn(10)                 // want "rand.Intn draws from the global run-order-dependent source"
+	f := rand.Float64()                // want "rand.Float64 draws from the global run-order-dependent source"
+	rand.Shuffle(x, func(i, j int) {}) // want "rand.Shuffle draws from the global run-order-dependent source"
+	return x + int(f)
+}
+
+// seededIdiom is the approved pattern: a generator private to the task,
+// seeded explicitly (in real code, via a splitmix64 finalizer over the
+// task index — see internal/ssta).
+func seededIdiom(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64() + float64(rng.Intn(3))
+}
+
+func justified() float64 {
+	return rand.Float64() //lint:allow detrand golden-file demonstration of a justified suppression
+}

@@ -1,0 +1,43 @@
+// Golden input for the floateq analyzer: exact float equality is
+// flagged; exact-zero sentinels, constant folding, integer comparison,
+// tolerance helpers and justified suppressions are not.
+package floateq
+
+import "math"
+
+const eps = 1e-9
+
+func flaggedEq(a, b float64) bool {
+	return a == b // want "== compares floats bit-exactly"
+}
+
+func flaggedNeqConst(a float64) bool {
+	return a != 1.5 // want "!= compares floats bit-exactly"
+}
+
+func flaggedFloat32(a, b float32) bool {
+	return a == b // want "== compares floats bit-exactly"
+}
+
+// zeroSentinel is the repo-wide "option not set" check; comparing
+// against the exact-zero literal is exact by construction.
+func zeroSentinel(utilization float64) bool {
+	return utilization == 0 || 0.0 != utilization
+}
+
+// toleranceIdiom is the approved comparison.
+func toleranceIdiom(a, b float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func intComparison(a, b int) bool {
+	return a == b
+}
+
+func constFolded() bool {
+	return 1.5 == 3.0/2.0 // both sides constant: folded at compile time
+}
+
+func justified(a, b float64) bool {
+	return a == b //lint:allow floateq golden-file demonstration: bit-identity is the property under test
+}

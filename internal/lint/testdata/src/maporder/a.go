@@ -1,0 +1,83 @@
+// Golden input for the maporder analyzer: map iterations feeding
+// ordered sinks are flagged; the collect-then-sort idiom, per-key map
+// writes, and integer counters are not.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func flaggedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `appends to "keys" without a later sort`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func flaggedPrint(m map[string]int) {
+	for k, v := range m { // want "writes output via fmt.Printf in randomized order"
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func flaggedBuilder(m map[string]int) string {
+	var sb strings.Builder
+	for k := range m { // want "writes output via WriteString in randomized order"
+		sb.WriteString(k)
+	}
+	return sb.String()
+}
+
+func flaggedSend(m map[string]int, ch chan string) {
+	for k := range m { // want "sends on a channel in randomized order"
+		ch <- k
+	}
+}
+
+func flaggedFloatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want "accumulates a float"
+		sum += v
+	}
+	return sum
+}
+
+// sortedIdiom is the approved shape (the liberty Names() idiom):
+// collect, sort, then consume in deterministic order.
+func sortedIdiom(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// perKeyAccumulate writes a distinct map element per iteration (indexed
+// by the range key), which is order-insensitive.
+func perKeyAccumulate(m map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, vs := range m {
+		out[k] += float64(len(vs))
+	}
+	return out
+}
+
+// intCounters are commutative and associative; order cannot change them.
+func intCounters(m map[string]int) (n int, hist map[int]int) {
+	hist = make(map[int]int)
+	for _, v := range m {
+		n++
+		hist[v]++
+	}
+	return n, hist
+}
+
+func justified(m map[string]int) {
+	for k := range m { //lint:allow maporder golden-file demonstration: consumer is order-insensitive logging
+		fmt.Println(k)
+	}
+}

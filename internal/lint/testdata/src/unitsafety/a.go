@@ -1,0 +1,55 @@
+// Golden input for the unitsafety analyzer: arithmetic mixing
+// conflicting unit suffixes is flagged; converted intermediates,
+// same-unit math, acronyms and dimensionless factors are not.
+package unitsafety
+
+func flaggedAdd(spacingNm, pitchUm float64) float64 {
+	return spacingNm + pitchUm // want "mixes units"
+}
+
+func flaggedSub(delayPs, periodNs float64) float64 {
+	return delayPs - periodNs // want "mixes units"
+}
+
+func flaggedCompare(radiusNm, reachUm float64) bool {
+	return radiusNm < reachUm // want "mixes units"
+}
+
+func flaggedPerUnitMul(capPerUm, hpwlNm float64) float64 {
+	return capPerUm * hpwlNm // want "applies a per-um coefficient to a nm quantity"
+}
+
+func flaggedScaleDiv(gapNm, pitchUm float64) float64 {
+	return gapNm / pitchUm // want "mixes scales of the same dimension"
+}
+
+// convertedIdiom is the approved fix: convert into a named intermediate
+// so the suffixes line up with the math.
+func convertedIdiom(capPerUm, hpwlNm float64) float64 {
+	hpwlUm := hpwlNm / 1000
+	return capPerUm * hpwlUm
+}
+
+func sameUnit(leftNm, rightNm float64) float64 {
+	return leftNm + rightNm
+}
+
+// dimensionless factors (plain literals, unsuffixed names) scale freely.
+func dimensionless(widthNm, scale float64) float64 {
+	return widthNm*scale + widthNm/2
+}
+
+// acronyms whose tail happens to spell a unit are not units: the
+// camel-case boundary requires a lowercase rune before the suffix.
+func acronymNotUnit(leftNPS, rightNPS int) int {
+	return leftNPS - rightNPS
+}
+
+// differentDimensionRatio is legitimate physics (nm/ps is a velocity).
+func differentDimensionRatio(distNm, timePs float64) float64 {
+	return distNm / timePs
+}
+
+func justified(spanNm, spanUm float64) float64 {
+	return spanNm + spanUm //lint:allow unitsafety golden-file demonstration of a justified suppression
+}

@@ -1,0 +1,30 @@
+// Golden input for the walltime analyzer: wall-clock reads are flagged;
+// time construction/arithmetic and the sanctioned (suppressed) clock
+// site are not.
+package walltime
+
+import "time"
+
+func flaggedNow() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+func flaggedSince(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+func flaggedUntil(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want "time.Until reads the wall clock"
+}
+
+// timeArithmetic constructs and manipulates times without reading the
+// clock; only the read is gated.
+func timeArithmetic(d time.Duration) time.Time {
+	return time.Unix(0, 0).Add(d).Round(time.Millisecond)
+}
+
+// sanctioned mirrors the one approved call site in internal/expt's
+// SystemClock.
+func sanctioned() time.Time {
+	return time.Now() //lint:allow walltime golden-file mirror of the sanctioned expt.SystemClock read
+}

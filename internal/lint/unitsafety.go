@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// UnitSafety flags arithmetic and comparisons that mix identifiers whose
+// names carry conflicting unit suffixes — the classic litho/wire-cap bug
+// class where a nm-denominated length meets a per-µm coefficient without
+// a conversion (geometry is nm-denominated repo-wide; electrical
+// coefficients are per-µm). The checks are purely syntactic, driven by
+// the repo's camel-case unit-suffix naming convention:
+//
+//   - x + y, x - y, and comparisons where the two sides carry different
+//     unit suffixes (aNm + bUm, tPs < tNs);
+//   - x * y where one side is a reciprocal-unit coefficient (…PerUm) and
+//     the other carries a different plain unit (capPerUm * hpwlNm);
+//   - x * y and x / y where both sides carry the same dimension at a
+//     different scale (nm×um, ps/ns).
+//
+// The fix is to convert explicitly into a named intermediate
+// (hpwlUm := hpwlNm / 1000) so the names line up with the math.
+var UnitSafety = &Analyzer{
+	Name: "unitsafety",
+	Doc:  "forbids arithmetic mixing identifiers with conflicting unit suffixes (…Nm vs …Um vs …PerUm)",
+	Run:  runUnitSafety,
+}
+
+// unitSuffixes maps recognized identifier suffixes to normalized units,
+// longest-match first so PerUm wins over Um.
+var unitSuffixes = []struct{ suffix, unit string }{
+	{"PerUm", "/um"},
+	{"PerNm", "/nm"},
+	{"MHz", "mhz"},
+	{"GHz", "ghz"},
+	{"Nm", "nm"},
+	{"Um", "um"},
+	{"PS", "ps"},
+	{"Ps", "ps"},
+	{"Ns", "ns"},
+}
+
+// unitDim groups units into dimensions, for the same-dimension
+// different-scale multiplicative check.
+var unitDim = map[string]string{
+	"nm": "length", "um": "length",
+	"ps": "time", "ns": "time",
+	"mhz": "freq", "ghz": "freq",
+	"/um": "invlength", "/nm": "invlength",
+}
+
+func runUnitSafety(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			b, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			ux, nx := unitOf(b.X)
+			uy, ny := unitOf(b.Y)
+			if ux == "" || uy == "" {
+				return true
+			}
+			switch b.Op {
+			case token.ADD, token.SUB,
+				token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+				if ux != uy {
+					p.Reportf(b.OpPos,
+						"%s mixes units: %q is %s but %q is %s; convert one side explicitly first",
+						b.Op, nx, ux, ny, uy)
+				}
+			case token.MUL:
+				if bad, msg := mulMismatch(ux, uy); bad {
+					p.Reportf(b.OpPos,
+						"multiplying %q (%s) by %q (%s) %s; convert into a named intermediate so the suffixes line up",
+						nx, ux, ny, uy, msg)
+				}
+			case token.QUO:
+				if ux != uy && unitDim[ux] == unitDim[uy] {
+					p.Reportf(b.OpPos,
+						"dividing %q (%s) by %q (%s) mixes scales of the same dimension; convert one side explicitly first",
+						nx, ux, ny, uy)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// mulMismatch reports whether multiplying units a and b is a suffix
+// conflict: a reciprocal coefficient applied to the wrong plain unit, or
+// two different scales of one dimension.
+func mulMismatch(a, b string) (bool, string) {
+	recip := func(u string) (string, bool) {
+		if len(u) > 1 && u[0] == '/' {
+			return u[1:], true
+		}
+		return "", false
+	}
+	if base, ok := recip(a); ok {
+		if rb, rok := recip(b); rok {
+			if rb != base {
+				return true, "mixes reciprocal scales"
+			}
+			return false, ""
+		}
+		if b != base {
+			return true, "applies a per-" + base + " coefficient to a " + b + " quantity"
+		}
+		return false, ""
+	}
+	if base, ok := recip(b); ok {
+		if a != base {
+			return true, "applies a per-" + base + " coefficient to a " + a + " quantity"
+		}
+		return false, ""
+	}
+	if a != b && unitDim[a] == unitDim[b] {
+		return true, "mixes scales of the same dimension"
+	}
+	return false, ""
+}
+
+// unitOf extracts the normalized unit suffix and the carrying name from
+// an operand: identifiers, selector fields, and indexed forms of either
+// (widthsNm[i]); parentheses and unary +/- are looked through. Calls,
+// literals and compound expressions carry no unit.
+func unitOf(e ast.Expr) (unit, name string) {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return unitOf(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.ADD || x.Op == token.SUB {
+			return unitOf(x.X)
+		}
+	case *ast.IndexExpr:
+		return unitOf(x.X)
+	case *ast.Ident:
+		return suffixUnit(x.Name), x.Name
+	case *ast.SelectorExpr:
+		return suffixUnit(x.Sel.Name), x.Sel.Name
+	}
+	return "", ""
+}
+
+// suffixUnit matches a trailing unit suffix at a camel-case boundary:
+// the character before the suffix must be a lowercase letter or digit,
+// so hpwlNm and CapPerUm match while NPS (an acronym) does not.
+func suffixUnit(name string) string {
+	for _, s := range unitSuffixes {
+		idx := len(name) - len(s.suffix)
+		if idx <= 0 || name[idx:] != s.suffix {
+			continue
+		}
+		prev := name[idx-1]
+		if (prev >= 'a' && prev <= 'z') || (prev >= '0' && prev <= '9') {
+			return s.unit
+		}
+	}
+	return ""
+}

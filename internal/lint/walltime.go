@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// WallTime flags wall-clock reads (time.Now, time.Since, time.Until)
+// outside the sanctioned internal/expt clock. Wall time in a result path
+// is inherently non-reproducible; experiment timing must flow through
+// the injectable expt.Clock so tests can pin it. The single approved
+// call site carries a //lint:allow walltime directive.
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc:  "forbids time.Now/Since/Until outside the internal/expt injectable clock",
+	Run:  runWallTime,
+}
+
+var wallClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func runWallTime(p *Pass) {
+	for _, f := range p.Files {
+		file := f
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || !wallClockFuncs[sel.Sel.Name] {
+				return true
+			}
+			if p.isPkgIdent(file, id, "time") {
+				p.Reportf(call.Pos(),
+					"time.%s reads the wall clock; route measurements through the injectable internal/expt Clock (expt.SetClock in tests)",
+					sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}

@@ -62,7 +62,8 @@ func (m HPWLWire) NetCap(net string, driver int, sinks []int) float64 {
 		maxY = max(maxY, ys[i])
 	}
 	hpwlNm := (maxX - minX) + (maxY - minY)
-	c := m.CapPerUm * hpwlNm / 1000
+	hpwlUm := hpwlNm / 1000
+	c := m.CapPerUm * hpwlUm
 	if c < m.MinCap {
 		c = m.MinCap
 	}
