@@ -2,7 +2,8 @@
 #
 #   make          — tier-1: build + unit tests (the PR gate)
 #   make lint     — svlint, the determinism/unit-safety analyzer suite
-#                   (detrand, maporder, floateq, walltime, unitsafety)
+#                   (detrand, maporder, floateq, walltime, unitsafety,
+#                   nakedrecover)
 #   make tier2    — tier-1 plus vet, svlint and the race detector over
 #                   the whole tree; exercises the parallel execution
 #                   engine (internal/par, the sharded CD cache, every

@@ -7,6 +7,9 @@
 //	benchgen                      # stats for every built-in profile
 //	benchgen -write c432 -o x.bench
 //	benchgen -writelib -o svtiming90.lib
+//
+// Exit codes: 0 clean, 2 failed (unknown benchmark, I/O or
+// characterization fault).
 package main
 
 import (
@@ -14,9 +17,9 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"sort"
 
 	"svtiming/internal/core"
+	"svtiming/internal/fault"
 	"svtiming/internal/liberty"
 	"svtiming/internal/netlist"
 	"svtiming/internal/stdcell"
@@ -25,20 +28,33 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchgen: ")
+	os.Exit(run())
+}
+
+func fail(err error) int {
+	log.Print(err)
+	return fault.ExitFailed
+}
+
+// run's exit code is named so the deferred output-file close can override
+// a clean result when the final flush fails.
+func run() (exit int) {
 	write := flag.String("write", "", "benchmark to write in .bench format")
 	writeLib := flag.Bool("writelib", false, "characterize and dump the 81-version timing library")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
+	exit = fault.ExitClean
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		defer func() {
-			if err := f.Close(); err != nil {
-				log.Fatal(err)
+			if err := f.Close(); err != nil && exit == fault.ExitClean {
+				log.Print(err)
+				exit = fault.ExitFailed
 			}
 		}()
 		w = f
@@ -47,32 +63,35 @@ func main() {
 	lib := stdcell.Default()
 	switch {
 	case *write != "":
-		n := netlist.MustGenerate(lib, *write)
+		n, err := netlist.GenerateNamed(lib, *write)
+		if err != nil {
+			log.Print(err)
+			flag.Usage()
+			return fault.ExitFailed
+		}
 		if err := netlist.WriteBench(w, n); err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 	case *writeLib:
 		flow, err := core.NewFlow()
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		if err := liberty.WriteLib(w, flow.Timing); err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 	default:
-		names := make([]string, 0, len(netlist.ISCAS85Profiles)+1)
-		names = append(names, "c17")
-		for n := range netlist.ISCAS85Profiles {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		for _, name := range names {
-			n := netlist.MustGenerate(lib, name)
+		for _, name := range netlist.Names() {
+			n, err := netlist.GenerateNamed(lib, name)
+			if err != nil {
+				return fail(err)
+			}
 			s, err := netlist.Summarize(n)
 			if err != nil {
-				log.Fatal(err)
+				return fail(err)
 			}
 			fmt.Fprintln(w, s)
 		}
 	}
+	return exit
 }

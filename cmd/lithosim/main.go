@@ -5,16 +5,22 @@
 //
 // Usage:
 //
-//	lithosim [-fig1] [-fig2] [-fig6] [-j N]   (all studies by default)
+//	lithosim [-fig1] [-fig2] [-fig6] [-j N] [-timeout 5m]   (all studies by default)
+//
+// Exit codes: 0 clean, 2 failed (simulation fault or timeout).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"svtiming/internal/corners"
 	"svtiming/internal/expt"
+	"svtiming/internal/fault"
 	"svtiming/internal/opc"
 	"svtiming/internal/process"
 )
@@ -22,30 +28,51 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lithosim: ")
+	os.Exit(run())
+}
+
+func fail(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) {
+		log.Print("run exceeded -timeout: ", err)
+	} else {
+		log.Print(err)
+	}
+	return fault.ExitFailed
+}
+
+func run() int {
 	fig1 := flag.Bool("fig1", false, "printed linewidth vs pitch (drawn 130 nm, annular 193 nm NA 0.7)")
 	fig2 := flag.Bool("fig2", false, "Bossung curves: dense 90/150-space vs isolated 90 nm")
 	fig6 := flag.Bool("fig6", false, "gate-length corner construction diagram")
 	window := flag.Bool("window", false, "dense+iso overlapping process window")
 	lineEnd := flag.Bool("lineend", false, "2-D line-end shortening and hammerhead correction")
 	jobs := flag.Int("j", 0, "worker pool size for litho sweeps (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "overall deadline for the run (0 = none)")
 	flag.Parse()
 	all := !*fig1 && !*fig2 && !*fig6 && !*window && !*lineEnd
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	wafer := process.Nominal90nm()
 
 	if *fig1 || all {
-		pts, err := expt.Fig1ThroughPitch(wafer, *jobs)
+		pts, err := expt.Fig1ThroughPitchCtx(ctx, wafer, *jobs)
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		fmt.Println("== Figure 1: through-pitch linewidth variation ==")
 		fmt.Print(expt.FormatFig1(pts))
 		fmt.Println()
 	}
 	if *fig2 || all {
-		r, err := expt.Fig2Bossung(wafer, *jobs)
+		r, err := expt.Fig2BossungCtx(ctx, wafer, *jobs)
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		fmt.Println("== Figure 2: Bossung curves ==")
 		fmt.Print(r.Dense.String())
@@ -60,32 +87,39 @@ func main() {
 		fmt.Print(expt.Fig6Text(corners.Default90nm()))
 	}
 	if *window || all {
+		if err := ctx.Err(); err != nil {
+			return fail(err)
+		}
 		fmt.Println("\n== overlapping process window (±10% CD) ==")
 		ws, err := expt.ProcessWindowStudy(wafer, 0.10,
 			expt.Fig2Defocus, []float64{0.90, 0.95, 1.0, 1.05, 1.10}, *jobs)
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		fmt.Print(expt.FormatWindowStudy(ws))
 	}
 	if *lineEnd || all {
+		if err := ctx.Err(); err != nil {
+			return fail(err)
+		}
 		fmt.Println("\n== 2-D line-end study ==")
 		bare, err := opc.DefaultLineEnd().Run()
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		cfg := opc.DefaultLineEnd()
 		cfg.HammerWidth = 110
 		cfg.HammerLength = 80
 		capped, err := cfg.Run()
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		fmt.Printf("bare line end:        mid-width %.1f nm, pullback %.1f nm\n",
 			bare.MidWidth, bare.Pullback)
 		fmt.Printf("with 110x80 hammer:   mid-width %.1f nm, pullback %.1f nm\n",
 			capped.MidWidth, capped.Pullback)
 	}
+	return fault.ExitClean
 }
 
 func smileName(smiles bool) string {

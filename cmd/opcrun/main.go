@@ -5,34 +5,79 @@
 //
 // Usage:
 //
-//	opcrun [-table1] [-fig7 c3540] [-pitchtable] [-circuits c432,c880] [-j N]
+//	opcrun [-table1] [-fig7 c3540] [-pitchtable] [-circuits c432,c880] [-j N] [-timeout 10m]
+//
+// Exit codes: 0 clean, 2 failed (bad arguments, OPC fault or timeout).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"svtiming/internal/core"
 	"svtiming/internal/expt"
+	"svtiming/internal/fault"
+	"svtiming/internal/netlist"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("opcrun: ")
+	os.Exit(run())
+}
+
+func fail(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) {
+		log.Print("run exceeded -timeout: ", err)
+	} else {
+		log.Print(err)
+	}
+	return fault.ExitFailed
+}
+
+func run() int {
 	table1 := flag.Bool("table1", false, "library-based vs full-chip OPC comparison")
 	fig7 := flag.String("fig7", "", "benchmark for the CD error histogram (paper: c3540)")
 	pitch := flag.Bool("pitchtable", false, "print the through-pitch CD lookup table")
 	circuits := flag.String("circuits", "c432,c880,c1355,c1908,c3540",
 		"testcases for -table1")
 	jobs := flag.Int("j", 0, "worker pool size for the flow (0 = GOMAXPROCS, 1 = serial)")
+	timeout := flag.Duration("timeout", 0, "overall deadline for the run (0 = none)")
 	flag.Parse()
 	all := !*table1 && *fig7 == "" && !*pitch
 
+	names := strings.Split(*circuits, ",")
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+		if !netlist.Known(names[i]) {
+			log.Printf("unknown benchmark %q (known: %s)",
+				names[i], strings.Join(netlist.Names(), ", "))
+			flag.Usage()
+			return fault.ExitFailed
+		}
+	}
+	if *fig7 != "" && !netlist.Known(*fig7) {
+		log.Printf("unknown benchmark %q (known: %s)",
+			*fig7, strings.Join(netlist.Names(), ", "))
+		flag.Usage()
+		return fault.ExitFailed
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	flow, err := core.NewFlow(core.WithParallelism(*jobs))
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
 
 	if *pitch || all {
@@ -45,10 +90,15 @@ func main() {
 		fmt.Println("== Table 1: library-based OPC vs full-chip OPC ==")
 		libRT := expt.Table1LibraryRuntime(flow)
 		var rows []expt.Table1Row
-		for _, name := range strings.Split(*circuits, ",") {
-			row, err := expt.Table1Compare(flow, strings.TrimSpace(name))
+		for _, name := range names {
+			// Deadline checked at benchmark granularity: Table 1's
+			// full-chip OPC pass dominates the runtime per circuit.
+			if err := ctx.Err(); err != nil {
+				return fail(err)
+			}
+			row, err := expt.Table1Compare(flow, name)
 			if err != nil {
-				log.Fatal(err)
+				return fail(err)
 			}
 			rows = append(rows, row)
 		}
@@ -56,6 +106,9 @@ func main() {
 		fmt.Println()
 	}
 	if *fig7 != "" || all {
+		if err := ctx.Err(); err != nil {
+			return fail(err)
+		}
 		name := *fig7
 		if name == "" {
 			name = "c3540"
@@ -63,8 +116,9 @@ func main() {
 		fmt.Printf("== Figure 7: CD error distribution after full-chip OPC (%s) ==\n", name)
 		bins, err := expt.Fig7Histogram(flow, name, 1)
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		fmt.Print(expt.FormatFig7(bins))
 	}
+	return fault.ExitClean
 }

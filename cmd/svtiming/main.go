@@ -5,9 +5,15 @@
 // Usage:
 //
 //	svtiming [-circuits c432,c880] [-table2] [-verbose] [-j N]
+//	         [-on-fault fail-fast|collect] [-timeout 10m]
+//
+// Exit codes: 0 clean, 1 completed degraded (collect mode, see the fault
+// report on stderr), 2 failed (bad arguments, fail-fast fault, timeout).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -17,6 +23,7 @@ import (
 	"svtiming/internal/core"
 	"svtiming/internal/corners"
 	"svtiming/internal/expt"
+	"svtiming/internal/fault"
 	"svtiming/internal/netlist"
 	"svtiming/internal/opt"
 )
@@ -24,6 +31,28 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("svtiming: ")
+	os.Exit(run())
+}
+
+// fail reports err and returns the failed exit code, translating a
+// deadline hit into a friendlier message.
+func fail(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) {
+		log.Print("run exceeded -timeout: ", err)
+	} else {
+		log.Print(err)
+	}
+	return fault.ExitFailed
+}
+
+// usageError prints the message and flag usage, for malformed invocations.
+func usageError(format string, args ...any) int {
+	log.Printf(format, args...)
+	flag.Usage()
+	return fault.ExitFailed
+}
+
+func run() int {
 	circuits := flag.String("circuits", strings.Join(netlist.Table2Circuits, ","),
 		"comma-separated benchmark names (c17, c432, c499, c880, c1355, c1908, c2670, c3540, c5315, c6288, c7552)")
 	table2 := flag.Bool("table2", true, "print the Table 2 comparison")
@@ -33,37 +62,61 @@ func main() {
 	path := flag.Bool("path", false, "print the aware worst-case critical path (first circuit only)")
 	optimize := flag.Bool("optimize", false, "run litho-aware whitespace optimization (first circuit only)")
 	jobs := flag.Int("j", 0, "worker pool size for the flow (0 = GOMAXPROCS, 1 = serial)")
+	onFault := flag.String("on-fault", "fail-fast",
+		"failure policy for the Table 2 sweep: fail-fast aborts on the first failing benchmark, collect completes the sweep and reports degraded rows")
+	timeout := flag.Duration("timeout", 0, "overall deadline for the run (0 = none)")
 	flag.Parse()
 
-	flow, err := core.NewFlow(core.WithParallelism(*jobs))
+	policy, err := core.ParsePolicy(*onFault)
 	if err != nil {
-		log.Fatal(err)
+		return usageError("%v", err)
 	}
 	names := strings.Split(*circuits, ",")
 	for i := range names {
 		names[i] = strings.TrimSpace(names[i])
+		if !netlist.Known(names[i]) {
+			return usageError("unknown benchmark %q (known: %s)",
+				names[i], strings.Join(netlist.Names(), ", "))
+		}
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	flow, err := core.NewFlow(core.WithParallelism(*jobs), core.WithFailurePolicy(policy))
+	if err != nil {
+		return fail(err)
+	}
+
+	exit := fault.ExitClean
 	if *verbose {
 		for _, name := range names {
 			d, err := flow.PrepareDesign(name)
 			if err != nil {
-				log.Fatal(err)
+				return fail(err)
 			}
 			printContextStats(d)
 		}
 	}
 	if *table2 {
-		rows, err := expt.Table2(flow, names)
+		res, err := flow.Run(ctx, names)
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
-		fmt.Print(expt.FormatTable2(rows))
+		fmt.Print(expt.FormatTable2(res.Rows))
+		if res.Degraded() {
+			fmt.Fprintf(os.Stderr, "svtiming: fault report:\n%s", res.Report.String())
+			exit = res.ExitCode()
+		}
 	}
 	if *ablation {
 		rows, err := expt.VariantAblation(flow, names[0])
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		fmt.Printf("\n== §5 variant ablation (%s) ==\n%s", names[0],
 			expt.FormatVariantAblation(rows))
@@ -72,18 +125,18 @@ func main() {
 		study, err := expt.DoseClassification(flow, names[0],
 			[]float64{0.90, 0.95, 1.0, 1.05, 1.10})
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		fmt.Printf("\n== §6 exposure-dose study ==\n%s", study.String())
 	}
 	if *path {
 		d, err := flow.PrepareDesign(names[0])
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		rep, err := flow.AnalyzeContextual(d, core.WorstCase)
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		fmt.Printf("\n== aware worst-case critical path (%s) ==\n%s",
 			names[0], rep.FormatPath(d.Netlist))
@@ -92,19 +145,19 @@ func main() {
 	if *optimize {
 		d, err := flow.PrepareDesign(names[0])
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		res, err := opt.OptimizeWhitespace(flow, d, opt.Options{})
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		s, err := opt.Report(flow, d, res)
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		fmt.Printf("\n== litho-aware whitespace optimization (%s) ==\n%s", names[0], s)
 	}
-	os.Exit(0)
+	return exit
 }
 
 func printContextStats(d *core.Design) {

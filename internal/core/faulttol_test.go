@@ -1,0 +1,194 @@
+package core
+
+import (
+	stdctx "context"
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"svtiming/internal/fault"
+	"svtiming/internal/fault/inject"
+)
+
+// settle polls until the goroutine count drops back to at most base.
+func settle(base int) int {
+	var n int
+	for i := 0; i < 100; i++ {
+		n = runtime.NumGoroutine()
+		if n <= base {
+			return n
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return n
+}
+
+// armedCopy returns a cheap copy of the shared test flow with the given
+// policy, injection hook and worker count — Flow is plain data, so copying
+// skips the expensive characterization rebuild.
+func armedCopy(t *testing.T, policy FailurePolicy, hook fault.Hook, workers int) *Flow {
+	t.Helper()
+	f := *testFlow(t)
+	f.Policy = policy
+	f.InjectHook = hook
+	f.Parallelism = workers
+	return &f
+}
+
+// runNames keeps the end-to-end tests cheap: two small benchmarks, with
+// index 1 the poisoned point in every injection scenario. Since the hook
+// fires before the poisoned benchmark's real work starts, each injected
+// run only pays for the surviving rows.
+var runNames = []string{"c17", "c432"}
+
+func TestRunCleanMatchesPolicyAndWorkers(t *testing.T) {
+	serial, err := armedCopy(t, FailFast, nil, 1).Run(nil, runNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Degraded() || serial.ExitCode() != fault.ExitClean {
+		t.Fatalf("clean run degraded: %v", serial.Report.String())
+	}
+	for _, f := range []*Flow{
+		armedCopy(t, FailFast, nil, 8),
+		armedCopy(t, CollectAndReport, nil, 1),
+		armedCopy(t, CollectAndReport, nil, 8),
+	} {
+		got, err := f.Run(nil, runNames)
+		if err != nil {
+			t.Fatalf("policy %v workers %d: %v", f.Policy, f.Parallelism, err)
+		}
+		if !reflect.DeepEqual(got.Rows, serial.Rows) {
+			t.Errorf("policy %v workers %d: rows differ from serial fail-fast run",
+				f.Policy, f.Parallelism)
+		}
+	}
+}
+
+func TestRunCollectAndReportCompletesAroundInjectedFaults(t *testing.T) {
+	base := runtime.NumGoroutine()
+	clean, err := armedCopy(t, CollectAndReport, nil, 8).Run(nil, runNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	scenarios := []struct {
+		name     string
+		plan     func(*inject.Plan)
+		sentinel error
+	}{
+		{"nan", func(p *inject.Plan) { p.InjectNaN("table2", 1) }, fault.ErrNumeric},
+		{"nonconvergence", func(p *inject.Plan) { p.InjectNonConvergence("table2", 1) }, fault.ErrNonConvergence},
+		{"panic", func(p *inject.Plan) { p.InjectPanic("table2", 1) }, fault.ErrPanic},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			var plan inject.Plan
+			sc.plan(&plan)
+			res, err := armedCopy(t, CollectAndReport, plan.Hook(), 8).Run(nil, runNames)
+			if err != nil {
+				t.Fatalf("collect mode returned a run-level error: %v", err)
+			}
+			if !res.Degraded() || res.ExitCode() != fault.ExitDegraded {
+				t.Fatal("injected fault not reported as degradation")
+			}
+			if res.Report.Len() != 1 {
+				t.Fatalf("report has %d faults, want 1:\n%s", res.Report.Len(), res.Report.String())
+			}
+			entry := res.Report.Entries()[0]
+			// Exact coordinates of the poisoned point.
+			want := fault.Coord{Stage: "table2", Index: 1, Item: "c432"}
+			if entry.At != want {
+				t.Errorf("fault at %v, want %v", entry.At, want)
+			}
+			if !errors.Is(entry.Err, sc.sentinel) {
+				t.Errorf("fault %v does not match %v", entry.Err, sc.sentinel)
+			}
+			// The degraded row is marked, not fabricated.
+			row := res.Rows[1]
+			if !row.Degraded || row.Name != "c432" {
+				t.Errorf("poisoned row = %+v, want Degraded c432", row)
+			}
+			if row.TradNom != 0 || row.NewWC != 0 || row.Gates != 0 {
+				t.Errorf("degraded row carries fabricated values: %+v", row)
+			}
+			// Surviving rows are bit-identical to the uninjected run.
+			if !reflect.DeepEqual(res.Rows[0], clean.Rows[0]) {
+				t.Errorf("surviving row perturbed by injection:\n%+v\nvs\n%+v",
+					res.Rows[0], clean.Rows[0])
+			}
+		})
+	}
+	if n := settle(base); n > base {
+		t.Errorf("goroutine leak across injected runs: %d > %d", n, base)
+	}
+}
+
+func TestRunFailFastAbortsOnInjectedFault(t *testing.T) {
+	var plan inject.Plan
+	plan.InjectNaN("table2", 1)
+	_, err := armedCopy(t, FailFast, plan.Hook(), 8).Run(nil, runNames)
+	if !errors.Is(err, fault.ErrNumeric) {
+		t.Fatalf("fail-fast run returned %v, want the injected numeric fault", err)
+	}
+	var num *fault.Numeric
+	if !errors.As(err, &num) || num.At.Item != "c432" {
+		t.Errorf("fault %v does not locate the poisoned benchmark", err)
+	}
+
+	// An injected panic is contained (not re-raised) and wins as the
+	// lowest-index error exactly like a returned error would.
+	plan = inject.Plan{}
+	plan.InjectPanic("table2", 0)
+	_, err = armedCopy(t, FailFast, plan.Hook(), 8).Run(nil, runNames)
+	var pan *fault.Panic
+	if !errors.As(err, &pan) || pan.Index != 0 {
+		t.Fatalf("fail-fast panic run returned %v, want *fault.Panic at index 0", err)
+	}
+}
+
+func TestRunRejectsUnknownBenchmark(t *testing.T) {
+	// Satellite: an unknown name is a descriptive error, not a stack trace.
+	_, err := armedCopy(t, FailFast, nil, 1).Run(nil, []string{"c9999"})
+	if err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if errors.Is(err, fault.ErrPanic) {
+		t.Fatalf("unknown benchmark surfaced as a panic: %v", err)
+	}
+}
+
+func TestRunHonoursCancellation(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := stdctx.WithCancel(stdctx.Background())
+	cancel() // cancelled before the sweep starts
+	for _, policy := range []FailurePolicy{FailFast, CollectAndReport} {
+		_, err := armedCopy(t, policy, nil, 8).Run(ctx, runNames)
+		if !errors.Is(err, stdctx.Canceled) {
+			t.Errorf("policy %v: err = %v, want context.Canceled", policy, err)
+		}
+	}
+	if n := settle(base); n > base {
+		t.Errorf("goroutine leak after cancelled runs: %d > %d", n, base)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for s, want := range map[string]FailurePolicy{
+		"": FailFast, "fail-fast": FailFast, "failfast": FailFast,
+		"collect": CollectAndReport, "collect-and-report": CollectAndReport,
+	} {
+		got, err := ParsePolicy(s)
+		if err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParsePolicy("explode"); err == nil {
+		t.Error("ParsePolicy accepted nonsense")
+	}
+	if FailFast.String() != "fail-fast" || CollectAndReport.String() != "collect" {
+		t.Error("policy String() drifted from flag values")
+	}
+}

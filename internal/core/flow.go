@@ -13,6 +13,7 @@ import (
 
 	"svtiming/internal/context"
 	"svtiming/internal/corners"
+	"svtiming/internal/fault"
 	"svtiming/internal/liberty"
 	"svtiming/internal/netlist"
 	"svtiming/internal/opc"
@@ -72,6 +73,16 @@ type Flow struct {
 	// WithParallelism; 1 means fully serial. Parallel and serial runs
 	// produce bit-identical results (internal/par's ordering contract).
 	Parallelism int
+
+	// Policy selects Flow.Run's treatment of failing sweep points; the
+	// zero value is FailFast. Set with WithFailurePolicy.
+	Policy FailurePolicy
+
+	// InjectHook, when non-nil, is consulted with each sweep coordinate
+	// before the point's real work — the fault-injection seam, armed only
+	// from tests via WithFaultInjection (or by copying a built Flow and
+	// setting the field, which is cheap: Flow is plain data).
+	InjectHook fault.Hook
 }
 
 // Workers returns the flow's worker-pool bound, treating a zero-value
@@ -148,6 +159,8 @@ func NewFlow(opts ...Option) (*Flow, error) {
 		STAOpt:       cfg.staOpt,
 		WireCapPerUm: cfg.wireCapPerUm,
 		Parallelism:  workers,
+		Policy:       cfg.policy,
+		InjectHook:   cfg.hook,
 	}, nil
 }
 
@@ -167,9 +180,14 @@ type Design struct {
 }
 
 // PrepareDesign loads/generates the named benchmark, places it, and runs
-// the placement-context analysis of §3.1.3 and §3.2.
+// the placement-context analysis of §3.1.3 and §3.2. An unknown benchmark
+// name is a plain descriptive error (listing the known names), not a
+// panic, so cmd tools can turn a typo into a usage message.
 func (f *Flow) PrepareDesign(name string) (*Design, error) {
-	n := netlist.MustGenerate(f.Lib, name)
+	n, err := netlist.GenerateNamed(f.Lib, name)
+	if err != nil {
+		return nil, err
+	}
 	return f.PrepareNetlist(n)
 }
 
@@ -257,6 +275,11 @@ type Comparison struct {
 
 	TradNom, TradBC, TradWC float64 // ps
 	NewNom, NewBC, NewWC    float64 // ps
+
+	// Degraded marks a row whose analysis failed under the
+	// CollectAndReport policy: the numeric fields are zero, never
+	// fabricated, and the failure is in the accompanying fault.Report.
+	Degraded bool
 }
 
 // TradSpread returns the traditional BC↔WC uncertainty, ps.
@@ -276,11 +299,16 @@ func (c Comparison) ReductionPct() float64 {
 // CompareDesign runs both flows at all three corners for the named
 // benchmark and returns its Table 2 row.
 func (f *Flow) CompareDesign(name string) (Comparison, error) {
+	return f.CompareDesignCtx(nil, name)
+}
+
+// CompareDesignCtx is CompareDesign honouring an external context.
+func (f *Flow) CompareDesignCtx(ctx stdctx.Context, name string) (Comparison, error) {
 	d, err := f.PrepareDesign(name)
 	if err != nil {
 		return Comparison{}, err
 	}
-	return f.Compare(d)
+	return f.CompareCtx(ctx, d)
 }
 
 // Compare runs both flows at all three corners on a prepared design. The
@@ -288,10 +316,16 @@ func (f *Flow) CompareDesign(name string) (Comparison, error) {
 // design and fan out over the flow's worker pool; index-ordered collection
 // keeps the row identical to a serial run.
 func (f *Flow) Compare(d *Design) (Comparison, error) {
+	return f.CompareCtx(nil, d)
+}
+
+// CompareCtx is Compare honouring an external context: a deadline or
+// cancellation aborts the six corner analyses promptly.
+func (f *Flow) CompareCtx(ctx stdctx.Context, d *Design) (Comparison, error) {
 	out := Comparison{Name: d.Netlist.Name, Gates: d.Netlist.NumGates()}
 	corners := []Corner{Nominal, BestCase, WorstCase}
 	// Job k: corner k/2, traditional for even k, contextual for odd.
-	delays, err := par.Map(nil, f.Workers(), 2*len(corners),
+	delays, err := par.Map(ctx, f.Workers(), 2*len(corners),
 		func(_ stdctx.Context, k int) (float64, error) {
 			c := corners[k/2]
 			var rep *sta.Report

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"svtiming/internal/context"
+	"svtiming/internal/fault"
 	"svtiming/internal/par"
 	"svtiming/internal/process"
 )
@@ -31,12 +32,19 @@ type GateKey struct {
 // processes' concurrent CD caches, so repeated environments across rows
 // are still simulated only once, whichever worker gets there first.
 func (f *Flow) FullChipCDs(d *Design) (map[GateKey]float64, error) {
+	return f.FullChipCDsCtx(nil, d)
+}
+
+// FullChipCDsCtx is FullChipCDs honouring an external context, so a
+// deadline or cancellation aborts the row sweep promptly. A non-printing
+// gate surfaces as a *fault.Numeric locating the row and gate.
+func (f *Flow) FullChipCDsCtx(ctx stdctx.Context, d *Design) (map[GateKey]float64, error) {
 	type gateCD struct {
 		key GateKey
 		cd  float64
 	}
-	rows, err := par.Map(nil, f.Workers(), len(d.Placement.Rows),
-		func(_ stdctx.Context, r int) ([]gateCD, error) {
+	rows, err := par.Map(ctx, f.Workers(), len(d.Placement.Rows),
+		func(cctx stdctx.Context, r int) ([]gateCD, error) {
 			lines := d.Placement.RowLines(r)
 			corrected := f.Recipe.Correct(lines, f.Wafer.TargetCD)
 
@@ -52,10 +60,19 @@ func (f *Flow) FullChipCDs(d *Design) (map[GateKey]float64, error) {
 					return nil, fmt.Errorf("core: gate at x=%v lost in row %d", rg.Line.CenterX, r)
 				}
 				env := process.EnvAt(corrected, i, f.Wafer.RadiusOfInfluence)
-				cd, ok := f.Wafer.PrintCD(env)
+				cd, ok, cdErr := f.Wafer.PrintCDChecked(env, 0, f.Wafer.Dose)
+				if cdErr != nil {
+					return nil, fmt.Errorf("core: full-chip OPC row %d: %w", r, cdErr)
+				}
 				if !ok {
-					return nil, fmt.Errorf("core: gate at x=%v does not print after full-chip OPC",
-						rg.Line.CenterX)
+					// A legal placement always prints; a gate that doesn't is
+					// a runtime data fault located by (row, gate).
+					return nil, &fault.Numeric{
+						At: fault.Coord{Stage: "fullchip", Index: r,
+							Item: fmt.Sprintf("inst %d gate %d", rg.Inst, rg.Gate)},
+						Quantity: "printed gate CD",
+						Value:    0,
+					}
 				}
 				out = append(out, gateCD{key: GateKey{Inst: rg.Inst, Gate: rg.Gate}, cd: cd})
 			}

@@ -4,6 +4,7 @@ import (
 	stdctx "context"
 
 	"svtiming/internal/corners"
+	"svtiming/internal/fault"
 	"svtiming/internal/sta"
 )
 
@@ -23,6 +24,8 @@ type flowConfig struct {
 	pitchSweep   []float64
 	staOpt       sta.Options
 	transient    bool
+	policy       FailurePolicy
+	hook         fault.Hook
 }
 
 // WithParallelism bounds the worker pool every compute stage of the flow
@@ -70,4 +73,23 @@ func WithTransientCharacterization() Option {
 // gives long builds (characterization, pitch sweep) an early-out.
 func WithContext(ctx stdctx.Context) Option {
 	return func(c *flowConfig) { c.ctx = ctx }
+}
+
+// WithFailurePolicy selects how Flow.Run treats a failing sweep point:
+// FailFast (the default) aborts on the first failure with the
+// lowest-index error, CollectAndReport completes the remaining sweep,
+// marks failed rows Degraded and returns every fault in a deterministic
+// coordinate-sorted report. See the FailurePolicy docs in run.go.
+func WithFailurePolicy(p FailurePolicy) Option {
+	return func(c *flowConfig) { c.policy = p }
+}
+
+// WithFaultInjection arms a deterministic fault-injection hook: before
+// each benchmark of Flow.Run the hook is consulted with that point's sweep
+// coordinate, and a non-nil result (or a panic inside the hook) is treated
+// exactly like a failure of the point's real work. Intended strictly for
+// tests (internal/fault/inject builds suitable hooks); a nil hook — the
+// default — is free.
+func WithFaultInjection(h fault.Hook) Option {
+	return func(c *flowConfig) { c.hook = h }
 }

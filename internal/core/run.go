@@ -1,0 +1,125 @@
+package core
+
+import (
+	stdctx "context"
+	"fmt"
+
+	"svtiming/internal/fault"
+	"svtiming/internal/par"
+)
+
+// FailurePolicy selects how Flow.Run treats a failing sweep point.
+type FailurePolicy int
+
+const (
+	// FailFast aborts the sweep on the first failure: Run returns the
+	// lowest-index error (exactly the error a serial sweep would hit
+	// first) and in-flight siblings are cancelled. The default.
+	FailFast FailurePolicy = iota
+
+	// CollectAndReport completes the sweep despite failures: every
+	// benchmark runs, failed rows come back with Degraded set (their
+	// numeric fields zero, never fabricated), and every fault is recorded
+	// in a deterministic coordinate-sorted fault.Report. Surviving rows
+	// are bit-identical to a FailFast run that encountered no faults.
+	CollectAndReport
+)
+
+func (p FailurePolicy) String() string {
+	switch p {
+	case FailFast:
+		return "fail-fast"
+	case CollectAndReport:
+		return "collect"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy maps the cmd tools' -on-fault flag values onto a policy.
+func ParsePolicy(s string) (FailurePolicy, error) {
+	switch s {
+	case "fail-fast", "failfast", "":
+		return FailFast, nil
+	case "collect", "collect-and-report":
+		return CollectAndReport, nil
+	default:
+		return FailFast, fmt.Errorf("core: unknown failure policy %q (want fail-fast or collect)", s)
+	}
+}
+
+// RunResult is the outcome of Flow.Run: the Table 2 rows (one per
+// requested benchmark, in request order) and, under CollectAndReport, the
+// faults of any degraded rows.
+type RunResult struct {
+	Rows   []Comparison
+	Report fault.Report
+}
+
+// Degraded reports whether any row failed.
+func (r *RunResult) Degraded() bool { return r.Report.Len() > 0 }
+
+// ExitCode maps the run outcome onto the cmd tools' shared exit codes:
+// 0 clean, 1 degraded (completed with reported faults).
+func (r *RunResult) ExitCode() int {
+	if r.Degraded() {
+		return fault.ExitDegraded
+	}
+	return fault.ExitClean
+}
+
+// Run produces the Table 2 comparison rows for the named benchmarks under
+// the flow's failure policy. Benchmarks fan out over the flow's worker
+// pool; each row's six corner analyses then run serially inside their
+// benchmark's slot (nesting both pools would oversubscribe the bound).
+//
+// Under FailFast the first failing benchmark (lowest request index) aborts
+// the sweep and is returned as the error. Under CollectAndReport the sweep
+// always completes: failed benchmarks yield Degraded rows and their faults
+// land in the result's Report, sorted by sweep coordinate regardless of
+// worker scheduling; the only error Run itself returns in collect mode is
+// external context cancellation. Either way, surviving rows are
+// bit-identical to a serial, uninjected run — degradation never perturbs
+// healthy points (determinism contract, see determinism_test.go).
+func (f *Flow) Run(ctx stdctx.Context, names []string) (*RunResult, error) {
+	coordOf := func(i int) fault.Coord {
+		return fault.Coord{Stage: "table2", Index: i, Item: names[i]}
+	}
+	one := func(cctx stdctx.Context, i int) (Comparison, error) {
+		if f.InjectHook != nil {
+			if err := f.InjectHook(coordOf(i)); err != nil {
+				return Comparison{}, err
+			}
+		}
+		// Serial inner analyses: the outer sweep owns the pool.
+		inner := *f
+		inner.Parallelism = 1
+		return inner.CompareDesignCtx(cctx, names[i])
+	}
+
+	res := &RunResult{}
+	if f.Policy == FailFast {
+		rows, err := par.Map(ctx, f.Workers(), len(names), one)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = rows
+		return res, nil
+	}
+
+	rows, errs := par.MapAll(ctx, f.Workers(), len(names), one)
+	res.Rows = rows
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if ctx != nil && ctx.Err() != nil {
+			// External cancellation is not a per-point fault: the caller
+			// asked the whole run to stop.
+			return res, ctx.Err()
+		}
+		res.Rows[i] = Comparison{Name: names[i], Degraded: true}
+		res.Report.Add(coordOf(i), err)
+	}
+	return res, nil
+}

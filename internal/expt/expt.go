@@ -43,8 +43,13 @@ var Fig1Pitches = []float64{260, 290, 320, 360, 400, 450, 500, 560, 620, 700, 80
 // over the par sweep helper (workers ≤ 0 uses GOMAXPROCS, 1 is serial);
 // the isolated reference rides along as a +Inf pitch point.
 func Fig1ThroughPitch(p *process.Process, workers int) ([]Fig1Point, error) {
+	return Fig1ThroughPitchCtx(nil, p, workers)
+}
+
+// Fig1ThroughPitchCtx is Fig1ThroughPitch honouring an external context.
+func Fig1ThroughPitchCtx(ctx stdctx.Context, p *process.Process, workers int) ([]Fig1Point, error) {
 	points := append(append([]float64(nil), Fig1Pitches...), math.Inf(1))
-	return par.Sweep(nil, workers, points,
+	return par.Sweep(ctx, workers, points,
 		func(_ stdctx.Context, pitch float64) (Fig1Point, error) {
 			env := process.DensePitch(Fig1DrawnCD, pitch, 4)
 			if math.IsInf(pitch, 1) {
@@ -80,13 +85,22 @@ type Fig2Result struct {
 // defocus × dose grid out over the shared worker pool (workers ≤ 0 uses
 // GOMAXPROCS, 1 is serial).
 func Fig2Bossung(p *process.Process, workers int) (Fig2Result, error) {
+	return Fig2BossungCtx(stdctx.Background(), p, workers)
+}
+
+// Fig2BossungCtx is Fig2Bossung honouring an external context: a deadline
+// or cancellation aborts the FEM grids promptly and surfaces the context's
+// error.
+func Fig2BossungCtx(ctx stdctx.Context, p *process.Process, workers int) (Fig2Result, error) {
 	pats := fem.StandardTestPatterns(p)
-	ctx := stdctx.Background()
-	r := Fig2Result{
-		Dense: fem.BuildCtx(ctx, p, "dense 90nm/150nm-space", pats["dense"], Fig2Defocus, Fig2Doses, workers),
-		Iso:   fem.BuildCtx(ctx, p, "isolated 90nm", pats["isolated"], Fig2Defocus, Fig2Doses, workers),
-	}
+	var r Fig2Result
 	var err error
+	if r.Dense, err = fem.BuildCtx(ctx, p, "dense 90nm/150nm-space", pats["dense"], Fig2Defocus, Fig2Doses, workers); err != nil {
+		return r, err
+	}
+	if r.Iso, err = fem.BuildCtx(ctx, p, "isolated 90nm", pats["isolated"], Fig2Defocus, Fig2Doses, workers); err != nil {
+		return r, err
+	}
 	if r.DenseFit, err = r.Dense.Fit(1.0); err != nil {
 		return r, err
 	}
@@ -280,12 +294,20 @@ func FormatTable1(rows []Table1Row, libRuntime time.Duration) string {
 	return sb.String()
 }
 
-// FormatTable2 renders Table 2 rows like the paper.
+// FormatTable2 renders Table 2 rows like the paper. Degraded rows (a
+// benchmark that failed under the CollectAndReport policy) render as
+// FAILED rather than fabricating numbers; the fault details live in the
+// run's fault.Report.
 func FormatTable2(rows []core.Comparison) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-8s %7s | %27s | %27s | %s\n", "Testcase", "#Gates",
 		"Traditional (Nom/BC/WC ps)", "New Accurate (Nom/BC/WC ps)", "%Red. Uncertainty")
 	for _, r := range rows {
+		if r.Degraded {
+			fmt.Fprintf(&sb, "%-8s %7s | %27s | %27s | %s\n",
+				r.Name, "-", "FAILED (see fault report)", "FAILED (see fault report)", "-")
+			continue
+		}
 		fmt.Fprintf(&sb, "%-8s %7d | %8.1f %8.1f %8.1f | %8.1f %8.1f %8.1f | %6.1f%%\n",
 			r.Name, r.Gates, r.TradNom, r.TradBC, r.TradWC,
 			r.NewNom, r.NewBC, r.NewWC, r.ReductionPct())

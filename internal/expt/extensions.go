@@ -151,8 +151,14 @@ type WindowSummary struct {
 func ProcessWindowStudy(p *process.Process, tolFrac float64, defocus, doses []float64, workers int) ([]WindowSummary, error) {
 	pats := fem.StandardTestPatterns(p)
 	ctx := stdctx.Background()
-	dense := fem.BuildCtx(ctx, p, "dense", pats["dense"], defocus, doses, workers)
-	iso := fem.BuildCtx(ctx, p, "isolated", pats["isolated"], defocus, doses, workers)
+	dense, err := fem.BuildCtx(ctx, p, "dense", pats["dense"], defocus, doses, workers)
+	if err != nil {
+		return nil, err
+	}
+	iso, err := fem.BuildCtx(ctx, p, "isolated", pats["isolated"], defocus, doses, workers)
+	if err != nil {
+		return nil, err
+	}
 	dT, okD := p.PrintCD(pats["dense"])
 	iT, okI := p.PrintCD(pats["isolated"])
 	if !okD || !okI {

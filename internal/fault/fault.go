@@ -1,0 +1,189 @@
+// Package fault is the typed error taxonomy of the fault-tolerant
+// execution layer. The paper's headline tables are produced by hours-scale
+// sweeps (FEM construction, process windows, per-trial Monte Carlo SSTA);
+// production STA infrastructure treats a bad numeric point or a
+// non-converging solver as a first-class, reportable outcome rather than a
+// crash. This package defines the vocabulary every layer shares:
+//
+//   - *Numeric — a NaN, Inf or out-of-range value escaped a numeric
+//     kernel (aerial-image intensity, printed CD, a characterized delay
+//     table entry, a Bossung fit coefficient). Carries the offending
+//     quantity, its value, and the sweep coordinates it occurred at.
+//
+//   - *NonConvergence — an iterative solver exhausted its budget (the
+//     transient RK4 stage never completed its transition, a Bossung fit
+//     had too few printable points). Carries the iteration count and the
+//     final residual.
+//
+//   - *Panic — a worker goroutine panicked and internal/par contained it.
+//     Carries the worker index, the item index, the recovered value and
+//     the stack. Only internal/par may call recover (enforced by the
+//     svlint nakedrecover analyzer); everything else returns errors.
+//
+// All three match errors.Is against the ErrNumeric / ErrNonConvergence /
+// ErrPanic sentinels and errors.As against their pointer types, through
+// arbitrary fmt.Errorf("…: %w", err) wrapping.
+//
+// The split between taxonomy errors and panics is deliberate: *runtime*
+// numeric failure (data-dependent, can legitimately occur mid-sweep on bad
+// process points) is returned; *programmer-error preconditions* (a
+// non-power-of-two FFT length, an imager with NA ≥ 1, a recipe with no
+// model process) stay panics — they indicate a bug, not a bad data point,
+// and must not be silently absorbed into a degraded-run report.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Category sentinels for errors.Is. They are never returned directly;
+// the typed errors below report themselves as matching one of these.
+var (
+	// ErrNumeric matches any *Numeric fault.
+	ErrNumeric = errors.New("fault: numeric failure")
+	// ErrNonConvergence matches any *NonConvergence fault.
+	ErrNonConvergence = errors.New("fault: solver non-convergence")
+	// ErrPanic matches any *Panic fault.
+	ErrPanic = errors.New("fault: contained panic")
+)
+
+// Coord locates a failure inside a sweep: which pipeline stage, which
+// flat item index (the internal/par item number, -1 when the failure is
+// not index-addressed), an optional item label (benchmark name, cell
+// name, FEM pattern), and the exposure condition when the stage sweeps
+// one. Dose 0 means "condition not recorded" (real relative doses are
+// ≈1); nominal-focus points record Defocus 0 with a real Dose.
+type Coord struct {
+	Stage   string  // pipeline stage, e.g. "table2", "fem", "printcd"
+	Index   int     // flat sweep index, -1 when not index-addressed
+	Item    string  // item label: benchmark, cell, pattern ("" if n/a)
+	Defocus float64 // defocus of the failing point, nm
+	Dose    float64 // relative exposure dose; 0 = condition not recorded
+}
+
+// String renders the coordinate compactly and deterministically, e.g.
+// "table2[1] c432" or "fem[-] dense z=-150 dose=1.05".
+func (c Coord) String() string {
+	var b strings.Builder
+	if c.Stage == "" {
+		b.WriteString("?")
+	} else {
+		b.WriteString(c.Stage)
+	}
+	if c.Index >= 0 {
+		fmt.Fprintf(&b, "[%d]", c.Index)
+	} else {
+		b.WriteString("[-]")
+	}
+	if c.Item != "" {
+		b.WriteString(" ")
+		b.WriteString(c.Item)
+	}
+	if c.Dose != 0 {
+		fmt.Fprintf(&b, " z=%g dose=%g", c.Defocus, c.Dose)
+	}
+	return b.String()
+}
+
+// Less orders coordinates deterministically: by stage, then item index,
+// then item label, then exposure condition. fault.Report sorts with it.
+func (c Coord) Less(o Coord) bool {
+	if c.Stage != o.Stage {
+		return c.Stage < o.Stage
+	}
+	if c.Index != o.Index {
+		return c.Index < o.Index
+	}
+	if c.Item != o.Item {
+		return c.Item < o.Item
+	}
+	if c.Defocus != o.Defocus { //lint:allow floateq exact coordinate ordering, not a tolerance comparison
+		return c.Defocus < o.Defocus
+	}
+	return c.Dose < o.Dose
+}
+
+// Numeric reports a NaN, Inf or out-of-range value escaping a numeric
+// kernel.
+type Numeric struct {
+	At       Coord
+	Quantity string  // the offending quantity, e.g. "aerial intensity"
+	Value    float64 // the offending value (NaN, ±Inf, or out of range)
+}
+
+func (e *Numeric) Error() string {
+	return fmt.Sprintf("numeric fault at %s: %s = %g", e.At, e.Quantity, e.Value)
+}
+
+// Is matches the ErrNumeric category sentinel.
+func (e *Numeric) Is(target error) bool { return target == ErrNumeric }
+
+// NonConvergence reports an iterative solver exhausting its budget.
+type NonConvergence struct {
+	At         Coord
+	What       string  // the solver, e.g. "transient stage transition"
+	Iterations int     // iterations (or integration steps) consumed
+	Residual   float64 // remaining residual when the budget ran out
+}
+
+func (e *NonConvergence) Error() string {
+	return fmt.Sprintf("non-convergence at %s: %s did not converge after %d iterations (residual %g)",
+		e.At, e.What, e.Iterations, e.Residual)
+}
+
+// Is matches the ErrNonConvergence category sentinel.
+func (e *NonConvergence) Is(target error) bool { return target == ErrNonConvergence }
+
+// Panic wraps a panic recovered by the internal/par worker pool.
+type Panic struct {
+	Worker int    // worker goroutine index; -1 for the inline serial path
+	Index  int    // item index that panicked
+	Value  any    // the recovered value
+	Stack  []byte // the panicking goroutine's stack
+}
+
+func (e *Panic) Error() string {
+	return fmt.Sprintf("panic in worker %d at item %d: %v", e.Worker, e.Index, e.Value)
+}
+
+// Is matches the ErrPanic category sentinel.
+func (e *Panic) Is(target error) bool { return target == ErrPanic }
+
+// Unwrap exposes a panicked error value (panic(err)) to errors.Is/As.
+func (e *Panic) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Finite is the standard numeric guard: nil for a finite v, otherwise a
+// *Numeric carrying the quantity, the bad value and the coordinate.
+func Finite(quantity string, v float64, at Coord) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return &Numeric{At: at, Quantity: quantity, Value: v}
+	}
+	return nil
+}
+
+// InRange guards a quantity against an inclusive [lo, hi] window (NaN
+// always fails): nil when inside, a *Numeric otherwise.
+func InRange(quantity string, v, lo, hi float64, at Coord) error {
+	if math.IsNaN(v) || v < lo || v > hi {
+		return &Numeric{At: at, Quantity: quantity, Value: v}
+	}
+	return nil
+}
+
+// Hook is the fault-injection seam: production code that supports
+// injection consults its (normally nil) hook at each sweep coordinate
+// before doing the point's real work; a non-nil result is treated exactly
+// like a failure produced by the work itself, and a panicking hook
+// exercises the pool's containment path. Hooks are carried in the
+// configuration of the component under test (a Flow field, a test-built
+// Plan) — never in package-level state — so arming one run cannot leak
+// into another. See internal/fault/inject for the test-side constructors.
+type Hook func(at Coord) error

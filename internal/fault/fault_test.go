@@ -1,0 +1,150 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestTaxonomyIsAs(t *testing.T) {
+	num := &Numeric{At: Coord{Stage: "printcd", Index: -1, Defocus: -150, Dose: 1.05}, Quantity: "printed CD", Value: math.NaN()}
+	ncv := &NonConvergence{At: Coord{Stage: "characterize", Index: 3, Item: "nand2"}, What: "transient stage transition", Iterations: 4000, Residual: 0.37}
+	pan := &Panic{Worker: 2, Index: 7, Value: "boom"}
+
+	wrapped := func(err error) error { return fmt.Errorf("outer: %w", fmt.Errorf("inner: %w", err)) }
+
+	cases := []struct {
+		err      error
+		sentinel error
+	}{
+		{wrapped(num), ErrNumeric},
+		{wrapped(ncv), ErrNonConvergence},
+		{wrapped(pan), ErrPanic},
+	}
+	for _, c := range cases {
+		if !errors.Is(c.err, c.sentinel) {
+			t.Errorf("errors.Is(%v, %v) = false, want true", c.err, c.sentinel)
+		}
+	}
+	// Each typed error matches only its own sentinel.
+	if errors.Is(num, ErrNonConvergence) || errors.Is(num, ErrPanic) {
+		t.Error("*Numeric matched a foreign sentinel")
+	}
+	if errors.Is(ncv, ErrNumeric) || errors.Is(pan, ErrNumeric) {
+		t.Error("foreign error matched ErrNumeric")
+	}
+
+	var gotNum *Numeric
+	if !errors.As(wrapped(num), &gotNum) || gotNum.At.Stage != "printcd" {
+		t.Errorf("errors.As failed to recover *Numeric through wrapping: %+v", gotNum)
+	}
+	var gotNcv *NonConvergence
+	if !errors.As(wrapped(ncv), &gotNcv) || gotNcv.Iterations != 4000 {
+		t.Errorf("errors.As failed to recover *NonConvergence: %+v", gotNcv)
+	}
+	var gotPan *Panic
+	if !errors.As(wrapped(pan), &gotPan) || gotPan.Worker != 2 {
+		t.Errorf("errors.As failed to recover *Panic: %+v", gotPan)
+	}
+}
+
+func TestPanicUnwrapsErrorValue(t *testing.T) {
+	inner := &Numeric{At: Coord{Stage: "fem", Index: 4}, Quantity: "CD", Value: math.Inf(1)}
+	pan := &Panic{Worker: 0, Index: 4, Value: inner}
+	if !errors.Is(pan, ErrNumeric) {
+		t.Error("panic(err) should unwrap: errors.Is(pan, ErrNumeric) = false")
+	}
+	var got *Numeric
+	if !errors.As(pan, &got) || got != inner {
+		t.Error("errors.As through *Panic did not recover the panicked error")
+	}
+	// A non-error panic value unwraps to nothing.
+	if (&Panic{Value: 42}).Unwrap() != nil {
+		t.Error("Unwrap of a non-error panic value should be nil")
+	}
+}
+
+func TestFiniteAndInRange(t *testing.T) {
+	at := Coord{Stage: "sta", Index: -1, Item: "c432"}
+	if err := Finite("arrival time", 12.5, at); err != nil {
+		t.Errorf("Finite(12.5) = %v, want nil", err)
+	}
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		err := Finite("arrival time", v, at)
+		var num *Numeric
+		if !errors.As(err, &num) {
+			t.Fatalf("Finite(%g) = %v, want *Numeric", v, err)
+		}
+		if num.Quantity != "arrival time" || num.At != at {
+			t.Errorf("Finite(%g) carried %q at %v", v, num.Quantity, num.At)
+		}
+	}
+	if err := InRange("dose", 1.0, 0.5, 1.5, at); err != nil {
+		t.Errorf("InRange inside window = %v, want nil", err)
+	}
+	for _, v := range []float64{0.4, 1.6, math.NaN()} {
+		if err := InRange("dose", v, 0.5, 1.5, at); !errors.Is(err, ErrNumeric) {
+			t.Errorf("InRange(%g) = %v, want ErrNumeric", v, err)
+		}
+	}
+}
+
+func TestCoordString(t *testing.T) {
+	cases := []struct {
+		c    Coord
+		want string
+	}{
+		{Coord{Stage: "table2", Index: 1, Item: "c432"}, "table2[1] c432"},
+		{Coord{Stage: "fem", Index: -1, Item: "dense", Defocus: -150, Dose: 1.05}, "fem[-] dense z=-150 dose=1.05"},
+		{Coord{Index: -1}, "?[-]"},
+	}
+	for _, c := range cases {
+		if got := c.c.String(); got != c.want {
+			t.Errorf("Coord%+v.String() = %q, want %q", c.c, got, c.want)
+		}
+	}
+}
+
+func TestReportDeterministicOrder(t *testing.T) {
+	mk := func() []Entry {
+		return []Entry{
+			{At: Coord{Stage: "table2", Index: 2, Item: "c880"}, Err: errors.New("a")},
+			{At: Coord{Stage: "fem", Index: 5, Item: "iso", Dose: 0.95}, Err: errors.New("b")},
+			{At: Coord{Stage: "fem", Index: 5, Item: "iso", Dose: 0.90}, Err: errors.New("c")},
+			{At: Coord{Stage: "table2", Index: 0, Item: "c17"}, Err: errors.New("d")},
+		}
+	}
+	// Insert in two different orders; rendered output must agree.
+	var r1, r2 Report
+	for _, e := range mk() {
+		r1.Add(e.At, e.Err)
+	}
+	rev := mk()
+	sort.SliceStable(rev, func(i, j int) bool { return j < i }) // reverse
+	for _, e := range rev {
+		r2.Add(e.At, e.Err)
+	}
+	if r1.String() != r2.String() {
+		t.Errorf("report rendering depends on insertion order:\n%s\nvs\n%s", r1.String(), r2.String())
+	}
+	ents := r1.Entries()
+	for i := 1; i < len(ents); i++ {
+		if ents[i].At.Less(ents[i-1].At) {
+			t.Errorf("entries not sorted: %v before %v", ents[i-1].At, ents[i].At)
+		}
+	}
+	if got := r1.Len(); got != 4 {
+		t.Errorf("Len = %d, want 4", got)
+	}
+	if !strings.HasPrefix(r1.String(), "fem[5] iso") {
+		t.Errorf("sorted report should start with the fem entries:\n%s", r1.String())
+	}
+	var empty Report
+	empty.Add(Coord{}, nil) // nil errors ignored
+	if empty.Len() != 0 || empty.String() != "no faults" {
+		t.Errorf("empty report: Len=%d String=%q", empty.Len(), empty.String())
+	}
+}

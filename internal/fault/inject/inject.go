@@ -1,0 +1,109 @@
+// Package inject is the test-side half of the deterministic
+// fault-injection harness: it builds fault.Hook functions that fire at
+// chosen sweep coordinates. Production stages that support injection
+// consult their configured hook (normally nil) with each point's
+// coordinate before doing the point's real work; a Plan makes that hook
+// fire a chosen fault class at chosen points and nothing anywhere else.
+//
+// Design constraints, all load-bearing:
+//
+//   - Deterministic. A trigger is keyed on (stage, index) — the discrete
+//     address every sweep point already has — never on float coordinate
+//     matching, so a plan fires at exactly the intended points on every
+//     run and at every worker count.
+//
+//   - No global state. A Plan is a value owned by one test and armed by
+//     explicit configuration (core.WithFaultInjection, or setting the
+//     Flow's InjectHook field on a copy); two tests running in parallel
+//     with different plans cannot observe each other.
+//
+//   - Real error paths. An injected NaN produces its error through the
+//     production guard (fault.Finite over an actual NaN), and an injected
+//     panic panics inside the hook so the worker pool's recover path —
+//     not a simulation of it — is exercised.
+//
+// The package is imported only from tests; nothing in the production tree
+// depends on it.
+package inject
+
+import (
+	"fmt"
+	"math"
+
+	"svtiming/internal/fault"
+)
+
+// action is one planned fault class.
+type action int
+
+const (
+	actNaN action = iota
+	actNonConvergence
+	actPanic
+)
+
+// key addresses one sweep point: the stage label production code passes
+// in its fault.Coord plus the point's flat sweep index.
+type key struct {
+	stage string
+	index int
+}
+
+// Plan is a set of faults to fire at chosen sweep coordinates. The zero
+// value is an empty plan (its Hook never fires). Build it in the test,
+// then arm it with core.WithFaultInjection(plan.Hook()). A Plan is not
+// safe for mutation after Hook() has been handed to a running flow.
+type Plan struct {
+	acts map[key]action
+}
+
+func (p *Plan) set(stage string, index int, a action) *Plan {
+	if p.acts == nil {
+		p.acts = make(map[key]action)
+	}
+	p.acts[key{stage: stage, index: index}] = a
+	return p
+}
+
+// InjectNaN plans a numeric fault at (stage, index): the hook routes an
+// actual NaN through the production fault.Finite guard, so the resulting
+// error is exactly what a corrupted kernel would produce.
+func (p *Plan) InjectNaN(stage string, index int) *Plan {
+	return p.set(stage, index, actNaN)
+}
+
+// InjectNonConvergence plans a solver-exhaustion fault at (stage, index).
+func (p *Plan) InjectNonConvergence(stage string, index int) *Plan {
+	return p.set(stage, index, actNonConvergence)
+}
+
+// InjectPanic plans a worker panic at (stage, index): the hook panics, so
+// the containment path in internal/par — recover, *fault.Panic, sibling
+// cancellation under FailFast — is exercised for real.
+func (p *Plan) InjectPanic(stage string, index int) *Plan {
+	return p.set(stage, index, actPanic)
+}
+
+// Hook returns the fault.Hook implementing the plan. Points not named by
+// the plan pass through untouched (nil error).
+func (p *Plan) Hook() fault.Hook {
+	return func(at fault.Coord) error {
+		a, ok := p.acts[key{stage: at.Stage, index: at.Index}]
+		if !ok {
+			return nil
+		}
+		switch a {
+		case actNaN:
+			return fault.Finite("injected quantity", math.NaN(), at)
+		case actNonConvergence:
+			return &fault.NonConvergence{
+				At:         at,
+				What:       "injected solver",
+				Iterations: 1000,
+				Residual:   0.5,
+			}
+		default:
+			panic(fmt.Sprintf("injected panic at %s", at))
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package inject
+
+import (
+	"errors"
+	"testing"
+
+	"svtiming/internal/fault"
+)
+
+func TestEmptyPlanNeverFires(t *testing.T) {
+	var p Plan
+	h := p.Hook()
+	for i := 0; i < 5; i++ {
+		if err := h(fault.Coord{Stage: "table2", Index: i}); err != nil {
+			t.Fatalf("empty plan fired at %d: %v", i, err)
+		}
+	}
+}
+
+func TestPlanFiresOnlyAtPlannedCoordinates(t *testing.T) {
+	var p Plan
+	p.InjectNaN("table2", 1).InjectNonConvergence("fem", 3)
+	h := p.Hook()
+
+	if err := h(fault.Coord{Stage: "table2", Index: 0}); err != nil {
+		t.Errorf("unplanned point fired: %v", err)
+	}
+	if err := h(fault.Coord{Stage: "fem", Index: 1}); err != nil {
+		t.Errorf("wrong stage fired: %v", err)
+	}
+
+	err := h(fault.Coord{Stage: "table2", Index: 1, Item: "c432"})
+	var num *fault.Numeric
+	if !errors.As(err, &num) {
+		t.Fatalf("InjectNaN produced %v, want *fault.Numeric", err)
+	}
+	if num.At.Stage != "table2" || num.At.Index != 1 || num.At.Item != "c432" {
+		t.Errorf("fault coordinate %v, want the consulted coordinate", num.At)
+	}
+
+	err = h(fault.Coord{Stage: "fem", Index: 3})
+	var ncv *fault.NonConvergence
+	if !errors.As(err, &ncv) || ncv.Iterations != 1000 {
+		t.Fatalf("InjectNonConvergence produced %v", err)
+	}
+}
+
+func TestPlanPanicActuallyPanics(t *testing.T) {
+	var p Plan
+	p.InjectPanic("table2", 2)
+	h := p.Hook()
+	defer func() {
+		if recover() == nil {
+			t.Error("InjectPanic hook did not panic")
+		}
+	}()
+	_ = h(fault.Coord{Stage: "table2", Index: 2})
+}
+
+func TestPlansAreIndependent(t *testing.T) {
+	var a, b Plan
+	a.InjectNaN("table2", 0)
+	if err := b.Hook()(fault.Coord{Stage: "table2", Index: 0}); err != nil {
+		t.Errorf("plan b observed plan a's trigger: %v", err)
+	}
+}

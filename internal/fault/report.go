@@ -1,0 +1,66 @@
+package fault
+
+import (
+	"sort"
+	"strings"
+)
+
+// Exit codes shared by every cmd tool: a run is clean, degraded (it
+// completed under CollectAndReport but some sweep points failed and are
+// marked rather than fabricated), or failed outright (including bad
+// usage).
+const (
+	ExitClean    = 0
+	ExitDegraded = 1
+	ExitFailed   = 2
+)
+
+// Entry is one recorded fault: where it happened and what it was.
+type Entry struct {
+	At  Coord
+	Err error
+}
+
+// Report accumulates the faults of a CollectAndReport run. The zero
+// value is ready to use. Accumulation order does not matter: Entries and
+// String sort by coordinate, so a report's rendering is deterministic
+// regardless of worker scheduling.
+type Report struct {
+	entries []Entry
+}
+
+// Add records one fault. Nil errors are ignored so callers can add
+// unconditionally.
+func (r *Report) Add(at Coord, err error) {
+	if err == nil {
+		return
+	}
+	r.entries = append(r.entries, Entry{At: at, Err: err})
+}
+
+// Len reports the number of recorded faults.
+func (r *Report) Len() int { return len(r.entries) }
+
+// Entries returns the faults sorted by coordinate (stage, index, item,
+// exposure condition). The returned slice is a copy.
+func (r *Report) Entries() []Entry {
+	out := make([]Entry, len(r.entries))
+	copy(out, r.entries)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At.Less(out[j].At) })
+	return out
+}
+
+// String renders the report one fault per line, coordinate-sorted.
+func (r *Report) String() string {
+	if r.Len() == 0 {
+		return "no faults"
+	}
+	var b strings.Builder
+	for _, e := range r.Entries() {
+		b.WriteString(e.At.String())
+		b.WriteString(": ")
+		b.WriteString(e.Err.Error())
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,88 @@
+package fem
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"svtiming/internal/fault"
+	"svtiming/internal/process"
+)
+
+// poisonedProcess returns a fresh process whose optical column produces
+// NaN aerial intensity everywhere — the canonical corrupted-kernel input.
+// Fresh, not a copy of the shared wafer: Process carries its own CD cache
+// and the poison must not leak into other tests' memoized results.
+func poisonedProcess() *process.Process {
+	p := process.Nominal90nm()
+	p.Optics.Aberration = func(rho float64) float64 { return math.NaN() }
+	return p
+}
+
+func TestBuildSurfacesNumericFaultNotPanic(t *testing.T) {
+	p := poisonedProcess()
+	pats := StandardTestPatterns(p)
+	_, err := Build(p, "dense", pats["dense"], []float64{0}, []float64{1.0})
+	if err == nil {
+		t.Fatal("poisoned optics built a matrix without error")
+	}
+	var num *fault.Numeric
+	if !errors.As(err, &num) {
+		t.Fatalf("err = %v, want *fault.Numeric", err)
+	}
+	if num.Quantity != "aerial intensity" {
+		t.Errorf("fault quantity = %q, want the aerial-image guard", num.Quantity)
+	}
+	if num.At.Stage != "printcd" {
+		t.Errorf("fault stage = %q, want printcd", num.At.Stage)
+	}
+	if !math.IsNaN(num.Value) {
+		t.Errorf("fault value = %v, want the offending NaN", num.Value)
+	}
+}
+
+func TestBuildCtxCancelledMidSweep(t *testing.T) {
+	// Satellite: cancelling a FEM build partway through returns promptly
+	// with context.Canceled and leaks no workers. The cancellation is
+	// triggered from inside the optical kernel via the aberration hook, so
+	// it lands while grid cells are genuinely in flight.
+	base := runtime.NumGoroutine()
+
+	p := process.Nominal90nm()
+	var calls atomic.Int64
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p.Optics.Aberration = func(rho float64) float64 {
+		if calls.Add(1) == 2000 { // a few cells into the sweep
+			cancel()
+		}
+		return 0
+	}
+
+	pats := StandardTestPatterns(p)
+	start := time.Now()
+	_, err := BuildCtx(ctx, p, "dense", pats["dense"], defocusGrid(),
+		[]float64{0.9, 0.95, 1.0, 1.05, 1.1}, 4)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("BuildCtx err = %v, want context.Canceled", err)
+	}
+	// Prompt return: in-flight cells may finish, but none of the remaining
+	// 35-cell grid should start. A full build takes far longer than this.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancelled build took %v — sweep did not stop promptly", elapsed)
+	}
+
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= base {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base {
+		t.Errorf("goroutine leak after cancelled build: %d > %d", n, base)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"math"
 	"strings"
 
+	"svtiming/internal/fault"
 	"svtiming/internal/par"
 	"svtiming/internal/process"
 )
@@ -51,8 +52,11 @@ func (f BossungFit) Smiles() bool { return f.B2 > 0 }
 func (f BossungFit) Excursion(z float64) float64 { return f.At(z) - f.B0 }
 
 // Build sweeps the process over the defocus × dose grid for the given
-// environment and returns its FEM.
-func Build(p *process.Process, pattern string, env process.Env, defocus, doses []float64) Matrix {
+// environment and returns its FEM. The error is non-nil on a numeric
+// fault inside a simulation (a corrupted aerial image — distinct from a
+// feature legitimately failing to print, which records a NaN sample) or
+// on a contained worker panic.
+func Build(p *process.Process, pattern string, env process.Env, defocus, doses []float64) (Matrix, error) {
 	return BuildCtx(context.Background(), p, pattern, env, defocus, doses, 1)
 }
 
@@ -60,21 +64,26 @@ func Build(p *process.Process, pattern string, env process.Env, defocus, doses [
 // shared par worker pool: every (dose, defocus) cell is an independent
 // simulation, and the grid's index-ordered collection keeps curve and
 // sample order identical to the serial sweep. workers ≤ 0 uses GOMAXPROCS.
-func BuildCtx(ctx context.Context, p *process.Process, pattern string, env process.Env, defocus, doses []float64, workers int) Matrix {
+// On cancellation or a simulation fault the partial matrix is returned
+// alongside the error (lowest-index error, per the par contract).
+func BuildCtx(ctx context.Context, p *process.Process, pattern string, env process.Env, defocus, doses []float64, workers int) (Matrix, error) {
 	m := Matrix{Pattern: pattern}
 	if len(env.Left) > 0 {
 		m.Pitch = env.Left[0].Gap + (env.Left[0].Width+env.Width)/2
 	}
 	grid, err := par.Grid(ctx, workers, doses, defocus,
 		func(_ context.Context, dose, z float64) (float64, error) {
-			cd, ok := p.PrintCDCond(env, z, dose)
+			cd, ok, err := p.PrintCDChecked(env, z, dose)
+			if err != nil {
+				return math.NaN(), fmt.Errorf("fem %s: %w", pattern, err)
+			}
 			if !ok {
-				cd = math.NaN()
+				cd = math.NaN() // legitimately non-printing point
 			}
 			return cd, nil
 		})
 	if err != nil {
-		return m // cancelled: no curves
+		return m, err // cancelled or poisoned: no curves
 	}
 	for di, dose := range doses {
 		m.Curves = append(m.Curves, Curve{
@@ -83,7 +92,7 @@ func BuildCtx(ctx context.Context, p *process.Process, pattern string, env proce
 			CD:      grid[di],
 		})
 	}
-	return m
+	return m, nil
 }
 
 // StandardTestPatterns returns the canonical FEM test structures for a
@@ -110,10 +119,15 @@ func (m Matrix) Fit(dose float64) (BossungFit, error) {
 			best = i
 		}
 	}
-	return fitQuadratic(m.Curves[best])
+	return fitQuadratic(m.Curves[best], fault.Coord{
+		Stage: "bossung",
+		Index: -1,
+		Item:  m.Pattern,
+		Dose:  m.Curves[best].Dose,
+	})
 }
 
-func fitQuadratic(c Curve) (BossungFit, error) {
+func fitQuadratic(c Curve, at fault.Coord) (BossungFit, error) {
 	// Normal equations for [1, z, z²] with z scaled to keep the system
 	// well conditioned.
 	const zScale = 100.0
@@ -137,7 +151,15 @@ func fitQuadratic(c Curve) (BossungFit, error) {
 		n++
 	}
 	if n < 3 {
-		return BossungFit{}, fmt.Errorf("fem: only %d printable points at dose %g", n, c.Dose)
+		// A quadratic needs three points; a curve where fewer printed
+		// cannot be fit — the sweep "ran out of data" rather than hitting a
+		// bad number, so it is classified as non-convergence of the fit.
+		return BossungFit{}, &fault.NonConvergence{
+			At:         at,
+			What:       fmt.Sprintf("Bossung quadratic fit (only %d printable points)", n),
+			Iterations: n,
+			Residual:   math.NaN(),
+		}
 	}
 	// Solve the 3x3 symmetric system [s0 s1 s2; s1 s2 s3; s2 s3 s4]·b = t.
 	a := [3][4]float64{
@@ -155,7 +177,7 @@ func fitQuadratic(c Curve) (BossungFit, error) {
 		}
 		a[col], a[piv] = a[piv], a[col]
 		if math.Abs(a[col][col]) < 1e-12 {
-			return BossungFit{}, fmt.Errorf("fem: singular fit at dose %g", c.Dose)
+			return BossungFit{}, &fault.Numeric{At: at, Quantity: "Bossung fit pivot", Value: a[col][col]}
 		}
 		for r := 0; r < 3; r++ {
 			if r == col {

@@ -14,6 +14,15 @@ func defocusGrid() []float64 {
 	return []float64{-300, -200, -100, 0, 100, 200, 300}
 }
 
+func mustBuild(t *testing.T, p *process.Process, pattern string, env process.Env, defocus, doses []float64) Matrix {
+	t.Helper()
+	m, err := Build(p, pattern, env, defocus, doses)
+	if err != nil {
+		t.Fatalf("Build(%s): %v", pattern, err)
+	}
+	return m
+}
+
 func TestFitQuadraticExact(t *testing.T) {
 	// Fit recovers a known quadratic exactly.
 	c := Curve{Dose: 1}
@@ -95,8 +104,8 @@ func TestBuildDenseSmilesIsoFrowns(t *testing.T) {
 	// (target CD lines, 150 nm spaces) smiles; the isolated line frowns.
 	pats := StandardTestPatterns(wafer)
 	doses := []float64{1.0}
-	dense := Build(wafer, "dense", pats["dense"], defocusGrid(), doses)
-	iso := Build(wafer, "isolated", pats["isolated"], defocusGrid(), doses)
+	dense := mustBuild(t, wafer, "dense", pats["dense"], defocusGrid(), doses)
+	iso := mustBuild(t, wafer, "isolated", pats["isolated"], defocusGrid(), doses)
 
 	fd, err := dense.Fit(1)
 	if err != nil {
@@ -121,7 +130,7 @@ func TestBuildDoseSeparatesCurves(t *testing.T) {
 	// Higher dose erodes resist lines: at any fixed focus the printed CD
 	// decreases with dose (the vertical ordering of Fig 2's curve family).
 	pats := StandardTestPatterns(wafer)
-	m := Build(wafer, "dense", pats["dense"], []float64{0, 150}, []float64{0.9, 1.0, 1.1})
+	m := mustBuild(t, wafer, "dense", pats["dense"], []float64{0, 150}, []float64{0.9, 1.0, 1.1})
 	for zi := range m.Curves[0].Defocus {
 		for di := 1; di < len(m.Curves); di++ {
 			lo, hi := m.Curves[di].CD[zi], m.Curves[di-1].CD[zi]
@@ -138,7 +147,7 @@ func TestBuildDoseSeparatesCurves(t *testing.T) {
 
 func TestMatrixString(t *testing.T) {
 	pats := StandardTestPatterns(wafer)
-	m := Build(wafer, "dense", pats["dense"], []float64{0, 300}, []float64{0.9})
+	m := mustBuild(t, wafer, "dense", pats["dense"], []float64{0, 300}, []float64{0.9})
 	s := m.String()
 	if !strings.Contains(s, "FEM dense") || !strings.Contains(s, "dose=0.90") {
 		t.Errorf("String() = %q", s)
@@ -154,7 +163,7 @@ func TestBossungSymmetryThroughFocus(t *testing.T) {
 	// The aerial image is symmetric in defocus sign (no odd aberrations),
 	// so B1 should be negligible compared to the quadratic term's reach.
 	pats := StandardTestPatterns(wafer)
-	m := Build(wafer, "dense", pats["dense"], defocusGrid(), []float64{1.0})
+	m := mustBuild(t, wafer, "dense", pats["dense"], defocusGrid(), []float64{1.0})
 	fit, err := m.Fit(1)
 	if err != nil {
 		t.Fatal(err)

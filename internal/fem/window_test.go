@@ -108,8 +108,8 @@ func TestOverlapWindowPeaksNearNominalDose(t *testing.T) {
 	pats := StandardTestPatterns(p)
 	zs := []float64{-300, -200, -100, 0, 100, 200, 300}
 	doses := []float64{0.90, 1.0, 1.10}
-	dense := Build(p, "dense", pats["dense"], zs, doses)
-	iso := Build(p, "isolated", pats["isolated"], zs, doses)
+	dense := mustBuild(t, p, "dense", pats["dense"], zs, doses)
+	iso := mustBuild(t, p, "isolated", pats["isolated"], zs, doses)
 	dT, _ := p.PrintCD(pats["dense"])
 	iT, _ := p.PrintCD(pats["isolated"])
 	ow := OverlapWindow(dense.ProcessWindow(dT, 0.10), iso.ProcessWindow(iT, 0.10))

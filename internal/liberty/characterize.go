@@ -2,9 +2,12 @@ package liberty
 
 import (
 	stdctx "context"
+	"errors"
 	"fmt"
+	"math"
 
 	"svtiming/internal/context"
+	"svtiming/internal/fault"
 	"svtiming/internal/geom"
 	"svtiming/internal/opc"
 	"svtiming/internal/par"
@@ -122,29 +125,57 @@ func characterizeCell(cell *stdcell.Cell, cfg CharConfig) (*CellEntry, error) {
 	slewAt := func(s, c float64) float64 {
 		return 4 + 1.1*cell.DriveRes*(cell.ParCap+c) + 0.2*s
 	}
+	// The transient backend can legitimately fail at a grid point (solver
+	// exhaustion on an extreme slew/load combination). Sample's signature
+	// is a plain float function, so the closures record the first failure
+	// and poison their return with NaN; the table guard below turns that
+	// into the typed error, stamped with the cell's coordinate.
+	var simErr error
 	if cfg.Transient {
-		delayAt = func(s, c float64) float64 {
+		simulate := func(s, c float64) (tran.Result, bool) {
 			r, err := tran.DefaultStage(cell.DriveRes, cell.ParCap, c, cell.Intrinsic).Simulate(s)
 			if err != nil {
-				panic(fmt.Sprintf("liberty: transient characterization of %s: %v", cell.Name, err))
+				if simErr == nil {
+					simErr = stampCell(err, cell.Name)
+				}
+				return tran.Result{}, false
+			}
+			return r, true
+		}
+		delayAt = func(s, c float64) float64 {
+			r, ok := simulate(s, c)
+			if !ok {
+				return nan()
 			}
 			return r.DelayPS
 		}
 		slewAt = func(s, c float64) float64 {
-			r, err := tran.DefaultStage(cell.DriveRes, cell.ParCap, c, cell.Intrinsic).Simulate(s)
-			if err != nil {
-				panic(fmt.Sprintf("liberty: transient characterization of %s: %v", cell.Name, err))
+			r, ok := simulate(s, c)
+			if !ok {
+				return nan()
 			}
 			return r.OutSlewPS
 		}
 	}
 	for _, arc := range cell.Arcs {
-		e.Arcs = append(e.Arcs, ArcSpec{
+		spec := ArcSpec{
 			From:    arc.From,
 			Devices: append([]int(nil), arc.Devices...),
 			Delay:   Sample(DefaultSlews, DefaultLoads, delayAt),
 			OutSlew: Sample(DefaultSlews, DefaultLoads, slewAt),
-		})
+		}
+		if simErr != nil {
+			return nil, simErr
+		}
+		// Whatever the backend, a characterized table must be finite:
+		// a NaN or Inf entry would silently poison every downstream STA.
+		if err := spec.Delay.CheckFinite("delay", cell.Name); err != nil {
+			return nil, err
+		}
+		if err := spec.OutSlew.CheckFinite("output slew", cell.Name); err != nil {
+			return nil, err
+		}
+		e.Arcs = append(e.Arcs, spec)
 	}
 
 	// Library-based OPC in the dummy environment (Fig 3), then wafer-print
@@ -162,6 +193,29 @@ func characterizeCell(cell *stdcell.Cell, cfg CharConfig) (*CellEntry, error) {
 	}
 
 	return e, nil
+}
+
+// nan returns the poison value the transient closures hand to Sample when
+// the simulator failed; the table guard converts it back into the typed
+// error recorded by the closure.
+func nan() float64 { return math.NaN() }
+
+// stampCell attaches the characterized cell's coordinate to a taxonomy
+// error coming out of the electrical backend, so a report names the cell,
+// not just "tran".
+func stampCell(err error, cell string) error {
+	at := fault.Coord{Stage: "characterize", Index: -1, Item: cell}
+	var ncv *fault.NonConvergence
+	if errors.As(err, &ncv) {
+		ncv.At = at
+		return fmt.Errorf("liberty: transient characterization of %s: %w", cell, ncv)
+	}
+	var num *fault.Numeric
+	if errors.As(err, &num) {
+		num.At = at
+		return fmt.Errorf("liberty: transient characterization of %s: %w", cell, num)
+	}
+	return fmt.Errorf("liberty: transient characterization of %s: %w", cell, err)
 }
 
 // DummyEnvironment returns the cell's poly features flanked by full-height

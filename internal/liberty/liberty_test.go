@@ -1,11 +1,13 @@
 package liberty
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
 
 	"svtiming/internal/context"
+	"svtiming/internal/fault"
 	"svtiming/internal/opc"
 	"svtiming/internal/process"
 	"svtiming/internal/stdcell"
@@ -284,6 +286,52 @@ func TestTransientCharacterization(t *testing.T) {
 				t.Errorf("%s arc %s: transient tables identical to closed form", name, a.From)
 			}
 		}
+	}
+}
+
+func TestTransientFailureIsTypedNotPanic(t *testing.T) {
+	// A cell whose electrical parameters break the transient backend must
+	// come back as a returned taxonomy error naming the cell — the old
+	// behavior was a panic inside the sampling closure that killed the
+	// whole characterization pool.
+	bad := &stdcell.Cell{
+		Name:     "BADX1",
+		DriveRes: -1, ParCap: 1.5, Intrinsic: 20,
+		Arcs: []stdcell.Arc{{From: "A", Devices: []int{0}}},
+	}
+	wafer := process.Nominal90nm()
+	recipe := opc.Standard(opc.ModelProcess(wafer))
+	_, err := characterizeCell(bad, CharConfig{Wafer: wafer, Recipe: recipe, Transient: true})
+	if err == nil {
+		t.Fatal("degenerate transient cell characterized without error")
+	}
+	var num *fault.Numeric
+	if !errors.As(err, &num) {
+		t.Fatalf("error = %v, want *fault.Numeric", err)
+	}
+	if num.At.Item != "BADX1" || num.At.Stage != "characterize" {
+		t.Errorf("fault coordinate %v does not name the cell", num.At)
+	}
+}
+
+func TestCheckFiniteCatchesPoisonedTable(t *testing.T) {
+	tab := Sample([]float64{10, 30}, []float64{1, 4}, func(s, c float64) float64 {
+		if s == 30 && c == 4 {
+			return math.NaN()
+		}
+		return s + c
+	})
+	err := tab.CheckFinite("delay", "NANDX1")
+	var num *fault.Numeric
+	if !errors.As(err, &num) {
+		t.Fatalf("CheckFinite = %v, want *fault.Numeric", err)
+	}
+	if num.At.Item != "NANDX1" || num.At.Index != 3 {
+		t.Errorf("bad entry located at %v, want NANDX1 index 3", num.At)
+	}
+	clean := Sample([]float64{10}, []float64{1}, func(s, c float64) float64 { return s + c })
+	if err := clean.CheckFinite("delay", "NANDX1"); err != nil {
+		t.Errorf("clean table flagged: %v", err)
 	}
 }
 

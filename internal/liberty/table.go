@@ -9,6 +9,8 @@ package liberty
 import (
 	"fmt"
 	"math"
+
+	"svtiming/internal/fault"
 )
 
 // Table is a 2-D lookup table over input slew (ps) and output load (fF),
@@ -100,6 +102,26 @@ func locate(axis []float64, x float64) (int, float64) {
 		}
 	}
 	return lo, (x - axis[lo]) / (axis[lo+1] - axis[lo])
+}
+
+// CheckFinite scans a sampled table for non-finite entries and returns a
+// *fault.Numeric naming the quantity, the characterized cell and the flat
+// grid index of the first bad entry. Every table entering the library
+// passes through this guard: a single NaN would otherwise propagate
+// through bilinear interpolation into every downstream arrival time.
+func (t Table) CheckFinite(quantity, cell string) error {
+	for i, row := range t.Values {
+		for j, v := range row {
+			if err := fault.Finite(quantity, v, fault.Coord{
+				Stage: "characterize",
+				Index: i*len(row) + j,
+				Item:  cell,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // Sample builds a table by evaluating f over the given axes.

@@ -18,6 +18,8 @@
 //	             internal/expt clock.
 //	unitsafety — no arithmetic mixing identifiers whose names carry
 //	             conflicting unit suffixes (…Nm vs …Um vs …PerUm).
+//	nakedrecover — no recover() outside internal/par, the one layer
+//	             entitled to convert panics into *fault.Panic values.
 //
 // A finding is suppressed by a justified directive on the same line or
 // the line above:
@@ -118,7 +120,7 @@ func (d Diagnostic) String() string {
 
 // All returns the full analyzer suite in report order.
 func All() []*Analyzer {
-	return []*Analyzer{DetRand, MapOrder, FloatEq, WallTime, UnitSafety}
+	return []*Analyzer{DetRand, MapOrder, FloatEq, WallTime, UnitSafety, NakedRecover}
 }
 
 // allowDirective is one parsed //lint:allow comment.

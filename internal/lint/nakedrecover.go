@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NakedRecover flags calls to the recover builtin outside internal/par.
+// Panic containment is the worker pool's job: par converts a recovered
+// panic into a *fault.Panic that carries the worker, sweep index and
+// stack, preserves lowest-index-error determinism, and cancels siblings.
+// A recover anywhere else swallows the panic before that machinery sees
+// it — the fault loses its coordinate and the sweep silently continues
+// with a hole. Test files are not loaded by the svlint driver, so test
+// helpers (e.g. asserting that something panics) are exempt by
+// construction.
+var NakedRecover = &Analyzer{
+	Name: "nakedrecover",
+	Doc:  "forbids recover() outside the internal/par panic-containment layer",
+	Run:  runNakedRecover,
+}
+
+func runNakedRecover(p *Pass) {
+	if p.Pkg != nil && strings.HasSuffix(p.Pkg.Path(), "internal/par") {
+		return
+	}
+	for _, f := range p.Files {
+		file := f
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "recover" || len(call.Args) != 0 {
+				return true
+			}
+			// A local function that shadows the builtin is not a panic
+			// handler; only the builtin is gated.
+			if p.Info != nil {
+				if obj, ok := p.Info.Uses[id]; ok {
+					if _, builtin := obj.(*types.Builtin); !builtin {
+						return true
+					}
+				}
+			}
+			p.Reportf(call.Pos(),
+				"recover() outside internal/par swallows the panic before the pool can convert it to a *fault.Panic; let the fault propagate")
+			return true
+		})
+	}
+}

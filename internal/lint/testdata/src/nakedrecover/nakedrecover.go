@@ -1,0 +1,37 @@
+// Golden input for the nakedrecover analyzer: recover() calls outside
+// internal/par are flagged; a shadowing local function and a justified
+// suppression are not.
+package nakedrecover
+
+import "fmt"
+
+// flaggedDeferred is the classic swallow: the panic never reaches the
+// worker pool's containment.
+func flaggedDeferred() (err error) {
+	defer func() {
+		if r := recover(); r != nil { // want "recover\(\) outside internal/par"
+			err = fmt.Errorf("recovered: %v", r)
+		}
+	}()
+	return nil
+}
+
+// flaggedBare is a recover outside any deferred function (a no-op at
+// runtime, and still a containment smell).
+func flaggedBare() any {
+	return recover() // want "recover\(\) outside internal/par"
+}
+
+// recover here is a local function shadowing the builtin; calling it is
+// not panic handling and is not flagged.
+func shadowed() {
+	recover := func() int { return 42 }
+	_ = recover()
+}
+
+// sanctioned mirrors an explicitly justified exception.
+func sanctioned() {
+	defer func() {
+		_ = recover() //lint:allow nakedrecover golden-file mirror of a justified containment exception
+	}()
+}

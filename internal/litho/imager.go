@@ -50,6 +50,21 @@ func (p Profile) At(x float64) float64 {
 	return p.I[i]*(1-t) + p.I[i+1]*t
 }
 
+// NonFinite scans the profile for a NaN or infinite intensity sample and
+// returns the first offending index. The second result is false when every
+// sample is finite. It is the guard the process layer runs on every aerial
+// image before thresholding: a corrupted pupil function (e.g. a NaN from
+// an aberration model) must surface as a typed numeric fault at its sweep
+// coordinate, not as a silently non-printing feature.
+func (p Profile) NonFinite() (int, bool) {
+	for i, v := range p.I {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
 // Min returns the minimum intensity over [lo, hi].
 func (p Profile) Min(lo, hi float64) float64 {
 	m := math.Inf(1)

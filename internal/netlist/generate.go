@@ -3,6 +3,8 @@ package netlist
 import (
 	"fmt"
 	"math/rand"
+	"sort"
+	"strings"
 
 	"svtiming/internal/stdcell"
 )
@@ -118,17 +120,45 @@ func Generate(lib *stdcell.Library, p Profile) (*Netlist, error) {
 	return n, nil
 }
 
-// MustGenerate is Generate for the named built-in profile, panicking on
-// unknown names or generation bugs. Intended for benchmarks and examples.
-func MustGenerate(lib *stdcell.Library, name string) *Netlist {
+// GenerateNamed builds the named built-in benchmark ("c17" or any ISCAS85
+// profile). An unknown name returns a descriptive error listing the known
+// benchmarks, so command-line tools can reject a typo with a usage message
+// instead of a stack trace.
+func GenerateNamed(lib *stdcell.Library, name string) (*Netlist, error) {
 	if name == "c17" {
-		return C17()
+		return C17(), nil
 	}
 	p, ok := ISCAS85Profiles[name]
 	if !ok {
-		panic(fmt.Sprintf("netlist: unknown benchmark %q", name))
+		return nil, fmt.Errorf("netlist: unknown benchmark %q (known: %s)",
+			name, strings.Join(Names(), ", "))
 	}
-	n, err := Generate(lib, p)
+	return Generate(lib, p)
+}
+
+// Known reports whether name is a built-in benchmark.
+func Known(name string) bool {
+	if name == "c17" {
+		return true
+	}
+	_, ok := ISCAS85Profiles[name]
+	return ok
+}
+
+// Names returns every built-in benchmark name, sorted.
+func Names() []string {
+	out := []string{"c17"}
+	for n := range ISCAS85Profiles {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MustGenerate is GenerateNamed panicking on unknown names or generation
+// bugs. Intended for benchmarks and examples whose inputs are hard-coded.
+func MustGenerate(lib *stdcell.Library, name string) *Netlist {
+	n, err := GenerateNamed(lib, name)
 	if err != nil {
 		panic(err)
 	}

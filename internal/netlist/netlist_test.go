@@ -1,6 +1,7 @@
 package netlist
 
 import (
+	"sort"
 	"strings"
 	"testing"
 
@@ -294,6 +295,46 @@ func TestGenerateUsesWholeLibrary(t *testing.T) {
 func TestGenerateRejectsBadProfile(t *testing.T) {
 	if _, err := Generate(lib, Profile{Name: "bad", PIs: 2, POs: 1, Gates: 3, Depth: 10}); err == nil {
 		t.Error("profile with gates < depth accepted")
+	}
+}
+
+func TestGenerateNamed(t *testing.T) {
+	n, err := GenerateNamed(lib, "c17")
+	if err != nil || n.Name != "c17" {
+		t.Fatalf("GenerateNamed(c17) = %v, %v", n, err)
+	}
+	n, err = GenerateNamed(lib, "c432")
+	if err != nil || n.Name != "c432" {
+		t.Fatalf("GenerateNamed(c432) = %v, %v", n, err)
+	}
+	_, err = GenerateNamed(lib, "c9999")
+	if err == nil {
+		t.Fatal("GenerateNamed(c9999) succeeded")
+	}
+	// The error is a usage aid: it must name the bad input and list the
+	// known benchmarks.
+	for _, want := range []string{"c9999", "c17", "c432", "c7552"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("unknown-benchmark error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestKnownAndNames(t *testing.T) {
+	names := Names()
+	if len(names) != len(ISCAS85Profiles)+1 {
+		t.Fatalf("Names() has %d entries", len(names))
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Names() not sorted: %v", names)
+	}
+	for _, n := range names {
+		if !Known(n) {
+			t.Errorf("Known(%q) = false", n)
+		}
+	}
+	if Known("c9999") {
+		t.Error("Known(c9999) = true")
 	}
 }
 

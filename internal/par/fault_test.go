@@ -1,0 +1,220 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"svtiming/internal/fault"
+)
+
+// settleGoroutines polls until the goroutine count drops back to at most
+// base (or a deadline passes) and returns the final count. Pool teardown
+// is asynchronous only in the sense that wg.Wait precedes return, so the
+// count should settle immediately; the loop absorbs runtime noise.
+func settleGoroutines(base int) int {
+	var n int
+	for i := 0; i < 100; i++ {
+		n = runtime.NumGoroutine()
+		if n <= base {
+			return n
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return n
+}
+
+func TestMapContainsPanicParallel(t *testing.T) {
+	base := runtime.NumGoroutine()
+	_, err := Map(nil, 4, 64, func(ctx context.Context, i int) (int, error) {
+		if i == 17 {
+			panic(fmt.Sprintf("injected at %d", i))
+		}
+		return i, nil
+	})
+	var p *fault.Panic
+	if !errors.As(err, &p) {
+		t.Fatalf("Map error = %v, want *fault.Panic", err)
+	}
+	if p.Index != 17 {
+		t.Errorf("Panic.Index = %d, want 17", p.Index)
+	}
+	if p.Worker < 0 || p.Worker >= 4 {
+		t.Errorf("Panic.Worker = %d, want a pool worker in [0,4)", p.Worker)
+	}
+	if len(p.Stack) == 0 {
+		t.Error("Panic.Stack is empty")
+	}
+	if !errors.Is(err, fault.ErrPanic) {
+		t.Error("errors.Is(err, fault.ErrPanic) = false")
+	}
+	if n := settleGoroutines(base); n > base {
+		t.Errorf("goroutine leak after panicked Map: %d > %d", n, base)
+	}
+}
+
+func TestMapContainsPanicSerial(t *testing.T) {
+	_, err := Map(nil, 1, 8, func(ctx context.Context, i int) (int, error) {
+		if i == 3 {
+			panic(errors.New("serial boom"))
+		}
+		return i, nil
+	})
+	var p *fault.Panic
+	if !errors.As(err, &p) {
+		t.Fatalf("serial Map error = %v, want *fault.Panic", err)
+	}
+	if p.Worker != -1 {
+		t.Errorf("serial Panic.Worker = %d, want -1", p.Worker)
+	}
+	if p.Index != 3 {
+		t.Errorf("serial Panic.Index = %d, want 3", p.Index)
+	}
+	// panic(err) unwraps to the original error.
+	if err.Error() == "" || !errors.Is(err, fault.ErrPanic) {
+		t.Error("panic error lost its category")
+	}
+}
+
+func TestMapPanicLowestIndexWins(t *testing.T) {
+	// A returned error at a lower index must beat a panic at a higher
+	// index, and vice versa — panics ride the normal error machinery.
+	sentinel := errors.New("returned error")
+	_, err := Map(nil, 8, 64, func(ctx context.Context, i int) (int, error) {
+		switch i {
+		case 5:
+			return 0, sentinel
+		case 40:
+			panic("higher-index panic")
+		}
+		return i, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("error = %v, want the index-5 returned error to win over the index-40 panic", err)
+	}
+
+	_, err = Map(nil, 8, 64, func(ctx context.Context, i int) (int, error) {
+		switch i {
+		case 5:
+			panic("lower-index panic")
+		case 40:
+			return 0, sentinel
+		}
+		return i, nil
+	})
+	var p *fault.Panic
+	if !errors.As(err, &p) || p.Index != 5 {
+		t.Errorf("error = %v, want the index-5 panic to win over the index-40 returned error", err)
+	}
+}
+
+func TestMapAllCollectsEverything(t *testing.T) {
+	n := 32
+	out, errs := MapAll(nil, 4, n, func(ctx context.Context, i int) (int, error) {
+		switch i {
+		case 7:
+			return 0, fmt.Errorf("bad point %d", i)
+		case 19:
+			panic("poisoned point")
+		}
+		return i * i, nil
+	})
+	if len(out) != n || len(errs) != n {
+		t.Fatalf("lengths: out=%d errs=%d, want %d", len(out), len(errs), n)
+	}
+	for i := 0; i < n; i++ {
+		switch i {
+		case 7:
+			if errs[i] == nil || errs[i].Error() != "bad point 7" {
+				t.Errorf("errs[7] = %v", errs[i])
+			}
+		case 19:
+			var p *fault.Panic
+			if !errors.As(errs[i], &p) || p.Index != 19 {
+				t.Errorf("errs[19] = %v, want *fault.Panic at 19", errs[i])
+			}
+		default:
+			if errs[i] != nil {
+				t.Errorf("errs[%d] = %v, want nil", i, errs[i])
+			}
+			if out[i] != i*i {
+				t.Errorf("out[%d] = %d, want %d — a failed sibling must not disturb good results", i, out[i], i*i)
+			}
+		}
+	}
+}
+
+func TestMapAllSerialMatchesParallel(t *testing.T) {
+	fn := func(ctx context.Context, i int) (int, error) {
+		if i%11 == 3 {
+			return 0, fmt.Errorf("fail %d", i)
+		}
+		return 3*i + 1, nil
+	}
+	o1, e1 := MapAll(nil, 1, 50, fn)
+	o8, e8 := MapAll(nil, 8, 50, fn)
+	for i := range o1 {
+		if o1[i] != o8[i] {
+			t.Errorf("out[%d]: serial %d != parallel %d", i, o1[i], o8[i])
+		}
+		if (e1[i] == nil) != (e8[i] == nil) {
+			t.Errorf("errs[%d]: serial %v vs parallel %v", i, e1[i], e8[i])
+		}
+	}
+}
+
+func TestMapAllHonoursCancellation(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	_, errs := MapAll(ctx, 2, 100, func(ctx context.Context, i int) (int, error) {
+		if started.Add(1) == 10 {
+			cancel()
+		}
+		return i, nil
+	})
+	cancel()
+	var cancelled int
+	for _, err := range errs {
+		if errors.Is(err, context.Canceled) {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Error("no item reported context.Canceled after mid-sweep cancel")
+	}
+	if got := started.Load(); got >= 100 {
+		t.Errorf("all %d items ran despite cancellation", got)
+	}
+	if n := settleGoroutines(base); n > base {
+		t.Errorf("goroutine leak after cancelled MapAll: %d > %d", n, base)
+	}
+}
+
+func TestMapAllEmptyAndNilContext(t *testing.T) {
+	out, errs := MapAll(nil, 4, 0, func(ctx context.Context, i int) (int, error) { return i, nil })
+	if len(out) != 0 || len(errs) != 0 {
+		t.Errorf("empty MapAll: out=%v errs=%v", out, errs)
+	}
+}
+
+func TestSweepPropagatesPanicFault(t *testing.T) {
+	pts := []float64{0.1, 0.2, 0.3, 0.4}
+	_, err := Sweep(nil, 2, pts, func(ctx context.Context, p float64) (float64, error) {
+		if p > 0.25 {
+			panic("sweep poison")
+		}
+		return 2 * p, nil
+	})
+	var p *fault.Panic
+	if !errors.As(err, &p) {
+		t.Fatalf("Sweep error = %v, want *fault.Panic", err)
+	}
+	if p.Index != 2 {
+		t.Errorf("Panic.Index = %d, want 2 (lowest poisoned point)", p.Index)
+	}
+}

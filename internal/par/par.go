@@ -19,14 +19,37 @@
 //     LOWEST input index — exactly the error a serial loop would have hit
 //     first — and the shared context is cancelled so in-flight siblings
 //     can bail early. Workers never start items after cancellation.
+//
+//   - Panic containment. A panicking item never kills the process or
+//     leaks a deadlocked pool: the panic is recovered at the worker
+//     boundary and converted to a *fault.Panic error (worker index, item
+//     index, recovered value, stack) that flows through the normal
+//     lowest-index-error machinery — so a panic at item 7 and a returned
+//     error at item 7 are indistinguishable to callers, and siblings are
+//     cancelled either way. This is the only place in the tree allowed to
+//     call recover (enforced by svlint's nakedrecover analyzer).
 package par
 
 import (
 	"context"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"svtiming/internal/fault"
 )
+
+// protect runs fn(ctx, i), converting a panic into a *fault.Panic error.
+// worker is the pool goroutine index, or -1 on the inline serial path.
+func protect[T any](ctx context.Context, worker, i int, fn func(ctx context.Context, i int) (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &fault.Panic{Worker: worker, Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx, i)
+}
 
 // Workers resolves a requested worker count: n if positive, otherwise
 // runtime.GOMAXPROCS(0).
@@ -58,7 +81,7 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 			if err := ctx.Err(); err != nil {
 				return out, err
 			}
-			v, err := fn(ctx, i)
+			v, err := protect(ctx, -1, i, fn)
 			if err != nil {
 				return out, err
 			}
@@ -88,7 +111,7 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for g := 0; g < w; g++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1) - 1)
@@ -113,20 +136,76 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 					// reached this item before the failing one, so its error
 					// (if any) must win for error determinism.
 				}
-				v, err := fn(cctx, i)
+				v, err := protect(cctx, worker, i, fn)
 				if err != nil {
 					fail(i, err)
 					continue
 				}
 				out[i] = v
 			}
-		}()
+		}(g)
 	}
 	wg.Wait()
 	if errIdx < n {
 		return out, first
 	}
 	return out, ctx.Err()
+}
+
+// MapAll runs fn(ctx, i) for i in [0, n) across a bounded worker pool
+// and returns every result alongside a per-index error slice: errs[i] is
+// nil where out[i] is valid. Unlike Map, an item error does NOT cancel
+// siblings — the sweep runs to completion and the caller decides what to
+// do with the failed points. This is the primitive behind the Flow's
+// CollectAndReport failure policy. External cancellation is still
+// honoured: items not yet started when ctx is cancelled get errs[i] =
+// ctx.Err() without running. Panics are contained exactly as in Map. A
+// nil ctx means Background.
+func MapAll[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, []error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	if n == 0 {
+		return out, errs
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				continue
+			}
+			out[i], errs[i] = protect(ctx, -1, i, fn)
+		}
+		return out, errs
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				out[i], errs[i] = protect(ctx, worker, i, fn)
+			}
+		}(g)
+	}
+	wg.Wait()
+	return out, errs
 }
 
 // ForEach is Map without results: fn(ctx, i) for i in [0, n) with the

@@ -49,8 +49,9 @@ type cdShard struct {
 }
 
 type cdResult struct {
-	cd float64
-	ok bool
+	cd  float64
+	ok  bool
+	err error
 }
 
 // cdCall is one in-flight simulation; waiters block on wg.
@@ -65,19 +66,22 @@ func (c *cdCache) shardFor(key string) *cdShard {
 }
 
 // do returns the cached result for key, or runs sim (at most once per key
-// across all concurrent callers) and caches it.
-func (c *cdCache) do(key string, sim func() (float64, bool)) (float64, bool) {
+// across all concurrent callers) and caches it. Errors are cached like
+// values: a numeric fault is as deterministic as a CD, so retrying the
+// simulation could only waste time, and every reader of a poisoned key
+// observes the same typed error.
+func (c *cdCache) do(key string, sim func() (float64, bool, error)) (float64, bool, error) {
 	s := c.shardFor(key)
 
 	s.mu.Lock()
 	if r, ok := s.done[key]; ok {
 		s.mu.Unlock()
-		return r.cd, r.ok
+		return r.cd, r.ok, r.err
 	}
 	if call, ok := s.inflight[key]; ok {
 		s.mu.Unlock()
 		call.wg.Wait()
-		return call.res.cd, call.res.ok
+		return call.res.cd, call.res.ok, call.res.err
 	}
 	call := &cdCall{}
 	call.wg.Add(1)
@@ -87,8 +91,8 @@ func (c *cdCache) do(key string, sim func() (float64, bool)) (float64, bool) {
 	s.inflight[key] = call
 	s.mu.Unlock()
 
-	cd, ok := sim()
-	call.res = cdResult{cd: cd, ok: ok}
+	cd, ok, err := sim()
+	call.res = cdResult{cd: cd, ok: ok, err: err}
 
 	s.mu.Lock()
 	if s.done == nil {
@@ -98,7 +102,7 @@ func (c *cdCache) do(key string, sim func() (float64, bool)) (float64, bool) {
 	delete(s.inflight, key)
 	s.mu.Unlock()
 	call.wg.Done()
-	return cd, ok
+	return cd, ok, err
 }
 
 // size returns the number of completed entries across all shards.

@@ -58,9 +58,9 @@ func TestCacheSingleFlight(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			<-start
-			cd, _ := c.do("same-key", func() (float64, bool) {
+			cd, _, _ := c.do("same-key", func() (float64, bool, error) {
 				sims.Add(1)
-				return 42.5, true
+				return 42.5, true, nil
 			})
 			results[w] = cd
 		}()
@@ -94,7 +94,7 @@ func TestCacheConcurrentMixedKeys(t *testing.T) {
 			for rep := 0; rep < 50; rep++ {
 				for i, k := range keys {
 					want := float64(i)
-					cd, ok := c.do(k, func() (float64, bool) { return want, true })
+					cd, ok, _ := c.do(k, func() (float64, bool, error) { return want, true, nil })
 					if !ok || cd != want {
 						t.Errorf("key %d: got (%v,%v), want (%v,true)", i, cd, ok, want)
 						return

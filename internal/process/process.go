@@ -18,6 +18,7 @@ import (
 	"math"
 	"strings"
 
+	"svtiming/internal/fault"
 	"svtiming/internal/geom"
 	"svtiming/internal/litho"
 	"svtiming/internal/mask"
@@ -207,8 +208,26 @@ func (p *Process) SnapToGrid(v float64) float64 {
 // key covers both the quantized environment and the exposure condition, so
 // FEM sweeps and dose studies revisiting a (env, defocus, dose) triple get
 // the memoized result; see the cdCache contract in cache.go.
+//
+// Numeric faults detected by the simulation (see PrintCDChecked) are
+// reported as "did not print" here; callers that must distinguish a bad
+// simulation from a legitimately non-printing feature use PrintCDChecked.
 func (p *Process) PrintCDCond(env Env, defocus, dose float64) (float64, bool) {
-	return p.cache.do(condKey(env, defocus, dose), func() (float64, bool) {
+	cd, ok, err := p.PrintCDChecked(env, defocus, dose)
+	if err != nil {
+		return 0, false
+	}
+	return cd, ok
+}
+
+// PrintCDChecked is PrintCDCond with the numeric guards exposed: the
+// returned error is a *fault.Numeric (carrying the defocus/dose
+// coordinate) when the aerial image or the measured CD is non-finite —
+// a corrupted simulation, as opposed to ok=false, which means the feature
+// legitimately failed to print under this condition. Errors are cached
+// alongside values, so a poisoned condition is simulated once.
+func (p *Process) PrintCDChecked(env Env, defocus, dose float64) (float64, bool, error) {
+	return p.cache.do(condKey(env, defocus, dose), func() (float64, bool, error) {
 		return p.simulateCD(env, defocus, dose)
 	})
 }
@@ -223,7 +242,8 @@ func condKey(env Env, defocus, dose float64) string {
 // simulateCD is the uncached aerial-image simulation behind PrintCDCond: a
 // pure function of (env, defocus, dose) — the determinism the concurrent
 // cache relies on.
-func (p *Process) simulateCD(env Env, defocus, dose float64) (float64, bool) {
+func (p *Process) simulateCD(env Env, defocus, dose float64) (float64, bool, error) {
+	at := fault.Coord{Stage: "printcd", Index: -1, Defocus: defocus, Dose: dose}
 	span := geom.Interval{Lo: 0, Hi: 1000}
 	lines := env.Lines(span)
 	var lo, hi float64
@@ -236,9 +256,15 @@ func (p *Process) simulateCD(env Env, defocus, dose float64) (float64, bool) {
 	m := mask.FromLines(lines, geom.Interval{Lo: lo, Hi: hi}, p.Dx)
 	im := p.Optics.WithDefocus(defocus)
 	prof := im.Image(m)
+	if i, bad := prof.NonFinite(); bad {
+		return 0, false, &fault.Numeric{At: at, Quantity: "aerial intensity", Value: prof.I[i]}
+	}
 	cd, ok := p.Resist.PrintedCD(prof, 0, dose)
 	if !ok {
-		return 0, false
+		return 0, false, nil
+	}
+	if err := fault.Finite("printed CD", cd, at); err != nil {
+		return 0, false, err
 	}
 	// Reject bridged features: if the measured extent reaches past the
 	// nearest neighbor's near edge the intervening space failed to print
@@ -255,9 +281,9 @@ func (p *Process) simulateCD(env Env, defocus, dose float64) (float64, bool) {
 		limit += p.RadiusOfInfluence
 	}
 	if cd > limit {
-		return 0, false
+		return 0, false, nil
 	}
-	return cd, true
+	return cd, true, nil
 }
 
 // PrintCD simulates (with caching) the printed CD of env at nominal focus

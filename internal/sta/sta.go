@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 
+	"svtiming/internal/fault"
 	"svtiming/internal/liberty"
 	"svtiming/internal/netlist"
 	"svtiming/internal/stdcell"
@@ -170,6 +171,14 @@ func Analyze(n *netlist.Netlist, lib *stdcell.Library, model Model, opt Options)
 	}
 	if math.IsInf(rep.MaxDelay, -1) {
 		return nil, fmt.Errorf("sta: netlist %s has no primary outputs", n.Name)
+	}
+	// A poisoned delay table (one NaN entry) propagates through every
+	// downstream max/add without tripping any comparison; guard the final
+	// answer so corruption is a typed fault at the design, not a silent
+	// garbage MaxDelay.
+	if err := fault.Finite("max delay", rep.MaxDelay,
+		fault.Coord{Stage: "sta", Index: -1, Item: n.Name}); err != nil {
+		return nil, err
 	}
 
 	// Required times: backward pass from the MaxDelay constraint.

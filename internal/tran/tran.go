@@ -12,8 +12,9 @@
 package tran
 
 import (
-	"fmt"
 	"math"
+
+	"svtiming/internal/fault"
 )
 
 // Stage is one characterized switching stage (normalized supply: voltages
@@ -49,8 +50,15 @@ type Result struct {
 //
 //	dVout/dt = −g(Vin(t))·Vout/C,  g = (1/R)·((Vin−Vth)/(1−Vth))^α for Vin>Vth
 func (s Stage) Simulate(inSlewPS float64) (Result, error) {
+	at := fault.Coord{Stage: "tran", Index: -1}
 	if s.DriveRes <= 0 || s.Cap <= 0 {
-		return Result{}, fmt.Errorf("tran: invalid stage %+v", s)
+		// An RC product this bad is runtime data (a degenerate extraction
+		// or characterization grid point), not a programmer precondition:
+		// report which quantity is out of range.
+		if s.DriveRes <= 0 {
+			return Result{}, &fault.Numeric{At: at, Quantity: "stage drive resistance", Value: s.DriveRes}
+		}
+		return Result{}, &fault.Numeric{At: at, Quantity: "stage capacitance", Value: s.Cap}
 	}
 	if inSlewPS <= 0 {
 		inSlewPS = 1
@@ -58,7 +66,7 @@ func (s Stage) Simulate(inSlewPS float64) (Result, error) {
 	rc := s.DriveRes * s.Cap // ps
 	dt := math.Min(inSlewPS, rc) / 400
 	if dt <= 0 {
-		return Result{}, fmt.Errorf("tran: degenerate time step")
+		return Result{}, &fault.Numeric{At: at, Quantity: "integration time step", Value: dt}
 	}
 	vin := func(t float64) float64 {
 		v := t / inSlewPS
@@ -115,7 +123,19 @@ func (s Stage) Simulate(inSlewPS float64) (Result, error) {
 		}
 	}
 	if !found50 || !found10 || !found90 {
-		return Result{}, fmt.Errorf("tran: output did not complete its transition in %g ps", maxT)
+		// The output never completed its transition inside the integration
+		// budget: classic solver exhaustion. Residual is how far the output
+		// still was from the last uncrossed threshold.
+		residual := v
+		if found90 && !found10 {
+			residual = v - 0.1
+		}
+		return Result{}, &fault.NonConvergence{
+			At:         at,
+			What:       "transient output transition",
+			Iterations: int(maxT / dt),
+			Residual:   residual,
+		}
 	}
 	return Result{
 		DelayPS:   s.Intrinsic + (t50 - tIn50),

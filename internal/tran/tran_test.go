@@ -1,8 +1,11 @@
 package tran
 
 import (
+	"errors"
 	"math"
 	"testing"
+
+	"svtiming/internal/fault"
 )
 
 func sim(t *testing.T, s Stage, slew float64) Result {
@@ -105,6 +108,34 @@ func TestSimulateErrors(t *testing.T) {
 	// Non-positive slew falls back to a fast ramp rather than failing.
 	if _, err := DefaultStage(4, 1, 4, 0).Simulate(0); err != nil {
 		t.Errorf("zero slew: %v", err)
+	}
+}
+
+func TestSimulateErrorsAreTyped(t *testing.T) {
+	// Degenerate stage parameters surface as *fault.Numeric naming the
+	// offending quantity.
+	_, err := (Stage{DriveRes: -1, Cap: 1}).Simulate(10)
+	var num *fault.Numeric
+	if !errors.As(err, &num) || num.Quantity != "stage drive resistance" {
+		t.Errorf("negative resistance: got %v, want *fault.Numeric on drive resistance", err)
+	}
+	// A stage whose pull network never conducts (threshold >= full swing)
+	// can never complete its transition: solver exhaustion must be a
+	// *fault.NonConvergence with a budget and residual.
+	stuck := Stage{DriveRes: 4, Cap: 4, Vth: 2, Alpha: 1.3}
+	_, err = stuck.Simulate(50)
+	var ncv *fault.NonConvergence
+	if !errors.As(err, &ncv) {
+		t.Fatalf("stuck stage: got %v, want *fault.NonConvergence", err)
+	}
+	if ncv.Iterations <= 0 {
+		t.Errorf("NonConvergence.Iterations = %d, want > 0", ncv.Iterations)
+	}
+	if ncv.Residual <= 0 {
+		t.Errorf("NonConvergence.Residual = %g, want > 0 (output never moved)", ncv.Residual)
+	}
+	if !errors.Is(err, fault.ErrNonConvergence) {
+		t.Error("errors.Is(err, fault.ErrNonConvergence) = false")
 	}
 }
 
