@@ -8,12 +8,14 @@
 #                   the whole tree; exercises the parallel execution
 #                   engine (internal/par, the sharded CD cache, every
 #                   fanned-out flow stage) under concurrent schedules
+#   make cover    — coverage profile + ratcheted per-package floors
+#                   (cmd/covercheck; raise floors, never lower them)
 #   make ci       — the full gate: build + test + vet + lint + race
 #   make bench    — the serial-vs-parallel headline benchmarks
 
 GO ?= go
 
-.PHONY: all tier1 tier2 lint ci bench clean
+.PHONY: all tier1 tier2 lint cover ci bench clean
 
 all: tier1
 
@@ -29,7 +31,11 @@ tier2: tier1
 	$(GO) run ./cmd/svlint ./...
 	$(GO) test -race ./...
 
-ci: tier2
+cover:
+	$(GO) test ./... -coverprofile=cover.out
+	$(GO) run ./cmd/covercheck -profile cover.out
+
+ci: tier2 cover
 
 bench:
 	$(GO) test -run xxx -bench 'Table2Timing|FullChipOPC' -benchmem .

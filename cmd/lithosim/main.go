@@ -6,6 +6,7 @@
 // Usage:
 //
 //	lithosim [-fig1] [-fig2] [-fig6] [-j N] [-timeout 5m]   (all studies by default)
+//	         [-metrics metrics.json] [-pprof localhost:6060]
 //
 // Exit codes: 0 clean, 2 failed (simulation fault or timeout).
 package main
@@ -21,6 +22,7 @@ import (
 	"svtiming/internal/corners"
 	"svtiming/internal/expt"
 	"svtiming/internal/fault"
+	"svtiming/internal/obs"
 	"svtiming/internal/opc"
 	"svtiming/internal/process"
 )
@@ -48,8 +50,23 @@ func run() int {
 	lineEnd := flag.Bool("lineend", false, "2-D line-end shortening and hammerhead correction")
 	jobs := flag.Int("j", 0, "worker pool size for litho sweeps (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "overall deadline for the run (0 = none)")
+	metricsPath := flag.String("metrics", "",
+		"write the full metrics snapshot as JSON to this file on exit; \"-\" = stdout")
+	pprofAddr := flag.String("pprof", "",
+		"serve net/http/pprof on this address for the duration of the run")
 	flag.Parse()
 	all := !*fig1 && !*fig2 && !*fig6 && !*window && !*lineEnd
+
+	if *pprofAddr != "" {
+		if err := expt.StartPprof(*pprofAddr); err != nil {
+			log.Printf("-pprof: %v", err)
+			return fault.ExitFailed
+		}
+	}
+	reg := obs.Nop()
+	if *metricsPath != "" {
+		reg = expt.NewRegistry()
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -57,8 +74,12 @@ func run() int {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	// The litho sweeps pick the registry up from the context (par pools,
+	// FEM grids) and from the wafer's own instrument handles.
+	ctx = obs.NewContext(ctx, reg)
 
 	wafer := process.Nominal90nm()
+	wafer.Observe(reg)
 
 	if *fig1 || all {
 		pts, err := expt.Fig1ThroughPitchCtx(ctx, wafer, *jobs)
@@ -118,6 +139,11 @@ func run() int {
 			bare.MidWidth, bare.Pullback)
 		fmt.Printf("with 110x80 hammer:   mid-width %.1f nm, pullback %.1f nm\n",
 			capped.MidWidth, capped.Pullback)
+	}
+	if *metricsPath != "" {
+		if err := expt.WriteMetrics(reg, *metricsPath); err != nil {
+			return fail(err)
+		}
 	}
 	return fault.ExitClean
 }

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	opcrun [-table1] [-fig7 c3540] [-pitchtable] [-circuits c432,c880] [-j N] [-timeout 10m]
+//	       [-metrics metrics.json] [-pprof localhost:6060]
 //
 // Exit codes: 0 clean, 2 failed (bad arguments, OPC fault or timeout).
 package main
@@ -23,6 +24,7 @@ import (
 	"svtiming/internal/expt"
 	"svtiming/internal/fault"
 	"svtiming/internal/netlist"
+	"svtiming/internal/obs"
 )
 
 func main() {
@@ -48,8 +50,23 @@ func run() int {
 		"testcases for -table1")
 	jobs := flag.Int("j", 0, "worker pool size for the flow (0 = GOMAXPROCS, 1 = serial)")
 	timeout := flag.Duration("timeout", 0, "overall deadline for the run (0 = none)")
+	metricsPath := flag.String("metrics", "",
+		"write the full metrics snapshot as JSON to this file on exit; \"-\" = stdout")
+	pprofAddr := flag.String("pprof", "",
+		"serve net/http/pprof on this address for the duration of the run")
 	flag.Parse()
 	all := !*table1 && *fig7 == "" && !*pitch
+
+	if *pprofAddr != "" {
+		if err := expt.StartPprof(*pprofAddr); err != nil {
+			log.Printf("-pprof: %v", err)
+			return fault.ExitFailed
+		}
+	}
+	reg := obs.Nop()
+	if *metricsPath != "" {
+		reg = expt.NewRegistry()
+	}
 
 	names := strings.Split(*circuits, ",")
 	for i := range names {
@@ -75,7 +92,7 @@ func run() int {
 		defer cancel()
 	}
 
-	flow, err := core.NewFlow(core.WithParallelism(*jobs))
+	flow, err := core.NewFlow(core.WithParallelism(*jobs), core.WithObservability(reg))
 	if err != nil {
 		return fail(err)
 	}
@@ -119,6 +136,11 @@ func run() int {
 			return fail(err)
 		}
 		fmt.Print(expt.FormatFig7(bins))
+	}
+	if *metricsPath != "" {
+		if err := expt.WriteMetrics(reg, *metricsPath); err != nil {
+			return fail(err)
+		}
 	}
 	return fault.ExitClean
 }

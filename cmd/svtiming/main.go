@@ -6,6 +6,7 @@
 //
 //	svtiming [-circuits c432,c880] [-table2] [-verbose] [-j N]
 //	         [-on-fault fail-fast|collect] [-timeout 10m]
+//	         [-manifest run.json] [-metrics metrics.json] [-pprof localhost:6060]
 //
 // Exit codes: 0 clean, 1 completed degraded (collect mode, see the fault
 // report on stderr), 2 failed (bad arguments, fail-fast fault, timeout).
@@ -25,7 +26,9 @@ import (
 	"svtiming/internal/expt"
 	"svtiming/internal/fault"
 	"svtiming/internal/netlist"
+	"svtiming/internal/obs"
 	"svtiming/internal/opt"
+	"svtiming/internal/place"
 )
 
 func main() {
@@ -65,11 +68,28 @@ func run() int {
 	onFault := flag.String("on-fault", "fail-fast",
 		"failure policy for the Table 2 sweep: fail-fast aborts on the first failing benchmark, collect completes the sweep and reports degraded rows")
 	timeout := flag.Duration("timeout", 0, "overall deadline for the run (0 = none)")
+	manifestPath := flag.String("manifest", "",
+		"write the run manifest (schedule-invariant reproducibility record) as JSON to this file after the Table 2 run; \"-\" = stdout")
+	metricsPath := flag.String("metrics", "",
+		"write the full metrics snapshot (including schedule-dependent counters) as JSON to this file on exit; \"-\" = stdout")
+	pprofAddr := flag.String("pprof", "",
+		"serve net/http/pprof on this address (e.g. localhost:6060) for the duration of the run")
 	flag.Parse()
 
 	policy, err := core.ParsePolicy(*onFault)
 	if err != nil {
 		return usageError("%v", err)
+	}
+	if *pprofAddr != "" {
+		if err := expt.StartPprof(*pprofAddr); err != nil {
+			return usageError("-pprof: %v", err)
+		}
+	}
+	// Observability is opt-in: the registry stays a Nop (nil instrument
+	// handles, near-zero cost) unless an output asks for it.
+	reg := obs.Nop()
+	if *manifestPath != "" || *metricsPath != "" {
+		reg = expt.NewRegistry()
 	}
 	names := strings.Split(*circuits, ",")
 	for i := range names {
@@ -87,7 +107,8 @@ func run() int {
 		defer cancel()
 	}
 
-	flow, err := core.NewFlow(core.WithParallelism(*jobs), core.WithFailurePolicy(policy))
+	flow, err := core.NewFlow(core.WithParallelism(*jobs),
+		core.WithFailurePolicy(policy), core.WithObservability(reg))
 	if err != nil {
 		return fail(err)
 	}
@@ -109,8 +130,26 @@ func run() int {
 		}
 		fmt.Print(expt.FormatTable2(res.Rows))
 		if res.Degraded() {
-			fmt.Fprintf(os.Stderr, "svtiming: fault report:\n%s", res.Report.String())
+			fmt.Fprintf(os.Stderr, "svtiming: fault report: %s\n%s",
+				res.Report.Summarize(), res.Report.String())
 			exit = res.ExitCode()
+		}
+		if *manifestPath != "" {
+			// Config records what was computed, never how it was
+			// scheduled: -j, -timeout and output paths are deliberately
+			// absent so a serial and an 8-worker run of the same circuits
+			// emit byte-identical manifests (under a pinned clock).
+			m := expt.Manifest("svtiming", map[string]string{
+				"circuits": strings.Join(names, ","),
+				"on-fault": policy.String(),
+			}, names, reg, res)
+			m.Seeds = make(map[string]int64, len(names))
+			for _, n := range names {
+				m.Seeds[n] = place.SeedFor(n)
+			}
+			if err := expt.WriteManifest(m, *manifestPath); err != nil {
+				return fail(err)
+			}
 		}
 	}
 	if *ablation {
@@ -156,6 +195,11 @@ func run() int {
 			return fail(err)
 		}
 		fmt.Printf("\n== litho-aware whitespace optimization (%s) ==\n%s", names[0], s)
+	}
+	if *metricsPath != "" {
+		if err := expt.WriteMetrics(reg, *metricsPath); err != nil {
+			return fail(err)
+		}
 	}
 	return exit
 }

@@ -16,6 +16,7 @@ import (
 	"svtiming/internal/fault"
 	"svtiming/internal/liberty"
 	"svtiming/internal/netlist"
+	"svtiming/internal/obs"
 	"svtiming/internal/opc"
 	"svtiming/internal/par"
 	"svtiming/internal/place"
@@ -83,6 +84,19 @@ type Flow struct {
 	// from tests via WithFaultInjection (or by copying a built Flow and
 	// setting the field, which is cheap: Flow is plain data).
 	InjectHook fault.Hook
+
+	// Obs is the metrics registry every stage of this flow reports to.
+	// nil (or a disabled registry) means uninstrumented; set it at
+	// construction with WithObservability so the construction-time
+	// stages (pitch sweep, characterization) are covered too. Metrics
+	// are reporting-only and never feed back into numeric results.
+	Obs *obs.Registry
+}
+
+// obsCtx attaches the flow's registry to ctx so the par pools and FEM
+// grids underneath a stage pick up instrumentation.
+func (f *Flow) obsCtx(ctx stdctx.Context) stdctx.Context {
+	return obs.NewContext(ctx, f.Obs)
 }
 
 // Workers returns the flow's worker-pool bound, treating a zero-value
@@ -130,22 +144,42 @@ func NewFlow(opts ...Option) (*Flow, error) {
 	if sweep == nil {
 		sweep = DefaultPitchSweep
 	}
+	reg := cfg.obs
+	ctx := obs.NewContext(cfg.ctx, reg)
 
 	wafer := process.Nominal90nm()
+	// Wire the wafer's telemetry before ModelProcess copies its Optics so
+	// wafer and OPC model share one set of litho kernel counters; the
+	// model's own CD cache reports under the same names (combined totals —
+	// still deterministic, since both caches' work is).
+	wafer.Observe(reg)
 	recipe := opc.Standard(opc.ModelProcess(wafer))
-	pitch := opc.BuildPitchTableCtx(cfg.ctx, wafer, recipe, stdcell.DrawnCD, sweep, workers)
+	recipe.Model.Observe(reg)
+
+	span := reg.Span("pitchtable")
+	span.AddItems(int64(len(sweep)))
+	pitch := opc.BuildPitchTableCtx(ctx, wafer, recipe, stdcell.DrawnCD, sweep, workers)
+	span.End()
 	if err := cfg.ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: flow construction cancelled: %w", err)
 	}
 	lib := stdcell.Default()
+	span = reg.Span("characterize")
 	timing, err := liberty.Characterize(lib, liberty.CharConfig{
 		Wafer:     wafer,
 		Recipe:    recipe,
 		Pitch:     pitch,
 		Transient: cfg.transient,
 		Workers:   workers,
-		Ctx:       cfg.ctx,
+		Ctx:       ctx,
 	})
+	if err == nil {
+		// Items = characterized cell versions (the paper's 81 per cell).
+		for _, e := range timing.Cells {
+			span.AddItems(int64(len(e.VersionGateCD)))
+		}
+	}
+	span.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: characterization failed: %w", err)
 	}
@@ -161,6 +195,7 @@ func NewFlow(opts ...Option) (*Flow, error) {
 		Parallelism:  workers,
 		Policy:       cfg.policy,
 		InjectHook:   cfg.hook,
+		Obs:          reg,
 	}, nil
 }
 
@@ -249,6 +284,9 @@ func (f *Flow) RefreshContext(d *Design) error {
 // AnalyzeTraditional runs STA with the conventional corner model: every
 // arc at the drawn gate length shifted by the full ±total variation.
 func (f *Flow) AnalyzeTraditional(d *Design, c Corner) (*sta.Report, error) {
+	span := f.Obs.Span("sta_traditional")
+	span.AddItems(int64(d.Netlist.NumGates()))
+	defer span.End()
 	m, err := f.traditionalModel(d, c)
 	if err != nil {
 		return nil, err
@@ -261,6 +299,9 @@ func (f *Flow) AnalyzeTraditional(d *Design, c Corner) (*sta.Report, error) {
 // the pitch component removed and the focus component trimmed per its
 // Bossung class.
 func (f *Flow) AnalyzeContextual(d *Design, c Corner) (*sta.Report, error) {
+	span := f.Obs.Span("sta_contextual")
+	span.AddItems(int64(d.Netlist.NumGates()))
+	defer span.End()
 	m, err := f.contextualModel(d, c)
 	if err != nil {
 		return nil, err
@@ -322,6 +363,10 @@ func (f *Flow) Compare(d *Design) (Comparison, error) {
 // CompareCtx is Compare honouring an external context: a deadline or
 // cancellation aborts the six corner analyses promptly.
 func (f *Flow) CompareCtx(ctx stdctx.Context, d *Design) (Comparison, error) {
+	if ctx == nil {
+		ctx = stdctx.Background()
+	}
+	ctx = f.obsCtx(ctx)
 	out := Comparison{Name: d.Netlist.Name, Gates: d.Netlist.NumGates()}
 	corners := []Corner{Nominal, BestCase, WorstCase}
 	// Job k: corner k/2, traditional for even k, contextual for odd.

@@ -39,6 +39,13 @@ func (f *Flow) FullChipCDs(d *Design) (map[GateKey]float64, error) {
 // deadline or cancellation aborts the row sweep promptly. A non-printing
 // gate surfaces as a *fault.Numeric locating the row and gate.
 func (f *Flow) FullChipCDsCtx(ctx stdctx.Context, d *Design) (map[GateKey]float64, error) {
+	span := f.Obs.Span("fullchip_opc")
+	span.AddItems(int64(len(d.Placement.Rows)))
+	defer span.End()
+	if ctx == nil {
+		ctx = stdctx.Background()
+	}
+	ctx = f.obsCtx(ctx)
 	type gateCD struct {
 		key GateKey
 		cd  float64

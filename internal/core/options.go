@@ -5,6 +5,7 @@ import (
 
 	"svtiming/internal/corners"
 	"svtiming/internal/fault"
+	"svtiming/internal/obs"
 	"svtiming/internal/sta"
 )
 
@@ -26,6 +27,7 @@ type flowConfig struct {
 	transient    bool
 	policy       FailurePolicy
 	hook         fault.Hook
+	obs          *obs.Registry
 }
 
 // WithParallelism bounds the worker pool every compute stage of the flow
@@ -82,6 +84,17 @@ func WithContext(ctx stdctx.Context) Option {
 // coordinate-sorted report. See the FailurePolicy docs in run.go.
 func WithFailurePolicy(p FailurePolicy) Option {
 	return func(c *flowConfig) { c.policy = p }
+}
+
+// WithObservability wires the flow (and everything beneath it: the
+// wafer and OPC-model CD caches, the litho kernels, the par pools, the
+// FEM grids) to the given metrics registry. Observability is strictly
+// reporting: an enabled registry changes no numeric output bit versus
+// obs.Nop() (pinned by the root manifest_test.go). A nil or disabled
+// registry — the default — leaves the flow uninstrumented at ~zero
+// cost.
+func WithObservability(reg *obs.Registry) Option {
+	return func(c *flowConfig) { c.obs = reg }
 }
 
 // WithFaultInjection arms a deterministic fault-injection hook: before

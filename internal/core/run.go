@@ -82,6 +82,15 @@ func (r *RunResult) ExitCode() int {
 // bit-identical to a serial, uninjected run — degradation never perturbs
 // healthy points (determinism contract, see determinism_test.go).
 func (f *Flow) Run(ctx stdctx.Context, names []string) (*RunResult, error) {
+	span := f.Obs.Span("table2")
+	span.AddItems(int64(len(names)))
+	defer span.End()
+	rowsTotal := f.Obs.Counter("core_rows_total")
+	rowsDegraded := f.Obs.Counter("core_rows_degraded")
+	if ctx == nil {
+		ctx = stdctx.Background()
+	}
+	ctx = f.obsCtx(ctx)
 	coordOf := func(i int) fault.Coord {
 		return fault.Coord{Stage: "table2", Index: i, Item: names[i]}
 	}
@@ -104,6 +113,7 @@ func (f *Flow) Run(ctx stdctx.Context, names []string) (*RunResult, error) {
 			return nil, err
 		}
 		res.Rows = rows
+		rowsTotal.Add(int64(len(rows)))
 		return res, nil
 	}
 
@@ -113,13 +123,15 @@ func (f *Flow) Run(ctx stdctx.Context, names []string) (*RunResult, error) {
 		if err == nil {
 			continue
 		}
-		if ctx != nil && ctx.Err() != nil {
+		if ctx.Err() != nil {
 			// External cancellation is not a per-point fault: the caller
 			// asked the whole run to stop.
 			return res, ctx.Err()
 		}
 		res.Rows[i] = Comparison{Name: names[i], Degraded: true}
 		res.Report.Add(coordOf(i), err)
+		rowsDegraded.Inc()
 	}
+	rowsTotal.Add(int64(len(rows)))
 	return res, nil
 }

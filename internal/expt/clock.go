@@ -37,6 +37,34 @@ func SetClock(c Clock) (restore func()) {
 // now is the internal read point for the injected clock.
 func now() time.Time { return clock.Now() }
 
+// Now reads the injected harness clock. It is the sanctioned time source
+// for everything outside this package that must respect SetClock — in
+// particular the observability registry's span timer
+// (obs.WithClockFunc(expt.Now)) — so golden-manifest tests can pin stage
+// durations by swapping in a FakeClock.
+func Now() time.Time { return now() }
+
+// FakeClock is a deterministic Clock for tests and golden-manifest runs:
+// every Now call returns the current time and then advances it by Step.
+// A zero Step freezes time entirely, which is what byte-identical
+// manifest comparisons want (all durations render as 0). Not safe for
+// concurrent use with a non-zero Step; with Step zero it is read-only
+// and trivially safe.
+type FakeClock struct {
+	T    time.Time
+	Step time.Duration
+}
+
+// Now implements Clock.
+func (c *FakeClock) Now() time.Time {
+	if c.Step == 0 {
+		return c.T // no write: frozen clocks stay safe under -race
+	}
+	t := c.T
+	c.T = c.T.Add(c.Step)
+	return t
+}
+
 // since measures elapsed time against the injected clock (the
 // time.Since counterpart; time.Since itself reads the wall clock and is
 // forbidden by the walltime analyzer).

@@ -1,0 +1,58 @@
+package expt
+
+import (
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+
+	"svtiming/internal/obs"
+)
+
+// StartPprof serves net/http/pprof on addr for the remainder of the
+// process. The listen happens synchronously so a bad address fails the
+// flag parse rather than dying silently in a goroutine; serving then
+// proceeds in the background. The cmd tools expose this behind the
+// -pprof flag only — no debug server exists unless explicitly asked for.
+func StartPprof(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	go func() {
+		// The default mux carries the pprof handlers via the blank
+		// import above. Serve errors after a successful listen mean the
+		// process is exiting; nothing useful to do with them.
+		_ = http.Serve(ln, nil)
+	}()
+	return nil
+}
+
+// WriteMetrics renders the registry's full snapshot — every counter,
+// gauge, histogram and span, including the schedule-dependent ones the
+// manifest deliberately omits — as indented JSON to path; "-" writes to
+// stdout.
+func WriteMetrics(reg *obs.Registry, path string) error {
+	b, err := reg.Snapshot().EncodeJSON()
+	if err != nil {
+		return err
+	}
+	return writeOut(path, b)
+}
+
+// WriteManifest encodes the manifest to path; "-" writes to stdout.
+func WriteManifest(m obs.RunManifest, path string) error {
+	b, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	return writeOut(path, b)
+}
+
+func writeOut(path string, b []byte) error {
+	if path == "-" {
+		_, err := os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}

@@ -1,0 +1,59 @@
+package expt
+
+import (
+	"svtiming/internal/core"
+	"svtiming/internal/obs"
+)
+
+// NewRegistry returns an enabled metrics registry whose span timings
+// flow through the harness clock (Now), so SetClock governs stage
+// durations exactly as it governs every other runtime measurement: a
+// production run times spans against the wall, a golden-manifest test
+// freezes them at zero with a FakeClock.
+func NewRegistry() *obs.Registry {
+	return obs.New(obs.WithClockFunc(Now))
+}
+
+// Manifest assembles the reproducibility manifest of a completed run
+// from the registry's schedule-invariant tallies and the run result.
+// Everything it reads is identical between a serial and a parallel run
+// of the same workload (cache hits are derived as lookups−simulations,
+// pool tasks are counted at completion, span records are re-sorted by
+// StagesFromSnapshot), so under a frozen clock the encoded manifest is
+// byte-identical at any -j — the property the root manifest_test.go
+// pins.
+func Manifest(tool string, config map[string]string, benchmarks []string, reg *obs.Registry, res *core.RunResult) obs.RunManifest {
+	m := obs.RunManifest{
+		Tool:       tool,
+		Config:     config,
+		Benchmarks: append([]string(nil), benchmarks...),
+		Stages:     obs.StagesFromSnapshot(reg.Snapshot()),
+	}
+	lookups := reg.CounterValue("process_cd_cache_lookups")
+	sims := reg.CounterValue("process_cd_cache_sims")
+	m.Cache = obs.CacheStats{Lookups: lookups, Simulations: sims, Hits: lookups - sims}
+	m.Pool = obs.PoolStats{
+		Tasks:           reg.CounterValue("par_tasks_completed"),
+		PanicsContained: reg.CounterValue("par_panics_contained"),
+	}
+	if res != nil {
+		m.Rows = obs.RowStats{Total: len(res.Rows)}
+		for _, r := range res.Rows {
+			if r.Degraded {
+				m.Rows.Degraded++
+			}
+		}
+		if res.Report.Len() > 0 {
+			s := res.Report.Summarize()
+			faults := map[string]int{"total": s.Total}
+			for stage, n := range s.ByStage { // writes into another map: order-free
+				faults["stage:"+stage] = n
+			}
+			for kind, n := range s.ByKind {
+				faults["kind:"+kind] = n
+			}
+			m.Faults = faults
+		}
+	}
+	return m
+}

@@ -1,6 +1,8 @@
 package fault
 
 import (
+	"errors"
+	"fmt"
 	"sort"
 	"strings"
 )
@@ -48,6 +50,80 @@ func (r *Report) Entries() []Entry {
 	copy(out, r.entries)
 	sort.SliceStable(out, func(i, j int) bool { return out[i].At.Less(out[j].At) })
 	return out
+}
+
+// Summary is the aggregate view of a report: total fault count plus
+// per-stage and per-kind breakdowns. It is what cmd tools print and what
+// run manifests embed, so the counting lives here once instead of being
+// re-derived (differently) at each call site.
+type Summary struct {
+	Total   int
+	ByStage map[string]int // sweep-coordinate stage → count
+	ByKind  map[string]int // "numeric" | "non-convergence" | "panic" | "other"
+}
+
+// KindOf names the taxonomy category of err: which fault sentinel it
+// matches through any level of wrapping, or "other" for errors outside
+// the taxonomy (e.g. context cancellation smuggled into a report).
+func KindOf(err error) string {
+	switch {
+	case errors.Is(err, ErrNumeric):
+		return "numeric"
+	case errors.Is(err, ErrNonConvergence):
+		return "non-convergence"
+	case errors.Is(err, ErrPanic):
+		return "panic"
+	default:
+		return "other"
+	}
+}
+
+// Summarize returns the report's aggregate counts. The maps are freshly
+// allocated (never nil) so callers can index without guards; iteration
+// order is up to the caller — render through sorted keys (see the
+// manifest builders) when the output must be deterministic.
+func (r *Report) Summarize() Summary {
+	s := Summary{
+		Total:   len(r.entries),
+		ByStage: make(map[string]int),
+		ByKind:  make(map[string]int),
+	}
+	for _, e := range r.entries {
+		s.ByStage[e.At.Stage]++
+		s.ByKind[KindOf(e.Err)]++
+	}
+	return s
+}
+
+// String renders the summary as one deterministic line, e.g.
+// "3 faults (stages: fem=1 table2=2; kinds: numeric=2 panic=1)".
+// Keys are sorted so the rendering is stable across map iteration order.
+func (s Summary) String() string {
+	if s.Total == 0 {
+		return "0 faults"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d fault", s.Total)
+	if s.Total != 1 {
+		b.WriteString("s")
+	}
+	b.WriteString(" (stages:")
+	writeSortedCounts(&b, s.ByStage)
+	b.WriteString("; kinds:")
+	writeSortedCounts(&b, s.ByKind)
+	b.WriteString(")")
+	return b.String()
+}
+
+func writeSortedCounts(b *strings.Builder, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(b, " %s=%d", k, m[k])
+	}
 }
 
 // String renders the report one fault per line, coordinate-sorted.

@@ -1,0 +1,89 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestSummarizeCountsByStageAndKind(t *testing.T) {
+	var r Report
+	r.Add(Coord{Stage: "table2", Index: 0, Item: "c17"},
+		&Numeric{At: Coord{Stage: "table2"}, Quantity: "delay", Value: 1})
+	r.Add(Coord{Stage: "table2", Index: 1, Item: "c432"},
+		fmt.Errorf("wrapped: %w", &NonConvergence{At: Coord{Stage: "tran"}, What: "transition"}))
+	r.Add(Coord{Stage: "fullchip", Index: 3},
+		&Panic{Worker: 2, Index: 3, Value: "boom"})
+	r.Add(Coord{Stage: "fullchip", Index: 4}, errors.New("unclassified failure"))
+	r.Add(Coord{Stage: "ignored"}, nil) // nil errors are dropped by Add
+
+	s := r.Summarize()
+	if s.Total != 4 {
+		t.Fatalf("Total = %d, want 4", s.Total)
+	}
+	if s.ByStage["table2"] != 2 || s.ByStage["fullchip"] != 2 || len(s.ByStage) != 2 {
+		t.Errorf("ByStage = %v", s.ByStage)
+	}
+	want := map[string]int{"numeric": 1, "non-convergence": 1, "panic": 1, "other": 1}
+	for k, n := range want {
+		if s.ByKind[k] != n {
+			t.Errorf("ByKind[%q] = %d, want %d (all: %v)", k, s.ByKind[k], n, s.ByKind)
+		}
+	}
+	if len(s.ByKind) != len(want) {
+		t.Errorf("ByKind has extra entries: %v", s.ByKind)
+	}
+}
+
+func TestSummarizeEmptyReport(t *testing.T) {
+	var r Report
+	s := r.Summarize()
+	if s.Total != 0 {
+		t.Errorf("Total = %d", s.Total)
+	}
+	// Maps must be non-nil so callers can index without guards.
+	if s.ByStage == nil || s.ByKind == nil {
+		t.Error("empty summary returned nil maps")
+	}
+}
+
+func TestSummaryStringDeterministic(t *testing.T) {
+	var r Report
+	r.Add(Coord{Stage: "table2"}, &Numeric{})
+	r.Add(Coord{Stage: "table2"}, &Numeric{})
+	r.Add(Coord{Stage: "fem"}, &Panic{Worker: 0, Index: 1, Value: "x"})
+
+	want := "3 faults (stages: fem=1 table2=2; kinds: numeric=2 panic=1)"
+	// Render repeatedly: map iteration order must never leak through.
+	for i := 0; i < 10; i++ {
+		if got := r.Summarize().String(); got != want {
+			t.Fatalf("Summary.String() = %q, want %q", got, want)
+		}
+	}
+	if got := (Summary{}).String(); got != "0 faults" {
+		t.Errorf("empty Summary.String() = %q", got)
+	}
+	one := Summary{Total: 1, ByStage: map[string]int{"fem": 1}, ByKind: map[string]int{"other": 1}}
+	if got := one.String(); got != "1 fault (stages: fem=1; kinds: other=1)" {
+		t.Errorf("singular Summary.String() = %q", got)
+	}
+}
+
+func TestKindOfMatchesThroughWrapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{&Numeric{}, "numeric"},
+		{fmt.Errorf("a: %w", fmt.Errorf("b: %w", &Numeric{})), "numeric"},
+		{&NonConvergence{}, "non-convergence"},
+		{&Panic{}, "panic"},
+		{errors.New("plain"), "other"},
+		{fmt.Errorf("wrapped plain: %w", errors.New("x")), "other"},
+	}
+	for _, c := range cases {
+		if got := KindOf(c.err); got != c.want {
+			t.Errorf("KindOf(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"svtiming/internal/fault"
+	"svtiming/internal/obs"
 	"svtiming/internal/par"
 	"svtiming/internal/process"
 )
@@ -71,8 +72,16 @@ func BuildCtx(ctx context.Context, p *process.Process, pattern string, env proce
 	if len(env.Left) > 0 {
 		m.Pitch = env.Left[0].Gap + (env.Left[0].Width+env.Width)/2
 	}
+	// Kernel telemetry via the context-carried registry: one span per
+	// matrix, one count per grid cell evaluated (reporting-only).
+	reg := obs.FromContext(ctx)
+	points := reg.Counter("fem_points")
+	span := reg.Span("fem")
+	defer span.End()
 	grid, err := par.Grid(ctx, workers, doses, defocus,
 		func(_ context.Context, dose, z float64) (float64, error) {
+			points.Inc()
+			span.AddItems(1)
 			cd, ok, err := p.PrintCDChecked(env, z, dose)
 			if err != nil {
 				return math.NaN(), fmt.Errorf("fem %s: %w", pattern, err)

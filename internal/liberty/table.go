@@ -33,6 +33,36 @@ func (t Table) At(slew, load float64) float64 {
 	return v00*(1-fi)*(1-fj) + v01*(1-fi)*fj + v10*fi*(1-fj) + v11*fi*fj
 }
 
+// RangeError reports a Lookup outside a table's characterized axes,
+// carrying which axis was violated and its valid span. Callers that
+// must distinguish extrapolation from other failures match with
+// errors.As; callers content with NLDM clamping use At instead.
+type RangeError struct {
+	Axis     string // "slew" or "load"
+	Value    float64
+	Min, Max float64
+}
+
+func (e *RangeError) Error() string {
+	return fmt.Sprintf("liberty: %s %g outside characterized range [%g, %g]",
+		e.Axis, e.Value, e.Min, e.Max)
+}
+
+// Lookup evaluates the table at (slew, load) like At, but instead of
+// silently clamping it returns a *RangeError when the point lies outside
+// the characterized grid (NaN query coordinates are out of range too —
+// they compare false against every bound). Inside the grid the result is
+// identical to At, and is finite whenever the table entries are.
+func (t Table) Lookup(slew, load float64) (float64, error) {
+	if s0, s1 := t.Slews[0], t.Slews[len(t.Slews)-1]; !(slew >= s0 && slew <= s1) {
+		return 0, &RangeError{Axis: "slew", Value: slew, Min: s0, Max: s1}
+	}
+	if l0, l1 := t.Loads[0], t.Loads[len(t.Loads)-1]; !(load >= l0 && load <= l1) {
+		return 0, &RangeError{Axis: "load", Value: load, Min: l0, Max: l1}
+	}
+	return t.At(slew, load), nil
+}
+
 // Scale returns a copy of the table with all values multiplied by k.
 func (t Table) Scale(k float64) Table {
 	out := Table{

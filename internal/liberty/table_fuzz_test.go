@@ -1,0 +1,95 @@
+package liberty
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// FuzzTableLookup pins the range-checked lookup's contract over
+// arbitrary query points: inside the characterized grid it must agree
+// with At and never produce a non-finite value; outside (including NaN
+// coordinates) it must return a *RangeError whose reported axis and
+// bounds are accurate — never a fabricated number. The seed corpus runs
+// on plain `go test`; `go test -fuzz=FuzzTableLookup` explores further.
+func FuzzTableLookup(f *testing.F) {
+	f.Add(40.0, 8.0)               // mid-grid
+	f.Add(1.0, 0.1)                // exact lower corner
+	f.Add(1000.0, 1000.0)          // exact upper corner
+	f.Add(0.999, 8.0)              // just below slew range
+	f.Add(40.0, 1000.0001)         // just above load range
+	f.Add(-1.0, -1.0)              // fully negative
+	f.Add(math.NaN(), 8.0)         // NaN slew
+	f.Add(40.0, math.NaN())        // NaN load
+	f.Add(math.Inf(1), 8.0)        // +Inf slew
+	f.Add(40.0, math.Inf(-1))      // -Inf load
+	f.Add(1e308, 1e308)            // near-overflow magnitudes
+	f.Add(39.9999999999, 0.100001) // interpolation fractions near 0
+
+	// A nontrivial but deterministic NLDM surface: delay grows
+	// superlinearly in slew and linearly in load, so bilinear
+	// interpolation has real curvature to get wrong.
+	tab := Sample(
+		[]float64{1, 10, 40, 120, 400, 1000},
+		[]float64{0.1, 1, 4, 16, 64, 1000},
+		func(s, l float64) float64 { return 5 + 0.3*s + 0.02*s*s/100 + 1.7*l },
+	)
+	sMin, sMax := tab.Slews[0], tab.Slews[len(tab.Slews)-1]
+	lMin, lMax := tab.Loads[0], tab.Loads[len(tab.Loads)-1]
+	vMin, vMax := math.Inf(1), math.Inf(-1)
+	for _, row := range tab.Values {
+		for _, v := range row {
+			vMin, vMax = math.Min(vMin, v), math.Max(vMax, v)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, slew, load float64) {
+		v, err := tab.Lookup(slew, load)
+		inRange := slew >= sMin && slew <= sMax && load >= lMin && load <= lMax
+		// NaN compares false against every bound, so NaN queries are
+		// out of range by this definition too — exactly Lookup's rule.
+		if err == nil {
+			if !inRange {
+				t.Fatalf("Lookup(%g, %g) accepted an out-of-range point", slew, load)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("Lookup(%g, %g) = %v: non-finite from a finite table", slew, load, v)
+			}
+			// Bilinear interpolation is a convex combination of the four
+			// corner samples: the result can never escape the table's
+			// value envelope.
+			if v < vMin-1e-9 || v > vMax+1e-9 {
+				t.Fatalf("Lookup(%g, %g) = %v outside value envelope [%v, %v]", slew, load, v, vMin, vMax)
+			}
+			if at := tab.At(slew, load); v != at {
+				t.Fatalf("Lookup(%g, %g) = %v disagrees with At = %v", slew, load, v, at)
+			}
+			return
+		}
+		if inRange {
+			t.Fatalf("Lookup(%g, %g) rejected an in-range point: %v", slew, load, err)
+		}
+		var re *RangeError
+		if !errors.As(err, &re) {
+			t.Fatalf("Lookup(%g, %g) error %v is not a *RangeError", slew, load, err)
+		}
+		switch re.Axis {
+		case "slew":
+			if re.Min != sMin || re.Max != sMax {
+				t.Fatalf("RangeError reports slew span [%v, %v], table has [%v, %v]", re.Min, re.Max, sMin, sMax)
+			}
+			if re.Value >= sMin && re.Value <= sMax {
+				t.Fatalf("RangeError blames in-range slew %v", re.Value)
+			}
+		case "load":
+			if re.Min != lMin || re.Max != lMax {
+				t.Fatalf("RangeError reports load span [%v, %v], table has [%v, %v]", re.Min, re.Max, lMin, lMax)
+			}
+			if re.Value >= lMin && re.Value <= lMax {
+				t.Fatalf("RangeError blames in-range load %v", re.Value)
+			}
+		default:
+			t.Fatalf("RangeError names unknown axis %q", re.Axis)
+		}
+	})
+}

@@ -6,6 +6,7 @@ import (
 
 	"svtiming/internal/fourier"
 	"svtiming/internal/mask"
+	"svtiming/internal/obs"
 )
 
 // Imager is a scalar partially coherent projection system. It computes the
@@ -22,6 +23,25 @@ type Imager struct {
 	// function of normalized pupil radius g·λ/NA in [-1,1]. Used for
 	// model-fidelity studies.
 	Aberration func(rho float64) float64
+
+	// images/kernelIters are optional kernel counters (nil = no-op),
+	// wired by Observe and shared by every WithDefocus copy of this
+	// imager. Reporting-only: they never influence the computed image.
+	images      *obs.Counter
+	kernelIters *obs.Counter
+}
+
+// Observe wires the imager's kernel counters to the registry:
+// "litho_images" counts aerial-image evaluations, "litho_kernel_iters"
+// the source-point × frequency inner-loop passes behind them (the true
+// cost unit of the Abbe sum). Copies made afterwards (WithDefocus)
+// share the counters.
+func (im *Imager) Observe(reg *obs.Registry) {
+	if !reg.Enabled() {
+		return
+	}
+	im.images = reg.Counter("litho_images")
+	im.kernelIters = reg.Counter("litho_kernel_iters")
 }
 
 // Profile is a sampled intensity profile, clear-field normalized: an empty
@@ -122,6 +142,8 @@ func (im Imager) Image(m *mask.Mask1D) Profile {
 	for i := range out {
 		out[i] /= totalW
 	}
+	im.images.Inc()
+	im.kernelIters.Add(int64(n) * int64(len(im.Src.Points)))
 	return Profile{X0: m.X0, Dx: m.Dx, I: out}
 }
 

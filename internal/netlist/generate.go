@@ -67,6 +67,12 @@ func Generate(lib *stdcell.Library, p Profile) (*Netlist, error) {
 	if p.Gates < p.Depth || p.Depth < 1 || p.PIs < 1 || p.POs < 1 {
 		return nil, fmt.Errorf("netlist: invalid profile %+v", p)
 	}
+	if p.POs > p.Gates {
+		// Primary outputs are drawn from distinct gate-output nets, so a
+		// profile asking for more POs than gates cannot be met — reject
+		// it instead of silently under-delivering (found by FuzzGenerate).
+		return nil, fmt.Errorf("netlist: profile asks %d POs from %d gates", p.POs, p.Gates)
+	}
 	rng := rand.New(rand.NewSource(p.Seed))
 	n := &Netlist{Name: p.Name}
 	for i := 0; i < p.PIs; i++ {

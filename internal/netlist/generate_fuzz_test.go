@@ -1,0 +1,75 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+
+	"svtiming/internal/stdcell"
+)
+
+// FuzzGenerate drives the benchmark generator over arbitrary profiles:
+// it must either reject a profile with an error or emit a circuit that
+// validates, matches the requested statistics exactly, and regenerates
+// byte-identically from the same seed — never panic, never hang, never
+// emit a half-built netlist. The seed corpus runs on every plain
+// `go test` (tier-1); `go test -fuzz=FuzzGenerate` explores further.
+func FuzzGenerate(f *testing.F) {
+	f.Add(1, 1, 1, 1, int64(0))
+	f.Add(5, 2, 6, 3, int64(17))       // c17-scale
+	f.Add(36, 7, 160, 17, int64(432))  // the published c432 statistics
+	f.Add(3, 3, 10, 10, int64(1))      // one gate per level
+	f.Add(1, 50, 4, 2, int64(9))       // more POs than nets to choose from
+	f.Add(0, 1, 5, 2, int64(3))        // no PIs: must reject
+	f.Add(10, 0, 5, 2, int64(3))       // no POs: must reject
+	f.Add(10, 5, 3, 7, int64(3))       // gates < depth: must reject
+	f.Add(10, 5, 50, 0, int64(3))      // zero depth: must reject
+	f.Add(-4, -4, -4, -4, int64(-1))   // everything negative
+	f.Add(60, 26, 383, 24, int64(880)) // c880
+
+	lib := stdcell.Default()
+	f.Fuzz(func(t *testing.T, pis, pos, gates, depth int, seed int64) {
+		// Bound the work per input so the fuzzer explores breadth instead
+		// of generating megagate circuits; rejection (not clamping) keeps
+		// the tested profile exactly what Generate saw.
+		if pis > 300 || pos > 300 || gates > 3000 || depth > 300 {
+			t.Skip("profile larger than the fuzz budget")
+		}
+		p := Profile{Name: "fuzz", PIs: pis, POs: pos, Gates: gates, Depth: depth, Seed: seed}
+		n, err := Generate(lib, p)
+		if err != nil {
+			return // rejected profile; panics and corrupt output are the bugs
+		}
+		if err := n.Validate(lib); err != nil {
+			t.Fatalf("generated netlist invalid: %v", err)
+		}
+		if n.NumGates() != gates {
+			t.Fatalf("gate count %d, profile asked %d", n.NumGates(), gates)
+		}
+		if len(n.PIs) != pis {
+			t.Fatalf("PI count %d, profile asked %d", len(n.PIs), pis)
+		}
+		if len(n.POs) != pos {
+			t.Fatalf("PO count %d, profile asked %d", len(n.POs), pos)
+		}
+		if d, err := n.TopoOrder(); err != nil || len(d) != gates {
+			t.Fatalf("topological order failed: %v (%d gates)", err, len(d))
+		}
+
+		// Same profile, same bytes: the generator is a pure function of
+		// its profile (the determinism contract every substrate pins).
+		again, err := Generate(lib, p)
+		if err != nil {
+			t.Fatalf("regeneration failed: %v", err)
+		}
+		var a, b strings.Builder
+		if err := WriteBench(&a, n); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		if err := WriteBench(&b, again); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		if a.String() != b.String() {
+			t.Fatal("same profile generated different netlists")
+		}
+	})
+}

@@ -1,0 +1,31 @@
+package obs
+
+import "context"
+
+// ctxKey is the private context key carrying a *Registry.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying the registry, so low-level layers
+// (the par pools, the FEM grid sweep) can pick up instrumentation
+// without signature changes. A nil or disabled registry is not
+// attached — FromContext then returns nil, which every instrument
+// treats as no-op.
+func NewContext(ctx context.Context, r *Registry) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if !r.Enabled() {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, r)
+}
+
+// FromContext returns the registry carried by ctx, or nil (the no-op
+// registry) when none is attached.
+func FromContext(ctx context.Context) *Registry {
+	if ctx == nil {
+		return nil
+	}
+	r, _ := ctx.Value(ctxKey{}).(*Registry)
+	return r
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// StageTiming is one pipeline stage in a RunManifest: its injected-clock
+// duration and how many items it processed. Under a fake zero-step
+// clock (golden mode) DurationNS is 0 and the whole manifest is
+// schedule-invariant.
+type StageTiming struct {
+	Name       string `json:"name"`
+	DurationNS int64  `json:"duration_ns"`
+	Items      int64  `json:"items"`
+}
+
+// CacheStats summarizes the printed-CD cache in schedule-invariant
+// terms. Lookups and Simulations are both pure functions of the work
+// performed; Hits is derived as Lookups − Simulations rather than read
+// from the racy hit/merge counters, so a serial run and an 8-worker run
+// of the same sweep report identical numbers (the raw split between
+// "hit a done entry" and "merged onto an in-flight simulation" depends
+// on worker scheduling and is visible only in the full metrics dump).
+type CacheStats struct {
+	Lookups     int64 `json:"lookups"`
+	Simulations int64 `json:"simulations"`
+	Hits        int64 `json:"hits"`
+}
+
+// PoolStats summarizes the parallel execution engine's work in
+// schedule-invariant terms: how many tasks ran and how many panics were
+// contained. Per-worker occupancy histograms are schedule-dependent and
+// live only in the metrics dump.
+type PoolStats struct {
+	Tasks           int64 `json:"tasks"`
+	PanicsContained int64 `json:"panics_contained"`
+}
+
+// RowStats counts result rows and how many came back degraded.
+type RowStats struct {
+	Total    int `json:"total"`
+	Degraded int `json:"degraded"`
+}
+
+// RunManifest is the reproducibility record a cmd tool emits: what was
+// asked for, what work was done, and (outside golden mode) how long
+// each stage took. Every field is either configuration or a
+// schedule-invariant tally, so two runs of the same workload at any
+// parallelism emit byte-identical manifests once stage timings are
+// pinned by a fake clock. Deliberately absent: worker counts, per-worker
+// occupancy, raw hit/merge splits and anything else that varies with
+// scheduling — those belong to the metrics dump, not the manifest.
+type RunManifest struct {
+	Tool       string            `json:"tool"`
+	Config     map[string]string `json:"config"`
+	Benchmarks []string          `json:"benchmarks"`
+	Seeds      map[string]int64  `json:"seeds,omitempty"`
+	Stages     []StageTiming     `json:"stages"`
+	Cache      CacheStats        `json:"cache"`
+	Pool       PoolStats         `json:"pool"`
+	Rows       RowStats          `json:"rows"`
+	// Faults maps fault-summary keys ("total", "stage:<s>", "kind:<k>")
+	// to counts; empty on a clean run.
+	Faults map[string]int `json:"faults,omitempty"`
+}
+
+// StagesFromSnapshot converts a registry snapshot's spans into manifest
+// stage timings, sorted by (name, items, duration) rather than start
+// sequence: spans opened inside worker goroutines (the per-analysis STA
+// spans) acquire their sequence numbers in scheduling order, and the
+// manifest must not depend on scheduling. Under a golden (zero-step)
+// clock, equal work therefore renders equal bytes at any parallelism.
+func StagesFromSnapshot(s Snapshot) []StageTiming {
+	out := make([]StageTiming, 0, len(s.Spans))
+	for _, sp := range s.Spans {
+		out = append(out, StageTiming{Name: sp.Name, DurationNS: sp.DurationNS, Items: sp.Items})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		if out[i].Items != out[j].Items {
+			return out[i].Items < out[j].Items
+		}
+		return out[i].DurationNS < out[j].DurationNS
+	})
+	return out
+}
+
+// Encode renders the manifest as indented JSON with sorted object keys
+// (encoding/json sorts map keys) and a trailing newline — the golden
+// byte format the determinism contract pins.
+func (m *RunManifest) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -1,0 +1,267 @@
+// Package obs is the dependency-free observability layer of the flow:
+// counters, gauges and fixed-bucket histograms collected in a Registry,
+// plus stage Spans timed against an injectable clock (see span.go) and
+// the RunManifest every cmd tool can emit (see manifest.go).
+//
+// Design rules, mirroring the determinism contract of internal/par:
+//
+//   - Metrics never feed back into numeric results. Everything in this
+//     package is write-mostly telemetry; no flow stage reads a counter to
+//     decide anything. An enabled Registry therefore changes no output
+//     bit versus Nop() (pinned by the root manifest_test.go).
+//
+//   - No-op when disabled. Nop() returns a disabled registry whose
+//     instrument constructors hand out nil handles; every handle method
+//     is nil-receiver safe, so instrumented hot paths cost one pointer
+//     test when observability is off. A nil *Registry behaves like Nop().
+//
+//   - Zero allocation on the hot path. Handles are resolved once per
+//     stage (a sharded map lookup under a per-shard mutex); recording is
+//     a single atomic add with no allocation.
+//
+//   - No wall-clock reads. The registry never calls time.Now: span
+//     timing flows through the clock function injected with
+//     WithClockFunc (production wires expt.Now, tests wire a fake), so
+//     svlint's walltime analyzer holds for this package too.
+//
+//   - Deterministic rendering. Snapshot sorts every map by key and
+//     orders spans by start sequence, so two runs doing the same work
+//     render their schedule-invariant metrics identically.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count. The nil Counter is
+// a valid no-op instrument.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-write-wins instantaneous value. The nil Gauge is a
+// valid no-op instrument.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set records the gauge value. No-op on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Value returns the last recorded value (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into fixed buckets chosen at
+// registration. Buckets are upper bounds (inclusive), ascending; an
+// implicit overflow bucket catches everything above the last bound.
+// Only integer bucket counts are kept — no floating-point sum — so a
+// histogram's state is independent of observation order and safe to
+// fill from concurrent workers without perturbing determinism.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1, last = overflow
+}
+
+// Observe records one observation. No-op on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i].Add(1)
+			return
+		}
+	}
+	h.counts[len(h.bounds)].Add(1)
+}
+
+// Count returns the total number of observations (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// shardCount spreads instrument registration over independent locks; it
+// must be a power of two for the mask in shardFor. Registration is the
+// cold path (once per stage), so a small table suffices.
+const shardCount = 8
+
+type shard struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// Registry collects named instruments and completed spans. Construct an
+// enabled registry with New and a disabled one with Nop; the zero value
+// and the nil pointer both behave as disabled.
+type Registry struct {
+	enabled bool
+	clock   func() time.Time // nil: spans record zero durations
+	shards  [shardCount]shard
+
+	spanMu   sync.Mutex
+	spans    []SpanRecord
+	spanSeq  atomic.Int64
+	spanOpen atomic.Int64 // currently unfinished spans (diagnostic gauge)
+}
+
+// RegistryOption configures New.
+type RegistryOption func(*Registry)
+
+// WithClockFunc injects the time source spans are measured with.
+// Production wires expt.Now so the svlint walltime contract holds;
+// tests wire a fake for pinned timings. Without a clock, spans record
+// zero durations (golden mode).
+func WithClockFunc(now func() time.Time) RegistryOption {
+	return func(r *Registry) { r.clock = now }
+}
+
+// New returns an enabled registry.
+func New(opts ...RegistryOption) *Registry {
+	r := &Registry{enabled: true}
+	for _, opt := range opts {
+		opt(r)
+	}
+	return r
+}
+
+// Nop returns a disabled registry: instrument constructors return nil
+// handles and spans are dropped. Sharing one process-wide Nop would be
+// fine (it holds no state), but a fresh value keeps tests independent.
+func Nop() *Registry { return &Registry{} }
+
+// Enabled reports whether the registry records anything. False for nil.
+func (r *Registry) Enabled() bool { return r != nil && r.enabled }
+
+// fnv1a is a tiny inline string hash for shard selection (the cold
+// registration path only).
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (r *Registry) shardFor(name string) *shard {
+	return &r.shards[fnv1a(name)&(shardCount-1)]
+}
+
+// Counter returns the named counter, registering it on first use.
+// Returns nil (the no-op instrument) on a disabled or nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if !r.Enabled() {
+		return nil
+	}
+	s := r.shardFor(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.counters[name]; ok {
+		return c
+	}
+	if s.counters == nil {
+		s.counters = make(map[string]*Counter)
+	}
+	c := &Counter{}
+	s.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, registering it on first use. Returns
+// nil on a disabled or nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if !r.Enabled() {
+		return nil
+	}
+	s := r.shardFor(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if g, ok := s.gauges[name]; ok {
+		return g
+	}
+	if s.gauges == nil {
+		s.gauges = make(map[string]*Gauge)
+	}
+	g := &Gauge{}
+	s.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, registering it with the given
+// ascending bucket upper bounds on first use (later calls reuse the
+// first registration's buckets). Returns nil on a disabled or nil
+// registry.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if !r.Enabled() {
+		return nil
+	}
+	s := r.shardFor(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h, ok := s.histograms[name]; ok {
+		return h
+	}
+	if s.histograms == nil {
+		s.histograms = make(map[string]*Histogram)
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	s.histograms[name] = h
+	return h
+}
+
+// CounterValue reads the named counter without registering it: 0 when
+// absent or disabled. Manifest builders read through this.
+func (r *Registry) CounterValue(name string) int64 {
+	if !r.Enabled() {
+		return 0
+	}
+	s := r.shardFor(name)
+	s.mu.Lock()
+	c := s.counters[name]
+	s.mu.Unlock()
+	return c.Value()
+}

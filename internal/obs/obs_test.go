@@ -1,0 +1,288 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilSafety drives every instrument method through the disabled
+// paths: a Nop registry, a nil registry, and the nil handles they hand
+// out. None of it may panic, and every read must come back zero.
+func TestNilSafety(t *testing.T) {
+	for _, r := range []*Registry{nil, Nop()} {
+		if r.Enabled() {
+			t.Fatal("disabled registry reports enabled")
+		}
+		c := r.Counter("c")
+		if c != nil {
+			t.Fatal("disabled registry handed out a live counter")
+		}
+		c.Inc()
+		c.Add(5)
+		if c.Value() != 0 {
+			t.Error("nil counter holds a value")
+		}
+		g := r.Gauge("g")
+		g.Set(7)
+		if g.Value() != 0 {
+			t.Error("nil gauge holds a value")
+		}
+		h := r.Histogram("h", []float64{1, 2})
+		h.Observe(1.5)
+		if h.Count() != 0 {
+			t.Error("nil histogram holds observations")
+		}
+		sp := r.Span("stage")
+		if sp != nil {
+			t.Fatal("disabled registry handed out a live span")
+		}
+		sp.AddItems(3)
+		sp.End()
+		if r.OpenSpans() != 0 {
+			t.Error("disabled registry tracks open spans")
+		}
+		if r.CounterValue("c") != 0 {
+			t.Error("disabled registry reads a counter value")
+		}
+		snap := r.Snapshot()
+		if snap.Counters == nil || snap.Gauges == nil || snap.Histograms == nil {
+			t.Error("disabled snapshot has nil maps")
+		}
+		if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms)+len(snap.Spans) != 0 {
+			t.Errorf("disabled snapshot not empty: %+v", snap)
+		}
+	}
+}
+
+func TestCounterGaugeRegistration(t *testing.T) {
+	r := New()
+	if !r.Enabled() {
+		t.Fatal("New() registry not enabled")
+	}
+	c := r.Counter("hits")
+	c.Add(2)
+	c.Inc()
+	if c.Value() != 3 {
+		t.Errorf("counter = %d, want 3", c.Value())
+	}
+	// Same name resolves to the same instrument.
+	if r.Counter("hits") != c {
+		t.Error("re-registration returned a different counter")
+	}
+	if r.CounterValue("hits") != 3 {
+		t.Errorf("CounterValue = %d", r.CounterValue("hits"))
+	}
+	if r.CounterValue("never-registered") != 0 {
+		t.Error("unregistered counter reads nonzero")
+	}
+	g := r.Gauge("entries")
+	g.Set(10)
+	g.Set(4) // last write wins
+	if g.Value() != 4 {
+		t.Errorf("gauge = %d, want 4", g.Value())
+	}
+	if r.Gauge("entries") != g {
+		t.Error("re-registration returned a different gauge")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("occupancy", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 100} {
+		h.Observe(v) // bounds are inclusive: 1 → bucket ≤1, 100 → overflow
+	}
+	if h.Count() != 6 {
+		t.Fatalf("Count = %d, want 6", h.Count())
+	}
+	snap := r.Snapshot().Histograms["occupancy"]
+	wantCounts := []int64{2, 2, 1, 1} // ≤1, ≤2, ≤4, overflow
+	if len(snap.Counts) != len(wantCounts) {
+		t.Fatalf("Counts = %v", snap.Counts)
+	}
+	for i, w := range wantCounts {
+		if snap.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (all: %v)", i, snap.Counts[i], w, snap.Counts)
+		}
+	}
+	// Later registrations reuse the first bounds.
+	if h2 := r.Histogram("occupancy", []float64{100, 200}); h2 != h {
+		t.Error("re-registration returned a different histogram")
+	}
+}
+
+func TestSpansThroughFakeClock(t *testing.T) {
+	tick := time.Unix(0, 0)
+	r := New(WithClockFunc(func() time.Time {
+		tick = tick.Add(10 * time.Millisecond)
+		return tick
+	}))
+	sp := r.Span("characterize")
+	if r.OpenSpans() != 1 {
+		t.Fatalf("OpenSpans = %d", r.OpenSpans())
+	}
+	sp.AddItems(81)
+	sp.End()
+	if r.OpenSpans() != 0 {
+		t.Fatalf("OpenSpans after End = %d", r.OpenSpans())
+	}
+	spans := r.Snapshot().Spans
+	if len(spans) != 1 {
+		t.Fatalf("Spans = %+v", spans)
+	}
+	got := spans[0]
+	if got.Name != "characterize" || got.Items != 81 {
+		t.Errorf("span = %+v", got)
+	}
+	// The stepping clock advanced exactly once between Span and End.
+	if got.DurationNS != int64(10*time.Millisecond) {
+		t.Errorf("DurationNS = %d, want %d", got.DurationNS, int64(10*time.Millisecond))
+	}
+
+	// Clockless (golden-mode) registry: zero duration, items intact.
+	r2 := New()
+	sp2 := r2.Span("table2")
+	sp2.AddItems(5)
+	sp2.End()
+	if got := r2.Snapshot().Spans[0]; got.DurationNS != 0 || got.Items != 5 {
+		t.Errorf("golden span = %+v", got)
+	}
+}
+
+func TestSnapshotIsStableAndSorted(t *testing.T) {
+	r := New()
+	r.Counter("b").Add(2)
+	r.Counter("a").Inc()
+	r.Gauge("g").Set(9)
+	r.Span("s2").End()
+	r.Span("s1").End()
+
+	s1 := r.Snapshot()
+	// Spans come back in start order (Seq), not completion order.
+	if s1.Spans[0].Name != "s2" || s1.Spans[1].Name != "s1" {
+		t.Errorf("spans not in start order: %+v", s1.Spans)
+	}
+	b1, err := s1.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := r.Snapshot().EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("identical registry state encoded to different bytes")
+	}
+	if b1[len(b1)-1] != '\n' {
+		t.Error("encoding lacks trailing newline")
+	}
+}
+
+func TestStagesFromSnapshotIsScheduleInvariant(t *testing.T) {
+	// Two registries record the same work with opposite start orders —
+	// as parallel STA workers would. The manifest stages must agree.
+	a, b := New(), New()
+	for _, name := range []string{"sta", "sta", "opc"} {
+		sp := a.Span(name)
+		sp.AddItems(1)
+		sp.End()
+	}
+	for _, name := range []string{"opc", "sta", "sta"} {
+		sp := b.Span(name)
+		sp.AddItems(1)
+		sp.End()
+	}
+	sa := StagesFromSnapshot(a.Snapshot())
+	sb := StagesFromSnapshot(b.Snapshot())
+	if len(sa) != 3 || len(sb) != 3 {
+		t.Fatalf("stage counts %d, %d", len(sa), len(sb))
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Errorf("stage %d differs: %+v vs %+v", i, sa[i], sb[i])
+		}
+	}
+	if sa[0].Name != "opc" { // sorted by name, not Seq
+		t.Errorf("stages not name-sorted: %+v", sa)
+	}
+}
+
+func TestManifestEncodeDeterministic(t *testing.T) {
+	m := &RunManifest{
+		Tool:       "svtiming",
+		Config:     map[string]string{"circuits": "c17", "on-fault": "fail-fast"},
+		Benchmarks: []string{"c17"},
+		Seeds:      map[string]int64{"c17": 1},
+		Stages:     []StageTiming{{Name: "table2", Items: 1}},
+		Cache:      CacheStats{Lookups: 10, Simulations: 4, Hits: 6},
+		Pool:       PoolStats{Tasks: 12},
+		Rows:       RowStats{Total: 1},
+	}
+	b1, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("same manifest encoded to different bytes")
+	}
+	// encoding/json sorts map keys: "circuits" renders before "on-fault".
+	if ci, of := bytes.Index(b1, []byte("circuits")), bytes.Index(b1, []byte("on-fault")); ci < 0 || of < 0 || ci > of {
+		t.Errorf("config keys not sorted in output:\n%s", b1)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	// Many goroutines hammer one registry; totals must be exact and the
+	// race detector (make tier2) must stay quiet.
+	r := New()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared")
+			h := r.Histogram("hist", []float64{0.5})
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(float64(i % 2))
+				r.Gauge("last").Set(int64(i))
+			}
+			sp := r.Span("worker")
+			sp.AddItems(per)
+			sp.End()
+		}()
+	}
+	wg.Wait()
+	if v := r.CounterValue("shared"); v != workers*per {
+		t.Errorf("counter = %d, want %d", v, workers*per)
+	}
+	snap := r.Snapshot()
+	if n := snap.Histograms["hist"].Counts[0] + snap.Histograms["hist"].Counts[1]; n != workers*per {
+		t.Errorf("histogram total = %d, want %d", n, workers*per)
+	}
+	if len(snap.Spans) != workers {
+		t.Errorf("span count = %d, want %d", len(snap.Spans), workers)
+	}
+	if r.OpenSpans() != 0 {
+		t.Errorf("OpenSpans = %d", r.OpenSpans())
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	r := New()
+	ctx := NewContext(context.Background(), r)
+	if FromContext(ctx) != r {
+		t.Error("context did not round-trip the registry")
+	}
+	if got := FromContext(context.Background()); got.Enabled() {
+		t.Errorf("empty context yielded an enabled registry: %v", got)
+	}
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// HistogramSnapshot is the rendered state of one histogram: parallel
+// bucket bounds and counts, with the final entry of Counts holding the
+// overflow bucket (no matching bound).
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+}
+
+// Snapshot is a point-in-time rendering of a registry: sorted
+// instrument maps plus completed spans in start order. Marshalling it
+// with encoding/json yields deterministic bytes for deterministic
+// metric values (JSON object keys sort; spans sort by Seq).
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Spans      []SpanRecord                 `json:"spans"`
+}
+
+// Snapshot renders the registry's current state. A disabled or nil
+// registry yields an empty (but non-nil-mapped) snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if !r.Enabled() {
+		return snap
+	}
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		for name, c := range s.counters {
+			snap.Counters[name] = c.Value()
+		}
+		for name, g := range s.gauges {
+			snap.Gauges[name] = g.Value()
+		}
+		for name, h := range s.histograms {
+			hs := HistogramSnapshot{
+				Bounds: append([]float64(nil), h.bounds...),
+				Counts: make([]int64, len(h.counts)),
+			}
+			for j := range h.counts {
+				hs.Counts[j] = h.counts[j].Load()
+			}
+			snap.Histograms[name] = hs
+		}
+		s.mu.Unlock()
+	}
+	r.spanMu.Lock()
+	snap.Spans = append([]SpanRecord(nil), r.spans...)
+	r.spanMu.Unlock()
+	sort.SliceStable(snap.Spans, func(i, j int) bool { return snap.Spans[i].Seq < snap.Spans[j].Seq })
+	return snap
+}
+
+// EncodeJSON renders the snapshot as indented JSON with a trailing
+// newline. encoding/json sorts object keys, so the bytes are
+// deterministic for deterministic metric values.
+func (s Snapshot) EncodeJSON() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -1,0 +1,85 @@
+package obs
+
+import "time"
+
+// SpanRecord is one completed stage span: what ran, how long it took
+// against the injected clock, and how many items it processed. Seq is
+// the start order (atomic), which is deterministic for spans opened
+// from one goroutine — the flow's stage spans all are.
+type SpanRecord struct {
+	Name       string `json:"name"`
+	Seq        int64  `json:"seq"`
+	DurationNS int64  `json:"duration_ns"`
+	Items      int64  `json:"items"`
+}
+
+// Span is one in-flight stage measurement. Obtain with Registry.Span,
+// finish with End. The nil Span (from a disabled registry) is a valid
+// no-op.
+type Span struct {
+	reg   *Registry
+	name  string
+	seq   int64
+	start time.Time
+	items atomic64
+}
+
+// atomic64 is a tiny alias wrapper so Span stays copy-averse without
+// importing sync/atomic here twice; it reuses Counter's representation.
+type atomic64 = Counter
+
+// Span starts a named stage span. Returns nil (no-op) on a disabled or
+// nil registry. Timing uses the registry's injected clock; with no
+// clock the span records a zero duration (golden mode) but still counts
+// items and preserves start order.
+func (r *Registry) Span(name string) *Span {
+	if !r.Enabled() {
+		return nil
+	}
+	s := &Span{reg: r, name: name, seq: r.spanSeq.Add(1)}
+	if r.clock != nil {
+		s.start = r.clock()
+	}
+	r.spanOpen.Add(1)
+	return s
+}
+
+// AddItems attributes n processed items (rows, grid cells, benchmarks)
+// to the span. No-op on nil.
+func (s *Span) AddItems(n int64) {
+	if s == nil {
+		return
+	}
+	s.items.Add(n)
+}
+
+// End completes the span and records it in the registry. No-op on nil;
+// calling End twice records the span twice (don't).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	var d time.Duration
+	if s.reg.clock != nil {
+		d = s.reg.clock().Sub(s.start)
+	}
+	rec := SpanRecord{
+		Name:       s.name,
+		Seq:        s.seq,
+		DurationNS: int64(d),
+		Items:      s.items.Value(),
+	}
+	s.reg.spanMu.Lock()
+	s.reg.spans = append(s.reg.spans, rec)
+	s.reg.spanMu.Unlock()
+	s.reg.spanOpen.Add(-1)
+}
+
+// OpenSpans reports the number of started-but-unfinished spans, a leak
+// diagnostic for tests. Zero for a disabled or nil registry.
+func (r *Registry) OpenSpans() int64 {
+	if !r.Enabled() {
+		return 0
+	}
+	return r.spanOpen.Load()
+}

@@ -38,7 +38,50 @@ import (
 	"sync/atomic"
 
 	"svtiming/internal/fault"
+	"svtiming/internal/obs"
 )
+
+// poolMetrics are the pool's per-run instruments, resolved once per
+// Map/MapAll call from the registry carried in the context (see
+// obs.NewContext). Every handle is nil (a no-op) when no registry is
+// attached, so the uninstrumented hot path pays one pointer test per
+// item.
+type poolMetrics struct {
+	started   *obs.Counter
+	completed *obs.Counter
+	panics    *obs.Counter
+	perWorker *obs.Histogram
+}
+
+// workerTaskBuckets are the per-worker occupancy histogram bounds:
+// tasks executed by one worker over one pool run.
+var workerTaskBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+func metricsFrom(ctx context.Context) poolMetrics {
+	reg := obs.FromContext(ctx)
+	if !reg.Enabled() {
+		return poolMetrics{}
+	}
+	return poolMetrics{
+		started:   reg.Counter("par_tasks_started"),
+		completed: reg.Counter("par_tasks_completed"),
+		panics:    reg.Counter("par_panics_contained"),
+		perWorker: reg.Histogram("par_worker_tasks", workerTaskBuckets),
+	}
+}
+
+// runItem executes one item through the panic guard, recording task and
+// containment counts (methods cannot be generic, hence the free
+// function).
+func runItem[T any](m poolMetrics, ctx context.Context, worker, i int, fn func(ctx context.Context, i int) (T, error)) (T, error) {
+	m.started.Inc()
+	v, err := protect(ctx, worker, i, fn)
+	if _, contained := err.(*fault.Panic); contained {
+		m.panics.Inc()
+	}
+	m.completed.Inc()
+	return v, err
+}
 
 // protect runs fn(ctx, i), converting a panic into a *fault.Panic error.
 // worker is the pool goroutine index, or -1 on the inline serial path.
@@ -76,17 +119,19 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 	if w > n {
 		w = n
 	}
+	m := metricsFrom(ctx)
 	if w <= 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return out, err
 			}
-			v, err := protect(ctx, -1, i, fn)
+			v, err := runItem(m, ctx, -1, i, fn)
 			if err != nil {
 				return out, err
 			}
 			out[i] = v
 		}
+		m.perWorker.Observe(float64(n))
 		return out, nil
 	}
 
@@ -113,6 +158,8 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 	for g := 0; g < w; g++ {
 		go func(worker int) {
 			defer wg.Done()
+			ran := 0
+			defer func() { m.perWorker.Observe(float64(ran)) }()
 			for {
 				i := int(next.Add(1) - 1)
 				if i >= n {
@@ -136,7 +183,8 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 					// reached this item before the failing one, so its error
 					// (if any) must win for error determinism.
 				}
-				v, err := protect(cctx, worker, i, fn)
+				v, err := runItem(m, cctx, worker, i, fn)
+				ran++
 				if err != nil {
 					fail(i, err)
 					continue
@@ -174,14 +222,16 @@ func MapAll[T any](ctx context.Context, workers, n int, fn func(ctx context.Cont
 	if w > n {
 		w = n
 	}
+	m := metricsFrom(ctx)
 	if w <= 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				errs[i] = err
 				continue
 			}
-			out[i], errs[i] = protect(ctx, -1, i, fn)
+			out[i], errs[i] = runItem(m, ctx, -1, i, fn)
 		}
+		m.perWorker.Observe(float64(n))
 		return out, errs
 	}
 
@@ -191,6 +241,8 @@ func MapAll[T any](ctx context.Context, workers, n int, fn func(ctx context.Cont
 	for g := 0; g < w; g++ {
 		go func(worker int) {
 			defer wg.Done()
+			ran := 0
+			defer func() { m.perWorker.Observe(float64(ran)) }()
 			for {
 				i := int(next.Add(1) - 1)
 				if i >= n {
@@ -200,7 +252,8 @@ func MapAll[T any](ctx context.Context, workers, n int, fn func(ctx context.Cont
 					errs[i] = err
 					continue
 				}
-				out[i], errs[i] = protect(ctx, worker, i, fn)
+				out[i], errs[i] = runItem(m, ctx, worker, i, fn)
+				ran++
 			}
 		}(g)
 	}

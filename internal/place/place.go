@@ -39,6 +39,18 @@ type Options struct {
 	RowWidth    float64 // fixed row width, nm (default: computed from area)
 }
 
+// SeedFor returns the whitespace-distribution seed Place derives for a
+// netlist of the given name when Options.Seed is zero. Exported so run
+// manifests can record the effective seed of each benchmark without
+// re-deriving (and silently diverging from) the placer's rule.
+func SeedFor(name string) int64 {
+	var s int64
+	for _, r := range name {
+		s = s*31 + int64(r)
+	}
+	return s + 1
+}
+
 // Place assigns every instance of n to a row position. Instances are
 // ordered by logic level (wiring locality) and packed into rows; the
 // leftover whitespace in each row is split into inter-cell gaps drawn
@@ -52,10 +64,7 @@ func Place(n *netlist.Netlist, lib *stdcell.Library, opt Options) (*Placement, e
 		return nil, fmt.Errorf("place: utilization %v out of range", opt.Utilization)
 	}
 	if opt.Seed == 0 {
-		for _, r := range n.Name {
-			opt.Seed = opt.Seed*31 + int64(r)
-		}
-		opt.Seed++
+		opt.Seed = SeedFor(n.Name)
 	}
 	order, err := n.TopoOrder()
 	if err != nil {

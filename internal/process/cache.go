@@ -3,6 +3,8 @@ package process
 import (
 	"hash/maphash"
 	"sync"
+
+	"svtiming/internal/obs"
 )
 
 // cdCache is the concurrent printed-CD memo behind PrintCD/PrintCDCond.
@@ -36,6 +38,33 @@ type cdCache struct {
 	seed     maphash.Seed
 	seedOnce sync.Once
 	shards   [cacheShards]cdShard
+
+	// Telemetry handles, nil (no-op) unless Process.Observe wired a
+	// registry. lookups and sims are schedule-invariant for a given
+	// workload (every distinct key simulates exactly once); the
+	// hit/merge split depends on worker scheduling — a racing worker
+	// either finds a done entry (hit) or blocks on an in-flight one
+	// (merge) — so manifests derive hits as lookups−sims and only the
+	// raw metrics dump exposes the split. Metrics never feed back into
+	// cached values (observability contract, DESIGN.md).
+	lookups *obs.Counter
+	hits    *obs.Counter
+	sims    *obs.Counter
+	merges  *obs.Counter
+	entries *obs.Gauge
+}
+
+// observe wires the cache's telemetry to a registry under the given
+// metric name prefix (e.g. "process_cd").
+func (c *cdCache) observe(reg *obs.Registry, prefix string) {
+	if !reg.Enabled() {
+		return
+	}
+	c.lookups = reg.Counter(prefix + "_cache_lookups")
+	c.hits = reg.Counter(prefix + "_cache_hits")
+	c.sims = reg.Counter(prefix + "_cache_sims")
+	c.merges = reg.Counter(prefix + "_cache_merges")
+	c.entries = reg.Gauge(prefix + "_cache_entries")
 }
 
 // cacheShards balances lock spreading against footprint; it must be a
@@ -72,14 +101,17 @@ func (c *cdCache) shardFor(key string) *cdShard {
 // observes the same typed error.
 func (c *cdCache) do(key string, sim func() (float64, bool, error)) (float64, bool, error) {
 	s := c.shardFor(key)
+	c.lookups.Inc()
 
 	s.mu.Lock()
 	if r, ok := s.done[key]; ok {
 		s.mu.Unlock()
+		c.hits.Inc()
 		return r.cd, r.ok, r.err
 	}
 	if call, ok := s.inflight[key]; ok {
 		s.mu.Unlock()
+		c.merges.Inc()
 		call.wg.Wait()
 		return call.res.cd, call.res.ok, call.res.err
 	}
@@ -91,6 +123,7 @@ func (c *cdCache) do(key string, sim func() (float64, bool, error)) (float64, bo
 	s.inflight[key] = call
 	s.mu.Unlock()
 
+	c.sims.Inc()
 	cd, ok, err := sim()
 	call.res = cdResult{cd: cd, ok: ok, err: err}
 
@@ -102,6 +135,11 @@ func (c *cdCache) do(key string, sim func() (float64, bool, error)) (float64, bo
 	delete(s.inflight, key)
 	s.mu.Unlock()
 	call.wg.Done()
+	if c.entries != nil {
+		// Gauge refresh walks every shard; skip it entirely when
+		// unobserved (the only non-handle cost of instrumentation).
+		c.entries.Set(int64(c.size()))
+	}
 	return cd, ok, err
 }
 

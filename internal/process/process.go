@@ -22,6 +22,7 @@ import (
 	"svtiming/internal/geom"
 	"svtiming/internal/litho"
 	"svtiming/internal/mask"
+	"svtiming/internal/obs"
 	"svtiming/internal/resist"
 )
 
@@ -292,6 +293,17 @@ func (p *Process) simulateCD(env Env, defocus, dose float64) (float64, bool, err
 // safe for concurrent use.
 func (p *Process) PrintCD(env Env) (float64, bool) {
 	return p.PrintCDCond(env, 0, p.Dose)
+}
+
+// Observe wires the process's CD-cache telemetry (lookups, hits, sims,
+// singleflight merges, entry gauge) and the optical column's kernel
+// counters to the registry under the "process_cd" / "litho" metric
+// prefixes. Call once, before the process is shared with concurrent
+// workers; a disabled registry leaves the process uninstrumented.
+// Metrics are reporting-only and never feed back into simulated CDs.
+func (p *Process) Observe(reg *obs.Registry) {
+	p.cache.observe(reg, "process_cd")
+	p.Optics.Observe(reg)
 }
 
 // CacheSize returns the number of distinct (environment, condition) pairs

@@ -1,0 +1,167 @@
+package resist
+
+import (
+	"math"
+	"testing"
+
+	"svtiming/internal/litho"
+)
+
+// These tests drive the threshold model with a synthetic Gaussian-dip
+// aerial image, for which the threshold-crossing CD has a closed form:
+//
+//	I(x) = 1 − A·exp(−x²/2σ²)
+//	I(±x_e) = teff  →  CD = 2·x_e = 2σ·√(2·ln(A/(1−teff)))
+//
+// so edge interpolation, dose scaling, the no-crossing path and the
+// diffusion blur can all be checked against exact numbers instead of
+// qualitative shapes (resist_test.go covers those).
+
+// gaussianDip samples I(x) = 1 − amp·exp(−x²/2σ²) on a window generously
+// wider than the feature.
+func gaussianDip(amp, sigma float64) litho.Profile {
+	const dx = 1.0
+	n := 800
+	p := litho.Profile{X0: -float64(n) / 2 * dx, Dx: dx, I: make([]float64, n)}
+	for i := range p.I {
+		x := p.X(i)
+		p.I[i] = 1 - amp*math.Exp(-x*x/(2*sigma*sigma))
+	}
+	return p
+}
+
+// dipCD is the closed-form printed CD of gaussianDip at effective
+// threshold teff; valid when 1−amp < teff < 1.
+func dipCD(amp, sigma, teff float64) float64 {
+	return 2 * sigma * math.Sqrt(2*math.Log(amp/(1-teff)))
+}
+
+func TestThresholdCDClosedForm(t *testing.T) {
+	cases := []struct {
+		amp, sigma, threshold, dose float64
+	}{
+		{0.8, 60, 0.30, 1.0},
+		{0.8, 60, 0.30, 1.1}, // higher dose erodes the line
+		{0.8, 60, 0.30, 0.9}, // lower dose fattens it
+		{0.9, 45, 0.35, 1.0},
+		{0.5, 80, 0.55, 1.0}, // shallow dip, threshold near the floor
+	}
+	for _, c := range cases {
+		m := Model{Threshold: c.threshold}
+		p := gaussianDip(c.amp, c.sigma)
+		teff := m.EffectiveThreshold(c.dose)
+		want := dipCD(c.amp, c.sigma, teff)
+
+		cd, ok := m.PrintedCD(p, 0, c.dose)
+		if !ok {
+			t.Errorf("amp=%v σ=%v th=%v dose=%v: feature did not print (want CD %.2f)",
+				c.amp, c.sigma, c.threshold, c.dose, want)
+			continue
+		}
+		// Linear interpolation on a 1 nm grid of a smooth profile is good
+		// to far better than 0.1 nm.
+		if math.Abs(cd-want) > 0.05 {
+			t.Errorf("amp=%v σ=%v th=%v dose=%v: CD = %.4f nm, closed form %.4f nm",
+				c.amp, c.sigma, c.threshold, c.dose, cd, want)
+		}
+	}
+}
+
+func TestThresholdNoCrossingBoundary(t *testing.T) {
+	// The dip bottoms out at 1−amp = 0.2. A threshold below that floor
+	// means the image never crosses it and the feature must report "does
+	// not print" — with ok=false, not a zero-width line or a panic.
+	const amp, sigma = 0.8, 60.0
+	p := gaussianDip(amp, sigma)
+
+	floor := 1 - amp
+	for _, th := range []float64{floor - 0.05, floor - 1e-6} {
+		m := Model{Threshold: th}
+		if cd, ok := m.PrintedCD(p, 0, 1); ok {
+			t.Errorf("threshold %v below image floor %v: printed CD %.3f, want no print", th, floor, cd)
+		}
+	}
+	// Just above the floor the feature prints, vanishingly narrow.
+	m := Model{Threshold: floor + 0.002}
+	cd, ok := m.PrintedCD(p, 0, 1)
+	if !ok {
+		t.Fatalf("threshold just above floor: feature should print")
+	}
+	want := dipCD(amp, sigma, floor+0.002)
+	if math.Abs(cd-want) > 0.3 {
+		t.Errorf("near-floor CD = %.3f nm, closed form %.3f nm", cd, want)
+	}
+
+	// Zero and negative dose push the effective threshold to +Inf: the
+	// whole window is "resist remains", which has no bounded feature.
+	if _, ok := (Model{Threshold: 0.3}).PrintedCD(p, 0, 0); ok {
+		t.Error("zero dose should not print a bounded feature")
+	}
+}
+
+func TestThresholdEdgesMatchClosedForm(t *testing.T) {
+	const amp, sigma = 0.8, 60.0
+	m := Model{Threshold: 0.3}
+	p := gaussianDip(amp, sigma)
+
+	edges := m.Edges(p, 1)
+	if len(edges) != 2 {
+		t.Fatalf("got %d edges, want 2 (%v)", len(edges), edges)
+	}
+	xe := dipCD(amp, sigma, 0.3) / 2
+	if math.Abs(edges[0]+xe) > 0.05 || math.Abs(edges[1]-xe) > 0.05 {
+		t.Errorf("edges %v, want ±%.4f", edges, xe)
+	}
+}
+
+func TestThresholdBlurClosedForm(t *testing.T) {
+	// A Gaussian dip convolved with the Gaussian diffusion kernel stays
+	// Gaussian: σ′ = √(σ²+d²), amplitude A′ = A·σ/σ′. The blurred CD
+	// therefore has the same closed form with primed parameters — this
+	// exercises Blur and PrintedCD together against exact numbers.
+	const amp, sigma, diff = 0.8, 60.0, 25.0
+	m := Model{Threshold: 0.35, DiffusionLength: diff}
+	p := gaussianDip(amp, sigma)
+
+	sigmaB := math.Hypot(sigma, diff)
+	ampB := amp * sigma / sigmaB
+	want := dipCD(ampB, sigmaB, 0.35)
+
+	cd, ok := m.PrintedCD(p, 0, 1)
+	if !ok {
+		t.Fatalf("blurred feature did not print")
+	}
+	// The truncated (±4σ) circular kernel departs from the ideal
+	// convolution by well under a tenth of a nanometer here.
+	if math.Abs(cd-want) > 0.1 {
+		t.Errorf("blurred CD = %.4f nm, closed form %.4f nm", cd, want)
+	}
+	// Direction check, also in closed form: blur raises the dip floor
+	// (1−A′ > 1−A), so the region below threshold shrinks — the blurred
+	// feature must come out narrower than the unblurred one here.
+	unblurred := dipCD(amp, sigma, 0.35)
+	if cd >= unblurred {
+		t.Errorf("blur failed to narrow the sub-threshold region: %.4f ≥ %.4f", cd, unblurred)
+	}
+}
+
+func TestThresholdOffCenterFeature(t *testing.T) {
+	// Shift the dip away from the origin and measure at its true center:
+	// the closed form must hold unchanged (exercises the center-snap and
+	// the X0/Dx coordinate bookkeeping).
+	const amp, sigma, shift = 0.8, 60.0, 137.0
+	m := Model{Threshold: 0.3}
+	p := gaussianDip(amp, sigma)
+	for i := range p.I {
+		x := p.X(i) - shift
+		p.I[i] = 1 - amp*math.Exp(-x*x/(2*sigma*sigma))
+	}
+	want := dipCD(amp, sigma, 0.3)
+	cd, ok := m.PrintedCD(p, shift, 1)
+	if !ok {
+		t.Fatalf("shifted feature did not print")
+	}
+	if math.Abs(cd-want) > 0.05 {
+		t.Errorf("shifted CD = %.4f nm, closed form %.4f nm", cd, want)
+	}
+}

@@ -1,0 +1,178 @@
+package seq
+
+import (
+	"math"
+	"testing"
+
+	"svtiming/internal/liberty"
+	"svtiming/internal/sta"
+)
+
+// These tests run the clocked-path extraction end to end against the
+// real STA engine (seq_test.go exercises Analyze only against canned
+// arrival maps): register Q launches are injected as PIArrival offsets,
+// the combinational core is analyzed, and the sign-off is checked
+// against hand-derived properties of the arrival surface.
+
+// flatModel gives every arc a constant delay/slew so arrival times are
+// path-depth arithmetic.
+type flatModel struct {
+	delay, slew float64
+}
+
+func (m flatModel) ArcTables(inst, pin int) (liberty.Table, liberty.Table, error) {
+	mk := func(v float64) liberty.Table {
+		return liberty.Sample([]float64{1, 1000}, []float64{0.1, 1000},
+			func(_, _ float64) float64 { return v })
+	}
+	return mk(m.delay), mk(m.slew), nil
+}
+
+// analyzeClocked runs the combinational core with register launches
+// applied, returning the report.
+func analyzeClocked(t *testing.T, d *Design, offsets map[string]float64) *sta.Report {
+	t.Helper()
+	rep, err := sta.Analyze(d.Core, lib, flatModel{delay: 10, slew: 20},
+		sta.Options{PIArrival: offsets})
+	if err != nil {
+		t.Fatalf("sta: %v", err)
+	}
+	return rep
+}
+
+func TestClockedPathExtractionEndToEnd(t *testing.T) {
+	d, err := Generate(lib, ISCAS89Profiles["s298"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := analyzeClocked(t, d, d.LaunchOffsets())
+	so, err := d.Analyze(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every register-to-register path starts with the clock-to-Q launch
+	// and crosses at least one gate of the core, so the worst arrival is
+	// bounded below by ClkToQ + one arc delay... provided the critical
+	// capture is actually launched by a register. It is at least bounded
+	// by one arc delay regardless (D nets are gate outputs).
+	if so.WorstRegToReg < 10 {
+		t.Errorf("worst reg-to-reg %v below a single arc delay", so.WorstRegToReg)
+	}
+	if so.MinPeriod != so.WorstRegToReg+Setup {
+		t.Errorf("MinPeriod %v != worst %v + setup %v", so.MinPeriod, so.WorstRegToReg, Setup)
+	}
+	if math.Abs(so.FmaxMHz-1e6/so.MinPeriod) > 1e-9 {
+		t.Errorf("Fmax %v inconsistent with MinPeriod %v", so.FmaxMHz, so.MinPeriod)
+	}
+
+	// The reported critical capture register must be exactly the argmax
+	// of the D-pin arrivals — re-derive it by direct scan.
+	worst, worstName := math.Inf(-1), ""
+	for _, r := range d.Registers {
+		at, ok := rep.ArrivalOf(r.D)
+		if !ok {
+			t.Fatalf("register %s data net %q not analyzed", r.Name, r.D)
+		}
+		if at > worst {
+			worst, worstName = at, r.Name
+		}
+	}
+	if so.WorstRegToReg != worst || so.WorstCapture != worstName {
+		t.Errorf("sign-off picked %s@%v, scan found %s@%v",
+			so.WorstCapture, so.WorstRegToReg, worstName, worst)
+	}
+
+	// True-IO timing never includes the launch offset of a register that
+	// doesn't reach it, so WorstIO is bounded by the report's MaxDelay.
+	if so.WorstIO > rep.MaxDelay {
+		t.Errorf("worst IO %v exceeds report max %v", so.WorstIO, rep.MaxDelay)
+	}
+}
+
+func TestLaunchOffsetsShiftOnlyClockedPaths(t *testing.T) {
+	// Compare the arrival surface with and without register launches.
+	// The offset can only *add* delay, and never more than ClkToQ: every
+	// net's arrival shift must lie in [0, ClkToQ]. A shift of exactly 0
+	// means the net's critical path starts at a true PI; exactly ClkToQ
+	// means it starts at a register. Anything outside the band means
+	// offsets leaked into the wrong arcs.
+	d, err := Generate(lib, ISCAS89Profiles["s298"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	with := analyzeClocked(t, d, d.LaunchOffsets())
+	without := analyzeClocked(t, d, nil)
+
+	shifted, unshifted := 0, 0
+	for net, at0 := range without.Arrival {
+		at1, ok := with.ArrivalOf(net)
+		if !ok {
+			t.Fatalf("net %q missing from offset analysis", net)
+		}
+		shift := at1 - at0
+		if shift < -1e-9 || shift > ClkToQ+1e-9 {
+			t.Errorf("net %q shifted by %v, outside [0, %v]", net, shift, ClkToQ)
+		}
+		if shift > 1e-9 {
+			shifted++
+		} else {
+			unshifted++
+		}
+	}
+	// s298 has both register-launched and PI-launched logic, so both
+	// populations must be non-empty — otherwise the offsets did nothing
+	// (or everything), both of which are extraction bugs.
+	if shifted == 0 {
+		t.Error("no net was shifted by the register launches")
+	}
+	if unshifted == 0 {
+		t.Error("every net was shifted — true-PI cones lost their zero launch")
+	}
+	// And each register's own Q net carries the full offset by
+	// construction.
+	for _, r := range d.Registers {
+		at1, _ := with.ArrivalOf(r.Q)
+		at0, _ := without.ArrivalOf(r.Q)
+		if math.Abs((at1-at0)-ClkToQ) > 1e-9 {
+			t.Errorf("register %s Q net shifted by %v, want exactly ClkToQ", r.Name, at1-at0)
+		}
+	}
+}
+
+func TestSignOffDeterministicEndToEnd(t *testing.T) {
+	// The full pipeline — generate, offset, analyze, sign off — must be
+	// bit-reproducible across invocations (the determinism contract the
+	// rest of the repo pins for its own stages).
+	run := func() SignOff {
+		d, err := Generate(lib, ISCAS89Profiles["s1423"])
+		if err != nil {
+			t.Fatal(err)
+		}
+		so, err := d.Analyze(analyzeClocked(t, d, d.LaunchOffsets()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return so
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("sign-off not reproducible: %+v vs %+v", a, b)
+	}
+}
+
+func TestAnalyzeMissingTruePOArrival(t *testing.T) {
+	// A report that covers the registers but not a true PO must fail
+	// loudly (the complement of seq_test.go's missing-register case).
+	d, err := Generate(lib, ISCAS89Profiles["s298"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial := fakeArrivals{}
+	for _, r := range d.Registers {
+		partial[r.D] = 100
+	}
+	if _, err := d.Analyze(partial); err == nil {
+		t.Error("missing true-PO arrival accepted")
+	}
+}

@@ -1,0 +1,152 @@
+package tran
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"svtiming/internal/fault"
+)
+
+// With Vth = 0 and α = 1 the stage ODE has a closed-form solution the
+// RK4 integrator can be checked against exactly:
+//
+//	during the ramp (t ≤ T):  dV/dt = −(t/T)·V/rc  →  V(t) = exp(−t²/(2·T·rc))
+//	after the ramp  (t > T):  dV/dt = −V/rc        →  V(t) = V(T)·exp(−(t−T)/rc)
+//
+// so every threshold crossing is an explicit formula. These tests pin
+// the simulator to those formulas, which catches integrator step-size
+// bugs, crossing-interpolation bugs and sign errors that the
+// monotonicity properties in tran_test.go would let through.
+
+// linearStage is the analytically solvable configuration: thresholdless
+// linear conduction, rc = DriveRes·Cap = 50 ps.
+func linearStage() Stage {
+	return Stage{DriveRes: 1, Cap: 50, Vth: 0, Alpha: 1}
+}
+
+// rampCross returns the time where V(t) = level while the ramp is still
+// rising (valid when the crossing lands at t ≤ T).
+func rampCross(level, T, rc float64) float64 {
+	return math.Sqrt(-2 * T * rc * math.Log(level))
+}
+
+func TestAnalyticRampResponse(t *testing.T) {
+	s := linearStage()
+	const T, rc = 200.0, 50.0
+
+	t90 := rampCross(0.9, T, rc) // ≈ 45.90 ps, inside the ramp
+	t50 := rampCross(0.5, T, rc) // ≈ 117.74 ps, inside the ramp
+	vEnd := math.Exp(-T / (2 * rc))
+	if vEnd <= 0.1 {
+		t.Fatalf("test construction: ramp-end voltage %v should sit above the 10%% threshold", vEnd)
+	}
+	t10 := T + rc*math.Log(vEnd/0.1) // ≈ 215.13 ps, in the decay tail
+
+	wantDelay := t50 - 0.5*T
+	wantSlew := (t10 - t90) / 0.8
+
+	res, err := s.Simulate(T)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if rel := math.Abs(res.DelayPS-wantDelay) / wantDelay; rel > 2e-3 {
+		t.Errorf("delay = %.4f ps, closed form %.4f ps (rel err %.2e)", res.DelayPS, wantDelay, rel)
+	}
+	if rel := math.Abs(res.OutSlewPS-wantSlew) / wantSlew; rel > 2e-3 {
+		t.Errorf("out slew = %.4f ps, closed form %.4f ps (rel err %.2e)", res.OutSlewPS, wantSlew, rel)
+	}
+}
+
+func TestAnalyticFastRampLimit(t *testing.T) {
+	// A ramp much faster than rc degenerates to the pure RC discharge:
+	// every crossing after t = T is T + rc·ln(V(T)/level).
+	s := linearStage()
+	const T, rc = 1.0, 50.0
+	vEnd := math.Exp(-T / (2 * rc))
+	cross := func(level float64) float64 { return T + rc*math.Log(vEnd/level) }
+
+	wantDelay := cross(0.5) - 0.5*T
+	wantSlew := (cross(0.1) - cross(0.9)) / 0.8
+
+	res, err := s.Simulate(T)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if rel := math.Abs(res.DelayPS-wantDelay) / wantDelay; rel > 2e-3 {
+		t.Errorf("delay = %.4f ps, closed form %.4f ps (rel err %.2e)", res.DelayPS, wantDelay, rel)
+	}
+	if rel := math.Abs(res.OutSlewPS-wantSlew) / wantSlew; rel > 2e-3 {
+		t.Errorf("out slew = %.4f ps, closed form %.4f ps (rel err %.2e)", res.OutSlewPS, wantSlew, rel)
+	}
+}
+
+func TestAnalyticIntrinsicOffset(t *testing.T) {
+	// Intrinsic delay shifts the closed-form delay rigidly and leaves the
+	// output slew untouched.
+	base := linearStage()
+	shifted := base
+	shifted.Intrinsic = 13.25
+
+	r0, err := base.Simulate(200)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	r1, err := shifted.Simulate(200)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if d := (r1.DelayPS - r0.DelayPS) - 13.25; math.Abs(d) > 1e-9 {
+		t.Errorf("intrinsic offset error %v", d)
+	}
+	if r1.OutSlewPS != r0.OutSlewPS {
+		t.Errorf("intrinsic changed slew: %v vs %v", r1.OutSlewPS, r0.OutSlewPS)
+	}
+}
+
+func TestNonConvergenceAtConductionBoundary(t *testing.T) {
+	// Vth ≥ 1 means the input ramp (clamped to 1) never exceeds the
+	// conduction threshold: the output cannot transition and the
+	// simulator must report solver exhaustion, not hang or fabricate a
+	// crossing.
+	s := linearStage()
+	s.Vth = 1.0
+	_, err := s.Simulate(100)
+	if !errors.Is(err, fault.ErrNonConvergence) {
+		t.Fatalf("Vth=1 stage: got %v, want ErrNonConvergence", err)
+	}
+	var nc *fault.NonConvergence
+	if !errors.As(err, &nc) {
+		t.Fatalf("error %v is not a *fault.NonConvergence", err)
+	}
+	if nc.Iterations <= 0 {
+		t.Errorf("non-convergence reports %d iterations, want > 0", nc.Iterations)
+	}
+	if nc.At.Stage != "tran" {
+		t.Errorf("fault located at stage %q, want tran", nc.At.Stage)
+	}
+
+	// Just below the boundary the stage still conducts fully at the top
+	// of the ramp (the conduction law renormalizes to x = 1 at Vin = 1),
+	// so the simulation converges: the boundary is exactly Vth = 1.
+	s.Vth = 0.999
+	if _, err := s.Simulate(100); err != nil {
+		t.Errorf("Vth=0.999 stage failed: %v", err)
+	}
+}
+
+func TestAnalyticCrossingsAreOrdered(t *testing.T) {
+	// Sanity on the measurement geometry across a slew sweep: the 90%,
+	// 50% and 10% crossings must appear in that order, which pins the
+	// falling-output convention (a sign flip would swap t90 and t10 and
+	// produce negative slews).
+	for _, slew := range []float64{5, 50, 200, 800} {
+		res, err := linearStage().Simulate(slew)
+		if err != nil {
+			t.Fatalf("slew %v: %v", slew, err)
+		}
+		if res.OutSlewPS <= 0 {
+			t.Errorf("slew %v: non-positive output slew %v", slew, res.OutSlewPS)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Observability contract (see internal/obs and DESIGN.md):
+//
+//  1. Metrics are reporting-only — an enabled registry changes no
+//     numeric output bit versus obs.Nop().
+//  2. The run manifest is schedule-invariant — under a frozen clock the
+//     manifest bytes of a serial run and an 8-worker run of the same
+//     workload are identical.
+//  3. The tallies are real — the cache and pool counters of an
+//     end-to-end run agree with what the work actually did.
+//
+// These tests pin all three on the c17 Table 2 workload.
+package svtiming_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"svtiming/internal/core"
+	"svtiming/internal/expt"
+	"svtiming/internal/obs"
+)
+
+// runWithRegistry builds a flow at the given parallelism wired to a
+// fresh enabled registry, runs the c17 Table 2 sweep and returns both.
+func runWithRegistry(t *testing.T, workers int) (*obs.Registry, *core.RunResult) {
+	t.Helper()
+	reg := expt.NewRegistry()
+	f, err := core.NewFlow(core.WithParallelism(workers), core.WithObservability(reg))
+	if err != nil {
+		t.Fatalf("NewFlow(j=%d): %v", workers, err)
+	}
+	res, err := f.Run(nil, []string{"c17"})
+	if err != nil {
+		t.Fatalf("Run(j=%d): %v", workers, err)
+	}
+	return reg, res
+}
+
+func TestGoldenManifestScheduleInvariance(t *testing.T) {
+	// Freeze the harness clock: every span must then record a zero
+	// duration and nothing schedule-dependent can leak into the bytes.
+	defer expt.SetClock(&expt.FakeClock{T: time.Unix(1000, 0)})()
+
+	encode := func(reg *obs.Registry, res *core.RunResult) []byte {
+		m := expt.Manifest("svtiming", map[string]string{
+			"circuits": "c17",
+			"on-fault": core.FailFast.String(),
+		}, []string{"c17"}, reg, res)
+		b, err := m.Encode()
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		return b
+	}
+
+	regS, resS := runWithRegistry(t, 1)
+	regP, resP := runWithRegistry(t, 8)
+	serial, parallel := encode(regS, resS), encode(regP, resP)
+
+	if !bytes.Equal(serial, parallel) {
+		t.Errorf("manifest bytes differ between serial and 8-worker runs:\nserial:\n%s\nparallel:\n%s",
+			serial, parallel)
+	}
+	// The byte equality above must not be vacuous: the manifest carries
+	// real work tallies.
+	m := expt.Manifest("svtiming", nil, nil, regS, resS)
+	if m.Cache.Lookups == 0 || m.Cache.Simulations == 0 {
+		t.Errorf("manifest cache stats empty: %+v", m.Cache)
+	}
+	if m.Pool.Tasks == 0 {
+		t.Errorf("manifest pool stats empty: %+v", m.Pool)
+	}
+	if len(m.Stages) == 0 {
+		t.Error("manifest has no stage timings")
+	}
+	for _, s := range m.Stages {
+		if s.DurationNS != 0 {
+			t.Errorf("stage %q recorded %d ns under a frozen clock", s.Name, s.DurationNS)
+		}
+	}
+}
+
+func TestObservabilityChangesNoOutputBit(t *testing.T) {
+	// Contract rule 1: the instrumented flow and the Nop flow produce
+	// identical numbers — metrics never feed back into results.
+	observed, err := core.NewFlow(core.WithParallelism(2),
+		core.WithObservability(expt.NewRegistry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := core.NewFlow(core.WithParallelism(2),
+		core.WithObservability(obs.Nop()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := observed.Run(nil, []string{"c17"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := plain.Run(nil, []string{"c17"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ro.Rows, rp.Rows) {
+		t.Errorf("instrumentation changed Table 2 rows:\nobserved: %+v\nnop:      %+v", ro.Rows, rp.Rows)
+	}
+	if !reflect.DeepEqual(observed.Pitch, plain.Pitch) {
+		t.Error("instrumentation changed the pitch table")
+	}
+}
+
+func TestEndToEndMetricsAreConsistent(t *testing.T) {
+	// Contract rule 3 on a live run: the counters must describe the work.
+	reg, res := runWithRegistry(t, 4)
+	if len(res.Rows) != 1 || res.Rows[0].Name != "c17" {
+		t.Fatalf("unexpected rows %+v", res.Rows)
+	}
+	snap := reg.Snapshot()
+
+	// Cache: every lookup is either a fresh simulation, a hit on a done
+	// entry, or a merge onto an in-flight one — the split varies with
+	// scheduling but must always sum to lookups, and a flow this
+	// repetitive must see real reuse.
+	lookups := snap.Counters["process_cd_cache_lookups"]
+	sims := snap.Counters["process_cd_cache_sims"]
+	hits := snap.Counters["process_cd_cache_hits"]
+	merges := snap.Counters["process_cd_cache_merges"]
+	if lookups == 0 || sims == 0 {
+		t.Fatalf("cache saw no traffic: lookups=%d sims=%d", lookups, sims)
+	}
+	if hits+merges+sims != lookups {
+		t.Errorf("cache accounting broken: hits %d + merges %d + sims %d != lookups %d",
+			hits, merges, sims, lookups)
+	}
+	if hits+merges == 0 {
+		t.Error("characterization plus Table 2 produced zero cache reuse")
+	}
+	if g := snap.Gauges["process_cd_cache_entries"]; g == 0 || g > sims {
+		t.Errorf("cache entries gauge %d inconsistent with %d simulations", g, sims)
+	}
+
+	// Pool: starts and completions balance on a clean run, nothing
+	// panicked, and the per-worker occupancy histogram saw every task.
+	started := snap.Counters["par_tasks_started"]
+	completed := snap.Counters["par_tasks_completed"]
+	if started == 0 || started != completed {
+		t.Errorf("pool tasks: started %d, completed %d", started, completed)
+	}
+	if n := snap.Counters["par_panics_contained"]; n != 0 {
+		t.Errorf("clean run contained %d panics", n)
+	}
+	hist, ok := snap.Histograms["par_worker_tasks"]
+	if !ok {
+		t.Fatal("per-worker occupancy histogram missing")
+	}
+	var histN int64
+	for _, c := range hist.Counts {
+		histN += c
+	}
+	if histN == 0 {
+		t.Error("occupancy histogram recorded no workers")
+	}
+
+	// Kernels: litho images were computed and their inner-loop work was
+	// attributed; the FEM counter stays zero (Table 2 runs no FEM).
+	if snap.Counters["litho_images"] == 0 {
+		t.Error("no aerial images counted")
+	}
+	if snap.Counters["litho_kernel_iters"] < snap.Counters["litho_images"] {
+		t.Error("kernel iterations fewer than images")
+	}
+
+	// Rows and spans.
+	if n := snap.Counters["core_rows_total"]; n != 1 {
+		t.Errorf("core_rows_total = %d, want 1", n)
+	}
+	if n := snap.Counters["core_rows_degraded"]; n != 0 {
+		t.Errorf("core_rows_degraded = %d, want 0", n)
+	}
+	if reg.OpenSpans() != 0 {
+		t.Errorf("%d spans still open after the run", reg.OpenSpans())
+	}
+	names := map[string]bool{}
+	for _, sp := range snap.Spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"pitchtable", "characterize", "table2", "sta_traditional", "sta_contextual"} {
+		if !names[want] {
+			t.Errorf("stage span %q missing (have %v)", want, names)
+		}
+	}
+}
