@@ -11,11 +11,18 @@
 #   make cover    — coverage profile + ratcheted per-package floors
 #                   (cmd/covercheck; raise floors, never lower them)
 #   make ci       — the full gate: build + test + vet + lint + race
+#                   + coverage floors + a 1-iteration benchmark smoke
 #   make bench    — the serial-vs-parallel headline benchmarks
+#   make bench-json — run the full benchmark suite with -benchmem and
+#                   write the machine-readable summary to BENCH_5.json
+#                   (cmd/benchjson)
+#   make bench-smoke — compile and run every benchmark exactly once, so
+#                   CI catches a benchmark that no longer builds or
+#                   crashes without paying for a timed run
 
 GO ?= go
 
-.PHONY: all tier1 tier2 lint cover ci bench clean
+.PHONY: all tier1 tier2 lint cover ci bench bench-json bench-smoke clean
 
 all: tier1
 
@@ -35,10 +42,16 @@ cover:
 	$(GO) test ./... -coverprofile=cover.out
 	$(GO) run ./cmd/covercheck -profile cover.out
 
-ci: tier2 cover
+ci: tier2 cover bench-smoke
 
 bench:
 	$(GO) test -run xxx -bench 'Table2Timing|FullChipOPC' -benchmem .
+
+bench-json:
+	$(GO) test -run xxx -bench . -benchmem . | $(GO) run ./cmd/benchjson -out BENCH_5.json
+
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime 1x .
 
 clean:
 	$(GO) clean ./...

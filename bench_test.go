@@ -14,7 +14,11 @@ import (
 
 	"svtiming/internal/core"
 	"svtiming/internal/expt"
+	"svtiming/internal/geom"
 	"svtiming/internal/liberty"
+	"svtiming/internal/litho"
+	"svtiming/internal/litho/socs"
+	"svtiming/internal/mask"
 	"svtiming/internal/netlist"
 	"svtiming/internal/opc"
 	"svtiming/internal/process"
@@ -282,5 +286,50 @@ func BenchmarkSSTAMonteCarlo(b *testing.B) {
 		if _, err := ssta.MonteCarlo(f, d, ssta.Aware, ssta.Config{Samples: 100, Seed: 3}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchImagingSetup builds the imaging-engine benchmark workload: a
+// dense-pitch mask on the production grid over the standard local window
+// (n = 1024 samples, where the pupil passband spans ~27 frequency bins)
+// and a rich (S = 128 point) annular source. S is deliberately above the
+// production 24 because that is the regime the decomposition exists for:
+// the Abbe cost is linear in S while the SOCS kernel count is capped by
+// the passband rank (≤ 27 here) no matter how finely the source is
+// sampled. BENCH.md records the full S sweep including production S = 24.
+func benchImagingSetup() (*mask.Mask1D, litho.Source) {
+	window := geom.Interval{Lo: -1024, Hi: 1024}
+	var lines []geom.PolyLine
+	for x := window.Lo + 125; x <= window.Hi; x += 250 {
+		lines = append(lines, geom.PolyLine{CenterX: x, Width: 90, Span: geom.Interval{Lo: 0, Hi: 100}})
+	}
+	return mask.FromLines(lines, window, 2), litho.Annular(0.55, 0.85, 128)
+}
+
+// BenchmarkImageAbbe is the per-source-point baseline for the imaging
+// hot path (one IFFT and a trig-heavy pupil pass per source point).
+func BenchmarkImageAbbe(b *testing.B) {
+	m, src := benchImagingSetup()
+	im := litho.Imager{Wavelength: 193, NA: 0.7, Src: src, Defocus: 100, Engine: litho.EngineAbbe}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		im.Image(m)
+	}
+}
+
+// BenchmarkImageSOCS times the same optical system through the cached
+// kernel decomposition, in the shape the process layer uses it: a warm
+// kernel cache (the TCC builds once per optical configuration per run,
+// amortized across thousands of images) and a reused intensity buffer
+// via ImageInto.
+func BenchmarkImageSOCS(b *testing.B) {
+	m, src := benchImagingSetup()
+	im := litho.Imager{Wavelength: 193, NA: 0.7, Src: src, Defocus: 100,
+		Engine: litho.EngineSOCS, Kernels: socs.NewCache()}
+	dst := make([]float64, m.N())
+	im.ImageInto(m, dst) // warm the kernel cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		im.ImageInto(m, dst)
 	}
 }

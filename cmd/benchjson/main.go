@@ -1,0 +1,156 @@
+// Command benchjson converts `go test -bench -benchmem` text output into
+// a stable, machine-readable JSON document, so benchmark history can be
+// diffed and scraped without regexing the prose format. It reads the
+// benchmark text from stdin and writes one JSON object keyed by
+// benchmark name (Go's JSON encoder sorts map keys, so the output is
+// byte-stable for a given input) plus host provenance: GOOS/GOARCH, the
+// toolchain version, and the processor count the run had available.
+//
+// Usage:
+//
+//	go test -run xxx -bench . -benchmem . | benchjson -out BENCH_5.json
+//
+// Exit codes: 0 clean, 2 failed (no benchmark lines on stdin, I/O error).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"svtiming/internal/fault"
+)
+
+// result is one benchmark row. The canonical -benchmem triple gets typed
+// fields; anything else the row reports (custom b.ReportMetric units)
+// lands in Extra keyed by unit so the document never silently drops a
+// column.
+type result struct {
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// document is the full output schema.
+type document struct {
+	GoOS       string            `json:"goos"`
+	GoArch     string            `json:"goarch"`
+	GoVersion  string            `json:"go_version"`
+	NProc      int               `json:"nproc"`
+	Benchmarks map[string]result `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	os.Exit(run())
+}
+
+func run() int {
+	outPath := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		log.Print(err)
+		return fault.ExitFailed
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Print(err)
+		return fault.ExitFailed
+	}
+	buf = append(buf, '\n')
+
+	if *outPath == "" {
+		if _, err := os.Stdout.Write(buf); err != nil {
+			log.Print(err)
+			return fault.ExitFailed
+		}
+		return fault.ExitClean
+	}
+	if err := os.WriteFile(*outPath, buf, 0o644); err != nil {
+		log.Print(err)
+		return fault.ExitFailed
+	}
+	return fault.ExitClean
+}
+
+// parse scans benchmark text for Benchmark* rows and builds the document.
+// Rows it cannot parse are skipped (the go test stream interleaves build
+// chatter, printed tables and the trailing ok line); zero parsed rows is
+// an error so an empty pipe fails loudly instead of writing "{}".
+func parse(r io.Reader) (*document, error) {
+	doc := &document{
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		GoVersion:  runtime.Version(),
+		NProc:      runtime.NumCPU(),
+		Benchmarks: make(map[string]result),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		name, res, ok := parseLine(sc.Text())
+		if ok {
+			doc.Benchmarks[name] = res
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines on input")
+	}
+	return doc, nil
+}
+
+// parseLine parses one `BenchmarkName-P  N  v unit  v unit ...` row.
+// The -P GOMAXPROCS suffix is folded into the name as go test prints it,
+// keeping distinct -cpu runs distinct in the document.
+func parseLine(line string) (string, result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", result{}, false
+	}
+	res := result{Iterations: iters}
+	seen := false
+	// The remainder is (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = v
+			seen = true
+		case "B/op":
+			res.BytesPerOp = v
+		case "allocs/op":
+			res.AllocsPerOp = v
+		default:
+			if res.Extra == nil {
+				res.Extra = make(map[string]float64)
+			}
+			res.Extra[unit] = v
+		}
+	}
+	if !seen {
+		return "", result{}, false
+	}
+	return fields[0], res, true
+}

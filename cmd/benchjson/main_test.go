@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: svtiming
+== Table 2 ==
+c432   rows of printed output that must be ignored
+BenchmarkImageAbbe 	      50	   2480015 ns/op	    8198 B/op	       1 allocs/op
+BenchmarkImageSOCS 	      50	    509586 ns/op	       0 B/op	       0 allocs/op
+BenchmarkImageSOCS-8 	      50	    400000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkTable2Timing 	       2	 512345678 ns/op	        61.98 %reduction	 1234 B/op	       9 allocs/op
+BenchmarkNoBenchmem 	     100	      5000 ns/op
+Benchmark garbage line without numbers
+ok  	svtiming	12.3s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5: %+v", len(doc.Benchmarks), doc.Benchmarks)
+	}
+
+	abbe := doc.Benchmarks["BenchmarkImageAbbe"]
+	if abbe.NsPerOp != 2480015 || abbe.BytesPerOp != 8198 || abbe.AllocsPerOp != 1 || abbe.Iterations != 50 {
+		t.Fatalf("Abbe row parsed wrong: %+v", abbe)
+	}
+	socs := doc.Benchmarks["BenchmarkImageSOCS"]
+	if socs.NsPerOp != 509586 || socs.AllocsPerOp != 0 {
+		t.Fatalf("SOCS row parsed wrong: %+v", socs)
+	}
+	// The -P suffix stays in the name: distinct -cpu runs stay distinct.
+	if _, ok := doc.Benchmarks["BenchmarkImageSOCS-8"]; !ok {
+		t.Fatal("suffixed benchmark name was folded away")
+	}
+	// Custom b.ReportMetric units land in Extra, not on the floor.
+	t2 := doc.Benchmarks["BenchmarkTable2Timing"]
+	if t2.Extra["%reduction"] != 61.98 {
+		t.Fatalf("custom metric lost: %+v", t2)
+	}
+	if t2.AllocsPerOp != 9 {
+		t.Fatalf("allocs after a custom metric lost: %+v", t2)
+	}
+	// A row without -benchmem still parses (ns/op only).
+	nb := doc.Benchmarks["BenchmarkNoBenchmem"]
+	if nb.NsPerOp != 5000 || nb.BytesPerOp != 0 {
+		t.Fatalf("benchmem-less row parsed wrong: %+v", nb)
+	}
+	if doc.NProc <= 0 || doc.GoVersion == "" {
+		t.Fatalf("provenance missing: %+v", doc)
+	}
+}
+
+func TestParseEmptyInputFails(t *testing.T) {
+	if _, err := parse(strings.NewReader("ok  \tsvtiming\t1.0s\n")); err == nil {
+		t.Fatal("want error for input with no benchmark rows")
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"svtiming/internal/corners"
 	"svtiming/internal/expt"
 	"svtiming/internal/fault"
+	"svtiming/internal/litho"
 	"svtiming/internal/obs"
 	"svtiming/internal/opc"
 	"svtiming/internal/process"
@@ -49,6 +50,10 @@ func run() int {
 	window := flag.Bool("window", false, "dense+iso overlapping process window")
 	lineEnd := flag.Bool("lineend", false, "2-D line-end shortening and hammerhead correction")
 	jobs := flag.Int("j", 0, "worker pool size for litho sweeps (0 = GOMAXPROCS)")
+	engineName := flag.String("engine", "auto",
+		"aerial-image engine: socs, abbe, or auto (socs for the nominal process)")
+	kernelBudget := flag.Float64("kernel-budget", 0,
+		"fraction of TCC energy SOCS truncation may drop (0 = the 1e-7 default, -1 = keep every kernel)")
 	timeout := flag.Duration("timeout", 0, "overall deadline for the run (0 = none)")
 	metricsPath := flag.String("metrics", "",
 		"write the full metrics snapshot as JSON to this file on exit; \"-\" = stdout")
@@ -79,6 +84,14 @@ func run() int {
 	ctx = obs.NewContext(ctx, reg)
 
 	wafer := process.Nominal90nm()
+	engine, err := litho.ParseEngine(*engineName)
+	if err != nil {
+		log.Print(err)
+		flag.Usage()
+		return fault.ExitFailed
+	}
+	wafer.Optics.Engine = engine
+	wafer.Optics.KernelBudget = *kernelBudget
 	wafer.Observe(reg)
 
 	if *fig1 || all {

@@ -23,6 +23,7 @@ import (
 	"svtiming/internal/core"
 	"svtiming/internal/expt"
 	"svtiming/internal/fault"
+	"svtiming/internal/litho"
 	"svtiming/internal/netlist"
 	"svtiming/internal/obs"
 )
@@ -49,6 +50,10 @@ func run() int {
 	circuits := flag.String("circuits", "c432,c880,c1355,c1908,c3540",
 		"testcases for -table1")
 	jobs := flag.Int("j", 0, "worker pool size for the flow (0 = GOMAXPROCS, 1 = serial)")
+	engineName := flag.String("engine", "auto",
+		"aerial-image engine: socs, abbe, or auto (socs for the nominal process)")
+	kernelBudget := flag.Float64("kernel-budget", 0,
+		"fraction of TCC energy SOCS truncation may drop (0 = the 1e-7 default, -1 = keep every kernel)")
 	timeout := flag.Duration("timeout", 0, "overall deadline for the run (0 = none)")
 	metricsPath := flag.String("metrics", "",
 		"write the full metrics snapshot as JSON to this file on exit; \"-\" = stdout")
@@ -57,6 +62,12 @@ func run() int {
 	flag.Parse()
 	all := !*table1 && *fig7 == "" && !*pitch
 
+	engine, err := litho.ParseEngine(*engineName)
+	if err != nil {
+		log.Print(err)
+		flag.Usage()
+		return fault.ExitFailed
+	}
 	if *pprofAddr != "" {
 		if err := expt.StartPprof(*pprofAddr); err != nil {
 			log.Printf("-pprof: %v", err)
@@ -92,7 +103,8 @@ func run() int {
 		defer cancel()
 	}
 
-	flow, err := core.NewFlow(core.WithParallelism(*jobs), core.WithObservability(reg))
+	flow, err := core.NewFlow(core.WithParallelism(*jobs), core.WithObservability(reg),
+		core.WithImagingEngine(engine), core.WithKernelBudget(*kernelBudget))
 	if err != nil {
 		return fail(err)
 	}

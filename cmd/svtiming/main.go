@@ -25,6 +25,7 @@ import (
 	"svtiming/internal/corners"
 	"svtiming/internal/expt"
 	"svtiming/internal/fault"
+	"svtiming/internal/litho"
 	"svtiming/internal/netlist"
 	"svtiming/internal/obs"
 	"svtiming/internal/opt"
@@ -67,6 +68,10 @@ func run() int {
 	jobs := flag.Int("j", 0, "worker pool size for the flow (0 = GOMAXPROCS, 1 = serial)")
 	onFault := flag.String("on-fault", "fail-fast",
 		"failure policy for the Table 2 sweep: fail-fast aborts on the first failing benchmark, collect completes the sweep and reports degraded rows")
+	engineName := flag.String("engine", "auto",
+		"aerial-image engine: socs (cached TCC kernel decomposition), abbe (per-source-point sum), or auto (socs for the nominal process); results agree within the kernel budget")
+	kernelBudget := flag.Float64("kernel-budget", 0,
+		"fraction of TCC energy SOCS truncation may drop (0 = the 1e-7 default, -1 = keep every kernel); only the socs engine reads it")
 	timeout := flag.Duration("timeout", 0, "overall deadline for the run (0 = none)")
 	manifestPath := flag.String("manifest", "",
 		"write the run manifest (schedule-invariant reproducibility record) as JSON to this file after the Table 2 run; \"-\" = stdout")
@@ -77,6 +82,10 @@ func run() int {
 	flag.Parse()
 
 	policy, err := core.ParsePolicy(*onFault)
+	if err != nil {
+		return usageError("%v", err)
+	}
+	engine, err := litho.ParseEngine(*engineName)
 	if err != nil {
 		return usageError("%v", err)
 	}
@@ -108,7 +117,8 @@ func run() int {
 	}
 
 	flow, err := core.NewFlow(core.WithParallelism(*jobs),
-		core.WithFailurePolicy(policy), core.WithObservability(reg))
+		core.WithFailurePolicy(policy), core.WithObservability(reg),
+		core.WithImagingEngine(engine), core.WithKernelBudget(*kernelBudget))
 	if err != nil {
 		return fail(err)
 	}
@@ -141,6 +151,7 @@ func run() int {
 			// emit byte-identical manifests (under a pinned clock).
 			m := expt.Manifest("svtiming", map[string]string{
 				"circuits": strings.Join(names, ","),
+				"engine":   engine.String(),
 				"on-fault": policy.String(),
 			}, names, reg, res)
 			m.Seeds = make(map[string]int64, len(names))

@@ -148,6 +148,10 @@ func NewFlow(opts ...Option) (*Flow, error) {
 	ctx := obs.NewContext(cfg.ctx, reg)
 
 	wafer := process.Nominal90nm()
+	// Engine and budget must land before ModelProcess copies the optics
+	// below, or the OPC model would silently keep the defaults.
+	wafer.Optics.Engine = cfg.engine
+	wafer.Optics.KernelBudget = cfg.kernelBudget
 	// Wire the wafer's telemetry before ModelProcess copies its Optics so
 	// wafer and OPC model share one set of litho kernel counters; the
 	// model's own CD cache reports under the same names (combined totals —

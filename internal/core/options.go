@@ -5,6 +5,7 @@ import (
 
 	"svtiming/internal/corners"
 	"svtiming/internal/fault"
+	"svtiming/internal/litho"
 	"svtiming/internal/obs"
 	"svtiming/internal/sta"
 )
@@ -28,6 +29,8 @@ type flowConfig struct {
 	policy       FailurePolicy
 	hook         fault.Hook
 	obs          *obs.Registry
+	engine       litho.Engine
+	kernelBudget float64
 }
 
 // WithParallelism bounds the worker pool every compute stage of the flow
@@ -95,6 +98,26 @@ func WithFailurePolicy(p FailurePolicy) Option {
 // cost.
 func WithObservability(reg *obs.Registry) Option {
 	return func(c *flowConfig) { c.obs = reg }
+}
+
+// WithImagingEngine selects the aerial-image algorithm for the wafer
+// process and (because opc.ModelProcess copies the wafer optics) the OPC
+// model: litho.EngineSOCS images through the cached TCC eigendecomposition,
+// litho.EngineAbbe through the per-source-point sum. The default,
+// litho.EngineAuto, resolves to SOCS for the nominal process (its kernel
+// cache is attached in process.Nominal90nm). Engines agree within the
+// kernel budget; flip to Abbe to cross-check a result, not to change it.
+func WithImagingEngine(e litho.Engine) Option {
+	return func(c *flowConfig) { c.engine = e }
+}
+
+// WithKernelBudget sets the fraction of TCC trace energy SOCS truncation
+// may drop (see socs.DefaultBudget for the default and its CD-error
+// bound); socs.KeepAll disables truncation, making SOCS bit-equivalent
+// to a full-rank decomposition. Larger budgets keep fewer kernels and
+// image faster. No effect on the Abbe engine.
+func WithKernelBudget(budget float64) Option {
+	return func(c *flowConfig) { c.kernelBudget = budget }
 }
 
 // WithFaultInjection arms a deterministic fault-injection hook: before

@@ -32,6 +32,15 @@ func Manifest(tool string, config map[string]string, benchmarks []string, reg *o
 	lookups := reg.CounterValue("process_cd_cache_lookups")
 	sims := reg.CounterValue("process_cd_cache_sims")
 	m.Cache = obs.CacheStats{Lookups: lookups, Simulations: sims, Hits: lookups - sims}
+	kl := reg.CounterValue("socs_kernel_cache_lookups")
+	kb := reg.CounterValue("socs_kernel_cache_builds")
+	m.Kernels = obs.KernelCacheStats{
+		Lookups:          kl,
+		Builds:           kb,
+		Hits:             kl - kb,
+		EigenpairsKept:   reg.CounterValue("socs_eigenpairs_kept"),
+		EnergyDroppedPpb: reg.CounterValue("socs_energy_dropped_ppb"),
+	}
 	m.Pool = obs.PoolStats{
 		Tasks:           reg.CounterValue("par_tasks_completed"),
 		PanicsContained: reg.CounterValue("par_panics_contained"),

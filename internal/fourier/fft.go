@@ -4,12 +4,6 @@
 // signals and frequency-axis bookkeeping.
 package fourier
 
-import (
-	"fmt"
-	"math"
-	"math/cmplx"
-)
-
 // IsPow2 reports whether n is a positive power of two.
 func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
 
@@ -27,67 +21,37 @@ func NextPow2(n int) int {
 //	X[k] = Σ_n x[n]·exp(-2πi·kn/N)
 //
 // The length of x must be a power of two; FFT panics otherwise (a programming
-// error, since callers control buffer sizes).
+// error, since callers control buffer sizes). The transform executes a cached
+// Plan, so repeated calls at one size pay no twiddle recomputation.
 func FFT(x []complex128) {
-	fftInPlace(x, false)
+	PlanFor(len(x)).Forward(x)
 }
 
 // IFFT computes the in-place inverse DFT of x, including the 1/N
 // normalization, so IFFT(FFT(x)) == x up to rounding.
 func IFFT(x []complex128) {
-	fftInPlace(x, true)
-	n := complex(float64(len(x)), 0)
-	for i := range x {
-		x[i] /= n
-	}
-}
-
-func fftInPlace(x []complex128, inverse bool) {
-	n := len(x)
-	if !IsPow2(n) {
-		panic(fmt.Sprintf("fourier: FFT length %d is not a power of two", n))
-	}
-	// Bit-reversal permutation.
-	for i, j := 1, 0; i < n; i++ {
-		bit := n >> 1
-		for ; j&bit != 0; bit >>= 1 {
-			j ^= bit
-		}
-		j ^= bit
-		if i < j {
-			x[i], x[j] = x[j], x[i]
-		}
-	}
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	for length := 2; length <= n; length <<= 1 {
-		ang := sign * 2 * math.Pi / float64(length)
-		wl := cmplx.Exp(complex(0, ang))
-		for start := 0; start < n; start += length {
-			w := complex(1, 0)
-			half := length / 2
-			for k := 0; k < half; k++ {
-				u := x[start+k]
-				v := x[start+k+half] * w
-				x[start+k] = u + v
-				x[start+k+half] = u - v
-				w *= wl
-			}
-		}
-	}
+	PlanFor(len(x)).Inverse(x)
 }
 
 // FFTReal transforms a real signal, returning a freshly allocated complex
-// spectrum of the same (power-of-two) length.
+// spectrum of the same (power-of-two) length. Hot paths that want to avoid
+// the allocation should use FFTRealInto with a pooled buffer.
 func FFTReal(x []float64) []complex128 {
 	out := make([]complex128, len(x))
-	for i, v := range x {
-		out[i] = complex(v, 0)
-	}
-	FFT(out)
+	FFTRealInto(out, x)
 	return out
+}
+
+// FFTRealInto transforms the real signal x into the caller-provided
+// spectrum buffer dst (equal power-of-two lengths), allocating nothing.
+func FFTRealInto(dst []complex128, x []float64) {
+	if len(dst) != len(x) {
+		panic("fourier: FFTRealInto length mismatch")
+	}
+	for i, v := range x {
+		dst[i] = complex(v, 0)
+	}
+	FFT(dst)
 }
 
 // FreqIndex maps spectral bin k (0..n-1) of an n-point DFT with sample
@@ -107,8 +71,13 @@ func Convolve(a, b []float64) []float64 {
 	if len(a) != len(b) {
 		panic("fourier: Convolve length mismatch")
 	}
-	fa := FFTReal(a)
-	fb := FFTReal(b)
+	fap := AcquireComplex(len(a))
+	fbp := AcquireComplex(len(b))
+	defer ReleaseComplex(fap)
+	defer ReleaseComplex(fbp)
+	fa, fb := *fap, *fbp
+	FFTRealInto(fa, a)
+	FFTRealInto(fb, b)
 	for i := range fa {
 		fa[i] *= fb[i]
 	}

@@ -21,17 +21,20 @@ func fft2(data []complex128, nx, ny int, inverse bool) {
 	if len(data) != nx*ny {
 		panic("fourier: FFT2 size mismatch")
 	}
+	rows, cols := PlanFor(nx), PlanFor(ny)
 	// Rows.
 	for y := 0; y < ny; y++ {
-		fftInPlace(data[y*nx:(y+1)*nx], inverse)
+		rows.raw(data[y*nx:(y+1)*nx], inverse)
 	}
-	// Columns, via a scratch buffer.
-	col := make([]complex128, ny)
+	// Columns, via a pooled scratch buffer.
+	colp := AcquireComplex(ny)
+	defer ReleaseComplex(colp)
+	col := *colp
 	for x := 0; x < nx; x++ {
 		for y := 0; y < ny; y++ {
 			col[y] = data[y*nx+x]
 		}
-		fftInPlace(col, inverse)
+		cols.raw(col, inverse)
 		for y := 0; y < ny; y++ {
 			data[y*nx+x] = col[y]
 		}

@@ -1,0 +1,150 @@
+package fourier
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// The plans are checked against naiveDFT from fft_test.go, the O(n²)
+// textbook transform.
+func TestPlanMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 256, 1024} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		want := naiveDFT(x)
+		got := append([]complex128(nil), x...)
+		FFT(got)
+		scale := math.Sqrt(float64(n))
+		for k := range got {
+			if d := cmplx.Abs(got[k] - want[k]); d > 1e-9*scale {
+				t.Fatalf("n=%d: FFT bin %d differs from naive DFT by %g", n, k, d)
+			}
+		}
+		// Round trip through the inverse plan must reproduce the input.
+		IFFT(got)
+		for i := range got {
+			if d := cmplx.Abs(got[i] - x[i]); d > 1e-12 {
+				t.Fatalf("n=%d: IFFT(FFT(x))[%d] off by %g", n, i, d)
+			}
+		}
+	}
+}
+
+func TestPlanIsShared(t *testing.T) {
+	if PlanFor(64) != PlanFor(64) {
+		t.Fatal("PlanFor(64) returned distinct plans for the same size")
+	}
+	if PlanFor(64) == PlanFor(128) {
+		t.Fatal("PlanFor returned one plan for two sizes")
+	}
+}
+
+func TestPlanRejectsBadLengths(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("PlanFor(12)", func() { PlanFor(12) })
+	mustPanic("PlanFor(0)", func() { PlanFor(0) })
+	mustPanic("size mismatch", func() { PlanFor(8).Forward(make([]complex128, 4)) })
+	mustPanic("FFTRealInto mismatch", func() { FFTRealInto(make([]complex128, 8), make([]float64, 4)) })
+}
+
+func TestFFTRealIntoMatchesFFTReal(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	x := make([]float64, 256)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := FFTReal(x)
+	dst := make([]complex128, len(x))
+	// Poison dst: Into must fully overwrite it.
+	for i := range dst {
+		dst[i] = complex(math.NaN(), math.NaN())
+	}
+	FFTRealInto(dst, x)
+	for i := range dst {
+		if dst[i] != want[i] {
+			t.Fatalf("bin %d: FFTRealInto %v != FFTReal %v", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestPoolsAreNilSafeAndZeroed(t *testing.T) {
+	ReleaseComplex(nil)
+	ReleaseFloat(nil)
+
+	cp := AcquireComplex(32)
+	(*cp)[7] = 3 + 4i
+	ReleaseComplex(cp)
+	cp2 := AcquireComplex(32)
+	defer ReleaseComplex(cp2)
+	for i, v := range *cp2 {
+		if v != 0 {
+			t.Fatalf("recycled complex buffer not zeroed at %d: %v", i, v)
+		}
+	}
+
+	fp := AcquireFloat(32)
+	(*fp)[3] = 9
+	ReleaseFloat(fp)
+	fp2 := AcquireFloat(32)
+	defer ReleaseFloat(fp2)
+	for i, v := range *fp2 {
+		if v != 0 {
+			t.Fatalf("recycled float buffer not zeroed at %d: %v", i, v)
+		}
+	}
+}
+
+// TestPlanAndPoolConcurrency exercises concurrent first-build of plans and
+// concurrent pool churn; run with -race it checks the layer is race-clean.
+func TestPlanAndPoolConcurrency(t *testing.T) {
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for iter := 0; iter < 50; iter++ {
+				n := 1 << (3 + rng.Intn(5))
+				bp := AcquireComplex(n)
+				b := *bp
+				for i := range b {
+					b[i] = complex(rng.NormFloat64(), 0)
+				}
+				FFT(b)
+				IFFT(b)
+				ReleaseComplex(bp)
+				op := AcquireFloat(n)
+				ReleaseFloat(op)
+			}
+		}(int64(100 + w))
+	}
+	wg.Wait()
+}
+
+func BenchmarkFFTRealInto(b *testing.B) {
+	x := make([]float64, 4096)
+	for i := range x {
+		x[i] = float64(i % 7)
+	}
+	dst := make([]complex128, len(x))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FFTRealInto(dst, x)
+	}
+}

@@ -1,0 +1,75 @@
+package fourier
+
+import "sync"
+
+// Scratch-buffer pools, one per (type, length). The imaging hot path
+// transforms the same one or two sizes millions of times per run; pooling
+// the complex spectrum/field buffers and the real accumulators removes
+// every per-call allocation from that path. The API trades in *[]T so the
+// same pointer round-trips through sync.Pool without re-boxing a slice
+// header on each Put (a pointer stores inline in an interface; a slice
+// header does not).
+//
+// Acquire returns a zeroed buffer; Release(nil) is a no-op so callers can
+// defer unconditionally. Buffers must not be used after Release.
+
+var complexPools sync.Map // int -> *sync.Pool of *[]complex128
+var floatPools sync.Map   // int -> *sync.Pool of *[]float64
+
+// AcquireComplex returns a zeroed complex buffer of length n. Release it
+// with ReleaseComplex when done.
+func AcquireComplex(n int) *[]complex128 {
+	p, ok := complexPools.Load(n)
+	if !ok {
+		p, _ = complexPools.LoadOrStore(n, &sync.Pool{New: func() any {
+			b := make([]complex128, n)
+			return &b
+		}})
+	}
+	bp := p.(*sync.Pool).Get().(*[]complex128)
+	b := *bp
+	for i := range b {
+		b[i] = 0
+	}
+	return bp
+}
+
+// ReleaseComplex returns a buffer obtained from AcquireComplex to its
+// pool. Releasing nil is a no-op.
+func ReleaseComplex(bp *[]complex128) {
+	if bp == nil {
+		return
+	}
+	if p, ok := complexPools.Load(len(*bp)); ok {
+		p.(*sync.Pool).Put(bp)
+	}
+}
+
+// AcquireFloat returns a zeroed real buffer of length n. Release it with
+// ReleaseFloat when done.
+func AcquireFloat(n int) *[]float64 {
+	p, ok := floatPools.Load(n)
+	if !ok {
+		p, _ = floatPools.LoadOrStore(n, &sync.Pool{New: func() any {
+			b := make([]float64, n)
+			return &b
+		}})
+	}
+	bp := p.(*sync.Pool).Get().(*[]float64)
+	b := *bp
+	for i := range b {
+		b[i] = 0
+	}
+	return bp
+}
+
+// ReleaseFloat returns a buffer obtained from AcquireFloat to its pool.
+// Releasing nil is a no-op.
+func ReleaseFloat(bp *[]float64) {
+	if bp == nil {
+		return
+	}
+	if p, ok := floatPools.Load(len(*bp)); ok {
+		p.(*sync.Pool).Put(bp)
+	}
+}

@@ -5,14 +5,59 @@ import (
 	"math"
 
 	"svtiming/internal/fourier"
+	"svtiming/internal/litho/socs"
 	"svtiming/internal/mask"
 	"svtiming/internal/obs"
 )
 
+// Engine selects the imaging algorithm behind Image/ImageInto. Both
+// engines evaluate the same Hopkins partially coherent model; they differ
+// only in factorization (and therefore speed), never in physics.
+type Engine int
+
+const (
+	// EngineAuto picks SOCS when a kernel cache is attached and the
+	// imager carries no aberration, Abbe otherwise. It is the zero
+	// value, so plain Imager literals (tests, examples) keep the
+	// historical Abbe behavior until a cache is wired in.
+	EngineAuto Engine = iota
+	// EngineAbbe sums one coherent image per source point.
+	EngineAbbe
+	// EngineSOCS images with the truncated eigendecomposition of the
+	// passband TCC (see internal/litho/socs), K ≪ S transforms per mask.
+	EngineSOCS
+)
+
+// String returns the flag-friendly engine name.
+func (e Engine) String() string {
+	switch e {
+	case EngineAbbe:
+		return "abbe"
+	case EngineSOCS:
+		return "socs"
+	default:
+		return "auto"
+	}
+}
+
+// ParseEngine maps a flag value ("abbe", "socs", "auto") to an Engine.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "abbe":
+		return EngineAbbe, nil
+	case "socs":
+		return EngineSOCS, nil
+	case "auto", "":
+		return EngineAuto, nil
+	}
+	return EngineAuto, fmt.Errorf("litho: unknown imaging engine %q (want abbe, socs or auto)", s)
+}
+
 // Imager is a scalar partially coherent projection system. It computes the
-// clear-field-normalized aerial image of a 1-D mask by Abbe's method: an
+// clear-field-normalized aerial image of a 1-D mask by Abbe's method (an
 // incoherent sum over source points, each imaged coherently through a hard
-// pupil carrying a defocus phase.
+// pupil carrying a defocus phase) or, equivalently and faster, by the SOCS
+// decomposition of the same optical system.
 type Imager struct {
 	Wavelength float64 // exposure wavelength, nm (193 for ArF)
 	NA         float64 // numerical aperture (0.7 in the paper)
@@ -21,8 +66,25 @@ type Imager struct {
 
 	// Aberration, if non-nil, adds an extra pupil phase (radians) as a
 	// function of normalized pupil radius g·λ/NA in [-1,1]. Used for
-	// model-fidelity studies.
+	// model-fidelity studies. An aberrated imager always images by the
+	// Abbe sum: a function value has no reliable identity to key a
+	// kernel cache on, and aberration studies are cold paths.
 	Aberration func(rho float64) float64
+
+	// Engine selects the imaging algorithm; the zero value (EngineAuto)
+	// uses SOCS exactly when Kernels is attached and Aberration is nil.
+	Engine Engine
+
+	// Kernels, if non-nil, caches SOCS kernel sets per optical
+	// configuration. WithDefocus copies share the cache, which is the
+	// point: a Bossung sweep builds one kernel set per defocus and every
+	// mask thereafter reuses it.
+	Kernels *socs.Cache
+
+	// KernelBudget is the TCC energy fraction SOCS truncation may drop:
+	// 0 means socs.DefaultBudget (1e-7, far inside the 0.01 nm CD
+	// contract), socs.KeepAll disables truncation for exact equivalence.
+	KernelBudget float64
 
 	// images/kernelIters are optional kernel counters (nil = no-op),
 	// wired by Observe and shared by every WithDefocus copy of this
@@ -42,6 +104,7 @@ func (im *Imager) Observe(reg *obs.Registry) {
 	}
 	im.images = reg.Counter("litho_images")
 	im.kernelIters = reg.Counter("litho_kernel_iters")
+	im.Kernels.Observe(reg)
 }
 
 // Profile is a sampled intensity profile, clear-field normalized: an empty
@@ -102,25 +165,69 @@ func (im Imager) CutoffFreq() float64 { return im.NA / im.Wavelength }
 
 // Image computes the aerial image of m.
 //
-// For each source point at normalized offset σ the mask spectrum is shifted
-// by f_s = σ·NA/λ, filtered by the pupil (hard cutoff at NA/λ with defocus
-// phase evaluated at the true propagation angle), and back-transformed; the
-// intensities are summed with the source weights and normalized so an empty
-// mask images to 1.
+// Physically: for each source point at normalized offset σ the mask
+// spectrum is shifted by f_s = σ·NA/λ, filtered by the pupil (hard cutoff
+// at NA/λ with defocus phase evaluated at the true propagation angle), and
+// back-transformed; the intensities are summed with the source weights and
+// normalized so an empty mask images to 1. The engine (Abbe or SOCS)
+// chooses the factorization that evaluates this model; results agree to
+// the truncation budget (exactly, under socs.KeepAll).
 func (im Imager) Image(m *mask.Mask1D) Profile {
+	return im.ImageInto(m, make([]float64, m.N()))
+}
+
+// ImageInto computes the aerial image of m into the caller-provided
+// intensity buffer dst (len == m.N()), overwriting it, and returns the
+// profile wrapping dst. Hot sweeps pair it with fourier.AcquireFloat so
+// the imaging path allocates nothing per call.
+func (im Imager) ImageInto(m *mask.Mask1D, dst []float64) Profile {
 	if im.Wavelength <= 0 || im.NA <= 0 || im.NA >= 1 {
 		panic(fmt.Sprintf("litho: invalid imager λ=%g NA=%g", im.Wavelength, im.NA))
 	}
 	n := m.N()
-	spec := fourier.FFTReal(m.Trans)
-
-	cut := im.CutoffFreq()
-	out := make([]float64, n)
-	field := make([]complex128, n)
+	if len(dst) != n {
+		panic(fmt.Sprintf("litho: ImageInto buffer length %d for %d-point mask", len(dst), n))
+	}
 	totalW := im.Src.TotalWeight()
 	if totalW <= 0 {
 		panic("litho: source has no weight")
 	}
+	for i := range dst {
+		dst[i] = 0
+	}
+
+	specp := fourier.AcquireComplex(n)
+	defer fourier.ReleaseComplex(specp)
+	spec := *specp
+	fourier.FFTRealInto(spec, m.Trans)
+
+	useSOCS := im.Engine == EngineSOCS ||
+		(im.Engine == EngineAuto && im.Kernels != nil)
+	if im.Aberration != nil {
+		useSOCS = false // no cacheable identity for a function value
+	}
+	var iters int64
+	if useSOCS {
+		iters = im.socsImage(m, spec, dst)
+	} else {
+		iters = im.abbeImage(m, spec, dst)
+	}
+	for i := range dst {
+		dst[i] /= totalW
+	}
+	im.images.Inc()
+	im.kernelIters.Add(iters)
+	return Profile{X0: m.X0, Dx: m.Dx, I: dst}
+}
+
+// abbeImage accumulates the un-normalized Abbe sum into out and returns
+// the inner-loop pass count for the kernel-iteration counter.
+func (im Imager) abbeImage(m *mask.Mask1D, spec []complex128, out []float64) int64 {
+	n := m.N()
+	cut := im.CutoffFreq()
+	fieldp := fourier.AcquireComplex(n)
+	defer fourier.ReleaseComplex(fieldp)
+	field := *fieldp
 
 	for _, sp := range im.Src.Points {
 		fs := sp.Sigma * cut
@@ -139,12 +246,7 @@ func (im Imager) Image(m *mask.Mask1D) Profile {
 			out[i] += sp.Weight * (real(e)*real(e) + imag(e)*imag(e))
 		}
 	}
-	for i := range out {
-		out[i] /= totalW
-	}
-	im.images.Inc()
-	im.kernelIters.Add(int64(n) * int64(len(im.Src.Points)))
-	return Profile{X0: m.X0, Dx: m.Dx, I: out}
+	return int64(n) * int64(len(im.Src.Points))
 }
 
 // pupil returns the complex pupil value at propagation frequency g
@@ -161,7 +263,8 @@ func (im Imager) pupil(g float64) complex128 {
 	if im.Aberration != nil {
 		phase += im.Aberration(sin / im.NA)
 	}
-	return complex(math.Cos(phase), math.Sin(phase))
+	s, c := math.Sincos(phase)
+	return complex(c, s)
 }
 
 // WithDefocus returns a copy of the imager at the given defocus.

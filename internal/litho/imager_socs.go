@@ -1,0 +1,56 @@
+package litho
+
+import (
+	"svtiming/internal/fourier"
+	"svtiming/internal/litho/socs"
+	"svtiming/internal/mask"
+)
+
+// socsImage images the mask spectrum through the cached SOCS kernel set
+// for this imager's optical configuration, accumulating un-normalized
+// intensity into out. Returns the kernel-iteration count (grid points ×
+// kernels applied), the SOCS analogue of the Abbe inner-loop tally.
+func (im Imager) socsImage(m *mask.Mask1D, spec []complex128, out []float64) int64 {
+	n := m.N()
+	key := socs.Key{
+		Lambda:  im.Wavelength,
+		NA:      im.NA,
+		Defocus: im.Defocus,
+		Dx:      m.Dx,
+		N:       n,
+		Budget:  im.KernelBudget,
+		// The backing array plus length identify the source: sources are
+		// built once and never mutated, so the pointer is stable for the
+		// run, and a pointer payload keeps the lookup allocation-free.
+		// Two physically identical sources built separately merely cache
+		// twice — correctness never depends on tag collisions or misses.
+		Src:  &im.Src.Points[0],
+		SrcN: len(im.Src.Points),
+	}
+	ks := im.Kernels.Kernels(key, func() *socs.KernelSet {
+		return socs.BuildKernels(im.socsSystem(m))
+	})
+	scratchp := fourier.AcquireComplex(n)
+	defer fourier.ReleaseComplex(scratchp)
+	ks.Apply(spec, *scratchp, out)
+	return int64(n) * int64(ks.Kernels())
+}
+
+// socsSystem translates the imager's optics onto the mask grid in socs
+// terms. The pupil closure captures only value-copied fields, so the
+// built kernel set is a pure function of the cache key.
+func (im Imager) socsSystem(m *mask.Mask1D) *socs.System {
+	cut := im.CutoffFreq()
+	src := make([]socs.PointSource, len(im.Src.Points))
+	for i, sp := range im.Src.Points {
+		src[i] = socs.PointSource{Shift: sp.Sigma * cut, Weight: sp.Weight}
+	}
+	return &socs.System{
+		N:      m.N(),
+		Dx:     m.Dx,
+		Cutoff: cut,
+		Source: src,
+		Pupil:  im.pupil,
+		Budget: im.KernelBudget,
+	}
+}

@@ -1,0 +1,180 @@
+package socs
+
+import (
+	"math"
+	"sync"
+
+	"svtiming/internal/obs"
+)
+
+// Key identifies one optical configuration in the kernel cache. Two
+// lookups share an entry iff every field compares equal: the scalar
+// optics (wavelength, NA, defocus), the grid (N, Dx), the truncation
+// budget (different budgets keep different kernel counts), and the
+// source identity. Src is any comparable value the caller derives from
+// its source — litho uses the backing-array pointer of the source point
+// slice (with SrcN for its length), which is stable for the lifetime of
+// a run and, being a pointer, stores inline in the interface word so a
+// per-image lookup allocates nothing. Aberrated imagers never reach the
+// cache (the litho layer falls back to Abbe, since a function value has
+// no reliable identity to key on), so aberration is deliberately absent.
+type Key struct {
+	Lambda  float64 // wavelength, nm
+	NA      float64
+	Defocus float64 // nm
+	Dx      float64 // grid pitch, nm
+	N       int     // grid size
+	Budget  float64 // truncation budget as passed (0 = default, KeepAll = exact)
+	Src     any     // comparable source identity (use a pointer to stay alloc-free)
+	SrcN    int     // source length, completing the slice identity
+}
+
+// cacheShards spreads shard locks; power of two for the mask in shardFor.
+const cacheShards = 16
+
+// shardCap bounds completed entries per shard (FIFO eviction). Real runs
+// hold ~one entry per (source, defocus) pair — tens, not thousands — so
+// the cap only matters for pathological sweeps; generous by design.
+const shardCap = 16
+
+// Cache memoizes kernel sets per optical configuration with the same
+// sharded singleflight discipline as the process CD cache: concurrent
+// workers asking for one configuration share a single TCC build, so the
+// serial == parallel determinism contract holds trivially for the kernels
+// themselves. A nil *Cache is valid and simply builds uncached. A Cache
+// must not be copied after first use.
+type Cache struct {
+	shards [cacheShards]kernelShard
+
+	// Telemetry handles, nil (no-op) until Observe. lookups and builds
+	// are schedule-invariant (singleflight: every distinct configuration
+	// builds exactly once); the hit/merge split and evictions depend on
+	// scheduling, so manifests derive hits as lookups−builds and omit
+	// evictions. kept/droppedPpb accumulate once per build and are
+	// therefore schedule-invariant too.
+	lookups    *obs.Counter
+	hits       *obs.Counter
+	builds     *obs.Counter
+	merges     *obs.Counter
+	evictions  *obs.Counter
+	kept       *obs.Counter
+	droppedPpb *obs.Counter
+	entries    *obs.Gauge
+}
+
+type kernelShard struct {
+	mu       sync.Mutex
+	done     map[Key]*KernelSet
+	order    []Key // FIFO insertion order for eviction
+	inflight map[Key]*kernelCall
+}
+
+type kernelCall struct {
+	wg sync.WaitGroup
+	ks *KernelSet
+}
+
+// NewCache returns an empty kernel cache.
+func NewCache() *Cache { return &Cache{} }
+
+// Observe wires the cache's telemetry to the registry under the
+// "socs_kernel" prefix, plus the per-build eigenpair and truncation-loss
+// tallies the run manifest reports.
+func (c *Cache) Observe(reg *obs.Registry) {
+	if c == nil || !reg.Enabled() {
+		return
+	}
+	c.lookups = reg.Counter("socs_kernel_cache_lookups")
+	c.hits = reg.Counter("socs_kernel_cache_hits")
+	c.builds = reg.Counter("socs_kernel_cache_builds")
+	c.merges = reg.Counter("socs_kernel_cache_merges")
+	c.evictions = reg.Counter("socs_kernel_cache_evictions")
+	c.kept = reg.Counter("socs_eigenpairs_kept")
+	c.droppedPpb = reg.Counter("socs_energy_dropped_ppb")
+	c.entries = reg.Gauge("socs_kernel_cache_entries")
+}
+
+func (c *Cache) shardFor(k Key) *kernelShard {
+	// Cheap deterministic mix of the fields that actually vary between
+	// configurations in one run (defocus, grid, budget); collisions only
+	// cost lock sharing, never correctness.
+	h := uint64(k.N)*0x9E3779B97F4A7C15 ^
+		math.Float64bits(k.Defocus)*0xBF58476D1CE4E5B9 ^
+		math.Float64bits(k.Budget)
+	h ^= h >> 29
+	return &c.shards[h&(cacheShards-1)]
+}
+
+// Kernels returns the kernel set for key, building it with build at most
+// once per key across all concurrent callers. On a nil Cache it simply
+// runs build. build must be a pure function of key's configuration.
+func (c *Cache) Kernels(key Key, build func() *KernelSet) *KernelSet {
+	if c == nil {
+		return build()
+	}
+	s := c.shardFor(key)
+	c.lookups.Inc()
+
+	s.mu.Lock()
+	if ks, ok := s.done[key]; ok {
+		s.mu.Unlock()
+		c.hits.Inc()
+		return ks
+	}
+	if call, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		c.merges.Inc()
+		call.wg.Wait()
+		return call.ks
+	}
+	call := &kernelCall{}
+	call.wg.Add(1)
+	if s.inflight == nil {
+		s.inflight = make(map[Key]*kernelCall)
+	}
+	s.inflight[key] = call
+	s.mu.Unlock()
+
+	c.builds.Inc()
+	ks := build()
+	call.ks = ks
+	c.kept.Add(int64(ks.Kernels()))
+	if ks.Trace > 0 {
+		c.droppedPpb.Add(int64(ks.Dropped / ks.Trace * 1e9))
+	}
+
+	s.mu.Lock()
+	if s.done == nil {
+		s.done = make(map[Key]*KernelSet)
+	}
+	evicted := 0
+	for len(s.order) >= shardCap {
+		oldest := s.order[0]
+		s.order = s.order[1:]
+		delete(s.done, oldest)
+		evicted++
+	}
+	s.done[key] = ks
+	s.order = append(s.order, key)
+	s.mu.Unlock()
+	call.wg.Done()
+	if evicted > 0 {
+		c.evictions.Add(int64(evicted))
+	}
+	if c.entries != nil {
+		c.entries.Set(int64(c.size()))
+	}
+	return ks
+}
+
+// size returns the number of completed entries across all shards.
+func (c *Cache) size() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.done)
+		s.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,163 @@
+// Package socs implements the Sum of Coherent Systems decomposition of the
+// Hopkins partially coherent imaging equation: the Transmission Cross
+// Coefficient (TCC) matrix of an optical configuration, restricted to the
+// pupil passband, is eigendecomposed once and cached, after which any mask
+// images with K coherent-kernel transforms instead of one transform per
+// source point.
+package socs
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+)
+
+// Convergence thresholds for the Jacobi iteration. The off-diagonal norm
+// shrinks quadratically once rotations become small, so 64 cyclic sweeps
+// is far beyond what the ≤ ~128-dimensional matrices here ever need
+// (observed: 6–9 sweeps).
+const (
+	jacobiTol       = 1e-14
+	jacobiMaxSweeps = 64
+)
+
+// HermitianEigen computes the full eigendecomposition of the Hermitian
+// matrix a (a[i][j] == conj(a[j][i])) by cyclic complex Jacobi rotations.
+// It returns the eigenvalues in descending order and the matching
+// eigenvectors as columns: vecs[i][j] is component i of the eigenvector
+// for values[j]. The input matrix is not modified.
+//
+// The sweep order is fixed (row-major over the upper triangle), so the
+// decomposition is bit-deterministic for a given input — a requirement of
+// the repo-wide serial == parallel contract, since eigenvectors are only
+// determined up to phase and two orderings could otherwise disagree.
+// Panics if the iteration has not converged after jacobiMaxSweeps sweeps
+// (matching the invalid-optics panics in litho: a non-converging
+// decomposition of a tiny Hermitian matrix is a programming error, not a
+// data fault).
+func HermitianEigen(a [][]complex128) (values []float64, vecs [][]complex128) {
+	m := len(a)
+	w := make([][]complex128, m) // working copy, diagonalized in place
+	v := make([][]complex128, m) // accumulated rotations, V·R per step
+	for i := range w {
+		if len(a[i]) != m {
+			panic(fmt.Sprintf("socs: HermitianEigen on non-square matrix (%d×%d row %d)", m, len(a[i]), i))
+		}
+		w[i] = append([]complex128(nil), a[i]...)
+		v[i] = make([]complex128, m)
+		v[i][i] = 1
+	}
+
+	normF := frobenius(w, false)
+	converged := normF == 0 // zero matrix: nothing to rotate
+	for sweep := 0; sweep < jacobiMaxSweeps && !converged; sweep++ {
+		if frobenius(w, true) <= jacobiTol*normF {
+			converged = true
+			break
+		}
+		for p := 0; p < m-1; p++ {
+			for q := p + 1; q < m; q++ {
+				rotate(w, v, p, q)
+			}
+		}
+	}
+	if !converged && frobenius(w, true) > jacobiTol*normF {
+		panic(fmt.Sprintf("socs: Jacobi failed to converge for %d×%d matrix after %d sweeps", m, m, jacobiMaxSweeps))
+	}
+
+	// Diagonal of the rotated matrix = eigenvalues; sort descending with
+	// a stable index tie-break so the kernel order is deterministic.
+	idx := make([]int, m)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(x, y int) bool {
+		return real(w[idx[x]][idx[x]]) > real(w[idx[y]][idx[y]])
+	})
+	values = make([]float64, m)
+	vecs = make([][]complex128, m)
+	for i := range vecs {
+		vecs[i] = make([]complex128, m)
+	}
+	for j, src := range idx {
+		values[j] = real(w[src][src])
+		for i := 0; i < m; i++ {
+			vecs[i][j] = v[i][src]
+		}
+	}
+	return values, vecs
+}
+
+// frobenius returns the Frobenius norm of w, or of its off-diagonal part
+// when offDiag is set (the Jacobi convergence measure).
+func frobenius(w [][]complex128, offDiag bool) float64 {
+	sum := 0.0
+	for i := range w {
+		for j := range w[i] {
+			if offDiag && i == j {
+				continue
+			}
+			re, im := real(w[i][j]), imag(w[i][j])
+			sum += re*re + im*im
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+// rotate zeroes w[p][q] (and by symmetry w[q][p]) with the unitary
+// R = D·J, where D = diag(…, 1ₚ, e^{-iφ}_q, …) rotates the pivot onto the
+// real axis (φ = arg w[p][q]) and J is the classic real Jacobi rotation
+// for the resulting symmetric 2×2 block. Updates w ← R†·w·R and
+// accumulates v ← v·R.
+func rotate(w, v [][]complex128, p, q int) {
+	apq := w[p][q]
+	r := cmplx.Abs(apq)
+	if r == 0 {
+		return // already annihilated (exact-zero sentinel, not a tolerance)
+	}
+	phase := apq / complex(r, 0) // e^{iφ}
+	app := real(w[p][p])
+	aqq := real(w[q][q])
+
+	tau := (aqq - app) / (2 * r)
+	var t float64
+	if tau >= 0 {
+		t = 1 / (tau + math.Sqrt(1+tau*tau))
+	} else {
+		t = -1 / (-tau + math.Sqrt(1+tau*tau))
+	}
+	c := 1 / math.Sqrt(1+t*t)
+	s := t * c
+
+	cp := complex(c, 0)
+	sp := complex(s, 0)
+	ephNeg := cmplx.Conj(phase) // e^{-iφ}
+
+	// Column update X ← X·R for both w and v:
+	//   x[i][p] ← c·x[i][p] − s·e^{-iφ}·x[i][q]
+	//   x[i][q] ← s·x[i][p] + c·e^{-iφ}·x[i][q]
+	for i := range w {
+		xp, xq := w[i][p], w[i][q]
+		w[i][p] = cp*xp - sp*ephNeg*xq
+		w[i][q] = sp*xp + cp*ephNeg*xq
+		yp, yq := v[i][p], v[i][q]
+		v[i][p] = cp*yp - sp*ephNeg*yq
+		v[i][q] = sp*yp + cp*ephNeg*yq
+	}
+	// Row update w ← R†·w:
+	//   w[p][j] ← c·w[p][j] − s·e^{iφ}·w[q][j]
+	//   w[q][j] ← s·w[p][j] + c·e^{iφ}·w[q][j]
+	for j := range w {
+		xp, xq := w[p][j], w[q][j]
+		w[p][j] = cp*xp - sp*phase*xq
+		w[q][j] = sp*xp + cp*phase*xq
+	}
+	// Pin the annihilated pair and the rotated diagonal to exact values,
+	// suppressing rounding residue that would otherwise feed later
+	// rotations.
+	w[p][q] = 0
+	w[q][p] = 0
+	w[p][p] = complex(real(w[p][p]), 0)
+	w[q][q] = complex(real(w[q][q]), 0)
+}

@@ -1,0 +1,193 @@
+package socs
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// reconstruct returns V·diag(values)·V† for a decomposition.
+func reconstruct(values []float64, vecs [][]complex128) [][]complex128 {
+	m := len(values)
+	out := make([][]complex128, m)
+	for i := range out {
+		out[i] = make([]complex128, m)
+		for j := 0; j < m; j++ {
+			var sum complex128
+			for k := 0; k < m; k++ {
+				sum += vecs[i][k] * complex(values[k], 0) * cmplx.Conj(vecs[j][k])
+			}
+			out[i][j] = sum
+		}
+	}
+	return out
+}
+
+func checkDecomposition(t *testing.T, a [][]complex128, values []float64, vecs [][]complex128, tol float64) {
+	t.Helper()
+	m := len(a)
+	// Descending order.
+	for j := 1; j < m; j++ {
+		if values[j] > values[j-1] {
+			t.Fatalf("eigenvalues not descending: %v", values)
+		}
+	}
+	// Orthonormal columns.
+	for j := 0; j < m; j++ {
+		for j2 := 0; j2 < m; j2++ {
+			var dot complex128
+			for i := 0; i < m; i++ {
+				dot += cmplx.Conj(vecs[i][j]) * vecs[i][j2]
+			}
+			want := complex(0, 0)
+			if j == j2 {
+				want = 1
+			}
+			if cmplx.Abs(dot-want) > tol {
+				t.Fatalf("columns %d,%d not orthonormal: ⟨u_%d,u_%d⟩ = %v", j, j2, j, j2, dot)
+			}
+		}
+	}
+	// A == V·Λ·V†.
+	re := reconstruct(values, vecs)
+	for i := range a {
+		for j := range a[i] {
+			if d := cmplx.Abs(re[i][j] - a[i][j]); d > tol {
+				t.Fatalf("reconstruction off at (%d,%d) by %g", i, j, d)
+			}
+		}
+	}
+}
+
+func TestHermitianEigen2x2Hand(t *testing.T) {
+	// [[2, 1-i], [1+i, 3]]: trace 5, det 6-|1-i|² = 4 → eigenvalues 4, 1.
+	a := [][]complex128{
+		{2, 1 - 1i},
+		{1 + 1i, 3},
+	}
+	values, vecs := HermitianEigen(a)
+	if math.Abs(values[0]-4) > 1e-12 || math.Abs(values[1]-1) > 1e-12 {
+		t.Fatalf("eigenvalues = %v, want [4 1]", values)
+	}
+	checkDecomposition(t, a, values, vecs, 1e-12)
+}
+
+func TestHermitianEigen3x3Hand(t *testing.T) {
+	// Real symmetric circulant-like matrix with known spectrum:
+	// [[2,-1,0],[-1,2,-1],[0,-1,2]] has eigenvalues 2±√2, 2.
+	a := [][]complex128{
+		{2, -1, 0},
+		{-1, 2, -1},
+		{0, -1, 2},
+	}
+	values, vecs := HermitianEigen(a)
+	want := []float64{2 + math.Sqrt2, 2, 2 - math.Sqrt2}
+	for i := range want {
+		if math.Abs(values[i]-want[i]) > 1e-12 {
+			t.Fatalf("eigenvalues = %v, want %v", values, want)
+		}
+	}
+	checkDecomposition(t, a, values, vecs, 1e-12)
+
+	// A genuinely complex 3×3 case, checked by properties.
+	b := [][]complex128{
+		{1, 2i, 1 + 1i},
+		{-2i, 0, 3},
+		{1 - 1i, 3, -2},
+	}
+	bv, bu := HermitianEigen(b)
+	checkDecomposition(t, b, bv, bu, 1e-11)
+	// Trace and Frobenius invariants pin the spectrum itself.
+	sum, sq := 0.0, 0.0
+	for _, l := range bv {
+		sum += l
+		sq += l * l
+	}
+	if math.Abs(sum-(-1)) > 1e-11 { // trace = 1+0-2
+		t.Fatalf("Σλ = %g, want -1", sum)
+	}
+	fro := 0.0
+	for i := range b {
+		for j := range b[i] {
+			fro += real(b[i][j])*real(b[i][j]) + imag(b[i][j])*imag(b[i][j])
+		}
+	}
+	if math.Abs(sq-fro) > 1e-9 {
+		t.Fatalf("Σλ² = %g, want ‖B‖²_F = %g", sq, fro)
+	}
+}
+
+func TestHermitianEigenRandomProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for _, m := range []int{1, 2, 5, 12, 24} {
+		a := make([][]complex128, m)
+		for i := range a {
+			a[i] = make([]complex128, m)
+		}
+		for i := 0; i < m; i++ {
+			a[i][i] = complex(rng.NormFloat64(), 0)
+			for j := i + 1; j < m; j++ {
+				v := complex(rng.NormFloat64(), rng.NormFloat64())
+				a[i][j] = v
+				a[j][i] = cmplx.Conj(v)
+			}
+		}
+		values, vecs := HermitianEigen(a)
+		checkDecomposition(t, a, values, vecs, 1e-10*float64(m))
+	}
+}
+
+func TestHermitianEigenDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	m := 16
+	a := make([][]complex128, m)
+	for i := range a {
+		a[i] = make([]complex128, m)
+	}
+	for i := 0; i < m; i++ {
+		a[i][i] = complex(rng.NormFloat64(), 0)
+		for j := i + 1; j < m; j++ {
+			v := complex(rng.NormFloat64(), rng.NormFloat64())
+			a[i][j] = v
+			a[j][i] = cmplx.Conj(v)
+		}
+	}
+	v1, u1 := HermitianEigen(a)
+	v2, u2 := HermitianEigen(a)
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatalf("eigenvalue %d not bit-identical across runs", i)
+		}
+		for j := range u1[i] {
+			if u1[i][j] != u2[i][j] {
+				t.Fatalf("eigenvector entry (%d,%d) not bit-identical across runs", i, j)
+			}
+		}
+	}
+}
+
+func TestHermitianEigenEdgeCases(t *testing.T) {
+	// Zero matrix: converged immediately, zero spectrum.
+	z := [][]complex128{{0, 0}, {0, 0}}
+	values, vecs := HermitianEigen(z)
+	if values[0] != 0 || values[1] != 0 {
+		t.Fatalf("zero matrix eigenvalues = %v", values)
+	}
+	checkDecomposition(t, z, values, vecs, 0)
+
+	// Already diagonal: sorted pass-through.
+	d := [][]complex128{{1, 0}, {0, 7}}
+	values, _ = HermitianEigen(d)
+	if values[0] != 7 || values[1] != 1 {
+		t.Fatalf("diagonal eigenvalues = %v, want [7 1]", values)
+	}
+
+	// Non-square input must panic.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-square input did not panic")
+		}
+	}()
+	HermitianEigen([][]complex128{{1, 2}})
+}

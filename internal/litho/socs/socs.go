@@ -1,0 +1,276 @@
+package socs
+
+import (
+	"fmt"
+	"math"
+
+	"svtiming/internal/fourier"
+)
+
+// DefaultBudget is the dropped-energy fraction used when System.Budget is
+// zero. Intensity error from truncation is bounded by the dropped TCC
+// energy relative to the trace; at 1e-7 the induced CD error is ~3e-5 nm,
+// three orders of magnitude inside the 0.01 nm Abbe-agreement contract.
+const DefaultBudget = 1e-7
+
+// KeepAll is the Budget sentinel that disables energy truncation: every
+// eigenpair carrying more than a rounding-level fraction of the trace is
+// kept, making the SOCS image mathematically identical to the Abbe sum.
+const KeepAll = -1.0
+
+// roundingFloor is the relative eigenvalue level treated as numerically
+// zero under KeepAll; eigenpairs below it are Jacobi rounding residue of
+// exact rank deficiency and contribute nothing resolvable.
+const roundingFloor = 1e-14
+
+// PointSource is one sampled illumination direction: the frequency shift
+// it applies to the mask spectrum and its weight in the incoherent sum.
+type PointSource struct {
+	Shift  float64 // f_s = σ·NA/λ, cycles/nm
+	Weight float64
+}
+
+// System describes one optical configuration to decompose: grid, pupil
+// cutoff, sampled source, and the (unit-modulus) pupil function carrying
+// defocus phase. Everything the TCC depends on is here; the cache layer
+// keys on the scalar fields plus the source identity.
+type System struct {
+	N      int                        // grid size (power of two)
+	Dx     float64                    // sample pitch, nm
+	Cutoff float64                    // coherent pupil cutoff NA/λ, cycles/nm
+	Source []PointSource              // sampled illumination
+	Pupil  func(g float64) complex128 // pupil at propagation frequency g, |g| ≤ Cutoff
+
+	// Budget is the fraction of TCC trace energy truncation may drop:
+	// 0 means DefaultBudget, KeepAll disables truncation.
+	Budget float64
+}
+
+// KernelSet is the eigendecomposition of one system's passband TCC: the
+// coherent kernels λ_j, φ_j with I(x) = Σ_j λ_j |IFFT(φ_j ⊙ M̂)(x)|².
+// Immutable after build and safe for concurrent Apply.
+type KernelSet struct {
+	N           int
+	Bins        []int32        // passband spectral bins, ascending k
+	Lambda      []float64      // kept eigenvalues, descending
+	Phi         [][]complex128 // Phi[j][i] = kernel j at bin Bins[i]
+	TotalWeight float64        // Σ source weights (Abbe normalization)
+	Trace       float64        // TCC trace = total decomposed energy
+	Dropped     float64        // eigenvalue energy removed by truncation
+}
+
+// passband returns the spectral bins k whose frequency can reach the pupil
+// for at least one source point: |f_k| ≤ Cutoff + max|Shift|. Ascending k,
+// so the TCC layout is deterministic.
+func (sys *System) passband() []int32 {
+	maxShift := 0.0
+	for _, sp := range sys.Source {
+		if a := math.Abs(sp.Shift); a > maxShift {
+			maxShift = a
+		}
+	}
+	reach := sys.Cutoff + maxShift
+	var bins []int32
+	for k := 0; k < sys.N; k++ {
+		if math.Abs(fourier.FreqIndex(k, sys.N, sys.Dx)) <= reach {
+			bins = append(bins, int32(k))
+		}
+	}
+	return bins
+}
+
+// BuildKernels computes the passband TCC of the system and returns its
+// truncated eigendecomposition.
+//
+// T[k,k'] = Σ_s w_s · P(f_k+f_s) · conj(P(f_k'+f_s)) restricted to bins
+// inside the pupil reach. T = Ṽ·Ṽ† for the P×S matrix Ṽ with columns
+// ṽ_s[k] = √w_s·P(f_k+f_s)·1[|f_k+f_s| ≤ cutoff], so rank(T) ≤ S and the
+// nonzero spectrum of T equals that of the S×S Gram matrix G = Ṽ†·Ṽ with
+// eigenvectors u_j = Ṽ·g_j/√μ_j. When the source is smaller than the
+// passband (the production case: S=24 vs P≈55) the Gram route turns an
+// O(P³) Jacobi into an O(S³) one; otherwise T is diagonalized directly.
+// Both routes go through the same HermitianEigen, and the choice is a
+// pure function of the system, so results stay schedule-invariant.
+func BuildKernels(sys *System) *KernelSet {
+	if !fourier.IsPow2(sys.N) {
+		panic(fmt.Sprintf("socs: grid size %d is not a power of two", sys.N))
+	}
+	totalW := 0.0
+	for _, sp := range sys.Source {
+		totalW += sp.Weight
+	}
+	if totalW <= 0 {
+		panic("socs: source has no weight")
+	}
+	bins := sys.passband()
+	nP, nS := len(bins), len(sys.Source)
+
+	// Ṽ[i][s] = √w_s · P(f_{bins[i]} + f_s), zero outside the pupil.
+	vt := make([][]complex128, nP)
+	for i, k := range bins {
+		vt[i] = make([]complex128, nS)
+		f := fourier.FreqIndex(int(k), sys.N, sys.Dx)
+		for s, sp := range sys.Source {
+			g := f + sp.Shift
+			if math.Abs(g) > sys.Cutoff {
+				continue
+			}
+			vt[i][s] = complex(math.Sqrt(sp.Weight), 0) * sys.Pupil(g)
+		}
+	}
+
+	var lambda []float64
+	var phi [][]complex128 // phi[j][i], kernel j at bin index i
+	if nS < nP {
+		// Gram route: G[s][s'] = Σ_i conj(Ṽ[i][s])·Ṽ[i][s'].
+		g := make([][]complex128, nS)
+		for s := range g {
+			g[s] = make([]complex128, nS)
+		}
+		for i := 0; i < nP; i++ {
+			row := vt[i]
+			for s := 0; s < nS; s++ {
+				cs := complex(real(row[s]), -imag(row[s]))
+				for s2 := s; s2 < nS; s2++ {
+					g[s][s2] += cs * row[s2]
+				}
+			}
+		}
+		for s := 0; s < nS; s++ {
+			for s2 := 0; s2 < s; s2++ {
+				g[s][s2] = complex(real(g[s2][s]), -imag(g[s2][s]))
+			}
+			g[s][s] = complex(real(g[s][s]), 0)
+		}
+		mu, gv := HermitianEigen(g)
+		lambda = mu
+		phi = make([][]complex128, nS)
+		for j := range phi {
+			if mu[j] <= 0 {
+				continue // rank-deficient tail, truncated below anyway
+			}
+			col := make([]complex128, nP)
+			inv := complex(1/math.Sqrt(mu[j]), 0)
+			for i := 0; i < nP; i++ {
+				var sum complex128
+				for s := 0; s < nS; s++ {
+					sum += vt[i][s] * gv[s][j]
+				}
+				col[i] = sum * inv
+			}
+			phi[j] = col
+		}
+	} else {
+		// Direct route: T[i][i'] = Σ_s Ṽ[i][s]·conj(Ṽ[i'][s]).
+		t := make([][]complex128, nP)
+		for i := range t {
+			t[i] = make([]complex128, nP)
+		}
+		for i := 0; i < nP; i++ {
+			for i2 := i; i2 < nP; i2++ {
+				var sum complex128
+				for s := 0; s < nS; s++ {
+					v2 := vt[i2][s]
+					sum += vt[i][s] * complex(real(v2), -imag(v2))
+				}
+				t[i][i2] = sum
+				if i2 != i {
+					t[i2][i] = complex(real(sum), -imag(sum))
+				}
+			}
+			t[i][i] = complex(real(t[i][i]), 0)
+		}
+		var tv [][]complex128
+		lambda, tv = HermitianEigen(t)
+		phi = make([][]complex128, nP)
+		for j := range phi {
+			col := make([]complex128, nP)
+			for i := 0; i < nP; i++ {
+				col[i] = tv[i][j]
+			}
+			phi[j] = col
+		}
+	}
+
+	trace := 0.0
+	for _, l := range lambda {
+		if l > 0 {
+			trace += l
+		}
+	}
+	keep := keepCount(lambda, trace, sys.Budget)
+	dropped := 0.0
+	for _, l := range lambda[keep:] {
+		if l > 0 {
+			dropped += l
+		}
+	}
+	return &KernelSet{
+		N:           sys.N,
+		Bins:        bins,
+		Lambda:      append([]float64(nil), lambda[:keep]...),
+		Phi:         phi[:keep:keep],
+		TotalWeight: totalW,
+		Trace:       trace,
+		Dropped:     dropped,
+	}
+}
+
+// keepCount returns how many leading eigenpairs of the descending lambda
+// to keep: the smallest K whose discarded tail carries at most
+// budget·trace energy (or, under KeepAll, everything above rounding
+// level). Eigenvalues at or below zero are always discarded — the TCC is
+// positive semidefinite, so they are rounding residue.
+func keepCount(lambda []float64, trace, budget float64) int {
+	if budget == 0 {
+		budget = DefaultBudget
+	}
+	floor := 0.0
+	if budget < 0 {
+		budget = 0
+		floor = roundingFloor * trace
+	}
+	// Walk from the tail accumulating discarded energy.
+	keep := len(lambda)
+	for keep > 0 && lambda[keep-1] <= floor {
+		keep--
+	}
+	allowance := budget * trace
+	tail := 0.0
+	for keep > 0 && tail+lambda[keep-1] <= allowance {
+		tail += lambda[keep-1]
+		keep--
+	}
+	return keep
+}
+
+// Kernels returns the number of coherent kernels the set applies per
+// image.
+func (ks *KernelSet) Kernels() int { return len(ks.Lambda) }
+
+// Apply accumulates the un-normalized SOCS intensity of the mask spectrum
+// spec into out: out[i] += Σ_j λ_j |IFFT(φ_j ⊙ spec)(i)|². The caller
+// divides by TotalWeight for the clear-field normalization (matching the
+// Abbe sum) and provides a length-N scratch buffer. out is NOT cleared
+// first, so callers can fold several field contributions together; pooled
+// buffers from fourier.AcquireFloat arrive zeroed.
+func (ks *KernelSet) Apply(spec []complex128, scratch []complex128, out []float64) {
+	n := ks.N
+	if len(spec) != n || len(scratch) != n || len(out) != n {
+		panic("socs: Apply buffer length mismatch")
+	}
+	plan := fourier.PlanFor(n)
+	for j, l := range ks.Lambda {
+		phi := ks.Phi[j]
+		for i := range scratch {
+			scratch[i] = 0
+		}
+		for i, k := range ks.Bins {
+			scratch[k] = spec[k] * phi[i]
+		}
+		plan.Inverse(scratch)
+		for i, e := range scratch {
+			out[i] += l * (real(e)*real(e) + imag(e)*imag(e))
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package litho
+
+import (
+	"math"
+	"testing"
+
+	"svtiming/internal/geom"
+	"svtiming/internal/litho/socs"
+	"svtiming/internal/mask"
+)
+
+// TestSOCSMatchesAbbeExactly is the golden equivalence pin of the SOCS
+// engine: with truncation disabled (socs.KeepAll) the kernel image and
+// the Abbe sum evaluate the same Hopkins model by different
+// factorizations, so every intensity sample must agree to rounding
+// (≤ 1e-9 relative) over the production pitch range and a Bossung-style
+// defocus fan — including through focus, where the TCC is genuinely
+// complex.
+func TestSOCSMatchesAbbeExactly(t *testing.T) {
+	pitches := []float64{180, 220, 260, 320, 400, 500, 650, 800, 1000}
+	defoci := []float64{-300, -150, 0, 100, 250}
+	window := geom.Interval{Lo: -2048, Hi: 2048}
+
+	for _, src := range []Source{Annular(0.55, 0.85, 24), Conventional(0.6, 12)} {
+		cache := socs.NewCache()
+		for _, pitch := range pitches {
+			var lines []geom.PolyLine
+			for x := window.Lo + pitch/2; x <= window.Hi; x += pitch {
+				lines = append(lines, geom.PolyLine{CenterX: x, Width: 90, Span: geom.Interval{Lo: 0, Hi: 100}})
+			}
+			m := mask.FromLines(lines, window, 2)
+			for _, z := range defoci {
+				abbe := Imager{
+					Wavelength: 193, NA: 0.7, Src: src, Defocus: z,
+					Engine: EngineAbbe,
+				}
+				exact := Imager{
+					Wavelength: 193, NA: 0.7, Src: src, Defocus: z,
+					Engine: EngineSOCS, Kernels: cache, KernelBudget: socs.KeepAll,
+				}
+				pa := abbe.Image(m)
+				ps := exact.Image(m)
+				for i := range pa.I {
+					if d := math.Abs(pa.I[i] - ps.I[i]); d > 1e-9 {
+						t.Fatalf("src %s pitch %g defocus %g: |Abbe−SOCS| = %g at sample %d (clear field = 1)",
+							src.Name, pitch, z, d, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSOCSDefaultBudgetStaysTight checks the default truncation budget
+// keeps the engines within a bound far below anything a CD can resolve.
+func TestSOCSDefaultBudgetStaysTight(t *testing.T) {
+	window := geom.Interval{Lo: -2048, Hi: 2048}
+	lines := []geom.PolyLine{{CenterX: 0, Width: 90, Span: geom.Interval{Lo: 0, Hi: 100}}}
+	m := mask.FromLines(lines, window, 2)
+	cache := socs.NewCache()
+	for _, z := range []float64{0, 200} {
+		abbe := Imager{Wavelength: 193, NA: 0.7, Src: Annular(0.55, 0.85, 24), Defocus: z, Engine: EngineAbbe}
+		def := Imager{Wavelength: 193, NA: 0.7, Src: Annular(0.55, 0.85, 24), Defocus: z,
+			Engine: EngineSOCS, Kernels: cache}
+		pa := abbe.Image(m)
+		ps := def.Image(m)
+		for i := range pa.I {
+			if d := math.Abs(pa.I[i] - ps.I[i]); d > 1e-6 {
+				t.Fatalf("defocus %g: default-budget SOCS off by %g at sample %d", z, d, i)
+			}
+		}
+	}
+}
+
+// TestEngineSelection pins the dispatch rules: zero-value imagers stay on
+// Abbe, attaching a cache flips Auto to SOCS, and aberrated imagers
+// always fall back to Abbe even when SOCS is forced.
+func TestEngineSelection(t *testing.T) {
+	window := geom.Interval{Lo: -1024, Hi: 1024}
+	lines := []geom.PolyLine{{CenterX: 0, Width: 130, Span: geom.Interval{Lo: 0, Hi: 100}}}
+	m := mask.FromLines(lines, window, 2)
+	cache := socs.NewCache()
+
+	base := Imager{Wavelength: 193, NA: 0.7, Src: Annular(0.55, 0.85, 16)}
+	auto := base
+	auto.Kernels = cache
+	forced := auto
+	forced.Engine = EngineSOCS
+	aberrated := auto
+	aberrated.Aberration = func(rho float64) float64 { return 0 }
+
+	pAbbe := base.Image(m) // Auto + nil cache → Abbe
+	pAuto := auto.Image(m) // Auto + cache → SOCS
+	pForce := forced.Image(m)
+	pAb := aberrated.Image(m) // aberration → Abbe despite cache
+
+	for i := range pAuto.I {
+		if pAuto.I[i] != pForce.I[i] {
+			t.Fatalf("auto and forced SOCS disagree at %d", i)
+		}
+	}
+	// A zero aberration is physically identity, so the fallback's values
+	// must match plain Abbe bit-for-bit (same code path).
+	for i := range pAb.I {
+		if pAb.I[i] != pAbbe.I[i] {
+			t.Fatalf("aberrated imager did not take the Abbe path at %d", i)
+		}
+	}
+}
+
+// TestImageIntoReusesBuffer pins the no-alloc contract: ImageInto writes
+// into the caller's buffer, overwriting stale contents, and returns a
+// profile wrapping it.
+func TestImageIntoReusesBuffer(t *testing.T) {
+	window := geom.Interval{Lo: -1024, Hi: 1024}
+	lines := []geom.PolyLine{{CenterX: 0, Width: 130, Span: geom.Interval{Lo: 0, Hi: 100}}}
+	m := mask.FromLines(lines, window, 2)
+	im := Imager{Wavelength: 193, NA: 0.7, Src: Annular(0.55, 0.85, 16)}
+
+	want := im.Image(m)
+	dst := make([]float64, m.N())
+	for i := range dst {
+		dst[i] = math.NaN() // poison: ImageInto must fully overwrite
+	}
+	got := im.ImageInto(m, dst)
+	if &got.I[0] != &dst[0] {
+		t.Fatal("ImageInto did not wrap the caller's buffer")
+	}
+	for i := range want.I {
+		if got.I[i] != want.I[i] {
+			t.Fatalf("ImageInto differs from Image at %d", i)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short buffer did not panic")
+		}
+	}()
+	im.ImageInto(m, make([]float64, 3))
+}

@@ -28,6 +28,22 @@ type CacheStats struct {
 	Hits        int64 `json:"hits"`
 }
 
+// KernelCacheStats summarizes the SOCS kernel cache in schedule-invariant
+// terms, mirroring CacheStats: singleflight guarantees every distinct
+// optical configuration builds exactly once, so Lookups and Builds are
+// pure functions of the workload and Hits derives as Lookups − Builds.
+// EigenpairsKept and EnergyDroppedPpb (truncation loss, parts per billion
+// of TCC trace, summed over builds) are per-build properties of the
+// optics alone. Evictions are schedule-dependent in principle and belong
+// to the metrics dump.
+type KernelCacheStats struct {
+	Lookups          int64 `json:"lookups"`
+	Builds           int64 `json:"builds"`
+	Hits             int64 `json:"hits"`
+	EigenpairsKept   int64 `json:"eigenpairs_kept"`
+	EnergyDroppedPpb int64 `json:"energy_dropped_ppb"`
+}
+
 // PoolStats summarizes the parallel execution engine's work in
 // schedule-invariant terms: how many tasks ran and how many panics were
 // contained. Per-worker occupancy histograms are schedule-dependent and
@@ -58,6 +74,7 @@ type RunManifest struct {
 	Seeds      map[string]int64  `json:"seeds,omitempty"`
 	Stages     []StageTiming     `json:"stages"`
 	Cache      CacheStats        `json:"cache"`
+	Kernels    KernelCacheStats  `json:"socs_kernels"`
 	Pool       PoolStats         `json:"pool"`
 	Rows       RowStats          `json:"rows"`
 	// Faults maps fault-summary keys ("total", "stage:<s>", "kind:<k>")

@@ -19,8 +19,10 @@ import (
 	"strings"
 
 	"svtiming/internal/fault"
+	"svtiming/internal/fourier"
 	"svtiming/internal/geom"
 	"svtiming/internal/litho"
+	"svtiming/internal/litho/socs"
 	"svtiming/internal/mask"
 	"svtiming/internal/obs"
 	"svtiming/internal/resist"
@@ -185,6 +187,10 @@ func Nominal90nm() *Process {
 			Wavelength: 193,
 			NA:         0.7,
 			Src:        litho.Annular(0.55, 0.85, 24),
+			// A shared kernel cache turns on the SOCS engine
+			// (litho.EngineAuto); opc.ModelProcess copies the
+			// imager, so OPC model and wafer share one cache.
+			Kernels: socs.NewCache(),
 		},
 		Resist:            resist.Model{Threshold: 0.55, DiffusionLength: 20},
 		Dose:              1.0,
@@ -256,7 +262,12 @@ func (p *Process) simulateCD(env Env, defocus, dose float64) (float64, bool, err
 	hi += p.GuardBand
 	m := mask.FromLines(lines, geom.Interval{Lo: lo, Hi: hi}, p.Dx)
 	im := p.Optics.WithDefocus(defocus)
-	prof := im.Image(m)
+	// The intensity buffer lives only for this simulation (the resist
+	// model blurs into its own array), so a pooled buffer keeps the
+	// hottest loop in the tree allocation-free.
+	dstp := fourier.AcquireFloat(m.N())
+	defer fourier.ReleaseFloat(dstp)
+	prof := im.ImageInto(m, *dstp)
 	if i, bad := prof.NonFinite(); bad {
 		return 0, false, &fault.Numeric{At: at, Quantity: "aerial intensity", Value: prof.I[i]}
 	}

@@ -1,0 +1,54 @@
+package process
+
+import (
+	"math"
+	"testing"
+
+	"svtiming/internal/litho"
+)
+
+// TestSOCSCDsMatchAbbeEverywhere is the CD-level acceptance pin for the
+// SOCS engine at its production default budget: over the full pitch table
+// and a Bossung-style defocus × dose grid, the printed CD from the SOCS
+// path must agree with the Abbe path within 0.01 nm — far below the
+// 0.25 nm environment quantization, so no downstream consumer can tell
+// the engines apart.
+func TestSOCSCDsMatchAbbeEverywhere(t *testing.T) {
+	pitches := []float64{180, 200, 220, 250, 280, 320, 360, 400, 450, 500, 600, 700, 850, 1000}
+	defoci := []float64{-300, -200, -100, 0, 100, 200, 300}
+	doses := []float64{0.95, 1.0, 1.05}
+
+	socsProc := Nominal90nm() // SOCS by default (kernel cache attached)
+	abbeProc := Nominal90nm()
+	abbeProc.Optics.Engine = litho.EngineAbbe
+
+	if socsProc.Optics.Kernels == nil {
+		t.Fatal("Nominal90nm no longer attaches a kernel cache — SOCS default regressed")
+	}
+
+	worst := 0.0
+	for _, pitch := range pitches {
+		env := DensePitch(90, pitch, 3)
+		for _, z := range defoci {
+			for _, dose := range doses {
+				cdS, okS, errS := socsProc.PrintCDChecked(env, z, dose)
+				cdA, okA, errA := abbeProc.PrintCDChecked(env, z, dose)
+				if (errS == nil) != (errA == nil) || okS != okA {
+					t.Fatalf("pitch %g defocus %g dose %g: print disagreement (socs ok=%v err=%v, abbe ok=%v err=%v)",
+						pitch, z, dose, okS, errS, okA, errA)
+				}
+				if !okS {
+					continue
+				}
+				if d := math.Abs(cdS - cdA); d > 0.01 {
+					t.Fatalf("pitch %g defocus %g dose %g: |CD_socs − CD_abbe| = %g nm (socs %g, abbe %g)",
+						pitch, z, dose, d, cdS, cdA)
+				} else if d > worst {
+					worst = d
+				}
+			}
+		}
+	}
+	t.Logf("worst CD disagreement over %d conditions: %.3g nm",
+		len(pitches)*len(defoci)*len(doses), worst)
+}
