@@ -19,10 +19,14 @@
 #   make bench-smoke — compile and run every benchmark exactly once, so
 #                   CI catches a benchmark that no longer builds or
 #                   crashes without paying for a timed run
+#   make service-smoke — end-to-end daemon gate: build cmd/svtimingd,
+#                   start it on an ephemeral port, run a 3-request batch,
+#                   diff the bytes against the service golden fixture,
+#                   and require a clean SIGTERM shutdown (exit 0)
 
 GO ?= go
 
-.PHONY: all tier1 tier2 lint cover ci bench bench-json bench-smoke clean
+.PHONY: all tier1 tier2 lint cover ci bench bench-json bench-smoke service-smoke clean
 
 all: tier1
 
@@ -33,6 +37,8 @@ tier1:
 lint:
 	$(GO) run ./cmd/svlint ./...
 
+# The race pass covers the whole tree, notably internal/service (the
+# flow-cache singleflight and the batch scheduler under concurrent load).
 tier2: tier1
 	$(GO) vet ./...
 	$(GO) run ./cmd/svlint ./...
@@ -42,7 +48,7 @@ cover:
 	$(GO) test ./... -coverprofile=cover.out
 	$(GO) run ./cmd/covercheck -profile cover.out
 
-ci: tier2 cover bench-smoke
+ci: tier2 cover bench-smoke service-smoke
 
 bench:
 	$(GO) test -run xxx -bench 'Table2Timing|FullChipOPC' -benchmem .
@@ -52,6 +58,9 @@ bench-json:
 
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x .
+
+service-smoke:
+	$(GO) test -run TestServiceSmoke -count=1 ./cmd/svtimingd
 
 clean:
 	$(GO) clean ./...

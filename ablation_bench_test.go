@@ -77,7 +77,7 @@ func BenchmarkBudgetSweep(b *testing.B) {
 		for _, frac := range []float64{0, 0.04, 0.08, 0.12} {
 			fc := *f
 			fc.Budget.OtherDelayFrac = frac
-			cmp, err := fc.Compare(d)
+			cmp, err := fc.Compare(nil, d)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -221,11 +221,11 @@ func BenchmarkTransientCharacterization(b *testing.B) {
 		}
 		ft := *f
 		ft.Timing = timing
-		cmp, err := ft.CompareDesign("c432")
+		cmp, err := ft.CompareDesign(nil, "c432")
 		if err != nil {
 			b.Fatal(err)
 		}
-		base, err := f.CompareDesign("c432")
+		base, err := f.CompareDesign(nil, "c432")
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -102,7 +102,7 @@ func BenchmarkTable1LibraryOPC(b *testing.B) {
 		libRT := expt.Table1LibraryRuntime(f)
 		var rows []expt.Table1Row
 		for _, name := range netlist.Table2Circuits {
-			row, err := expt.Table1Compare(f, name)
+			row, err := expt.Table1Compare(nil, f, name)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -149,7 +149,7 @@ func BenchmarkTable2TimingSerial(b *testing.B) {
 func BenchmarkFig7CDErrorHistogram(b *testing.B) {
 	f := sharedFlow(b)
 	for i := 0; i < b.N; i++ {
-		bins, err := expt.Fig7Histogram(f, "c3540", 1)
+		bins, err := expt.Fig7Histogram(nil, f, "c3540", 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -180,7 +180,7 @@ func BenchmarkFullChipOPC(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		f.Recipe.Model.ClearCache()
 		f.Wafer.ClearCache()
-		if _, err := f.FullChipCDs(d); err != nil {
+		if _, err := f.FullChipCDs(nil, d); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -198,7 +198,7 @@ func BenchmarkFullChipOPCSerial(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		f.Recipe.Model.ClearCache()
 		f.Wafer.ClearCache()
-		if _, err := f.FullChipCDs(d); err != nil {
+		if _, err := f.FullChipCDs(nil, d); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -8,21 +8,20 @@
 //	lithosim [-fig1] [-fig2] [-fig6] [-j N] [-timeout 5m]   (all studies by default)
 //	         [-metrics metrics.json] [-pprof localhost:6060]
 //
-// Exit codes: 0 clean, 2 failed (simulation fault or timeout).
+// Exit codes: 0 clean, 2 failed (simulation fault or timeout). The shared
+// flags come from internal/cli — the same layer as the other cmd tools.
 package main
 
 import (
-	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
+	"svtiming/internal/cli"
 	"svtiming/internal/corners"
 	"svtiming/internal/expt"
 	"svtiming/internal/fault"
-	"svtiming/internal/litho"
 	"svtiming/internal/obs"
 	"svtiming/internal/opc"
 	"svtiming/internal/process"
@@ -34,79 +33,48 @@ func main() {
 	os.Exit(run())
 }
 
-func fail(err error) int {
-	if errors.Is(err, context.DeadlineExceeded) {
-		log.Print("run exceeded -timeout: ", err)
-	} else {
-		log.Print(err)
-	}
-	return fault.ExitFailed
-}
-
 func run() int {
 	fig1 := flag.Bool("fig1", false, "printed linewidth vs pitch (drawn 130 nm, annular 193 nm NA 0.7)")
 	fig2 := flag.Bool("fig2", false, "Bossung curves: dense 90/150-space vs isolated 90 nm")
 	fig6 := flag.Bool("fig6", false, "gate-length corner construction diagram")
 	window := flag.Bool("window", false, "dense+iso overlapping process window")
 	lineEnd := flag.Bool("lineend", false, "2-D line-end shortening and hammerhead correction")
-	jobs := flag.Int("j", 0, "worker pool size for litho sweeps (0 = GOMAXPROCS)")
-	engineName := flag.String("engine", "auto",
-		"aerial-image engine: socs, abbe, or auto (socs for the nominal process)")
-	kernelBudget := flag.Float64("kernel-budget", 0,
-		"fraction of TCC energy SOCS truncation may drop (0 = the 1e-7 default, -1 = keep every kernel)")
-	timeout := flag.Duration("timeout", 0, "overall deadline for the run (0 = none)")
-	metricsPath := flag.String("metrics", "",
-		"write the full metrics snapshot as JSON to this file on exit; \"-\" = stdout")
-	pprofAddr := flag.String("pprof", "",
-		"serve net/http/pprof on this address for the duration of the run")
+	common := cli.Register(flag.CommandLine, cli.Engine)
 	flag.Parse()
 	all := !*fig1 && !*fig2 && !*fig6 && !*window && !*lineEnd
 
-	if *pprofAddr != "" {
-		if err := expt.StartPprof(*pprofAddr); err != nil {
-			log.Printf("-pprof: %v", err)
-			return fault.ExitFailed
-		}
+	if err := common.Resolve(); err != nil {
+		return cli.UsageError("%v", err)
 	}
-	reg := obs.Nop()
-	if *metricsPath != "" {
-		reg = expt.NewRegistry()
+	if err := common.StartPprof(); err != nil {
+		return cli.UsageError("%v", err)
 	}
+	reg := common.Registry(false)
 
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
+	ctx, cancel := common.Context()
+	defer cancel()
 	// The litho sweeps pick the registry up from the context (par pools,
 	// FEM grids) and from the wafer's own instrument handles.
 	ctx = obs.NewContext(ctx, reg)
 
 	wafer := process.Nominal90nm()
-	engine, err := litho.ParseEngine(*engineName)
-	if err != nil {
-		log.Print(err)
-		flag.Usage()
-		return fault.ExitFailed
-	}
-	wafer.Optics.Engine = engine
-	wafer.Optics.KernelBudget = *kernelBudget
+	wafer.Optics.Engine = common.Engine
+	wafer.Optics.KernelBudget = common.KernelBudget
 	wafer.Observe(reg)
 
 	if *fig1 || all {
-		pts, err := expt.Fig1ThroughPitchCtx(ctx, wafer, *jobs)
+		pts, err := expt.Fig1ThroughPitchCtx(ctx, wafer, common.Jobs)
 		if err != nil {
-			return fail(err)
+			return cli.Fail(err)
 		}
 		fmt.Println("== Figure 1: through-pitch linewidth variation ==")
 		fmt.Print(expt.FormatFig1(pts))
 		fmt.Println()
 	}
 	if *fig2 || all {
-		r, err := expt.Fig2BossungCtx(ctx, wafer, *jobs)
+		r, err := expt.Fig2BossungCtx(ctx, wafer, common.Jobs)
 		if err != nil {
-			return fail(err)
+			return cli.Fail(err)
 		}
 		fmt.Println("== Figure 2: Bossung curves ==")
 		fmt.Print(r.Dense.String())
@@ -122,41 +90,39 @@ func run() int {
 	}
 	if *window || all {
 		if err := ctx.Err(); err != nil {
-			return fail(err)
+			return cli.Fail(err)
 		}
 		fmt.Println("\n== overlapping process window (±10% CD) ==")
 		ws, err := expt.ProcessWindowStudy(wafer, 0.10,
-			expt.Fig2Defocus, []float64{0.90, 0.95, 1.0, 1.05, 1.10}, *jobs)
+			expt.Fig2Defocus, []float64{0.90, 0.95, 1.0, 1.05, 1.10}, common.Jobs)
 		if err != nil {
-			return fail(err)
+			return cli.Fail(err)
 		}
 		fmt.Print(expt.FormatWindowStudy(ws))
 	}
 	if *lineEnd || all {
 		if err := ctx.Err(); err != nil {
-			return fail(err)
+			return cli.Fail(err)
 		}
 		fmt.Println("\n== 2-D line-end study ==")
 		bare, err := opc.DefaultLineEnd().Run()
 		if err != nil {
-			return fail(err)
+			return cli.Fail(err)
 		}
 		cfg := opc.DefaultLineEnd()
 		cfg.HammerWidth = 110
 		cfg.HammerLength = 80
 		capped, err := cfg.Run()
 		if err != nil {
-			return fail(err)
+			return cli.Fail(err)
 		}
 		fmt.Printf("bare line end:        mid-width %.1f nm, pullback %.1f nm\n",
 			bare.MidWidth, bare.Pullback)
 		fmt.Printf("with 110x80 hammer:   mid-width %.1f nm, pullback %.1f nm\n",
 			capped.MidWidth, capped.Pullback)
 	}
-	if *metricsPath != "" {
-		if err := expt.WriteMetrics(reg, *metricsPath); err != nil {
-			return fail(err)
-		}
+	if err := common.WriteMetrics(reg); err != nil {
+		return cli.Fail(err)
 	}
 	return fault.ExitClean
 }

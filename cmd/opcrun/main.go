@@ -9,23 +9,20 @@
 //	       [-metrics metrics.json] [-pprof localhost:6060]
 //
 // Exit codes: 0 clean, 2 failed (bad arguments, OPC fault or timeout).
+// The shared flags, benchmark validation and exit-code mapping come from
+// internal/cli — the same layer as svtiming and the svtimingd daemon.
 package main
 
 import (
-	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"strings"
 
+	"svtiming/internal/cli"
 	"svtiming/internal/core"
 	"svtiming/internal/expt"
 	"svtiming/internal/fault"
-	"svtiming/internal/litho"
-	"svtiming/internal/netlist"
-	"svtiming/internal/obs"
 )
 
 func main() {
@@ -34,79 +31,45 @@ func main() {
 	os.Exit(run())
 }
 
-func fail(err error) int {
-	if errors.Is(err, context.DeadlineExceeded) {
-		log.Print("run exceeded -timeout: ", err)
-	} else {
-		log.Print(err)
-	}
-	return fault.ExitFailed
-}
-
 func run() int {
 	table1 := flag.Bool("table1", false, "library-based vs full-chip OPC comparison")
 	fig7 := flag.String("fig7", "", "benchmark for the CD error histogram (paper: c3540)")
 	pitch := flag.Bool("pitchtable", false, "print the through-pitch CD lookup table")
 	circuits := flag.String("circuits", "c432,c880,c1355,c1908,c3540",
 		"testcases for -table1")
-	jobs := flag.Int("j", 0, "worker pool size for the flow (0 = GOMAXPROCS, 1 = serial)")
-	engineName := flag.String("engine", "auto",
-		"aerial-image engine: socs, abbe, or auto (socs for the nominal process)")
-	kernelBudget := flag.Float64("kernel-budget", 0,
-		"fraction of TCC energy SOCS truncation may drop (0 = the 1e-7 default, -1 = keep every kernel)")
-	timeout := flag.Duration("timeout", 0, "overall deadline for the run (0 = none)")
-	metricsPath := flag.String("metrics", "",
-		"write the full metrics snapshot as JSON to this file on exit; \"-\" = stdout")
-	pprofAddr := flag.String("pprof", "",
-		"serve net/http/pprof on this address for the duration of the run")
+	common := cli.Register(flag.CommandLine, cli.Engine)
 	flag.Parse()
 	all := !*table1 && *fig7 == "" && !*pitch
 
-	engine, err := litho.ParseEngine(*engineName)
-	if err != nil {
-		log.Print(err)
-		flag.Usage()
-		return fault.ExitFailed
+	if err := common.Resolve(); err != nil {
+		return cli.UsageError("%v", err)
 	}
-	if *pprofAddr != "" {
-		if err := expt.StartPprof(*pprofAddr); err != nil {
-			log.Printf("-pprof: %v", err)
-			return fault.ExitFailed
+	if err := common.StartPprof(); err != nil {
+		return cli.UsageError("%v", err)
+	}
+	reg := common.Registry(false)
+
+	names, err := cli.Benchmarks(*circuits)
+	if err != nil {
+		return cli.UsageError("%v", err)
+	}
+	if *fig7 != "" {
+		if err := cli.ValidateBenchmark(*fig7); err != nil {
+			return cli.UsageError("%v", err)
 		}
 	}
-	reg := obs.Nop()
-	if *metricsPath != "" {
-		reg = expt.NewRegistry()
-	}
 
-	names := strings.Split(*circuits, ",")
-	for i := range names {
-		names[i] = strings.TrimSpace(names[i])
-		if !netlist.Known(names[i]) {
-			log.Printf("unknown benchmark %q (known: %s)",
-				names[i], strings.Join(netlist.Names(), ", "))
-			flag.Usage()
-			return fault.ExitFailed
-		}
-	}
-	if *fig7 != "" && !netlist.Known(*fig7) {
-		log.Printf("unknown benchmark %q (known: %s)",
-			*fig7, strings.Join(netlist.Names(), ", "))
-		flag.Usage()
-		return fault.ExitFailed
-	}
+	ctx, cancel := common.Context()
+	defer cancel()
 
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
-
-	flow, err := core.NewFlow(core.WithParallelism(*jobs), core.WithObservability(reg),
-		core.WithImagingEngine(engine), core.WithKernelBudget(*kernelBudget))
+	opts, err := common.Request(names).Options()
 	if err != nil {
-		return fail(err)
+		return cli.UsageError("%v", err)
+	}
+	opts = append(opts, core.WithParallelism(common.Jobs), core.WithObservability(reg))
+	flow, err := core.NewFlow(opts...)
+	if err != nil {
+		return cli.Fail(err)
 	}
 
 	if *pitch || all {
@@ -120,14 +83,9 @@ func run() int {
 		libRT := expt.Table1LibraryRuntime(flow)
 		var rows []expt.Table1Row
 		for _, name := range names {
-			// Deadline checked at benchmark granularity: Table 1's
-			// full-chip OPC pass dominates the runtime per circuit.
-			if err := ctx.Err(); err != nil {
-				return fail(err)
-			}
-			row, err := expt.Table1Compare(flow, name)
+			row, err := expt.Table1Compare(ctx, flow, name)
 			if err != nil {
-				return fail(err)
+				return cli.Fail(err)
 			}
 			rows = append(rows, row)
 		}
@@ -135,24 +93,19 @@ func run() int {
 		fmt.Println()
 	}
 	if *fig7 != "" || all {
-		if err := ctx.Err(); err != nil {
-			return fail(err)
-		}
 		name := *fig7
 		if name == "" {
 			name = "c3540"
 		}
 		fmt.Printf("== Figure 7: CD error distribution after full-chip OPC (%s) ==\n", name)
-		bins, err := expt.Fig7Histogram(flow, name, 1)
+		bins, err := expt.Fig7Histogram(ctx, flow, name, 1)
 		if err != nil {
-			return fail(err)
+			return cli.Fail(err)
 		}
 		fmt.Print(expt.FormatFig7(bins))
 	}
-	if *metricsPath != "" {
-		if err := expt.WriteMetrics(reg, *metricsPath); err != nil {
-			return fail(err)
-		}
+	if err := common.WriteMetrics(reg); err != nil {
+		return cli.Fail(err)
 	}
 	return fault.ExitClean
 }

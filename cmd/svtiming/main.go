@@ -10,24 +10,26 @@
 //
 // Exit codes: 0 clean, 1 completed degraded (collect mode, see the fault
 // report on stderr), 2 failed (bad arguments, fail-fast fault, timeout).
+// The shared flags (-j, -timeout, -metrics, -pprof, -engine,
+// -kernel-budget, -on-fault), benchmark validation and exit-code mapping
+// all come from internal/cli — the same layer svtimingd serves through,
+// so a CLI invocation is exactly a service request with a process
+// attached.
 package main
 
 import (
-	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"strings"
 
+	"svtiming/internal/cli"
 	"svtiming/internal/core"
 	"svtiming/internal/corners"
 	"svtiming/internal/expt"
 	"svtiming/internal/fault"
-	"svtiming/internal/litho"
 	"svtiming/internal/netlist"
-	"svtiming/internal/obs"
 	"svtiming/internal/opt"
 	"svtiming/internal/place"
 )
@@ -36,24 +38,6 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("svtiming: ")
 	os.Exit(run())
-}
-
-// fail reports err and returns the failed exit code, translating a
-// deadline hit into a friendlier message.
-func fail(err error) int {
-	if errors.Is(err, context.DeadlineExceeded) {
-		log.Print("run exceeded -timeout: ", err)
-	} else {
-		log.Print(err)
-	}
-	return fault.ExitFailed
-}
-
-// usageError prints the message and flag usage, for malformed invocations.
-func usageError(format string, args ...any) int {
-	log.Printf(format, args...)
-	flag.Usage()
-	return fault.ExitFailed
 }
 
 func run() int {
@@ -65,62 +49,39 @@ func run() int {
 	dose := flag.Bool("dose", false, "print the §6 exposure-dose classification study (first circuit only)")
 	path := flag.Bool("path", false, "print the aware worst-case critical path (first circuit only)")
 	optimize := flag.Bool("optimize", false, "run litho-aware whitespace optimization (first circuit only)")
-	jobs := flag.Int("j", 0, "worker pool size for the flow (0 = GOMAXPROCS, 1 = serial)")
-	onFault := flag.String("on-fault", "fail-fast",
-		"failure policy for the Table 2 sweep: fail-fast aborts on the first failing benchmark, collect completes the sweep and reports degraded rows")
-	engineName := flag.String("engine", "auto",
-		"aerial-image engine: socs (cached TCC kernel decomposition), abbe (per-source-point sum), or auto (socs for the nominal process); results agree within the kernel budget")
-	kernelBudget := flag.Float64("kernel-budget", 0,
-		"fraction of TCC energy SOCS truncation may drop (0 = the 1e-7 default, -1 = keep every kernel); only the socs engine reads it")
-	timeout := flag.Duration("timeout", 0, "overall deadline for the run (0 = none)")
 	manifestPath := flag.String("manifest", "",
 		"write the run manifest (schedule-invariant reproducibility record) as JSON to this file after the Table 2 run; \"-\" = stdout")
-	metricsPath := flag.String("metrics", "",
-		"write the full metrics snapshot (including schedule-dependent counters) as JSON to this file on exit; \"-\" = stdout")
-	pprofAddr := flag.String("pprof", "",
-		"serve net/http/pprof on this address (e.g. localhost:6060) for the duration of the run")
+	common := cli.Register(flag.CommandLine, cli.Engine|cli.OnFault)
 	flag.Parse()
 
-	policy, err := core.ParsePolicy(*onFault)
-	if err != nil {
-		return usageError("%v", err)
+	if err := common.Resolve(); err != nil {
+		return cli.UsageError("%v", err)
 	}
-	engine, err := litho.ParseEngine(*engineName)
-	if err != nil {
-		return usageError("%v", err)
-	}
-	if *pprofAddr != "" {
-		if err := expt.StartPprof(*pprofAddr); err != nil {
-			return usageError("-pprof: %v", err)
-		}
+	if err := common.StartPprof(); err != nil {
+		return cli.UsageError("%v", err)
 	}
 	// Observability is opt-in: the registry stays a Nop (nil instrument
 	// handles, near-zero cost) unless an output asks for it.
-	reg := obs.Nop()
-	if *manifestPath != "" || *metricsPath != "" {
-		reg = expt.NewRegistry()
-	}
-	names := strings.Split(*circuits, ",")
-	for i := range names {
-		names[i] = strings.TrimSpace(names[i])
-		if !netlist.Known(names[i]) {
-			return usageError("unknown benchmark %q (known: %s)",
-				names[i], strings.Join(netlist.Names(), ", "))
-		}
-	}
-
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
-
-	flow, err := core.NewFlow(core.WithParallelism(*jobs),
-		core.WithFailurePolicy(policy), core.WithObservability(reg),
-		core.WithImagingEngine(engine), core.WithKernelBudget(*kernelBudget))
+	reg := common.Registry(*manifestPath != "")
+	names, err := cli.Benchmarks(*circuits)
 	if err != nil {
-		return fail(err)
+		return cli.UsageError("%v", err)
+	}
+
+	ctx, cancel := common.Context()
+	defer cancel()
+
+	// The flag values round-trip through the serializable request schema
+	// (the same object svtimingd serves) into the flow options.
+	req := common.Request(names)
+	opts, err := req.Options()
+	if err != nil {
+		return cli.UsageError("%v", err)
+	}
+	opts = append(opts, core.WithParallelism(common.Jobs), core.WithObservability(reg))
+	flow, err := core.NewFlow(opts...)
+	if err != nil {
+		return cli.Fail(err)
 	}
 
 	exit := fault.ExitClean
@@ -128,7 +89,7 @@ func run() int {
 		for _, name := range names {
 			d, err := flow.PrepareDesign(name)
 			if err != nil {
-				return fail(err)
+				return cli.Fail(err)
 			}
 			printContextStats(d)
 		}
@@ -136,14 +97,14 @@ func run() int {
 	if *table2 {
 		res, err := flow.Run(ctx, names)
 		if err != nil {
-			return fail(err)
+			return cli.Fail(err)
 		}
 		fmt.Print(expt.FormatTable2(res.Rows))
 		if res.Degraded() {
 			fmt.Fprintf(os.Stderr, "svtiming: fault report: %s\n%s",
 				res.Report.Summarize(), res.Report.String())
-			exit = res.ExitCode()
 		}
+		exit = cli.ExitCode(res, nil)
 		if *manifestPath != "" {
 			// Config records what was computed, never how it was
 			// scheduled: -j, -timeout and output paths are deliberately
@@ -151,22 +112,22 @@ func run() int {
 			// emit byte-identical manifests (under a pinned clock).
 			m := expt.Manifest("svtiming", map[string]string{
 				"circuits": strings.Join(names, ","),
-				"engine":   engine.String(),
-				"on-fault": policy.String(),
+				"engine":   common.Engine.String(),
+				"on-fault": common.Policy.String(),
 			}, names, reg, res)
 			m.Seeds = make(map[string]int64, len(names))
 			for _, n := range names {
 				m.Seeds[n] = place.SeedFor(n)
 			}
 			if err := expt.WriteManifest(m, *manifestPath); err != nil {
-				return fail(err)
+				return cli.Fail(err)
 			}
 		}
 	}
 	if *ablation {
 		rows, err := expt.VariantAblation(flow, names[0])
 		if err != nil {
-			return fail(err)
+			return cli.Fail(err)
 		}
 		fmt.Printf("\n== §5 variant ablation (%s) ==\n%s", names[0],
 			expt.FormatVariantAblation(rows))
@@ -175,18 +136,18 @@ func run() int {
 		study, err := expt.DoseClassification(flow, names[0],
 			[]float64{0.90, 0.95, 1.0, 1.05, 1.10})
 		if err != nil {
-			return fail(err)
+			return cli.Fail(err)
 		}
 		fmt.Printf("\n== §6 exposure-dose study ==\n%s", study.String())
 	}
 	if *path {
 		d, err := flow.PrepareDesign(names[0])
 		if err != nil {
-			return fail(err)
+			return cli.Fail(err)
 		}
 		rep, err := flow.AnalyzeContextual(d, core.WorstCase)
 		if err != nil {
-			return fail(err)
+			return cli.Fail(err)
 		}
 		fmt.Printf("\n== aware worst-case critical path (%s) ==\n%s",
 			names[0], rep.FormatPath(d.Netlist))
@@ -195,22 +156,20 @@ func run() int {
 	if *optimize {
 		d, err := flow.PrepareDesign(names[0])
 		if err != nil {
-			return fail(err)
+			return cli.Fail(err)
 		}
 		res, err := opt.OptimizeWhitespace(flow, d, opt.Options{})
 		if err != nil {
-			return fail(err)
+			return cli.Fail(err)
 		}
 		s, err := opt.Report(flow, d, res)
 		if err != nil {
-			return fail(err)
+			return cli.Fail(err)
 		}
 		fmt.Printf("\n== litho-aware whitespace optimization (%s) ==\n%s", names[0], s)
 	}
-	if *metricsPath != "" {
-		if err := expt.WriteMetrics(reg, *metricsPath); err != nil {
-			return fail(err)
-		}
+	if err := common.WriteMetrics(reg); err != nil {
+		return cli.Fail(err)
 	}
 	return exit
 }

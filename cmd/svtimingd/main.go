@@ -1,0 +1,132 @@
+// Command svtimingd is the resident timing service: a long-running
+// HTTP/JSON daemon that accepts batched timing queries (the serializable
+// core.Request schema) and serves them from warm flows — the pitch
+// tables, characterized libraries, SOCS kernel sets and FFT plans are
+// built once per configuration and amortized across every request.
+//
+// Usage:
+//
+//	svtimingd [-addr localhost:8424] [-j N] [-warm]
+//	          [-engine auto|abbe|socs] [-kernel-budget F] [-on-fault fail-fast|collect]
+//	          [-timeout 2m] [-max-batch 64] [-max-flows 8]
+//	          [-metrics metrics.json] [-pprof localhost:6060]
+//
+// The -engine / -kernel-budget / -on-fault flags (the same flags, from
+// the same shared layer, as the one-shot CLIs) set the *defaults* merged
+// into requests that leave those fields empty; -timeout bounds each
+// request, not the daemon. Endpoints:
+//
+//	POST /v1/run         one request
+//	POST /v1/batch       {"requests": [...]}
+//	GET  /v1/benchmarks  known benchmark names
+//	GET  /v1/metrics     live metrics snapshot
+//	GET  /v1/healthz     liveness + warm flow count
+//
+// Exit codes: 0 clean shutdown (SIGINT/SIGTERM), 2 failed to start or
+// serve. Determinism contract: identical request bytes → byte-identical
+// response bytes, cold or warm, alone or batched (see DESIGN.md
+// "Service API").
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"svtiming/internal/cli"
+	"svtiming/internal/core"
+	"svtiming/internal/fault"
+	"svtiming/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("svtimingd: ")
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", "localhost:8424", "listen address (host:port; port 0 picks a free port)")
+	warm := flag.Bool("warm", false, "pre-build the default-configuration flow before serving")
+	maxBatch := flag.Int("max-batch", 0, "maximum requests per /v1/batch call (0 = the built-in 64)")
+	maxFlows := flag.Int("max-flows", 0, "maximum resident warm flow configurations, FIFO-evicted beyond (0 = the built-in 8)")
+	common := cli.Register(flag.CommandLine, cli.Engine|cli.OnFault)
+	flag.Parse()
+
+	if err := common.Resolve(); err != nil {
+		return cli.UsageError("%v", err)
+	}
+	if err := common.StartPprof(); err != nil {
+		return cli.UsageError("%v", err)
+	}
+	// The daemon always runs instrumented: /v1/metrics is part of the
+	// service surface, not an opt-in file dump.
+	reg := common.Registry(true)
+
+	srv := service.New(service.Config{
+		Parallelism: common.Jobs,
+		Defaults: core.Request{
+			Engine:       common.EngineName,
+			KernelBudget: common.KernelBudget,
+			OnFault:      common.OnFaultName,
+		},
+		MaxBatch:       *maxBatch,
+		MaxFlows:       *maxFlows,
+		RequestTimeout: common.Timeout,
+		Registry:       reg,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return cli.Fail(err)
+	}
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *warm {
+		if err := srv.Warm(ctx); err != nil {
+			return cli.Fail(err)
+		}
+		log.Print("default flow warm")
+	}
+
+	// The "listening on" line is the daemon's readiness signal (the
+	// service smoke test and start-up scripts parse it for the resolved
+	// port when -addr ends in :0).
+	log.Printf("listening on http://%s", ln.Addr())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return cli.Fail(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Print("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return cli.Fail(err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return cli.Fail(err)
+	}
+	if err := common.WriteMetrics(reg); err != nil {
+		return cli.Fail(err)
+	}
+	log.Print("clean shutdown")
+	return fault.ExitClean
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServiceSmoke is the end-to-end daemon gate wired into `make ci`
+// (the service-smoke target): build the real binary, start it on an
+// ephemeral port, send a 3-request batch, require the response bytes to
+// match the service package's golden fixture — the same bytes the
+// in-process handler tests pin, so "over a socket from a separate
+// process" provably changes nothing — then shut down cleanly on SIGTERM
+// with exit code 0.
+func TestServiceSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the compiled daemon")
+	}
+	bin := filepath.Join(t.TempDir(), "svtimingd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The daemon's readiness line carries the resolved ephemeral port.
+	var base string
+	logLines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			logLines <- sc.Text()
+		}
+		close(logLines)
+	}()
+	deadline := time.After(30 * time.Second)
+	for base == "" {
+		select {
+		case line, ok := <-logLines:
+			if !ok {
+				t.Fatal("daemon exited before announcing readiness")
+			}
+			if i := strings.Index(line, "listening on http://"); i >= 0 {
+				base = "http://" + strings.TrimSpace(line[i+len("listening on http://"):])
+			}
+		case <-deadline:
+			t.Fatal("timed out waiting for the readiness line")
+		}
+	}
+
+	hz, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", hz.StatusCode)
+	}
+
+	reqBody, err := os.ReadFile(filepath.Join("..", "..", "internal", "service", "testdata", "batch_mixed.request.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("..", "..", "internal", "service", "testdata", "batch_mixed.response.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/batch", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d: %s", resp.StatusCode, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("daemon batch response diverges from the service golden:\n got %s\nwant %s", got, want)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	var tail []string
+	for line := range logLines {
+		tail = append(tail, line)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon exit: %v (stderr tail: %s)", err, strings.Join(tail, " | "))
+	}
+	joined := strings.Join(tail, "\n")
+	if !strings.Contains(joined, "clean shutdown") {
+		t.Errorf("shutdown log missing 'clean shutdown':\n%s", joined)
+	}
+}

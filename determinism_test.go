@@ -92,11 +92,11 @@ func TestParallelFullChipOPCIsDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	cds1, err := f1.FullChipCDs(d1)
+	cds1, err := f1.FullChipCDs(nil, d1)
 	if err != nil {
 		t.Fatalf("serial FullChipCDs: %v", err)
 	}
-	cds8, err := f8.FullChipCDs(d8)
+	cds8, err := f8.FullChipCDs(nil, d8)
 	if err != nil {
 		t.Fatalf("parallel FullChipCDs: %v", err)
 	}

@@ -37,7 +37,7 @@ func main() {
 	fmt.Printf("prepared %s: %d gates in %d placement rows\n",
 		design.Netlist.Name, design.Netlist.NumGates(), len(design.Placement.Rows))
 
-	cmp, err := flow.Compare(design)
+	cmp, err := flow.Compare(nil, design)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,213 @@
+// Package cli is the shared command-line layer of the cmd tools: one
+// definition of the common flags (-j, -timeout, -metrics, -pprof,
+// -engine, -kernel-budget, -on-fault), one benchmark-name validator and
+// one exit-code mapping, so svtiming, opcrun, lithosim and the resident
+// svtimingd daemon cannot drift apart flag by flag.
+//
+// The flag values resolve into a core.Request — the serializable request
+// schema the service speaks — which keeps "what the CLI runs" and "what
+// the daemon serves" the same object by construction: a CLI invocation
+// is exactly a request with a process attached.
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"svtiming/internal/core"
+	"svtiming/internal/expt"
+	"svtiming/internal/fault"
+	"svtiming/internal/litho"
+	"svtiming/internal/netlist"
+	"svtiming/internal/obs"
+)
+
+// Set selects which optional flag groups a tool registers beyond the
+// always-present execution flags (-j, -timeout, -metrics, -pprof).
+type Set uint
+
+const (
+	// Engine registers -engine and -kernel-budget (every tool that
+	// builds a flow or images through the litho stack).
+	Engine Set = 1 << iota
+	// OnFault registers -on-fault (tools that run fault-policy sweeps).
+	OnFault
+)
+
+// Common holds the shared flag values after parsing. Call Resolve once
+// flag.Parse has run to turn the string-typed flags into their domain
+// values (Engine, Policy) with a usage-grade error on bad input.
+type Common struct {
+	Jobs         int
+	Timeout      time.Duration
+	MetricsPath  string
+	PprofAddr    string
+	EngineName   string
+	KernelBudget float64
+	OnFaultName  string
+
+	// Resolved by Resolve.
+	Engine litho.Engine
+	Policy core.FailurePolicy
+}
+
+// Register installs the shared flags on fs and returns the struct their
+// values land in. Every tool gets -j, -timeout, -metrics and -pprof;
+// sets opts in additional groups. Flag names, defaults and help strings
+// live here once — the single point the satellite tools and the daemon
+// share, so they cannot drift.
+func Register(fs *flag.FlagSet, sets Set) *Common {
+	c := &Common{}
+	fs.IntVar(&c.Jobs, "j", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	fs.DurationVar(&c.Timeout, "timeout", 0, "overall deadline for the run (0 = none)")
+	fs.StringVar(&c.MetricsPath, "metrics", "",
+		"write the full metrics snapshot (including schedule-dependent counters) as JSON to this file on exit; \"-\" = stdout")
+	fs.StringVar(&c.PprofAddr, "pprof", "",
+		"serve net/http/pprof on this address (e.g. localhost:6060) for the duration of the run")
+	if sets&Engine != 0 {
+		fs.StringVar(&c.EngineName, "engine", "auto",
+			"aerial-image engine: socs (cached TCC kernel decomposition), abbe (per-source-point sum), or auto (socs for the nominal process); results agree within the kernel budget")
+		fs.Float64Var(&c.KernelBudget, "kernel-budget", 0,
+			"fraction of TCC energy SOCS truncation may drop (0 = the 1e-7 default, -1 = keep every kernel); only the socs engine reads it")
+	}
+	if sets&OnFault != 0 {
+		fs.StringVar(&c.OnFaultName, "on-fault", "fail-fast",
+			"failure policy for the sweep: fail-fast aborts on the first failing benchmark, collect completes the sweep and reports degraded rows")
+	}
+	return c
+}
+
+// Resolve parses the enum-valued flags into their domain types. Call it
+// after flag.Parse; a failure is a bad invocation (pair with UsageError).
+func (c *Common) Resolve() error {
+	engine, err := litho.ParseEngine(c.EngineName)
+	if err != nil {
+		return err
+	}
+	c.Engine = engine
+	policy, err := core.ParsePolicy(c.OnFaultName)
+	if err != nil {
+		return err
+	}
+	c.Policy = policy
+	return nil
+}
+
+// Request assembles the core.Request these flag values describe for the
+// given benchmarks — the same schema svtimingd serves, so the one-shot
+// CLI path and the resident service path are a single request surface.
+func (c *Common) Request(benchmarks []string) core.Request {
+	return core.Request{
+		Benchmarks:   benchmarks,
+		Engine:       c.EngineName,
+		KernelBudget: c.KernelBudget,
+		OnFault:      c.OnFaultName,
+	}
+}
+
+// Context returns the tool's root context honouring -timeout. The cancel
+// func must be deferred even when no timeout is set.
+func (c *Common) Context() (context.Context, context.CancelFunc) {
+	if c.Timeout > 0 {
+		return context.WithTimeout(context.Background(), c.Timeout)
+	}
+	return context.WithCancel(context.Background())
+}
+
+// Registry returns the metrics registry the flag values ask for: enabled
+// when -metrics (or another output, e.g. svtiming's -manifest) needs it,
+// a near-zero-cost Nop otherwise.
+func (c *Common) Registry(alsoWanted bool) *obs.Registry {
+	if c.MetricsPath != "" || alsoWanted {
+		return expt.NewRegistry()
+	}
+	return obs.Nop()
+}
+
+// StartPprof starts the -pprof listener when requested. The error is a
+// bad invocation (unusable address).
+func (c *Common) StartPprof() error {
+	if c.PprofAddr == "" {
+		return nil
+	}
+	if err := expt.StartPprof(c.PprofAddr); err != nil {
+		return fmt.Errorf("-pprof: %v", err)
+	}
+	return nil
+}
+
+// WriteMetrics writes the final snapshot when -metrics asked for one.
+func (c *Common) WriteMetrics(reg *obs.Registry) error {
+	if c.MetricsPath == "" {
+		return nil
+	}
+	return expt.WriteMetrics(reg, c.MetricsPath)
+}
+
+// Benchmarks splits a comma-separated -circuits value, trims whitespace
+// and validates every name against the built-in benchmark set. This is
+// the one benchmark-name validation path of every cmd tool; the error
+// lists the known names so a typo becomes a usage message.
+func Benchmarks(csv string) ([]string, error) {
+	names := strings.Split(csv, ",")
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+		if err := ValidateBenchmark(names[i]); err != nil {
+			return nil, err
+		}
+	}
+	return names, nil
+}
+
+// ValidateBenchmark rejects an unknown benchmark name with the error
+// every tool shows: the offending name plus the full known list.
+func ValidateBenchmark(name string) error {
+	if !netlist.Known(name) {
+		return fmt.Errorf("unknown benchmark %q (known: %s)",
+			name, strings.Join(netlist.Names(), ", "))
+	}
+	return nil
+}
+
+// Exit-code mapping, shared verbatim by every tool (and asserted against
+// the daemon's HTTP statuses in internal/service): 0 clean, 1 completed
+// degraded under the collect policy, 2 failed outright.
+
+// ExitCode maps a run outcome onto the shared exit codes: a non-nil err
+// is a failure (ExitFailed), a degraded result exits ExitDegraded, and a
+// clean result (or nil res) exits ExitClean.
+func ExitCode(res *core.RunResult, err error) int {
+	if err != nil {
+		return fault.ExitFailed
+	}
+	if res != nil && res.Degraded() {
+		return fault.ExitDegraded
+	}
+	return fault.ExitClean
+}
+
+// Fail logs err through the tool's configured log prefix — translating a
+// -timeout deadline hit into a friendlier message — and returns the
+// failed exit code. The one implementation of the fail() helper every
+// cmd tool used to carry.
+func Fail(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) {
+		log.Print("run exceeded -timeout: ", err)
+	} else {
+		log.Print(err)
+	}
+	return fault.ExitFailed
+}
+
+// UsageError logs a bad-invocation message, prints flag usage and
+// returns the failed exit code.
+func UsageError(format string, args ...any) int {
+	log.Printf(format, args...)
+	flag.Usage()
+	return fault.ExitFailed
+}

@@ -1,0 +1,211 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"svtiming/internal/core"
+	"svtiming/internal/fault"
+)
+
+func flagNames(fs *flag.FlagSet) map[string]bool {
+	names := map[string]bool{}
+	fs.VisitAll(func(f *flag.Flag) { names[f.Name] = true })
+	return names
+}
+
+func TestRegisterFlagSets(t *testing.T) {
+	always := []string{"j", "timeout", "metrics", "pprof"}
+
+	base := flag.NewFlagSet("base", flag.ContinueOnError)
+	Register(base, 0)
+	names := flagNames(base)
+	for _, n := range always {
+		if !names[n] {
+			t.Errorf("base set missing always-present flag -%s", n)
+		}
+	}
+	for _, n := range []string{"engine", "kernel-budget", "on-fault"} {
+		if names[n] {
+			t.Errorf("base set registered optional flag -%s", n)
+		}
+	}
+
+	full := flag.NewFlagSet("full", flag.ContinueOnError)
+	Register(full, Engine|OnFault)
+	names = flagNames(full)
+	for _, n := range append(always, "engine", "kernel-budget", "on-fault") {
+		if !names[n] {
+			t.Errorf("full set missing flag -%s", n)
+		}
+	}
+}
+
+func TestResolve(t *testing.T) {
+	c := &Common{EngineName: "socs", OnFaultName: "collect"}
+	if err := c.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Policy != core.CollectAndReport {
+		t.Errorf("policy: got %v", c.Policy)
+	}
+
+	// Unregistered optional groups leave empty strings, which must
+	// resolve to the defaults rather than erroring (opcrun and lithosim
+	// never register -on-fault).
+	if err := (&Common{}).Resolve(); err != nil {
+		t.Fatalf("zero Common failed to resolve: %v", err)
+	}
+
+	if err := (&Common{EngineName: "magic"}).Resolve(); err == nil {
+		t.Error("bad engine accepted")
+	}
+	if err := (&Common{OnFaultName: "retry"}).Resolve(); err == nil {
+		t.Error("bad policy accepted")
+	}
+}
+
+func TestRequestCarriesFlagValues(t *testing.T) {
+	c := &Common{EngineName: "abbe", KernelBudget: 1e-6, OnFaultName: "collect"}
+	req := c.Request([]string{"c17", "c432"})
+	if err := req.Validate(); err != nil {
+		t.Fatalf("flag-built request invalid: %v", err)
+	}
+	if req.Engine != "abbe" || req.KernelBudget != 1e-6 || req.OnFault != "collect" {
+		t.Errorf("request lost flag values: %+v", req)
+	}
+	if len(req.Benchmarks) != 2 || req.Benchmarks[0] != "c17" {
+		t.Errorf("request benchmarks: %v", req.Benchmarks)
+	}
+}
+
+func TestBenchmarks(t *testing.T) {
+	names, err := Benchmarks(" c17 ,c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "c17" || names[1] != "c432" {
+		t.Errorf("got %v", names)
+	}
+
+	_, err = Benchmarks("c17,c999")
+	if err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if !strings.Contains(err.Error(), "c999") || !strings.Contains(err.Error(), "c17") {
+		t.Errorf("error should name the offender and list known names: %v", err)
+	}
+}
+
+func TestExitCode(t *testing.T) {
+	clean := &core.RunResult{Rows: []core.Comparison{{Name: "c17"}}}
+	degraded := &core.RunResult{Rows: []core.Comparison{{Name: "c17", Degraded: true}}}
+	degraded.Report.Add(fault.Coord{Stage: "table2", Index: 0, Item: "c17"},
+		errors.New("injected"))
+
+	cases := []struct {
+		name string
+		res  *core.RunResult
+		err  error
+		want int
+	}{
+		{"clean", clean, nil, fault.ExitClean},
+		{"nil result", nil, nil, fault.ExitClean},
+		{"degraded", degraded, nil, fault.ExitDegraded},
+		{"error", nil, errors.New("boom"), fault.ExitFailed},
+		{"error wins over degraded", degraded, errors.New("boom"), fault.ExitFailed},
+	}
+	for _, tc := range cases {
+		if got := ExitCode(tc.res, tc.err); got != tc.want {
+			t.Errorf("%s: ExitCode = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestContextHonoursTimeout(t *testing.T) {
+	c := &Common{Timeout: time.Minute}
+	ctx, cancel := c.Context()
+	defer cancel()
+	if _, ok := ctx.Deadline(); !ok {
+		t.Error("-timeout set but context has no deadline")
+	}
+
+	c = &Common{}
+	ctx, cancel = c.Context()
+	if _, ok := ctx.Deadline(); ok {
+		t.Error("no -timeout but context has a deadline")
+	}
+	cancel()
+	if ctx.Err() == nil {
+		t.Error("cancel func did not cancel the context")
+	}
+}
+
+func TestRegistrySelection(t *testing.T) {
+	if (&Common{}).Registry(false).Enabled() {
+		t.Error("no outputs requested but registry is enabled")
+	}
+	if !(&Common{MetricsPath: "-"}).Registry(false).Enabled() {
+		t.Error("-metrics set but registry is a Nop")
+	}
+	if !(&Common{}).Registry(true).Enabled() {
+		t.Error("caller wants instrumentation but registry is a Nop")
+	}
+}
+
+func TestFailAndUsageError(t *testing.T) {
+	if got := Fail(errors.New("boom")); got != fault.ExitFailed {
+		t.Errorf("Fail = %d, want %d", got, fault.ExitFailed)
+	}
+	if got := Fail(context.DeadlineExceeded); got != fault.ExitFailed {
+		t.Errorf("Fail(deadline) = %d, want %d", got, fault.ExitFailed)
+	}
+}
+
+func TestStartPprofDisabled(t *testing.T) {
+	if err := (&Common{}).StartPprof(); err != nil {
+		t.Errorf("empty -pprof should be a no-op: %v", err)
+	}
+}
+
+func TestWriteMetricsDisabled(t *testing.T) {
+	if err := (&Common{}).WriteMetrics(nil); err != nil {
+		t.Errorf("empty -metrics should be a no-op: %v", err)
+	}
+}
+
+// TestCmdsRouteThroughSharedLayer is the drift regression: every cmd tool
+// that parses the common flags must import this package and must not
+// re-declare the shared flag names locally. If a tool grows its own
+// flag.Int("j", ...) again, the single-definition property this package
+// exists for is gone — this test is the tripwire.
+func TestCmdsRouteThroughSharedLayer(t *testing.T) {
+	tools := []string{"svtiming", "opcrun", "lithosim", "svtimingd"}
+	shared := []string{`"j"`, `"timeout"`, `"metrics"`, `"pprof"`, `"engine"`, `"kernel-budget"`, `"on-fault"`}
+	for _, tool := range tools {
+		src, err := os.ReadFile(filepath.Join("..", "..", "cmd", tool, "main.go"))
+		if err != nil {
+			t.Fatalf("%s: %v", tool, err)
+		}
+		text := string(src)
+		if !strings.Contains(text, `"svtiming/internal/cli"`) {
+			t.Errorf("cmd/%s does not import internal/cli", tool)
+		}
+		if !strings.Contains(text, "cli.Register(") {
+			t.Errorf("cmd/%s does not register the shared flags via cli.Register", tool)
+		}
+		for _, name := range shared {
+			for _, decl := range []string{"flag.Int(", "flag.Duration(", "flag.String(", "flag.Float64(", "flag.Bool("} {
+				if strings.Contains(text, decl+name) {
+					t.Errorf("cmd/%s re-declares shared flag %s locally (%s...)", tool, name, decl)
+				}
+			}
+		}
+	}
+}

@@ -103,7 +103,7 @@ func TestCornersOrderedBothFlows(t *testing.T) {
 func TestCompareTable2Shape(t *testing.T) {
 	f := testFlow(t)
 	for _, name := range []string{"c17", "c432"} {
-		cmp, err := f.CompareDesign(name)
+		cmp, err := f.CompareDesign(nil, name)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -130,11 +130,11 @@ func TestCompareTable2Shape(t *testing.T) {
 
 func TestCompareDeterministic(t *testing.T) {
 	f := testFlow(t)
-	a, err := f.CompareDesign("c17")
+	a, err := f.CompareDesign(nil, "c17")
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := f.CompareDesign("c17")
+	b, err := f.CompareDesign(nil, "c17")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -313,18 +313,25 @@ func (f *Flow) AnalyzeContextual(d *Design, c Corner) (*sta.Report, error) {
 	return sta.Analyze(d.Netlist, f.Lib, m, f.StaOptions(d))
 }
 
-// Comparison is one row of the paper's Table 2.
+// Comparison is one row of the paper's Table 2. The JSON tags are the
+// service wire schema (internal/service's golden fixtures pin them):
+// delays are picoseconds, "trad" is the conventional corner model, "new"
+// the systematic-variation aware one.
 type Comparison struct {
-	Name  string
-	Gates int
+	Name  string `json:"name"`
+	Gates int    `json:"gates"`
 
-	TradNom, TradBC, TradWC float64 // ps
-	NewNom, NewBC, NewWC    float64 // ps
+	TradNom float64 `json:"trad_nom_ps"`
+	TradBC  float64 `json:"trad_bc_ps"`
+	TradWC  float64 `json:"trad_wc_ps"`
+	NewNom  float64 `json:"new_nom_ps"`
+	NewBC   float64 `json:"new_bc_ps"`
+	NewWC   float64 `json:"new_wc_ps"`
 
 	// Degraded marks a row whose analysis failed under the
 	// CollectAndReport policy: the numeric fields are zero, never
 	// fabricated, and the failure is in the accompanying fault.Report.
-	Degraded bool
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // TradSpread returns the traditional BC↔WC uncertainty, ps.
@@ -342,31 +349,25 @@ func (c Comparison) ReductionPct() float64 {
 }
 
 // CompareDesign runs both flows at all three corners for the named
-// benchmark and returns its Table 2 row.
-func (f *Flow) CompareDesign(name string) (Comparison, error) {
-	return f.CompareDesignCtx(nil, name)
-}
-
-// CompareDesignCtx is CompareDesign honouring an external context.
-func (f *Flow) CompareDesignCtx(ctx stdctx.Context, name string) (Comparison, error) {
+// benchmark and returns its Table 2 row. Context-first is the one idiom
+// of the comparison surface (the former CompareDesignCtx); nil means
+// context.Background().
+func (f *Flow) CompareDesign(ctx stdctx.Context, name string) (Comparison, error) {
 	d, err := f.PrepareDesign(name)
 	if err != nil {
 		return Comparison{}, err
 	}
-	return f.CompareCtx(ctx, d)
+	return f.Compare(ctx, d)
 }
 
 // Compare runs both flows at all three corners on a prepared design. The
 // six (model, corner) analyses are independent reads of the prepared
 // design and fan out over the flow's worker pool; index-ordered collection
-// keeps the row identical to a serial run.
-func (f *Flow) Compare(d *Design) (Comparison, error) {
-	return f.CompareCtx(nil, d)
-}
-
-// CompareCtx is Compare honouring an external context: a deadline or
-// cancellation aborts the six corner analyses promptly.
-func (f *Flow) CompareCtx(ctx stdctx.Context, d *Design) (Comparison, error) {
+// keeps the row identical to a serial run. A deadline or cancellation on
+// ctx aborts the six corner analyses promptly; nil ctx means
+// context.Background(). (This is the canonical context-first method that
+// absorbed the old Compare/CompareCtx doubled surface.)
+func (f *Flow) Compare(ctx stdctx.Context, d *Design) (Comparison, error) {
 	if ctx == nil {
 		ctx = stdctx.Background()
 	}

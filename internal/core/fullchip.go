@@ -31,14 +31,12 @@ type GateKey struct {
 // paper's "several CPU days" serial sweep. Rows share the wafer and model
 // processes' concurrent CD caches, so repeated environments across rows
 // are still simulated only once, whichever worker gets there first.
-func (f *Flow) FullChipCDs(d *Design) (map[GateKey]float64, error) {
-	return f.FullChipCDsCtx(nil, d)
-}
-
-// FullChipCDsCtx is FullChipCDs honouring an external context, so a
-// deadline or cancellation aborts the row sweep promptly. A non-printing
-// gate surfaces as a *fault.Numeric locating the row and gate.
-func (f *Flow) FullChipCDsCtx(ctx stdctx.Context, d *Design) (map[GateKey]float64, error) {
+//
+// Context-first is the one idiom (the former FullChipCDsCtx): a deadline
+// or cancellation aborts the row sweep promptly, and nil ctx means
+// context.Background(). A non-printing gate surfaces as a *fault.Numeric
+// locating the row and gate.
+func (f *Flow) FullChipCDs(ctx stdctx.Context, d *Design) (map[GateKey]float64, error) {
 	span := f.Obs.Span("fullchip_opc")
 	span.AddItems(int64(len(d.Placement.Rows)))
 	defer span.End()

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"svtiming/internal/litho"
+	"svtiming/internal/litho/socs"
+	"svtiming/internal/netlist"
+	"svtiming/internal/sta"
+)
+
+// RequestError is the typed rejection of a malformed or invalid Request:
+// which field was wrong and why. It is the only error the decode/validate
+// path produces, so services can map every schema problem onto one HTTP
+// status without inspecting message strings, and the fuzz contract is
+// simple: malformed bytes yield a *RequestError, never a panic.
+type RequestError struct {
+	Field  string // request field ("body" for undecodable JSON)
+	Reason string
+}
+
+func (e *RequestError) Error() string {
+	return fmt.Sprintf("core: invalid request: %s: %s", e.Field, e.Reason)
+}
+
+// STARequest is the serializable subset of sta.Options a request may
+// override. Field names carry their units (the unit-suffix convention of
+// the determinism contract); zero values keep the analyzer defaults.
+type STARequest struct {
+	PISlewPS           float64 `json:"pi_slew_ps,omitempty"`
+	WireCapPerFanoutFF float64 `json:"wire_cap_per_fanout_ff,omitempty"`
+	POLoadFF           float64 `json:"po_load_ff,omitempty"`
+}
+
+// staOptions maps the request fields onto the analyzer's option struct.
+func (r *STARequest) staOptions() sta.Options {
+	if r == nil {
+		return sta.Options{}
+	}
+	return sta.Options{
+		PISlew:           r.PISlewPS,
+		WireCapPerFanout: r.WireCapPerFanoutFF,
+		POLoad:           r.POLoadFF,
+	}
+}
+
+// Request is the serializable form of one timing query — the functional
+// options of NewFlow promoted to a wire schema. A Request fully
+// determines a Flow configuration and a Run workload:
+//
+//   - construction-time fields (Engine, KernelBudget, PitchSweep) select
+//     the expensive warm state — pitch table, characterized library,
+//     SOCS kernel sets — and are the flow-cache identity (FlowKey);
+//   - run-time fields (Benchmarks, OnFault, WireCapPerUm, STA) bind per
+//     run and can share a warm flow across requests (Bind).
+//
+// The zero values of every optional field mean "the paper's default", so
+// {"benchmarks":["c17"]} is a complete request. Canonical encoding is the
+// determinism contract's service form: two requests with equal canonical
+// bytes produce byte-identical response bytes regardless of concurrency
+// or cache warmth.
+type Request struct {
+	// Benchmarks are the netlist benchmark names to run, in row order.
+	Benchmarks []string `json:"benchmarks"`
+	// Engine is the aerial-image engine: "auto", "abbe" or "socs"
+	// (litho.ParseEngine spellings). Empty means "auto".
+	Engine string `json:"engine,omitempty"`
+	// KernelBudget is the SOCS truncation budget: 0 = the 1e-7 default,
+	// -1 = keep every kernel, otherwise a fraction in (0, 1).
+	KernelBudget float64 `json:"kernel_budget,omitempty"`
+	// OnFault is the failure policy: "fail-fast" (default) or "collect"
+	// (ParsePolicy spellings).
+	OnFault string `json:"on_fault,omitempty"`
+	// WireCapPerUm enables the placement-derived HPWL wire model at this
+	// capacitance per micron; 0 keeps the per-fanout default.
+	WireCapPerUm float64 `json:"wire_cap_per_um,omitempty"`
+	// PitchSweep replaces DefaultPitchSweep (nm, strictly ascending).
+	PitchSweep []float64 `json:"pitch_sweep,omitempty"`
+	// STA overrides the base analyzer options.
+	STA *STARequest `json:"sta,omitempty"`
+}
+
+// ParseRequest decodes a Request from JSON. The decode is strict —
+// unknown fields, trailing bytes and type mismatches are all rejected —
+// and every failure is a *RequestError; malformed input never panics
+// (FuzzRequestDecode pins this). The decoded request is raw: call
+// Normalized (or Validate) before using it.
+func ParseRequest(data []byte) (Request, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var r Request
+	if err := dec.Decode(&r); err != nil {
+		return Request{}, &RequestError{Field: "body", Reason: err.Error()}
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return Request{}, &RequestError{Field: "body", Reason: "trailing data after request object"}
+	}
+	return r, nil
+}
+
+// Validate checks the request against the schema: known benchmarks, a
+// recognized engine and policy, a kernel budget in range, an ascending
+// positive pitch sweep and non-negative electrical overrides. Every
+// rejection is a *RequestError naming the field.
+func (r Request) Validate() error {
+	if len(r.Benchmarks) == 0 {
+		return &RequestError{Field: "benchmarks", Reason: "at least one benchmark required"}
+	}
+	for _, b := range r.Benchmarks {
+		if !netlist.Known(strings.TrimSpace(b)) {
+			return &RequestError{Field: "benchmarks",
+				Reason: fmt.Sprintf("unknown benchmark %q (known: %s)", b, strings.Join(netlist.Names(), ", "))}
+		}
+	}
+	if _, err := litho.ParseEngine(strings.TrimSpace(r.Engine)); err != nil {
+		return &RequestError{Field: "engine", Reason: err.Error()}
+	}
+	if _, err := ParsePolicy(strings.TrimSpace(r.OnFault)); err != nil {
+		return &RequestError{Field: "on_fault", Reason: err.Error()}
+	}
+	//lint:allow floateq KeepAll is an exact sentinel constant (-1), not a computed value
+	if kb := r.KernelBudget; kb != socs.KeepAll && (kb < 0 || kb >= 1) {
+		return &RequestError{Field: "kernel_budget",
+			Reason: fmt.Sprintf("%g outside [0,1) and not the keep-all sentinel %g", kb, socs.KeepAll)}
+	}
+	for i, p := range r.PitchSweep {
+		if p <= 0 {
+			return &RequestError{Field: "pitch_sweep", Reason: fmt.Sprintf("pitch %g nm not positive", p)}
+		}
+		if i > 0 && p <= r.PitchSweep[i-1] {
+			return &RequestError{Field: "pitch_sweep",
+				Reason: fmt.Sprintf("pitches not strictly ascending at index %d (%g after %g)", i, p, r.PitchSweep[i-1])}
+		}
+	}
+	if r.WireCapPerUm < 0 {
+		return &RequestError{Field: "wire_cap_per_um", Reason: fmt.Sprintf("%g negative", r.WireCapPerUm)}
+	}
+	if s := r.STA; s != nil {
+		if s.PISlewPS < 0 {
+			return &RequestError{Field: "sta.pi_slew_ps", Reason: fmt.Sprintf("%g negative", s.PISlewPS)}
+		}
+		if s.WireCapPerFanoutFF < 0 {
+			return &RequestError{Field: "sta.wire_cap_per_fanout_ff", Reason: fmt.Sprintf("%g negative", s.WireCapPerFanoutFF)}
+		}
+		if s.POLoadFF < 0 {
+			return &RequestError{Field: "sta.po_load_ff", Reason: fmt.Sprintf("%g negative", s.POLoadFF)}
+		}
+	}
+	return nil
+}
+
+// Normalized validates the request and returns its canonical form:
+// benchmark names trimmed, enum aliases resolved to their canonical
+// spellings ("" → "auto", "collect-and-report" → "collect"), an all-zero
+// STA block dropped, and the pitch sweep copied so the result shares no
+// mutable state with the input. Normalization is idempotent — the fixed
+// point the canonical encoding is defined on.
+func (r Request) Normalized() (Request, error) {
+	if err := r.Validate(); err != nil {
+		return Request{}, err
+	}
+	n := r
+	n.Benchmarks = make([]string, len(r.Benchmarks))
+	for i, b := range r.Benchmarks {
+		n.Benchmarks[i] = strings.TrimSpace(b)
+	}
+	engine, _ := litho.ParseEngine(strings.TrimSpace(r.Engine))
+	n.Engine = engine.String()
+	policy, _ := ParsePolicy(strings.TrimSpace(r.OnFault))
+	n.OnFault = policy.String()
+	if r.PitchSweep != nil {
+		n.PitchSweep = append([]float64(nil), r.PitchSweep...)
+	}
+	if r.STA != nil {
+		s := *r.STA
+		if s == (STARequest{}) {
+			n.STA = nil
+		} else {
+			n.STA = &s
+		}
+	}
+	return n, nil
+}
+
+// Canonical returns the request's canonical JSON encoding: normalized
+// fields, compact separators, fixed key order (struct order). Requests
+// that differ only in enum spelling, whitespace or a vacuous STA block
+// encode identically — equal canonical bytes define "the same request"
+// for the service determinism contract.
+func (r Request) Canonical() ([]byte, error) {
+	n, err := r.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(n)
+}
+
+// flowKey is the construction-affecting projection of a Request: exactly
+// the fields NewFlow consumes while building its tables. Everything else
+// binds at run time (Bind) and must not fragment the flow cache.
+type flowKey struct {
+	Engine       string    `json:"engine"`
+	KernelBudget float64   `json:"kernel_budget"`
+	PitchSweep   []float64 `json:"pitch_sweep"`
+}
+
+// FlowKey returns the canonical identity of the warm state this request
+// needs: two requests with equal FlowKeys can share one built Flow (same
+// pitch table, characterized library and SOCS kernel sets); their
+// remaining differences apply per run via Bind.
+func (r Request) FlowKey() (string, error) {
+	n, err := r.Normalized()
+	if err != nil {
+		return "", err
+	}
+	b, err := json.Marshal(flowKey{Engine: n.Engine, KernelBudget: n.KernelBudget, PitchSweep: n.PitchSweep})
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// ConstructionOptions returns the NewFlow options for the request's
+// construction-time fields only — the FlowKey subset. Services build a
+// shared Flow from these (plus WithParallelism/WithObservability, which
+// are execution concerns outside the request schema) and Bind the rest.
+func (r Request) ConstructionOptions() ([]Option, error) {
+	n, err := r.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	engine, _ := litho.ParseEngine(n.Engine)
+	opts := []Option{WithImagingEngine(engine), WithKernelBudget(n.KernelBudget)}
+	if n.PitchSweep != nil {
+		opts = append(opts, WithPitchSweep(n.PitchSweep))
+	}
+	return opts, nil
+}
+
+// Options returns the full NewFlow option list the request describes —
+// construction and run-time fields both — so a one-shot caller can round
+// trip Request → NewFlow exactly as the CLI flags used to:
+//
+//	opts, err := req.Options()
+//	flow, err := core.NewFlow(opts...)
+//	res, err := flow.Run(ctx, req.Benchmarks)
+func (r Request) Options() ([]Option, error) {
+	n, err := r.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	opts, err := n.ConstructionOptions()
+	if err != nil {
+		return nil, err
+	}
+	policy, _ := ParsePolicy(n.OnFault)
+	opts = append(opts, WithFailurePolicy(policy))
+	if n.WireCapPerUm > 0 {
+		opts = append(opts, WithWireCapPerUm(n.WireCapPerUm))
+	}
+	if n.STA != nil {
+		opts = append(opts, WithSTAOptions(n.STA.staOptions()))
+	}
+	return opts, nil
+}
+
+// Bind applies the request's run-time fields — failure policy, wire
+// model, STA overrides — to a Flow built for the request's FlowKey
+// (typically a copy of a cached flow: Flow is plain data, so the copy is
+// cheap and the warm tables stay shared). Construction-time fields are
+// deliberately not touched — they are baked into the flow's tables and
+// late assignment would be silently ignored, which is why callers must
+// only Bind to a flow whose FlowKey matches the request's.
+func (r Request) Bind(f *Flow) error {
+	n, err := r.Normalized()
+	if err != nil {
+		return err
+	}
+	policy, _ := ParsePolicy(n.OnFault)
+	f.Policy = policy
+	f.WireCapPerUm = n.WireCapPerUm
+	f.STAOpt = n.STA.staOptions()
+	return nil
+}

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"svtiming/internal/litho"
+	"svtiming/internal/litho/socs"
+)
+
+func TestParseRequestStrict(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"not json", `{`},
+		{"wrong type", `{"benchmarks":"c17"}`},
+		{"unknown field", `{"benchmarks":["c17"],"bogus":1}`},
+		{"trailing data", `{"benchmarks":["c17"]}{"benchmarks":["c17"]}`},
+		{"trailing garbage", `{"benchmarks":["c17"]} x`},
+		{"array not object", `[1,2,3]`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseRequest([]byte(tc.in))
+			if err == nil {
+				t.Fatalf("ParseRequest(%q) accepted malformed input", tc.in)
+			}
+			var re *RequestError
+			if !errors.As(err, &re) {
+				t.Fatalf("ParseRequest(%q) error is %T, want *RequestError", tc.in, err)
+			}
+		})
+	}
+
+	r, err := ParseRequest([]byte(`{"benchmarks":[" c17 "],"engine":"socs","sta":{"pi_slew_ps":20}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Engine != "socs" || r.STA == nil || r.STA.PISlewPS != 20 {
+		t.Fatalf("round-trip lost fields: %+v", r)
+	}
+}
+
+func TestRequestValidate(t *testing.T) {
+	ok := Request{Benchmarks: []string{"c17", "c432"}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid request rejected: %v", err)
+	}
+
+	cases := []struct {
+		field string
+		req   Request
+	}{
+		{"benchmarks", Request{}},
+		{"benchmarks", Request{Benchmarks: []string{"c999"}}},
+		{"engine", Request{Benchmarks: []string{"c17"}, Engine: "magic"}},
+		{"on_fault", Request{Benchmarks: []string{"c17"}, OnFault: "retry"}},
+		{"kernel_budget", Request{Benchmarks: []string{"c17"}, KernelBudget: 1.5}},
+		{"kernel_budget", Request{Benchmarks: []string{"c17"}, KernelBudget: -0.5}},
+		{"pitch_sweep", Request{Benchmarks: []string{"c17"}, PitchSweep: []float64{-240}}},
+		{"pitch_sweep", Request{Benchmarks: []string{"c17"}, PitchSweep: []float64{300, 240}}},
+		{"pitch_sweep", Request{Benchmarks: []string{"c17"}, PitchSweep: []float64{240, 240}}},
+		{"wire_cap_per_um", Request{Benchmarks: []string{"c17"}, WireCapPerUm: -0.2}},
+		{"sta.pi_slew_ps", Request{Benchmarks: []string{"c17"}, STA: &STARequest{PISlewPS: -1}}},
+		{"sta.wire_cap_per_fanout_ff", Request{Benchmarks: []string{"c17"}, STA: &STARequest{WireCapPerFanoutFF: -1}}},
+		{"sta.po_load_ff", Request{Benchmarks: []string{"c17"}, STA: &STARequest{POLoadFF: -1}}},
+	}
+	for _, tc := range cases {
+		err := tc.req.Validate()
+		var re *RequestError
+		if !errors.As(err, &re) {
+			t.Fatalf("%+v: error %v is not a *RequestError", tc.req, err)
+		}
+		if re.Field != tc.field {
+			t.Errorf("%+v: rejected on field %q, want %q (%s)", tc.req, re.Field, tc.field, re.Reason)
+		}
+	}
+
+	// The keep-all sentinel is explicitly allowed.
+	keep := Request{Benchmarks: []string{"c17"}, KernelBudget: socs.KeepAll}
+	if err := keep.Validate(); err != nil {
+		t.Fatalf("keep-all sentinel rejected: %v", err)
+	}
+}
+
+// TestCanonicalCollapsesAliases pins the canonical-encoding contract:
+// requests that differ only in enum spelling, whitespace or a vacuous STA
+// block produce identical canonical bytes, and normalization is
+// idempotent (Canonical of a Normalized request is a fixed point).
+func TestCanonicalCollapsesAliases(t *testing.T) {
+	base := Request{Benchmarks: []string{"c17"}}
+	variants := []Request{
+		{Benchmarks: []string{" c17 "}},
+		{Benchmarks: []string{"c17"}, Engine: "auto"},
+		{Benchmarks: []string{"c17"}, OnFault: "failfast"},
+		{Benchmarks: []string{"c17"}, OnFault: "fail-fast"},
+		{Benchmarks: []string{"c17"}, STA: &STARequest{}},
+	}
+	want, err := base.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range variants {
+		got, err := v.Canonical()
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("variant %d canonical bytes differ:\n got %s\nwant %s", i, got, want)
+		}
+	}
+
+	collect := Request{Benchmarks: []string{"c17"}, OnFault: "collect-and-report"}
+	n, err := collect.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.OnFault != "collect" {
+		t.Errorf("collect-and-report normalized to %q, want collect", n.OnFault)
+	}
+	c1, err := collect.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := n.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(c1) != string(c2) {
+		t.Errorf("normalization not idempotent:\n once  %s\n twice %s", c1, c2)
+	}
+}
+
+// TestFlowKeyProjectsConstructionFields pins the cache-identity split:
+// run-time fields (benchmarks, policy, wire model, STA) never change the
+// FlowKey, construction-time fields (engine, kernel budget, pitch sweep)
+// always do.
+func TestFlowKeyProjectsConstructionFields(t *testing.T) {
+	base := Request{Benchmarks: []string{"c17"}}
+	baseKey, err := base.FlowKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sameKey := []Request{
+		{Benchmarks: []string{"c432", "c880"}},
+		{Benchmarks: []string{"c17"}, OnFault: "collect"},
+		{Benchmarks: []string{"c17"}, WireCapPerUm: 0.2},
+		{Benchmarks: []string{"c17"}, STA: &STARequest{PISlewPS: 25}},
+	}
+	for i, r := range sameKey {
+		k, err := r.FlowKey()
+		if err != nil {
+			t.Fatalf("sameKey %d: %v", i, err)
+		}
+		if k != baseKey {
+			t.Errorf("run-time field fragmented the flow cache: request %d key %s != %s", i, k, baseKey)
+		}
+	}
+
+	newKey := []Request{
+		{Benchmarks: []string{"c17"}, Engine: "abbe"},
+		{Benchmarks: []string{"c17"}, KernelBudget: 1e-5},
+		{Benchmarks: []string{"c17"}, PitchSweep: []float64{240, 300, 390}},
+	}
+	for i, r := range newKey {
+		k, err := r.FlowKey()
+		if err != nil {
+			t.Fatalf("newKey %d: %v", i, err)
+		}
+		if k == baseKey {
+			t.Errorf("construction-time field %d did not change the FlowKey", i)
+		}
+	}
+}
+
+// TestOptionsRoundTrip applies Request.Options to a flowConfig (the same
+// way NewFlow consumes them) and checks every request field lands on the
+// construction knob the old functional-options callers set by hand.
+func TestOptionsRoundTrip(t *testing.T) {
+	req := Request{
+		Benchmarks:   []string{"c17"},
+		Engine:       "socs",
+		KernelBudget: 1e-6,
+		OnFault:      "collect",
+		WireCapPerUm: 0.25,
+		PitchSweep:   []float64{240, 300, 390},
+		STA:          &STARequest{PISlewPS: 20, WireCapPerFanoutFF: 1.5, POLoadFF: 3},
+	}
+	opts, err := req.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cfg flowConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.engine != litho.EngineSOCS {
+		t.Errorf("engine: got %v, want socs", cfg.engine)
+	}
+	if cfg.kernelBudget != 1e-6 {
+		t.Errorf("kernel budget: got %g, want 1e-6", cfg.kernelBudget)
+	}
+	if cfg.policy != CollectAndReport {
+		t.Errorf("policy: got %v, want collect", cfg.policy)
+	}
+	if cfg.wireCapPerUm != 0.25 {
+		t.Errorf("wire cap: got %g, want 0.25", cfg.wireCapPerUm)
+	}
+	if len(cfg.pitchSweep) != 3 || cfg.pitchSweep[0] != 240 {
+		t.Errorf("pitch sweep: got %v", cfg.pitchSweep)
+	}
+	if cfg.staOpt.PISlew != 20 || cfg.staOpt.WireCapPerFanout != 1.5 || cfg.staOpt.POLoad != 3 {
+		t.Errorf("sta options: got %+v", cfg.staOpt)
+	}
+
+	// Defaults: an all-zero optional surface resolves to the paper's flow.
+	var dcfg flowConfig
+	dopts, err := Request{Benchmarks: []string{"c17"}}.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opt := range dopts {
+		opt(&dcfg)
+	}
+	if dcfg.engine != litho.EngineAuto || dcfg.policy != FailFast ||
+		dcfg.pitchSweep != nil || dcfg.wireCapPerUm != 0 {
+		t.Errorf("default request perturbed construction defaults: %+v", dcfg)
+	}
+}
+
+// TestBindSetsRunTimeFieldsOnly pins Bind's contract: run-time fields
+// move onto the flow copy, construction-time state is untouched.
+func TestBindSetsRunTimeFieldsOnly(t *testing.T) {
+	f := Flow{Parallelism: 7}
+	req := Request{
+		Benchmarks:   []string{"c17"},
+		OnFault:      "collect",
+		WireCapPerUm: 0.3,
+		STA:          &STARequest{PISlewPS: 15},
+	}
+	if err := req.Bind(&f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Policy != CollectAndReport || f.WireCapPerUm != 0.3 || f.STAOpt.PISlew != 15 {
+		t.Errorf("run-time fields not bound: %+v", f)
+	}
+	if f.Parallelism != 7 {
+		t.Errorf("Bind touched a non-request field: Parallelism = %d", f.Parallelism)
+	}
+}
+
+// FuzzRequestDecode pins the decode contract: arbitrary bytes never
+// panic, every rejection is a typed *RequestError, and any accepted
+// request has an idempotent canonical form.
+func FuzzRequestDecode(f *testing.F) {
+	f.Add([]byte(`{"benchmarks":["c17"]}`))
+	f.Add([]byte(`{"benchmarks":["c17","c432"],"engine":"socs","kernel_budget":1e-6}`))
+	f.Add([]byte(`{"benchmarks":["c17"],"on_fault":"collect","sta":{"pi_slew_ps":20}}`))
+	f.Add([]byte(`{"benchmarks":[]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"benchmarks":["c17"]}trailing`))
+	f.Add([]byte("\x00\xff"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := ParseRequest(data)
+		if err != nil {
+			var re *RequestError
+			if !errors.As(err, &re) {
+				t.Fatalf("ParseRequest error %T is not *RequestError: %v", err, err)
+			}
+			return
+		}
+		c1, err := r.Canonical()
+		if err != nil {
+			var re *RequestError
+			if !errors.As(err, &re) {
+				t.Fatalf("Canonical error %T is not *RequestError: %v", err, err)
+			}
+			return
+		}
+		// An accepted request's canonical form must be a fixed point:
+		// decode(canonical) re-canonicalizes to the same bytes.
+		r2, err := ParseRequest(c1)
+		if err != nil {
+			t.Fatalf("canonical bytes %s rejected on re-decode: %v", c1, err)
+		}
+		c2, err := r2.Canonical()
+		if err != nil {
+			t.Fatalf("canonical bytes %s failed re-canonicalization: %v", c1, err)
+		}
+		if string(c1) != string(c2) {
+			t.Fatalf("canonical not idempotent:\n once  %s\n twice %s", c1, c2)
+		}
+		// And the canonical form must stay strictly decodable JSON.
+		if !json.Valid(c1) || !strings.HasPrefix(string(c1), "{") {
+			t.Fatalf("canonical bytes are not a JSON object: %s", c1)
+		}
+	})
+}

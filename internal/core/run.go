@@ -103,7 +103,7 @@ func (f *Flow) Run(ctx stdctx.Context, names []string) (*RunResult, error) {
 		// Serial inner analyses: the outer sweep owns the pool.
 		inner := *f
 		inner.Parallelism = 1
-		return inner.CompareDesignCtx(cctx, names[i])
+		return inner.CompareDesign(cctx, names[i])
 	}
 
 	res := &RunResult{}

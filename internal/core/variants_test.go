@@ -134,7 +134,7 @@ func TestFullChipVsLibraryCDs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := f.FullChipCDs(d)
+	full, err := f.FullChipCDs(nil, d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,13 +166,13 @@ func TestHPWLWireLoadingPreservesShape(t *testing.T) {
 	// Switching to placement-derived wire loading changes absolute delays
 	// but must preserve the methodology's comparison shape.
 	f := testFlow(t)
-	base, err := f.CompareDesign("c432")
+	base, err := f.CompareDesign(nil, "c432")
 	if err != nil {
 		t.Fatal(err)
 	}
 	fw := *f
 	fw.WireCapPerUm = 0.2
-	wired, err := fw.CompareDesign("c432")
+	wired, err := fw.CompareDesign(nil, "c432")
 	if err != nil {
 		t.Fatal(err)
 	}

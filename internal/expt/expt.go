@@ -139,8 +139,9 @@ func Table1LibraryRuntime(f *core.Flow) time.Duration {
 }
 
 // Table1Compare builds one Table 1 row: full-chip OPC CDs versus the
-// library-based predictions, per device.
-func Table1Compare(f *core.Flow, name string) (Table1Row, error) {
+// library-based predictions, per device. The full-chip sweep honours ctx
+// (nil = background).
+func Table1Compare(ctx stdctx.Context, f *core.Flow, name string) (Table1Row, error) {
 	d, err := f.PrepareDesign(name)
 	if err != nil {
 		return Table1Row{}, err
@@ -154,7 +155,7 @@ func Table1Compare(f *core.Flow, name string) (Table1Row, error) {
 	f.Recipe.Model.ClearCache()
 	f.Wafer.ClearCache()
 	start := now()
-	fullCDs, err := f.FullChipCDs(d)
+	fullCDs, err := f.FullChipCDs(ctx, d)
 	if err != nil {
 		return Table1Row{}, err
 	}
@@ -199,7 +200,8 @@ type Fig7Bin struct {
 // Fig7Histogram regenerates Figure 7: the per-device distribution of
 // (printed − nominal)/nominal after full-chip model-based OPC, for the
 // named benchmark (the paper uses C3540), in bins of binWidth percent.
-func Fig7Histogram(f *core.Flow, name string, binWidth float64) ([]Fig7Bin, error) {
+// The full-chip sweep honours ctx (nil = background).
+func Fig7Histogram(ctx stdctx.Context, f *core.Flow, name string, binWidth float64) ([]Fig7Bin, error) {
 	if binWidth <= 0 {
 		binWidth = 2
 	}
@@ -207,7 +209,7 @@ func Fig7Histogram(f *core.Flow, name string, binWidth float64) ([]Fig7Bin, erro
 	if err != nil {
 		return nil, err
 	}
-	fullCDs, err := f.FullChipCDs(d)
+	fullCDs, err := f.FullChipCDs(ctx, d)
 	if err != nil {
 		return nil, err
 	}
@@ -241,8 +243,8 @@ func Fig7Histogram(f *core.Flow, name string, binWidth float64) ([]Fig7Bin, erro
 // order, identical to a serial run.
 func Table2(f *core.Flow, names []string) ([]core.Comparison, error) {
 	return par.Map(nil, f.Workers(), len(names),
-		func(_ stdctx.Context, i int) (core.Comparison, error) {
-			cmp, err := f.CompareDesign(names[i])
+		func(cctx stdctx.Context, i int) (core.Comparison, error) {
+			cmp, err := f.CompareDesign(cctx, names[i])
 			if err != nil {
 				return core.Comparison{}, fmt.Errorf("expt: %s: %w", names[i], err)
 			}

@@ -84,7 +84,7 @@ func TestFig2Shape(t *testing.T) {
 
 func TestTable1Row(t *testing.T) {
 	f := testFlow(t)
-	row, err := Table1Compare(f, "c432")
+	row, err := Table1Compare(nil, f, "c432")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestTable1Row(t *testing.T) {
 
 func TestFig7HistogramShape(t *testing.T) {
 	f := testFlow(t)
-	bins, err := Fig7Histogram(f, "c432", 2)
+	bins, err := Fig7Histogram(nil, f, "c432", 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,61 @@
+package service
+
+import (
+	"bytes"
+	"flag"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden response fixtures")
+
+// goldenCases pins the service's byte format: each request fixture must
+// render exactly the stored response bytes. The fixtures freeze (a) the
+// canonical response encoding — field order, compact separators, trailing
+// newline, (b) the numeric results for the pinned benchmarks, and (c) the
+// per-request manifest tallies. A diff here means the wire format or the
+// physics changed; regenerate with `go test ./internal/service -run
+// TestGolden -update` and review the diff like any contract change.
+var goldenCases = []struct {
+	name string
+	path string
+	want int
+}{
+	{"run_c17", "/v1/run", StatusClean},
+	{"run_c432_collect", "/v1/run", StatusClean},
+	{"run_invalid_engine", "/v1/run", StatusInvalid},
+	{"batch_mixed", "/v1/batch", http.StatusOK},
+}
+
+func TestGoldenResponses(t *testing.T) {
+	s := testServer(t)
+	for _, tc := range goldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			reqBody, err := os.ReadFile(filepath.Join("testdata", tc.name+".request.json"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := post(s, tc.path, string(reqBody))
+			if rec.Code != tc.want {
+				t.Fatalf("status %d, want %d: %s", rec.Code, tc.want, rec.Body.String())
+			}
+			goldenPath := filepath.Join("testdata", tc.name+".response.golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, rec.Body.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update)", err)
+			}
+			if !bytes.Equal(rec.Body.Bytes(), want) {
+				t.Errorf("response bytes diverge from %s:\n got %s\nwant %s\n(regenerate with -update and review)",
+					goldenPath, rec.Body.Bytes(), want)
+			}
+		})
+	}
+}

@@ -1,0 +1,271 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+
+	"svtiming/internal/core"
+	"svtiming/internal/expt"
+	"svtiming/internal/fault"
+	"svtiming/internal/netlist"
+	"svtiming/internal/obs"
+)
+
+// HTTP statuses of the service — the fault-policy → status mapping in
+// one place, mirroring the cmd tools' exit codes (0/1/2):
+//
+//	exit 0 (clean)              → 200 StatusClean
+//	exit 1 (completed degraded) → 207 StatusDegraded
+//	exit 2 (failed)             → 4xx/5xx by failure class below
+const (
+	StatusClean    = http.StatusOK                  // every row healthy
+	StatusDegraded = http.StatusMultiStatus         // collect policy: completed with Degraded rows + fault list
+	StatusInvalid  = http.StatusBadRequest          // schema rejection (*core.RequestError)
+	StatusTooLarge = http.StatusRequestEntityTooLarge // batch or benchmark-count limit exceeded
+	StatusFault    = http.StatusUnprocessableEntity // fail-fast policy: a typed fault aborted the run
+	StatusTimeout  = http.StatusGatewayTimeout      // deadline or cancellation
+	StatusInternal = http.StatusInternalServerError // anything outside the taxonomy
+)
+
+// maxBodyBytes bounds request bodies; a request is a small JSON object,
+// so 1 MiB is generous.
+const maxBodyBytes = 1 << 20
+
+// Fault is the wire form of one fault.Entry: its sweep coordinate,
+// taxonomy kind and message. The list a Response carries is sorted by
+// coordinate (fault.Report's contract), so it is deterministic under any
+// worker scheduling.
+type Fault struct {
+	Stage   string  `json:"stage"`
+	Index   int     `json:"index"`
+	Item    string  `json:"item,omitempty"`
+	Defocus float64 `json:"defocus,omitempty"`
+	Dose    float64 `json:"dose,omitempty"`
+	Kind    string  `json:"kind"`
+	Message string  `json:"message"`
+}
+
+func faultsOf(r fault.Report) []Fault {
+	entries := r.Entries() // coordinate-sorted copy
+	out := make([]Fault, len(entries))
+	for i, e := range entries {
+		out[i] = Fault{
+			Stage:   e.At.Stage,
+			Index:   e.At.Index,
+			Item:    e.At.Item,
+			Defocus: e.At.Defocus,
+			Dose:    e.At.Dose,
+			Kind:    fault.KindOf(e.Err),
+			Message: e.Err.Error(),
+		}
+	}
+	return out
+}
+
+// Response is the service's answer to one Request. Status mirrors the
+// HTTP status so batch items stay self-describing. Request echoes the
+// fully normalized request (server defaults merged), which is the
+// request identity the determinism contract is stated over. Encoding is
+// canonical: compact JSON, struct field order, sorted map keys — two
+// equal-canonical requests render byte-identical Responses.
+type Response struct {
+	Status   int               `json:"status"`
+	Request  *core.Request     `json:"request,omitempty"`
+	Rows     []core.Comparison `json:"rows,omitempty"`
+	Faults   []Fault           `json:"faults,omitempty"`
+	Manifest *obs.RunManifest  `json:"manifest,omitempty"`
+	Error    string            `json:"error,omitempty"`
+}
+
+// Encode renders the canonical response bytes: compact JSON plus one
+// trailing newline. This is the byte format the determinism tests and
+// golden fixtures pin; handlers and batch items share it so a response
+// is the same bytes wherever it appears.
+func (r *Response) Encode() ([]byte, error) {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Batch is the /v1/batch request body.
+type Batch struct {
+	Requests []core.Request `json:"requests"`
+}
+
+// BatchResponse is the /v1/batch answer: one canonical Response
+// encoding per request, in request order. Items are raw pre-encoded
+// bytes, so an item of a batch is byte-identical (modulo the trailing
+// newline) to the same request served alone on /v1/run.
+type BatchResponse struct {
+	Responses []json.RawMessage `json:"responses"`
+}
+
+// Handler returns the service's HTTP routes:
+//
+//	POST /v1/run        one Request  → one Response
+//	POST /v1/batch      {"requests":[...]} → {"responses":[...]}
+//	GET  /v1/benchmarks known benchmark names
+//	GET  /v1/metrics    full server-registry snapshot (schedule-dependent)
+//	GET  /v1/healthz    liveness + resident flow count
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	return mux
+}
+
+// observe records the shared request telemetry. Latency flows through
+// the sanctioned clock (expt.Now), keeping the svlint walltime contract.
+func (s *Server) observe(start int64, status int) {
+	s.requests.Inc()
+	if status >= 400 {
+		s.failures.Inc()
+	}
+	s.latency.Observe(float64(expt.Now().UnixNano()-start) / 1e6)
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	start := expt.Now().UnixNano()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		s.writeResponse(w, &Response{Status: StatusTooLarge, Error: "request body: " + err.Error()})
+		s.observe(start, StatusTooLarge)
+		return
+	}
+	req, err := core.ParseRequest(body)
+	if err != nil {
+		s.writeResponse(w, &Response{Status: StatusInvalid, Error: err.Error()})
+		s.observe(start, StatusInvalid)
+		return
+	}
+	resp := s.run(r.Context(), req, s.workers)
+	s.writeResponse(w, resp)
+	s.observe(start, resp.Status)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := expt.Now().UnixNano()
+	status := http.StatusOK
+	defer func() { s.observe(start, status) }()
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		status = StatusTooLarge
+		s.writeResponse(w, &Response{Status: status, Error: "request body: " + err.Error()})
+		return
+	}
+	var batch Batch
+	if err := strictUnmarshal(body, &batch); err != nil {
+		status = StatusInvalid
+		s.writeResponse(w, &Response{Status: status, Error: err.Error()})
+		return
+	}
+	if len(batch.Requests) == 0 {
+		status = StatusInvalid
+		s.writeResponse(w, &Response{Status: status, Error: "batch: at least one request required"})
+		return
+	}
+	if len(batch.Requests) > s.cfg.MaxBatch {
+		status = StatusTooLarge
+		s.writeResponse(w, &Response{Status: status,
+			Error: "batch: " + strconv.Itoa(len(batch.Requests)) + " requests exceed the limit of " + strconv.Itoa(s.cfg.MaxBatch)})
+		return
+	}
+	resps, err := s.runBatch(r.Context(), batch.Requests)
+	if err != nil {
+		status = StatusTimeout
+		s.writeResponse(w, &Response{Status: status, Error: err.Error()})
+		return
+	}
+	out := BatchResponse{Responses: make([]json.RawMessage, len(resps))}
+	for i, resp := range resps {
+		b, err := resp.Encode()
+		if err != nil {
+			status = StatusInternal
+			s.writeResponse(w, &Response{Status: status, Error: "encode: " + err.Error()})
+			return
+		}
+		// Strip the newline Encode appends for standalone bodies; inside
+		// the array the bytes are otherwise identical to /v1/run's.
+		out.Responses[i] = json.RawMessage(b[:len(b)-1])
+	}
+	// The batch call itself succeeded; per-item outcomes are embedded
+	// statuses (a mixed batch is still one complete answer).
+	b, err := json.Marshal(out)
+	if err != nil {
+		status = StatusInternal
+		s.writeResponse(w, &Response{Status: status, Error: "encode: " + err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, append(b, '\n'))
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, _ *http.Request) {
+	b, err := json.Marshal(struct {
+		Benchmarks []string `json:"benchmarks"`
+	}{netlist.Names()})
+	if err != nil {
+		http.Error(w, err.Error(), StatusInternal)
+		return
+	}
+	writeJSON(w, http.StatusOK, append(b, '\n'))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	b, err := s.reg.Snapshot().EncodeJSON()
+	if err != nil {
+		http.Error(w, err.Error(), StatusInternal)
+		return
+	}
+	writeJSON(w, http.StatusOK, b)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	b, err := json.Marshal(struct {
+		Status string `json:"status"`
+		Flows  int    `json:"flows"`
+	}{"ok", s.Flows()})
+	if err != nil {
+		http.Error(w, err.Error(), StatusInternal)
+		return
+	}
+	writeJSON(w, http.StatusOK, append(b, '\n'))
+}
+
+// writeResponse renders resp canonically with its own status code.
+func (s *Server) writeResponse(w http.ResponseWriter, resp *Response) {
+	b, err := resp.Encode()
+	if err != nil {
+		http.Error(w, err.Error(), StatusInternal)
+		return
+	}
+	writeJSON(w, resp.Status, b)
+}
+
+func writeJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// strictUnmarshal mirrors core.ParseRequest's strictness for the batch
+// envelope: unknown fields and trailing bytes are malformed input.
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return &core.RequestError{Field: "body", Reason: err.Error()}
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return &core.RequestError{Field: "body", Reason: "trailing data after batch object"}
+	}
+	return nil
+}

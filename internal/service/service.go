@@ -1,0 +1,340 @@
+// Package service is the resident timing service behind cmd/svtimingd:
+// it accepts serializable core.Request batches over HTTP/JSON and serves
+// them from warm flows, amortizing the expensive construction-time state
+// (through-pitch tables, the characterized 81-version library, SOCS
+// kernel sets, FFT plans) across requests instead of rebuilding it per
+// CLI invocation.
+//
+// Determinism as a service property: identical request bytes yield
+// byte-identical response bytes — and byte-identical per-request run
+// manifests — regardless of cache warmth (cold first hit vs warm
+// repeat), concurrency (a request alone vs inside a 500-way concurrent
+// storm) or batch shape (single /v1/run vs an item of /v1/batch). Three
+// mechanisms carry the contract:
+//
+//   - rows are already schedule-invariant (internal/par's ordering
+//     contract, pinned by the root determinism_test.go);
+//   - each request runs against its own golden-mode obs registry (no
+//     clock → zero span durations) holding only request-scoped tallies,
+//     so its manifest never sees the shared caches' warmth;
+//   - responses encode through one canonical compact-JSON writer.
+//
+// The shared, warmth-dependent telemetry (flow-cache hits, CD-cache
+// counters, request latencies) lives on the server registry and is
+// exposed on /v1/metrics — the existing -metrics surface — where
+// schedule-dependence is expected and documented.
+package service
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"svtiming/internal/core"
+	"svtiming/internal/expt"
+	"svtiming/internal/fault"
+	"svtiming/internal/obs"
+	"svtiming/internal/par"
+	"svtiming/internal/place"
+)
+
+// Config sizes a Server. The zero value is serviceable: GOMAXPROCS
+// workers, default limits, an uninstrumented registry.
+type Config struct {
+	// Parallelism bounds the worker pool shared by flow construction,
+	// single-request analysis fan-out and batch scheduling (0 =
+	// GOMAXPROCS).
+	Parallelism int
+	// Defaults is merged into requests that leave Engine, KernelBudget,
+	// OnFault, WireCapPerUm or STA unset — the daemon's -engine /
+	// -kernel-budget / -on-fault flags land here, so flag defaults and
+	// request defaults are one mechanism.
+	Defaults core.Request
+	// MaxBatch caps the requests accepted per /v1/batch call (default 64).
+	MaxBatch int
+	// MaxFlows caps the distinct warm flow configurations kept resident;
+	// the oldest is evicted FIFO beyond it (default 8).
+	MaxFlows int
+	// MaxBenchmarks caps the benchmarks of a single request (default 64).
+	MaxBenchmarks int
+	// RequestTimeout bounds each request's run (0 = none beyond the
+	// client's own disconnect).
+	RequestTimeout time.Duration
+	// Registry receives the service and flow-construction metrics
+	// (nil = Nop). Per-request manifests never read it.
+	Registry *obs.Registry
+}
+
+// Server is the resident timing service: an HTTP handler (Handler) over
+// a keyed cache of warm flows. Safe for concurrent use.
+type Server struct {
+	cfg     Config
+	reg     *obs.Registry
+	workers int
+
+	mu    sync.Mutex
+	flows map[string]*flowEntry
+	order []string // insertion order, for FIFO eviction
+
+	// hook, when non-nil, is armed on every request's flow copy — the
+	// service half of the deterministic fault-injection harness (package
+	// fault/inject). Tests set it before serving; production leaves it nil.
+	hook fault.Hook
+
+	requests  *obs.Counter // service_requests_total
+	failures  *obs.Counter // service_requests_failed (HTTP status ≥ 400)
+	batches   *obs.Counter // service_batches_total
+	lookups   *obs.Counter // service_flow_cache_lookups
+	builds    *obs.Counter // service_flow_cache_builds (hits = lookups − builds)
+	evictions *obs.Counter // service_flow_cache_evictions
+	latency   *obs.Histogram
+}
+
+// flowEntry is one warm (or in-flight) flow configuration. ready closes
+// when flow/err are set; waiters select against their own context so a
+// deadline is honoured even while construction runs.
+type flowEntry struct {
+	ready chan struct{}
+	flow  *core.Flow
+	err   error
+}
+
+// New builds a Server from cfg, applying defaults and registering the
+// service instruments.
+func New(cfg Config) *Server {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
+	if cfg.MaxFlows <= 0 {
+		cfg.MaxFlows = 8
+	}
+	if cfg.MaxBenchmarks <= 0 {
+		cfg.MaxBenchmarks = 64
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.Nop()
+	}
+	return &Server{
+		cfg:       cfg,
+		reg:       reg,
+		workers:   par.Workers(cfg.Parallelism),
+		flows:     map[string]*flowEntry{},
+		requests:  reg.Counter("service_requests_total"),
+		failures:  reg.Counter("service_requests_failed"),
+		batches:   reg.Counter("service_batches_total"),
+		lookups:   reg.Counter("service_flow_cache_lookups"),
+		builds:    reg.Counter("service_flow_cache_builds"),
+		evictions: reg.Counter("service_flow_cache_evictions"),
+		// Request latency in milliseconds; schedule-dependent by nature,
+		// so it belongs to /v1/metrics, never to a manifest.
+		latency: reg.Histogram("service_request_latency_ms",
+			[]float64{1, 5, 10, 50, 100, 500, 1000, 5000, 30000}),
+	}
+}
+
+// withDefaults overlays the server's default request fields onto fields
+// the incoming request left unset. Benchmarks and PitchSweep are never
+// defaulted from the server side: the former is the workload itself, the
+// latter would silently change the warm-state identity of an explicit
+// request.
+func (s *Server) withDefaults(r core.Request) core.Request {
+	d := s.cfg.Defaults
+	if r.Engine == "" {
+		r.Engine = d.Engine
+	}
+	if r.KernelBudget == 0 {
+		r.KernelBudget = d.KernelBudget
+	}
+	if r.OnFault == "" {
+		r.OnFault = d.OnFault
+	}
+	if r.WireCapPerUm == 0 {
+		r.WireCapPerUm = d.WireCapPerUm
+	}
+	if r.STA == nil && d.STA != nil {
+		sta := *d.STA
+		r.STA = &sta
+	}
+	return r
+}
+
+// flow returns the warm flow for the request's FlowKey, building it
+// exactly once per key (singleflight: concurrent first requests for one
+// key share a single construction) on the server's registry — so
+// construction spans and CD-cache counters land on the shared metrics
+// surface, never in a per-request manifest. Waiters honour ctx while the
+// build proceeds in the background for the next request.
+func (s *Server) flow(ctx context.Context, req core.Request) (*core.Flow, error) {
+	key, err := req.FlowKey()
+	if err != nil {
+		return nil, err
+	}
+	s.lookups.Inc()
+	s.mu.Lock()
+	e, ok := s.flows[key]
+	if !ok {
+		e = &flowEntry{ready: make(chan struct{})}
+		s.flows[key] = e
+		s.order = append(s.order, key)
+		s.evictLocked()
+		s.builds.Inc()
+		go s.build(e, req)
+	}
+	s.mu.Unlock()
+	select {
+	case <-e.ready:
+		return e.flow, e.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// build constructs the entry's flow on a background context: a requester
+// that gives up mid-construction leaves warm state behind for the next,
+// rather than cancelling it for everyone merged onto the build.
+func (s *Server) build(e *flowEntry, req core.Request) {
+	defer close(e.ready)
+	opts, err := req.ConstructionOptions()
+	if err != nil {
+		e.err = err
+		return
+	}
+	opts = append(opts,
+		core.WithParallelism(s.workers),
+		core.WithObservability(s.reg))
+	e.flow, e.err = core.NewFlow(opts...)
+}
+
+// evictLocked drops the oldest flow configurations beyond MaxFlows.
+// Requests still holding an evicted entry finish against it; the entry
+// just stops being findable, and a later request for its key rebuilds.
+func (s *Server) evictLocked() {
+	for len(s.order) > s.cfg.MaxFlows {
+		delete(s.flows, s.order[0])
+		s.order = s.order[1:]
+		s.evictions.Inc()
+	}
+}
+
+// Flows reports the number of resident flow configurations (including
+// in-flight builds) — the /v1/healthz warmth signal.
+func (s *Server) Flows() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.flows)
+}
+
+// Warm pre-builds the flow for the server's default request (engine /
+// kernel-budget defaults, default pitch sweep) so the first real request
+// doesn't pay construction. Benchmark choice is irrelevant to a FlowKey;
+// Warm uses a placeholder.
+func (s *Server) Warm(ctx context.Context) error {
+	req := s.withDefaults(core.Request{Benchmarks: []string{"c17"}})
+	_, err := s.flow(ctx, req)
+	return err
+}
+
+// run executes one request end to end and renders its Response. workers
+// is the analysis fan-out for this request: the full pool for a lone
+// request, 1 for an item inside a scheduled batch (the batch owns the
+// pool) — invisible in the response bytes either way, because every
+// tally a manifest keeps is schedule-invariant.
+func (s *Server) run(ctx context.Context, raw core.Request, workers int) *Response {
+	req, err := s.withDefaults(raw).Normalized()
+	if err != nil {
+		return &Response{Status: StatusInvalid, Error: err.Error()}
+	}
+	if len(req.Benchmarks) > s.cfg.MaxBenchmarks {
+		return &Response{Status: StatusTooLarge, Error: strconv.Itoa(len(req.Benchmarks)) +
+			" benchmarks exceed the per-request limit of " + strconv.Itoa(s.cfg.MaxBenchmarks)}
+	}
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	base, err := s.flow(ctx, req)
+	if err != nil {
+		return &Response{Status: statusForError(err), Request: &req, Error: err.Error()}
+	}
+
+	// Per-request golden-mode registry: enabled but clockless, so span
+	// durations are zero by construction and the manifest it feeds is a
+	// pure function of the work — the warmth/concurrency firewall.
+	perReg := obs.New()
+	fl := *base
+	fl.Obs = perReg
+	fl.Parallelism = workers
+	fl.InjectHook = s.hook
+	if err := req.Bind(&fl); err != nil {
+		return &Response{Status: StatusInvalid, Request: &req, Error: err.Error()}
+	}
+	res, err := fl.Run(ctx, req.Benchmarks)
+	if err != nil {
+		return &Response{Status: statusForError(err), Request: &req, Error: err.Error()}
+	}
+
+	resp := &Response{Status: StatusClean, Request: &req, Rows: res.Rows}
+	if res.Degraded() {
+		resp.Status = StatusDegraded
+		resp.Faults = faultsOf(res.Report)
+	}
+	m := expt.Manifest("svtimingd", map[string]string{
+		"circuits":      strings.Join(req.Benchmarks, ","),
+		"engine":        req.Engine,
+		"kernel-budget": strconv.FormatFloat(req.KernelBudget, 'g', -1, 64),
+		"on-fault":      req.OnFault,
+	}, req.Benchmarks, perReg, res)
+	m.Seeds = make(map[string]int64, len(req.Benchmarks))
+	for _, n := range req.Benchmarks {
+		m.Seeds[n] = place.SeedFor(n)
+	}
+	resp.Manifest = &m
+	return resp
+}
+
+// runBatch schedules a batch over the server's worker pool. Items run
+// with serial inner analysis (the batch owns the pool, mirroring
+// Flow.Run's nesting rule); each item's Response is independent, and an
+// item never fails the batch — per-item failures are embedded statuses.
+// The only batch-level error is external cancellation.
+func (s *Server) runBatch(ctx context.Context, reqs []core.Request) ([]*Response, error) {
+	s.batches.Inc()
+	out, _ := par.MapAll(ctx, s.workers, len(reqs), func(cctx context.Context, i int) (*Response, error) {
+		return s.run(cctx, reqs[i], 1), nil
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// A panic inside run is contained by the pool and surfaces as a nil
+	// item; render it as an internal error rather than dropping the slot.
+	for i, r := range out {
+		if r == nil {
+			out[i] = &Response{Status: StatusInternal, Error: "internal error: request slot panicked"}
+		}
+	}
+	return out, nil
+}
+
+// statusForError maps a run-level error onto the HTTP status of the
+// response — the service projection of the cmd tools' exit codes (see
+// DESIGN.md "fault policy → HTTP status"). Degraded-but-complete runs
+// never reach here; they map to StatusDegraded with a 207.
+func statusForError(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return StatusTimeout
+	case errors.Is(err, fault.ErrNumeric),
+		errors.Is(err, fault.ErrNonConvergence),
+		errors.Is(err, fault.ErrPanic):
+		// The request was well-formed; the physics refused. 422 keeps it
+		// distinct from both caller error (400) and service bugs (500).
+		return StatusFault
+	default:
+		return StatusInternal
+	}
+}

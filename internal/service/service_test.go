@@ -1,0 +1,613 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"svtiming/internal/core"
+	"svtiming/internal/fault"
+	"svtiming/internal/fault/inject"
+	"svtiming/internal/obs"
+)
+
+// The test server is shared across the whole package: flow construction
+// (pitch table + 81-version characterization) is the expensive part, and
+// every test exercising the handler benefits from the same warm cache —
+// which is also exactly the deployment shape the determinism contract is
+// stated over.
+var (
+	sharedOnce sync.Once
+	sharedSrv  *Server
+)
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	sharedOnce.Do(func() {
+		sharedSrv = New(Config{Registry: obs.New()})
+	})
+	return sharedSrv
+}
+
+// post drives the handler directly (no sockets — 500 concurrent requests
+// through a TCP listener would measure fd limits, not the service).
+func post(s *Server, path, body string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+func get(s *Server, path string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+// settle polls until the goroutine count drops back to at most base.
+func settle(base int) int {
+	var n int
+	for i := 0; i < 200; i++ {
+		n = runtime.NumGoroutine()
+		if n <= base {
+			return n
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return n
+}
+
+// TestRunColdWarmByteIdentity pins the headline contract: the very first
+// request against a cold cache and a repeat against the warm cache return
+// byte-identical response bodies, manifests included.
+func TestRunColdWarmByteIdentity(t *testing.T) {
+	s := testServer(t)
+	const body = `{"benchmarks":["c17"]}`
+
+	buildsBefore := s.reg.CounterValue("service_flow_cache_builds")
+	cold := post(s, "/v1/run", body)
+	if cold.Code != StatusClean {
+		t.Fatalf("cold request: status %d, body %s", cold.Code, cold.Body.String())
+	}
+	warm := post(s, "/v1/run", body)
+	if warm.Code != StatusClean {
+		t.Fatalf("warm request: status %d, body %s", warm.Code, warm.Body.String())
+	}
+	if !bytes.Equal(cold.Body.Bytes(), warm.Body.Bytes()) {
+		t.Errorf("cold and warm responses differ:\ncold %s\nwarm %s", cold.Body, warm.Body)
+	}
+	if ct := warm.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+
+	// The warm repeat must not have rebuilt the flow.
+	builds := s.reg.CounterValue("service_flow_cache_builds") - buildsBefore
+	if builds > 1 {
+		t.Errorf("identical requests built %d flows, want at most 1", builds)
+	}
+
+	var resp Response
+	if err := json.Unmarshal(warm.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusClean || len(resp.Rows) != 1 || resp.Rows[0].Name != "c17" {
+		t.Fatalf("unexpected response shape: %+v", resp)
+	}
+	if resp.Request == nil || resp.Request.Engine != "auto" || resp.Request.OnFault != "fail-fast" {
+		t.Errorf("response should echo the normalized request: %+v", resp.Request)
+	}
+	if resp.Manifest == nil {
+		t.Fatal("response has no manifest")
+	}
+	if resp.Manifest.Pool.Tasks == 0 {
+		t.Error("per-request manifest recorded no pool tasks")
+	}
+	for _, st := range resp.Manifest.Stages {
+		if st.DurationNS != 0 {
+			t.Errorf("per-request manifest stage %q has nonzero duration %d — warmth/latency leaked into the golden surface",
+				st.Name, st.DurationNS)
+		}
+	}
+	if resp.Rows[0].TradWC <= resp.Rows[0].NewWC {
+		t.Errorf("aware worst case should tighten the corner: trad %.2f vs new %.2f",
+			resp.Rows[0].TradWC, resp.Rows[0].NewWC)
+	}
+}
+
+// TestAliasRequestsShareBytes pins canonicalization end to end: requests
+// that differ only in enum spelling or whitespace produce byte-identical
+// responses (they are "the same request" by canonical bytes).
+func TestAliasRequestsShareBytes(t *testing.T) {
+	s := testServer(t)
+	bodies := []string{
+		`{"benchmarks":["c17"]}`,
+		`{"benchmarks":[" c17 "],"engine":"auto"}`,
+		`{"benchmarks":["c17"],"on_fault":"failfast"}`,
+	}
+	var first []byte
+	for i, b := range bodies {
+		rec := post(s, "/v1/run", b)
+		if rec.Code != StatusClean {
+			t.Fatalf("body %d: status %d: %s", i, rec.Code, rec.Body.String())
+		}
+		if first == nil {
+			first = rec.Body.Bytes()
+			continue
+		}
+		if !bytes.Equal(first, rec.Body.Bytes()) {
+			t.Errorf("alias body %d rendered different bytes:\n%s\nvs\n%s", i, rec.Body, first)
+		}
+	}
+}
+
+// TestRunVsBatchItemByteIdentity pins the batch embedding contract: an
+// item of /v1/batch is byte-identical (modulo the trailing newline) to
+// the same request served alone on /v1/run, and duplicate items inside
+// one batch render identical bytes.
+func TestRunVsBatchItemByteIdentity(t *testing.T) {
+	s := testServer(t)
+	alone := post(s, "/v1/run", `{"benchmarks":["c17"]}`)
+	if alone.Code != StatusClean {
+		t.Fatalf("/v1/run: %d: %s", alone.Code, alone.Body.String())
+	}
+
+	batch := post(s, "/v1/batch",
+		`{"requests":[{"benchmarks":["c17"]},{"benchmarks":["c432"]},{"benchmarks":["c17"]}]}`)
+	if batch.Code != http.StatusOK {
+		t.Fatalf("/v1/batch: %d: %s", batch.Code, batch.Body.String())
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(batch.Body.Bytes(), &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Responses) != 3 {
+		t.Fatalf("batch returned %d items, want 3", len(br.Responses))
+	}
+	want := bytes.TrimSuffix(alone.Body.Bytes(), []byte("\n"))
+	if !bytes.Equal([]byte(br.Responses[0]), want) {
+		t.Errorf("batch item differs from /v1/run:\nbatch %s\nalone %s", br.Responses[0], want)
+	}
+	if !bytes.Equal([]byte(br.Responses[0]), []byte(br.Responses[2])) {
+		t.Errorf("duplicate requests inside one batch rendered different bytes")
+	}
+	var item Response
+	if err := json.Unmarshal(br.Responses[1], &item); err != nil {
+		t.Fatal(err)
+	}
+	if item.Status != StatusClean || len(item.Rows) != 1 || item.Rows[0].Name != "c432" {
+		t.Errorf("batch item 1: %+v", item)
+	}
+}
+
+// TestConcurrentLoad is the load harness the issue asks for: hundreds of
+// concurrent mixed-benchmark requests against one server, asserting (a)
+// every response is clean, (b) responses are byte-identical per request
+// variant — concurrency is invisible in the bytes, (c) no goroutines
+// leak, and (d) the flow-cache hit counters prove warm-state reuse
+// rather than per-request rebuilds.
+func TestConcurrentLoad(t *testing.T) {
+	s := testServer(t)
+	variants := []string{
+		`{"benchmarks":["c17"]}`,
+		`{"benchmarks":["c17"],"on_fault":"collect"}`,
+		`{"benchmarks":["c17"],"wire_cap_per_um":0.2}`,
+		`{"benchmarks":["c432"]}`,
+		`{"benchmarks":["c17","c432"]}`,
+	}
+	// References taken serially before the storm.
+	refs := make([][]byte, len(variants))
+	for i, v := range variants {
+		rec := post(s, "/v1/run", v)
+		if rec.Code != StatusClean {
+			t.Fatalf("reference %d: status %d: %s", i, rec.Code, rec.Body.String())
+		}
+		refs[i] = rec.Body.Bytes()
+	}
+
+	lookupsBefore := s.reg.CounterValue("service_flow_cache_lookups")
+	buildsBefore := s.reg.CounterValue("service_flow_cache_builds")
+	base := runtime.NumGoroutine()
+
+	const n = 500
+	// Weight the storm toward the cheap variants so the test stays fast:
+	// c17 requests dominate, the multi-benchmark and c432 variants still
+	// appear dozens of times each.
+	pick := func(i int) int {
+		switch {
+		case i%10 == 9:
+			return 4
+		case i%10 == 8:
+			return 3
+		default:
+			return i % 3
+		}
+	}
+	got := make([][]byte, n)
+	codes := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec := post(s, "/v1/run", variants[pick(i)])
+			codes[i] = rec.Code
+			got[i] = rec.Body.Bytes()
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if codes[i] != StatusClean {
+			t.Fatalf("request %d: status %d: %s", i, codes[i], got[i])
+		}
+		if !bytes.Equal(got[i], refs[pick(i)]) {
+			t.Fatalf("request %d (variant %d) differs from its serial reference under concurrency:\n%s\nvs\n%s",
+				i, pick(i), got[i], refs[pick(i)])
+		}
+	}
+
+	// Warm-state reuse: every request looked the cache up, none rebuilt
+	// (the variants differ only in run-time fields, which share a FlowKey).
+	lookups := s.reg.CounterValue("service_flow_cache_lookups") - lookupsBefore
+	builds := s.reg.CounterValue("service_flow_cache_builds") - buildsBefore
+	if lookups < n {
+		t.Errorf("flow cache lookups = %d, want >= %d", lookups, n)
+	}
+	if builds != 0 {
+		t.Errorf("storm rebuilt %d flows; run-time variants must share the warm flow", builds)
+	}
+	if hits := lookups - builds; hits < n {
+		t.Errorf("flow cache hits = %d, want >= %d", hits, n)
+	}
+
+	if after := settle(base); after > base {
+		t.Errorf("goroutine leak: %d before storm, %d after settle", base, after)
+	}
+}
+
+// TestStatusMapping walks the rejection surface of both endpoints.
+func TestStatusMapping(t *testing.T) {
+	s := testServer(t)
+
+	runCases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"malformed json", `{`, StatusInvalid},
+		{"unknown field", `{"benchmarks":["c17"],"bogus":1}`, StatusInvalid},
+		{"trailing data", `{"benchmarks":["c17"]} extra`, StatusInvalid},
+		{"no benchmarks", `{"benchmarks":[]}`, StatusInvalid},
+		{"unknown benchmark", `{"benchmarks":["c999"]}`, StatusInvalid},
+		{"bad engine", `{"benchmarks":["c17"],"engine":"magic"}`, StatusInvalid},
+		{"bad policy", `{"benchmarks":["c17"],"on_fault":"retry"}`, StatusInvalid},
+		{"bad kernel budget", `{"benchmarks":["c17"],"kernel_budget":2}`, StatusInvalid},
+	}
+	for _, tc := range runCases {
+		t.Run("run/"+tc.name, func(t *testing.T) {
+			rec := post(s, "/v1/run", tc.body)
+			if rec.Code != tc.want {
+				t.Fatalf("status %d, want %d: %s", rec.Code, tc.want, rec.Body.String())
+			}
+			var resp Response
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("rejection body is not a Response: %v", err)
+			}
+			if resp.Status != tc.want || resp.Error == "" {
+				t.Errorf("rejection body: %+v", resp)
+			}
+		})
+	}
+
+	t.Run("run/too many benchmarks", func(t *testing.T) {
+		names := make([]string, 0, 65)
+		for i := 0; i < 65; i++ {
+			names = append(names, `"c17"`)
+		}
+		rec := post(s, "/v1/run", fmt.Sprintf(`{"benchmarks":[%s]}`, strings.Join(names, ",")))
+		if rec.Code != StatusTooLarge {
+			t.Fatalf("status %d, want %d", rec.Code, StatusTooLarge)
+		}
+	})
+
+	t.Run("batch/empty", func(t *testing.T) {
+		if rec := post(s, "/v1/batch", `{"requests":[]}`); rec.Code != StatusInvalid {
+			t.Fatalf("status %d, want %d", rec.Code, StatusInvalid)
+		}
+	})
+	t.Run("batch/malformed", func(t *testing.T) {
+		if rec := post(s, "/v1/batch", `[]`); rec.Code != StatusInvalid {
+			t.Fatalf("status %d, want %d", rec.Code, StatusInvalid)
+		}
+	})
+	t.Run("batch/unknown field", func(t *testing.T) {
+		if rec := post(s, "/v1/batch", `{"requests":[{"benchmarks":["c17"]}],"x":1}`); rec.Code != StatusInvalid {
+			t.Fatalf("status %d, want %d", rec.Code, StatusInvalid)
+		}
+	})
+	t.Run("batch/too large", func(t *testing.T) {
+		items := make([]string, 65)
+		for i := range items {
+			items[i] = `{"benchmarks":["c17"]}`
+		}
+		rec := post(s, "/v1/batch", fmt.Sprintf(`{"requests":[%s]}`, strings.Join(items, ",")))
+		if rec.Code != StatusTooLarge {
+			t.Fatalf("status %d, want %d", rec.Code, StatusTooLarge)
+		}
+	})
+	t.Run("batch/item failures embedded", func(t *testing.T) {
+		rec := post(s, "/v1/batch", `{"requests":[{"benchmarks":["c17"]},{"benchmarks":["c999"]}]}`)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("mixed batch call status %d, want 200", rec.Code)
+		}
+		var br BatchResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &br); err != nil {
+			t.Fatal(err)
+		}
+		var bad Response
+		if err := json.Unmarshal(br.Responses[1], &bad); err != nil {
+			t.Fatal(err)
+		}
+		if bad.Status != StatusInvalid || bad.Error == "" {
+			t.Errorf("embedded rejection: %+v", bad)
+		}
+	})
+
+	t.Run("method not allowed", func(t *testing.T) {
+		if rec := get(s, "/v1/run"); rec.Code != http.StatusMethodNotAllowed {
+			t.Fatalf("GET /v1/run: status %d", rec.Code)
+		}
+	})
+	t.Run("oversized body", func(t *testing.T) {
+		big := `{"benchmarks":["c17"],"pitch_sweep":[` + strings.Repeat("1,", maxBodyBytes/2) + `2]}`
+		if rec := post(s, "/v1/run", big); rec.Code != StatusTooLarge {
+			t.Fatalf("status %d, want %d", rec.Code, StatusTooLarge)
+		}
+	})
+}
+
+// TestFaultStatuses exercises the fault-policy → HTTP status mapping with
+// the deterministic injection harness: fail-fast aborts map to 422,
+// collect completes with 207 plus the coordinate-sorted fault list — and
+// degraded responses honour the byte-identity contract too.
+func TestFaultStatuses(t *testing.T) {
+	s := testServer(t)
+	s.hook = new(inject.Plan).InjectNaN("table2", 1).Hook()
+	defer func() { s.hook = nil }()
+
+	t.Run("fail-fast is 422", func(t *testing.T) {
+		rec := post(s, "/v1/run", `{"benchmarks":["c17","c432"]}`)
+		if rec.Code != StatusFault {
+			t.Fatalf("status %d, want %d: %s", rec.Code, StatusFault, rec.Body.String())
+		}
+		var resp Response
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Error == "" || len(resp.Rows) != 0 {
+			t.Errorf("fail-fast response: %+v", resp)
+		}
+	})
+
+	t.Run("collect is 207 with faults", func(t *testing.T) {
+		body := `{"benchmarks":["c17","c432"],"on_fault":"collect"}`
+		rec := post(s, "/v1/run", body)
+		if rec.Code != StatusDegraded {
+			t.Fatalf("status %d, want %d: %s", rec.Code, StatusDegraded, rec.Body.String())
+		}
+		var resp Response
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Rows) != 2 || resp.Rows[0].Degraded || !resp.Rows[1].Degraded {
+			t.Fatalf("rows: %+v", resp.Rows)
+		}
+		if len(resp.Faults) != 1 || resp.Faults[0].Stage != "table2" ||
+			resp.Faults[0].Index != 1 || resp.Faults[0].Item != "c432" {
+			t.Fatalf("faults: %+v", resp.Faults)
+		}
+		if resp.Faults[0].Kind == "" || resp.Faults[0].Message == "" {
+			t.Errorf("fault kind/message empty: %+v", resp.Faults[0])
+		}
+		if resp.Manifest == nil || resp.Manifest.Faults["total"] != 1 ||
+			resp.Manifest.Rows.Degraded != 1 {
+			t.Errorf("manifest fault tallies: %+v", resp.Manifest)
+		}
+
+		// Degraded responses are deterministic bytes too.
+		again := post(s, "/v1/run", body)
+		if !bytes.Equal(rec.Body.Bytes(), again.Body.Bytes()) {
+			t.Errorf("degraded responses differ between identical requests")
+		}
+	})
+}
+
+// TestTimeoutStatus pins the 504 path without paying for a real build:
+// a never-ready flow entry is parked under the request's key, so the
+// waiter loses the race against its own cancelled context.
+func TestTimeoutStatus(t *testing.T) {
+	s := New(Config{Registry: obs.New()})
+	req := s.withDefaults(core.Request{Benchmarks: []string{"c17"}})
+	key, err := req.FlowKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	s.flows[key] = &flowEntry{ready: make(chan struct{})}
+	s.order = append(s.order, key)
+	s.mu.Unlock()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	resp := s.run(ctx, core.Request{Benchmarks: []string{"c17"}}, 1)
+	if resp.Status != StatusTimeout {
+		t.Fatalf("status %d, want %d (%s)", resp.Status, StatusTimeout, resp.Error)
+	}
+}
+
+func TestStatusForError(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{context.DeadlineExceeded, StatusTimeout},
+		{context.Canceled, StatusTimeout},
+		{fmt.Errorf("wrap: %w", context.DeadlineExceeded), StatusTimeout},
+		{fmt.Errorf("wrap: %w", fault.ErrNumeric), StatusFault},
+		{fmt.Errorf("wrap: %w", fault.ErrNonConvergence), StatusFault},
+		{fmt.Errorf("wrap: %w", fault.ErrPanic), StatusFault},
+		{errors.New("mystery"), StatusInternal},
+	}
+	for _, tc := range cases {
+		if got := statusForError(tc.err); got != tc.want {
+			t.Errorf("statusForError(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestDefaultsMerge pins the server-side defaulting rules: unset fields
+// inherit the daemon's flag defaults, explicit fields win, and
+// benchmarks are never defaulted.
+func TestDefaultsMerge(t *testing.T) {
+	s := New(Config{Defaults: core.Request{
+		Engine:       "socs",
+		KernelBudget: 1e-6,
+		OnFault:      "collect",
+		WireCapPerUm: 0.2,
+		STA:          &core.STARequest{PISlewPS: 25},
+	}})
+
+	merged := s.withDefaults(core.Request{Benchmarks: []string{"c17"}})
+	if merged.Engine != "socs" || merged.KernelBudget != 1e-6 ||
+		merged.OnFault != "collect" || merged.WireCapPerUm != 0.2 ||
+		merged.STA == nil || merged.STA.PISlewPS != 25 {
+		t.Errorf("defaults not merged: %+v", merged)
+	}
+	if merged.STA == s.cfg.Defaults.STA {
+		t.Error("merged STA aliases the server default (mutation hazard)")
+	}
+
+	explicit := s.withDefaults(core.Request{
+		Benchmarks: []string{"c17"},
+		Engine:     "abbe",
+		OnFault:    "fail-fast",
+		STA:        &core.STARequest{POLoadFF: 1},
+	})
+	if explicit.Engine != "abbe" || explicit.OnFault != "fail-fast" || explicit.STA.PISlewPS != 0 {
+		t.Errorf("explicit fields overridden by defaults: %+v", explicit)
+	}
+	if explicit.PitchSweep != nil || len(explicit.Benchmarks) != 1 {
+		t.Errorf("defaults leaked into workload fields: %+v", explicit)
+	}
+}
+
+// TestFlowCacheEviction pins the FIFO bound using stub entries (no real
+// builds needed: eviction is bookkeeping over the key table).
+func TestFlowCacheEviction(t *testing.T) {
+	s := New(Config{MaxFlows: 2})
+	for i := 0; i < 4; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		s.mu.Lock()
+		e := &flowEntry{ready: make(chan struct{})}
+		close(e.ready)
+		s.flows[key] = e
+		s.order = append(s.order, key)
+		s.evictLocked()
+		s.mu.Unlock()
+	}
+	if got := s.Flows(); got != 2 {
+		t.Fatalf("Flows() = %d, want 2", got)
+	}
+	s.mu.Lock()
+	_, oldest := s.flows["key-0"]
+	_, newest := s.flows["key-3"]
+	s.mu.Unlock()
+	if oldest || !newest {
+		t.Errorf("FIFO eviction kept the wrong entries: key-0=%v key-3=%v", oldest, newest)
+	}
+}
+
+// TestWarmAndReadEndpoints covers Warm plus the three GET surfaces.
+func TestWarmAndReadEndpoints(t *testing.T) {
+	s := testServer(t)
+	if err := s.Warm(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if s.Flows() == 0 {
+		t.Error("Warm left no resident flow")
+	}
+
+	rec := get(s, "/v1/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz: %d", rec.Code)
+	}
+	var hz struct {
+		Status string `json:"status"`
+		Flows  int    `json:"flows"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Status != "ok" || hz.Flows < 1 {
+		t.Errorf("healthz: %+v", hz)
+	}
+
+	rec = get(s, "/v1/benchmarks")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "c17") {
+		t.Errorf("benchmarks: %d %s", rec.Code, rec.Body.String())
+	}
+
+	rec = get(s, "/v1/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics: %d", rec.Code)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["service_requests_total"] == 0 {
+		t.Error("metrics snapshot missing service_requests_total")
+	}
+	if _, ok := snap.Histograms["service_request_latency_ms"]; !ok {
+		t.Error("metrics snapshot missing the latency histogram")
+	}
+}
+
+// TestOverHTTP runs a thin end-to-end pass through a real TCP listener —
+// the direct-handler tests above cover semantics; this one proves the
+// daemon wiring (server, keep-alives, response framing) works on a
+// socket.
+func TestOverHTTP(t *testing.T) {
+	s := testServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	direct := post(s, "/v1/run", `{"benchmarks":["c17"]}`)
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json",
+		strings.NewReader(`{"benchmarks":["c17"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != StatusClean {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if !bytes.Equal(body, direct.Body.Bytes()) {
+		t.Errorf("socket response differs from direct handler response")
+	}
+}

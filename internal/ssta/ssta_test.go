@@ -99,7 +99,7 @@ func TestAwareRecentersBelowNaive(t *testing.T) {
 	// always performs better than traditional STA predicts"). The best
 	// case is no true bound once the systematic short-printing shift is
 	// modeled, so only the WC side is asserted.
-	cmp, err := f.Compare(d)
+	cmp, err := f.Compare(nil, d)
 	if err != nil {
 		t.Fatal(err)
 	}
