@@ -3,7 +3,10 @@
 #   make          — tier-1: build + unit tests (the PR gate)
 #   make lint     — svlint, the determinism/unit-safety analyzer suite
 #                   (detrand, maporder, floateq, walltime, unitsafety,
-#                   nakedrecover)
+#                   nakedrecover, ctxflow, faultflow, nakedgo, unitflow)
+#   make lint-self — svlint over its own implementation (internal/lint
+#                   and cmd/svlint): the analyzers must satisfy the
+#                   contracts they enforce
 #   make tier2    — tier-1 plus vet, svlint and the race detector over
 #                   the whole tree; exercises the parallel execution
 #                   engine (internal/par, the sharded CD cache, every
@@ -26,7 +29,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 tier2 lint cover ci bench bench-json bench-smoke service-smoke clean
+.PHONY: all tier1 tier2 lint lint-self cover ci bench bench-json bench-smoke service-smoke clean
 
 all: tier1
 
@@ -36,6 +39,11 @@ tier1:
 
 lint:
 	$(GO) run ./cmd/svlint ./...
+
+# The suite eats its own cooking: the analyzers, loader and driver must
+# pass every contract they enforce on the rest of the tree.
+lint-self:
+	$(GO) run ./cmd/svlint ./internal/lint ./cmd/svlint
 
 # The race pass covers the whole tree, notably internal/service (the
 # flow-cache singleflight and the batch scheduler under concurrent load).
@@ -48,7 +56,7 @@ cover:
 	$(GO) test ./... -coverprofile=cover.out
 	$(GO) run ./cmd/covercheck -profile cover.out
 
-ci: tier2 cover bench-smoke service-smoke
+ci: tier2 lint-self cover bench-smoke service-smoke
 
 bench:
 	$(GO) test -run xxx -bench 'Table2Timing|FullChipOPC' -benchmem .

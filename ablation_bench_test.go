@@ -46,10 +46,10 @@ func BenchmarkOPCRecipeAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		wafer := process.Nominal90nm()
 		model := opc.ModelProcess(wafer)
-		std := opc.BuildPitchTable(wafer, opc.Standard(model), stdcell.DrawnCD, core.DefaultPitchSweep)
+		std := opc.BuildPitchTable(nil, wafer, opc.Standard(model), stdcell.DrawnCD, core.DefaultPitchSweep, 1)
 		model.ClearCache()
 		wafer.ClearCache()
-		ideal := opc.BuildPitchTable(wafer, opc.Ideal(model), stdcell.DrawnCD, core.DefaultPitchSweep)
+		ideal := opc.BuildPitchTable(nil, wafer, opc.Ideal(model), stdcell.DrawnCD, core.DefaultPitchSweep, 1)
 		printFirst("recipes", fmt.Sprintf(
 			"== OPC recipe ablation ==\nstandard recipe residual span: %.2f nm\nideal recipe residual span:    %.2f nm\n"+
 				"even converged OPC keeps a systematic residual (model fidelity floor)",
@@ -112,7 +112,7 @@ func BenchmarkProcessWindow(b *testing.B) {
 	zs := []float64{-300, -200, -100, 0, 100, 200, 300}
 	doses := []float64{0.90, 0.95, 1.0, 1.05, 1.10}
 	for i := 0; i < b.N; i++ {
-		ws, err := expt.ProcessWindowStudy(f.Wafer, 0.10, zs, doses, f.Workers())
+		ws, err := expt.ProcessWindowStudy(nil, f.Wafer, 0.10, zs, doses, f.Workers())
 		if err != nil {
 			b.Fatal(err)
 		}

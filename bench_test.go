@@ -81,7 +81,7 @@ func BenchmarkFig1ThroughPitch(b *testing.B) {
 func BenchmarkFig2Bossung(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		p := process.Nominal90nm()
-		r, err := expt.Fig2Bossung(p, 0)
+		r, err := expt.Fig2Bossung(nil, p, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -235,7 +235,7 @@ func BenchmarkPitchTable(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		wafer := process.Nominal90nm()
 		recipe := opc.Standard(opc.ModelProcess(wafer))
-		pt := opc.BuildPitchTable(wafer, recipe, stdcell.DrawnCD, core.DefaultPitchSweep)
+		pt := opc.BuildPitchTable(nil, wafer, recipe, stdcell.DrawnCD, core.DefaultPitchSweep, 1)
 		if pt.Span() <= 0 {
 			b.Fatal("empty pitch table")
 		}

@@ -49,6 +49,9 @@ var floors = map[string]float64{
 	// all contract, so their tests must not erode.
 	"svtiming/internal/service": 80.0, // measured 85.0
 	"svtiming/internal/cli":     82.0, // measured 87.5
+	// The analyzer suite gates every other package; a hole in its own
+	// tests is a hole in the whole tree's enforcement.
+	"svtiming/internal/lint": 85.0, // measured 89.0
 }
 
 // pkgCover accumulates per-package statement totals.

@@ -72,7 +72,7 @@ func run() int {
 		fmt.Println()
 	}
 	if *fig2 || all {
-		r, err := expt.Fig2BossungCtx(ctx, wafer, common.Jobs)
+		r, err := expt.Fig2Bossung(ctx, wafer, common.Jobs)
 		if err != nil {
 			return cli.Fail(err)
 		}
@@ -93,7 +93,7 @@ func run() int {
 			return cli.Fail(err)
 		}
 		fmt.Println("\n== overlapping process window (±10% CD) ==")
-		ws, err := expt.ProcessWindowStudy(wafer, 0.10,
+		ws, err := expt.ProcessWindowStudy(ctx, wafer, 0.10,
 			expt.Fig2Defocus, []float64{0.90, 0.95, 1.0, 1.05, 1.10}, common.Jobs)
 		if err != nil {
 			return cli.Fail(err)

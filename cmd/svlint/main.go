@@ -5,29 +5,38 @@
 //	svlint ./internal/sta         # one package
 //	svlint -list                  # describe the analyzers
 //	svlint -only maporder ./...   # restrict to a subset
+//	svlint -json ./...            # machine-readable findings
+//	svlint -j 8 ./...             # analyze packages in parallel
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load failure. Type
 // resolution problems are warnings on stderr — the build is gated
 // separately by go build — so partial type information degrades the
-// checks instead of masking them.
+// checks instead of masking them. Findings are position-sorted per
+// package and packages are emitted in load order, so output is
+// byte-identical at every -j setting.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
+	"svtiming/internal/expt"
 	"svtiming/internal/lint"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
-	verbose := flag.Bool("v", false, "report per-package progress and type-resolution warnings")
+	verbose := flag.Bool("v", false, "report load time, per-package progress and type-resolution warnings")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	jobs := flag.Int("j", 1, "packages analyzed in parallel (≤ 0 uses GOMAXPROCS)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: svlint [-list] [-only names] [-v] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: svlint [-list] [-only names] [-json] [-j n] [-v] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -61,27 +70,44 @@ func main() {
 		fmt.Fprintf(os.Stderr, "svlint: %v\n", err)
 		os.Exit(2)
 	}
-	pkgs, err := lint.Load(root, flag.Args())
+	loader := lint.NewLoader()
+	loadStart := expt.Now()
+	pkgs, err := loader.Load(root, flag.Args())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "svlint: %v\n", err)
 		os.Exit(2)
 	}
-
-	findings := 0
-	for _, pkg := range pkgs {
-		if *verbose {
+	if *verbose {
+		stats := loader.Stats()
+		fmt.Fprintf(os.Stderr, "svlint: loaded %d package(s) in %v (parsed %d dir(s), checked %d; cache hits: %d parse, %d check)\n",
+			len(pkgs), expt.Now().Sub(loadStart).Round(time.Millisecond),
+			stats.ParsedDirs, stats.CheckedPackages,
+			stats.ParseCacheHits, stats.CheckCacheHits)
+		for _, pkg := range pkgs {
 			fmt.Fprintf(os.Stderr, "svlint: checking %s\n", pkg.Path)
 			for _, terr := range pkg.TypeErrors {
 				fmt.Fprintf(os.Stderr, "svlint: %s: type resolution: %v\n", pkg.Path, terr)
 			}
 		}
-		for _, d := range lint.RunPackage(pkg, analyzers) {
+	}
+
+	diags, err := lint.RunPackages(context.Background(), *jobs, pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svlint: %v\n", err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, root, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "svlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
 			fmt.Println(d)
-			findings++
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "svlint: %d finding(s)\n", findings)
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "svlint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
 }

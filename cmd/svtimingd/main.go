@@ -107,6 +107,7 @@ func run() int {
 	// port when -addr ends in :0).
 	log.Printf("listening on http://%s", ln.Addr())
 	serveErr := make(chan error, 1)
+	//lint:allow nakedgo HTTP accept loop: runs until shutdown and unblocks the select below; a pooled task would never return
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
 	select {

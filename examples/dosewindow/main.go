@@ -28,7 +28,7 @@ func main() {
 	doses := []float64{0.90, 0.95, 1.0, 1.05, 1.10}
 
 	fmt.Println("overlapping process window (CD within ±10% of its nominal):")
-	ws, err := expt.ProcessWindowStudy(flow.Wafer, 0.10, defocus, doses, flow.Workers())
+	ws, err := expt.ProcessWindowStudy(nil, flow.Wafer, 0.10, defocus, doses, flow.Workers())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -41,7 +41,7 @@ func main() {
 	// 2. The same ladder after standard model-based OPC: the residual is
 	// much smaller but still systematic in pitch (the paper's §2
 	// observation, ~10% of target).
-	pt := opc.BuildPitchTable(wafer, recipe, 90, []float64{240, 300, 390, 520, 690})
+	pt := opc.BuildPitchTable(nil, wafer, recipe, 90, []float64{240, 300, 390, 520, 690}, 1)
 	fmt.Println("after standard model-based OPC:")
 	fmt.Print(pt)
 	fmt.Printf("residual systematic span: %.2f nm (%.1f%% of target)\n\n",

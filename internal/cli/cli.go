@@ -136,7 +136,7 @@ func (c *Common) StartPprof() error {
 		return nil
 	}
 	if err := expt.StartPprof(c.PprofAddr); err != nil {
-		return fmt.Errorf("-pprof: %v", err)
+		return fmt.Errorf("-pprof: %w", err)
 	}
 	return nil
 }

@@ -135,9 +135,15 @@ func (f *Flow) StaOptions(d *Design) sta.Options {
 // sweep are consumed while the tables build, so late assignment is
 // silently ignored — the failure mode the options API removes).
 func NewFlow(opts ...Option) (*Flow, error) {
-	cfg := flowConfig{ctx: stdctx.Background(), budget: corners.Default90nm()}
+	cfg := flowConfig{budget: corners.Default90nm()}
 	for _, opt := range opts {
 		opt(&cfg)
+	}
+	// nil-default idiom: the root context is owned by the caller (WithContext);
+	// absent one, Background is decided here at the API boundary, not below.
+	cctx := cfg.ctx
+	if cctx == nil {
+		cctx = stdctx.Background()
 	}
 	workers := par.Workers(cfg.parallelism)
 	sweep := cfg.pitchSweep
@@ -145,7 +151,7 @@ func NewFlow(opts ...Option) (*Flow, error) {
 		sweep = DefaultPitchSweep
 	}
 	reg := cfg.obs
-	ctx := obs.NewContext(cfg.ctx, reg)
+	ctx := obs.NewContext(cctx, reg)
 
 	wafer := process.Nominal90nm()
 	// Engine and budget must land before ModelProcess copies the optics
@@ -162,9 +168,9 @@ func NewFlow(opts ...Option) (*Flow, error) {
 
 	span := reg.Span("pitchtable")
 	span.AddItems(int64(len(sweep)))
-	pitch := opc.BuildPitchTableCtx(ctx, wafer, recipe, stdcell.DrawnCD, sweep, workers)
+	pitch := opc.BuildPitchTable(ctx, wafer, recipe, stdcell.DrawnCD, sweep, workers)
 	span.End()
-	if err := cfg.ctx.Err(); err != nil {
+	if err := cctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: flow construction cancelled: %w", err)
 	}
 	lib := stdcell.Default()

@@ -75,7 +75,8 @@ func WithTransientCharacterization() Option {
 }
 
 // WithContext attaches a cancellation context to flow construction and
-// gives long builds (characterization, pitch sweep) an early-out.
+// gives long builds (characterization, pitch sweep) an early-out. A nil
+// ctx means context.Background, per the tree-wide nil-default idiom.
 func WithContext(ctx stdctx.Context) Option {
 	return func(c *flowConfig) { c.ctx = ctx }
 }

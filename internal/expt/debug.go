@@ -19,6 +19,7 @@ func StartPprof(addr string) error {
 	if err != nil {
 		return err
 	}
+	//lint:allow nakedgo pprof accept loop lives for the whole process; par pool semantics (bounded fan-out, joined collection) cannot express a detached listener
 	go func() {
 		// The default mux carries the pprof handlers via the blank
 		// import above. Serve errors after a successful listen mean the

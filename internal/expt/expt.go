@@ -83,22 +83,20 @@ type Fig2Result struct {
 
 // Fig2Bossung regenerates Figure 2 from the simulator, fanning each FEM's
 // defocus × dose grid out over the shared worker pool (workers ≤ 0 uses
-// GOMAXPROCS, 1 is serial).
-func Fig2Bossung(p *process.Process, workers int) (Fig2Result, error) {
-	return Fig2BossungCtx(stdctx.Background(), p, workers)
-}
-
-// Fig2BossungCtx is Fig2Bossung honouring an external context: a deadline
+// GOMAXPROCS, 1 is serial). A nil ctx means context.Background; a deadline
 // or cancellation aborts the FEM grids promptly and surfaces the context's
 // error.
-func Fig2BossungCtx(ctx stdctx.Context, p *process.Process, workers int) (Fig2Result, error) {
+func Fig2Bossung(ctx stdctx.Context, p *process.Process, workers int) (Fig2Result, error) {
+	if ctx == nil {
+		ctx = stdctx.Background()
+	}
 	pats := fem.StandardTestPatterns(p)
 	var r Fig2Result
 	var err error
-	if r.Dense, err = fem.BuildCtx(ctx, p, "dense 90nm/150nm-space", pats["dense"], Fig2Defocus, Fig2Doses, workers); err != nil {
+	if r.Dense, err = fem.Build(ctx, p, "dense 90nm/150nm-space", pats["dense"], Fig2Defocus, Fig2Doses, workers); err != nil {
 		return r, err
 	}
-	if r.Iso, err = fem.BuildCtx(ctx, p, "isolated 90nm", pats["isolated"], Fig2Defocus, Fig2Doses, workers); err != nil {
+	if r.Iso, err = fem.Build(ctx, p, "isolated 90nm", pats["isolated"], Fig2Defocus, Fig2Doses, workers); err != nil {
 		return r, err
 	}
 	if r.DenseFit, err = r.Dense.Fit(1.0); err != nil {

@@ -67,7 +67,7 @@ func TestFig1Shape(t *testing.T) {
 
 func TestFig2Shape(t *testing.T) {
 	p := process.Nominal90nm()
-	r, err := Fig2Bossung(p, 2)
+	r, err := Fig2Bossung(nil, p, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

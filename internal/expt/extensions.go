@@ -147,15 +147,18 @@ type WindowSummary struct {
 // ProcessWindowStudy computes the classic overlapping-window analysis for
 // the standard test patterns, each specified against its own best-focus
 // nominal-dose CD with the given tolerance. The two FEM grids fan out over
-// the par worker pool (workers ≤ 0 uses GOMAXPROCS, 1 is serial).
-func ProcessWindowStudy(p *process.Process, tolFrac float64, defocus, doses []float64, workers int) ([]WindowSummary, error) {
+// the par worker pool (workers ≤ 0 uses GOMAXPROCS, 1 is serial). A nil
+// ctx means context.Background.
+func ProcessWindowStudy(ctx stdctx.Context, p *process.Process, tolFrac float64, defocus, doses []float64, workers int) ([]WindowSummary, error) {
+	if ctx == nil {
+		ctx = stdctx.Background()
+	}
 	pats := fem.StandardTestPatterns(p)
-	ctx := stdctx.Background()
-	dense, err := fem.BuildCtx(ctx, p, "dense", pats["dense"], defocus, doses, workers)
+	dense, err := fem.Build(ctx, p, "dense", pats["dense"], defocus, doses, workers)
 	if err != nil {
 		return nil, err
 	}
-	iso, err := fem.BuildCtx(ctx, p, "isolated", pats["isolated"], defocus, doses, workers)
+	iso, err := fem.Build(ctx, p, "isolated", pats["isolated"], defocus, doses, workers)
 	if err != nil {
 		return nil, err
 	}

@@ -80,7 +80,7 @@ func TestProcessWindowStudy(t *testing.T) {
 	f := testFlow(t)
 	zs := []float64{-300, -200, -100, 0, 100, 200, 300}
 	doses := []float64{0.9, 1.0, 1.1}
-	ws, err := ProcessWindowStudy(f.Wafer, 0.10, zs, doses, 2)
+	ws, err := ProcessWindowStudy(nil, f.Wafer, 0.10, zs, doses, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

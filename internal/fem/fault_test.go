@@ -26,7 +26,7 @@ func poisonedProcess() *process.Process {
 func TestBuildSurfacesNumericFaultNotPanic(t *testing.T) {
 	p := poisonedProcess()
 	pats := StandardTestPatterns(p)
-	_, err := Build(p, "dense", pats["dense"], []float64{0}, []float64{1.0})
+	_, err := Build(nil, p, "dense", pats["dense"], []float64{0}, []float64{1.0}, 1)
 	if err == nil {
 		t.Fatal("poisoned optics built a matrix without error")
 	}
@@ -45,7 +45,7 @@ func TestBuildSurfacesNumericFaultNotPanic(t *testing.T) {
 	}
 }
 
-func TestBuildCtxCancelledMidSweep(t *testing.T) {
+func TestBuildCancelledMidSweep(t *testing.T) {
 	// Satellite: cancelling a FEM build partway through returns promptly
 	// with context.Canceled and leaks no workers. The cancellation is
 	// triggered from inside the optical kernel via the aberration hook, so
@@ -65,10 +65,10 @@ func TestBuildCtxCancelledMidSweep(t *testing.T) {
 
 	pats := StandardTestPatterns(p)
 	start := time.Now()
-	_, err := BuildCtx(ctx, p, "dense", pats["dense"], defocusGrid(),
+	_, err := Build(ctx, p, "dense", pats["dense"], defocusGrid(),
 		[]float64{0.9, 0.95, 1.0, 1.05, 1.1}, 4)
 	if !errors.Is(err, context.Canceled) {
-		t.Fatalf("BuildCtx err = %v, want context.Canceled", err)
+		t.Fatalf("Build err = %v, want context.Canceled", err)
 	}
 	// Prompt return: in-flight cells may finish, but none of the remaining
 	// 35-cell grid should start. A full build takes far longer than this.

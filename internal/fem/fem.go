@@ -53,21 +53,20 @@ func (f BossungFit) Smiles() bool { return f.B2 > 0 }
 func (f BossungFit) Excursion(z float64) float64 { return f.At(z) - f.B0 }
 
 // Build sweeps the process over the defocus × dose grid for the given
-// environment and returns its FEM. The error is non-nil on a numeric
-// fault inside a simulation (a corrupted aerial image — distinct from a
-// feature legitimately failing to print, which records a NaN sample) or
-// on a contained worker panic.
-func Build(p *process.Process, pattern string, env process.Env, defocus, doses []float64) (Matrix, error) {
-	return BuildCtx(context.Background(), p, pattern, env, defocus, doses, 1)
-}
-
-// BuildCtx is Build with the defocus × dose grid fanned out over one
+// environment and returns its FEM, with the grid fanned out over one
 // shared par worker pool: every (dose, defocus) cell is an independent
 // simulation, and the grid's index-ordered collection keeps curve and
-// sample order identical to the serial sweep. workers ≤ 0 uses GOMAXPROCS.
-// On cancellation or a simulation fault the partial matrix is returned
-// alongside the error (lowest-index error, per the par contract).
-func BuildCtx(ctx context.Context, p *process.Process, pattern string, env process.Env, defocus, doses []float64, workers int) (Matrix, error) {
+// sample order identical to the serial sweep. A nil ctx means
+// context.Background; workers ≤ 0 uses GOMAXPROCS. The error is non-nil
+// on a numeric fault inside a simulation (a corrupted aerial image —
+// distinct from a feature legitimately failing to print, which records a
+// NaN sample) or on a contained worker panic; on cancellation or a
+// simulation fault the partial matrix is returned alongside the error
+// (lowest-index error, per the par contract).
+func Build(ctx context.Context, p *process.Process, pattern string, env process.Env, defocus, doses []float64, workers int) (Matrix, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	m := Matrix{Pattern: pattern}
 	if len(env.Left) > 0 {
 		m.Pitch = env.Left[0].Gap + (env.Left[0].Width+env.Width)/2

@@ -16,7 +16,7 @@ func defocusGrid() []float64 {
 
 func mustBuild(t *testing.T, p *process.Process, pattern string, env process.Env, defocus, doses []float64) Matrix {
 	t.Helper()
-	m, err := Build(p, pattern, env, defocus, doses)
+	m, err := Build(nil, p, pattern, env, defocus, doses, 1)
 	if err != nil {
 		t.Fatalf("Build(%s): %v", pattern, err)
 	}

@@ -148,7 +148,7 @@ func SmileFrownBoundary(p *process.Process, spacings, defocus, doses []float64, 
 	curv, err := par.Sweep(nil, workers, spacings,
 		func(ctx context.Context, s float64) ([]float64, error) {
 			env := process.DensePitch(w, w+s, 4)
-			m, err := BuildCtx(ctx, p, fmt.Sprintf("s=%.0f", s), env, defocus, doses, 1)
+			m, err := Build(ctx, p, fmt.Sprintf("s=%.0f", s), env, defocus, doses, 1)
 			if err != nil {
 				return nil, err
 			}

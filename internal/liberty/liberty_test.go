@@ -93,8 +93,8 @@ func TestTableAtMonotoneProperty(t *testing.T) {
 var testLib = func() *Library {
 	wafer := process.Nominal90nm()
 	recipe := opc.Standard(opc.ModelProcess(wafer))
-	pitch := opc.BuildPitchTable(wafer, recipe, stdcell.DrawnCD,
-		[]float64{300, 390, 450, 600})
+	pitch := opc.BuildPitchTable(nil, wafer, recipe, stdcell.DrawnCD,
+		[]float64{300, 390, 450, 600}, 1)
 	lib, err := Characterize(stdcell.Default(), CharConfig{
 		Wafer: wafer, Recipe: recipe, Pitch: pitch,
 	})
@@ -258,7 +258,7 @@ func TestCharacterizeRejectsMissingConfig(t *testing.T) {
 func TestTransientCharacterization(t *testing.T) {
 	wafer := process.Nominal90nm()
 	recipe := opc.Standard(opc.ModelProcess(wafer))
-	pitch := opc.BuildPitchTable(wafer, recipe, stdcell.DrawnCD, []float64{300, 450, 600})
+	pitch := opc.BuildPitchTable(nil, wafer, recipe, stdcell.DrawnCD, []float64{300, 450, 600}, 1)
 	lib, err := Characterize(stdcell.Default(), CharConfig{
 		Wafer: wafer, Recipe: recipe, Pitch: pitch, Transient: true,
 	})

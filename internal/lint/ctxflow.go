@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow pins PR 6's ctx-first API collapse: context flows down from the
+// entry point, and nil means context.Background. Three rules, the last
+// two interprocedural over the call-graph summaries:
+//
+//  1. context.Background()/context.TODO() in library code manufactures a
+//     context mid-stack, detaching everything below it from the caller's
+//     deadline and cancellation. The only sanctioned forms are the
+//     nil-default idiom inside a ctx-receiving function
+//     (`if ctx == nil { ctx = context.Background() }`) and the entry
+//     layers that own the root context: package main and internal/cli.
+//
+//  2. A function that receives a ctx must thread it: passing a nil
+//     literal in the ctx slot of a ctx-capable callee silently downgrades
+//     the caller's deadline to Background.
+//
+//  3. A function that receives a ctx must not call a context-less
+//     function that manufactures its own downstream (LosesContext in its
+//     summary) — the thread is broken one frame below, where rule 1 and 2
+//     cannot see it from this package.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "forbids context.Background/TODO outside sanctioned entry points and requires ctx-receiving functions to thread their context to every ctx-capable callee",
+	Run:  runCtxFlow,
+}
+
+// ctxEntryPoint reports whether the package is a sanctioned root-context
+// owner: a command or example main, or the shared CLI flag layer that
+// builds the root context for every command.
+func ctxEntryPoint(p *Pass) bool {
+	if p.Pkg != nil {
+		if p.Pkg.Name() == "main" {
+			return true
+		}
+		if strings.HasSuffix(p.Pkg.Path(), "internal/cli") {
+			return true
+		}
+	}
+	for _, f := range p.Files {
+		if f.Name.Name == "main" {
+			return true
+		}
+	}
+	return false
+}
+
+func runCtxFlow(p *Pass) {
+	entry := ctxEntryPoint(p)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			checkCtxFunc(p, decl, entry)
+		}
+	}
+}
+
+// checkCtxFunc applies the three rules to one declaration. Function
+// literals are checked against their own parameter lists: a par.Map
+// callback receives its own ctx and must thread that one.
+func checkCtxFunc(p *Pass, decl *ast.FuncDecl, entry bool) {
+	sanctioned := nilDefaultBackgrounds(p.Info, decl.Body)
+	var walk func(ftype *ast.FuncType, body *ast.BlockStmt, inherited bool)
+	walk = func(ftype *ast.FuncType, body *ast.BlockStmt, inherited bool) {
+		// A closure sees the enclosing function's ctx as well as its own:
+		// either way, a nil or Background in a ctx slot drops a live
+		// context that was in scope.
+		receivesCtx := inherited || funcTypeHasCtx(p, ftype)
+		ast.Inspect(body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				walk(lit.Type, lit.Body, receivesCtx)
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeOf(p.Info, call)
+			if callee == nil {
+				return true
+			}
+			if isContextMake(callee) {
+				if !entry && !sanctioned[call] {
+					p.Reportf(call.Pos(),
+						"context.%s() in library code detaches callees from the caller's deadline; accept a ctx parameter (nil means Background) or thread the caller's",
+						callee.Name())
+				}
+				return true
+			}
+			if !receivesCtx {
+				return true
+			}
+			sig, _ := callee.Type().(*types.Signature)
+			if sig == nil {
+				return true
+			}
+			if i := ctxParamIndex(sig); i >= 0 && i < len(call.Args) {
+				if id, ok := ast.Unparen(call.Args[i]).(*ast.Ident); ok && id.Name == "nil" {
+					p.Reportf(call.Args[i].Pos(),
+						"receives a context but passes nil to %s; thread ctx so cancellation and deadlines propagate",
+						callee.Name())
+				}
+				return true
+			}
+			if s := p.Graph.Summary(callee); s != nil && s.CtxParam < 0 && s.LosesContext {
+				p.Reportf(call.Pos(),
+					"receives a context but calls %s, which builds its own context downstream; thread ctx through a ctx-capable variant",
+					callee.Name())
+			}
+			return true
+		})
+	}
+	walk(decl.Type, decl.Body, false)
+}
+
+// funcTypeHasCtx reports whether the function type declares a
+// context.Context parameter under a usable (non-blank) name.
+func funcTypeHasCtx(p *Pass, ftype *ast.FuncType) bool {
+	if ftype.Params == nil {
+		return false
+	}
+	for _, f := range ftype.Params.List {
+		named := false
+		for _, name := range f.Names {
+			if name.Name != "_" {
+				named = true
+			}
+		}
+		if !named {
+			continue
+		}
+		if t := p.typeOf(f.Type); t != nil {
+			if isContextType(t) {
+				return true
+			}
+			continue
+		}
+		// Syntactic fallback when type information is partial.
+		if sel, ok := f.Type.(*ast.SelectorExpr); ok && sel.Sel.Name == "Context" {
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == "context" {
+				return true
+			}
+		}
+	}
+	return false
+}

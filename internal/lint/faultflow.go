@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// FaultFlow pins the internal/fault taxonomy contract: errors crossing a
+// package boundary must stay typed — either a taxonomy value itself or a
+// chain the taxonomy survives through errors.Is/As. Two findings:
+//
+//   - fmt.Errorf with an error among its operands but no %w verb: the
+//     wrapped fault's type, sweep coordinate and sentinel identity are
+//     flattened into prose, so callers can no longer match it. %v on an
+//     error you then return is exactly how a *fault.Numeric degrades into
+//     an anonymous string.
+//
+//   - a call whose error result is silently discarded (an expression
+//     statement): the fault vanishes without even prose. Explicit
+//     discards (`_ = f()`) and deferred cleanup stay legal — both are
+//     visible statements of intent — as are the fmt print family and the
+//     never-failing strings.Builder/bytes.Buffer writers.
+//
+// The callee's error-returning status comes from the call-graph summary
+// when the callee is module-internal, and from its type signature
+// otherwise, so the check is interprocedural without being
+// module-bounded.
+var FaultFlow = &Analyzer{
+	Name: "faultflow",
+	Doc:  "forbids fmt.Errorf without %w on a propagated error and silently discarded error returns",
+	Run:  runFaultFlow,
+}
+
+func runFaultFlow(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := x.X.(*ast.CallExpr); ok {
+					checkDiscardedError(p, call)
+				}
+			case *ast.CallExpr:
+				checkErrorfWrap(p, x)
+			}
+			return true
+		})
+	}
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that interpolate an error value
+// without a %w verb.
+func checkErrorfWrap(p *Pass, call *ast.CallExpr) {
+	callee := calleeOf(p.Info, call)
+	if callee == nil || callee.Name() != "Errorf" ||
+		callee.Pkg() == nil || callee.Pkg().Path() != "fmt" || len(call.Args) < 2 {
+		return
+	}
+	format, ok := constantString(p.Info, call.Args[0])
+	if !ok || strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		t := p.typeOf(arg)
+		if t == nil || !isErrorType(t) {
+			continue
+		}
+		p.Reportf(call.Pos(),
+			"fmt.Errorf formats an error without %%w, flattening its type and coordinates to prose; wrap with %%w so errors.Is/As still see the fault taxonomy")
+		return
+	}
+}
+
+// fmtPrintFuncs are fmt's print family, whose error return is
+// conventionally ignored for stdout/stderr diagnostics.
+var fmtPrintFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// discardExempt lists callees whose returned error is conventionally
+// ignored: fmt's print family (stdout/stderr diagnostics) and the
+// in-memory writers that are documented never to fail.
+func discardExempt(callee *types.Func) bool {
+	pkg := callee.Pkg()
+	if pkg != nil && pkg.Path() == "fmt" && fmtPrintFuncs[callee.Name()] {
+		return true
+	}
+	sig, _ := callee.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type().String()
+	return strings.HasSuffix(recv, "strings.Builder") || strings.HasSuffix(recv, "bytes.Buffer")
+}
+
+// checkDiscardedError flags expression-statement calls whose callee
+// returns an error the statement drops on the floor.
+func checkDiscardedError(p *Pass, call *ast.CallExpr) {
+	returnsErr := false
+	name := ""
+	if callee := calleeOf(p.Info, call); callee != nil {
+		if discardExempt(callee) {
+			return
+		}
+		name = callee.Name()
+		if s := p.Graph.Summary(callee); s != nil {
+			returnsErr = s.ReturnsError
+		} else if sig, ok := callee.Type().(*types.Signature); ok {
+			returnsErr = signatureReturnsError(sig)
+		}
+	} else {
+		// Calls through function values still carry a signature.
+		t := p.typeOf(call.Fun)
+		sig, ok := t.(*types.Signature)
+		if !ok || t == nil {
+			return
+		}
+		returnsErr = signatureReturnsError(sig)
+		name = "the called function"
+	}
+	if !returnsErr {
+		return
+	}
+	p.Reportf(call.Pos(),
+		"error result of %s is silently discarded, so a fault vanishes without a trace; handle it, propagate it, or discard explicitly with _ =",
+		name)
+}

@@ -1,0 +1,43 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+)
+
+// jsonFinding is the machine-readable shape of one diagnostic, the
+// svlint -json wire format CI turns into GitHub annotations.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON writes diags to w as one JSON array, in the given order.
+// File names under root are emitted root-relative (with forward
+// slashes), the shape GitHub annotations and editors want; others stay
+// as-is. An empty finding list encodes as [], not null.
+func WriteJSON(w io.Writer, root string, diags []Diagnostic) error {
+	findings := make([]jsonFinding, 0, len(diags))
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if root != "" {
+			if rel, err := filepath.Rel(root, file); err == nil && filepath.IsLocal(rel) {
+				file = filepath.ToSlash(rel)
+			}
+		}
+		findings = append(findings, jsonFinding{
+			File:     file,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(findings)
+}

@@ -49,12 +49,15 @@ type Analyzer struct {
 // Pass carries one package's parsed and type-checked state to an
 // analyzer. Type information may be partial (Info lookups can miss) when
 // the loader could not fully resolve an import; analyzers degrade to
-// syntactic checks in that case rather than failing.
+// syntactic checks in that case rather than failing. Graph is the
+// module-wide call-graph summary table shared by every package of the
+// run; it is read-only during analysis.
 type Pass struct {
 	Fset  *token.FileSet
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	Graph *Graph
 
 	analyzer *Analyzer
 	diags    *[]Diagnostic
@@ -118,9 +121,14 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
 }
 
-// All returns the full analyzer suite in report order.
+// All returns the full analyzer suite in report order: the six
+// single-expression checks of PR 2/3 followed by the four
+// interprocedural dataflow analyzers built on the call-graph summaries.
 func All() []*Analyzer {
-	return []*Analyzer{DetRand, MapOrder, FloatEq, WallTime, UnitSafety, NakedRecover}
+	return []*Analyzer{
+		DetRand, MapOrder, FloatEq, WallTime, UnitSafety, NakedRecover,
+		CtxFlow, FaultFlow, NakedGo, UnitFlow,
+	}
 }
 
 // allowDirective is one parsed //lint:allow comment.
@@ -184,8 +192,15 @@ func collectAllows(pkg *Package, analyzers []*Analyzer) ([]allowDirective, []Dia
 }
 
 // RunPackage runs the analyzers over one loaded package and returns the
-// findings that survive //lint:allow suppression, in position order.
+// findings that survive //lint:allow suppression, in position order. A
+// package without a call graph (hand-built in a test) gets one built
+// from its own files, so the interprocedural analyzers degrade to
+// package-local summaries instead of failing.
 func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	graph := pkg.Graph
+	if graph == nil {
+		graph = BuildGraph([]*Package{pkg})
+	}
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -193,6 +208,7 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			Files:    pkg.Files,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
+			Graph:    graph,
 			analyzer: a,
 			diags:    &diags,
 		}

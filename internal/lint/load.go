@@ -12,11 +12,14 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, parsed and type-checked package. TypeErrors
 // collects non-fatal resolution problems (the analyzers still run, with
-// partial type information, when it is non-empty).
+// partial type information, when it is non-empty). Graph is the
+// module-wide call-graph summary table shared by every package of the
+// same load.
 type Package struct {
 	Path  string // import path ("svtiming/internal/sta", or a testdata pseudo-path)
 	Dir   string
@@ -24,8 +27,60 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	Graph *Graph
 
 	TypeErrors []error
+}
+
+// LoadStats counts the work a Loader has done and the work its memo
+// saved. svlint -v reports these so a load-path regression (re-parsing
+// the module per analyzer, re-checking the stdlib per pattern) is
+// visible instead of silent.
+type LoadStats struct {
+	ParsedDirs      int // directories parsed from disk
+	ParseCacheHits  int // directory parses served from the memo
+	CheckedPackages int // packages type-checked
+	CheckCacheHits  int // type-checks served from the memo
+}
+
+// Loader parses and type-checks module packages, memoizing both the
+// parsed file sets (per directory) and the type-checked packages (per
+// import path) across Load calls. One svlint invocation — and one test
+// binary — therefore pays for the module parse and the stdlib
+// type-check once, no matter how many patterns, analyzers or test cases
+// drive it. The zero value is not usable; call NewLoader.
+type Loader struct {
+	mu     sync.Mutex
+	fset   *token.FileSet
+	parsed map[string][]*ast.File // by absolute directory
+	nodes  map[string]*loadNode   // by import path
+	std    types.Importer
+	stats  LoadStats
+}
+
+type loadNode struct {
+	pkg     *Package
+	imports []string // module-internal import paths
+	checked bool
+}
+
+// NewLoader returns an empty Loader with its own file set and stdlib
+// source importer.
+func NewLoader() *Loader {
+	l := &Loader{
+		fset:   token.NewFileSet(),
+		parsed: make(map[string][]*ast.File),
+		nodes:  make(map[string]*loadNode),
+	}
+	l.std = importer.ForCompiler(l.fset, "source", nil)
+	return l
+}
+
+// Stats returns a snapshot of the loader's work counters.
+func (l *Loader) Stats() LoadStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
 }
 
 // Load parses and type-checks the module packages matched by patterns,
@@ -39,8 +94,17 @@ type Package struct {
 //
 // The loader stays dependency-free by type-checking with the stdlib
 // source importer for external imports and serving module-internal
-// imports from its own (dependency-ordered) results.
+// imports from its own (dependency-ordered) results. Repeated Load calls
+// on one Loader reuse parses and checks from earlier calls.
 func Load(root string, patterns []string) ([]*Package, error) {
+	return NewLoader().Load(root, patterns)
+}
+
+// Load implements the package-level Load with memoization across calls.
+func (l *Loader) Load(root string, patterns []string) ([]*Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
 	root, err := filepath.Abs(root)
 	if err != nil {
 		return nil, err
@@ -54,38 +118,10 @@ func Load(root string, patterns []string) ([]*Package, error) {
 		return nil, err
 	}
 
-	fset := token.NewFileSet()
-	type node struct {
-		pkg     *Package
-		imports []string // module-internal import paths
-	}
-	nodes := make(map[string]*node)
 	for _, dir := range dirs {
-		files, err := parseDir(fset, dir)
-		if err != nil {
+		if _, err := l.node(root, modPath, dir); err != nil {
 			return nil, err
 		}
-		if len(files) == 0 {
-			continue
-		}
-		rel, err := filepath.Rel(root, dir)
-		if err != nil {
-			return nil, err
-		}
-		path := modPath
-		if rel != "." {
-			path = modPath + "/" + filepath.ToSlash(rel)
-		}
-		n := &node{pkg: &Package{Path: path, Dir: dir, Fset: fset, Files: files}}
-		for _, f := range files {
-			for _, imp := range f.Imports {
-				p := strings.Trim(imp.Path.Value, `"`)
-				if p == modPath || strings.HasPrefix(p, modPath+"/") {
-					n.imports = append(n.imports, p)
-				}
-			}
-		}
-		nodes[path] = n
 	}
 
 	// Dependency-order the module packages so every internal import is
@@ -101,25 +137,15 @@ func Load(root string, patterns []string) ([]*Package, error) {
 		case 2:
 			return nil
 		}
-		n, ok := nodes[path]
+		n, ok := l.nodes[path]
 		if !ok {
 			// An internal import outside the requested patterns: load its
 			// directory now so type-checking can proceed.
 			dir := filepath.Join(root, filepath.FromSlash(strings.TrimPrefix(path, modPath+"/")))
-			files, err := parseDir(fset, dir)
-			if err != nil || len(files) == 0 {
-				return nil // leave it to the importer to report
+			var err error
+			if n, err = l.node(root, modPath, dir); err != nil || n == nil {
+				return err // a missing dir is left to the importer to report
 			}
-			n = &node{pkg: &Package{Path: path, Dir: dir, Fset: fset, Files: files}}
-			for _, f := range files {
-				for _, imp := range f.Imports {
-					p := strings.Trim(imp.Path.Value, `"`)
-					if strings.HasPrefix(p, modPath+"/") {
-						n.imports = append(n.imports, p)
-					}
-				}
-			}
-			nodes[path] = n
 		}
 		state[path] = 1
 		for _, dep := range n.imports {
@@ -131,8 +157,8 @@ func Load(root string, patterns []string) ([]*Package, error) {
 		order = append(order, path)
 		return nil
 	}
-	paths := make([]string, 0, len(nodes))
-	for p := range nodes {
+	paths := make([]string, 0, len(l.nodes))
+	for p := range l.nodes {
 		paths = append(paths, p)
 	}
 	sort.Strings(paths)
@@ -142,51 +168,107 @@ func Load(root string, patterns []string) ([]*Package, error) {
 		}
 	}
 
-	imp := &moduleImporter{
-		checked: make(map[string]*types.Package),
-		std:     importer.ForCompiler(fset, "source", nil),
-	}
-	var out []*Package
+	imp := &loaderImporter{l: l}
 	requested := make(map[string]bool, len(dirs))
 	for _, d := range dirs {
 		requested[d] = true
 	}
+	var out []*Package
 	for _, path := range order {
-		n := nodes[path]
-		check(n.pkg, imp)
-		if n.pkg.Types != nil {
-			imp.checked[path] = n.pkg.Types
+		n := l.nodes[path]
+		if !n.checked {
+			check(n.pkg, imp)
+			n.checked = true
+			l.stats.CheckedPackages++
+		} else {
+			l.stats.CheckCacheHits++
 		}
 		if requested[n.pkg.Dir] {
 			out = append(out, n.pkg)
 		}
 	}
+
+	// One summary graph spans every package of the loader, so the
+	// interprocedural analyzers see module-wide callees even when the
+	// requested pattern is a single directory.
+	all := make([]*Package, 0, len(l.nodes))
+	for _, p := range paths {
+		all = append(all, l.nodes[p].pkg)
+	}
+	graph := BuildGraph(all)
+	for _, n := range l.nodes {
+		n.pkg.Graph = graph
+	}
+
 	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
 	return out, nil
+}
+
+// node returns the (possibly memoized) parse node for dir, or nil when
+// the directory holds no non-test Go files.
+func (l *Loader) node(root, modPath, dir string) (*loadNode, error) {
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	path := modPath
+	if rel != "." {
+		path = modPath + "/" + filepath.ToSlash(rel)
+	}
+	if n, ok := l.nodes[path]; ok {
+		return n, nil
+	}
+	files, err := l.parseDir(dir)
+	if err != nil || len(files) == 0 {
+		return nil, err
+	}
+	n := &loadNode{pkg: &Package{Path: path, Dir: dir, Fset: l.fset, Files: files}}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if p == modPath || strings.HasPrefix(p, modPath+"/") {
+				n.imports = append(n.imports, p)
+			}
+		}
+	}
+	l.nodes[path] = n
+	return n, nil
 }
 
 // LoadDir loads one directory as a standalone package with no module
 // context (imports resolve against the standard library only). This is
 // the entry point the golden-file tests use for testdata packages.
 func LoadDir(dir string) (*Package, error) {
+	return NewLoader().LoadDir(dir)
+}
+
+// LoadDir implements the package-level LoadDir on a memoizing Loader, so
+// a test binary loading many testdata packages shares one stdlib check.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
 	dir, err := filepath.Abs(dir)
 	if err != nil {
 		return nil, err
 	}
-	fset := token.NewFileSet()
-	files, err := parseDir(fset, dir)
+	path := "testdata/" + filepath.Base(dir)
+	if n, ok := l.nodes[path]; ok {
+		l.stats.CheckCacheHits++
+		return n.pkg, nil
+	}
+	files, err := l.parseDir(dir)
 	if err != nil {
 		return nil, err
 	}
 	if len(files) == 0 {
 		return nil, fmt.Errorf("lint: no Go files in %s", dir)
 	}
-	pkg := &Package{Path: "testdata/" + filepath.Base(dir), Dir: dir, Fset: fset, Files: files}
-	imp := &moduleImporter{
-		checked: make(map[string]*types.Package),
-		std:     importer.ForCompiler(fset, "source", nil),
-	}
-	check(pkg, imp)
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files}
+	check(pkg, &loaderImporter{l: l})
+	l.stats.CheckedPackages++
+	pkg.Graph = BuildGraph([]*Package{pkg})
+	l.nodes[path] = &loadNode{pkg: pkg, checked: true}
 	return pkg, nil
 }
 
@@ -209,24 +291,28 @@ func check(pkg *Package, imp types.Importer) {
 	pkg.Info = info
 }
 
-// moduleImporter serves already-checked module packages and delegates
-// everything else to the stdlib source importer.
-type moduleImporter struct {
-	checked map[string]*types.Package
-	std     types.Importer
+// loaderImporter serves already-checked module packages from the loader
+// and delegates everything else to the shared stdlib source importer,
+// whose own internal cache persists across Load calls.
+type loaderImporter struct {
+	l *Loader
 }
 
-func (m *moduleImporter) Import(path string) (*types.Package, error) {
-	if p, ok := m.checked[path]; ok {
-		return p, nil
+func (m *loaderImporter) Import(path string) (*types.Package, error) {
+	if n, ok := m.l.nodes[path]; ok && n.checked && n.pkg.Types != nil {
+		return n.pkg.Types, nil
 	}
-	return m.std.Import(path)
+	return m.l.std.Import(path)
 }
 
 // parseDir parses every non-test Go file of dir (with comments, for
-// //lint:allow directives). A missing directory is not an error: it
-// returns no files.
-func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+// //lint:allow directives), serving repeats from the memo. A missing
+// directory is not an error: it returns no files.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	if files, ok := l.parsed[dir]; ok {
+		l.stats.ParseCacheHits++
+		return files, nil
+	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -246,12 +332,14 @@ func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, err
 		}
 		files = append(files, f)
 	}
+	l.parsed[dir] = files
+	l.stats.ParsedDirs++
 	return files, nil
 }
 

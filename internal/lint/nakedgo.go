@@ -1,0 +1,42 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// NakedGo flags go statements outside internal/par. All repo concurrency
+// goes through the bounded worker pool: index-ordered collection,
+// lowest-index-error reporting and panic containment are what make a
+// 500-way storm produce byte-identical responses (the service
+// determinism contract), and a goroutine spawned outside the pool has
+// none of them — its panics kill the process, its completion order can
+// leak into output, and nothing bounds how many of it exist. The
+// sanctioned spawns outside the pool (the service's singleflight build
+// path, the daemon's accept loop, the pprof listener) each carry a
+// justified //lint:allow nakedgo directive naming why pool semantics do
+// not apply. The mirror analyzer nakedrecover gates the other half of
+// the contract: par is also the only layer allowed to turn panics into
+// faults.
+var NakedGo = &Analyzer{
+	Name: "nakedgo",
+	Doc:  "forbids go statements outside the internal/par worker pool",
+	Run:  runNakedGo,
+}
+
+func runNakedGo(p *Pass) {
+	if p.Pkg != nil && strings.HasSuffix(p.Pkg.Path(), "internal/par") {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			p.Reportf(g.Pos(),
+				"go statement outside internal/par bypasses the pool's bounded, index-ordered, panic-contained execution; fan out via par.Map/Sweep/Grid")
+			return true
+		})
+	}
+}

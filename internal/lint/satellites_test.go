@@ -1,0 +1,219 @@
+package lint
+
+import (
+	"bytes"
+	"context"
+	"go/token"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestSuppressionEdgeCases pins where a //lint:allow directive reaches:
+// the finding's own line or the line directly above, and nowhere else —
+// not the head of a folded statement, not a composite literal's opening
+// brace two lines up, and never file scope. The allowedges package holds
+// both the suppressed and the deliberately unsuppressed variants.
+func TestSuppressionEdgeCases(t *testing.T) {
+	pkg := loadGolden(t, "allowedges")
+	checkGolden(t, pkg, RunPackage(pkg, []*Analyzer{UnitSafety}))
+}
+
+// TestWriteJSONEmpty pins the empty shape: an empty array, never null,
+// so CI consumers can iterate unconditionally.
+func TestWriteJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, "/m", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("empty WriteJSON = %q, want []", got)
+	}
+}
+
+// TestWriteJSONShape pins the wire format CI parses into annotations:
+// root-relative forward-slash paths for files under root, absolute paths
+// untouched, fields file/line/col/analyzer/message.
+func TestWriteJSONShape(t *testing.T) {
+	root := filepath.FromSlash("/mod")
+	diags := []Diagnostic{
+		{
+			Analyzer: "ctxflow",
+			Pos:      token.Position{Filename: filepath.FromSlash("/mod/internal/a/a.go"), Line: 3, Column: 7},
+			Message:  `context.Background() in library code`,
+		},
+		{
+			Analyzer: "unitflow",
+			Pos:      token.Position{Filename: filepath.FromSlash("/elsewhere/b.go"), Line: 9, Column: 1},
+			Message:  "units",
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, root, diags); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	for _, wantSub := range []string{
+		`"file": "internal/a/a.go"`,
+		`"line": 3`,
+		`"col": 7`,
+		`"analyzer": "ctxflow"`,
+		`"message": "context.Background() in library code"`,
+		`"file": "` + strings.ReplaceAll(filepath.FromSlash("/elsewhere/b.go"), `\`, `\\`) + `"`,
+	} {
+		if !strings.Contains(got, wantSub) {
+			t.Errorf("WriteJSON output missing %s:\n%s", wantSub, got)
+		}
+	}
+}
+
+// TestRunPackagesDeterministic pins the -j contract: finding order is
+// byte-identical between a serial run and an 8-worker run over the same
+// package set.
+func TestRunPackagesDeterministic(t *testing.T) {
+	loader := NewLoader()
+	var pkgs []*Package
+	for _, name := range []string{"ctxflow", "faultflow", "nakedgo", "unitflow", "unitsafety"} {
+		pkg, err := loader.LoadDir(filepath.Join("testdata", "src", name))
+		if err != nil {
+			t.Fatalf("loading %s: %v", name, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	serial, err := RunPackages(context.Background(), 1, pkgs, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) == 0 {
+		t.Fatal("golden packages produced no findings; the determinism check is vacuous")
+	}
+	for i := 0; i < 5; i++ {
+		par8, err := RunPackages(context.Background(), 8, pkgs, All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, par8) {
+			t.Fatalf("run %d: -j 8 findings differ from serial:\nserial: %v\n-j 8:   %v", i, serial, par8)
+		}
+	}
+}
+
+// TestLoaderMemoization pins the satellite-3 contract: one Loader pays
+// for each directory parse and each package type-check once, no matter
+// how many times it is asked.
+func TestLoaderMemoization(t *testing.T) {
+	loader := NewLoader()
+	dir := filepath.Join("testdata", "src", "unitflow")
+	first, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Error("repeated LoadDir returned distinct packages; expected the memoized one")
+	}
+	stats := loader.Stats()
+	if stats.CheckedPackages != 1 {
+		t.Errorf("CheckedPackages = %d, want 1 (one real check)", stats.CheckedPackages)
+	}
+	if stats.CheckCacheHits != 1 {
+		t.Errorf("CheckCacheHits = %d, want 1 (second LoadDir served from memo)", stats.CheckCacheHits)
+	}
+	if stats.ParsedDirs != 1 {
+		t.Errorf("ParsedDirs = %d, want 1", stats.ParsedDirs)
+	}
+}
+
+// findSummary locates a summary by function name in a single-package
+// graph.
+func findSummary(t *testing.T, g *Graph, name string) *FuncSummary {
+	t.Helper()
+	for _, s := range g.sortedSummaries() {
+		if s.Func.Name() == name {
+			return s
+		}
+	}
+	t.Fatalf("no summary for %s (graph has %d functions)", name, g.Len())
+	return nil
+}
+
+// TestSummaryFacts pins the per-function facts the interprocedural
+// analyzers consume, over the golden packages themselves.
+func TestSummaryFacts(t *testing.T) {
+	ctxPkg := loadGolden(t, "ctxflow")
+	g := ctxPkg.Graph
+
+	capable := findSummary(t, g, "capable")
+	if capable.CtxParam != 0 {
+		t.Errorf("capable.CtxParam = %d, want 0", capable.CtxParam)
+	}
+	if !capable.ReturnsError {
+		t.Error("capable.ReturnsError = false, want true")
+	}
+
+	detached := findSummary(t, g, "detached")
+	if !detached.CreatesContext {
+		t.Error("detached.CreatesContext = false, want true")
+	}
+	if !detached.LosesContext {
+		t.Error("detached.LosesContext = false, want true")
+	}
+
+	// loser never calls Background itself; only the fixpoint over the
+	// call edges can mark it.
+	loser := findSummary(t, g, "loser")
+	if loser.CreatesContext {
+		t.Error("loser.CreatesContext = true, want false (it only calls detached)")
+	}
+	if !loser.LosesContext {
+		t.Error("loser.LosesContext = false, want true via the fixpoint")
+	}
+
+	nilDefault := findSummary(t, g, "nilDefault")
+	if nilDefault.CreatesContext {
+		t.Error("nilDefault.CreatesContext = true; the nil-default idiom must be sanctioned")
+	}
+	if nilDefault.LosesContext {
+		t.Error("nilDefault.LosesContext = true, want false")
+	}
+
+	faultPkg := loadGolden(t, "faultflow")
+	fg := faultPkg.Graph
+	wrapped := findSummary(t, fg, "wrapped")
+	if !wrapped.WrapsErrors {
+		t.Error("wrapped.WrapsErrors = false, want true (the format string wraps)")
+	}
+	flattened := findSummary(t, fg, "flattened")
+	if flattened.WrapsErrors {
+		t.Error("flattened.WrapsErrors = true, want false (the format string flattens)")
+	}
+
+	goPkg := loadGolden(t, "nakedgo")
+	spawn := findSummary(t, goPkg.Graph, "spawn")
+	if !spawn.SpawnsGoroutine {
+		t.Error("spawn.SpawnsGoroutine = false, want true")
+	}
+	serial := findSummary(t, goPkg.Graph, "serial")
+	if serial.SpawnsGoroutine {
+		t.Error("serial.SpawnsGoroutine = true, want false")
+	}
+
+	unitPkg := loadGolden(t, "unitflow")
+	ug := unitPkg.Graph
+	measure := findSummary(t, ug, "measureNm")
+	if got := measure.ResultUnits; len(got) != 1 || got[0] != "nm" {
+		t.Errorf("measureNm.ResultUnits = %v, want [nm] (function-name fallback)", got)
+	}
+	delay := findSummary(t, ug, "delay")
+	if got := delay.ResultUnits; len(got) != 1 || got[0] != "ps" {
+		t.Errorf("delay.ResultUnits = %v, want [ps] (named result)", got)
+	}
+	scale := findSummary(t, ug, "scaleUm")
+	if got := scale.ParamUnits; len(got) != 1 || got[0] != "um" {
+		t.Errorf("scaleUm.ParamUnits = %v, want [um]", got)
+	}
+}

@@ -1,0 +1,403 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the interprocedural core of the suite: a module-wide call
+// graph with one FuncSummary per declared function or method. Summaries
+// record the facts the dataflow analyzers (ctxflow, faultflow, unitflow)
+// need about a callee without re-walking its body at every call site —
+// whether it receives a context, spawns goroutines, returns an error,
+// wraps errors with %w, and which unit suffixes its parameters and
+// results carry. The graph is built once per Load (shared by every
+// analyzer and every package of the run) and is read-only afterwards, so
+// parallel per-package analysis needs no locking.
+
+// FuncSummary is the per-function fact sheet the interprocedural
+// analyzers consume.
+type FuncSummary struct {
+	Func    *types.Func // the declared object (methods included)
+	PkgPath string      // import path of the declaring package
+	Pos     token.Pos
+
+	CtxParam        int  // index of the context.Context parameter, -1 if none
+	ReturnsError    bool // some result is of type error
+	SpawnsGoroutine bool // body contains a go statement (function literals included)
+	WrapsErrors     bool // body calls fmt.Errorf with a %w verb
+	CreatesContext  bool // body calls context.Background/TODO outside the nil-default idiom
+
+	// LosesContext marks a context-less function that manufactures a
+	// context somewhere downstream: it creates one itself, passes
+	// nil/Background into a ctx-capable callee, or calls another
+	// context-less function that loses it. A ctx-receiving caller that
+	// invokes such a function has broken the thread — ctxflow's
+	// interprocedural finding.
+	LosesContext bool
+
+	// ParamUnits and ResultUnits are the normalized unit suffixes carried
+	// by parameter and result names ("" where a name carries none). For a
+	// single anonymous result the function's own name suffix is consulted,
+	// so DelayPs() is a ps source even without a named result.
+	ParamUnits  []string
+	ResultUnits []string
+
+	calls []callEdge
+}
+
+// callEdge is one resolved call site inside a summarized body.
+type callEdge struct {
+	callee   *types.Func
+	pos      token.Pos
+	dropsCtx bool // passes nil or context.Background/TODO in the callee's ctx slot
+}
+
+// Graph is the module-wide summary table, keyed by declared object.
+type Graph struct {
+	funcs map[*types.Func]*FuncSummary
+}
+
+// Summary returns fn's summary, or nil for functions outside the graph
+// (imports from outside the loaded set, builtins, func values).
+func (g *Graph) Summary(fn *types.Func) *FuncSummary {
+	if g == nil || fn == nil {
+		return nil
+	}
+	return g.funcs[fn]
+}
+
+// Len reports the number of summarized functions.
+func (g *Graph) Len() int {
+	if g == nil {
+		return 0
+	}
+	return len(g.funcs)
+}
+
+// BuildGraph summarizes every function declaration of pkgs and closes the
+// LosesContext relation over the call edges. The fixpoint is a monotone
+// boolean closure, so the result is independent of map iteration order.
+func BuildGraph(pkgs []*Package) *Graph {
+	g := &Graph{funcs: make(map[*types.Func]*FuncSummary)}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				decl, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				s := summarize(pkg, decl)
+				if s != nil {
+					g.funcs[s.Func] = s
+				}
+			}
+		}
+	}
+	// Close LosesContext: a ctx-less function that calls a ctx-less loser
+	// is itself a loser. Iterate to fixpoint; each round only flips bits
+	// from false to true, so termination and order-independence hold.
+	for changed := true; changed; {
+		changed = false
+		for _, s := range g.funcs {
+			if s.LosesContext || s.CtxParam >= 0 {
+				continue
+			}
+			for _, e := range s.calls {
+				c := g.funcs[e.callee]
+				if e.dropsCtx || (c != nil && c.CtxParam < 0 && c.LosesContext) {
+					s.LosesContext = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return g
+}
+
+// summarize builds the summary of one function declaration, or nil when
+// the declaration has no resolved object (type-check failure) or no body.
+func summarize(pkg *Package, decl *ast.FuncDecl) *FuncSummary {
+	if pkg.Info == nil {
+		return nil
+	}
+	obj, ok := pkg.Info.Defs[decl.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	s := &FuncSummary{
+		Func:     obj,
+		PkgPath:  pkg.Path,
+		Pos:      decl.Pos(),
+		CtxParam: -1,
+	}
+	sig, _ := obj.Type().(*types.Signature)
+	if sig != nil {
+		s.CtxParam = ctxParamIndex(sig)
+		s.ReturnsError = signatureReturnsError(sig)
+	}
+	s.ParamUnits = fieldListUnits(decl.Type.Params)
+	s.ResultUnits = resultUnits(decl)
+	if decl.Body == nil {
+		return s
+	}
+
+	sanctioned := nilDefaultBackgrounds(pkg.Info, decl.Body)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			s.SpawnsGoroutine = true
+		case *ast.CallExpr:
+			callee := calleeOf(pkg.Info, x)
+			if callee == nil {
+				return true
+			}
+			if isContextMake(callee) {
+				if !sanctioned[x] {
+					s.CreatesContext = true
+					s.LosesContext = s.LosesContext || s.CtxParam < 0
+				}
+				return true
+			}
+			if callee.Pkg() != nil && callee.Pkg().Path() == "fmt" && callee.Name() == "Errorf" {
+				if format, ok := constantString(pkg.Info, x.Args[0]); ok && strings.Contains(format, "%w") {
+					s.WrapsErrors = true
+				}
+			}
+			e := callEdge{callee: callee, pos: x.Pos()}
+			if csig, _ := callee.Type().(*types.Signature); csig != nil {
+				if i := ctxParamIndex(csig); i >= 0 && i < len(x.Args) {
+					e.dropsCtx = droppedCtxArg(pkg.Info, x.Args[i])
+				}
+			}
+			s.calls = append(s.calls, e)
+		}
+		return true
+	})
+	if s.CreatesContext && s.CtxParam < 0 {
+		s.LosesContext = true
+	}
+	return s
+}
+
+// ctxParamIndex returns the index of the first context.Context parameter
+// of sig, or -1.
+func ctxParamIndex(sig *types.Signature) int {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return i
+		}
+	}
+	return -1
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// signatureReturnsError reports whether any result of sig is of type
+// error.
+func signatureReturnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+var universeError = types.Universe.Lookup("error").Type()
+
+// isErrorType reports whether t is exactly the predeclared error type.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, universeError)
+}
+
+// calleeOf resolves a call expression to its declared callee, looking
+// through parentheses. Calls through function values, builtins and type
+// conversions resolve to nil.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	if info == nil {
+		return nil
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isContextMake reports whether fn is context.Background or context.TODO.
+func isContextMake(fn *types.Func) bool {
+	return fn.Pkg() != nil && fn.Pkg().Path() == "context" &&
+		(fn.Name() == "Background" || fn.Name() == "TODO")
+}
+
+// droppedCtxArg reports whether the expression in a callee's ctx slot
+// manufactures a context instead of threading one: a nil literal or a
+// direct context.Background()/context.TODO() call.
+func droppedCtxArg(info *types.Info, arg ast.Expr) bool {
+	switch x := ast.Unparen(arg).(type) {
+	case *ast.Ident:
+		return x.Name == "nil"
+	case *ast.CallExpr:
+		if fn := calleeOf(info, x); fn != nil {
+			return isContextMake(fn)
+		}
+	}
+	return false
+}
+
+// nilDefaultBackgrounds collects the context.Background/TODO call
+// expressions sanctioned by the canonical nil-default idiom
+//
+//	if ctx == nil {
+//		ctx = context.Background()
+//	}
+//
+// — the one place PR 6's ctx-first collapse allows a library function to
+// mint a context, because it only happens when the caller explicitly
+// declined to supply one.
+func nilDefaultBackgrounds(info *types.Info, body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	sanctioned := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || ifs.Init != nil {
+			return true
+		}
+		cond, ok := ifs.Cond.(*ast.BinaryExpr)
+		if !ok || cond.Op != token.EQL {
+			return true
+		}
+		guarded := nilComparedIdent(cond)
+		if guarded == nil {
+			return true
+		}
+		for _, st := range ifs.Body.List {
+			asg, ok := st.(*ast.AssignStmt)
+			if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 || asg.Tok != token.ASSIGN {
+				continue
+			}
+			lhs, ok := asg.Lhs[0].(*ast.Ident)
+			if !ok || !sameObject(info, lhs, guarded) {
+				continue
+			}
+			call, ok := asg.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if fn := calleeOf(info, call); fn != nil && isContextMake(fn) {
+				sanctioned[call] = true
+			}
+		}
+		return true
+	})
+	return sanctioned
+}
+
+// nilComparedIdent returns the identifier of an `x == nil` (or
+// `nil == x`) comparison, or nil.
+func nilComparedIdent(cond *ast.BinaryExpr) *ast.Ident {
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	if id, ok := cond.X.(*ast.Ident); ok && isNil(cond.Y) {
+		return id
+	}
+	if id, ok := cond.Y.(*ast.Ident); ok && isNil(cond.X) {
+		return id
+	}
+	return nil
+}
+
+// sameObject reports whether two identifiers resolve to the same object,
+// falling back to name equality without type information.
+func sameObject(info *types.Info, a, b *ast.Ident) bool {
+	if info != nil {
+		oa, ob := info.ObjectOf(a), info.ObjectOf(b)
+		if oa != nil && ob != nil {
+			return oa == ob
+		}
+	}
+	return a.Name == b.Name
+}
+
+// constantString returns the compile-time string value of e, when it has
+// one.
+func constantString(info *types.Info, e ast.Expr) (string, bool) {
+	if info == nil {
+		return "", false
+	}
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// fieldListUnits maps a parameter or result field list to per-slot
+// normalized units derived from the declared names.
+func fieldListUnits(fl *ast.FieldList) []string {
+	if fl == nil {
+		return nil
+	}
+	var units []string
+	for _, f := range fl.List {
+		if len(f.Names) == 0 {
+			units = append(units, "")
+			continue
+		}
+		for _, name := range f.Names {
+			units = append(units, suffixUnit(name.Name))
+		}
+	}
+	return units
+}
+
+// resultUnits derives the unit of each result: named results carry their
+// own suffix; a single anonymous result inherits the function name's
+// suffix (DelayPs() ↦ ps).
+func resultUnits(decl *ast.FuncDecl) []string {
+	units := fieldListUnits(decl.Type.Results)
+	if len(units) == 1 && units[0] == "" {
+		units[0] = suffixUnit(decl.Name.Name)
+	}
+	return units
+}
+
+// sortedSummaries returns the graph's summaries in source position order,
+// for deterministic iteration in reports and tests.
+func (g *Graph) sortedSummaries() []*FuncSummary {
+	if g == nil {
+		return nil
+	}
+	out := make([]*FuncSummary, 0, len(g.funcs))
+	for _, s := range g.funcs {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PkgPath != out[j].PkgPath {
+			return out[i].PkgPath < out[j].PkgPath
+		}
+		return out[i].Pos < out[j].Pos
+	})
+	return out
+}

@@ -1,0 +1,73 @@
+// Package allowedges pins the //lint:allow placement contract at its
+// edges: a directive suppresses a finding only from the finding's own
+// line or the line directly above — not from the start of a multi-line
+// statement, not from a composite literal's opening brace two lines up,
+// and never from file scope. Each "not" case below still carries a
+// well-formed directive (name + reason), so the only findings are the
+// deliberately unsuppressed ones.
+package allowedges
+
+//lint:allow unitsafety file-scope directive: must NOT blanket-suppress anything below
+
+// sums carries per-dimension accumulators.
+type sums struct {
+	totalNm float64
+	totalPs float64
+}
+
+// sameLine is suppressed by a directive on the finding's line.
+func sameLine(aNm, bUm float64) float64 {
+	return aNm + bUm //lint:allow unitsafety golden edge case: same-line placement works
+}
+
+// lineAbove is suppressed by a directive on the line directly above.
+func lineAbove(aNm, bUm float64) float64 {
+	//lint:allow unitsafety golden edge case: line-above placement works
+	return aNm + bUm
+}
+
+// twoAbove is NOT suppressed: the directive sits two lines up.
+func twoAbove(aNm, bUm float64) float64 {
+	//lint:allow unitsafety golden edge case: too far above, must not apply
+
+	return aNm + bUm // want `mixes units`
+}
+
+// structOpener is NOT suppressed: the directive rides the composite
+// literal's opening line while the finding sits two field lines down.
+func structOpener(aNm, bUm float64) sums {
+	return sums{ //lint:allow unitsafety golden edge case: brace line is not the finding line
+		totalPs: 0,
+		totalNm: aNm + bUm, // want `mixes units`
+	}
+}
+
+// structField is suppressed: the directive sits on the offending field
+// line itself.
+func structField(aNm, bUm float64) sums {
+	return sums{
+		totalPs: 0,
+		totalNm: aNm + bUm, //lint:allow unitsafety golden edge case: field-line placement works
+	}
+}
+
+// multiLineHead is NOT suppressed: on a statement folded across lines
+// the directive must track the operator's line, not the statement's
+// first line.
+func multiLineHead(aNm, bUm, scale float64) float64 {
+	x := scale * //lint:allow unitsafety golden edge case: statement head is not the operator line
+		scale *
+		(aNm + // want `mixes units`
+			bUm)
+	return x
+}
+
+// multiLineInner is suppressed: the directive sits on the line above the
+// operator inside the folded statement.
+func multiLineInner(aNm, bUm, scale float64) float64 {
+	x := scale *
+		//lint:allow unitsafety golden edge case: inner-line placement works
+		(aNm +
+			bUm)
+	return x
+}

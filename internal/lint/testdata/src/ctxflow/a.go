@@ -1,0 +1,76 @@
+// Package ctxflow is golden input for the ctxflow analyzer: context must
+// flow down from the entry point; library code never manufactures one
+// except through the nil-default idiom.
+package ctxflow
+
+import "context"
+
+// capable is a ctx-capable callee.
+func capable(ctx context.Context) error { return ctx.Err() }
+
+// detached manufactures a context mid-stack — the shape the PR 6
+// collapse removed from the tree.
+func detached() error {
+	ctx := context.Background() // want `context.Background\(\) in library code`
+	return capable(ctx)
+}
+
+// todoDetached does the same with TODO.
+func todoDetached() error {
+	return capable(context.TODO()) // want `context.TODO\(\) in library code`
+}
+
+// nilDefault is the sanctioned idiom: nil means Background, decided at
+// the API boundary, not below it.
+func nilDefault(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return capable(ctx)
+}
+
+// dropsNil receives a context but silently downgrades its callee.
+func dropsNil(ctx context.Context) error {
+	_ = ctx
+	return capable(nil) // want `passes nil to capable`
+}
+
+// loser is context-less and manufactures one downstream (through
+// detached), so ctx-receiving callers must not call it.
+func loser() error { return detached() }
+
+// breaksThread has a ctx but loses it one frame down — the
+// interprocedural case only the call-graph summaries can see.
+func breaksThread(ctx context.Context) error {
+	if err := capable(ctx); err != nil {
+		return err
+	}
+	return loser() // want `calls loser, which builds its own context`
+}
+
+// threaded is the approved shape.
+func threaded(ctx context.Context) error {
+	return capable(ctx)
+}
+
+// litDrop shows a closure inheriting the enclosing ctx scope: nil in a
+// ctx slot still drops a live context.
+func litDrop(ctx context.Context) func() error {
+	_ = ctx
+	return func() error {
+		return capable(nil) // want `passes nil to capable`
+	}
+}
+
+// litOwn threads the literal's own ctx parameter.
+func litOwn() func(context.Context) error {
+	return func(ctx context.Context) error {
+		return capable(ctx)
+	}
+}
+
+// sanctionedAllow documents a justified suppression.
+func sanctionedAllow() error {
+	ctx := context.Background() //lint:allow ctxflow golden example of a justified root context
+	return capable(ctx)
+}

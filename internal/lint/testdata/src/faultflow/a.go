@@ -1,0 +1,78 @@
+// Package faultflow is golden input for the faultflow analyzer: errors
+// crossing a boundary stay typed (%w chains), and no error return is
+// silently discarded.
+package faultflow
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+var errBase = errors.New("base")
+
+// wrapped keeps the taxonomy visible to errors.Is/As.
+func wrapped(err error) error {
+	return fmt.Errorf("stage 3: %w", err)
+}
+
+// flattened turns a typed fault into prose.
+func flattened(err error) error {
+	return fmt.Errorf("stage 3: %v", err) // want `fmt.Errorf formats an error without %w`
+}
+
+// viaString is deliberate stringification and stays legal: the .Error()
+// call makes the flattening explicit.
+func viaString(err error) error {
+	return fmt.Errorf("stage %s at %d", err.Error(), 3)
+}
+
+func mayFail() error { return errBase }
+
+// discards drops the fault on the floor.
+func discards() {
+	mayFail() // want `error result of mayFail is silently discarded`
+}
+
+// handles is the approved shape.
+func handles() error {
+	if err := mayFail(); err != nil {
+		return wrapped(err)
+	}
+	return nil
+}
+
+// explicitDiscard is a visible statement of intent and stays legal.
+func explicitDiscard() {
+	_ = mayFail()
+}
+
+// deferredCleanup stays legal: deferred cleanup is conventional.
+func deferredCleanup(f *os.File) {
+	defer f.Close()
+}
+
+// inlineClose is not deferred, so the error is simply lost.
+func inlineClose(f *os.File) {
+	f.Close() // want `error result of Close is silently discarded`
+}
+
+// printsFine uses the exempt fmt print family.
+func printsFine(x int) {
+	fmt.Println("x =", x)
+}
+
+// viaValue discards through a function value; the signature still tells.
+func viaValue(fn func() error) {
+	fn() // want `error result of the called function is silently discarded`
+}
+
+// multiResult drops an error hiding behind a value result.
+func multiResult() {
+	os.Create("x") // want `error result of Create is silently discarded`
+}
+
+// allowListed documents a justified suppression.
+func allowListed() {
+	mayFail() //lint:allow faultflow golden example of a sanctioned fire-and-forget
+}

@@ -1,0 +1,40 @@
+// Package nakedgo is golden input for the nakedgo analyzer: the only
+// legal concurrency is the internal/par pool.
+package nakedgo
+
+import "sync"
+
+// spawn bypasses the pool: unbounded, unordered, uncontained.
+func spawn(ch chan int) {
+	go send(ch, 1) // want `go statement outside internal/par`
+}
+
+// spawnLit does the same through a literal.
+func spawnLit(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() { // want `go statement outside internal/par`
+		defer wg.Done()
+	}()
+}
+
+// serial is the approved shape for everything that is not the pool
+// itself: no goroutines at all (fan-out goes through par.Map).
+func serial(ch chan int) {
+	send(ch, 2)
+}
+
+func send(ch chan int, v int) {
+	select {
+	case ch <- v:
+	default:
+	}
+}
+
+// sanctioned documents a justified suppression for a long-lived
+// listener that pool semantics cannot express.
+func sanctioned(ready chan struct{}) {
+	//lint:allow nakedgo golden example: long-lived listener outside pool semantics
+	go func() {
+		<-ready
+	}()
+}

@@ -1,0 +1,81 @@
+// Package unitflow is golden input for the unitflow analyzer: unit
+// suffixes propagate through assignments, call arguments and returns via
+// the function summaries.
+package unitflow
+
+// measureNm is a nm source: the unit rides on the function name.
+func measureNm() float64 { return 45 }
+
+// delay has a named ps result.
+func delay(loadFF float64) (dPs float64) { return 2 * loadFF }
+
+// scaleUm expects micrometres.
+func scaleUm(lenUm float64) float64 { return lenUm + lenUm }
+
+// assigns puts a nm value into a um name.
+func assigns() float64 {
+	widthUm := measureNm() // want `assigning "measureNm\(\)" \(nm\) to "widthUm" \(um\)`
+	return widthUm
+}
+
+// callsWrong passes a nm quantity into a um parameter — the
+// cross-function version of the wire.go bug.
+func callsWrong(hpwlNm float64) float64 {
+	return scaleUm(hpwlNm) // want `passing "hpwlNm" \(nm\) as parameter "lenUm" \(um\)`
+}
+
+// converted is the approved shape: an explicit conversion into a named
+// intermediate whose suffix matches.
+func converted(hpwlNm float64) float64 {
+	hpwlUm := hpwlNm / 1000
+	return scaleUm(hpwlUm)
+}
+
+// returnsWrong hands back ns where the signature promises ps.
+func returnsWrong(tNs float64) (dPs float64) {
+	return tNs // want `returning "tNs" \(ns\) where the result is declared ps`
+}
+
+// reassigns mixes dimensions entirely.
+func reassigns(aNm float64) {
+	var bPs float64
+	bPs = aNm // want `assigning "aNm" \(nm\) to "bPs" \(ps\)`
+	_ = bPs
+}
+
+// multi returns a nm width alongside an error.
+func multi() (wNm float64, err error) { return 1, nil }
+
+// multiAssign drops the nm result into a um name.
+func multiAssign() float64 {
+	wUm, err := multi() // want `assigning result 0 of multi \(nm\) to "wUm" \(um\)`
+	if err != nil {
+		return 0
+	}
+	return wUm
+}
+
+// throughConversion looks through float64(...) conversions.
+func throughConversion(xNm int) {
+	var yUm float64
+	yUm = float64(xNm) // want `assigning "xNm" \(nm\) to "yUm" \(um\)`
+	_ = yUm
+}
+
+// chained uses the callee's ps result through delay().
+func chained(loadFF float64) {
+	tNs := delay(loadFF) // want `assigning "delay\(\)" \(ps\) to "tNs" \(ns\)`
+	_ = tNs
+}
+
+// matched is clean: names agree end to end.
+func matched(loadFF float64) (dPs float64) {
+	tPs := delay(loadFF)
+	return tPs
+}
+
+// allowListed documents a justified suppression.
+func allowListed() float64 {
+	legacyUm := measureNm() //lint:allow unitflow golden example: legacy table is actually um-denominated
+	return legacyUm
+}

@@ -1,0 +1,243 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// UnitFlow promotes unitsafety's expression-local suffix check across
+// dataflow boundaries, using the call-graph summaries to carry inferred
+// units through function signatures:
+//
+//   - assignments whose two sides carry conflicting unit suffixes
+//     (widthUm := measureNm(...), tPs = slackNs);
+//   - call arguments whose unit conflicts with the parameter name's unit
+//     in the callee's summary (passing hpwlNm into a lengthUm parameter —
+//     the cross-package version of the wire.go bug unitsafety caught
+//     inside one expression);
+//   - return statements whose value's unit conflicts with the declared
+//     result unit (a func (...) (dPs float64) returning delayNs).
+//
+// A call expression's unit comes from the callee's result summary (named
+// result suffix, or the function's own name suffix for DelayPs()-shaped
+// accessors), so a conversion chain is checked end to end without any
+// annotation beyond the repo's existing naming convention.
+var UnitFlow = &Analyzer{
+	Name: "unitflow",
+	Doc:  "forbids unit-suffix conflicts across assignments, call arguments and returns, propagating units through function summaries",
+	Run:  runUnitFlow,
+}
+
+func runUnitFlow(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				checkAssignUnits(p, x)
+			case *ast.CallExpr:
+				checkCallArgUnits(p, x)
+			case *ast.FuncDecl:
+				checkReturnUnits(p, x)
+			}
+			return true
+		})
+	}
+}
+
+// flowUnitOf extends unitOf with interprocedural knowledge: a call's unit
+// is its callee's result unit. Conversions (float64(xNm)) are looked
+// through.
+func flowUnitOf(p *Pass, e ast.Expr) (unit, name string) {
+	e = ast.Unparen(e)
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return unitOf(e)
+	}
+	if p.Info != nil && len(call.Args) == 1 {
+		if tv, ok2 := p.Info.Types[call.Fun]; ok2 && tv.IsType() {
+			return flowUnitOf(p, call.Args[0])
+		}
+	}
+	callee := calleeOf(p.Info, call)
+	if callee == nil {
+		return "", ""
+	}
+	units := resultUnitsOf(p, callee)
+	if len(units) == 1 && units[0] != "" {
+		return units[0], callee.Name() + "()"
+	}
+	return "", ""
+}
+
+// resultUnitsOf returns the callee's per-result units: from its summary
+// when it is in the graph, otherwise derived from its signature (named
+// results, with the function name's suffix as single-result fallback) so
+// out-of-module callees still participate.
+func resultUnitsOf(p *Pass, callee *types.Func) []string {
+	if s := p.Graph.Summary(callee); s != nil {
+		return s.ResultUnits
+	}
+	sig, _ := callee.Type().(*types.Signature)
+	if sig == nil {
+		return nil
+	}
+	res := sig.Results()
+	units := make([]string, res.Len())
+	for i := 0; i < res.Len(); i++ {
+		units[i] = suffixUnit(res.At(i).Name())
+	}
+	if len(units) == 1 && units[0] == "" {
+		units[0] = suffixUnit(callee.Name())
+	}
+	return units
+}
+
+// paramUnitsOf returns the callee's per-parameter units, from the summary
+// or the signature's declared parameter names.
+func paramUnitsOf(p *Pass, callee *types.Func) []string {
+	if s := p.Graph.Summary(callee); s != nil {
+		return s.ParamUnits
+	}
+	sig, _ := callee.Type().(*types.Signature)
+	if sig == nil {
+		return nil
+	}
+	params := sig.Params()
+	units := make([]string, params.Len())
+	for i := 0; i < params.Len(); i++ {
+		units[i] = suffixUnit(params.At(i).Name())
+	}
+	return units
+}
+
+// checkAssignUnits flags x := y and x = y pairs whose sides carry
+// conflicting units. Multi-value assignments from a single call are
+// matched result-by-result.
+func checkAssignUnits(p *Pass, asg *ast.AssignStmt) {
+	if len(asg.Lhs) != len(asg.Rhs) {
+		checkMultiAssignUnits(p, asg)
+		return
+	}
+	for i := range asg.Lhs {
+		lu, ln := unitOf(asg.Lhs[i])
+		if lu == "" {
+			continue
+		}
+		ru, rn := flowUnitOf(p, asg.Rhs[i])
+		if ru == "" || ru == lu {
+			continue
+		}
+		p.Reportf(asg.TokPos,
+			"assigning %q (%s) to %q (%s) mixes unit suffixes; convert explicitly so the name matches the value",
+			rn, ru, ln, lu)
+	}
+}
+
+// checkMultiAssignUnits handles a, b := f() by matching the callee's
+// result units index-by-index.
+func checkMultiAssignUnits(p *Pass, asg *ast.AssignStmt) {
+	if len(asg.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(asg.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	callee := calleeOf(p.Info, call)
+	if callee == nil {
+		return
+	}
+	units := resultUnitsOf(p, callee)
+	if len(units) != len(asg.Lhs) {
+		return
+	}
+	for i, lhs := range asg.Lhs {
+		lu, ln := unitOf(lhs)
+		if lu == "" || units[i] == "" || lu == units[i] {
+			continue
+		}
+		p.Reportf(asg.TokPos,
+			"assigning result %d of %s (%s) to %q (%s) mixes unit suffixes; convert explicitly so the name matches the value",
+			i, callee.Name(), units[i], ln, lu)
+	}
+}
+
+// checkCallArgUnits flags arguments whose unit conflicts with the
+// parameter they land in. Variadic tails are skipped: their parameter
+// name covers heterogeneous values.
+func checkCallArgUnits(p *Pass, call *ast.CallExpr) {
+	callee := calleeOf(p.Info, call)
+	if callee == nil {
+		return
+	}
+	units := paramUnitsOf(p, callee)
+	if len(units) == 0 {
+		return
+	}
+	sig, _ := callee.Type().(*types.Signature)
+	n := len(call.Args)
+	if sig != nil && sig.Variadic() && n > len(units)-1 {
+		n = len(units) - 1
+	}
+	if n > len(units) {
+		n = len(units)
+	}
+	paramName := func(i int) string {
+		if sig != nil && i < sig.Params().Len() {
+			return sig.Params().At(i).Name()
+		}
+		return "?"
+	}
+	for i := 0; i < n; i++ {
+		if units[i] == "" {
+			continue
+		}
+		au, an := flowUnitOf(p, call.Args[i])
+		if au == "" || au == units[i] {
+			continue
+		}
+		p.Reportf(call.Args[i].Pos(),
+			"passing %q (%s) as parameter %q (%s) of %s mixes unit suffixes; convert explicitly before the call",
+			an, au, paramName(i), units[i], callee.Name())
+	}
+}
+
+// checkReturnUnits flags return values whose unit conflicts with the
+// function's declared result units.
+func checkReturnUnits(p *Pass, decl *ast.FuncDecl) {
+	if decl.Body == nil {
+		return
+	}
+	units := resultUnits(decl)
+	any := false
+	for _, u := range units {
+		if u != "" {
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // a literal's returns answer to its own signature
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != len(units) {
+			return true
+		}
+		for i, res := range ret.Results {
+			if units[i] == "" {
+				continue
+			}
+			ru, rn := flowUnitOf(p, res)
+			if ru == "" || ru == units[i] {
+				continue
+			}
+			p.Reportf(res.Pos(),
+				"returning %q (%s) where the result is declared %s; convert explicitly so the signature's unit holds",
+				rn, ru, units[i])
+		}
+		return true
+	})
+}

@@ -133,8 +133,8 @@ func TestBias(t *testing.T) {
 }
 
 func TestBuildPitchTableShape(t *testing.T) {
-	pt := BuildPitchTable(testWafer, Standard(testModel), 90,
-		[]float64{300, 450, 600})
+	pt := BuildPitchTable(nil, testWafer, Standard(testModel), 90,
+		[]float64{300, 450, 600}, 1)
 	if len(pt.Entries) != 4 { // 3 pitches + isolated
 		t.Fatalf("entries = %d, want 4", len(pt.Entries))
 	}

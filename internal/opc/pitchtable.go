@@ -36,17 +36,18 @@ type PitchTable struct {
 // recipe, and measures the center line on the wafer process. An isolated
 // entry (pitch = +Inf, represented by the wafer radius of influence plus
 // drawn width) is appended last.
-func BuildPitchTable(wafer *process.Process, recipe Recipe, drawnCD float64, pitches []float64) PitchTable {
-	return BuildPitchTableCtx(context.Background(), wafer, recipe, drawnCD, pitches, 1)
-}
-
-// BuildPitchTableCtx is BuildPitchTable with the sweep fanned out over the
-// par worker pool: each pitch's draw/correct/measure chain is independent,
-// so the ladder parallelizes perfectly while the index-ordered collection
-// keeps the table rows in ascending-pitch order regardless of completion
-// order. workers ≤ 0 uses GOMAXPROCS; cancellation via ctx returns the
-// (possibly partial) table built so far with unvisited rows NaN.
-func BuildPitchTableCtx(ctx context.Context, wafer *process.Process, recipe Recipe, drawnCD float64, pitches []float64, workers int) PitchTable {
+//
+// The sweep is fanned out over the par worker pool: each pitch's
+// draw/correct/measure chain is independent, so the ladder parallelizes
+// perfectly while the index-ordered collection keeps the table rows in
+// ascending-pitch order regardless of completion order. A nil ctx means
+// context.Background; workers ≤ 0 uses GOMAXPROCS; cancellation via ctx
+// returns the (possibly partial) table built so far with unvisited rows
+// NaN.
+func BuildPitchTable(ctx context.Context, wafer *process.Process, recipe Recipe, drawnCD float64, pitches []float64, workers int) PitchTable {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	t := PitchTable{DrawnCD: drawnCD}
 	sorted := append([]float64(nil), pitches...)
 	sort.Float64s(sorted)

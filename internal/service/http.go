@@ -21,13 +21,13 @@ import (
 //	exit 1 (completed degraded) → 207 StatusDegraded
 //	exit 2 (failed)             → 4xx/5xx by failure class below
 const (
-	StatusClean    = http.StatusOK                  // every row healthy
-	StatusDegraded = http.StatusMultiStatus         // collect policy: completed with Degraded rows + fault list
-	StatusInvalid  = http.StatusBadRequest          // schema rejection (*core.RequestError)
+	StatusClean    = http.StatusOK                    // every row healthy
+	StatusDegraded = http.StatusMultiStatus           // collect policy: completed with Degraded rows + fault list
+	StatusInvalid  = http.StatusBadRequest            // schema rejection (*core.RequestError)
 	StatusTooLarge = http.StatusRequestEntityTooLarge // batch or benchmark-count limit exceeded
-	StatusFault    = http.StatusUnprocessableEntity // fail-fast policy: a typed fault aborted the run
-	StatusTimeout  = http.StatusGatewayTimeout      // deadline or cancellation
-	StatusInternal = http.StatusInternalServerError // anything outside the taxonomy
+	StatusFault    = http.StatusUnprocessableEntity   // fail-fast policy: a typed fault aborted the run
+	StatusTimeout  = http.StatusGatewayTimeout        // deadline or cancellation
+	StatusInternal = http.StatusInternalServerError   // anything outside the taxonomy
 )
 
 // maxBodyBytes bounds request bodies; a request is a small JSON object,
@@ -253,7 +253,9 @@ func (s *Server) writeResponse(w http.ResponseWriter, resp *Response) {
 func writeJSON(w http.ResponseWriter, status int, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	w.Write(body)
+	// The status line is already committed; a short write here has no
+	// recovery path beyond what net/http logs itself.
+	_, _ = w.Write(body)
 }
 
 // strictUnmarshal mirrors core.ParseRequest's strictness for the batch

@@ -182,6 +182,7 @@ func (s *Server) flow(ctx context.Context, req core.Request) (*core.Flow, error)
 		s.order = append(s.order, key)
 		s.evictLocked()
 		s.builds.Inc()
+		//lint:allow nakedgo singleflight build: the flow must outlive this request so waiters on other requests can share it; pool semantics would tie its lifetime to one caller
 		go s.build(e, req)
 	}
 	s.mu.Unlock()
