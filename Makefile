@@ -15,6 +15,7 @@
 #                   (cmd/covercheck; raise floors, never lower them)
 #   make ci       — the full gate: build + test + vet + lint + race
 #                   + coverage floors + a 1-iteration benchmark smoke
+#                   + the service and chaos smokes
 #   make bench    — the serial-vs-parallel headline benchmarks
 #   make bench-json — run the full benchmark suite with -benchmem and
 #                   write the machine-readable summary to BENCH_5.json
@@ -26,10 +27,14 @@
 #                   start it on an ephemeral port, run a 3-request batch,
 #                   diff the bytes against the service golden fixture,
 #                   and require a clean SIGTERM shutdown (exit 0)
+#   make chaos-smoke — the resilience gate: the in-process chaos soak
+#                   (admission shedding, breaker cycling, injected
+#                   faults, mid-storm drain, exact accounting identity)
+#                   plus drain-under-storm against the real binary
 
 GO ?= go
 
-.PHONY: all tier1 tier2 lint lint-self cover ci bench bench-json bench-smoke service-smoke clean
+.PHONY: all tier1 tier2 lint lint-self cover ci bench bench-json bench-smoke service-smoke chaos-smoke clean
 
 all: tier1
 
@@ -56,7 +61,7 @@ cover:
 	$(GO) test ./... -coverprofile=cover.out
 	$(GO) run ./cmd/covercheck -profile cover.out
 
-ci: tier2 lint-self cover bench-smoke service-smoke
+ci: tier2 lint-self cover bench-smoke service-smoke chaos-smoke
 
 bench:
 	$(GO) test -run xxx -bench 'Table2Timing|FullChipOPC' -benchmem .
@@ -69,6 +74,9 @@ bench-smoke:
 
 service-smoke:
 	$(GO) test -run TestServiceSmoke -count=1 ./cmd/svtimingd
+
+chaos-smoke:
+	$(GO) test -run 'TestChaosSoak|TestDrainUnderStorm' -count=1 ./internal/service ./cmd/svtimingd
 
 clean:
 	$(GO) clean ./...

@@ -44,11 +44,13 @@ var floors = map[string]float64{
 	// (plan == naive DFT, Jacobi vs hand eigensystems, SOCS ≡ Abbe).
 	"svtiming/internal/fourier":    95.0, // measured 98.5
 	"svtiming/internal/litho/socs": 90.0, // measured 93.0
-	// The resident service and the shared CLI layer: the request schema's
-	// decode/validate path, the status mapping and the flag surface are
-	// all contract, so their tests must not erode.
-	"svtiming/internal/service": 80.0, // measured 85.0
-	"svtiming/internal/cli":     82.0, // measured 87.5
+	// The resident service, its retrying client and the shared CLI layer:
+	// the request schema's decode/validate path, the status mapping, the
+	// admission/breaker/drain state machines, the backoff schedule and the
+	// flag surface are all contract, so their tests must not erode.
+	"svtiming/internal/service":        87.0, // measured 91.7 (was 85.0 pre-resilience)
+	"svtiming/internal/service/client": 80.0, // measured 84.0
+	"svtiming/internal/cli":            82.0, // measured 87.5
 	// The analyzer suite gates every other package; a hole in its own
 	// tests is a hole in the whole tree's enforcement.
 	"svtiming/internal/lint": 85.0, // measured 89.0

@@ -8,24 +8,34 @@
 //
 //	svtimingd [-addr localhost:8424] [-j N] [-warm]
 //	          [-engine auto|abbe|socs] [-kernel-budget F] [-on-fault fail-fast|collect]
-//	          [-timeout 2m] [-max-batch 64] [-max-flows 8]
+//	          [-request-timeout 2m] [-max-inflight 256] [-max-queue 64] [-queue-wait 1s]
+//	          [-drain-timeout 15s] [-max-batch 64] [-max-flows 8]
 //	          [-metrics metrics.json] [-pprof localhost:6060]
 //
 // The -engine / -kernel-budget / -on-fault flags (the same flags, from
 // the same shared layer, as the one-shot CLIs) set the *defaults* merged
-// into requests that leave those fields empty; -timeout bounds each
-// request, not the daemon. Endpoints:
+// into requests that leave those fields empty. -request-timeout is the
+// server-side deadline budget composed with each client's own deadline
+// (-timeout is accepted as a legacy spelling of the same budget);
+// -max-inflight/-max-queue/-queue-wait size the admission gate that
+// sheds overload with 429 + Retry-After. Endpoints:
 //
 //	POST /v1/run         one request
 //	POST /v1/batch       {"requests": [...]}
 //	GET  /v1/benchmarks  known benchmark names
 //	GET  /v1/metrics     live metrics snapshot
-//	GET  /v1/healthz     liveness + warm flow count
+//	GET  /v1/healthz     pure liveness (200 for the whole process lifetime)
+//	GET  /v1/readyz      readiness: 503 until -warm completes and from the
+//	                     moment a drain begins
+//
+// Shutdown is a graceful drain: SIGINT/SIGTERM flips readiness to 503
+// and refuses new requests with Retry-After while in-flight requests
+// finish, for up to -drain-timeout; only then does the listener close.
 //
 // Exit codes: 0 clean shutdown (SIGINT/SIGTERM), 2 failed to start or
 // serve. Determinism contract: identical request bytes → byte-identical
 // response bytes, cold or warm, alone or batched (see DESIGN.md
-// "Service API").
+// "Service API" and "Resilience contract").
 package main
 
 import (
@@ -54,10 +64,10 @@ func main() {
 
 func run() int {
 	addr := flag.String("addr", "localhost:8424", "listen address (host:port; port 0 picks a free port)")
-	warm := flag.Bool("warm", false, "pre-build the default-configuration flow before serving")
+	warm := flag.Bool("warm", false, "pre-build the default-configuration flow before serving (readyz reports 503 until it is resident)")
 	maxBatch := flag.Int("max-batch", 0, "maximum requests per /v1/batch call (0 = the built-in 64)")
 	maxFlows := flag.Int("max-flows", 0, "maximum resident warm flow configurations, FIFO-evicted beyond (0 = the built-in 8)")
-	common := cli.Register(flag.CommandLine, cli.Engine|cli.OnFault)
+	common := cli.Register(flag.CommandLine, cli.Engine|cli.OnFault|cli.Service)
 	flag.Parse()
 
 	if err := common.Resolve(); err != nil {
@@ -70,6 +80,14 @@ func run() int {
 	// service surface, not an opt-in file dump.
 	reg := common.Registry(true)
 
+	// -request-timeout is the per-request budget; -timeout keeps its
+	// pre-resilience meaning ("bounds each request, not the daemon") as
+	// a fallback spelling so existing invocations keep working.
+	requestTimeout := common.RequestTimeout
+	if requestTimeout == 0 {
+		requestTimeout = common.Timeout
+	}
+
 	srv := service.New(service.Config{
 		Parallelism: common.Jobs,
 		Defaults: core.Request{
@@ -79,7 +97,11 @@ func run() int {
 		},
 		MaxBatch:       *maxBatch,
 		MaxFlows:       *maxFlows,
-		RequestTimeout: common.Timeout,
+		MaxInflight:    common.MaxInflight,
+		MaxQueue:       common.MaxQueue,
+		QueueWait:      common.QueueWait,
+		RequestTimeout: requestTimeout,
+		RequireWarm:    *warm,
 		Registry:       reg,
 	})
 
@@ -116,6 +138,22 @@ func run() int {
 	case <-ctx.Done():
 	}
 	stop()
+
+	// Graceful drain: refuse new work (readyz 503, run/batch 503 +
+	// Retry-After) while the listener stays open, so load balancers see
+	// an orderly hand-off instead of connection resets; then close once
+	// in-flight requests are done or the drain deadline expires.
+	log.Print("draining: readiness now 503, new requests refused")
+	srv.StartDrain()
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), common.DrainTimeout)
+	for srv.InFlight() > 0 && drainCtx.Err() == nil {
+		time.Sleep(20 * time.Millisecond)
+	}
+	cancelDrain()
+	if n := srv.InFlight(); n > 0 {
+		log.Printf("drain deadline expired with %d request(s) still in flight", n)
+	}
+
 	log.Print("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()

@@ -37,6 +37,12 @@ const (
 	Engine Set = 1 << iota
 	// OnFault registers -on-fault (tools that run fault-policy sweeps).
 	OnFault
+	// Service registers the resident-daemon resilience flags
+	// (-max-inflight, -max-queue, -queue-wait, -request-timeout,
+	// -drain-timeout). Only svtimingd sets it today, but the names,
+	// defaults and help strings live here so any future resident tool
+	// shares them instead of re-declaring.
+	Service
 )
 
 // Common holds the shared flag values after parsing. Call Resolve once
@@ -50,6 +56,13 @@ type Common struct {
 	EngineName   string
 	KernelBudget float64
 	OnFaultName  string
+
+	// Service-set values (resident daemons only).
+	MaxInflight    int
+	MaxQueue       int
+	QueueWait      time.Duration
+	RequestTimeout time.Duration
+	DrainTimeout   time.Duration
 
 	// Resolved by Resolve.
 	Engine litho.Engine
@@ -78,6 +91,18 @@ func Register(fs *flag.FlagSet, sets Set) *Common {
 	if sets&OnFault != 0 {
 		fs.StringVar(&c.OnFaultName, "on-fault", "fail-fast",
 			"failure policy for the sweep: fail-fast aborts on the first failing benchmark, collect completes the sweep and reports degraded rows")
+	}
+	if sets&Service != 0 {
+		fs.IntVar(&c.MaxInflight, "max-inflight", 0,
+			"maximum run/batch requests executing concurrently; further requests wait in the admission queue (0 = the built-in 256)")
+		fs.IntVar(&c.MaxQueue, "max-queue", 0,
+			"admission wait-queue length beyond -max-inflight; a full queue sheds immediately with 429 (0 = the built-in 64, negative = no queue)")
+		fs.DurationVar(&c.QueueWait, "queue-wait", 0,
+			"longest a request may wait in the admission queue before being shed with 429 + Retry-After (0 = the built-in 1s)")
+		fs.DurationVar(&c.RequestTimeout, "request-timeout", 0,
+			"server-side deadline budget per request, composed with the client's own deadline; a 504 reports how far the run got (0 = none)")
+		fs.DurationVar(&c.DrainTimeout, "drain-timeout", 15*time.Second,
+			"on SIGTERM/SIGINT, how long in-flight requests may finish while readyz reports 503 and new requests are refused with Retry-After")
 	}
 	return c
 }

@@ -31,7 +31,8 @@ func TestRegisterFlagSets(t *testing.T) {
 			t.Errorf("base set missing always-present flag -%s", n)
 		}
 	}
-	for _, n := range []string{"engine", "kernel-budget", "on-fault"} {
+	service := []string{"max-inflight", "max-queue", "queue-wait", "request-timeout", "drain-timeout"}
+	for _, n := range append([]string{"engine", "kernel-budget", "on-fault"}, service...) {
 		if names[n] {
 			t.Errorf("base set registered optional flag -%s", n)
 		}
@@ -43,6 +44,20 @@ func TestRegisterFlagSets(t *testing.T) {
 	for _, n := range append(always, "engine", "kernel-budget", "on-fault") {
 		if !names[n] {
 			t.Errorf("full set missing flag -%s", n)
+		}
+	}
+	for _, n := range service {
+		if names[n] {
+			t.Errorf("Engine|OnFault set registered service flag -%s", n)
+		}
+	}
+
+	resident := flag.NewFlagSet("resident", flag.ContinueOnError)
+	Register(resident, Engine|OnFault|Service)
+	names = flagNames(resident)
+	for _, n := range append(append(append([]string{}, always...), "engine", "kernel-budget", "on-fault"), service...) {
+		if !names[n] {
+			t.Errorf("resident set missing flag -%s", n)
 		}
 	}
 }
@@ -187,7 +202,8 @@ func TestWriteMetricsDisabled(t *testing.T) {
 // exists for is gone — this test is the tripwire.
 func TestCmdsRouteThroughSharedLayer(t *testing.T) {
 	tools := []string{"svtiming", "opcrun", "lithosim", "svtimingd"}
-	shared := []string{`"j"`, `"timeout"`, `"metrics"`, `"pprof"`, `"engine"`, `"kernel-budget"`, `"on-fault"`}
+	shared := []string{`"j"`, `"timeout"`, `"metrics"`, `"pprof"`, `"engine"`, `"kernel-budget"`, `"on-fault"`,
+		`"max-inflight"`, `"max-queue"`, `"queue-wait"`, `"request-timeout"`, `"drain-timeout"`}
 	for _, tool := range tools {
 		src, err := os.ReadFile(filepath.Join("..", "..", "cmd", tool, "main.go"))
 		if err != nil {

@@ -1,0 +1,88 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// ShedError is the typed refusal of the admission layer: the server is
+// over capacity and this request was load-shed rather than queued
+// indefinitely. It maps to 429 with a Retry-After header — the signal
+// the retrying client (internal/service/client) backs off on.
+type ShedError struct {
+	Reason string
+}
+
+func (e *ShedError) Error() string { return "admission: " + e.Reason }
+
+// admission is the bounded-concurrency gate in front of the run/batch
+// handlers: at most maxInflight requests hold a slot at once, at most
+// maxQueue more wait (FIFO — blocked channel sends wake in arrival
+// order) for up to queueWait before being shed. GET surfaces (health,
+// readiness, metrics, benchmarks) bypass it: introspection must keep
+// working exactly when the service is saturated.
+//
+// The gate deliberately sheds with a typed error instead of queueing
+// unboundedly: under sustained overload an unbounded queue turns every
+// request into a timeout, while a short queue plus 429 + Retry-After
+// keeps latency bounded for the requests that are admitted and gives
+// the rest an honest, immediately retryable answer.
+type admission struct {
+	slots     chan struct{}
+	queued    atomic.Int64
+	maxQueue  int64
+	queueWait time.Duration
+}
+
+func newAdmission(maxInflight, maxQueue int, queueWait time.Duration) *admission {
+	return &admission{
+		slots:     make(chan struct{}, maxInflight),
+		maxQueue:  int64(maxQueue),
+		queueWait: queueWait,
+	}
+}
+
+// acquire claims an in-flight slot, waiting in the bounded queue when
+// none is free. A *ShedError means the request must be refused with 429:
+// the queue was full, the queue wait elapsed, or the client abandoned
+// the request while it was still queued.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	for {
+		q := a.queued.Load()
+		if q >= a.maxQueue {
+			return &ShedError{Reason: fmt.Sprintf("wait queue full (limit %d)", a.maxQueue)}
+		}
+		if a.queued.CompareAndSwap(q, q+1) {
+			break
+		}
+	}
+	defer a.queued.Add(-1)
+	t := time.NewTimer(a.queueWait)
+	defer t.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-t.C:
+		return &ShedError{Reason: fmt.Sprintf("no capacity within the %s queue wait", a.queueWait)}
+	case <-ctx.Done():
+		return &ShedError{Reason: "client gave up while queued: " + ctx.Err().Error()}
+	}
+}
+
+// release returns an acquired slot. Must be called exactly once per
+// successful acquire.
+func (a *admission) release() { <-a.slots }
+
+// inFlight reports the number of currently held slots — the quantity
+// the daemon's drain loop polls down to zero.
+func (a *admission) inFlight() int { return len(a.slots) }
+
+// queuedNow reports the current wait-queue occupancy (diagnostic).
+func (a *admission) queuedNow() int { return int(a.queued.Load()) }

@@ -1,0 +1,119 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAdmissionFastPath pins the uncontended path: below maxInflight,
+// acquire never queues and never sheds.
+func TestAdmissionFastPath(t *testing.T) {
+	a := newAdmission(2, 0, time.Millisecond)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.inFlight(); got != 2 {
+		t.Errorf("inFlight = %d, want 2", got)
+	}
+	a.release()
+	a.release()
+	if got := a.inFlight(); got != 0 {
+		t.Errorf("inFlight after release = %d, want 0", got)
+	}
+}
+
+// TestAdmissionShedsWhenQueueFull pins the immediate-shed path: with no
+// queue configured, a saturated gate refuses at once with a ShedError.
+func TestAdmissionShedsWhenQueueFull(t *testing.T) {
+	a := newAdmission(1, 0, time.Minute)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	err := a.acquire(context.Background())
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("want *ShedError, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "admission: wait queue full (limit 0)") {
+		t.Errorf("error = %q", err)
+	}
+	if got := a.queuedNow(); got != 0 {
+		t.Errorf("queuedNow = %d after a full-queue shed, want 0", got)
+	}
+}
+
+// TestAdmissionQueueWaitElapses pins the bounded-wait path: a queued
+// request is shed once queueWait elapses without a slot freeing.
+func TestAdmissionQueueWaitElapses(t *testing.T) {
+	a := newAdmission(1, 1, 10*time.Millisecond)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	err := a.acquire(context.Background())
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("want *ShedError, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "no capacity within the 10ms queue wait") {
+		t.Errorf("error = %q", err)
+	}
+	if got := a.queuedNow(); got != 0 {
+		t.Errorf("queue slot leaked: queuedNow = %d", got)
+	}
+}
+
+// TestAdmissionQueueHandoff pins the success path through the queue: a
+// queued request gets the slot when the holder releases within the wait.
+func TestAdmissionQueueHandoff(t *testing.T) {
+	a := newAdmission(1, 1, time.Second)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	//lint:allow nakedgo test goroutine joined by wg.Wait below
+	go func() {
+		defer wg.Done()
+		got <- a.acquire(context.Background())
+	}()
+	// Wait until the second acquire is actually queued, then release.
+	for i := 0; i < 1000 && a.queuedNow() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	a.release()
+	wg.Wait()
+	if err := <-got; err != nil {
+		t.Fatalf("queued acquire should have won the released slot: %v", err)
+	}
+	a.release()
+}
+
+// TestAdmissionClientAbandon pins the third shed reason: a client whose
+// context dies while queued is shed immediately, not held to queueWait.
+func TestAdmissionClientAbandon(t *testing.T) {
+	a := newAdmission(1, 1, time.Minute)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := a.acquire(ctx)
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("want *ShedError, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "client gave up while queued: context canceled") {
+		t.Errorf("error = %q", err)
+	}
+	if got := a.queuedNow(); got != 0 {
+		t.Errorf("queue slot leaked: queuedNow = %d", got)
+	}
+}

@@ -1,0 +1,144 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+
+	"svtiming/internal/obs"
+)
+
+// Breaker tuning. Request-count cooldown instead of wall-clock cooldown
+// is deliberate: the service's determinism contract forbids results
+// depending on time, and a count-driven state machine makes the breaker
+// itself reproducible — the Nth request for a poisoned FlowKey gets the
+// same answer on every run at every worker count.
+const (
+	// breakerThreshold is how many consecutive construction failures for
+	// one FlowKey open its breaker.
+	breakerThreshold = 3
+	// breakerCooldown is how many requests are fast-failed while a
+	// breaker is open before the next one is admitted as the half-open
+	// probe.
+	breakerCooldown = 8
+)
+
+// BreakerOpenError is the fast-fail answer for a FlowKey whose
+// construction keeps failing: the breaker is open and this request was
+// refused without touching a builder. Cause is the cached typed fault
+// from the construction attempt that opened (or re-opened) the breaker,
+// so the client still sees *why* the shape is poisoned. It maps to 503
+// with Retry-After.
+type BreakerOpenError struct {
+	Key   string
+	Cause error
+}
+
+func (e *BreakerOpenError) Error() string {
+	return fmt.Sprintf("service: circuit open for flow configuration %s: last construction fault: %v", e.Key, e.Cause)
+}
+
+// Unwrap exposes the cached construction fault to errors.Is/As. Status
+// mapping must test for *BreakerOpenError before the fault sentinels —
+// an open breaker is 503 (retryable elsewhere), not 422.
+func (e *BreakerOpenError) Unwrap() error { return e.Cause }
+
+// breakerKey is the per-FlowKey state machine:
+//
+//	closed --(threshold consecutive build failures)--> open
+//	open   --(cooldown fast-fails, then one request)--> half-open probe
+//	probe  --success--> closed (state deleted)
+//	probe  --failure--> open (cooldown resets, cause updated)
+//
+// A key with no entry is closed with zero failures — the common case
+// allocates nothing.
+type breakerKey struct {
+	open      bool
+	failures  int   // consecutive failures while closed
+	remaining int   // fast-fails left before the next half-open probe
+	probing   bool  // a half-open probe build is in flight
+	cause     error // typed fault cached from the last failed build
+}
+
+// breaker guards flow construction per FlowKey. Construction is
+// singleflight (one build per key at a time), so the breaker sees one
+// result per actual build; its job is to stop a poisoned request shape
+// from re-running that doomed build on every arrival and from occupying
+// the builder a healthy key needs.
+type breaker struct {
+	mu   sync.Mutex
+	keys map[string]*breakerKey
+
+	opened    *obs.Counter // service_breaker_opened_total
+	fastfails *obs.Counter // service_breaker_fastfail_total
+	probes    *obs.Counter // service_breaker_probe_total
+	closed    *obs.Counter // service_breaker_closed_total
+}
+
+func newBreaker(reg *obs.Registry) *breaker {
+	return &breaker{
+		keys:      map[string]*breakerKey{},
+		opened:    reg.Counter("service_breaker_opened_total"),
+		fastfails: reg.Counter("service_breaker_fastfail_total"),
+		probes:    reg.Counter("service_breaker_probe_total"),
+		closed:    reg.Counter("service_breaker_closed_total"),
+	}
+}
+
+// allow decides whether a construction attempt for key may start. nil
+// means proceed (closed, or this request won the half-open probe slot);
+// a *BreakerOpenError means fast-fail without building.
+func (b *breaker) allow(key string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	k := b.keys[key]
+	if k == nil || !k.open {
+		return nil
+	}
+	if k.probing || k.remaining > 0 {
+		if !k.probing {
+			k.remaining--
+		}
+		b.fastfails.Inc()
+		return &BreakerOpenError{Key: key, Cause: k.cause}
+	}
+	k.probing = true
+	b.probes.Inc()
+	return nil
+}
+
+// onResult records the outcome of a finished construction attempt for
+// key. Success closes (and forgets) the key; failure counts toward the
+// threshold, or re-opens a failed half-open probe with a fresh cooldown.
+func (b *breaker) onResult(key string, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	k := b.keys[key]
+	if err == nil {
+		if k != nil {
+			delete(b.keys, key)
+			if k.open {
+				b.closed.Inc()
+			}
+		}
+		return
+	}
+	if k == nil {
+		k = &breakerKey{}
+		b.keys[key] = k
+	}
+	if k.open {
+		// The failed build was the half-open probe: stay open, restart
+		// the cooldown, refresh the cached fault.
+		k.probing = false
+		k.remaining = breakerCooldown
+		k.cause = err
+		return
+	}
+	k.failures++
+	k.cause = err
+	if k.failures >= breakerThreshold {
+		k.open = true
+		k.remaining = breakerCooldown
+		b.opened.Inc()
+	}
+}

@@ -1,0 +1,152 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"svtiming/internal/fault"
+	"svtiming/internal/obs"
+)
+
+// TestBreakerLifecycle walks the whole state machine with a scripted
+// sequence of build outcomes — closed → open → cooldown fast-fails →
+// half-open probe → re-open → probe → closed — asserting the obs
+// counters at each transition. Everything is request-count driven, so
+// the walk is exactly reproducible.
+func TestBreakerLifecycle(t *testing.T) {
+	reg := obs.New()
+	b := newBreaker(reg)
+	const key = "poisoned"
+	boom := &fault.Numeric{At: fault.Coord{Stage: "table2"}, Quantity: "delay", Value: math.NaN()}
+
+	count := func(name string) int64 { return reg.CounterValue(name) }
+
+	// Failures below the threshold keep the breaker closed.
+	for i := 0; i < breakerThreshold-1; i++ {
+		if err := b.allow(key); err != nil {
+			t.Fatalf("failure %d: breaker open below threshold: %v", i, err)
+		}
+		b.onResult(key, boom)
+	}
+	if count("service_breaker_opened_total") != 0 {
+		t.Fatal("breaker opened below threshold")
+	}
+
+	// The threshold-th consecutive failure opens it.
+	if err := b.allow(key); err != nil {
+		t.Fatal(err)
+	}
+	b.onResult(key, boom)
+	if count("service_breaker_opened_total") != 1 {
+		t.Fatal("breaker did not open at the threshold")
+	}
+
+	// While open, exactly breakerCooldown requests fast-fail with the
+	// cached cause.
+	for i := 0; i < breakerCooldown; i++ {
+		err := b.allow(key)
+		var open *BreakerOpenError
+		if !errors.As(err, &open) {
+			t.Fatalf("fast-fail %d: want *BreakerOpenError, got %v", i, err)
+		}
+		if open.Key != key || !errors.Is(err, fault.ErrNumeric) {
+			t.Fatalf("fast-fail %d: cause not cached: %+v", i, open)
+		}
+		if !strings.Contains(err.Error(), "circuit open for flow configuration poisoned") {
+			t.Fatalf("fast-fail %d: error = %q", i, err)
+		}
+	}
+	if count("service_breaker_fastfail_total") != breakerCooldown {
+		t.Fatalf("fastfail count = %d, want %d", count("service_breaker_fastfail_total"), breakerCooldown)
+	}
+
+	// The next request is the half-open probe; requests behind it still
+	// fast-fail while the probe is in flight.
+	if err := b.allow(key); err != nil {
+		t.Fatalf("half-open probe refused: %v", err)
+	}
+	if count("service_breaker_probe_total") != 1 {
+		t.Fatal("probe not counted")
+	}
+	if err := b.allow(key); err == nil {
+		t.Fatal("request behind an in-flight probe was admitted")
+	}
+
+	// A failed probe re-opens with a fresh cooldown.
+	b.onResult(key, boom)
+	for i := 0; i < breakerCooldown; i++ {
+		if err := b.allow(key); err == nil {
+			t.Fatalf("post-probe fast-fail %d: breaker admitted a request", i)
+		}
+	}
+	if err := b.allow(key); err != nil {
+		t.Fatalf("second half-open probe refused: %v", err)
+	}
+	// A successful probe closes the breaker and forgets the key.
+	b.onResult(key, nil)
+	if count("service_breaker_closed_total") != 1 {
+		t.Fatal("close not counted")
+	}
+	if err := b.allow(key); err != nil {
+		t.Fatalf("closed breaker refused a request: %v", err)
+	}
+	b.mu.Lock()
+	_, resident := b.keys[key]
+	b.mu.Unlock()
+	if resident {
+		t.Error("closed key still resident (leak: state should be forgotten)")
+	}
+}
+
+// TestBreakerSuccessResetsFailureCount pins "consecutive": a success
+// between failures restarts the count, so intermittent flakes below the
+// threshold never open the breaker.
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	b := newBreaker(obs.Nop())
+	const key = "flaky"
+	boom := &fault.NonConvergence{At: fault.Coord{Stage: "socs"}, What: "kernel iteration", Iterations: 10, Residual: 1}
+	for round := 0; round < 3; round++ {
+		for i := 0; i < breakerThreshold-1; i++ {
+			if err := b.allow(key); err != nil {
+				t.Fatalf("round %d failure %d: %v", round, i, err)
+			}
+			b.onResult(key, boom)
+		}
+		b.onResult(key, nil)
+	}
+	if err := b.allow(key); err != nil {
+		t.Fatalf("breaker opened on non-consecutive failures: %v", err)
+	}
+}
+
+// TestBreakerKeysAreIndependent pins the per-FlowKey scope: a poisoned
+// configuration never gates a healthy one.
+func TestBreakerKeysAreIndependent(t *testing.T) {
+	b := newBreaker(obs.Nop())
+	boom := errors.New("construction failed")
+	for i := 0; i < breakerThreshold; i++ {
+		b.onResult("bad", boom)
+	}
+	if err := b.allow("bad"); err == nil {
+		t.Fatal("poisoned key not open")
+	}
+	if err := b.allow("good"); err != nil {
+		t.Fatalf("healthy key gated by a poisoned one: %v", err)
+	}
+}
+
+// TestBreakerOpenErrorStatus pins the status-mapping precedence: an open
+// breaker is 503 even though it unwraps to a 422-class typed fault.
+func TestBreakerOpenErrorStatus(t *testing.T) {
+	err := fmt.Errorf("flow: %w", &BreakerOpenError{Key: "k",
+		Cause: &fault.Numeric{At: fault.Coord{Stage: "table2"}, Quantity: "delay", Value: math.NaN()}})
+	if !errors.Is(err, fault.ErrNumeric) {
+		t.Fatal("BreakerOpenError should unwrap to its cause")
+	}
+	if got := statusForError(err); got != StatusUnavailable {
+		t.Fatalf("statusForError = %d, want %d (breaker must outrank the fault sentinel)", got, StatusUnavailable)
+	}
+}

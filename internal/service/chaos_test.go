@@ -1,0 +1,310 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"svtiming/internal/core"
+	"svtiming/internal/fault"
+	"svtiming/internal/fault/inject"
+	"svtiming/internal/obs"
+)
+
+// TestChaosSoak is the chaos harness: a storm of concurrent requests
+// against a deliberately small server while every failure mode the
+// resilience layer handles is active at once —
+//
+//   - injected faults (NaN, non-convergence, a real panic through the
+//     worker pool's recover path) via the fault/inject hook;
+//   - a poisoned flow configuration whose construction always fails,
+//     driving the circuit breaker through open/fast-fail/probe cycles;
+//   - a slow-building configuration first requested mid-storm;
+//   - admission pressure (inflight 8, queue 8) shedding the overflow;
+//   - a drain flipped on while the second wave arrives.
+//
+// The service must stay available (clean requests keep succeeding),
+// never crash, and keep its books: every surviving response is
+// byte-identical to its quiet-path reference, the goroutine count
+// returns to baseline, and the accounting identity
+//
+//	accepted == shed + drained + broken + completed
+//
+// holds exactly over the whole soak.
+//
+// The server runs with Parallelism 1 (serial inner analysis): panic
+// faults embed the pool worker index in their message, and the serial
+// path's fixed index (-1) is what keeps degraded bodies byte-comparable
+// between the quiet references and the storm.
+func TestChaosSoak(t *testing.T) {
+	wave1, wave2 := 400, 100
+	if testing.Short() {
+		wave1, wave2 = 80, 20
+	}
+
+	reg := obs.New()
+	s := New(Config{
+		Registry:    reg,
+		Parallelism: 1,
+		MaxInflight: 8,
+		MaxQueue:    8,
+		QueueWait:   25 * time.Millisecond,
+	})
+	plan := new(inject.Plan).
+		InjectNaN("table2", 1).
+		InjectNonConvergence("table2", 2).
+		InjectPanic("table2", 3).
+		Hook()
+	// Every request dwells a few milliseconds at its first sweep point so
+	// admitted requests genuinely occupy their slots — without it the
+	// storm drains faster than it arrives and the gate never sheds.
+	s.hook = func(at fault.Coord) error {
+		if at.Index == 0 {
+			time.Sleep(5 * time.Millisecond)
+		}
+		return plan(at)
+	}
+
+	// Warm the default flow with the real constructor, then install the
+	// chaos construct seam: kernel_budget 0.5 is poisoned (construction
+	// always fails with a typed fault), kernel_budget 0.25 is slow (the
+	// build sleeps, then stands in with the already-built default flow —
+	// FlowKey identity is what the test exercises, not the physics of an
+	// exotic budget).
+	if err := s.Warm(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var base *core.Flow
+	s.mu.Lock()
+	for _, e := range s.flows {
+		base = e.flow
+	}
+	s.mu.Unlock()
+	if base == nil {
+		t.Fatal("warm left no flow")
+	}
+	poison := &fault.NonConvergence{At: fault.Coord{Stage: "construct"}, What: "kernel decomposition", Iterations: 11, Residual: 2.5}
+	realConstruct := s.construct
+	s.construct = func(req core.Request) (*core.Flow, error) {
+		switch req.KernelBudget {
+		case 0.5:
+			return nil, poison
+		case 0.25:
+			time.Sleep(30 * time.Millisecond)
+			return base, nil
+		default:
+			return realConstruct(req)
+		}
+	}
+
+	const (
+		vClean  = iota // 200
+		vNaN           // 207: one injected NaN
+		vMulti         // 207: NaN + non-convergence
+		vPanic         // 207: NaN + non-convergence + panic through the pool
+		vSlow          // 200 after a slow mid-storm build
+		vPoison        // 422/503: construction always fails; breaker cycles
+	)
+	variants := []string{
+		vClean:  `{"benchmarks":["c17"]}`,
+		vNaN:    `{"benchmarks":["c17","c432"],"on_fault":"collect"}`,
+		vMulti:  `{"benchmarks":["c17","c432","c499"],"on_fault":"collect"}`,
+		vPanic:  `{"benchmarks":["c17","c432","c499","c880"],"on_fault":"collect"}`,
+		vSlow:   `{"benchmarks":["c17"],"kernel_budget":0.25}`,
+		vPoison: `{"benchmarks":["c17"],"kernel_budget":0.5}`,
+	}
+	okStatus := []int{
+		vClean: StatusClean,
+		vNaN:   StatusDegraded,
+		vMulti: StatusDegraded,
+		vPanic: StatusDegraded,
+	}
+
+	// Quiet-path references, serial, before any chaos. vSlow is left out
+	// deliberately: its flow must first be built mid-storm.
+	refs := make([][]byte, len(variants))
+	for _, v := range []int{vClean, vNaN, vMulti, vPanic} {
+		rec := post(s, "/v1/run", variants[v])
+		if rec.Code != okStatus[v] {
+			t.Fatalf("reference %d: status %d, want %d: %s", v, rec.Code, okStatus[v], rec.Body.String())
+		}
+		refs[v] = rec.Body.Bytes()
+	}
+
+	// Open the poisoned key's breaker deterministically: threshold
+	// construction failures (422), then fast-fails (503) with the cached
+	// fault — the reference bodies for both poisoned outcomes.
+	var ref422, ref503 []byte
+	for i := 0; i < breakerThreshold+3; i++ {
+		rec := post(s, "/v1/run", variants[vPoison])
+		switch {
+		case i < breakerThreshold:
+			if rec.Code != StatusFault {
+				t.Fatalf("poison %d: status %d, want %d: %s", i, rec.Code, StatusFault, rec.Body.String())
+			}
+			ref422 = rec.Body.Bytes()
+		default:
+			if rec.Code != StatusUnavailable {
+				t.Fatalf("poison %d: status %d, want %d: %s", i, rec.Code, StatusUnavailable, rec.Body.String())
+			}
+			ref503 = rec.Body.Bytes()
+		}
+	}
+
+	pick := func(i int) int {
+		switch i % 10 {
+		case 6:
+			return vNaN
+		case 7:
+			return vMulti
+		case 8:
+			return vSlow
+		case 9:
+			if i%20 == 9 {
+				return vPoison
+			}
+			return vPanic
+		default:
+			return vClean
+		}
+	}
+
+	base0 := runtime.NumGoroutine()
+	countersBefore := map[string]int64{}
+	for _, name := range []string{"service_requests_accepted_total", "service_requests_shed_total",
+		"service_requests_drained_total", "service_requests_broken_total", "service_requests_completed_total"} {
+		countersBefore[name] = reg.CounterValue(name)
+	}
+
+	// Wave 1: the storm. A start barrier maximizes simultaneous arrival
+	// so the admission gate genuinely sheds.
+	codes := make([]int, wave1)
+	bodies := make([][]byte, wave1)
+	startBarrier := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < wave1; i++ {
+		wg.Add(1)
+		//lint:allow nakedgo storm goroutine joined by wg.Wait below
+		go func(i int) {
+			defer wg.Done()
+			<-startBarrier
+			rec := post(s, "/v1/run", variants[pick(i)])
+			codes[i] = rec.Code
+			bodies[i] = rec.Body.Bytes()
+		}(i)
+	}
+	close(startBarrier)
+	wg.Wait()
+
+	// Every wave-1 response is from the variant's expected outcome set,
+	// and every survivor is byte-identical to its quiet reference.
+	slowOK := [][]byte{}
+	counts := map[int]int{}
+	for i := 0; i < wave1; i++ {
+		v, code := pick(i), codes[i]
+		counts[code]++
+		switch {
+		case code == StatusShed:
+			var resp Response
+			if err := json.Unmarshal(bodies[i], &resp); err != nil || resp.Status != StatusShed || resp.Error == "" {
+				t.Fatalf("request %d: shed body not in the error schema: %s", i, bodies[i])
+			}
+		case v == vPoison && code == StatusFault:
+			if !bytes.Equal(bodies[i], ref422) {
+				t.Fatalf("request %d: poisoned 422 diverged:\n%s\nvs\n%s", i, bodies[i], ref422)
+			}
+		case v == vPoison && code == StatusUnavailable:
+			if !bytes.Equal(bodies[i], ref503) {
+				t.Fatalf("request %d: breaker 503 diverged:\n%s\nvs\n%s", i, bodies[i], ref503)
+			}
+		case v == vSlow && code == StatusClean:
+			slowOK = append(slowOK, bodies[i])
+		case v != vPoison && v != vSlow && code == okStatus[v]:
+			if !bytes.Equal(bodies[i], refs[v]) {
+				t.Fatalf("request %d (variant %d) diverged from its quiet reference under chaos:\n%s\nvs\n%s",
+					i, v, bodies[i], refs[v])
+			}
+		default:
+			t.Fatalf("request %d (variant %d): unexpected status %d: %s", i, v, code, bodies[i])
+		}
+	}
+	if counts[StatusClean] == 0 {
+		t.Fatal("storm produced no clean responses — the service did not stay available")
+	}
+	if counts[StatusShed] == 0 {
+		t.Fatal("storm produced no sheds — admission pressure never materialized; tighten the limits")
+	}
+
+	// The slow flow is warm now; a quiet request must render the same
+	// bytes every mid-storm survivor did.
+	recSlow := post(s, "/v1/run", variants[vSlow])
+	if recSlow.Code != StatusClean {
+		t.Fatalf("post-storm slow variant: %d: %s", recSlow.Code, recSlow.Body.String())
+	}
+	for i, b := range slowOK {
+		if !bytes.Equal(b, recSlow.Body.Bytes()) {
+			t.Fatalf("slow-build survivor %d diverged from the quiet run:\n%s\nvs\n%s", i, b, recSlow.Body.Bytes())
+		}
+	}
+
+	// Wave 2 arrives after the drain flips: every request is refused
+	// with 503 + Retry-After and lands in the drained bucket, while
+	// liveness stays 200 and readiness reports 503.
+	s.StartDrain()
+	wave2Codes := make([]int, wave2)
+	var wg2 sync.WaitGroup
+	for i := 0; i < wave2; i++ {
+		wg2.Add(1)
+		//lint:allow nakedgo storm goroutine joined by wg2.Wait below
+		go func(i int) {
+			defer wg2.Done()
+			rec := post(s, "/v1/run", variants[pick(i)])
+			wave2Codes[i] = rec.Code
+		}(i)
+	}
+	wg2.Wait()
+	for i, code := range wave2Codes {
+		if code != StatusUnavailable {
+			t.Fatalf("drained request %d: status %d, want %d", i, code, StatusUnavailable)
+		}
+	}
+	if rec := get(s, "/v1/readyz"); rec.Code != StatusUnavailable {
+		t.Errorf("readyz during drain: %d, want 503", rec.Code)
+	}
+	if rec := get(s, "/v1/healthz"); rec.Code != http.StatusOK {
+		t.Errorf("healthz during drain: %d, want 200", rec.Code)
+	}
+	if n := s.InFlight(); n != 0 {
+		t.Errorf("InFlight = %d after the storm drained", n)
+	}
+
+	// The books must balance exactly: every request of both waves is
+	// accounted in exactly one bucket, and the drained bucket is exactly
+	// wave 2.
+	delta := func(name string) int64 { return reg.CounterValue(name) - countersBefore[name] }
+	accepted := delta("service_requests_accepted_total")
+	shed := delta("service_requests_shed_total")
+	drained := delta("service_requests_drained_total")
+	broken := delta("service_requests_broken_total")
+	completed := delta("service_requests_completed_total")
+	if accepted != int64(wave1+wave2)+1 { // +1: the post-storm slow-variant probe
+		t.Errorf("accepted = %d, want %d", accepted, wave1+wave2+1)
+	}
+	if drained != int64(wave2) {
+		t.Errorf("drained = %d, want exactly %d (wave 2)", drained, wave2)
+	}
+	if accepted != shed+drained+broken+completed {
+		t.Errorf("accounting identity violated: accepted %d != shed %d + drained %d + broken %d + completed %d",
+			accepted, shed, drained, broken, completed)
+	}
+	t.Logf("soak: accepted=%d shed=%d drained=%d broken=%d completed=%d", accepted, shed, drained, broken, completed)
+
+	if after := settle(base0); after > base0 {
+		t.Errorf("goroutine leak across the soak: %d before, %d after settle", base0, after)
+	}
+}

@@ -1,0 +1,277 @@
+// Package client is the retrying HTTP client for the resident timing
+// service (cmd/svtimingd): it speaks the core.Request / service.Response
+// wire schema and absorbs the service's transient refusals — 429 from
+// admission shedding, 503 from a drain or an open circuit breaker, and
+// transport errors — with seeded, jittered exponential backoff that
+// honours Retry-After.
+//
+// Determinism is part of the contract here too: the jitter comes from a
+// per-client seeded generator (never the global math/rand state), so a
+// given Config.Seed replays the exact same backoff schedule — a retry
+// storm in a test or a paper experiment is reproducible like everything
+// else in the tree. Non-retryable answers (200/207/400/413/422/504) are
+// returned as-is on the first attempt: the caller, not the client,
+// decides what a degraded or faulted run means.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"svtiming/internal/core"
+	"svtiming/internal/service"
+)
+
+// Config sizes a Client. The zero value of every field has a workable
+// default except BaseURL, which is required.
+type Config struct {
+	// BaseURL is the daemon root, e.g. "http://localhost:8424".
+	BaseURL string
+	// MaxAttempts bounds tries per call, first attempt included
+	// (default 4). The last refusal is returned, not retried.
+	MaxAttempts int
+	// BaseBackoff is the pre-jitter wait before the first retry,
+	// doubling per attempt (default 100ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the pre-jitter wait (default 5s).
+	MaxBackoff time.Duration
+	// Seed seeds the per-client jitter generator: equal seeds replay
+	// equal backoff schedules.
+	Seed int64
+	// HTTPClient overrides the transport (default: a fresh http.Client).
+	HTTPClient *http.Client
+}
+
+// Client is a retrying svtimingd client. Safe for concurrent use.
+type Client struct {
+	cfg Config
+	hc  *http.Client
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	// sleep is the backoff wait, honouring ctx; tests swap it to record
+	// the schedule instead of spending wall time.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// New builds a Client from cfg, applying defaults.
+func New(cfg Config) *Client {
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 4
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 100 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	return &Client{
+		cfg:   cfg,
+		hc:    hc,
+		rng:   rand.New(rand.NewSource(cfg.Seed)), //lint:allow detrand seeded per-client generator: the whole point is a replayable jitter schedule
+		sleep: sleepCtx,
+	}
+}
+
+// Run submits one request to /v1/run and returns its decoded Response.
+// Shed (429) and unavailable (503) answers are retried with backoff; any
+// other status is the service's answer and is returned for the caller to
+// interpret (the Response.Status field mirrors the HTTP status).
+func (c *Client) Run(ctx context.Context, req core.Request) (*service.Response, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: encode request: %w", err)
+	}
+	_, body, err := c.postRetry(ctx, "/v1/run", payload)
+	if err != nil {
+		return nil, err
+	}
+	var resp service.Response
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return nil, fmt.Errorf("client: decode response: %w", err)
+	}
+	return &resp, nil
+}
+
+// Batch submits requests to /v1/batch and returns the per-item decoded
+// Responses in request order. The envelope itself is retried like Run;
+// a non-200 envelope after retries is an error carrying the service's
+// refusal, since there are no per-item answers to return.
+func (c *Client) Batch(ctx context.Context, reqs []core.Request) ([]service.Response, error) {
+	payload, err := json.Marshal(service.Batch{Requests: reqs})
+	if err != nil {
+		return nil, fmt.Errorf("client: encode batch: %w", err)
+	}
+	status, body, err := c.postRetry(ctx, "/v1/batch", payload)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		var refusal service.Response
+		if err := json.Unmarshal(body, &refusal); err == nil && refusal.Error != "" {
+			return nil, fmt.Errorf("client: batch refused with %d: %s", status, refusal.Error)
+		}
+		return nil, fmt.Errorf("client: batch refused with %d", status)
+	}
+	var envelope service.BatchResponse
+	if err := json.Unmarshal(body, &envelope); err != nil {
+		return nil, fmt.Errorf("client: decode batch: %w", err)
+	}
+	out := make([]service.Response, len(envelope.Responses))
+	for i, raw := range envelope.Responses {
+		if err := json.Unmarshal(raw, &out[i]); err != nil {
+			return nil, fmt.Errorf("client: decode batch item %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// Ready probes /v1/readyz once (readiness probes are not retried — the
+// probe's caller owns the polling cadence): true on 200, false on 503,
+// an error on anything else.
+func (c *Client) Ready(ctx context.Context) (bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cfg.BaseURL+"/v1/readyz", nil)
+	if err != nil {
+		return false, fmt.Errorf("client: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return false, fmt.Errorf("client: readyz: %w", err)
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return true, nil
+	case service.StatusUnavailable:
+		return false, nil
+	default:
+		return false, fmt.Errorf("client: readyz answered %d", resp.StatusCode)
+	}
+}
+
+// postRetry POSTs payload until a non-retryable answer, the attempt
+// budget runs out (the last refusal is returned as the answer), or the
+// context dies. Transport errors are retryable — the service's POST
+// surfaces are idempotent by the determinism contract, so a resend can
+// only reproduce the same bytes.
+func (c *Client) postRetry(ctx context.Context, path string, payload []byte) (int, []byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if err := c.sleep(ctx, c.backoffFor(attempt-1, lastErr)); err != nil {
+				return 0, nil, err
+			}
+		}
+		status, body, header, err := c.post(ctx, path, payload)
+		if err != nil {
+			if ctx.Err() != nil {
+				return 0, nil, err
+			}
+			lastErr = &retryableError{err: err}
+			continue
+		}
+		if status != service.StatusShed && status != service.StatusUnavailable {
+			return status, body, nil
+		}
+		if attempt == c.cfg.MaxAttempts-1 {
+			// Out of attempts: the refusal is the final answer.
+			return status, body, nil
+		}
+		lastErr = &retryableError{retryAfter: retryAfterOf(header)}
+	}
+	if rerr, ok := lastErr.(*retryableError); ok && rerr.err != nil {
+		return 0, nil, fmt.Errorf("client: %s failed after %d attempts: %w", path, c.cfg.MaxAttempts, rerr.err)
+	}
+	return 0, nil, fmt.Errorf("client: %s failed after %d attempts", path, c.cfg.MaxAttempts)
+}
+
+func (c *Client) post(ctx context.Context, path string, payload []byte) (int, []byte, http.Header, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+path, bytes.NewReader(payload))
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("client: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return resp.StatusCode, body, resp.Header, nil
+}
+
+// retryableError carries what the next backoff needs to know about the
+// failed attempt: the transport error (if any) and the server's
+// Retry-After floor (if it answered).
+type retryableError struct {
+	err        error
+	retryAfter time.Duration
+}
+
+func (e *retryableError) Error() string {
+	if e.err != nil {
+		return e.err.Error()
+	}
+	return "retryable refusal"
+}
+
+// backoffFor computes the jittered wait after the given 0-based retry
+// round: BaseBackoff doubled per round, capped at MaxBackoff, scaled by
+// a seeded half-jitter in [0.5, 1.0), then floored by the server's
+// Retry-After — a polite client never comes back sooner than asked.
+func (c *Client) backoffFor(round int, last error) time.Duration {
+	d := c.cfg.BaseBackoff
+	for i := 0; i < round && d < c.cfg.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > c.cfg.MaxBackoff {
+		d = c.cfg.MaxBackoff
+	}
+	c.mu.Lock()
+	jitter := 0.5 + 0.5*c.rng.Float64()
+	c.mu.Unlock()
+	d = time.Duration(float64(d) * jitter)
+	if rerr, ok := last.(*retryableError); ok && rerr.retryAfter > d {
+		d = rerr.retryAfter
+	}
+	return d
+}
+
+// retryAfterOf parses the integer-seconds Retry-After the service sends
+// on 429/503. Absent or unparsable headers mean no floor.
+func retryAfterOf(h http.Header) time.Duration {
+	secs, err := strconv.Atoi(h.Get("Retry-After"))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// sleepCtx waits d or until ctx dies, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

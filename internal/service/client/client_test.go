@@ -1,0 +1,319 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"svtiming/internal/core"
+	"svtiming/internal/obs"
+	"svtiming/internal/service"
+)
+
+// record swaps the client's sleep for a recorder so backoff tests assert
+// the schedule without spending wall time.
+func record(c *Client) *[]time.Duration {
+	var waits []time.Duration
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		waits = append(waits, d)
+		return ctx.Err()
+	}
+	return &waits
+}
+
+func scripted(t *testing.T, calls *atomic.Int64, script func(n int64, w http.ResponseWriter)) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		script(calls.Add(1), w)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestRunRetriesShedThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	ts := scripted(t, &calls, func(n int64, w http.ResponseWriter) {
+		if n <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(service.StatusShed)
+			_, _ = w.Write([]byte(`{"status":429,"error":"admission: wait queue full (limit 0)"}`))
+			return
+		}
+		_, _ = w.Write([]byte(`{"status":200,"rows":[{"name":"c17"}]}`))
+	})
+	c := New(Config{BaseURL: ts.URL})
+	waits := record(c)
+
+	resp, err := c.Run(context.Background(), core.Request{Benchmarks: []string{"c17"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 || len(resp.Rows) != 1 || resp.Rows[0].Name != "c17" {
+		t.Fatalf("response: %+v", resp)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("server saw %d calls, want 3", calls.Load())
+	}
+	if len(*waits) != 2 {
+		t.Fatalf("recorded %d backoffs, want 2", len(*waits))
+	}
+	// Half-jitter bounds: round k pre-jitter is 100ms<<k, jitter in [0.5,1).
+	for k, d := range *waits {
+		lo := 50 * time.Millisecond << k
+		hi := 100 * time.Millisecond << k
+		if d < lo || d >= hi {
+			t.Errorf("backoff %d = %v, want in [%v, %v)", k, d, lo, hi)
+		}
+	}
+}
+
+func TestRunReturnsFinalRefusal(t *testing.T) {
+	var calls atomic.Int64
+	ts := scripted(t, &calls, func(n int64, w http.ResponseWriter) {
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(service.StatusUnavailable)
+		_, _ = w.Write([]byte(`{"status":503,"error":"draining: server is shutting down; retry against another replica"}`))
+	})
+	c := New(Config{BaseURL: ts.URL, MaxAttempts: 3})
+	record(c)
+
+	resp, err := c.Run(context.Background(), core.Request{Benchmarks: []string{"c17"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != service.StatusUnavailable || !strings.Contains(resp.Error, "draining") {
+		t.Fatalf("final refusal not surfaced: %+v", resp)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("server saw %d calls, want exactly MaxAttempts=3", calls.Load())
+	}
+}
+
+func TestRunDoesNotRetryNonRetryableStatuses(t *testing.T) {
+	var calls atomic.Int64
+	ts := scripted(t, &calls, func(n int64, w http.ResponseWriter) {
+		w.WriteHeader(service.StatusInvalid)
+		_, _ = w.Write([]byte(`{"status":400,"error":"request: unknown benchmark \"c999\""}`))
+	})
+	c := New(Config{BaseURL: ts.URL})
+	record(c)
+
+	resp, err := c.Run(context.Background(), core.Request{Benchmarks: []string{"c999"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != service.StatusInvalid || resp.Error == "" {
+		t.Fatalf("response: %+v", resp)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("a 400 was retried: %d calls", calls.Load())
+	}
+}
+
+func TestRetryAfterFloors(t *testing.T) {
+	var calls atomic.Int64
+	ts := scripted(t, &calls, func(n int64, w http.ResponseWriter) {
+		w.Header().Set("Retry-After", "2")
+		w.WriteHeader(service.StatusShed)
+		_, _ = w.Write([]byte(`{"status":429,"error":"admission: no capacity"}`))
+	})
+	c := New(Config{BaseURL: ts.URL, MaxAttempts: 2, BaseBackoff: time.Millisecond})
+	waits := record(c)
+
+	if _, err := c.Run(context.Background(), core.Request{Benchmarks: []string{"c17"}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(*waits) != 1 {
+		t.Fatalf("recorded %d backoffs, want 1", len(*waits))
+	}
+	if (*waits)[0] < 2*time.Second {
+		t.Errorf("backoff %v ignored the 2s Retry-After floor", (*waits)[0])
+	}
+}
+
+// TestBackoffScheduleIsSeeded pins the determinism contract: equal seeds
+// replay an identical jitter schedule, and the schedule depends on the
+// seed at all.
+func TestBackoffScheduleIsSeeded(t *testing.T) {
+	schedule := func(seed int64) []time.Duration {
+		var calls atomic.Int64
+		ts := scripted(t, &calls, func(n int64, w http.ResponseWriter) {
+			w.WriteHeader(service.StatusShed)
+			_, _ = w.Write([]byte(`{"status":429,"error":"shed"}`))
+		})
+		c := New(Config{BaseURL: ts.URL, MaxAttempts: 6, Seed: seed})
+		waits := record(c)
+		if _, err := c.Run(context.Background(), core.Request{Benchmarks: []string{"c17"}}); err != nil {
+			t.Fatal(err)
+		}
+		return *waits
+	}
+
+	a, b, other := schedule(7), schedule(7), schedule(8)
+	if len(a) != 5 {
+		t.Fatalf("schedule length %d, want 5", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("equal seeds diverged at retry %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != other[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("seeds 7 and 8 produced identical schedules; jitter is not seeded")
+	}
+	// The doubling cap: with the 5s default MaxBackoff, every wait stays
+	// under it post-jitter.
+	for i, d := range a {
+		if d >= 5*time.Second {
+			t.Errorf("backoff %d = %v breached MaxBackoff", i, d)
+		}
+	}
+}
+
+func TestTransportErrorsRetryThenSurface(t *testing.T) {
+	ts := httptest.NewServer(http.NotFoundHandler())
+	url := ts.URL
+	ts.Close() // nothing listens: every attempt is a transport error
+
+	c := New(Config{BaseURL: url, MaxAttempts: 3})
+	record(c)
+	_, err := c.Run(context.Background(), core.Request{Benchmarks: []string{"c17"}})
+	if err == nil || !strings.Contains(err.Error(), "failed after 3 attempts") {
+		t.Fatalf("err = %v, want a failed-after-attempts transport error", err)
+	}
+}
+
+func TestContextCancelsBackoff(t *testing.T) {
+	var calls atomic.Int64
+	ts := scripted(t, &calls, func(n int64, w http.ResponseWriter) {
+		w.WriteHeader(service.StatusShed)
+		_, _ = w.Write([]byte(`{"status":429,"error":"shed"}`))
+	})
+	// Real sleep with a long base: the context must cut the wait short.
+	c := New(Config{BaseURL: ts.URL, BaseBackoff: 30 * time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+
+	_, err := c.Run(ctx, core.Request{Benchmarks: []string{"c17"}})
+	if err == nil || !strings.Contains(err.Error(), "context deadline exceeded") {
+		t.Fatalf("err = %v, want context deadline exceeded", err)
+	}
+}
+
+func TestBatchDecodesItems(t *testing.T) {
+	var calls atomic.Int64
+	ts := scripted(t, &calls, func(n int64, w http.ResponseWriter) {
+		_, _ = w.Write([]byte(`{"responses":[{"status":200,"rows":[{"name":"c17"}]},{"status":400,"error":"bad"}]}`))
+	})
+	c := New(Config{BaseURL: ts.URL})
+
+	items, err := c.Batch(context.Background(), []core.Request{
+		{Benchmarks: []string{"c17"}}, {Benchmarks: []string{"c999"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 2 || items[0].Status != 200 || items[1].Status != 400 {
+		t.Fatalf("items: %+v", items)
+	}
+}
+
+func TestBatchEnvelopeRefusalIsAnError(t *testing.T) {
+	var calls atomic.Int64
+	ts := scripted(t, &calls, func(n int64, w http.ResponseWriter) {
+		w.WriteHeader(service.StatusUnavailable)
+		_, _ = w.Write([]byte(`{"status":503,"error":"draining: server is shutting down; retry against another replica"}`))
+	})
+	c := New(Config{BaseURL: ts.URL, MaxAttempts: 2})
+	record(c)
+
+	_, err := c.Batch(context.Background(), []core.Request{{Benchmarks: []string{"c17"}}})
+	if err == nil || !strings.Contains(err.Error(), "batch refused with 503") ||
+		!strings.Contains(err.Error(), "draining") {
+		t.Fatalf("err = %v, want a refusal carrying the service's reason", err)
+	}
+}
+
+func TestReady(t *testing.T) {
+	var calls atomic.Int64
+	status := atomic.Int64{}
+	ts := scripted(t, &calls, func(n int64, w http.ResponseWriter) {
+		st := int(status.Load())
+		w.WriteHeader(st)
+		if st == http.StatusOK {
+			_, _ = w.Write([]byte(`{"status":"ready","flows":1}`))
+		} else {
+			_, _ = w.Write([]byte(`{"status":503,"error":"warming"}`))
+		}
+	})
+	c := New(Config{BaseURL: ts.URL})
+
+	status.Store(http.StatusOK)
+	if ok, err := c.Ready(context.Background()); err != nil || !ok {
+		t.Errorf("Ready on 200 = %v, %v", ok, err)
+	}
+	status.Store(int64(service.StatusUnavailable))
+	if ok, err := c.Ready(context.Background()); err != nil || ok {
+		t.Errorf("Ready on 503 = %v, %v", ok, err)
+	}
+	status.Store(http.StatusTeapot)
+	if _, err := c.Ready(context.Background()); err == nil {
+		t.Error("Ready on 418 should error")
+	}
+}
+
+// TestAgainstRealService is the wire-compatibility check: the client's
+// decode path against the actual service handler, not a script.
+func TestAgainstRealService(t *testing.T) {
+	srv := service.New(service.Config{Registry: obs.New()})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := New(Config{BaseURL: ts.URL})
+
+	ready, err := c.Ready(context.Background())
+	if err != nil || !ready {
+		t.Fatalf("Ready = %v, %v", ready, err)
+	}
+	resp, err := c.Run(context.Background(), core.Request{Benchmarks: []string{"c17"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != service.StatusClean || len(resp.Rows) != 1 || resp.Rows[0].Name != "c17" {
+		t.Fatalf("response: %+v", resp)
+	}
+	if resp.Manifest == nil {
+		t.Error("manifest missing from the decoded response")
+	}
+
+	items, err := c.Batch(context.Background(), []core.Request{
+		{Benchmarks: []string{"c17"}},
+		{Benchmarks: []string{"c999"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 2 || items[0].Status != service.StatusClean || items[1].Status != service.StatusInvalid {
+		t.Fatalf("batch items: %v %v", items[0].Status, items[1].Status)
+	}
+
+	srv.StartDrain()
+	c2 := New(Config{BaseURL: ts.URL, MaxAttempts: 2})
+	record(c2)
+	refused, err := c2.Run(context.Background(), core.Request{Benchmarks: []string{"c17"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refused.Status != service.StatusUnavailable || !strings.Contains(refused.Error, "draining") {
+		t.Fatalf("drained answer: %+v", refused)
+	}
+}

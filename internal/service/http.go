@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -21,13 +22,15 @@ import (
 //	exit 1 (completed degraded) → 207 StatusDegraded
 //	exit 2 (failed)             → 4xx/5xx by failure class below
 const (
-	StatusClean    = http.StatusOK                    // every row healthy
-	StatusDegraded = http.StatusMultiStatus           // collect policy: completed with Degraded rows + fault list
-	StatusInvalid  = http.StatusBadRequest            // schema rejection (*core.RequestError)
-	StatusTooLarge = http.StatusRequestEntityTooLarge // batch or benchmark-count limit exceeded
-	StatusFault    = http.StatusUnprocessableEntity   // fail-fast policy: a typed fault aborted the run
-	StatusTimeout  = http.StatusGatewayTimeout        // deadline or cancellation
-	StatusInternal = http.StatusInternalServerError   // anything outside the taxonomy
+	StatusClean       = http.StatusOK                    // every row healthy
+	StatusDegraded    = http.StatusMultiStatus           // collect policy: completed with Degraded rows + fault list
+	StatusInvalid     = http.StatusBadRequest            // schema rejection (*core.RequestError)
+	StatusTooLarge    = http.StatusRequestEntityTooLarge // batch or benchmark-count limit exceeded
+	StatusFault       = http.StatusUnprocessableEntity   // fail-fast policy: a typed fault aborted the run
+	StatusShed        = http.StatusTooManyRequests       // admission control shed the request (+ Retry-After)
+	StatusUnavailable = http.StatusServiceUnavailable    // draining, or circuit breaker open (+ Retry-After)
+	StatusTimeout     = http.StatusGatewayTimeout        // deadline or cancellation
+	StatusInternal    = http.StatusInternalServerError   // anything outside the taxonomy
 )
 
 // maxBodyBytes bounds request bodies; a request is a small JSON object,
@@ -65,19 +68,40 @@ func faultsOf(r fault.Report) []Fault {
 	return out
 }
 
-// Response is the service's answer to one Request. Status mirrors the
-// HTTP status so batch items stay self-describing. Request echoes the
-// fully normalized request (server defaults merged), which is the
-// request identity the determinism contract is stated over. Encoding is
-// canonical: compact JSON, struct field order, sorted map keys — two
-// equal-canonical requests render byte-identical Responses.
+// Progress reports how far a deadline-cut request got: which phase the
+// budget ran out in ("flow-wait" while waiting for warm state, "run"
+// mid-analysis) and how many of the requested benchmarks completed
+// cleanly before the cut. Carried only on 504 responses.
+type Progress struct {
+	Stage string `json:"stage"`
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+}
+
+// Response is the service's answer to one Request — and the one JSON
+// error schema of the whole surface: every non-200 the service writes
+// (400/413/422/429/503/504/500, run or batch envelope, POST or GET
+// surface) is a Response with Status and Error set, so a client needs
+// exactly one decoder. Status mirrors the HTTP status so batch items
+// stay self-describing. Request echoes the fully normalized request
+// (server defaults merged), which is the request identity the
+// determinism contract is stated over. Encoding is canonical: compact
+// JSON, struct field order, sorted map keys — two equal-canonical
+// requests render byte-identical Responses.
 type Response struct {
 	Status   int               `json:"status"`
 	Request  *core.Request     `json:"request,omitempty"`
 	Rows     []core.Comparison `json:"rows,omitempty"`
 	Faults   []Fault           `json:"faults,omitempty"`
+	Progress *Progress         `json:"progress,omitempty"`
 	Manifest *obs.RunManifest  `json:"manifest,omitempty"`
 	Error    string            `json:"error,omitempty"`
+
+	// broken marks a response produced by a circuit-breaker fast-fail,
+	// routing it into the "broken" accounting bucket instead of
+	// "completed". Never serialized — the wire signal is the 503 status
+	// plus the cached fault in Error.
+	broken bool
 }
 
 // Encode renders the canonical response bytes: compact JSON plus one
@@ -111,7 +135,13 @@ type BatchResponse struct {
 //	POST /v1/batch      {"requests":[...]} → {"responses":[...]}
 //	GET  /v1/benchmarks known benchmark names
 //	GET  /v1/metrics    full server-registry snapshot (schedule-dependent)
-//	GET  /v1/healthz    liveness + resident flow count
+//	GET  /v1/healthz    pure liveness + resident flow count
+//	GET  /v1/readyz     readiness: 503 until warm (RequireWarm) and while draining
+//
+// The POST surfaces pass through admission control and the drain gate;
+// the GET surfaces deliberately bypass both — health, readiness and
+// metrics must keep answering exactly when the service is saturated or
+// shutting down.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)
@@ -119,6 +149,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	return mux
 }
 
@@ -132,65 +163,95 @@ func (s *Server) observe(start int64, status int) {
 	s.latency.Observe(float64(expt.Now().UnixNano()-start) / 1e6)
 }
 
-func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
-	start := expt.Now().UnixNano()
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	if err != nil {
-		s.writeResponse(w, &Response{Status: StatusTooLarge, Error: "request body: " + err.Error()})
-		s.observe(start, StatusTooLarge)
-		return
+// admit runs the drain gate and the admission gate for one run/batch
+// request, writing the refusal itself when the request cannot proceed.
+// On true the caller owns an admission slot and must release it.
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter, start int64) bool {
+	if s.draining.Load() {
+		s.drained.Inc()
+		s.writeResponse(w, &Response{Status: StatusUnavailable,
+			Error: "draining: server is shutting down; retry against another replica"})
+		s.observe(start, StatusUnavailable)
+		return false
 	}
-	req, err := core.ParseRequest(body)
-	if err != nil {
-		s.writeResponse(w, &Response{Status: StatusInvalid, Error: err.Error()})
-		s.observe(start, StatusInvalid)
-		return
+	if err := s.adm.acquire(ctx); err != nil {
+		s.shed.Inc()
+		s.writeResponse(w, &Response{Status: StatusShed, Error: err.Error()})
+		s.observe(start, StatusShed)
+		return false
 	}
-	resp := s.run(r.Context(), req, s.workers)
+	return true
+}
+
+// finish settles an admitted request: accounting bucket (broken vs
+// completed), response bytes, shared telemetry.
+func (s *Server) finish(w http.ResponseWriter, start int64, resp *Response) {
+	if resp.broken {
+		s.broken.Inc()
+	} else {
+		s.completed.Inc()
+	}
 	s.writeResponse(w, resp)
 	s.observe(start, resp.Status)
 }
 
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	start := expt.Now().UnixNano()
+	s.accepted.Inc()
+	if !s.admit(r.Context(), w, start) {
+		return
+	}
+	defer s.adm.release()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		s.finish(w, start, &Response{Status: StatusTooLarge, Error: "request body: " + err.Error()})
+		return
+	}
+	req, err := core.ParseRequest(body)
+	if err != nil {
+		s.finish(w, start, &Response{Status: StatusInvalid, Error: err.Error()})
+		return
+	}
+	s.finish(w, start, s.run(r.Context(), req, s.workers))
+}
+
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	start := expt.Now().UnixNano()
-	status := http.StatusOK
-	defer func() { s.observe(start, status) }()
+	s.accepted.Inc()
+	if !s.admit(r.Context(), w, start) {
+		return
+	}
+	defer s.adm.release()
 
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
-		status = StatusTooLarge
-		s.writeResponse(w, &Response{Status: status, Error: "request body: " + err.Error()})
+		s.finish(w, start, &Response{Status: StatusTooLarge, Error: "request body: " + err.Error()})
 		return
 	}
 	var batch Batch
 	if err := strictUnmarshal(body, &batch); err != nil {
-		status = StatusInvalid
-		s.writeResponse(w, &Response{Status: status, Error: err.Error()})
+		s.finish(w, start, &Response{Status: StatusInvalid, Error: err.Error()})
 		return
 	}
 	if len(batch.Requests) == 0 {
-		status = StatusInvalid
-		s.writeResponse(w, &Response{Status: status, Error: "batch: at least one request required"})
+		s.finish(w, start, &Response{Status: StatusInvalid, Error: "batch: at least one request required"})
 		return
 	}
 	if len(batch.Requests) > s.cfg.MaxBatch {
-		status = StatusTooLarge
-		s.writeResponse(w, &Response{Status: status,
+		s.finish(w, start, &Response{Status: StatusTooLarge,
 			Error: "batch: " + strconv.Itoa(len(batch.Requests)) + " requests exceed the limit of " + strconv.Itoa(s.cfg.MaxBatch)})
 		return
 	}
 	resps, err := s.runBatch(r.Context(), batch.Requests)
 	if err != nil {
-		status = StatusTimeout
-		s.writeResponse(w, &Response{Status: status, Error: err.Error()})
+		s.finish(w, start, &Response{Status: StatusTimeout, Error: err.Error()})
 		return
 	}
 	out := BatchResponse{Responses: make([]json.RawMessage, len(resps))}
 	for i, resp := range resps {
 		b, err := resp.Encode()
 		if err != nil {
-			status = StatusInternal
-			s.writeResponse(w, &Response{Status: status, Error: "encode: " + err.Error()})
+			s.finish(w, start, &Response{Status: StatusInternal, Error: "encode: " + err.Error()})
 			return
 		}
 		// Strip the newline Encode appends for standalone bodies; inside
@@ -201,11 +262,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// statuses (a mixed batch is still one complete answer).
 	b, err := json.Marshal(out)
 	if err != nil {
-		status = StatusInternal
-		s.writeResponse(w, &Response{Status: status, Error: "encode: " + err.Error()})
+		s.finish(w, start, &Response{Status: StatusInternal, Error: "encode: " + err.Error()})
 		return
 	}
+	s.completed.Inc()
 	writeJSON(w, http.StatusOK, append(b, '\n'))
+	s.observe(start, http.StatusOK)
 }
 
 func (s *Server) handleBenchmarks(w http.ResponseWriter, _ *http.Request) {
@@ -213,7 +275,7 @@ func (s *Server) handleBenchmarks(w http.ResponseWriter, _ *http.Request) {
 		Benchmarks []string `json:"benchmarks"`
 	}{netlist.Names()})
 	if err != nil {
-		http.Error(w, err.Error(), StatusInternal)
+		s.writeResponse(w, &Response{Status: StatusInternal, Error: err.Error()})
 		return
 	}
 	writeJSON(w, http.StatusOK, append(b, '\n'))
@@ -222,30 +284,69 @@ func (s *Server) handleBenchmarks(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	b, err := s.reg.Snapshot().EncodeJSON()
 	if err != nil {
-		http.Error(w, err.Error(), StatusInternal)
+		s.writeResponse(w, &Response{Status: StatusInternal, Error: err.Error()})
 		return
 	}
 	writeJSON(w, http.StatusOK, b)
 }
 
+// handleHealthz is pure liveness: it answers 200 for as long as the
+// process can serve HTTP at all — during warm-up, under full load and
+// throughout a drain. Orchestrators must not restart a draining
+// process; that is what readiness is for.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	b, err := json.Marshal(struct {
 		Status string `json:"status"`
 		Flows  int    `json:"flows"`
 	}{"ok", s.Flows()})
 	if err != nil {
-		http.Error(w, err.Error(), StatusInternal)
+		s.writeResponse(w, &Response{Status: StatusInternal, Error: err.Error()})
 		return
 	}
 	writeJSON(w, http.StatusOK, append(b, '\n'))
 }
 
-// writeResponse renders resp canonically with its own status code.
+// handleReadyz is the routability signal, distinct from liveness: 503
+// while the default flow is still warming (Config.RequireWarm) and from
+// the moment a drain starts — so load balancers stop sending new work
+// before the listener ever closes. Refusals use the one JSON error
+// schema and carry Retry-After.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case s.draining.Load():
+		s.writeResponse(w, &Response{Status: StatusUnavailable,
+			Error: "draining: server is shutting down; retry against another replica"})
+	case !s.warmed.Load():
+		s.writeResponse(w, &Response{Status: StatusUnavailable,
+			Error: "warming: default flow construction has not completed"})
+	default:
+		b, err := json.Marshal(struct {
+			Status string `json:"status"`
+			Flows  int    `json:"flows"`
+		}{"ready", s.Flows()})
+		if err != nil {
+			s.writeResponse(w, &Response{Status: StatusInternal, Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, append(b, '\n'))
+	}
+}
+
+// writeResponse renders resp canonically with its own status code,
+// attaching Retry-After on the two retryable refusals (429 shed, 503
+// draining/breaker) so well-behaved clients back off by at least the
+// admission queue wait.
 func (s *Server) writeResponse(w http.ResponseWriter, resp *Response) {
 	b, err := resp.Encode()
 	if err != nil {
-		http.Error(w, err.Error(), StatusInternal)
+		// Last-resort path: the canonical encoder failed, so hand-build
+		// the minimal schema-shaped body rather than falling back to
+		// plain text.
+		writeJSON(w, StatusInternal, []byte(`{"status":500,"error":"response encoding failed"}`+"\n"))
 		return
+	}
+	if resp.Status == StatusShed || resp.Status == StatusUnavailable {
+		w.Header().Set("Retry-After", s.retrySecs)
 	}
 	writeJSON(w, resp.Status, b)
 }

@@ -1,0 +1,303 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"svtiming/internal/core"
+	"svtiming/internal/fault"
+	"svtiming/internal/obs"
+)
+
+// TestDrainRefusal pins the graceful-drain surface: after StartDrain,
+// run/batch are refused with 503 + Retry-After through the one JSON
+// error schema, readiness flips to 503, liveness stays 200, and the
+// refusals land in the drained accounting bucket.
+func TestDrainRefusal(t *testing.T) {
+	s := New(Config{Registry: obs.New()})
+	if !s.Ready() {
+		t.Fatal("fresh server should be ready")
+	}
+	s.StartDrain()
+	s.StartDrain() // idempotent
+	if !s.Draining() || s.Ready() {
+		t.Fatalf("Draining() = %v, Ready() = %v after StartDrain", s.Draining(), s.Ready())
+	}
+
+	for _, ep := range []struct{ path, body string }{
+		{"/v1/run", `{"benchmarks":["c17"]}`},
+		{"/v1/batch", `{"requests":[{"benchmarks":["c17"]}]}`},
+	} {
+		rec := post(s, ep.path, ep.body)
+		if rec.Code != StatusUnavailable {
+			t.Fatalf("POST %s while draining: status %d, want %d", ep.path, rec.Code, StatusUnavailable)
+		}
+		if ra := rec.Header().Get("Retry-After"); ra != "1" {
+			t.Errorf("POST %s: Retry-After = %q, want \"1\"", ep.path, ra)
+		}
+		var resp Response
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("POST %s: refusal is not a Response: %v", ep.path, err)
+		}
+		if resp.Status != StatusUnavailable || !strings.Contains(resp.Error, "draining") {
+			t.Errorf("POST %s: refusal body %+v", ep.path, resp)
+		}
+	}
+
+	if rec := get(s, "/v1/readyz"); rec.Code != StatusUnavailable {
+		t.Errorf("readyz while draining: %d, want 503", rec.Code)
+	}
+	if rec := get(s, "/v1/healthz"); rec.Code != http.StatusOK {
+		t.Errorf("healthz while draining: %d, want 200 (liveness is not readiness)", rec.Code)
+	}
+
+	reg := s.reg
+	if got := reg.CounterValue("service_requests_drained_total"); got != 2 {
+		t.Errorf("drained = %d, want 2", got)
+	}
+	if got := reg.CounterValue("service_requests_accepted_total"); got != 2 {
+		t.Errorf("accepted = %d, want 2", got)
+	}
+	if s.InFlight() != 0 {
+		t.Errorf("InFlight = %d on an idle draining server", s.InFlight())
+	}
+}
+
+// TestReadyzWarming pins the RequireWarm half of readiness: 503 with a
+// "warming" body until Warm completes, 200 after. The construct seam
+// stands in for the expensive real build.
+func TestReadyzWarming(t *testing.T) {
+	s := New(Config{Registry: obs.New(), RequireWarm: true})
+	s.construct = func(core.Request) (*core.Flow, error) { return &core.Flow{}, nil }
+
+	if s.Ready() {
+		t.Fatal("RequireWarm server ready before Warm")
+	}
+	rec := get(s, "/v1/readyz")
+	if rec.Code != StatusUnavailable || !strings.Contains(rec.Body.String(), "warming") {
+		t.Fatalf("readyz before warm: %d %s", rec.Code, rec.Body.String())
+	}
+	if rec := get(s, "/v1/healthz"); rec.Code != http.StatusOK {
+		t.Errorf("healthz before warm: %d, want 200", rec.Code)
+	}
+
+	if err := s.Warm(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Ready() {
+		t.Fatal("server not ready after Warm")
+	}
+	rec = get(s, "/v1/readyz")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"ready"`) {
+		t.Fatalf("readyz after warm: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestShedOverHTTP pins the admission refusal on the wire: a saturated
+// gate with no queue sheds with 429, Retry-After, the JSON error schema
+// and the shed accounting bucket.
+func TestShedOverHTTP(t *testing.T) {
+	s := New(Config{Registry: obs.New(), MaxInflight: 1, MaxQueue: -1})
+	// Occupy the single slot directly; no request needs to run.
+	s.adm.slots <- struct{}{}
+	defer func() { <-s.adm.slots }()
+
+	rec := post(s, "/v1/run", `{"benchmarks":["c17"]}`)
+	if rec.Code != StatusShed {
+		t.Fatalf("status %d, want %d: %s", rec.Code, StatusShed, rec.Body.String())
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "1" {
+		t.Errorf("Retry-After = %q, want \"1\"", ra)
+	}
+	var resp Response
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusShed || !strings.Contains(resp.Error, "admission: wait queue full (limit 0)") {
+		t.Errorf("shed body: %+v", resp)
+	}
+	if got := s.reg.CounterValue("service_requests_shed_total"); got != 1 {
+		t.Errorf("shed = %d, want 1", got)
+	}
+	if got := s.reg.CounterValue("service_requests_accepted_total"); got != 1 {
+		t.Errorf("accepted = %d, want 1", got)
+	}
+}
+
+// TestBreakerOverHTTP drives the whole breaker lifecycle through the
+// handler with an always-failing construct seam: threshold construction
+// failures as 422s, then cooldown fast-fails as 503s that never invoke
+// the constructor, then a half-open probe that does. Also pins the PR's
+// cache-behaviour change: a failed build is removed from the flow cache
+// (retryable) instead of cached forever.
+func TestBreakerOverHTTP(t *testing.T) {
+	var builds atomic.Int64
+	boom := &fault.NonConvergence{At: fault.Coord{Stage: "construct"}, What: "pitch table", Iterations: 7, Residual: 0.5}
+	s := New(Config{Registry: obs.New()})
+	s.construct = func(core.Request) (*core.Flow, error) {
+		builds.Add(1)
+		return nil, boom
+	}
+
+	const body = `{"benchmarks":["c17"]}`
+	for i := 0; i < breakerThreshold; i++ {
+		rec := post(s, "/v1/run", body)
+		if rec.Code != StatusFault {
+			t.Fatalf("construction failure %d: status %d, want %d: %s", i, rec.Code, StatusFault, rec.Body.String())
+		}
+		if got := s.Flows(); got != 0 {
+			t.Fatalf("failed build %d left %d cached entries; errors must be retryable", i, got)
+		}
+	}
+	if got := builds.Load(); got != breakerThreshold {
+		t.Fatalf("constructor ran %d times, want %d", got, breakerThreshold)
+	}
+
+	for i := 0; i < breakerCooldown; i++ {
+		rec := post(s, "/v1/run", body)
+		if rec.Code != StatusUnavailable {
+			t.Fatalf("fast-fail %d: status %d, want %d: %s", i, rec.Code, StatusUnavailable, rec.Body.String())
+		}
+		if ra := rec.Header().Get("Retry-After"); ra != "1" {
+			t.Errorf("fast-fail %d: Retry-After = %q", i, ra)
+		}
+		var resp Response
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(resp.Error, "circuit open for flow configuration") ||
+			!strings.Contains(resp.Error, "pitch table did not converge") {
+			t.Errorf("fast-fail %d: body should carry the cached fault: %q", i, resp.Error)
+		}
+	}
+	if got := builds.Load(); got != breakerThreshold {
+		t.Fatalf("fast-fails invoked the constructor: %d builds, want still %d", builds.Load(), breakerThreshold)
+	}
+
+	// The next request is admitted as the half-open probe and actually
+	// re-runs construction; it fails again, so the breaker re-opens.
+	rec := post(s, "/v1/run", body)
+	if rec.Code != StatusFault {
+		t.Fatalf("half-open probe: status %d, want %d", rec.Code, StatusFault)
+	}
+	if got := builds.Load(); got != breakerThreshold+1 {
+		t.Fatalf("probe did not re-run construction: %d builds", got)
+	}
+	if rec := post(s, "/v1/run", body); rec.Code != StatusUnavailable {
+		t.Fatalf("after failed probe: status %d, want %d (re-opened)", rec.Code, StatusUnavailable)
+	}
+
+	// Accounting: every request accepted; fast-fails are "broken", the
+	// rest ran to a (422) response and are "completed".
+	reg := s.reg
+	wantAccepted := int64(breakerThreshold + breakerCooldown + 2)
+	if got := reg.CounterValue("service_requests_accepted_total"); got != wantAccepted {
+		t.Errorf("accepted = %d, want %d", got, wantAccepted)
+	}
+	if got := reg.CounterValue("service_requests_broken_total"); got != breakerCooldown+1 {
+		t.Errorf("broken = %d, want %d", got, breakerCooldown+1)
+	}
+	if got := reg.CounterValue("service_requests_completed_total"); got != breakerThreshold+1 {
+		t.Errorf("completed = %d, want %d", got, breakerThreshold+1)
+	}
+	if got := reg.CounterValue("service_breaker_opened_total"); got != 1 {
+		t.Errorf("breaker opened = %d, want 1", got)
+	}
+}
+
+// TestDeadlineBudgetProgress pins the 504 Progress payload in both
+// phases. The flow-wait phase uses a parked never-ready entry (budget
+// consumed before warm state was available); the run phase uses a
+// sleeping hook so the budget dies between benchmark 0 and benchmark 1
+// of a serial collect run — Done reports exactly the rows that finished.
+func TestDeadlineBudgetProgress(t *testing.T) {
+	t.Run("flow-wait", func(t *testing.T) {
+		s := New(Config{Registry: obs.New()})
+		req := s.withDefaults(core.Request{Benchmarks: []string{"c17"}})
+		key, err := req.FlowKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.mu.Lock()
+		s.flows[key] = &flowEntry{ready: make(chan struct{})}
+		s.order = append(s.order, key)
+		s.mu.Unlock()
+
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		resp := s.run(ctx, core.Request{Benchmarks: []string{"c17"}}, 1)
+		if resp.Status != StatusTimeout {
+			t.Fatalf("status %d, want %d (%s)", resp.Status, StatusTimeout, resp.Error)
+		}
+		if resp.Progress == nil || resp.Progress.Stage != "flow-wait" ||
+			resp.Progress.Done != 0 || resp.Progress.Total != 1 {
+			t.Fatalf("Progress = %+v, want flow-wait 0/1", resp.Progress)
+		}
+	})
+
+	t.Run("run", func(t *testing.T) {
+		s := testServer(t)
+		// Warm the default flow first so the budget below is spent in the
+		// run phase, not on a cold construction.
+		if rec := post(s, "/v1/run", `{"benchmarks":["c17"]}`); rec.Code != StatusClean {
+			t.Fatalf("warm-up: %d %s", rec.Code, rec.Body.String())
+		}
+		// Sleep past the budget at sweep index 1, then fail the point: by
+		// the time the error reaches Run's collect loop the context has
+		// expired, so the run reports external cancellation with exactly
+		// one completed row (serial execution, workers=1).
+		s.hook = func(at fault.Coord) error {
+			if at.Index == 1 {
+				time.Sleep(500 * time.Millisecond)
+				return &fault.Numeric{At: at, Quantity: "delay", Value: 0}
+			}
+			return nil
+		}
+		savedTimeout := s.cfg.RequestTimeout
+		s.cfg.RequestTimeout = 100 * time.Millisecond
+		defer func() {
+			s.hook = nil
+			s.cfg.RequestTimeout = savedTimeout
+		}()
+
+		resp := s.run(context.Background(),
+			core.Request{Benchmarks: []string{"c17", "c432"}, OnFault: "collect"}, 1)
+		if resp.Status != StatusTimeout {
+			t.Fatalf("status %d, want %d (%s)", resp.Status, StatusTimeout, resp.Error)
+		}
+		if !strings.Contains(resp.Error, "deadline") {
+			t.Errorf("error = %q, want a deadline error", resp.Error)
+		}
+		if resp.Progress == nil || resp.Progress.Stage != "run" ||
+			resp.Progress.Done != 1 || resp.Progress.Total != 2 {
+			t.Fatalf("Progress = %+v, want run 1/2", resp.Progress)
+		}
+	})
+}
+
+// TestErrorSchemaOnGETSurfaces pins the one-error-schema satellite for
+// the GET endpoints: refusals and failures there are Responses too, not
+// text/plain http.Error output (the 503s above already cover POST).
+func TestErrorSchemaOnGETSurfaces(t *testing.T) {
+	s := New(Config{Registry: obs.New()})
+	s.StartDrain()
+	rec := get(s, "/v1/readyz")
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("readyz refusal Content-Type = %q, want application/json", ct)
+	}
+	var resp Response
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("readyz refusal is not a Response: %v", err)
+	}
+	if resp.Status != StatusUnavailable || resp.Error == "" {
+		t.Errorf("readyz refusal: %+v", resp)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "1" {
+		t.Errorf("readyz refusal Retry-After = %q, want \"1\"", ra)
+	}
+}

@@ -23,6 +23,34 @@
 // counters, request latencies) lives on the server registry and is
 // exposed on /v1/metrics — the existing -metrics surface — where
 // schedule-dependence is expected and documented.
+//
+// # Resilience contract
+//
+// The serving layer degrades gracefully instead of falling over (see
+// DESIGN.md "Resilience contract" for the full state machine):
+//
+//   - Admission control: at most MaxInflight run/batch requests execute
+//     concurrently; at most MaxQueue more wait FIFO for up to QueueWait;
+//     beyond that the request is shed with 429 + Retry-After.
+//   - Deadline budgets: RequestTimeout composes a server-side budget
+//     with the client's own context; a 504 reports how far the request
+//     got (Progress).
+//   - Graceful drain: StartDrain flips the draining bit — /v1/readyz
+//     turns 503, new run/batch requests are refused with 503 +
+//     Retry-After, in-flight requests finish (InFlight lets the daemon
+//     poll them down to zero before closing the listener).
+//   - Circuit breaker: repeated construction failures for one FlowKey
+//     open a per-key breaker that fast-fails with 503 and the cached
+//     typed fault, with a deterministic request-count half-open probe.
+//
+// Every admitted request lands in exactly one accounting bucket, so the
+// metrics snapshot always satisfies
+//
+//	accepted == shed + drained + broken + completed
+//
+// (service_requests_{accepted,shed,drained,broken,completed}_total),
+// which is the invariant the chaos soak asserts after a fault-injected,
+// load-shed, mid-storm-drained run.
 package service
 
 import (
@@ -31,6 +59,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"svtiming/internal/core"
@@ -60,16 +89,32 @@ type Config struct {
 	MaxFlows int
 	// MaxBenchmarks caps the benchmarks of a single request (default 64).
 	MaxBenchmarks int
-	// RequestTimeout bounds each request's run (0 = none beyond the
-	// client's own disconnect).
+	// MaxInflight caps the run/batch requests executing concurrently
+	// (default 256). A request beyond it waits in the admission queue.
+	MaxInflight int
+	// MaxQueue caps the admission wait queue beyond MaxInflight (default
+	// 64; negative = no queue, shed immediately when saturated).
+	MaxQueue int
+	// QueueWait bounds how long a queued request waits for a slot before
+	// being shed with 429 (default 1s).
+	QueueWait time.Duration
+	// RequestTimeout is the server-side deadline budget composed with
+	// each request's own context (0 = none beyond the client's
+	// disconnect). It bounds the whole request — flow-cache wait
+	// included — so a slow build can never pin a handler past it.
 	RequestTimeout time.Duration
+	// RequireWarm gates /v1/readyz on a successful Warm call: the
+	// daemon's -warm flag sets it so readiness means "the default flow
+	// is actually resident", not merely "the process is up".
+	RequireWarm bool
 	// Registry receives the service and flow-construction metrics
 	// (nil = Nop). Per-request manifests never read it.
 	Registry *obs.Registry
 }
 
 // Server is the resident timing service: an HTTP handler (Handler) over
-// a keyed cache of warm flows. Safe for concurrent use.
+// a keyed cache of warm flows, fronted by the admission gate and the
+// per-FlowKey construction breaker. Safe for concurrent use.
 type Server struct {
 	cfg     Config
 	reg     *obs.Registry
@@ -78,6 +123,15 @@ type Server struct {
 	mu    sync.Mutex
 	flows map[string]*flowEntry
 	order []string // insertion order, for FIFO eviction
+
+	adm       *admission
+	brk       *breaker
+	draining  atomic.Bool
+	warmed    atomic.Bool
+	retrySecs string // Retry-After value for 429/503, fixed at New
+	// construct builds a flow for a request; tests swap it to synthesize
+	// slow or failing constructions without touching the physics.
+	construct func(req core.Request) (*core.Flow, error)
 
 	// hook, when non-nil, is armed on every request's flow copy — the
 	// service half of the deterministic fault-injection harness (package
@@ -91,6 +145,14 @@ type Server struct {
 	builds    *obs.Counter // service_flow_cache_builds (hits = lookups − builds)
 	evictions *obs.Counter // service_flow_cache_evictions
 	latency   *obs.Histogram
+
+	// The accounting partition: every run/batch request increments
+	// accepted on arrival and exactly one of the other four on exit.
+	accepted  *obs.Counter // service_requests_accepted_total
+	shed      *obs.Counter // service_requests_shed_total (admission 429)
+	drained   *obs.Counter // service_requests_drained_total (drain 503)
+	broken    *obs.Counter // service_requests_broken_total (breaker 503)
+	completed *obs.Counter // service_requests_completed_total (ran to a response)
 }
 
 // flowEntry is one warm (or in-flight) flow configuration. ready closes
@@ -114,27 +176,73 @@ func New(cfg Config) *Server {
 	if cfg.MaxBenchmarks <= 0 {
 		cfg.MaxBenchmarks = 64
 	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 256
+	}
+	switch {
+	case cfg.MaxQueue == 0:
+		cfg.MaxQueue = 64
+	case cfg.MaxQueue < 0:
+		cfg.MaxQueue = 0
+	}
+	if cfg.QueueWait <= 0 {
+		cfg.QueueWait = time.Second
+	}
 	reg := cfg.Registry
 	if reg == nil {
 		reg = obs.Nop()
 	}
-	return &Server{
+	retry := int64(cfg.QueueWait+time.Second-1) / int64(time.Second)
+	if retry < 1 {
+		retry = 1
+	}
+	s := &Server{
 		cfg:       cfg,
 		reg:       reg,
 		workers:   par.Workers(cfg.Parallelism),
 		flows:     map[string]*flowEntry{},
+		adm:       newAdmission(cfg.MaxInflight, cfg.MaxQueue, cfg.QueueWait),
+		brk:       newBreaker(reg),
+		retrySecs: strconv.FormatInt(retry, 10),
 		requests:  reg.Counter("service_requests_total"),
 		failures:  reg.Counter("service_requests_failed"),
 		batches:   reg.Counter("service_batches_total"),
 		lookups:   reg.Counter("service_flow_cache_lookups"),
 		builds:    reg.Counter("service_flow_cache_builds"),
 		evictions: reg.Counter("service_flow_cache_evictions"),
+		accepted:  reg.Counter("service_requests_accepted_total"),
+		shed:      reg.Counter("service_requests_shed_total"),
+		drained:   reg.Counter("service_requests_drained_total"),
+		broken:    reg.Counter("service_requests_broken_total"),
+		completed: reg.Counter("service_requests_completed_total"),
 		// Request latency in milliseconds; schedule-dependent by nature,
 		// so it belongs to /v1/metrics, never to a manifest.
 		latency: reg.Histogram("service_request_latency_ms",
 			[]float64{1, 5, 10, 50, 100, 500, 1000, 5000, 30000}),
 	}
+	s.warmed.Store(!cfg.RequireWarm)
+	s.construct = s.defaultConstruct
+	return s
 }
+
+// StartDrain flips the server into draining: /v1/readyz turns 503, new
+// run/batch requests are refused with 503 + Retry-After, and in-flight
+// requests run to completion. Idempotent; there is no way back — a
+// draining server is on its way down, and flapping readiness would only
+// confuse load balancers.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// InFlight reports the number of admitted run/batch requests still
+// executing — the quantity a draining daemon polls down to zero before
+// closing its listener.
+func (s *Server) InFlight() int { return s.adm.inFlight() }
+
+// Ready reports whether the server should pass readiness probes: not
+// draining, and warm when RequireWarm was configured.
+func (s *Server) Ready() bool { return !s.draining.Load() && s.warmed.Load() }
 
 // withDefaults overlays the server's default request fields onto fields
 // the incoming request left unset. Benchmarks and PitchSweep are never
@@ -167,7 +275,10 @@ func (s *Server) withDefaults(r core.Request) core.Request {
 // key share a single construction) on the server's registry — so
 // construction spans and CD-cache counters land on the shared metrics
 // surface, never in a per-request manifest. Waiters honour ctx while the
-// build proceeds in the background for the next request.
+// build proceeds in the background for the next request. A key whose
+// construction keeps failing is gated by the per-key breaker: while it
+// is open, requests fast-fail with the cached typed fault instead of
+// re-running the doomed build.
 func (s *Server) flow(ctx context.Context, req core.Request) (*core.Flow, error) {
 	key, err := req.FlowKey()
 	if err != nil {
@@ -177,13 +288,17 @@ func (s *Server) flow(ctx context.Context, req core.Request) (*core.Flow, error)
 	s.mu.Lock()
 	e, ok := s.flows[key]
 	if !ok {
+		if err := s.brk.allow(key); err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
 		e = &flowEntry{ready: make(chan struct{})}
 		s.flows[key] = e
 		s.order = append(s.order, key)
 		s.evictLocked()
 		s.builds.Inc()
 		//lint:allow nakedgo singleflight build: the flow must outlive this request so waiters on other requests can share it; pool semantics would tie its lifetime to one caller
-		go s.build(e, req)
+		go s.build(e, key, req)
 	}
 	s.mu.Unlock()
 	select {
@@ -194,20 +309,42 @@ func (s *Server) flow(ctx context.Context, req core.Request) (*core.Flow, error)
 	}
 }
 
-// build constructs the entry's flow on a background context: a requester
-// that gives up mid-construction leaves warm state behind for the next,
-// rather than cancelling it for everyone merged onto the build.
-func (s *Server) build(e *flowEntry, req core.Request) {
-	defer close(e.ready)
+// defaultConstruct is the production flow builder behind the construct
+// seam.
+func (s *Server) defaultConstruct(req core.Request) (*core.Flow, error) {
 	opts, err := req.ConstructionOptions()
 	if err != nil {
-		e.err = err
-		return
+		return nil, err
 	}
 	opts = append(opts,
 		core.WithParallelism(s.workers),
 		core.WithObservability(s.reg))
-	e.flow, e.err = core.NewFlow(opts...)
+	return core.NewFlow(opts...)
+}
+
+// build constructs the entry's flow on a background context: a requester
+// that gives up mid-construction leaves warm state behind for the next,
+// rather than cancelling it for everyone merged onto the build. A failed
+// construction is removed from the cache — unlike a built flow, an error
+// is not warm state worth keeping — so a later request can retry,
+// subject to the breaker.
+func (s *Server) build(e *flowEntry, key string, req core.Request) {
+	defer close(e.ready)
+	e.flow, e.err = s.construct(req)
+	if e.err != nil {
+		s.mu.Lock()
+		if s.flows[key] == e {
+			delete(s.flows, key)
+			for i, k := range s.order {
+				if k == key {
+					s.order = append(s.order[:i], s.order[i+1:]...)
+					break
+				}
+			}
+		}
+		s.mu.Unlock()
+	}
+	s.brk.onResult(key, e.err)
 }
 
 // evictLocked drops the oldest flow configurations beyond MaxFlows.
@@ -232,11 +369,15 @@ func (s *Server) Flows() int {
 // Warm pre-builds the flow for the server's default request (engine /
 // kernel-budget defaults, default pitch sweep) so the first real request
 // doesn't pay construction. Benchmark choice is irrelevant to a FlowKey;
-// Warm uses a placeholder.
+// Warm uses a placeholder. On success the server reports Ready even
+// under Config.RequireWarm.
 func (s *Server) Warm(ctx context.Context) error {
 	req := s.withDefaults(core.Request{Benchmarks: []string{"c17"}})
-	_, err := s.flow(ctx, req)
-	return err
+	if _, err := s.flow(ctx, req); err != nil {
+		return err
+	}
+	s.warmed.Store(true)
+	return nil
 }
 
 // run executes one request end to end and renders its Response. workers
@@ -260,7 +401,17 @@ func (s *Server) run(ctx context.Context, raw core.Request, workers int) *Respon
 	}
 	base, err := s.flow(ctx, req)
 	if err != nil {
-		return &Response{Status: statusForError(err), Request: &req, Error: err.Error()}
+		resp := &Response{Status: statusForError(err), Request: &req, Error: err.Error()}
+		var open *BreakerOpenError
+		if errors.As(err, &open) {
+			resp.broken = true
+		}
+		if resp.Status == StatusTimeout {
+			// The deadline fired before the warm flow was even available:
+			// the budget was consumed waiting on (or for) construction.
+			resp.Progress = &Progress{Stage: "flow-wait", Done: 0, Total: len(req.Benchmarks)}
+		}
+		return resp
 	}
 
 	// Per-request golden-mode registry: enabled but clockless, so span
@@ -276,7 +427,11 @@ func (s *Server) run(ctx context.Context, raw core.Request, workers int) *Respon
 	}
 	res, err := fl.Run(ctx, req.Benchmarks)
 	if err != nil {
-		return &Response{Status: statusForError(err), Request: &req, Error: err.Error()}
+		resp := &Response{Status: statusForError(err), Request: &req, Error: err.Error()}
+		if resp.Status == StatusTimeout {
+			resp.Progress = &Progress{Stage: "run", Done: completedRows(res), Total: len(req.Benchmarks)}
+		}
+		return resp
 	}
 
 	resp := &Response{Status: StatusClean, Request: &req, Rows: res.Rows}
@@ -298,11 +453,30 @@ func (s *Server) run(ctx context.Context, raw core.Request, workers int) *Respon
 	return resp
 }
 
+// completedRows counts the benchmarks that finished cleanly before a
+// run was cut short — the "how far it got" a 504 reports. Rows a
+// cancelled collect-mode run never reached have empty names; degraded
+// rows failed rather than completed.
+func completedRows(res *core.RunResult) int {
+	if res == nil {
+		return 0
+	}
+	n := 0
+	for _, row := range res.Rows {
+		if row.Name != "" && !row.Degraded {
+			n++
+		}
+	}
+	return n
+}
+
 // runBatch schedules a batch over the server's worker pool. Items run
 // with serial inner analysis (the batch owns the pool, mirroring
 // Flow.Run's nesting rule); each item's Response is independent, and an
 // item never fails the batch — per-item failures are embedded statuses.
-// The only batch-level error is external cancellation.
+// The batch envelope holds one admission slot for all its items (the
+// pool bounds their actual concurrency). The only batch-level error is
+// external cancellation.
 func (s *Server) runBatch(ctx context.Context, reqs []core.Request) ([]*Response, error) {
 	s.batches.Inc()
 	out, _ := par.MapAll(ctx, s.workers, len(reqs), func(cctx context.Context, i int) (*Response, error) {
@@ -324,9 +498,15 @@ func (s *Server) runBatch(ctx context.Context, reqs []core.Request) ([]*Response
 // statusForError maps a run-level error onto the HTTP status of the
 // response — the service projection of the cmd tools' exit codes (see
 // DESIGN.md "fault policy → HTTP status"). Degraded-but-complete runs
-// never reach here; they map to StatusDegraded with a 207.
+// never reach here; they map to StatusDegraded with a 207. The breaker
+// test must come before the fault sentinels: an open breaker unwraps to
+// the typed construction fault, but its answer is "retry elsewhere"
+// (503), not "your request is unprocessable" (422).
 func statusForError(err error) int {
+	var open *BreakerOpenError
 	switch {
+	case errors.As(err, &open):
+		return StatusUnavailable
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return StatusTimeout
 	case errors.Is(err, fault.ErrNumeric),

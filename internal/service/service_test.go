@@ -34,7 +34,15 @@ var (
 func testServer(t *testing.T) *Server {
 	t.Helper()
 	sharedOnce.Do(func() {
-		sharedSrv = New(Config{Registry: obs.New()})
+		// Generous admission limits: the shared server hosts the 500-way
+		// all-200 storm (TestConcurrentLoad), which must never shed —
+		// shedding behaviour gets its own dedicated servers below.
+		sharedSrv = New(Config{
+			Registry:    obs.New(),
+			MaxInflight: 512,
+			MaxQueue:    512,
+			QueueWait:   30 * time.Second,
+		})
 	})
 	return sharedSrv
 }

@@ -1,0 +1,120 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"svtiming/internal/core"
+	"svtiming/internal/fault/inject"
+	"svtiming/internal/obs"
+)
+
+// TestStatusMapGoldens pins the full HTTP status surface of the service
+// — every status the handlers can emit, with its canonical body bytes —
+// in one table. Each fixture is the exact wire answer for that outcome
+// class, so a change to any refusal message, the error schema or the
+// status mapping shows up as a reviewable golden diff. Regenerate with
+// `go test ./internal/service -run TestStatusMapGoldens -update`.
+//
+// The 429/503/504 rows are staged rather than load-generated (an
+// occupied admission gate, a draining server, an open breaker, a parked
+// never-ready flow) so the fixture bytes are exactly reproducible.
+func TestStatusMapGoldens(t *testing.T) {
+	cases := []struct {
+		name       string
+		want       int
+		retryAfter bool // 429/503 must carry Retry-After
+		drive      func(t *testing.T) *httptest.ResponseRecorder
+	}{
+		{"status_200_clean", StatusClean, false, func(t *testing.T) *httptest.ResponseRecorder {
+			return post(testServer(t), "/v1/run", `{"benchmarks":["c17"]}`)
+		}},
+		{"status_207_degraded", StatusDegraded, false, func(t *testing.T) *httptest.ResponseRecorder {
+			s := testServer(t)
+			s.hook = new(inject.Plan).InjectNaN("table2", 1).Hook()
+			defer func() { s.hook = nil }()
+			return post(s, "/v1/run", `{"benchmarks":["c17","c432"],"on_fault":"collect"}`)
+		}},
+		{"status_400_invalid", StatusInvalid, false, func(t *testing.T) *httptest.ResponseRecorder {
+			return post(testServer(t), "/v1/run", `{"benchmarks":["c17"],"engine":"magic"}`)
+		}},
+		{"status_413_too_large", StatusTooLarge, false, func(t *testing.T) *httptest.ResponseRecorder {
+			names := strings.TrimSuffix(strings.Repeat(`"c17",`, 65), ",")
+			return post(testServer(t), "/v1/run", fmt.Sprintf(`{"benchmarks":[%s]}`, names))
+		}},
+		{"status_422_fault", StatusFault, false, func(t *testing.T) *httptest.ResponseRecorder {
+			s := testServer(t)
+			s.hook = new(inject.Plan).InjectNaN("table2", 1).Hook()
+			defer func() { s.hook = nil }()
+			return post(s, "/v1/run", `{"benchmarks":["c17","c432"]}`)
+		}},
+		{"status_429_shed", StatusShed, true, func(t *testing.T) *httptest.ResponseRecorder {
+			s := New(Config{Registry: obs.New(), MaxInflight: 1, MaxQueue: -1})
+			s.adm.slots <- struct{}{} // saturate the gate; no queue configured
+			defer func() { <-s.adm.slots }()
+			return post(s, "/v1/run", `{"benchmarks":["c17"]}`)
+		}},
+		{"status_503_draining", StatusUnavailable, true, func(t *testing.T) *httptest.ResponseRecorder {
+			s := New(Config{Registry: obs.New()})
+			s.StartDrain()
+			return post(s, "/v1/run", `{"benchmarks":["c17"]}`)
+		}},
+		{"status_504_timeout", StatusTimeout, false, func(t *testing.T) *httptest.ResponseRecorder {
+			// A parked, never-ready flow entry plus an already-cancelled
+			// request context: the budget dies in the flow-wait phase at a
+			// reproducible point, with Progress 0/1.
+			s := New(Config{Registry: obs.New()})
+			req := s.withDefaults(core.Request{Benchmarks: []string{"c17"}})
+			key, err := req.FlowKey()
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.mu.Lock()
+			s.flows[key] = &flowEntry{ready: make(chan struct{})}
+			s.order = append(s.order, key)
+			s.mu.Unlock()
+
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			r := httptest.NewRequest(http.MethodPost, "/v1/run",
+				strings.NewReader(`{"benchmarks":["c17"]}`)).WithContext(ctx)
+			rec := httptest.NewRecorder()
+			s.Handler().ServeHTTP(rec, r)
+			return rec
+		}},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := tc.drive(t)
+			if rec.Code != tc.want {
+				t.Fatalf("status %d, want %d: %s", rec.Code, tc.want, rec.Body.String())
+			}
+			if tc.retryAfter && rec.Header().Get("Retry-After") == "" {
+				t.Errorf("%d response missing Retry-After", tc.want)
+			}
+			goldenPath := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, rec.Body.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update)", err)
+			}
+			if !bytes.Equal(rec.Body.Bytes(), want) {
+				t.Errorf("response bytes diverge from %s:\n got %s\nwant %s\n(regenerate with -update and review)",
+					goldenPath, rec.Body.Bytes(), want)
+			}
+		})
+	}
+}
