@@ -23,6 +23,11 @@
 #   make bench-smoke — compile and run every benchmark exactly once, so
 #                   CI catches a benchmark that no longer builds or
 #                   crashes without paying for a timed run
+#   make bench-edit — the incremental-engine headline: edit-vs-cold on a
+#                   warm c432 session, written to BENCH_9.json; the
+#                   contract is ≥10× (EditApply vs ColdRebuild ns/op)
+#   make bench-edit-smoke — the same pair at -benchtime 1x, so CI catches
+#                   a session benchmark that no longer builds or panics
 #   make service-smoke — end-to-end daemon gate: build cmd/svtimingd,
 #                   start it on an ephemeral port, run a 3-request batch,
 #                   diff the bytes against the service golden fixture,
@@ -34,7 +39,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 tier2 lint lint-self cover ci bench bench-json bench-smoke service-smoke chaos-smoke clean
+.PHONY: all tier1 tier2 lint lint-self cover ci bench bench-json bench-smoke bench-edit bench-edit-smoke service-smoke chaos-smoke clean
 
 all: tier1
 
@@ -61,7 +66,7 @@ cover:
 	$(GO) test ./... -coverprofile=cover.out
 	$(GO) run ./cmd/covercheck -profile cover.out
 
-ci: tier2 lint-self cover bench-smoke service-smoke chaos-smoke
+ci: tier2 lint-self cover bench-smoke bench-edit-smoke service-smoke chaos-smoke
 
 bench:
 	$(GO) test -run xxx -bench 'Table2Timing|FullChipOPC' -benchmem .
@@ -71,6 +76,12 @@ bench-json:
 
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x .
+
+bench-edit:
+	$(GO) test -run xxx -bench 'EditApply|ColdRebuild' -benchmem ./internal/incr | $(GO) run ./cmd/benchjson -out BENCH_9.json
+
+bench-edit-smoke:
+	$(GO) test -run xxx -bench 'EditApply|ColdRebuild' -benchtime 1x ./internal/incr
 
 service-smoke:
 	$(GO) test -run TestServiceSmoke -count=1 ./cmd/svtimingd

@@ -9,7 +9,7 @@
 //	svtimingd [-addr localhost:8424] [-j N] [-warm]
 //	          [-engine auto|abbe|socs] [-kernel-budget F] [-on-fault fail-fast|collect]
 //	          [-request-timeout 2m] [-max-inflight 256] [-max-queue 64] [-queue-wait 1s]
-//	          [-drain-timeout 15s] [-max-batch 64] [-max-flows 8]
+//	          [-drain-timeout 15s] [-max-batch 64] [-max-flows 8] [-max-sessions 8]
 //	          [-metrics metrics.json] [-pprof localhost:6060]
 //
 // The -engine / -kernel-budget / -on-fault flags (the same flags, from
@@ -22,6 +22,7 @@
 //
 //	POST /v1/run         one request
 //	POST /v1/batch       {"requests": [...]}
+//	POST /v1/edit        incremental re-timing edits against resident sessions
 //	GET  /v1/benchmarks  known benchmark names
 //	GET  /v1/metrics     live metrics snapshot
 //	GET  /v1/healthz     pure liveness (200 for the whole process lifetime)
@@ -101,6 +102,7 @@ func run() int {
 		MaxQueue:       common.MaxQueue,
 		QueueWait:      common.QueueWait,
 		RequestTimeout: requestTimeout,
+		MaxSessions:    common.MaxSessions,
 		RequireWarm:    *warm,
 		Registry:       reg,
 	})

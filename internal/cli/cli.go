@@ -39,7 +39,7 @@ const (
 	OnFault
 	// Service registers the resident-daemon resilience flags
 	// (-max-inflight, -max-queue, -queue-wait, -request-timeout,
-	// -drain-timeout). Only svtimingd sets it today, but the names,
+	// -drain-timeout, -max-sessions). Only svtimingd sets it today, but the names,
 	// defaults and help strings live here so any future resident tool
 	// shares them instead of re-declaring.
 	Service
@@ -63,6 +63,7 @@ type Common struct {
 	QueueWait      time.Duration
 	RequestTimeout time.Duration
 	DrainTimeout   time.Duration
+	MaxSessions    int
 
 	// Resolved by Resolve.
 	Engine litho.Engine
@@ -103,6 +104,8 @@ func Register(fs *flag.FlagSet, sets Set) *Common {
 			"server-side deadline budget per request, composed with the client's own deadline; a 504 reports how far the run got (0 = none)")
 		fs.DurationVar(&c.DrainTimeout, "drain-timeout", 15*time.Second,
 			"on SIGTERM/SIGINT, how long in-flight requests may finish while readyz reports 503 and new requests are refused with Retry-After")
+		fs.IntVar(&c.MaxSessions, "max-sessions", 0,
+			"maximum resident /v1/edit incremental sessions, FIFO-evicted beyond (0 = the built-in 8)")
 	}
 	return c
 }

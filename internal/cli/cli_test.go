@@ -31,7 +31,7 @@ func TestRegisterFlagSets(t *testing.T) {
 			t.Errorf("base set missing always-present flag -%s", n)
 		}
 	}
-	service := []string{"max-inflight", "max-queue", "queue-wait", "request-timeout", "drain-timeout"}
+	service := []string{"max-inflight", "max-queue", "queue-wait", "request-timeout", "drain-timeout", "max-sessions"}
 	for _, n := range append([]string{"engine", "kernel-budget", "on-fault"}, service...) {
 		if names[n] {
 			t.Errorf("base set registered optional flag -%s", n)
@@ -203,7 +203,7 @@ func TestWriteMetricsDisabled(t *testing.T) {
 func TestCmdsRouteThroughSharedLayer(t *testing.T) {
 	tools := []string{"svtiming", "opcrun", "lithosim", "svtimingd"}
 	shared := []string{`"j"`, `"timeout"`, `"metrics"`, `"pprof"`, `"engine"`, `"kernel-budget"`, `"on-fault"`,
-		`"max-inflight"`, `"max-queue"`, `"queue-wait"`, `"request-timeout"`, `"drain-timeout"`}
+		`"max-inflight"`, `"max-queue"`, `"queue-wait"`, `"request-timeout"`, `"drain-timeout"`, `"max-sessions"`}
 	for _, tool := range tools {
 		src, err := os.ReadFile(filepath.Join("..", "..", "cmd", tool, "main.go"))
 		if err != nil {

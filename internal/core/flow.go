@@ -10,6 +10,7 @@ package core
 import (
 	stdctx "context"
 	"fmt"
+	"sort"
 
 	"svtiming/internal/context"
 	"svtiming/internal/corners"
@@ -268,27 +269,78 @@ func (f *Flow) RefreshContext(d *Design) error {
 	for r := range p.Rows {
 		classByRow[r] = context.ClassifyRow(p, r)
 	}
-	for i, g := range n.Instances {
-		d.Version[i] = context.ExtractNPS(p, i).Version()
-		cell, err := f.Lib.Cell(g.Cell)
+	for i := range n.Instances {
+		row := p.Cells[i].Row
+		v, arcs, err := f.instanceContext(d, i, classByRow[row])
 		if err != nil {
 			return err
 		}
-		row := p.Cells[i].Row
-		d.ArcClass[i] = make([]corners.ArcClass, len(cell.Inputs))
-		for pin, pinName := range cell.Inputs {
-			arc, err := cell.ArcFor(pinName)
-			if err != nil {
-				return err
-			}
-			devs := make([]context.DeviceClass, len(arc.Devices))
-			for k, dev := range arc.Devices {
-				devs[k] = classByRow[row][[2]int{i, dev}]
-			}
-			d.ArcClass[i][pin] = context.ClassifyArc(devs)
-		}
+		d.Version[i] = v
+		d.ArcClass[i] = arcs
 	}
 	return nil
+}
+
+// instanceContext computes one instance's placement-context version and
+// per-pin arc classes from its row's device classification. It is the
+// shared kernel of the full RefreshContext pass and the per-row
+// incremental refresh — one implementation, so the two can never drift.
+func (f *Flow) instanceContext(d *Design, i int, classRow map[[2]int]context.DeviceClass) (context.Version, []corners.ArcClass, error) {
+	g := d.Netlist.Instances[i]
+	v := context.ExtractNPS(d.Placement, i).Version()
+	cell, err := f.Lib.Cell(g.Cell)
+	if err != nil {
+		return context.Version{}, nil, err
+	}
+	arcs := make([]corners.ArcClass, len(cell.Inputs))
+	for pin, pinName := range cell.Inputs {
+		arc, err := cell.ArcFor(pinName)
+		if err != nil {
+			return context.Version{}, nil, err
+		}
+		devs := make([]context.DeviceClass, len(arc.Devices))
+		for k, dev := range arc.Devices {
+			devs[k] = classRow[[2]int{i, dev}]
+		}
+		arcs[pin] = context.ClassifyArc(devs)
+	}
+	return v, arcs, nil
+}
+
+// refreshContextRow recomputes the placement context of one row's
+// instances after a geometric edit and returns the (sorted) instances
+// whose context version or any arc class actually changed. Context
+// extraction and device classification are row-local (same-row neighbors
+// only, see internal/context), so refreshing just the edited row is
+// bit-identical to a full RefreshContext pass.
+func (f *Flow) refreshContextRow(d *Design, r int) ([]int, error) {
+	classRow := context.ClassifyRow(d.Placement, r)
+	var changed []int
+	for _, i := range d.Placement.Rows[r] {
+		v, arcs, err := f.instanceContext(d, i, classRow)
+		if err != nil {
+			return nil, err
+		}
+		if v != d.Version[i] || !arcClassesEqual(arcs, d.ArcClass[i]) {
+			changed = append(changed, i)
+		}
+		d.Version[i] = v
+		d.ArcClass[i] = arcs
+	}
+	sort.Ints(changed)
+	return changed, nil
+}
+
+func arcClassesEqual(a, b []corners.ArcClass) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // AnalyzeTraditional runs STA with the conventional corner model: every

@@ -51,7 +51,10 @@ func (f *Flow) FullChipCDs(ctx stdctx.Context, d *Design) (map[GateKey]float64, 
 	rows, err := par.Map(ctx, f.Workers(), len(d.Placement.Rows),
 		func(cctx stdctx.Context, r int) ([]gateCD, error) {
 			lines := d.Placement.RowLines(r)
-			corrected := f.Recipe.Correct(lines, f.Wafer.TargetCD)
+			corrected, err := f.Recipe.CorrectCtx(cctx, lines, f.Wafer.TargetCD)
+			if err != nil {
+				return nil, fmt.Errorf("core: full-chip OPC row %d: %w", r, err)
+			}
 
 			// Map each gate back to its (sorted) row-line index by position.
 			idxByX := make(map[float64]int, len(lines))

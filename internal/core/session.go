@@ -1,0 +1,467 @@
+package core
+
+import (
+	stdctx "context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"svtiming/internal/fault"
+	"svtiming/internal/incr"
+	"svtiming/internal/obs"
+	"svtiming/internal/par"
+	"svtiming/internal/sta"
+)
+
+// Session is a resident incremental re-timing session: one prepared
+// design, its retained full-chip mask/CD state (incr.Mask), and six
+// retained STA engines (traditional and contextual at each corner). An
+// edit flows through exactly the state it disturbs — the edited row's
+// mask re-corrects, only gates with changed optical environments
+// re-simulate, only affected fan-out cones re-propagate — and the
+// resulting Comparison row is bit-identical to rebuilding the edited
+// design from scratch (Flow.Rebuild is the oracle; the differential
+// harness in internal/incr enforces the contract).
+//
+// A Session is not safe for concurrent use; callers (the service's
+// /v1/edit surface) serialize Apply per session.
+type Session struct {
+	flow *Flow
+	d    *Design
+	name string
+	mask *incr.Mask
+
+	// engines[k]: corner k/2 (Nominal, BestCase, WorstCase); even k is
+	// the traditional model, odd k the contextual one — the same layout
+	// as Flow.Compare's job fan-out.
+	engines [6]*sta.Incremental
+
+	row     Comparison
+	defocus float64
+	dose    float64
+
+	seq       int
+	applied   []incr.Edit
+	report    fault.Report
+	broken    error
+	brokenSeq int
+
+	edits      *obs.Counter
+	gatesResim *obs.Counter
+	conesProp  *obs.Counter
+	rebuilds   *obs.Counter
+}
+
+// Delta is the result of one applied edit: what the incremental engine
+// actually recomputed, and the design's Comparison row afterwards.
+type Delta struct {
+	Seq               int           `json:"seq"`
+	Op                string        `json:"op"`
+	FullRebuild       bool          `json:"full_rebuild,omitempty"`
+	GatesResimulated  int           `json:"gates_resimulated"`
+	ConesRepropagated int           `json:"cones_repropagated"`
+	ChangedCDs        []incr.GateCD `json:"changed_cds,omitempty"`
+	Row               Comparison    `json:"row"`
+	Degraded          bool          `json:"degraded,omitempty"`
+
+	// Faults carries faults newly recorded by this edit under the collect
+	// policy; the service renders them through its own wire schema.
+	Faults fault.Report `json:"-"`
+}
+
+// Begin prepares the named benchmark and opens an edit session on it at
+// the nominal exposure condition.
+func (f *Flow) Begin(ctx stdctx.Context, benchmark string) (*Session, error) {
+	d, err := f.PrepareDesign(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	return f.BeginDesign(ctx, d)
+}
+
+// BeginDesign opens an edit session on an already-prepared design. The
+// design's context state (Version/ArcClass) must be current — for
+// hand-built designs, call RefreshContext first. The session takes
+// ownership of the design: edits mutate its placement and netlist.
+func (f *Flow) BeginDesign(ctx stdctx.Context, d *Design) (*Session, error) {
+	return f.beginAt(ctx, d, 0, f.Wafer.Dose)
+}
+
+func (f *Flow) beginAt(ctx stdctx.Context, d *Design, defocusNm, dose float64) (*Session, error) {
+	if ctx == nil {
+		ctx = stdctx.Background()
+	}
+	ctx = f.obsCtx(ctx)
+	span := f.Obs.Span("incr_begin")
+	span.AddItems(int64(d.Netlist.NumGates()))
+	defer span.End()
+
+	s := &Session{
+		flow: f, d: d, name: d.Netlist.Name,
+		defocus: defocusNm, dose: dose,
+		edits:      f.Obs.Counter("incr_edits_total"),
+		gatesResim: f.Obs.Counter("incr_gates_resimulated"),
+		conesProp:  f.Obs.Counter("incr_cones_repropagated"),
+		rebuilds:   f.Obs.Counter("incr_full_rebuilds"),
+	}
+	cfg := incr.Config{
+		Wafer:   f.Wafer,
+		Recipe:  f.Recipe,
+		Target:  f.Wafer.TargetCD,
+		Radius:  f.Wafer.RadiusOfInfluence,
+		Workers: f.Workers(),
+		Collect: f.Policy == CollectAndReport,
+	}
+	mask, err := incr.SolveMask(ctx, cfg, d.Placement, defocusNm, dose)
+	if err != nil {
+		return nil, err
+	}
+	s.mask = mask
+	for _, fe := range mask.FaultList() {
+		s.report.Add(fe.At, fe.Err)
+	}
+	engines, err := par.Map(ctx, f.Workers(), len(s.engines),
+		func(_ stdctx.Context, k int) (*sta.Incremental, error) {
+			c := [3]Corner{Nominal, BestCase, WorstCase}[k/2]
+			var m sta.Model
+			var err error
+			if k%2 == 0 {
+				m, err = f.traditionalModel(d, c)
+			} else {
+				m, err = f.contextualModel(d, c)
+			}
+			if err != nil {
+				return nil, err
+			}
+			return sta.NewIncremental(d.Netlist, f.Lib, m, f.StaOptions(d))
+		})
+	if err != nil {
+		return nil, err
+	}
+	copy(s.engines[:], engines)
+	s.row = s.comparison()
+	return s, nil
+}
+
+// Apply runs one edit through the session. Statically-invalid edits,
+// out-of-range instances and illegal placement moves reject with a
+// *RequestError and leave every piece of state untouched. A failure after
+// state has begun to mutate (an injected fail-fast fault, a cancellation
+// mid-refresh) marks the session broken: all further Applies reject, and
+// the caller must open a fresh session. Condition nudges are atomic — a
+// failed nudge leaves the session healthy at the old condition.
+func (s *Session) Apply(ctx stdctx.Context, e incr.Edit) (Delta, error) {
+	if s.broken != nil {
+		return Delta{}, fmt.Errorf("core: edit session for %s is broken (edit %d failed): %w",
+			s.name, s.brokenSeq, s.broken)
+	}
+	f := s.flow
+	if ctx == nil {
+		ctx = stdctx.Background()
+	}
+	ctx = f.obsCtx(ctx)
+	span := f.Obs.Span("incr_edit")
+	span.AddItems(1)
+	defer span.End()
+
+	if err := e.Validate(); err != nil {
+		return Delta{}, requestErr(err)
+	}
+	seq := s.seq
+
+	// Injection seam: the hook is consulted with the edit's coordinate
+	// before any state mutates, mirroring Flow.Run's per-point seam. A
+	// collected injected fault degrades the edit (state untouched, the
+	// prior row stands); fail-fast surfaces it.
+	coord := fault.Coord{Stage: "edit", Index: seq, Item: s.name}
+	if f.InjectHook != nil {
+		if err := f.InjectHook(coord); err != nil {
+			s.seq++
+			s.edits.Inc()
+			if f.Policy == CollectAndReport {
+				s.report.Add(coord, err)
+				d := Delta{Seq: seq, Op: string(e.Op), Row: s.row, Degraded: true}
+				d.Faults.Add(coord, err)
+				return d, nil
+			}
+			return Delta{}, err
+		}
+	}
+
+	delta := Delta{Seq: seq, Op: string(e.Op)}
+	switch e.Op {
+	case incr.OpMoveCell, incr.OpResizeCell:
+		region, err := e.ApplyGeometry(s.d.Placement, f.Lib, f.Wafer.RadiusOfInfluence)
+		if err != nil {
+			return Delta{}, requestErr(err) // placement rejected before mutating
+		}
+		ctxDirty, err := f.refreshContextRow(s.d, region.Row)
+		if err != nil {
+			return Delta{}, s.breakWith(seq, err)
+		}
+		ref, err := s.mask.RefreshRow(ctx, region.Row)
+		if err != nil {
+			return Delta{}, s.breakWith(seq, err)
+		}
+		// Dirty seeding per engine: models resolve cell masters and
+		// context versions live, so no model rebuild — the edited
+		// instance (resize: new arc tables) and context-changed
+		// instances (contextual model only) just re-evaluate, plus
+		// every driver whose net load moved.
+		var tradDirty []int
+		if e.Op == incr.OpResizeCell {
+			tradDirty = []int{e.Inst}
+		}
+		ctxAll := mergeDirty(ctxDirty, tradDirty)
+		counts, err := par.Map(ctx, f.Workers(), len(s.engines),
+			func(_ stdctx.Context, k int) (int, error) {
+				eng := s.engines[k]
+				// Only nets incident on the edited instance can have moved
+				// loads; the restricted recompute returns the same dirty
+				// drivers a full UpdateLoads would, bit for bit.
+				loadDirty, err := eng.UpdateLoadsFor([]int{e.Inst})
+				if err != nil {
+					return 0, err
+				}
+				base := tradDirty
+				if k%2 == 1 {
+					base = ctxAll
+				}
+				return eng.Update(mergeDirty(base, loadDirty))
+			})
+		if err != nil {
+			return Delta{}, s.breakWith(seq, err)
+		}
+		for _, c := range counts {
+			delta.ConesRepropagated += c
+		}
+		delta.GatesResimulated = ref.Resimulated
+		delta.ChangedCDs = ref.Changed
+		s.recordFaults(ref.Faults, &delta)
+
+	case incr.OpNudgeDefocus, incr.OpNudgeDose:
+		nd, ndose := s.defocus, s.dose
+		if e.Op == incr.OpNudgeDefocus {
+			nd += e.DefocusNm
+		} else {
+			ndose += e.DoseDelta
+		}
+		if err := incr.CheckCondition(nd, ndose); err != nil {
+			return Delta{}, requestErr(err)
+		}
+		// A condition nudge influences every gate on the chip: the
+		// graceful full rebuild. Every gate re-measures (SetCondition is
+		// atomic — on error the session stays healthy at the old
+		// condition) and every cone re-propagates from the PIs.
+		ref, err := s.mask.SetCondition(ctx, nd, ndose)
+		if err != nil {
+			return Delta{}, err
+		}
+		s.defocus, s.dose = nd, ndose
+		delta.FullRebuild = true
+		delta.GatesResimulated = ref.Resimulated
+		delta.ChangedCDs = ref.Changed
+		s.recordFaults(ref.Faults, &delta)
+		s.rebuilds.Inc()
+		counts, err := par.Map(ctx, f.Workers(), len(s.engines),
+			func(_ stdctx.Context, k int) (int, error) {
+				eng := s.engines[k]
+				loadDirty, err := eng.UpdateLoads()
+				if err != nil {
+					return 0, err
+				}
+				return eng.Update(mergeDirty(allInstances(s.d), loadDirty))
+			})
+		if err != nil {
+			return Delta{}, s.breakWith(seq, err)
+		}
+		for _, c := range counts {
+			delta.ConesRepropagated += c
+		}
+
+	default:
+		return Delta{}, &RequestError{Field: "edit.op", Reason: fmt.Sprintf("unknown op %q", e.Op)}
+	}
+
+	s.row = s.comparison()
+	delta.Row = s.row
+	s.applied = append(s.applied, e)
+	s.seq++
+	s.edits.Inc()
+	s.gatesResim.Add(int64(delta.GatesResimulated))
+	s.conesProp.Add(int64(delta.ConesRepropagated))
+	return delta, nil
+}
+
+// Rebuild is the from-scratch oracle: prepare the benchmark fresh, replay
+// the edit script onto the clean design, and open a new session at the
+// accumulated exposure condition. The differential harness holds every
+// live session byte-identical to its Rebuild.
+func (f *Flow) Rebuild(ctx stdctx.Context, benchmark string, edits []incr.Edit) (*Session, error) {
+	d, err := f.PrepareDesign(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	defocus, dose := 0.0, f.Wafer.Dose
+	for i, e := range edits {
+		switch e.Op {
+		case incr.OpMoveCell, incr.OpResizeCell:
+			if _, err := e.ApplyGeometry(d.Placement, f.Lib, f.Wafer.RadiusOfInfluence); err != nil {
+				return nil, fmt.Errorf("core: rebuild edit %d: %w", i, err)
+			}
+		case incr.OpNudgeDefocus:
+			defocus += e.DefocusNm
+		case incr.OpNudgeDose:
+			dose += e.DoseDelta
+		default:
+			return nil, &RequestError{Field: "edit.op", Reason: fmt.Sprintf("unknown op %q", e.Op)}
+		}
+	}
+	if err := f.RefreshContext(d); err != nil {
+		return nil, err
+	}
+	s, err := f.beginAt(ctx, d, defocus, dose)
+	if err != nil {
+		return nil, err
+	}
+	s.applied = append([]incr.Edit(nil), edits...)
+	s.seq = len(edits)
+	return s, nil
+}
+
+// breakWith marks the session permanently broken by edit seq.
+func (s *Session) breakWith(seq int, err error) error {
+	s.broken = err
+	s.brokenSeq = seq
+	return fmt.Errorf("core: edit %d broke the session for %s: %w", seq, s.name, err)
+}
+
+func (s *Session) recordFaults(fs []incr.FaultEntry, d *Delta) {
+	for _, fe := range fs {
+		s.report.Add(fe.At, fe.Err)
+		d.Faults.Add(fe.At, fe.Err)
+		d.Degraded = true
+	}
+}
+
+func (s *Session) comparison() Comparison {
+	return Comparison{
+		Name:    s.d.Netlist.Name,
+		Gates:   s.d.Netlist.NumGates(),
+		TradNom: s.engines[0].Report().MaxDelay,
+		NewNom:  s.engines[1].Report().MaxDelay,
+		TradBC:  s.engines[2].Report().MaxDelay,
+		NewBC:   s.engines[3].Report().MaxDelay,
+		TradWC:  s.engines[4].Report().MaxDelay,
+		NewWC:   s.engines[5].Report().MaxDelay,
+	}
+}
+
+// Row returns the current Comparison row.
+func (s *Session) Row() Comparison { return s.row }
+
+// Seq returns the next edit sequence number.
+func (s *Session) Seq() int { return s.seq }
+
+// Broken returns the error that broke the session, or nil.
+func (s *Session) Broken() error { return s.broken }
+
+// Condition returns the current exposure condition.
+func (s *Session) Condition() (defocusNm, dose float64) { return s.defocus, s.dose }
+
+// Design exposes the session's live design (read-only by convention;
+// mutate only through Apply).
+func (s *Session) Design() *Design { return s.d }
+
+// Mask exposes the session's retained litho state (read-only by
+// convention).
+func (s *Session) Mask() *incr.Mask { return s.mask }
+
+// Report returns the session's cumulative fault report.
+func (s *Session) Report() fault.Report { return s.report }
+
+// AppliedEdits returns a copy of the successfully-applied edit script.
+func (s *Session) AppliedEdits() []incr.Edit {
+	return append([]incr.Edit(nil), s.applied...)
+}
+
+// Fingerprint renders the session's complete observable state — the
+// Comparison row, exposure condition, every gate CD and fault, and every
+// engine's full report — as deterministic text with floats spelled as
+// IEEE-754 bit patterns. Two sessions are byte-identical iff their
+// fingerprints are equal; the differential harness compares incremental
+// sessions against Rebuild oracles on exactly this string. (Text rather
+// than JSON because sta.Report.Required legitimately holds +Inf on nets
+// with no path to a PO, which JSON cannot encode.)
+func (s *Session) Fingerprint() string {
+	var b strings.Builder
+	row, err := json.Marshal(s.row)
+	if err != nil {
+		// Comparison delays pass fault.Finite before reaching the row,
+		// so this is structurally unreachable; keep the evidence if not.
+		row = []byte(fmt.Sprintf("unencodable: %v", err))
+	}
+	fmt.Fprintf(&b, "row %s\n", row)
+	fmt.Fprintf(&b, "cond z=%016x d=%016x\n", math.Float64bits(s.defocus), math.Float64bits(s.dose))
+	for _, g := range s.mask.CDList() {
+		fmt.Fprintf(&b, "cd %d.%d %016x\n", g.Key.Inst, g.Key.Gate, math.Float64bits(g.CD))
+	}
+	for _, fe := range s.mask.FaultList() {
+		fmt.Fprintf(&b, "fault %d.%d %s: %v\n", fe.Key.Inst, fe.Key.Gate, fe.At, fe.Err)
+	}
+	names := [6]string{"trad_nom", "ctx_nom", "trad_bc", "ctx_bc", "trad_wc", "ctx_wc"}
+	for k, eng := range s.engines {
+		fingerprintReport(&b, names[k], eng.Report())
+	}
+	return b.String()
+}
+
+func fingerprintReport(b *strings.Builder, name string, rep *sta.Report) {
+	fmt.Fprintf(b, "engine %s max=%016x po=%s gates=%d levels=%d\n",
+		name, math.Float64bits(rep.MaxDelay), rep.WorstPO, rep.NumGates, rep.NumLevels)
+	nets := make([]string, 0, len(rep.Arrival))
+	for net := range rep.Arrival {
+		nets = append(nets, net)
+	}
+	sort.Strings(nets)
+	for _, net := range nets {
+		fmt.Fprintf(b, "net %s at=%016x slew=%016x load=%016x req=%016x\n", net,
+			math.Float64bits(rep.Arrival[net]), math.Float64bits(rep.Slew[net]),
+			math.Float64bits(rep.Load[net]), math.Float64bits(rep.Required[net]))
+	}
+	for _, st := range rep.Crit {
+		fmt.Fprintf(b, "crit %d.%d %s at=%016x d=%016x\n", st.Inst, st.Pin, st.Net,
+			math.Float64bits(st.AtPS), math.Float64bits(st.Delay))
+	}
+}
+
+// requestErr projects an edit-validation failure onto the service's typed
+// request rejection, so the single 400 schema covers edit defects too.
+func requestErr(err error) error {
+	var ee *incr.EditError
+	if errors.As(err, &ee) {
+		return &RequestError{Field: "edit." + ee.Field, Reason: ee.Reason}
+	}
+	return err
+}
+
+// mergeDirty concatenates two dirty-instance lists into a fresh sorted
+// slice (Update tolerates duplicates; sorting keeps walks deterministic).
+func mergeDirty(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	sort.Ints(out)
+	return out
+}
+
+func allInstances(d *Design) []int {
+	out := make([]int, len(d.Netlist.Instances))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -45,6 +45,14 @@ func Manifest(tool string, config map[string]string, benchmarks []string, reg *o
 		Tasks:           reg.CounterValue("par_tasks_completed"),
 		PanicsContained: reg.CounterValue("par_panics_contained"),
 	}
+	if edits := reg.CounterValue("incr_edits_total"); edits > 0 {
+		m.Incr = &obs.IncrStats{
+			Edits:             edits,
+			GatesResimulated:  reg.CounterValue("incr_gates_resimulated"),
+			ConesRepropagated: reg.CounterValue("incr_cones_repropagated"),
+			FullRebuilds:      reg.CounterValue("incr_full_rebuilds"),
+		}
+	}
 	if res != nil {
 		m.Rows = obs.RowStats{Total: len(res.Rows)}
 		for _, r := range res.Rows {

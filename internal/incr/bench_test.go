@@ -1,0 +1,57 @@
+package incr_test
+
+import (
+	"testing"
+
+	"svtiming/internal/incr"
+)
+
+// BenchmarkEditApply measures the incremental path: one warm session on
+// c432, shuttling a cell back and forth by 50 nm. Each iteration is a
+// full Apply — dirty-region computation, row re-correction, selective CD
+// re-simulation, six-engine cone re-propagation and the Comparison row —
+// against retained state. Compare against BenchmarkColdRebuild for the
+// edit-vs-cold speedup BENCH_9.json records (the contract asks ≥10×).
+func BenchmarkEditApply(b *testing.B) {
+	f := testFlow(b)
+	sess, err := f.Begin(nil, "c432")
+	if err != nil {
+		b.Fatalf("Begin: %v", err)
+	}
+	// Pick the first instance with ≥100 nm of right slack so both
+	// directions of the shuttle stay legal forever.
+	p := sess.Design().Placement
+	inst := -1
+	for i := range p.Cells {
+		if _, right, _, rg := p.Neighbors(i); right >= 0 && rg >= 100 {
+			inst = i
+			break
+		}
+	}
+	if inst < 0 {
+		b.Fatal("no instance with right slack in c432")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dx := 50.0
+		if i%2 == 1 {
+			dx = -50.0
+		}
+		if _, err := sess.Apply(nil, incr.Edit{Op: incr.OpMoveCell, Inst: inst, DxNm: dx}); err != nil {
+			b.Fatalf("Apply %d: %v", i, err)
+		}
+	}
+}
+
+// BenchmarkColdRebuild measures the from-scratch alternative the
+// incremental engine displaces: prepare the design, solve the full-chip
+// mask, build and propagate all six engines. One iteration is what every
+// edit would cost without retained state.
+func BenchmarkColdRebuild(b *testing.B) {
+	f := testFlow(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Rebuild(nil, "c432", nil); err != nil {
+			b.Fatalf("Rebuild: %v", err)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+package incr_test
+
+import (
+	"errors"
+	"testing"
+
+	"svtiming/internal/core"
+	"svtiming/internal/fault/inject"
+	"svtiming/internal/geom"
+	"svtiming/internal/incr"
+	"svtiming/internal/netlist"
+	"svtiming/internal/obs"
+	"svtiming/internal/place"
+	"svtiming/internal/process"
+)
+
+// TestEnvAtRadiusInclusive pins the boundary the dirty-region rule leans
+// on: a neighbor whose edge-to-edge distance is EXACTLY the radius of
+// influence is part of a gate's optical environment (inclusive), one
+// quantization step beyond is not. An off-by-one here would silently
+// shrink dirty regions and the differential harness would only catch it
+// on designs that happen to place cells at the exact boundary — so the
+// boundary gets its own microscope.
+func TestEnvAtRadiusInclusive(t *testing.T) {
+	const radius = 600.0
+	span := geom.Interval{Lo: 0, Hi: 1000}
+	a := geom.PolyLine{CenterX: 0, Width: 100, Span: span}
+	alone := process.EnvAt([]geom.PolyLine{a}, 0, radius).Key()
+
+	at := func(edgeGap float64) string {
+		w := 100.0
+		b := geom.PolyLine{CenterX: a.CenterX + a.Width/2 + edgeGap + w/2, Width: w, Span: span}
+		return process.EnvAt([]geom.PolyLine{a, b}, 0, radius).Key()
+	}
+	if at(radius) == alone {
+		t.Errorf("neighbor at exactly %g nm excluded from environment; the boundary must be inclusive", radius)
+	}
+	if at(radius+0.25) != alone {
+		t.Errorf("neighbor at %g nm (one grid step past the radius) still in environment", radius+0.25)
+	}
+	// A neighbor with no vertical span overlap never participates.
+	b := geom.PolyLine{CenterX: 200, Width: 100, Span: geom.Interval{Lo: 2000, Hi: 3000}}
+	if process.EnvAt([]geom.PolyLine{a, b}, 0, radius).Key() != alone {
+		t.Errorf("neighbor with disjoint span counted into environment")
+	}
+}
+
+// TestIsolatedMoveResimulatesNothing: moving a cell whose nearest
+// neighbor is far outside the radius of influence changes no gate's
+// optical environment — environments are relative geometry — so the edit
+// must re-simulate zero gates while still re-propagating timing (wire
+// loads follow cell positions).
+func TestIsolatedMoveResimulatesNothing(t *testing.T) {
+	f := testFlow(t)
+	sess, err := f.BeginDesign(nil, pairDesign(t, f, 2500))
+	if err != nil {
+		t.Fatalf("BeginDesign: %v", err)
+	}
+	delta, err := sess.Apply(nil, incr.Edit{Op: incr.OpMoveCell, Inst: 0, DxNm: 10})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if delta.GatesResimulated != 0 {
+		t.Errorf("isolated move re-simulated %d gates, want 0", delta.GatesResimulated)
+	}
+	if len(delta.ChangedCDs) != 0 {
+		t.Errorf("isolated move changed CDs: %+v", delta.ChangedCDs)
+	}
+	// The pair's nets have no instance sinks (each inverter drives a PO
+	// directly), so wire loads are position-independent here and zero
+	// cones re-propagate — the fully-idle fast path.
+	if delta.ConesRepropagated != 0 {
+		t.Errorf("isolated move re-propagated %d cones, want 0", delta.ConesRepropagated)
+	}
+}
+
+// nandPairDesign builds two NAND3X1 cells in one row separated by gapNm.
+// NAND3X1 carries poly close to both cell edges (190 nm right clearance,
+// 250 nm left), so a small whitespace gap puts the facing gates well
+// inside the 600 nm radius of influence — unlike INVX1, whose centered
+// gate can never see a neighbor across even zero whitespace.
+func nandPairDesign(t testing.TB, f *core.Flow, gapNm float64) *core.Design {
+	t.Helper()
+	nand := f.Lib.MustCell("NAND3X1")
+	n := &netlist.Netlist{
+		Name: "nandpair",
+		PIs:  []string{"a", "b", "c", "d", "e", "f"},
+		POs:  []string{"x", "y"},
+		Instances: []netlist.Instance{
+			{Name: "u0", Cell: "NAND3X1", Inputs: []string{"a", "b", "c"}, Output: "x"},
+			{Name: "u1", Cell: "NAND3X1", Inputs: []string{"d", "e", "f"}, Output: "y"},
+		},
+	}
+	x1 := nand.Width + gapNm
+	p := &place.Placement{
+		Netlist: n,
+		Rows:    [][]int{{0, 1}},
+		Cells: []place.Placed{
+			{Inst: 0, Cell: nand, X: 0, Row: 0},
+			{Inst: 1, Cell: nand, X: x1, Row: 0},
+		},
+		RowWidth: x1 + nand.Width + 5000,
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatalf("nand pair placement illegal: %v", err)
+	}
+	d := &core.Design{Netlist: n, Placement: p}
+	if err := f.RefreshContext(d); err != nil {
+		t.Fatalf("RefreshContext: %v", err)
+	}
+	return d
+}
+
+// TestNearMoveResimulatesNeighbor: with the pair's facing gates inside
+// the radius of influence, moving one cell disturbs the other cell's
+// environment too — the dirty region must cross the whitespace and
+// re-simulate the stationary neighbor's gates.
+func TestNearMoveResimulatesNeighbor(t *testing.T) {
+	f := testFlow(t)
+	// 60 nm of whitespace puts the facing gate edges 500 nm apart as
+	// drawn; OPC can shift each edge by at most ±30 nm, so the corrected
+	// gap stays inside the 600 nm radius before and after the move.
+	sess, err := f.BeginDesign(nil, nandPairDesign(t, f, 60))
+	if err != nil {
+		t.Fatalf("BeginDesign: %v", err)
+	}
+	delta, err := sess.Apply(nil, incr.Edit{Op: incr.OpMoveCell, Inst: 1, DxNm: -20})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if delta.GatesResimulated < 2 {
+		t.Fatalf("near move re-simulated %d gates, want both cells'", delta.GatesResimulated)
+	}
+	neighbor := false
+	for _, g := range delta.ChangedCDs {
+		if g.Key.Inst == 0 {
+			neighbor = true
+		}
+	}
+	if !neighbor {
+		t.Errorf("stationary neighbor inside the radius kept its CD; dirty region too small: %+v", delta.ChangedCDs)
+	}
+}
+
+// TestEditStraddlesCacheShards: the full-chip environment set of a real
+// benchmark maps onto multiple shards of the printed-CD cache, and a
+// whole-chip edit (condition nudge) re-simulates across all of them in
+// one Apply — the sharded singleflight cache is exercised end to end, not
+// shard-locally.
+func TestEditStraddlesCacheShards(t *testing.T) {
+	base := testFlow(t)
+	f := *base
+	f.Obs = obs.New()
+	// c432, not c17: the shard index hashes with a per-process seed, so a
+	// benchmark with only a couple of distinct environments (c17 has 2)
+	// can legitimately land on one shard in ~3% of runs. c432's ~70
+	// distinct environments make a single-shard draw impossible in
+	// practice (32^-69).
+	sess, err := f.Begin(nil, "c432")
+	if err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+	z, dose := sess.Condition()
+	shards := map[int]bool{}
+	mask := sess.Mask()
+	for r := 0; r < mask.NumRows(); r++ {
+		for _, env := range mask.RowEnvs(r) {
+			shards[f.Wafer.ShardIndex(env, z, dose)] = true
+		}
+	}
+	if len(shards) < 2 {
+		t.Fatalf("c432 environments landed on %d cache shard(s); straddle test needs ≥2", len(shards))
+	}
+
+	delta, err := sess.Apply(nil, incr.Edit{Op: incr.OpNudgeDefocus, DefocusNm: 30})
+	if err != nil {
+		t.Fatalf("Apply(nudge): %v", err)
+	}
+	if !delta.FullRebuild {
+		t.Errorf("condition nudge not flagged as full rebuild")
+	}
+	if delta.GatesResimulated != mask.GateCount() {
+		t.Errorf("whole-chip nudge re-simulated %d gates, want all %d", delta.GatesResimulated, mask.GateCount())
+	}
+	if got := f.Obs.CounterValue("incr_full_rebuilds"); got != 1 {
+		t.Errorf("incr_full_rebuilds = %d, want 1", got)
+	}
+	if got := f.Obs.CounterValue("incr_gates_resimulated"); got != int64(delta.GatesResimulated) {
+		t.Errorf("incr_gates_resimulated = %d, want %d", got, delta.GatesResimulated)
+	}
+}
+
+// TestNudgeOutOfEnvelopeRejects: a nudge that would leave the calibrated
+// condition envelope rejects with the service's typed request error and
+// leaves the session byte-identical — no partial re-measure, no broken
+// state, no full-rebuild tally.
+func TestNudgeOutOfEnvelopeRejects(t *testing.T) {
+	base := testFlow(t)
+	f := *base
+	f.Obs = obs.New()
+	sess, err := f.BeginDesign(nil, pairDesign(t, &f, 900))
+	if err != nil {
+		t.Fatalf("BeginDesign: %v", err)
+	}
+	before := sess.Fingerprint()
+	_, err = sess.Apply(nil, incr.Edit{Op: incr.OpNudgeDose, DoseDelta: 0.9})
+	var re *core.RequestError
+	if !errors.As(err, &re) {
+		t.Fatalf("out-of-envelope nudge error %T, want *core.RequestError: %v", err, err)
+	}
+	if sess.Broken() != nil {
+		t.Fatalf("rejected nudge broke the session: %v", sess.Broken())
+	}
+	if got := sess.Fingerprint(); got != before {
+		t.Errorf("rejected nudge mutated session state:\n%s", firstDiff(got, before))
+	}
+	if got := f.Obs.CounterValue("incr_full_rebuilds"); got != 0 {
+		t.Errorf("incr_full_rebuilds = %d after a rejected nudge, want 0", got)
+	}
+}
+
+// TestInjectedEditFaultDegrades: an injected fault at an edit coordinate
+// under CollectAndReport degrades that edit — state untouched, the prior
+// row republished, the fault reported — and the session keeps accepting
+// edits, mirroring the flow's degraded-row policy.
+func TestInjectedEditFaultDegrades(t *testing.T) {
+	base := testFlow(t)
+	f := *base
+	f.Obs = obs.New()
+	f.Policy = core.CollectAndReport
+	f.InjectHook = new(inject.Plan).InjectNaN("edit", 1).Hook()
+	sess, err := f.BeginDesign(nil, pairDesign(t, &f, 900))
+	if err != nil {
+		t.Fatalf("BeginDesign: %v", err)
+	}
+	if _, err := sess.Apply(nil, incr.Edit{Op: incr.OpMoveCell, Inst: 0, DxNm: 5}); err != nil {
+		t.Fatalf("edit 0: %v", err)
+	}
+	before := sess.Fingerprint()
+	delta, err := sess.Apply(nil, incr.Edit{Op: incr.OpMoveCell, Inst: 0, DxNm: 5})
+	if err != nil {
+		t.Fatalf("degraded edit surfaced an error under collect: %v", err)
+	}
+	if !delta.Degraded || delta.Faults.Len() == 0 {
+		t.Fatalf("injected fault not reported as degraded delta: %+v", delta)
+	}
+	if got := sess.Fingerprint(); got != before {
+		t.Errorf("degraded edit mutated session state:\n%s", firstDiff(got, before))
+	}
+	if _, err := sess.Apply(nil, incr.Edit{Op: incr.OpMoveCell, Inst: 0, DxNm: 5}); err != nil {
+		t.Fatalf("session unusable after a degraded edit: %v", err)
+	}
+	if sess.Seq() != 3 {
+		t.Errorf("seq = %d after three edits (one degraded), want 3", sess.Seq())
+	}
+}
+
+// TestFailFastInjectedEditSurfaces: the same injection under FailFast
+// surfaces the fault to the caller; the edit is consumed but the session
+// state is untouched and stays healthy (the hook fires before mutation).
+func TestFailFastInjectedEditSurfaces(t *testing.T) {
+	base := testFlow(t)
+	f := *base
+	f.InjectHook = new(inject.Plan).InjectNaN("edit", 0).Hook()
+	sess, err := f.BeginDesign(nil, pairDesign(t, &f, 900))
+	if err != nil {
+		t.Fatalf("BeginDesign: %v", err)
+	}
+	before := sess.Fingerprint()
+	if _, err := sess.Apply(nil, incr.Edit{Op: incr.OpMoveCell, Inst: 0, DxNm: 5}); err == nil {
+		t.Fatalf("fail-fast injected fault returned nil error")
+	}
+	if got := sess.Fingerprint(); got != before {
+		t.Errorf("failed edit mutated session state:\n%s", firstDiff(got, before))
+	}
+	if _, err := sess.Apply(nil, incr.Edit{Op: incr.OpMoveCell, Inst: 0, DxNm: 5}); err != nil {
+		t.Fatalf("session unusable after a pre-mutation fail-fast fault: %v", err)
+	}
+}

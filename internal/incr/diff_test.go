@@ -1,0 +1,271 @@
+package incr_test
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"svtiming/internal/core"
+	"svtiming/internal/expt"
+	"svtiming/internal/incr"
+	"svtiming/internal/obs"
+)
+
+// The differential equivalence harness: randomized (seeded) edit scripts
+// run through a live incremental session, and after EVERY applied edit the
+// session's complete observable state — Comparison row, exposure
+// condition, every gate CD, every fault, all six engines' full reports —
+// must be byte-identical to Flow.Rebuild replaying the same script onto a
+// freshly-prepared design. The fingerprint spells floats as IEEE-754 bit
+// patterns, so "equal" means equal to the last bit, not within an
+// epsilon.
+
+var (
+	flowOnce sync.Once
+	flowVal  *core.Flow
+	flowErr  error
+)
+
+func testFlow(t testing.TB) *core.Flow {
+	t.Helper()
+	flowOnce.Do(func() { flowVal, flowErr = core.NewFlow() })
+	if flowErr != nil {
+		t.Fatalf("NewFlow: %v", flowErr)
+	}
+	return flowVal
+}
+
+// condWalk bounds the random walk of the exposure condition: fail-fast
+// harnesses stay well inside the printable window, the collect harness
+// roams wide enough to provoke real non-printing faults.
+type condWalk struct {
+	maxZ           float64
+	doseLo, doseHi float64
+}
+
+// pickEdit proposes the next edit against the live design state. Most
+// proposals are legal by construction (moves sized to the instance's
+// actual slack, resizes to same-pin-count masters, nudges inside the
+// walk's bounds); the rest exercise the reject-without-mutating path.
+func pickEdit(rng *rand.Rand, s *core.Session, f *core.Flow, walk condWalk) incr.Edit {
+	p := s.Design().Placement
+	z, dose := s.Condition()
+	switch r := rng.Intn(20); {
+	case r < 9: // move within the instance's free slack
+		inst := rng.Intn(len(p.Cells))
+		pc := p.Cells[inst]
+		left, right, lg, rg := p.Neighbors(inst)
+		lslack := pc.X
+		if left >= 0 {
+			lslack = lg
+		}
+		rslack := math.Inf(1)
+		if right >= 0 {
+			rslack = rg
+		} else if p.RowWidth > 0 {
+			rslack = p.RowWidth - (pc.X + pc.Cell.Width)
+		}
+		span := lslack + math.Min(rslack, 2000)
+		if span <= 1 {
+			return incr.Edit{Op: incr.OpMoveCell, Inst: inst, DxNm: 1} // will likely reject
+		}
+		dx := -lslack + rng.Float64()*span
+		dx = math.Round(dx*2) / 2 // 0.5 nm grid
+		if dx == 0 {              //lint:allow floateq zero after rounding means a degenerate proposal, not a tolerance check
+			dx = 0.5
+		}
+		return incr.Edit{Op: incr.OpMoveCell, Inst: inst, DxNm: dx}
+	case r < 14: // resize to a same-pin-count master
+		inst := rng.Intn(len(p.Cells))
+		cur := p.Cells[inst].Cell
+		var cands []string
+		for _, c := range f.Lib.Cells() {
+			if c.Name != cur.Name && len(c.Inputs) == len(cur.Inputs) {
+				cands = append(cands, c.Name)
+			}
+		}
+		if len(cands) == 0 {
+			return incr.Edit{Op: incr.OpMoveCell, Inst: inst, DxNm: 0.5}
+		}
+		return incr.Edit{Op: incr.OpResizeCell, Inst: inst, Cell: cands[rng.Intn(len(cands))]}
+	case r < 17: // defocus nudge, bounded by the walk
+		dz := float64(rng.Intn(8)+1) * 5
+		if rng.Intn(2) == 0 {
+			dz = -dz
+		}
+		if math.Abs(z+dz) > walk.maxZ {
+			dz = -dz
+		}
+		return incr.Edit{Op: incr.OpNudgeDefocus, DefocusNm: dz}
+	default: // dose nudge, bounded by the walk
+		dd := float64(rng.Intn(3)+1) * 0.01
+		if rng.Intn(2) == 0 {
+			dd = -dd
+		}
+		if dose+dd > walk.doseHi || dose+dd < walk.doseLo {
+			dd = -dd
+		}
+		return incr.Edit{Op: incr.OpNudgeDose, DoseDelta: dd}
+	}
+}
+
+// runDifferential drives nEdits applied edits through a session on the
+// given benchmark, rebuilding from scratch and diffing after every one.
+func runDifferential(t *testing.T, f *core.Flow, benchmark string, seed int64, nEdits int, walk condWalk, prelude ...incr.Edit) {
+	t.Helper()
+	sess, err := f.Begin(nil, benchmark)
+	if err != nil {
+		t.Fatalf("Begin(%s): %v", benchmark, err)
+	}
+	// The cold state must itself match a zero-edit rebuild.
+	oracle, err := f.Rebuild(nil, benchmark, nil)
+	if err != nil {
+		t.Fatalf("Rebuild(%s, nil): %v", benchmark, err)
+	}
+	lastFP := sess.Fingerprint()
+	if want := oracle.Fingerprint(); lastFP != want {
+		t.Fatalf("%s: cold session diverges from zero-edit rebuild:\n%s", benchmark, firstDiff(lastFP, want))
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	applied, rejected, maxFaults := 0, 0, 0
+	for attempts := 0; applied < nEdits; attempts++ {
+		if attempts > nEdits*8 {
+			t.Fatalf("%s: only applied %d/%d edits after %d attempts", benchmark, applied, nEdits, attempts)
+		}
+		var e incr.Edit
+		if applied < len(prelude) && rejected == 0 {
+			e = prelude[applied] // scripted opening, e.g. nudges into the marginal window
+		} else {
+			e = pickEdit(rng, sess, f, walk)
+		}
+		if _, err := sess.Apply(nil, e); err != nil {
+			var re *core.RequestError
+			if !errors.As(err, &re) {
+				t.Fatalf("%s: edit %+v: rejection is %T, want *core.RequestError: %v", benchmark, e, err, err)
+			}
+			// A rejected edit must leave every byte of state untouched.
+			if got := sess.Fingerprint(); got != lastFP {
+				t.Fatalf("%s: rejected edit %+v mutated session state:\n%s", benchmark, e, firstDiff(got, lastFP))
+			}
+			rejected++
+			continue
+		}
+		applied++
+		oracle, err := f.Rebuild(nil, benchmark, sess.AppliedEdits())
+		if err != nil {
+			t.Fatalf("%s: rebuild after edit %d (%+v): %v", benchmark, applied, e, err)
+		}
+		lastFP = sess.Fingerprint()
+		if want := oracle.Fingerprint(); lastFP != want {
+			t.Fatalf("%s: edit %d (%+v): incremental state diverged from from-scratch rebuild:\n%s",
+				benchmark, applied, e, firstDiff(lastFP, want))
+		}
+		if n := len(sess.Mask().FaultList()); n > maxFaults {
+			maxFaults = n
+		}
+	}
+	if len(prelude) > 0 && maxFaults == 0 {
+		t.Errorf("%s: collect-mode walk never faulted a gate; the degraded path went untested", benchmark)
+	}
+	z, dose := sess.Condition()
+	t.Logf("%s: %d edits applied (%d proposals rejected), up to %d gates faulted, final (z=%g, dose=%g); every state bit-identical to rebuild",
+		benchmark, applied, rejected, maxFaults, z, dose)
+}
+
+func TestDifferentialEquivalenceC17(t *testing.T) {
+	runDifferential(t, testFlow(t), "c17", 1701, 70, condWalk{maxZ: 60, doseLo: 0.97, doseHi: 1.03})
+}
+
+// The c432 sweep runs under CollectAndReport with a wide condition walk:
+// edits are allowed to push gates out of the printable window, so the
+// degraded path — per-gate faults recorded, CDs dropped, later healed —
+// is held to the same byte-identical rebuild contract as clean edits.
+func TestDifferentialEquivalenceC432(t *testing.T) {
+	if testing.Short() {
+		t.Skip("c432 differential sweep is long; covered by c17 in -short mode")
+	}
+	f := *testFlow(t)
+	f.Policy = core.CollectAndReport
+	runDifferential(t, &f, "c432", 432, 40, condWalk{maxZ: 200, doseLo: 0.88, doseHi: 1.12},
+		incr.Edit{Op: incr.OpNudgeDefocus, DefocusNm: 100},
+		incr.Edit{Op: incr.OpNudgeDose, DoseDelta: 0.12},
+		incr.Edit{Op: incr.OpNudgeDefocus, DefocusNm: 60})
+}
+
+// TestIncrementalSerialMatchesParallel pins schedule independence on the
+// incremental path: the same edit script applied on a serial flow and a
+// -j8 flow produces bit-identical fingerprints after every edit and
+// byte-identical run manifests (incremental tallies included) at the end.
+func TestIncrementalSerialMatchesParallel(t *testing.T) {
+	base := testFlow(t)
+	mk := func(workers int) (*core.Flow, *obs.Registry, *core.Session) {
+		f := *base
+		f.Parallelism = workers
+		f.Obs = obs.New()
+		sess, err := f.Begin(nil, "c17")
+		if err != nil {
+			t.Fatalf("Begin(j%d): %v", workers, err)
+		}
+		return &f, f.Obs, sess
+	}
+	_, reg1, s1 := mk(1)
+	_, reg8, s8 := mk(8)
+
+	rng := rand.New(rand.NewSource(99))
+	applied := 0
+	for attempts := 0; applied < 25 && attempts < 200; attempts++ {
+		e := pickEdit(rng, s1, base, condWalk{maxZ: 60, doseLo: 0.97, doseHi: 1.03})
+		_, err1 := s1.Apply(nil, e)
+		_, err8 := s8.Apply(nil, e)
+		if (err1 == nil) != (err8 == nil) {
+			t.Fatalf("edit %+v: serial err=%v, parallel err=%v", e, err1, err8)
+		}
+		if err1 != nil {
+			continue
+		}
+		applied++
+		if g, w := s1.Fingerprint(), s8.Fingerprint(); g != w {
+			t.Fatalf("edit %d (%+v): serial and -j8 sessions diverge:\n%s", applied, e, firstDiff(g, w))
+		}
+	}
+	if applied < 20 {
+		t.Fatalf("only %d edits applied", applied)
+	}
+	man1 := expt.Manifest("incr-test", map[string]string{"j": "x"}, []string{"c17"}, reg1, nil)
+	man8 := expt.Manifest("incr-test", map[string]string{"j": "x"}, []string{"c17"}, reg8, nil)
+	m1, err := man1.Encode()
+	if err != nil {
+		t.Fatalf("encode serial manifest: %v", err)
+	}
+	m8, err := man8.Encode()
+	if err != nil {
+		t.Fatalf("encode parallel manifest: %v", err)
+	}
+	if string(m1) != string(m8) {
+		t.Fatalf("serial and -j8 manifests differ:\n%s", firstDiff(string(m1), string(m8)))
+	}
+	if !strings.Contains(string(m1), `"incr"`) {
+		t.Fatalf("manifest missing incr block:\n%s", m1)
+	}
+}
+
+// firstDiff renders the first differing line of two multi-line strings.
+func firstDiff(got, want string) string {
+	g := strings.Split(got, "\n")
+	w := strings.Split(want, "\n")
+	n := len(g)
+	if len(w) < n {
+		n = len(w)
+	}
+	for i := 0; i < n; i++ {
+		if g[i] != w[i] {
+			return "line " + strconv.Itoa(i) + ":\n  got:  " + g[i] + "\n  want: " + w[i]
+		}
+	}
+	return "line counts differ: got " + strconv.Itoa(len(g)) + ", want " + strconv.Itoa(len(w))
+}

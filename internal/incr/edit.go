@@ -1,0 +1,255 @@
+// Package incr implements the edit-driven incremental re-timing
+// substrate: typed design edits, the dirty-region rule that maps an edit
+// onto the placement geometry it can optically disturb, and the retained
+// mask/CD state (Mask) that re-simulates only disturbed gates against the
+// wafer process.
+//
+// The package sits below the flow layer — it knows placement, OPC and the
+// wafer process, but nothing about timing models or the service surface —
+// so the equivalence contract it has to keep is narrow and checkable:
+// after any sequence of edits, the retained mask geometry and per-gate
+// printed CDs are byte-identical to correcting and measuring the edited
+// design from scratch. core.Session builds the timing half on top.
+//
+// Why incremental litho is sound here: placement rows are optically
+// independent (the radius of influence ends inside a row's span) and
+// model-based OPC is a pure function of (recipe, row lines, target), so a
+// geometric edit can only change the corrected mask of its own row. Within
+// the re-corrected row, a gate whose quantized environment key is
+// unchanged at an unchanged exposure condition must print the same CD —
+// the simulation is a pure function of (env, defocus, dose), and the
+// shared CD cache already enforces value transparency on exactly that key
+// — so only gates whose environment key actually changed are re-measured.
+package incr
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"svtiming/internal/geom"
+	"svtiming/internal/place"
+	"svtiming/internal/stdcell"
+)
+
+// Op names one edit kind.
+type Op string
+
+// The edit vocabulary: two geometric edits (row-local dirty regions) and
+// two exposure-condition nudges (whole-chip influence, forcing a full
+// re-measure — the graceful full-rebuild path).
+const (
+	OpMoveCell     Op = "move_cell"     // shift an instance horizontally by DxNm
+	OpResizeCell   Op = "resize_cell"   // swap an instance's master to Cell
+	OpNudgeDefocus Op = "nudge_defocus" // add DefocusNm to the session defocus
+	OpNudgeDose    Op = "nudge_dose"    // add DoseDelta to the session dose
+)
+
+// Edit is one design edit. Exactly the fields of its op are meaningful;
+// Validate rejects edits that set fields foreign to their op, so a typo'd
+// edit fails loudly instead of silently dropping the stray field.
+type Edit struct {
+	Op        Op      `json:"op"`
+	Inst      int     `json:"inst,omitempty"`       // move_cell, resize_cell: instance index
+	DxNm      float64 `json:"dx_nm,omitempty"`      // move_cell: horizontal shift, nm
+	Cell      string  `json:"cell,omitempty"`       // resize_cell: new master name
+	DefocusNm float64 `json:"defocus_nm,omitempty"` // nudge_defocus: defocus increment, nm
+	DoseDelta float64 `json:"dose_delta,omitempty"` // nudge_dose: relative dose increment
+}
+
+// EditError is a statically-detectable defect in an edit: unknown op,
+// missing or non-finite field, a field foreign to the op, or a condition
+// outside the calibrated envelope. It mirrors core.RequestError so the
+// service can map edit rejections onto the one 400 schema.
+type EditError struct {
+	Field  string
+	Reason string
+}
+
+func (e *EditError) Error() string { return fmt.Sprintf("edit: %s: %s", e.Field, e.Reason) }
+
+// DecodeEdit parses one edit object strictly: unknown fields and trailing
+// data are errors, mirroring the service's request decoding. All failures
+// are *EditError.
+func DecodeEdit(data []byte) (Edit, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var e Edit
+	if err := dec.Decode(&e); err != nil {
+		return Edit{}, &EditError{Field: "body", Reason: err.Error()}
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return Edit{}, &EditError{Field: "body", Reason: "trailing data after edit object"}
+	}
+	return e, nil
+}
+
+// Condition envelope: the calibrated process window the session's exposure
+// condition may not leave. Nudges accumulate, so the bound is checked on
+// the resulting absolute condition, not the increment.
+const (
+	MaxDefocusNm = 250 // |defocus| bound, nm
+	MinDose      = 0.5 // relative dose lower bound
+	MaxDose      = 1.5 // relative dose upper bound
+)
+
+// CheckCondition validates an absolute exposure condition against the
+// calibrated envelope.
+func CheckCondition(defocusNm, dose float64) error {
+	if math.IsNaN(defocusNm) || math.Abs(defocusNm) > MaxDefocusNm {
+		return &EditError{Field: "defocus_nm",
+			Reason: fmt.Sprintf("resulting defocus %g nm outside ±%g nm", defocusNm, float64(MaxDefocusNm))}
+	}
+	if math.IsNaN(dose) || dose < MinDose || dose > MaxDose {
+		return &EditError{Field: "dose_delta",
+			Reason: fmt.Sprintf("resulting dose %g outside [%g,%g]", dose, float64(MinDose), float64(MaxDose))}
+	}
+	return nil
+}
+
+// Validate checks everything knowable without a design: the op is known,
+// its required fields are present and finite, and no foreign field is
+// set. Design-dependent checks (instance range, placement legality,
+// condition envelope) happen at apply time.
+func (e Edit) Validate() error {
+	switch e.Op {
+	case OpMoveCell:
+		if err := e.noForeign("cell", "defocus_nm", "dose_delta"); err != nil {
+			return err
+		}
+		if e.Inst < 0 {
+			return &EditError{Field: "inst", Reason: fmt.Sprintf("negative instance %d", e.Inst)}
+		}
+		if e.DxNm == 0 {
+			return &EditError{Field: "dx_nm", Reason: "move_cell requires a nonzero dx_nm"}
+		}
+		return finiteField("dx_nm", e.DxNm)
+	case OpResizeCell:
+		if err := e.noForeign("dx_nm", "defocus_nm", "dose_delta"); err != nil {
+			return err
+		}
+		if e.Inst < 0 {
+			return &EditError{Field: "inst", Reason: fmt.Sprintf("negative instance %d", e.Inst)}
+		}
+		if e.Cell == "" {
+			return &EditError{Field: "cell", Reason: "resize_cell requires a cell name"}
+		}
+		return nil
+	case OpNudgeDefocus:
+		if err := e.noForeign("inst", "dx_nm", "cell", "dose_delta"); err != nil {
+			return err
+		}
+		if e.DefocusNm == 0 {
+			return &EditError{Field: "defocus_nm", Reason: "nudge_defocus requires a nonzero defocus_nm"}
+		}
+		return finiteField("defocus_nm", e.DefocusNm)
+	case OpNudgeDose:
+		if err := e.noForeign("inst", "dx_nm", "cell", "defocus_nm"); err != nil {
+			return err
+		}
+		if e.DoseDelta == 0 {
+			return &EditError{Field: "dose_delta", Reason: "nudge_dose requires a nonzero dose_delta"}
+		}
+		return finiteField("dose_delta", e.DoseDelta)
+	case "":
+		return &EditError{Field: "op", Reason: "missing op"}
+	default:
+		return &EditError{Field: "op", Reason: fmt.Sprintf("unknown op %q", e.Op)}
+	}
+}
+
+// noForeign rejects fields that are set but do not belong to e's op.
+// Zero is "unset" for every optional field (the JSON omitempty encoding
+// makes the same identification), so exact-zero sentinel compares are the
+// correct test here.
+func (e Edit) noForeign(fields ...string) error {
+	for _, f := range fields {
+		set := false
+		switch f {
+		case "inst":
+			set = e.Inst != 0
+		case "dx_nm":
+			set = e.DxNm != 0 //lint:allow floateq zero is the unset sentinel, mirroring omitempty
+		case "cell":
+			set = e.Cell != ""
+		case "defocus_nm":
+			set = e.DefocusNm != 0 //lint:allow floateq zero is the unset sentinel, mirroring omitempty
+		case "dose_delta":
+			set = e.DoseDelta != 0 //lint:allow floateq zero is the unset sentinel, mirroring omitempty
+		}
+		if set {
+			return &EditError{Field: f, Reason: fmt.Sprintf("not a %s field", e.Op)}
+		}
+	}
+	return nil
+}
+
+func finiteField(name string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return &EditError{Field: name, Reason: fmt.Sprintf("non-finite value %v", v)}
+	}
+	return nil
+}
+
+// Region is the dirty region of a geometric edit: the row whose mask must
+// be re-corrected and the horizontal span (edit extent widened by the
+// radius of influence) inside which gate environments may have changed.
+// WholeChip marks edits — condition nudges — whose influence is global.
+type Region struct {
+	Row       int
+	Span      geom.Interval
+	WholeChip bool
+}
+
+// ApplyGeometry mutates the placement according to a geometric edit and
+// returns its dirty region. The placement mutators reject illegal edits
+// before touching state, so on error the placement is exactly as it was.
+// Non-geometric edits (condition nudges) are rejected; their dirty region
+// is the whole chip and they never touch the placement.
+func (e Edit) ApplyGeometry(p *place.Placement, lib *stdcell.Library, radius float64) (Region, error) {
+	switch e.Op {
+	case OpMoveCell:
+		if e.Inst >= len(p.Cells) {
+			return Region{}, &EditError{Field: "inst",
+				Reason: fmt.Sprintf("instance %d out of range [0,%d)", e.Inst, len(p.Cells))}
+		}
+		pc := p.Cells[e.Inst]
+		old := geom.Interval{Lo: pc.X, Hi: pc.X + pc.Cell.Width}
+		if err := p.MoveCell(e.Inst, e.DxNm); err != nil {
+			return Region{}, &EditError{Field: "dx_nm", Reason: err.Error()}
+		}
+		moved := p.Cells[e.Inst]
+		span := geom.Interval{
+			Lo: math.Min(old.Lo, moved.X) - radius,
+			Hi: math.Max(old.Hi, moved.X+moved.Cell.Width) + radius,
+		}
+		return Region{Row: pc.Row, Span: span}, nil
+	case OpResizeCell:
+		if e.Inst >= len(p.Cells) {
+			return Region{}, &EditError{Field: "inst",
+				Reason: fmt.Sprintf("instance %d out of range [0,%d)", e.Inst, len(p.Cells))}
+		}
+		c, err := lib.Cell(e.Cell)
+		if err != nil {
+			return Region{}, &EditError{Field: "cell", Reason: err.Error()}
+		}
+		pc := p.Cells[e.Inst]
+		old := geom.Interval{Lo: pc.X, Hi: pc.X + pc.Cell.Width}
+		if err := p.SwapMaster(e.Inst, c); err != nil {
+			return Region{}, &EditError{Field: "cell", Reason: err.Error()}
+		}
+		next := p.Cells[e.Inst]
+		span := geom.Interval{
+			Lo: old.Lo - radius,
+			Hi: math.Max(old.Hi, next.X+next.Cell.Width) + radius,
+		}
+		return Region{Row: pc.Row, Span: span}, nil
+	case OpNudgeDefocus, OpNudgeDose:
+		return Region{WholeChip: true}, &EditError{Field: "op",
+			Reason: fmt.Sprintf("%s is not a geometric edit", e.Op)}
+	default:
+		return Region{}, &EditError{Field: "op", Reason: fmt.Sprintf("unknown op %q", e.Op)}
+	}
+}

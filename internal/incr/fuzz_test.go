@@ -1,0 +1,104 @@
+package incr_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"svtiming/internal/core"
+	"svtiming/internal/fault"
+	"svtiming/internal/incr"
+	"svtiming/internal/netlist"
+	"svtiming/internal/place"
+)
+
+// pairDesign hand-builds the smallest interesting design: two inverters
+// in one row separated by gapNm of whitespace, each driving its own
+// primary output. Small enough that fuzz iterations open a full session
+// per input; parameterized gap so boundary tests place the pair exactly
+// at, inside, or beyond the radius of influence.
+func pairDesign(t testing.TB, f *core.Flow, gapNm float64) *core.Design {
+	t.Helper()
+	inv := f.Lib.MustCell("INVX1")
+	n := &netlist.Netlist{
+		Name: "pair",
+		PIs:  []string{"a", "b"},
+		POs:  []string{"x", "y"},
+		Instances: []netlist.Instance{
+			{Name: "u0", Cell: "INVX1", Inputs: []string{"a"}, Output: "x"},
+			{Name: "u1", Cell: "INVX1", Inputs: []string{"b"}, Output: "y"},
+		},
+	}
+	x1 := inv.Width + gapNm
+	p := &place.Placement{
+		Netlist: n,
+		Rows:    [][]int{{0, 1}},
+		Cells: []place.Placed{
+			{Inst: 0, Cell: inv, X: 0, Row: 0},
+			{Inst: 1, Cell: inv, X: x1, Row: 0},
+		},
+		RowWidth: x1 + inv.Width + 5000,
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatalf("pair placement illegal: %v", err)
+	}
+	d := &core.Design{Netlist: n, Placement: p}
+	if err := f.RefreshContext(d); err != nil {
+		t.Fatalf("RefreshContext: %v", err)
+	}
+	return d
+}
+
+// FuzzEditSequence feeds arbitrary bytes — one would-be edit per line —
+// through the full decode/validate/apply pipeline against a live session.
+// The contract mirrors FuzzRequestDecode: the pipeline never panics,
+// undecodable or invalid lines reject with a typed error (*incr.EditError
+// from decoding, *core.RequestError from Apply), and a post-mutation
+// failure is a typed fault that flips the session to broken rather than
+// an untyped crash.
+func FuzzEditSequence(f *testing.F) {
+	f.Add([]byte(`{"op":"move_cell","inst":0,"dx_nm":40}`))
+	f.Add([]byte(`{"op":"resize_cell","inst":1,"cell":"INVX2"}`))
+	f.Add([]byte("{\"op\":\"nudge_defocus\",\"defocus_nm\":25}\n{\"op\":\"nudge_dose\",\"dose_delta\":-0.02}"))
+	f.Add([]byte(`{"op":"move_cell","inst":99,"dx_nm":1}`))
+	f.Add([]byte(`{"op":"move_cell","inst":0,"dx_nm":1e300}`))
+	f.Add([]byte(`{"op":"nudge_dose","dose_delta":9}`))
+	f.Add([]byte(`{"op":"warp_cell","inst":0}`))
+	f.Add([]byte(`{"op":"move_cell","inst":0,"dx_nm":5,"cell":"INVX2"}`))
+	f.Add([]byte(`{"op":"move_cell"`))
+	f.Add([]byte(`{"op":"move_cell","inst":0,"dx_nm":5}trailing`))
+	f.Add([]byte("\x00\xff\nnot json at all"))
+	f.Add([]byte(`{"op":"nudge_defocus","defocus_nm":-260}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fl := testFlow(t)
+		sess, err := fl.BeginDesign(nil, pairDesign(t, fl, 900))
+		if err != nil {
+			t.Fatalf("BeginDesign: %v", err)
+		}
+		for _, line := range bytes.Split(data, []byte("\n")) {
+			if len(bytes.TrimSpace(line)) == 0 {
+				continue
+			}
+			ed, err := incr.DecodeEdit(line)
+			if err != nil {
+				var ee *incr.EditError
+				if !errors.As(err, &ee) {
+					t.Fatalf("DecodeEdit(%q) error %T is not *incr.EditError: %v", line, err, err)
+				}
+				continue
+			}
+			if _, err := sess.Apply(nil, ed); err != nil {
+				var re *core.RequestError
+				if errors.As(err, &re) {
+					continue // rejected before mutating; session stays usable
+				}
+				if fault.KindOf(err) == "other" && sess.Broken() == nil {
+					t.Fatalf("Apply(%+v): untyped error %T with healthy session: %v", ed, err, err)
+				}
+				if sess.Broken() != nil {
+					break // broken sessions refuse further edits by contract
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,425 @@
+package incr
+
+import (
+	stdctx "context"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"svtiming/internal/fault"
+	"svtiming/internal/geom"
+	"svtiming/internal/opc"
+	"svtiming/internal/par"
+	"svtiming/internal/place"
+	"svtiming/internal/process"
+)
+
+// GateKey addresses one transistor gate: instance index and gate index
+// within the instance's cell. It mirrors core.GateKey but is defined here
+// so the mask state does not depend on the flow layer.
+type GateKey struct {
+	Inst int `json:"inst"`
+	Gate int `json:"gate"`
+}
+
+func (k GateKey) less(o GateKey) bool {
+	if k.Inst != o.Inst {
+		return k.Inst < o.Inst
+	}
+	return k.Gate < o.Gate
+}
+
+// GateCD is one printed-CD observation.
+type GateCD struct {
+	Key GateKey `json:"key"`
+	CD  float64 `json:"cd_nm"`
+}
+
+// FaultEntry is one per-gate measurement fault recorded under the collect
+// policy: the gate, its sweep coordinate (carrying the exposure condition
+// it faulted at), and the typed error.
+type FaultEntry struct {
+	Key GateKey
+	At  fault.Coord
+	Err error
+}
+
+// Config parameterizes a mask session.
+type Config struct {
+	Wafer   *process.Process
+	Recipe  opc.Recipe
+	Target  float64 // drawn/target CD, nm
+	Radius  float64 // litho radius of influence, nm
+	Workers int     // row fan-out; ≤0 means GOMAXPROCS
+	Collect bool    // record per-gate faults instead of failing fast
+}
+
+// gateEnv is the retained litho state of one gate: its identity, its
+// quantized optical environment within the corrected row, and that
+// environment's cache key. An unchanged envKey at an unchanged exposure
+// condition proves the stored CD is still exact (the simulation is a pure
+// function of the key), which is the entire warm-start argument.
+type gateEnv struct {
+	key    GateKey
+	env    process.Env
+	envKey string
+}
+
+type rowState struct {
+	corrected []geom.PolyLine
+	gates     []gateEnv // RowGates order
+}
+
+// memoPerRow bounds each row's solve memo. Interactive edit scripts
+// revisit a handful of states (a move undone, a cell shuttled between two
+// legal spots); a wandering script resets the map and recomputes — never a
+// correctness event, only a cold solve.
+const memoPerRow = 16
+
+// drawnKey fingerprints a row's drawn geometry exactly: the IEEE-754 bits
+// of every line's centerline, width and span, in row order. Equal keys
+// mean bit-identical correction inputs, so a memoized solve replayed under
+// the same key is the solve CorrectCtx would recompute.
+func drawnKey(lines []geom.PolyLine) string {
+	b := make([]byte, 0, 32*len(lines))
+	for _, l := range lines {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(l.CenterX))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(l.Width))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(l.Span.Lo))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(l.Span.Hi))
+	}
+	return string(b)
+}
+
+// Mask is the retained full-chip litho state of an edit session: every
+// row's corrected mask, every gate's environment, and every gate's printed
+// CD (or fault) at the current exposure condition. RefreshRow re-corrects
+// one row after a geometric edit and re-measures only gates whose
+// environment key changed; SetCondition re-measures every gate at a new
+// (defocus, dose) without re-correcting any mask. Methods are not safe for
+// concurrent use; the owning session serializes edits.
+type Mask struct {
+	cfg     Config
+	p       *place.Placement
+	defocus float64
+	dose    float64
+
+	rows   []rowState
+	cds    map[GateKey]float64
+	faults map[GateKey]FaultEntry
+
+	// memo caches per-row solves (corrected mask + gate environments)
+	// keyed by the exact drawn geometry. The solve is a pure function of
+	// (recipe, drawn lines, target), so a hit replays the very bytes a
+	// cold correction would produce — which is why the differential
+	// contract survives the cache. SolveMask's workers seed it (one
+	// writer per row index); RefreshRow reads and extends it serially.
+	memo []map[string]*rowState
+}
+
+// Refresh summarizes one mask update.
+type Refresh struct {
+	Resimulated int          // gates re-measured against the wafer process
+	Changed     []GateCD     // gates whose stored CD changed bitwise (or healed), sorted
+	Faults      []FaultEntry // gates newly faulted by this update, sorted
+}
+
+// rowMeasure is one row's correct-and-measure result, built worker-side
+// and merged serially so map writes and fault order are deterministic.
+type rowMeasure struct {
+	corrected []geom.PolyLine
+	gates     []gateEnv
+	cds       []float64
+	errs      []error // per gate; non-nil only under the collect policy
+}
+
+// SolveMask corrects and measures the whole chip from scratch at the
+// given exposure condition: the cold start of a session and the oracle's
+// entry point. Rows fan out over the worker pool (sharing the wafer CD
+// cache); results merge serially in row order.
+func SolveMask(ctx stdctx.Context, cfg Config, p *place.Placement, defocusNm, dose float64) (*Mask, error) {
+	if ctx == nil {
+		ctx = stdctx.Background()
+	}
+	m := &Mask{cfg: cfg, p: p, defocus: defocusNm, dose: dose,
+		rows:   make([]rowState, len(p.Rows)),
+		cds:    make(map[GateKey]float64),
+		faults: make(map[GateKey]FaultEntry),
+		memo:   make([]map[string]*rowState, len(p.Rows))}
+	rows, err := par.Map(ctx, par.Workers(cfg.Workers), len(p.Rows),
+		func(cctx stdctx.Context, r int) (rowMeasure, error) {
+			return m.measureRow(cctx, r, defocusNm, dose)
+		})
+	if err != nil {
+		return nil, err
+	}
+	var ref Refresh
+	for r, rm := range rows {
+		m.rows[r] = rowState{corrected: rm.corrected, gates: rm.gates}
+		m.commitRow(r, rm, &ref)
+	}
+	return m, nil
+}
+
+// solveRow produces row r's corrected mask and every gate's quantized
+// environment — the pure geometry→optics part of a row refresh, with no
+// wafer measurement. Solves memoize per row on the exact drawn geometry:
+// an edit script that revisits a row state (a move undone, a shuttle) pays
+// one map hit instead of the full OPC iteration, and purity guarantees the
+// replayed solve is byte-identical to recomputing it.
+func (m *Mask) solveRow(ctx stdctx.Context, r int) (*rowState, error) {
+	lines := m.p.RowLines(r)
+	key := drawnKey(lines)
+	if sol, ok := m.memo[r][key]; ok {
+		return sol, nil
+	}
+	corrected, err := m.cfg.Recipe.CorrectCtx(ctx, lines, m.cfg.Target)
+	if err != nil {
+		return nil, fmt.Errorf("incr: OPC row %d: %w", r, err)
+	}
+	idxByX := make(map[float64]int, len(lines))
+	for i, l := range lines {
+		idxByX[l.CenterX] = i
+	}
+	sol := &rowState{corrected: corrected}
+	for _, rg := range m.p.RowGates(r) {
+		i, ok := idxByX[rg.Line.CenterX]
+		if !ok {
+			return nil, fmt.Errorf("incr: gate at x=%v lost in row %d", rg.Line.CenterX, r)
+		}
+		env := process.EnvAt(corrected, i, m.cfg.Radius)
+		k := GateKey{Inst: rg.Inst, Gate: rg.Gate}
+		sol.gates = append(sol.gates, gateEnv{key: k, env: env, envKey: env.Key()})
+	}
+	if m.memo[r] == nil || len(m.memo[r]) >= memoPerRow {
+		m.memo[r] = make(map[string]*rowState, memoPerRow)
+	}
+	m.memo[r][key] = sol
+	return sol, nil
+}
+
+// measureRow solves row r's mask and measures every gate at the given
+// condition. Pure with respect to the mask maps (workers call it
+// concurrently; each row index has one worker, so the memo writes don't
+// race); under fail-fast the first gate fault aborts the row.
+func (m *Mask) measureRow(ctx stdctx.Context, r int, defocusNm, dose float64) (rowMeasure, error) {
+	sol, err := m.solveRow(ctx, r)
+	if err != nil {
+		return rowMeasure{}, err
+	}
+	out := rowMeasure{corrected: sol.corrected, gates: sol.gates}
+	for _, g := range sol.gates {
+		cd, gerr := m.measureGate(g.env, g.key, r, defocusNm, dose)
+		if gerr != nil && !m.cfg.Collect {
+			return rowMeasure{}, gerr
+		}
+		out.cds = append(out.cds, cd)
+		out.errs = append(out.errs, gerr)
+	}
+	return out, nil
+}
+
+// measureGate prints one gate environment on the wafer process. A
+// non-printing gate is a *fault.Numeric located by (row, gate) at the
+// measured condition, matching the full-chip flow's taxonomy.
+func (m *Mask) measureGate(env process.Env, k GateKey, row int, defocusNm, dose float64) (float64, error) {
+	cd, ok, err := m.cfg.Wafer.PrintCDChecked(env, defocusNm, dose)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, &fault.Numeric{
+			At:       coordOf(k, row, defocusNm, dose),
+			Quantity: "printed gate CD",
+			Value:    0,
+		}
+	}
+	return cd, nil
+}
+
+func coordOf(k GateKey, row int, defocusNm, dose float64) fault.Coord {
+	return fault.Coord{Stage: "incr_cd", Index: row,
+		Item: fmt.Sprintf("inst %d gate %d", k.Inst, k.Gate), Defocus: defocusNm, Dose: dose}
+}
+
+// commitGate installs one measurement into the mask maps and records the
+// transition into ref. Must run at the condition the measurement was
+// taken at (m.defocus/m.dose are already updated for condition changes).
+func (m *Mask) commitGate(k GateKey, row int, cd float64, gerr error, ref *Refresh) {
+	ref.Resimulated++
+	if gerr != nil {
+		fe := FaultEntry{Key: k, At: coordOf(k, row, m.defocus, m.dose), Err: gerr}
+		m.faults[k] = fe
+		delete(m.cds, k)
+		ref.Faults = append(ref.Faults, fe)
+		return
+	}
+	old, had := m.cds[k]
+	_, hadFault := m.faults[k]
+	if hadFault {
+		delete(m.faults, k)
+	}
+	m.cds[k] = cd
+	if !had || hadFault || math.Float64bits(old) != math.Float64bits(cd) {
+		ref.Changed = append(ref.Changed, GateCD{Key: k, CD: cd})
+	}
+}
+
+func (m *Mask) commitRow(r int, rm rowMeasure, ref *Refresh) {
+	for i, g := range rm.gates {
+		m.commitGate(g.key, r, rm.cds[i], rm.errs[i], ref)
+	}
+}
+
+func sortRefresh(ref *Refresh) {
+	sort.Slice(ref.Changed, func(i, j int) bool { return ref.Changed[i].Key.less(ref.Changed[j].Key) })
+	sort.Slice(ref.Faults, func(i, j int) bool { return ref.Faults[i].Key.less(ref.Faults[j].Key) })
+}
+
+// RefreshRow re-corrects row r's mask after a geometric edit and
+// re-measures exactly the gates whose quantized environment key changed
+// (plus gates new to the row); gates with unchanged keys keep their stored
+// CD, which purity guarantees is still exact. Gates that left the row (a
+// resize to a smaller master) drop their state. Under fail-fast, a gate
+// fault aborts mid-commit and the caller must treat the session as broken.
+func (m *Mask) RefreshRow(ctx stdctx.Context, r int) (Refresh, error) {
+	if ctx == nil {
+		ctx = stdctx.Background()
+	}
+	if r < 0 || r >= len(m.rows) {
+		return Refresh{}, fmt.Errorf("incr: row %d out of range [0,%d)", r, len(m.rows))
+	}
+	sol, err := m.solveRow(ctx, r)
+	if err != nil {
+		return Refresh{}, err
+	}
+	oldKeys := make(map[GateKey]string, len(m.rows[r].gates))
+	for _, g := range m.rows[r].gates {
+		oldKeys[g.key] = g.envKey
+	}
+	var ref Refresh
+	seen := make(map[GateKey]bool, len(sol.gates))
+	for _, g := range sol.gates {
+		seen[g.key] = true
+		if prev, ok := oldKeys[g.key]; ok && prev == g.envKey {
+			// Unchanged environment at an unchanged condition: the stored
+			// CD (or fault) stands, bit for bit.
+			continue
+		}
+		cd, gerr := m.measureGate(g.env, g.key, r, m.defocus, m.dose)
+		if gerr != nil && !m.cfg.Collect {
+			return Refresh{}, gerr
+		}
+		m.commitGate(g.key, r, cd, gerr, &ref)
+	}
+	for _, g := range m.rows[r].gates {
+		if !seen[g.key] {
+			delete(m.cds, g.key)
+			delete(m.faults, g.key)
+		}
+	}
+	// The row state aliases the memo entry; both are read-only once built.
+	m.rows[r] = *sol
+	sortRefresh(&ref)
+	return ref, nil
+}
+
+// SetCondition moves the session to a new exposure condition: every gate
+// re-measures (no mask re-correction — masks don't depend on exposure),
+// rows fanning out over the worker pool. The update is atomic: all
+// measurements land in worker-side buffers and commit only after every
+// row succeeded, so on error — cancellation or a fail-fast gate fault —
+// the mask still coherently describes the old condition.
+func (m *Mask) SetCondition(ctx stdctx.Context, defocusNm, dose float64) (Refresh, error) {
+	if ctx == nil {
+		ctx = stdctx.Background()
+	}
+	type rowCDs struct {
+		cds  []float64
+		errs []error
+	}
+	rows, err := par.Map(ctx, par.Workers(m.cfg.Workers), len(m.rows),
+		func(cctx stdctx.Context, r int) (rowCDs, error) {
+			rs := m.rows[r]
+			out := rowCDs{cds: make([]float64, len(rs.gates)), errs: make([]error, len(rs.gates))}
+			for i, g := range rs.gates {
+				if err := cctx.Err(); err != nil {
+					return rowCDs{}, err
+				}
+				cd, gerr := m.measureGate(g.env, g.key, r, defocusNm, dose)
+				if gerr != nil && !m.cfg.Collect {
+					return rowCDs{}, gerr
+				}
+				out.cds[i], out.errs[i] = cd, gerr
+			}
+			return out, nil
+		})
+	if err != nil {
+		return Refresh{}, err
+	}
+	m.defocus, m.dose = defocusNm, dose
+	var ref Refresh
+	for r, rc := range rows {
+		for i, g := range m.rows[r].gates {
+			m.commitGate(g.key, r, rc.cds[i], rc.errs[i], &ref)
+		}
+	}
+	sortRefresh(&ref)
+	return ref, nil
+}
+
+// Condition returns the current exposure condition.
+func (m *Mask) Condition() (defocusNm, dose float64) { return m.defocus, m.dose }
+
+// NumRows returns the number of placement rows tracked.
+func (m *Mask) NumRows() int { return len(m.rows) }
+
+// GateCount returns the number of gates currently tracked (healthy plus
+// faulted).
+func (m *Mask) GateCount() int { return len(m.cds) + len(m.faults) }
+
+// CDList returns every healthy gate's printed CD, sorted by gate key.
+func (m *Mask) CDList() []GateCD {
+	keys := make([]GateKey, 0, len(m.cds))
+	for k := range m.cds {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
+	out := make([]GateCD, len(keys))
+	for i, k := range keys {
+		out[i] = GateCD{Key: k, CD: m.cds[k]}
+	}
+	return out
+}
+
+// FaultList returns every faulted gate's entry, sorted by gate key.
+func (m *Mask) FaultList() []FaultEntry {
+	keys := make([]GateKey, 0, len(m.faults))
+	for k := range m.faults {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
+	out := make([]FaultEntry, len(keys))
+	for i, k := range keys {
+		out[i] = m.faults[k]
+	}
+	return out
+}
+
+// CD returns the stored printed CD for one gate.
+func (m *Mask) CD(k GateKey) (float64, bool) {
+	cd, ok := m.cds[k]
+	return cd, ok
+}
+
+// RowEnvs returns a copy of row r's current gate environments, in
+// RowGates order. Exported for boundary tests that reason about cache
+// shard placement.
+func (m *Mask) RowEnvs(r int) []process.Env {
+	out := make([]process.Env, len(m.rows[r].gates))
+	for i, g := range m.rows[r].gates {
+		out[i] = g.env
+	}
+	return out
+}

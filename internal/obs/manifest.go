@@ -59,6 +59,19 @@ type RowStats struct {
 	Degraded int `json:"degraded"`
 }
 
+// IncrStats summarizes an edit session's incremental re-timing work:
+// edits applied, gates re-simulated against the wafer process, fan-out
+// cones re-propagated across the six retained engines, and graceful full
+// rebuilds (condition nudges). Every tally is schedule-invariant — the
+// dirty-region rule and the levelized cone walks are deterministic — so
+// the block belongs in the manifest, not the metrics dump.
+type IncrStats struct {
+	Edits             int64 `json:"edits"`
+	GatesResimulated  int64 `json:"gates_resimulated"`
+	ConesRepropagated int64 `json:"cones_repropagated"`
+	FullRebuilds      int64 `json:"full_rebuilds"`
+}
+
 // RunManifest is the reproducibility record a cmd tool emits: what was
 // asked for, what work was done, and (outside golden mode) how long
 // each stage took. Every field is either configuration or a
@@ -77,6 +90,9 @@ type RunManifest struct {
 	Kernels    KernelCacheStats  `json:"socs_kernels"`
 	Pool       PoolStats         `json:"pool"`
 	Rows       RowStats          `json:"rows"`
+	// Incr reports the incremental re-timing engine's work; nil unless
+	// the run applied edits through a session.
+	Incr *IncrStats `json:"incr,omitempty"`
 	// Faults maps fault-summary keys ("total", "stage:<s>", "kind:<k>")
 	// to counts; empty on a clean run.
 	Faults map[string]int `json:"faults,omitempty"`

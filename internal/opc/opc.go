@@ -23,6 +23,7 @@
 package opc
 
 import (
+	stdctx "context"
 	"fmt"
 	"math"
 
@@ -109,12 +110,28 @@ func ModelProcess(wafer *process.Process) *process.Process {
 // process, subject to the recipe's mask rules. The input is not modified;
 // the corrected row is returned.
 func (r Recipe) Correct(lines []geom.PolyLine, target float64) []geom.PolyLine {
+	// A nil context never cancels, so the error return is structurally
+	// impossible here.
+	out, _ := r.CorrectCtx(nil, lines, target)
+	return out
+}
+
+// CorrectCtx is Correct with cooperative cancellation: the iteration
+// re-checks ctx between sweeps over the row, so a cancelled full-chip run
+// or an expired edit-session deadline aborts mid-correction instead of
+// finishing MaxIter sweeps of dead work. nil ctx means never cancelled.
+// The correction itself is a pure function of (recipe, lines, target):
+// cancellation changes when work stops, never what it computes.
+func (r Recipe) CorrectCtx(ctx stdctx.Context, lines []geom.PolyLine, target float64) ([]geom.PolyLine, error) {
 	if r.Model == nil {
 		panic("opc: recipe has no model process")
 	}
+	if ctx == nil {
+		ctx = stdctx.Background()
+	}
 	out := append([]geom.PolyLine(nil), lines...)
 	if len(out) == 0 {
-		return out
+		return out, nil
 	}
 	// Per-line secant state: the previous (width, printed CD) pair, used to
 	// estimate the local print slope d(CD)/d(width).
@@ -125,6 +142,9 @@ func (r Recipe) Correct(lines []geom.PolyLine, target float64) []geom.PolyLine {
 	prev := make([]hist, len(out))
 	const defaultSlope = 1.5 // typical d(printCD)/d(maskWidth) for this process
 	for iter := 0; iter < r.MaxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("opc: correction cancelled at iteration %d: %w", iter, err)
+		}
 		worst := 0.0
 		widths := make([]float64, len(out))
 		for i := range out {
@@ -167,7 +187,7 @@ func (r Recipe) Correct(lines []geom.PolyLine, target float64) []geom.PolyLine {
 		out[i].Width = math.Max(r.MinWidth, r.Model.SnapToGrid(out[i].Width))
 	}
 	r.enforceSpaces(out)
-	return out
+	return out, nil
 }
 
 // clampWidth applies the width mask rules relative to the drawn width.

@@ -1,6 +1,7 @@
 package opc
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -294,5 +295,31 @@ func TestStandardVsIdealRuntimeShape(t *testing.T) {
 	// trade. Compare by iteration budget (time is machine-dependent).
 	if Standard(testModel).MaxIter >= Ideal(testModel).MaxIter {
 		t.Error("Standard should be cheaper than Ideal")
+	}
+}
+
+func TestCorrectCtxCancellation(t *testing.T) {
+	r := Standard(ModelProcess(process.Nominal90nm()))
+	lines := process.DensePitch(90, 300, 3).Lines(span1000())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.CorrectCtx(ctx, lines, 90); err == nil {
+		t.Error("cancelled context did not abort correction")
+	}
+
+	// A live context computes exactly what Correct computes.
+	got, err := r.CorrectCtx(context.Background(), lines, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := r.Correct(lines, 90)
+	if len(got) != len(want) {
+		t.Fatalf("length mismatch: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("line %d: %+v vs %+v", i, got[i], want[i])
+		}
 	}
 }

@@ -55,11 +55,11 @@ func BuildPitchTable(ctx context.Context, wafer *process.Process, recipe Recipe,
 	// pitch) so it shares the pool instead of running serially after.
 	points := append(append([]float64(nil), sorted...), math.Inf(1))
 	entries, _ := par.Sweep(ctx, workers, points,
-		func(_ context.Context, p float64) (PitchEntry, error) {
+		func(cctx context.Context, p float64) (PitchEntry, error) {
 			if math.IsInf(p, 1) {
-				return characterizeIsolated(wafer, recipe, drawnCD), nil
+				return characterizeIsolated(cctx, wafer, recipe, drawnCD), nil
 			}
-			return characterizePitch(wafer, recipe, drawnCD, p), nil
+			return characterizePitch(cctx, wafer, recipe, drawnCD, p), nil
 		})
 	if len(entries) == 0 {
 		return t
@@ -76,10 +76,14 @@ func BuildPitchTable(ctx context.Context, wafer *process.Process, recipe Recipe,
 	return t
 }
 
-func characterizePitch(wafer *process.Process, recipe Recipe, drawnCD, pitch float64) PitchEntry {
+func characterizePitch(ctx context.Context, wafer *process.Process, recipe Recipe, drawnCD, pitch float64) PitchEntry {
 	env := process.DensePitch(drawnCD, pitch, 4)
 	lines := env.Lines(spanUnit())
-	corr := recipe.Correct(lines, drawnCD)
+	corr, err := recipe.CorrectCtx(ctx, lines, drawnCD)
+	if err != nil {
+		// Cancelled mid-correction: an unvisited row, NaN by convention.
+		return PitchEntry{Pitch: pitch, Space: pitch - drawnCD, MaskCD: math.NaN(), PrintedCD: math.NaN()}
+	}
 	cenv := process.EnvAt(corr, 0, wafer.RadiusOfInfluence)
 	cd, ok := wafer.PrintCD(cenv)
 	if !ok {
@@ -88,9 +92,12 @@ func characterizePitch(wafer *process.Process, recipe Recipe, drawnCD, pitch flo
 	return PitchEntry{Pitch: pitch, Space: pitch - drawnCD, MaskCD: corr[0].Width, PrintedCD: cd}
 }
 
-func characterizeIsolated(wafer *process.Process, recipe Recipe, drawnCD float64) PitchEntry {
+func characterizeIsolated(ctx context.Context, wafer *process.Process, recipe Recipe, drawnCD float64) PitchEntry {
 	lines := process.Isolated(drawnCD).Lines(spanUnit())
-	corr := recipe.Correct(lines, drawnCD)
+	corr, err := recipe.CorrectCtx(ctx, lines, drawnCD)
+	if err != nil {
+		return PitchEntry{MaskCD: math.NaN(), PrintedCD: math.NaN()}
+	}
 	cd, ok := wafer.PrintCD(process.Env{Width: corr[0].Width})
 	if !ok {
 		cd = math.NaN()

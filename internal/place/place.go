@@ -9,6 +9,7 @@ package place
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"svtiming/internal/geom"
@@ -244,6 +245,69 @@ func (p *Placement) Neighbors(inst int) (left, right int, leftGap, rightGap floa
 		break
 	}
 	return
+}
+
+// MoveCell shifts instance inst horizontally by dx nm within its row.
+// The move must keep the placement legal — the cell may not cross (or
+// overlap) its row neighbors and must stay inside [0, RowWidth] — and an
+// illegal move is rejected with a descriptive error *before* any state
+// changes, so a failed edit never leaves a half-applied placement.
+func (p *Placement) MoveCell(inst int, dx float64) error {
+	if inst < 0 || inst >= len(p.Cells) {
+		return fmt.Errorf("place: instance %d out of range [0,%d)", inst, len(p.Cells))
+	}
+	pc := &p.Cells[inst]
+	newX := pc.X + dx
+	left, right, _, _ := p.Neighbors(inst)
+	lo := 0.0
+	if left >= 0 {
+		lpc := p.Cells[left]
+		lo = lpc.X + lpc.Cell.Width
+	}
+	hi := math.Inf(1)
+	if right >= 0 {
+		hi = p.Cells[right].X - pc.Cell.Width
+	} else if p.RowWidth > 0 {
+		hi = p.RowWidth - pc.Cell.Width
+	}
+	if newX < lo || newX > hi {
+		return fmt.Errorf("place: moving instance %d by %v nm puts x=%v outside its legal range [%v,%v]",
+			inst, dx, newX, lo, hi)
+	}
+	pc.X = newX
+	return nil
+}
+
+// SwapMaster replaces the cell master of inst with c (a resize: e.g.
+// INVX1 ↔ INVX2), keeping the left edge fixed. The new master must have
+// the same input pin count — the netlist connectivity is reused pin for
+// pin — and must fit before the right neighbor (or the row edge). The
+// netlist instance's cell name is updated in the same step, so placement
+// and netlist never disagree about a master. Like MoveCell, an illegal
+// swap is rejected before any state changes.
+func (p *Placement) SwapMaster(inst int, c *stdcell.Cell) error {
+	if inst < 0 || inst >= len(p.Cells) {
+		return fmt.Errorf("place: instance %d out of range [0,%d)", inst, len(p.Cells))
+	}
+	pc := &p.Cells[inst]
+	if len(c.Inputs) != len(pc.Cell.Inputs) {
+		return fmt.Errorf("place: cannot swap instance %d from %s (%d inputs) to %s (%d inputs)",
+			inst, pc.Cell.Name, len(pc.Cell.Inputs), c.Name, len(c.Inputs))
+	}
+	_, right, _, _ := p.Neighbors(inst)
+	hi := math.Inf(1)
+	if right >= 0 {
+		hi = p.Cells[right].X
+	} else if p.RowWidth > 0 {
+		hi = p.RowWidth
+	}
+	if pc.X+c.Width > hi {
+		return fmt.Errorf("place: swapping instance %d to %s (width %v) overruns its row slot ending at %v",
+			inst, c.Name, c.Width, hi)
+	}
+	pc.Cell = c
+	p.Netlist.Instances[inst].Cell = c.Name
+	return nil
 }
 
 // Verify checks placement legality: no overlaps, rows within width, every

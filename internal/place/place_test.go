@@ -181,3 +181,108 @@ func TestPlacePreservesAllGateCounts(t *testing.T) {
 		t.Errorf("placement has %d gates, netlist wants %d", totalGates, want)
 	}
 }
+
+func TestMoveCell(t *testing.T) {
+	p := placeBench(t, "c432", Options{})
+
+	// Find an instance with a real gap to its right neighbor.
+	mover, gap := -1, 0.0
+	for i := range p.Cells {
+		if _, right, _, rg := p.Neighbors(i); right >= 0 && rg > 50 {
+			mover, gap = i, rg
+			break
+		}
+	}
+	if mover < 0 {
+		t.Fatal("no instance with a usable right gap")
+	}
+	oldX := p.Cells[mover].X
+	if err := p.MoveCell(mover, gap/2); err != nil {
+		t.Fatalf("legal move rejected: %v", err)
+	}
+	if p.Cells[mover].X != oldX+gap/2 { //lint:allow floateq a move adds dx exactly; bit-identity is the contract
+		t.Errorf("X = %v, want %v", p.Cells[mover].X, oldX+gap/2)
+	}
+	if err := p.Verify(); err != nil {
+		t.Errorf("placement illegal after legal move: %v", err)
+	}
+
+	// Moving to full abutment with the right neighbor is legal (gap 0).
+	if err := p.MoveCell(mover, gap/2); err != nil {
+		t.Fatalf("move to abutment rejected: %v", err)
+	}
+	// One more nanometer overlaps: rejected, state untouched.
+	atAbut := p.Cells[mover].X
+	if err := p.MoveCell(mover, 1); err == nil {
+		t.Fatal("overlapping move accepted")
+	}
+	if p.Cells[mover].X != atAbut { //lint:allow floateq a rejected move must not change a single bit
+		t.Error("failed move mutated the placement")
+	}
+
+	if err := p.MoveCell(-1, 10); err == nil {
+		t.Error("out-of-range instance accepted")
+	}
+	if err := p.MoveCell(0, -1e9); err == nil {
+		t.Error("move far past the row start accepted")
+	}
+}
+
+func TestSwapMaster(t *testing.T) {
+	p := placeBench(t, "c432", Options{})
+	inv2 := lib.MustCell("INVX2")
+	nand2 := lib.MustCell("NAND2X1")
+
+	// Find an INVX1 with enough right slack to grow into an INVX2.
+	target := -1
+	for i := range p.Cells {
+		if p.Cells[i].Cell.Name != "INVX1" {
+			continue
+		}
+		if _, right, _, rg := p.Neighbors(i); right < 0 || rg >= inv2.Width-p.Cells[i].Cell.Width {
+			target = i
+			break
+		}
+	}
+	if target < 0 {
+		t.Fatal("no INVX1 with room to grow")
+	}
+	if err := p.SwapMaster(target, nand2); err == nil {
+		t.Error("pin-count-mismatched swap accepted")
+	}
+	if err := p.SwapMaster(target, inv2); err != nil {
+		t.Fatalf("legal swap rejected: %v", err)
+	}
+	if p.Cells[target].Cell.Name != "INVX2" || p.Netlist.Instances[target].Cell != "INVX2" {
+		t.Error("swap did not update both placement and netlist")
+	}
+	if err := p.Verify(); err != nil {
+		t.Errorf("placement illegal after legal swap: %v", err)
+	}
+	if err := p.Netlist.Validate(lib); err != nil {
+		t.Errorf("netlist invalid after swap: %v", err)
+	}
+
+	// A swap that overruns the right neighbor must be rejected untouched.
+	squeezed := -1
+	for i := range p.Cells {
+		if p.Cells[i].Cell.Name != "INVX1" {
+			continue
+		}
+		if _, right, _, rg := p.Neighbors(i); right >= 0 && rg < inv2.Width-p.Cells[i].Cell.Width {
+			squeezed = i
+			break
+		}
+	}
+	if squeezed >= 0 {
+		if err := p.SwapMaster(squeezed, inv2); err == nil {
+			t.Error("overrunning swap accepted")
+		}
+		if p.Cells[squeezed].Cell.Name != "INVX1" {
+			t.Error("failed swap mutated the placement")
+		}
+	}
+	if err := p.SwapMaster(len(p.Cells), inv2); err == nil {
+		t.Error("out-of-range instance accepted")
+	}
+}

@@ -90,8 +90,12 @@ type cdCall struct {
 }
 
 func (c *cdCache) shardFor(key string) *cdShard {
+	return &c.shards[c.shardIndex(key)]
+}
+
+func (c *cdCache) shardIndex(key string) int {
 	c.seedOnce.Do(func() { c.seed = maphash.MakeSeed() })
-	return &c.shards[maphash.String(c.seed, key)&(cacheShards-1)]
+	return int(maphash.String(c.seed, key) & (cacheShards - 1))
 }
 
 // do returns the cached result for key, or runs sim (at most once per key

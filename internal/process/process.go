@@ -246,6 +246,23 @@ func condKey(env Env, defocus, dose float64) string {
 		env.Key(), int64(math.Round(defocus*4)), int64(math.Round(dose*4000)))
 }
 
+// CondKey exposes the cache key of a (environment, defocus, dose) triple:
+// two lookups share a cache entry iff their CondKeys are equal. The
+// incremental edit layer uses it to decide which gates an edit actually
+// perturbed — an unchanged key is guaranteed to return unchanged bytes.
+func CondKey(env Env, defocus, dose float64) string { return condKey(env, defocus, dose) }
+
+// NumShards is the shard count of the printed-CD cache.
+const NumShards = cacheShards
+
+// ShardIndex reports which cache shard the given triple's entry lives in.
+// Shard assignment is stable within one Process (it hashes with the
+// cache's per-instance seed) but not across processes or runs; it exists
+// so tests can assert that a workload actually spreads over shards.
+func (p *Process) ShardIndex(env Env, defocus, dose float64) int {
+	return p.cache.shardIndex(condKey(env, defocus, dose))
+}
+
 // simulateCD is the uncached aerial-image simulation behind PrintCDCond: a
 // pure function of (env, defocus, dose) — the determinism the concurrent
 // cache relies on.

@@ -1,0 +1,310 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"svtiming/internal/core"
+	"svtiming/internal/expt"
+	"svtiming/internal/incr"
+	"svtiming/internal/obs"
+	"svtiming/internal/place"
+)
+
+// The /v1/edit surface: resident incremental re-timing sessions.
+//
+// A session is keyed by the canonical encoding of its (single-benchmark)
+// core.Request — the same identity the determinism contract is stated
+// over — so two clients posting equal-canonical requests share one
+// session, exactly as they share one warm flow. The first edit request
+// for a key with "create": true opens the session (prepared design, full
+// mask solve, six retained engines); subsequent requests Apply their
+// edit against the retained state, re-simulating only the dirty region.
+// Every response carries the per-session manifest, whose "incr" block
+// tallies the engine's work (edits, gates re-simulated, cones
+// re-propagated, graceful full rebuilds) — the serving-layer view of the
+// byte-identical-to-rebuild contract pinned by internal/incr's
+// differential harness.
+//
+// Sessions serialize their edits (core.Session is not concurrent-safe):
+// concurrent posts against one key queue on the session lock, each
+// observing the state its predecessors left. Distinct sessions proceed
+// in parallel. A session whose edit breaks mid-mutation (post-mutation
+// failure) is dropped from the cache — the retained state is no longer
+// trustworthy — and the next create reopens it from scratch; beyond
+// Config.MaxSessions the oldest session is evicted FIFO, mirroring the
+// flow cache.
+
+// EditRequest is the /v1/edit request body: the session identity (a
+// core.Request restricted to exactly one benchmark) plus the edit to
+// apply. An absent edit is a probe: it returns the session's current row
+// and manifest without mutating anything. Create opens the session if it
+// is not resident; without it, a miss is 404 rather than an expensive
+// implicit build.
+type EditRequest struct {
+	core.Request
+	Create bool `json:"create,omitempty"`
+	// Edit is one incr.Edit object, decoded strictly (unknown fields and
+	// trailing bytes reject with 400). Kept raw here so the edit schema
+	// stays owned by internal/incr.
+	Edit json.RawMessage `json:"edit,omitempty"`
+}
+
+// EditResponse is the /v1/edit answer. Session echoes the canonical
+// session key (the identity to resend for follow-up edits); Delta is the
+// applied edit's recomputation record (absent on probes); Row is the
+// session's current comparison row; Manifest is the per-session
+// golden-mode manifest, identical bytes for identical edit histories
+// regardless of concurrency elsewhere in the server. Error responses use
+// the service-wide Response schema instead — one error decoder for the
+// whole surface.
+type EditResponse struct {
+	Status   int              `json:"status"`
+	Session  string           `json:"session"`
+	Created  bool             `json:"created,omitempty"`
+	Seq      int              `json:"seq"`
+	Row      core.Comparison  `json:"row"`
+	Delta    *core.Delta      `json:"delta,omitempty"`
+	Faults   []Fault          `json:"faults,omitempty"`
+	Manifest *obs.RunManifest `json:"manifest,omitempty"`
+}
+
+// Encode renders the canonical edit-response bytes: compact JSON plus
+// one trailing newline, the same convention as Response.Encode.
+func (r *EditResponse) Encode() ([]byte, error) {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// sessionEntry is one resident (or in-flight) edit session. ready closes
+// when sess/err are set; mu serializes Apply calls afterwards. reg is
+// the session's private golden-mode registry: its incr_* counters are a
+// pure function of the session's edit history, so the manifest rendered
+// from it is deterministic per history, never contaminated by other
+// sessions or the shared caches.
+type sessionEntry struct {
+	ready chan struct{}
+	sess  *core.Session
+	reg   *obs.Registry
+	err   error
+
+	mu sync.Mutex
+}
+
+// handleEdit serves POST /v1/edit. It shares the run/batch admission
+// gate and drain refusal (a mid-drain edit is 503 + Retry-After like any
+// other mutating request) and the accepted/shed/drained/broken/completed
+// accounting partition.
+func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
+	start := expt.Now().UnixNano()
+	s.accepted.Inc()
+	if !s.admit(r.Context(), w, start) {
+		return
+	}
+	defer s.adm.release()
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		s.finish(w, start, &Response{Status: StatusTooLarge, Error: "request body: " + err.Error()})
+		return
+	}
+	var er EditRequest
+	if err := strictUnmarshal(body, &er); err != nil {
+		s.finish(w, start, &Response{Status: StatusInvalid, Error: err.Error()})
+		return
+	}
+	req, err := s.withDefaults(er.Request).Normalized()
+	if err != nil {
+		s.finish(w, start, &Response{Status: StatusInvalid, Error: err.Error()})
+		return
+	}
+	if len(req.Benchmarks) != 1 {
+		s.finish(w, start, &Response{Status: StatusInvalid,
+			Error: "benchmarks: an edit session holds exactly one benchmark, got " + strconv.Itoa(len(req.Benchmarks))})
+		return
+	}
+	keyBytes, err := req.Canonical()
+	if err != nil {
+		s.finish(w, start, &Response{Status: StatusInvalid, Error: err.Error()})
+		return
+	}
+	key := string(keyBytes)
+
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+
+	e, created, err := s.session(key, req, er.Create)
+	if err != nil {
+		s.finish(w, start, &Response{Status: StatusNoSession, Error: err.Error()})
+		return
+	}
+	select {
+	case <-e.ready:
+	case <-ctx.Done():
+		s.finish(w, start, &Response{Status: StatusTimeout, Error: ctx.Err().Error(),
+			Progress: &Progress{Stage: "session-open", Done: 0, Total: 1}})
+		return
+	}
+	if e.err != nil {
+		resp := &Response{Status: statusForError(e.err), Error: e.err.Error()}
+		var open *BreakerOpenError
+		if errors.As(e.err, &open) {
+			resp.broken = true
+		}
+		s.finish(w, start, resp)
+		return
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := &EditResponse{Status: StatusClean, Session: key, Created: created}
+
+	if len(er.Edit) > 0 {
+		ed, err := incr.DecodeEdit(er.Edit)
+		if err != nil {
+			s.finish(w, start, &Response{Status: StatusInvalid, Error: "edit: " + err.Error()})
+			return
+		}
+		delta, err := e.sess.Apply(ctx, ed)
+		if err != nil {
+			if e.sess.Broken() != nil {
+				// The retained state is no longer trustworthy; drop the
+				// session so the next create rebuilds from scratch.
+				s.dropSession(key, e)
+			}
+			var re *core.RequestError
+			if errors.As(err, &re) {
+				s.finish(w, start, &Response{Status: StatusInvalid, Error: err.Error()})
+				return
+			}
+			s.finish(w, start, &Response{Status: statusForError(err), Error: err.Error()})
+			return
+		}
+		out.Delta = &delta
+		if delta.Degraded {
+			out.Status = StatusDegraded
+			out.Faults = faultsOf(delta.Faults)
+		}
+	}
+
+	out.Seq = e.sess.Seq()
+	out.Row = e.sess.Row()
+	bench := req.Benchmarks[0]
+	m := expt.Manifest("svtimingd-edit", map[string]string{
+		"circuit":       bench,
+		"engine":        req.Engine,
+		"kernel-budget": strconv.FormatFloat(req.KernelBudget, 'g', -1, 64),
+		"on-fault":      req.OnFault,
+	}, req.Benchmarks, e.reg, nil)
+	m.Seeds = map[string]int64{bench: place.SeedFor(bench)}
+	out.Manifest = &m
+	s.finishEdit(w, start, out)
+}
+
+// session returns the resident entry for key, opening it (create) or
+// refusing (no create, miss). The caller waits on ready with its own
+// context; the build itself runs on a background context so an impatient
+// first client leaves the session resident for the next, mirroring the
+// flow cache's build semantics.
+func (s *Server) session(key string, req core.Request, create bool) (*sessionEntry, bool, error) {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	if e, ok := s.sessions[key]; ok {
+		return e, false, nil
+	}
+	if !create {
+		return nil, false, errors.New("no resident session for this request; resend with \"create\": true")
+	}
+	e := &sessionEntry{ready: make(chan struct{}), reg: obs.New()}
+	s.sessions[key] = e
+	s.sessOrder = append(s.sessOrder, key)
+	s.sessionsOpened.Inc()
+	for len(s.sessOrder) > s.cfg.MaxSessions {
+		delete(s.sessions, s.sessOrder[0])
+		s.sessOrder = s.sessOrder[1:]
+		s.sessionEvicts.Inc()
+	}
+	//lint:allow nakedgo singleflight session open: the session must outlive this request so later edits find it resident; pool semantics would tie it to one caller
+	go s.openSession(e, key, req)
+	return e, true, nil
+}
+
+// openSession builds the session behind an entry: warm flow (shared
+// cache, breaker-gated), a flow copy bound to the request on the
+// session's private registry, then the full cold build (mask solve + six
+// engines). A failed open is removed from the cache so a later create
+// can retry.
+func (s *Server) openSession(e *sessionEntry, key string, req core.Request) {
+	defer close(e.ready)
+	base, err := s.flow(context.Background(), req) //lint:allow ctxflow session opens outlive their first requester by design: an impatient client must not cancel the open for later edits
+	if err != nil {
+		e.err = err
+		s.dropSession(key, e)
+		return
+	}
+	fl := *base
+	fl.Obs = e.reg
+	fl.Parallelism = s.workers
+	fl.InjectHook = s.hook
+	if err := req.Bind(&fl); err != nil {
+		e.err = err
+		s.dropSession(key, e)
+		return
+	}
+	e.sess, e.err = fl.Begin(context.Background(), req.Benchmarks[0]) //lint:allow ctxflow same root as the flow build above: the session is shared warm state, not one request's work
+	if e.err != nil {
+		s.dropSession(key, e)
+	}
+}
+
+// dropSession removes the entry from the cache if it is still the
+// resident one for key (a concurrent evict-and-reopen must not lose the
+// newer session).
+func (s *Server) dropSession(key string, e *sessionEntry) {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	if s.sessions[key] != e {
+		return
+	}
+	delete(s.sessions, key)
+	for i, k := range s.sessOrder {
+		if k == key {
+			s.sessOrder = append(s.sessOrder[:i], s.sessOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// Sessions reports the number of resident edit sessions (including
+// in-flight opens).
+func (s *Server) Sessions() int {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	return len(s.sessions)
+}
+
+// finishEdit settles an admitted edit request that produced an edit
+// response: completed bucket, canonical bytes, shared telemetry.
+func (s *Server) finishEdit(w http.ResponseWriter, start int64, resp *EditResponse) {
+	s.completed.Inc()
+	b, err := resp.Encode()
+	if err != nil {
+		s.writeResponse(w, &Response{Status: StatusInternal, Error: "encode: " + err.Error()})
+		s.observe(start, StatusInternal)
+		return
+	}
+	writeJSON(w, resp.Status, b)
+	s.observe(start, resp.Status)
+}

@@ -1,0 +1,263 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"svtiming/internal/core"
+	"svtiming/internal/fault/inject"
+	"svtiming/internal/obs"
+)
+
+// TestEditGoldenResponses pins the /v1/edit wire format the same way
+// TestGoldenResponses pins run/batch: each request fixture must render
+// exactly the stored response bytes — the canonical EditResponse
+// encoding, the Delta tallies of the pinned edit, and the per-session
+// manifest with its incr block. The degraded and drain rows run on
+// dedicated servers so the staging (an armed injection hook, a draining
+// gate) cannot leak into the shared warm server. Regenerate with
+// `go test ./internal/service -run TestEditGolden -update`.
+func TestEditGoldenResponses(t *testing.T) {
+	cases := []struct {
+		name  string
+		want  int
+		drive func(t *testing.T) *httptest.ResponseRecorder
+	}{
+		{"edit_clean", StatusClean, func(t *testing.T) *httptest.ResponseRecorder {
+			reqBody, err := os.ReadFile(filepath.Join("testdata", "edit_clean.request.json"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return post(testServer(t), "/v1/edit", string(reqBody))
+		}},
+		{"edit_degraded", StatusDegraded, func(t *testing.T) *httptest.ResponseRecorder {
+			// A dedicated server: the injection hook is armed on the session's
+			// flow at open time and lives as long as the session, so parking
+			// it on the shared server would poison later tests.
+			s := New(Config{Registry: obs.New()})
+			s.hook = new(inject.Plan).InjectNaN("edit", 0).Hook()
+			reqBody, err := os.ReadFile(filepath.Join("testdata", "edit_degraded.request.json"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return post(s, "/v1/edit", string(reqBody))
+		}},
+		{"edit_no_session", StatusNoSession, func(t *testing.T) *httptest.ResponseRecorder {
+			reqBody, err := os.ReadFile(filepath.Join("testdata", "edit_no_session.request.json"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return post(testServer(t), "/v1/edit", string(reqBody))
+		}},
+		{"edit_drain", StatusUnavailable, func(t *testing.T) *httptest.ResponseRecorder {
+			s := New(Config{Registry: obs.New()})
+			s.StartDrain()
+			reqBody, err := os.ReadFile(filepath.Join("testdata", "edit_drain.request.json"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := post(s, "/v1/edit", string(reqBody))
+			if rec.Header().Get("Retry-After") == "" {
+				t.Errorf("draining 503 missing Retry-After")
+			}
+			return rec
+		}},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := tc.drive(t)
+			if rec.Code != tc.want {
+				t.Fatalf("status %d, want %d: %s", rec.Code, tc.want, rec.Body.String())
+			}
+			goldenPath := filepath.Join("testdata", tc.name+".response.golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, rec.Body.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update)", err)
+			}
+			if !bytes.Equal(rec.Body.Bytes(), want) {
+				t.Errorf("response bytes diverge from %s:\n got %s\nwant %s\n(regenerate with -update and review)",
+					goldenPath, rec.Body.Bytes(), want)
+			}
+		})
+	}
+}
+
+// TestEditSessionLifecycle drives the session cache end to end on the
+// shared server: create via probe, edit against the resident session
+// (seq advances across requests — the state really is retained), 404
+// without create for a different key, FIFO eviction beyond MaxSessions
+// on a dedicated small server.
+func TestEditSessionLifecycle(t *testing.T) {
+	s := testServer(t)
+	// c432 with an explicit wire-cap override: a canonical key no other
+	// test in the package opens, so the lifecycle owns its session. The
+	// key is the canonical request — server defaults merged and spelled
+	// out — so equal identities resolve to it from any spelling.
+	const key = `{"benchmarks":["c432"],"engine":"auto","on_fault":"fail-fast","wire_cap_per_um":0.19}`
+
+	var probe EditResponse
+	rec := post(s, "/v1/edit", `{"benchmarks":["c432"],"wire_cap_per_um":0.19,"create":true}`)
+	if rec.Code != StatusClean {
+		t.Fatalf("create probe: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &probe); err != nil {
+		t.Fatal(err)
+	}
+	if !probe.Created || probe.Seq != 0 || probe.Delta != nil {
+		t.Fatalf("create probe: created=%v seq=%d delta=%v, want created 0 nil", probe.Created, probe.Seq, probe.Delta)
+	}
+	if probe.Session == "" {
+		t.Fatalf("create probe returned no session key")
+	}
+
+	var ed EditResponse
+	rec = post(s, "/v1/edit", `{"benchmarks":["c432"],"wire_cap_per_um":0.19,"edit":{"op":"move_cell","inst":3,"dx_nm":25}}`)
+	if rec.Code != StatusClean {
+		t.Fatalf("edit: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &ed); err != nil {
+		t.Fatal(err)
+	}
+	if ed.Created || ed.Seq != 1 || ed.Delta == nil || ed.Delta.Seq != 0 {
+		t.Fatalf("edit against resident session: created=%v seq=%d delta=%+v", ed.Created, ed.Seq, ed.Delta)
+	}
+	if ed.Session != probe.Session || ed.Session != key {
+		t.Fatalf("session key drifted: probe %q, edit %q, want %q", probe.Session, ed.Session, key)
+	}
+	if ed.Manifest == nil || ed.Manifest.Incr == nil || ed.Manifest.Incr.Edits != 1 {
+		t.Fatalf("edit manifest missing incr tally: %+v", ed.Manifest)
+	}
+
+	// An invalid edit rejects with 400 and leaves the session resident.
+	rec = post(s, "/v1/edit", `{"benchmarks":["c432"],"wire_cap_per_um":0.19,"edit":{"op":"move_cell","inst":9999,"dx_nm":1}}`)
+	if rec.Code != StatusInvalid {
+		t.Fatalf("out-of-range edit: status %d, want %d: %s", rec.Code, StatusInvalid, rec.Body.String())
+	}
+	rec = post(s, "/v1/edit", `{"benchmarks":["c432"],"wire_cap_per_um":0.19}`)
+	if rec.Code != StatusClean {
+		t.Fatalf("probe after rejected edit: status %d: %s", rec.Code, rec.Body.String())
+	}
+	var after EditResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &after); err != nil {
+		t.Fatal(err)
+	}
+	if after.Seq != 1 || after.Created {
+		t.Fatalf("probe after rejected edit: seq=%d created=%v, want 1 false", after.Seq, after.Created)
+	}
+
+	// A different canonical key without create is not resident.
+	rec = post(s, "/v1/edit", `{"benchmarks":["c432"],"wire_cap_per_um":0.21}`)
+	if rec.Code != StatusNoSession {
+		t.Fatalf("miss without create: status %d, want %d: %s", rec.Code, StatusNoSession, rec.Body.String())
+	}
+
+	// Multi-benchmark identities are rejected up front: a session holds
+	// exactly one prepared design.
+	rec = post(s, "/v1/edit", `{"benchmarks":["c17","c432"],"create":true}`)
+	if rec.Code != StatusInvalid {
+		t.Fatalf("two-benchmark session: status %d, want %d: %s", rec.Code, StatusInvalid, rec.Body.String())
+	}
+}
+
+// TestEditSessionEviction pins the FIFO cap: with MaxSessions 1, opening
+// a second session evicts the first, whose next editless request misses.
+func TestEditSessionEviction(t *testing.T) {
+	s := New(Config{Registry: obs.New(), MaxSessions: 1})
+	if rec := post(s, "/v1/edit", `{"benchmarks":["c17"],"create":true}`); rec.Code != StatusClean {
+		t.Fatalf("open first: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if rec := post(s, "/v1/edit", `{"benchmarks":["c17"],"on_fault":"collect","create":true}`); rec.Code != StatusClean {
+		t.Fatalf("open second: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := s.Sessions(); got != 1 {
+		t.Fatalf("resident sessions = %d, want 1 (FIFO cap)", got)
+	}
+	if rec := post(s, "/v1/edit", `{"benchmarks":["c17"]}`); rec.Code != StatusNoSession {
+		t.Fatalf("evicted session still resident: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := s.reg.CounterValue("service_edit_session_evictions"); got != 1 {
+		t.Fatalf("service_edit_session_evictions = %d, want 1", got)
+	}
+}
+
+// TestEditErrorPaths walks the /v1/edit failure taxonomy the goldens don't
+// reach: malformed bodies, unknown benchmarks, a session whose open fails
+// (the entry must leave the cache so a later create can retry), a client
+// deadline expiring while the open is still running, and a fail-fast
+// injected edit fault surfacing as 422 without breaking the session.
+func TestEditErrorPaths(t *testing.T) {
+	t.Run("malformed body", func(t *testing.T) {
+		if rec := post(testServer(t), "/v1/edit", `{"benchmarks":["c17"],`); rec.Code != StatusInvalid {
+			t.Fatalf("truncated JSON: status %d: %s", rec.Code, rec.Body.String())
+		}
+		if rec := post(testServer(t), "/v1/edit", `{"benchmarks":["c17"],"bogus":1}`); rec.Code != StatusInvalid {
+			t.Fatalf("unknown field: status %d: %s", rec.Code, rec.Body.String())
+		}
+	})
+
+	t.Run("unknown benchmark", func(t *testing.T) {
+		if rec := post(testServer(t), "/v1/edit", `{"benchmarks":["c999"],"create":true}`); rec.Code != StatusInvalid {
+			t.Fatalf("unknown benchmark: status %d: %s", rec.Code, rec.Body.String())
+		}
+	})
+
+	t.Run("failed open drops the entry", func(t *testing.T) {
+		s := New(Config{Registry: obs.New()})
+		s.construct = func(req core.Request) (*core.Flow, error) {
+			return nil, errors.New("synthetic construction failure")
+		}
+		rec := post(s, "/v1/edit", `{"benchmarks":["c17"],"create":true}`)
+		if rec.Code != StatusInternal {
+			t.Fatalf("failed open: status %d, want %d: %s", rec.Code, StatusInternal, rec.Body.String())
+		}
+		if got := s.Sessions(); got != 0 {
+			t.Fatalf("failed open left %d resident sessions, want 0", got)
+		}
+	})
+
+	t.Run("deadline during open", func(t *testing.T) {
+		s := New(Config{Registry: obs.New(), RequestTimeout: time.Millisecond})
+		rec := post(s, "/v1/edit", `{"benchmarks":["c432"],"create":true}`)
+		if rec.Code != StatusTimeout {
+			t.Fatalf("expired open wait: status %d, want %d: %s", rec.Code, StatusTimeout, rec.Body.String())
+		}
+		var resp Response
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Progress == nil || resp.Progress.Stage != "session-open" {
+			t.Fatalf("timeout response missing session-open progress: %s", rec.Body.String())
+		}
+	})
+
+	t.Run("fail-fast injected edit fault", func(t *testing.T) {
+		s := New(Config{Registry: obs.New()})
+		s.hook = new(inject.Plan).InjectNaN("edit", 0).Hook()
+		if rec := post(s, "/v1/edit", `{"benchmarks":["c17"],"create":true}`); rec.Code != StatusClean {
+			t.Fatalf("open: status %d: %s", rec.Code, rec.Body.String())
+		}
+		rec := post(s, "/v1/edit", `{"benchmarks":["c17"],"edit":{"op":"move_cell","inst":4,"dx_nm":40}}`)
+		if rec.Code != StatusFault {
+			t.Fatalf("fail-fast injected fault: status %d, want %d: %s", rec.Code, StatusFault, rec.Body.String())
+		}
+		// An injected fail-fast fault rejects before state mutates: the
+		// session stays resident and healthy for the next edit.
+		rec = post(s, "/v1/edit", `{"benchmarks":["c17"],"edit":{"op":"move_cell","inst":4,"dx_nm":40}}`)
+		if rec.Code != StatusClean {
+			t.Fatalf("edit after surfaced fault: status %d: %s", rec.Code, rec.Body.String())
+		}
+	})
+}

@@ -31,6 +31,7 @@ const (
 	StatusUnavailable = http.StatusServiceUnavailable    // draining, or circuit breaker open (+ Retry-After)
 	StatusTimeout     = http.StatusGatewayTimeout        // deadline or cancellation
 	StatusInternal    = http.StatusInternalServerError   // anything outside the taxonomy
+	StatusNoSession   = http.StatusNotFound              // /v1/edit against a non-resident session without "create"
 )
 
 // maxBodyBytes bounds request bodies; a request is a small JSON object,
@@ -133,6 +134,7 @@ type BatchResponse struct {
 //
 //	POST /v1/run        one Request  → one Response
 //	POST /v1/batch      {"requests":[...]} → {"responses":[...]}
+//	POST /v1/edit       one EditRequest → one EditResponse (resident incremental sessions)
 //	GET  /v1/benchmarks known benchmark names
 //	GET  /v1/metrics    full server-registry snapshot (schedule-dependent)
 //	GET  /v1/healthz    pure liveness + resident flow count
@@ -146,6 +148,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/edit", s.handleEdit)
 	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)

@@ -89,6 +89,9 @@ type Config struct {
 	MaxFlows int
 	// MaxBenchmarks caps the benchmarks of a single request (default 64).
 	MaxBenchmarks int
+	// MaxSessions caps the resident /v1/edit sessions; the oldest is
+	// evicted FIFO beyond it (default 8).
+	MaxSessions int
 	// MaxInflight caps the run/batch requests executing concurrently
 	// (default 256). A request beyond it waits in the admission queue.
 	MaxInflight int
@@ -124,6 +127,10 @@ type Server struct {
 	flows map[string]*flowEntry
 	order []string // insertion order, for FIFO eviction
 
+	sessMu    sync.Mutex
+	sessions  map[string]*sessionEntry // resident /v1/edit sessions by canonical request
+	sessOrder []string                 // insertion order, for FIFO eviction
+
 	adm       *admission
 	brk       *breaker
 	draining  atomic.Bool
@@ -145,6 +152,9 @@ type Server struct {
 	builds    *obs.Counter // service_flow_cache_builds (hits = lookups − builds)
 	evictions *obs.Counter // service_flow_cache_evictions
 	latency   *obs.Histogram
+
+	sessionsOpened *obs.Counter // service_edit_sessions_total
+	sessionEvicts  *obs.Counter // service_edit_session_evictions
 
 	// The accounting partition: every run/batch request increments
 	// accepted on arrival and exactly one of the other four on exit.
@@ -176,6 +186,9 @@ func New(cfg Config) *Server {
 	if cfg.MaxBenchmarks <= 0 {
 		cfg.MaxBenchmarks = 64
 	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 8
+	}
 	if cfg.MaxInflight <= 0 {
 		cfg.MaxInflight = 256
 	}
@@ -201,6 +214,7 @@ func New(cfg Config) *Server {
 		reg:       reg,
 		workers:   par.Workers(cfg.Parallelism),
 		flows:     map[string]*flowEntry{},
+		sessions:  map[string]*sessionEntry{},
 		adm:       newAdmission(cfg.MaxInflight, cfg.MaxQueue, cfg.QueueWait),
 		brk:       newBreaker(reg),
 		retrySecs: strconv.FormatInt(retry, 10),
@@ -215,6 +229,9 @@ func New(cfg Config) *Server {
 		drained:   reg.Counter("service_requests_drained_total"),
 		broken:    reg.Counter("service_requests_broken_total"),
 		completed: reg.Counter("service_requests_completed_total"),
+
+		sessionsOpened: reg.Counter("service_edit_sessions_total"),
+		sessionEvicts:  reg.Counter("service_edit_session_evictions"),
 		// Request latency in milliseconds; schedule-dependent by nature,
 		// so it belongs to /v1/metrics, never to a manifest.
 		latency: reg.Histogram("service_request_latency_ms",

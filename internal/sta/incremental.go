@@ -1,0 +1,301 @@
+package sta
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"svtiming/internal/fault"
+	"svtiming/internal/netlist"
+	"svtiming/internal/stdcell"
+)
+
+// Incremental is a retained-state timing engine for edit-driven analysis:
+// it holds the arrival/slew/load/winning-arc state of a completed analysis
+// and, given a set of dirty instances, re-propagates only their fan-out
+// cones in level order.
+//
+// Equivalence contract: after any Update, the engine's Report is
+// bit-identical to a from-scratch Analyze of the same netlist, model and
+// options. Two properties make that hold:
+//
+//   - The per-node evaluation is the same code (evalNode) Analyze runs, so
+//     a re-evaluated node computes exactly the bytes a cold pass would.
+//   - Propagation prunes on *bitwise* equality: a node whose recomputed
+//     arrival and slew are bit-identical to the stored values cannot change
+//     any downstream node, because every downstream evaluation is a pure
+//     function of (arrival, slew, load) values. Tolerance-based pruning
+//     would break the contract; Float64bits comparison is exact.
+//
+// The engine is not safe for concurrent use; callers running several
+// engines (one per corner) fan out with one goroutine per engine.
+type Incremental struct {
+	n     *netlist.Netlist
+	lib   *stdcell.Library
+	model Model
+	opt   Options // filled
+
+	order    []int
+	levels   []int
+	maxLevel int
+	driver   map[string]int   // net → driving instance
+	readers  map[string][]int // net → sink instances, ascending
+	poCount  map[string]int   // net → multiplicity in n.POs
+
+	load    map[string]float64
+	arrival map[string]float64
+	slew    map[string]float64
+	from    map[string]pred
+
+	rep *Report
+}
+
+// NewIncremental runs a full analysis of n under the model and retains the
+// propagation state for later incremental updates. The initial Report is
+// bit-identical to Analyze(n, lib, model, opt).
+func NewIncremental(n *netlist.Netlist, lib *stdcell.Library, model Model, opt Options) (*Incremental, error) {
+	opt.fill()
+	order, err := n.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	levels, err := n.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	inc := &Incremental{
+		n:       n,
+		lib:     lib,
+		model:   model,
+		opt:     opt,
+		order:   order,
+		levels:  levels,
+		driver:  n.DriverOf(),
+		readers: n.FanoutsOf(),
+		poCount: make(map[string]int, len(n.POs)),
+	}
+	for _, po := range n.POs {
+		inc.poCount[po]++
+	}
+	for _, lv := range levels {
+		if lv > inc.maxLevel {
+			inc.maxLevel = lv
+		}
+	}
+
+	inc.load, err = netLoads(n, lib, opt.Wire, opt.POLoad)
+	if err != nil {
+		return nil, err
+	}
+	inc.arrival = make(map[string]float64, len(n.Instances)+len(n.PIs))
+	inc.slew = make(map[string]float64, len(n.Instances)+len(n.PIs))
+	inc.from = make(map[string]pred, len(n.Instances))
+	for _, pi := range n.PIs {
+		inc.arrival[pi] = opt.PIArrival[pi]
+		inc.slew[pi] = opt.PISlew
+	}
+	for _, inst := range order {
+		g := n.Instances[inst]
+		at, sl, p, err := evalNode(n, model, inst, inc.load, inc.arrival, inc.slew)
+		if err != nil {
+			return nil, err
+		}
+		inc.arrival[g.Output] = at
+		inc.slew[g.Output] = sl
+		inc.from[g.Output] = p
+	}
+	if err := inc.finish(); err != nil {
+		return nil, err
+	}
+	return inc, nil
+}
+
+// Report returns the engine's current analysis result. The maps alias the
+// engine's live state: read or serialize them before the next Update.
+func (inc *Incremental) Report() *Report { return inc.rep }
+
+// Update re-evaluates the given dirty instances and walks their fan-out
+// cones in level order, terminating each branch early as soon as a
+// re-evaluated node's arrival and slew come back bit-identical to the
+// stored values. It returns the number of instances re-evaluated — the
+// size of the frontier walk, the engine's unit of "cone re-propagation"
+// work. Calling Update with the dirty set an edit actually perturbed
+// (changed arc tables, changed loads) is the caller's contract; the engine
+// then guarantees the result matches a cold analysis bitwise.
+func (inc *Incremental) Update(dirty []int) (int, error) {
+	buckets := make([][]int, inc.maxLevel+1)
+	queued := make([]bool, len(inc.n.Instances))
+	enqueue := func(i int) {
+		if !queued[i] {
+			queued[i] = true
+			lv := inc.levels[i]
+			buckets[lv] = append(buckets[lv], i)
+		}
+	}
+	for _, i := range dirty {
+		if i < 0 || i >= len(inc.n.Instances) {
+			return 0, fmt.Errorf("sta: dirty instance %d out of range [0,%d)", i, len(inc.n.Instances))
+		}
+		enqueue(i)
+	}
+
+	count := 0
+	for lv := 0; lv <= inc.maxLevel; lv++ {
+		b := buckets[lv]
+		// Within a level, nodes are independent (their fanins are all at
+		// lower levels); sorting only pins which error surfaces first when
+		// several nodes fail.
+		sort.Ints(b)
+		for _, i := range b {
+			at, sl, p, err := evalNode(inc.n, inc.model, i, inc.load, inc.arrival, inc.slew)
+			if err != nil {
+				return count, err
+			}
+			count++
+			out := inc.n.Instances[i].Output
+			changed := math.Float64bits(inc.arrival[out]) != math.Float64bits(at) ||
+				math.Float64bits(inc.slew[out]) != math.Float64bits(sl)
+			inc.arrival[out] = at
+			inc.slew[out] = sl
+			inc.from[out] = p
+			if changed {
+				for _, r := range inc.readers[out] {
+					enqueue(r)
+				}
+			}
+		}
+	}
+	if err := inc.finish(); err != nil {
+		return count, err
+	}
+	return count, nil
+}
+
+// UpdateLoads recomputes every net load from the engine's wire model —
+// placement-derived models (HPWLWire) read live cell coordinates, so call
+// this after the placement moved — and returns the sorted instance indices
+// whose output-net load changed bitwise. Those drivers are exactly the
+// seeds a subsequent Update needs on top of any arc-table dirt; an
+// unchanged-bits load cannot alter any evaluation.
+func (inc *Incremental) UpdateLoads() ([]int, error) {
+	load, err := netLoads(inc.n, inc.lib, inc.opt.Wire, inc.opt.POLoad)
+	if err != nil {
+		return nil, err
+	}
+	var dirty []int
+	// netLoads derives its key set from the netlist structure alone, so old
+	// and new maps cover the same nets; collect changed drivers, then sort
+	// (map order is not part of the result).
+	for net, v := range load {
+		if math.Float64bits(v) != math.Float64bits(inc.load[net]) {
+			if d, ok := inc.driver[net]; ok {
+				dirty = append(dirty, d)
+			}
+		}
+	}
+	sort.Ints(dirty)
+	inc.load = load
+	return dirty, nil
+}
+
+// UpdateLoadsFor is UpdateLoads restricted to the nets incident on the
+// given instances — an edit that moved or resized only those instances can
+// have changed only those nets' loads (a net's load reads the positions,
+// masters and pin caps of exactly its own pins). Each net recomputes with
+// the same accumulation order netLoads uses — PO load first, sink pin caps
+// in ascending instance order, wire estimate last — so the stored load map
+// stays bit-identical to a full recompute, and the returned dirty drivers
+// are exactly the set UpdateLoads would report.
+func (inc *Incremental) UpdateLoadsFor(insts []int) ([]int, error) {
+	touched := make(map[string]bool, 4*len(insts))
+	for _, i := range insts {
+		if i < 0 || i >= len(inc.n.Instances) {
+			return nil, fmt.Errorf("sta: dirty instance %d out of range [0,%d)", i, len(inc.n.Instances))
+		}
+		g := inc.n.Instances[i]
+		for _, in := range g.Inputs {
+			touched[in] = true
+		}
+		touched[g.Output] = true
+	}
+	nets := make([]string, 0, len(touched))
+	for net := range touched {
+		nets = append(nets, net)
+	}
+	sort.Strings(nets)
+	var dirty []int
+	for _, net := range nets {
+		v, err := inc.netLoad(net)
+		if err != nil {
+			return nil, err
+		}
+		if math.Float64bits(v) != math.Float64bits(inc.load[net]) {
+			inc.load[net] = v
+			if d, ok := inc.driver[net]; ok {
+				dirty = append(dirty, d)
+			}
+		}
+	}
+	sort.Ints(dirty)
+	return dirty, nil
+}
+
+// netLoad computes one net's total load in netLoads' accumulation order.
+// Nets with no sinks take no wire estimate, mirroring netLoads' sink-keyed
+// wire loop; PO load adds once per appearance in n.POs, as the += loop
+// there does (k sequential additions, not one k-fold product — float
+// addition order is part of the bit-identity contract).
+func (inc *Incremental) netLoad(net string) (float64, error) {
+	var v float64
+	for j := 0; j < inc.poCount[net]; j++ {
+		v += inc.opt.POLoad
+	}
+	sinks := inc.readers[net]
+	for _, s := range sinks {
+		c, err := inc.lib.Cell(inc.n.Instances[s].Cell)
+		if err != nil {
+			return 0, err
+		}
+		v += c.PinCap
+	}
+	if len(sinks) > 0 {
+		drv := -1
+		if d, ok := inc.driver[net]; ok {
+			drv = d
+		}
+		v += inc.opt.Wire.NetCap(net, drv, sinks)
+	}
+	return v, nil
+}
+
+// finish rebuilds the derived views — worst PO, required times, critical
+// path — from the retained forward state. These are cheap pure functions of
+// that state and are recomputed whole, matching Analyze byte for byte.
+func (inc *Incremental) finish() error {
+	n := inc.n
+	rep := &Report{
+		Arrival:   inc.arrival,
+		Slew:      inc.slew,
+		Load:      inc.load,
+		MaxDelay:  math.Inf(-1),
+		NumGates:  n.NumGates(),
+		NumLevels: inc.maxLevel,
+	}
+	for _, po := range n.POs {
+		if at := inc.arrival[po]; at > rep.MaxDelay {
+			rep.MaxDelay = at
+			rep.WorstPO = po
+		}
+	}
+	if math.IsInf(rep.MaxDelay, -1) {
+		return fmt.Errorf("sta: netlist %s has no primary outputs", n.Name)
+	}
+	if err := fault.Finite("max delay", rep.MaxDelay,
+		fault.Coord{Stage: "sta", Index: -1, Item: n.Name}); err != nil {
+		return err
+	}
+	rep.Required = requiredTimes(n, inc.order, inc.from, rep.MaxDelay)
+	rep.Crit = tracePath(n, inc.from, rep.WorstPO, inc.arrival)
+	inc.rep = rep
+	return nil
+}

@@ -1,0 +1,265 @@
+package sta
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"svtiming/internal/liberty"
+	"svtiming/internal/netlist"
+	"svtiming/internal/place"
+)
+
+// mutModel is a per-instance-delay model the tests mutate between updates.
+type mutModel struct {
+	delay []float64
+	slew  float64
+}
+
+func (m *mutModel) ArcTables(inst, pin int) (liberty.Table, liberty.Table, error) {
+	mk := func(v float64) liberty.Table {
+		return liberty.Sample([]float64{1, 1000}, []float64{0.1, 1000},
+			func(_, _ float64) float64 { return v })
+	}
+	return mk(m.delay[inst]), mk(m.slew), nil
+}
+
+// sameReport asserts two reports are identical field by field (DeepEqual is
+// exact on float64s, which is the contract: bit-identical, not close).
+func sameReport(t *testing.T, got, want *Report) {
+	t.Helper()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("incremental report diverged from cold analysis:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestIncrementalMatchesAnalyzeCold(t *testing.T) {
+	for _, name := range []string{"c17", "c432"} {
+		nl := netlist.MustGenerate(lib, name)
+		m := constModel{delay: 10, slew: 20}
+		want, err := Analyze(nl, lib, m, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inc, err := NewIncremental(nl, lib, m, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameReport(t, inc.Report(), want)
+	}
+}
+
+func TestIncrementalUpdateMatchesAnalyze(t *testing.T) {
+	nl := netlist.MustGenerate(lib, "c432")
+	rng := rand.New(rand.NewSource(9))
+	m := &mutModel{delay: make([]float64, len(nl.Instances)), slew: 20}
+	for i := range m.delay {
+		m.delay[i] = 5 + 15*rng.Float64()
+	}
+	inc, err := NewIncremental(nl, lib, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 25; round++ {
+		// Perturb a random handful of instances' arc delays.
+		k := 1 + rng.Intn(4)
+		dirty := make([]int, 0, k)
+		for j := 0; j < k; j++ {
+			i := rng.Intn(len(nl.Instances))
+			m.delay[i] = 5 + 15*rng.Float64()
+			dirty = append(dirty, i)
+		}
+		if _, err := inc.Update(dirty); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		want, err := Analyze(nl, lib, m, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameReport(t, inc.Report(), want)
+	}
+}
+
+func TestIncrementalEarlyTermination(t *testing.T) {
+	// Nothing actually changed: re-evaluating dirty nodes yields the stored
+	// bits, so the walk must stop at exactly the dirty set.
+	nl := netlist.MustGenerate(lib, "c432")
+	inc, err := NewIncremental(nl, lib, constModel{delay: 10, slew: 20}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty := []int{0, 7, 7, 40} // duplicates collapse
+	nEval, err := inc.Update(dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nEval != 3 {
+		t.Errorf("no-op update re-evaluated %d nodes, want exactly the 3 distinct dirty ones", nEval)
+	}
+
+	// A real change at a deep fan-in must walk more than the dirty set but
+	// never more than the whole netlist.
+	m := &mutModel{delay: make([]float64, len(nl.Instances)), slew: 20}
+	for i := range m.delay {
+		m.delay[i] = 10
+	}
+	inc2, err := NewIncremental(nl, lib, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.delay[0] = 30
+	nEval, err = inc2.Update([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nEval <= 1 {
+		t.Errorf("changed arc re-evaluated only %d nodes; its cone cannot be empty", nEval)
+	}
+	if nEval > len(nl.Instances) {
+		t.Errorf("re-evaluated %d nodes, more than the %d in the netlist", nEval, len(nl.Instances))
+	}
+}
+
+func TestIncrementalUpdateLoads(t *testing.T) {
+	nl := netlist.MustGenerate(lib, "c432")
+	p, err := place.Place(nl, lib, place.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Wire: HPWLWire{Placement: p, CapPerUm: 0.2, MinCap: 1.0}}
+	inc, err := NewIncremental(nl, lib, loadModel{}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// No movement: no load changes.
+	dirty, err := inc.UpdateLoads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirty) != 0 {
+		t.Fatalf("unmoved placement produced %d dirty drivers", len(dirty))
+	}
+
+	// Move a cell and re-converge: the result must match a cold analysis of
+	// the moved placement. Pick an instance whose output net has instance
+	// sinks (only such nets carry wire load), and move it far enough to
+	// stretch the net's bounding box.
+	fan := nl.FanoutsOf()
+	mover := -1
+	for i, g := range nl.Instances {
+		if len(fan[g.Output]) > 0 {
+			mover = i
+			break
+		}
+	}
+	if mover < 0 {
+		t.Fatal("no instance with fanout")
+	}
+	p.Cells[mover].X += 50000
+	dirty, err = inc.UpdateLoads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirty) == 0 {
+		t.Fatal("moving a cell under HPWL wire changed no loads")
+	}
+	if _, err := inc.Update(dirty); err != nil {
+		t.Fatal(err)
+	}
+	want, err := Analyze(nl, lib, loadModel{}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameReport(t, inc.Report(), want)
+}
+
+func TestIncrementalUpdateErrors(t *testing.T) {
+	nl := chain(3)
+	inc, err := NewIncremental(nl, lib, constModel{delay: 10, slew: 20}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.Update([]int{-1}); err == nil {
+		t.Error("negative dirty index accepted")
+	}
+	if _, err := inc.Update([]int{len(nl.Instances)}); err == nil {
+		t.Error("out-of-range dirty index accepted")
+	}
+	if _, err := NewIncremental(nl, lib, errModel{}, Options{}); err == nil {
+		t.Error("model error not propagated at construction")
+	}
+}
+
+func TestIncrementalUpdateLoadsForMatchesFull(t *testing.T) {
+	// Two engines over the same moved placement: one recomputes every net
+	// (UpdateLoads), the other only the nets incident on the moved
+	// instance (UpdateLoadsFor). The restricted path must report the same
+	// dirty drivers and leave a bit-identical load map — the edit
+	// fast-path's claim that untouched nets cannot have moved.
+	nl := netlist.MustGenerate(lib, "c432")
+	p, err := place.Place(nl, lib, place.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Wire: HPWLWire{Placement: p, CapPerUm: 0.2, MinCap: 1.0}}
+	full, err := NewIncremental(nl, lib, loadModel{}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restricted, err := NewIncremental(nl, lib, loadModel{}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An unmoved placement dirties nothing on either path.
+	dirty, err := restricted.UpdateLoadsFor([]int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirty) != 0 {
+		t.Fatalf("unmoved placement produced %d dirty drivers", len(dirty))
+	}
+
+	fan := nl.FanoutsOf()
+	mover := -1
+	for i, g := range nl.Instances {
+		if len(fan[g.Output]) > 0 {
+			mover = i
+			break
+		}
+	}
+	if mover < 0 {
+		t.Fatal("no instance with fanout")
+	}
+	p.Cells[mover].X += 50000
+
+	wantDirty, err := full.UpdateLoads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotDirty, err := restricted.UpdateLoadsFor([]int{mover})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotDirty, wantDirty) {
+		t.Fatalf("restricted dirty drivers %v, full recompute %v", gotDirty, wantDirty)
+	}
+	if len(wantDirty) == 0 {
+		t.Fatal("moving a cell under HPWL wire changed no loads")
+	}
+	if _, err := full.Update(wantDirty); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := restricted.Update(gotDirty); err != nil {
+		t.Fatal(err)
+	}
+	sameReport(t, restricted.Report(), full.Report())
+
+	if _, err := restricted.UpdateLoadsFor([]int{-1}); err == nil {
+		t.Error("negative instance accepted")
+	}
+	if _, err := restricted.UpdateLoadsFor([]int{len(nl.Instances)}); err == nil {
+		t.Error("out-of-range instance accepted")
+	}
+}

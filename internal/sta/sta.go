@@ -128,31 +128,13 @@ func Analyze(n *netlist.Netlist, lib *stdcell.Library, model Model, opt Options)
 		if levels[inst] > maxLevel {
 			maxLevel = levels[inst]
 		}
-		outLoad := load[g.Output]
-		bestAT := math.Inf(-1)
-		var bestSlew, bestDelay float64
-		bestPin := -1
-		for pin, in := range g.Inputs {
-			inAT, ok := arrival[in]
-			if !ok {
-				return nil, fmt.Errorf("sta: net %q has no arrival at %s", in, g.Name)
-			}
-			dTab, sTab, err := model.ArcTables(inst, pin)
-			if err != nil {
-				return nil, err
-			}
-			d := dTab.At(slew[in], outLoad)
-			at := inAT + d
-			if at > bestAT {
-				bestAT = at
-				bestSlew = sTab.At(slew[in], outLoad)
-				bestDelay = d
-				bestPin = pin
-			}
+		at, sl, p, err := evalNode(n, model, inst, load, arrival, slew)
+		if err != nil {
+			return nil, err
 		}
-		arrival[g.Output] = bestAT
-		slew[g.Output] = bestSlew
-		from[g.Output] = pred{inst: inst, pin: bestPin, delay: bestDelay}
+		arrival[g.Output] = at
+		slew[g.Output] = sl
+		from[g.Output] = p
 	}
 
 	rep := &Report{
@@ -182,7 +164,7 @@ func Analyze(n *netlist.Netlist, lib *stdcell.Library, model Model, opt Options)
 	}
 
 	// Required times: backward pass from the MaxDelay constraint.
-	rep.Required = requiredTimes(n, from, rep.MaxDelay)
+	rep.Required = requiredTimes(n, order, from, rep.MaxDelay)
 
 	// Critical path: trace predecessors from the worst PO.
 	rep.Crit = tracePath(n, from, rep.WorstPO, arrival)
@@ -195,14 +177,46 @@ type pred struct {
 	delay     float64
 }
 
-func requiredTimes(n *netlist.Netlist, from map[string]pred, constraint float64) map[string]float64 {
+// evalNode computes one instance's output arrival, output slew and winning
+// arc from the current arrival/slew/load state. It is the single per-node
+// evaluation shared by Analyze's forward pass and Incremental's frontier
+// walk: sharing it is what makes an incremental update bit-identical to a
+// from-scratch analysis.
+func evalNode(n *netlist.Netlist, model Model, inst int,
+	load, arrival, slew map[string]float64) (float64, float64, pred, error) {
+	g := n.Instances[inst]
+	outLoad := load[g.Output]
+	bestAT := math.Inf(-1)
+	var bestSlew, bestDelay float64
+	bestPin := -1
+	for pin, in := range g.Inputs {
+		inAT, ok := arrival[in]
+		if !ok {
+			return 0, 0, pred{}, fmt.Errorf("sta: net %q has no arrival at %s", in, g.Name)
+		}
+		dTab, sTab, err := model.ArcTables(inst, pin)
+		if err != nil {
+			return 0, 0, pred{}, err
+		}
+		d := dTab.At(slew[in], outLoad)
+		at := inAT + d
+		if at > bestAT {
+			bestAT = at
+			bestSlew = sTab.At(slew[in], outLoad)
+			bestDelay = d
+			bestPin = pin
+		}
+	}
+	return bestAT, bestSlew, pred{inst: inst, pin: bestPin, delay: bestDelay}, nil
+}
+
+func requiredTimes(n *netlist.Netlist, order []int, from map[string]pred, constraint float64) map[string]float64 {
 
 	req := make(map[string]float64)
 	for _, po := range n.POs {
 		req[po] = constraint
 	}
 	// Walk instances in reverse topological order.
-	order, _ := n.TopoOrder()
 	for k := len(order) - 1; k >= 0; k-- {
 		inst := order[k]
 		g := n.Instances[inst]
