@@ -18,8 +18,14 @@
 #                   + the service and chaos smokes
 #   make bench    — the serial-vs-parallel headline benchmarks
 #   make bench-json — run the full benchmark suite with -benchmem and
-#                   write the machine-readable summary to BENCH_5.json
-#                   (cmd/benchjson)
+#                   write the machine-readable summary to BENCH_10.json
+#                   (cmd/benchjson); CI uploads it as an artifact
+#   make bench-compare — the perf-regression gate: a short timed run of
+#                   the edit/cold pair compared against the committed
+#                   BENCH_9.json baseline via `benchjson compare`; the
+#                   threshold is loose (2.5x) because CI runners are
+#                   noisy — it catches order-of-magnitude regressions,
+#                   not percent drift
 #   make bench-smoke — compile and run every benchmark exactly once, so
 #                   CI catches a benchmark that no longer builds or
 #                   crashes without paying for a timed run
@@ -39,7 +45,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 tier2 lint lint-self cover ci bench bench-json bench-smoke bench-edit bench-edit-smoke service-smoke chaos-smoke clean
+.PHONY: all tier1 tier2 lint lint-self cover ci bench bench-json bench-compare bench-smoke bench-edit bench-edit-smoke service-smoke chaos-smoke clean
 
 all: tier1
 
@@ -66,13 +72,17 @@ cover:
 	$(GO) test ./... -coverprofile=cover.out
 	$(GO) run ./cmd/covercheck -profile cover.out
 
-ci: tier2 lint-self cover bench-smoke bench-edit-smoke service-smoke chaos-smoke
+ci: tier2 lint-self cover bench-smoke bench-edit-smoke bench-compare service-smoke chaos-smoke
 
 bench:
 	$(GO) test -run xxx -bench 'Table2Timing|FullChipOPC' -benchmem .
 
 bench-json:
-	$(GO) test -run xxx -bench . -benchmem . | $(GO) run ./cmd/benchjson -out BENCH_5.json
+	$(GO) test -run xxx -bench . -benchmem . | $(GO) run ./cmd/benchjson -out BENCH_10.json
+
+bench-compare:
+	$(GO) test -run xxx -bench 'EditApply|ColdRebuild' -benchtime 20x -benchmem ./internal/incr | $(GO) run ./cmd/benchjson -out bench_compare_candidate.json
+	$(GO) run ./cmd/benchjson compare -old BENCH_9.json -new bench_compare_candidate.json -threshold 2.5
 
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x .

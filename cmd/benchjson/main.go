@@ -8,9 +8,17 @@
 //
 // Usage:
 //
-//	go test -run xxx -bench . -benchmem . | benchjson -out BENCH_5.json
+//	go test -run xxx -bench . -benchmem . | benchjson -out BENCH_10.json
+//	benchjson compare -old BENCH_9.json -new BENCH_10.json -threshold 1.5
 //
-// Exit codes: 0 clean, 2 failed (no benchmark lines on stdin, I/O error).
+// The compare mode is the CI perf-regression gate: it reports the
+// new/old ns/op and allocs/op ratios for every benchmark present in both
+// documents and fails when any ratio exceeds the threshold. Benchmarks
+// present in only one document are listed but never gate (adding or
+// retiring a benchmark is not a regression).
+//
+// Exit codes: 0 clean, 1 regression past threshold (compare mode),
+// 2 failed (no benchmark lines on stdin, unreadable input, I/O error).
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -52,6 +61,9 @@ type document struct {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		os.Exit(runCompare(os.Args[2:]))
+	}
 	os.Exit(run())
 }
 
@@ -81,6 +93,124 @@ func run() int {
 	if err := os.WriteFile(*outPath, buf, 0o644); err != nil {
 		log.Print(err)
 		return fault.ExitFailed
+	}
+	return fault.ExitClean
+}
+
+// compareRow is one benchmark's old-vs-new comparison. Ratios are
+// new/old, so 1.0 is unchanged and 2.0 is twice as slow (or twice the
+// allocations); AllocsRatio is 0 when the old run recorded no
+// allocations for the row (nothing to regress against).
+type compareRow struct {
+	Name         string
+	OldNs, NewNs float64
+	NsRatio      float64
+	AllocsRatio  float64
+	Regressed    bool
+}
+
+// compareDocs builds sorted comparison rows for every benchmark present
+// in both documents, marking rows whose ns/op or allocs/op ratio exceeds
+// threshold. Benchmarks present in only one document never gate.
+func compareDocs(oldDoc, newDoc *document, threshold float64) []compareRow {
+	names := make([]string, 0, len(oldDoc.Benchmarks))
+	for name := range oldDoc.Benchmarks {
+		if _, ok := newDoc.Benchmarks[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	rows := make([]compareRow, 0, len(names))
+	for _, name := range names {
+		o, n := oldDoc.Benchmarks[name], newDoc.Benchmarks[name]
+		row := compareRow{Name: name, OldNs: o.NsPerOp, NewNs: n.NsPerOp}
+		if o.NsPerOp > 0 {
+			row.NsRatio = n.NsPerOp / o.NsPerOp
+		}
+		if o.AllocsPerOp > 0 {
+			row.AllocsRatio = n.AllocsPerOp / o.AllocsPerOp
+		}
+		row.Regressed = row.NsRatio > threshold || row.AllocsRatio > threshold
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func loadDoc(path string) (*document, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc document
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in document", path)
+	}
+	return &doc, nil
+}
+
+// runCompare is the `benchjson compare` entry point: the perf-regression
+// gate over two benchmark documents.
+func runCompare(args []string) int {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	oldPath := fs.String("old", "", "baseline benchmark JSON (required)")
+	newPath := fs.String("new", "", "candidate benchmark JSON (required)")
+	threshold := fs.Float64("threshold", 1.5,
+		"fail when any common benchmark's new/old ns/op or allocs/op ratio exceeds this")
+	if err := fs.Parse(args); err != nil {
+		return fault.ExitFailed
+	}
+	if *oldPath == "" || *newPath == "" {
+		log.Print("compare: -old and -new are both required")
+		fs.Usage()
+		return fault.ExitFailed
+	}
+	oldDoc, err := loadDoc(*oldPath)
+	if err != nil {
+		log.Print(err)
+		return fault.ExitFailed
+	}
+	newDoc, err := loadDoc(*newPath)
+	if err != nil {
+		log.Print(err)
+		return fault.ExitFailed
+	}
+	rows := compareDocs(oldDoc, newDoc, *threshold)
+	if len(rows) == 0 {
+		log.Printf("compare: no common benchmarks between %s and %s", *oldPath, *newPath)
+		return fault.ExitFailed
+	}
+	regressed := 0
+	for _, row := range rows {
+		mark := "ok"
+		if row.Regressed {
+			mark = "REGRESSED"
+			regressed++
+		}
+		fmt.Printf("%-40s ns/op %12.0f -> %12.0f (%.2fx)  allocs %.2fx  %s\n",
+			row.Name, row.OldNs, row.NewNs, row.NsRatio, row.AllocsRatio, mark)
+	}
+	// Non-gating context rows, sorted so the report is byte-stable.
+	var only []string
+	for name := range oldDoc.Benchmarks {
+		if _, ok := newDoc.Benchmarks[name]; !ok {
+			only = append(only, name+" retired (baseline only)")
+		}
+	}
+	for name := range newDoc.Benchmarks {
+		if _, ok := oldDoc.Benchmarks[name]; !ok {
+			only = append(only, name+" new (candidate only)")
+		}
+	}
+	sort.Strings(only)
+	for _, line := range only {
+		fmt.Println(line)
+	}
+	if regressed > 0 {
+		log.Printf("compare: %d of %d benchmarks regressed past %.2fx", regressed, len(rows), *threshold)
+		return fault.ExitDegraded
 	}
 	return fault.ExitClean
 }

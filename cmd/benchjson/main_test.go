@@ -63,3 +63,65 @@ func TestParseEmptyInputFails(t *testing.T) {
 		t.Fatal("want error for input with no benchmark rows")
 	}
 }
+
+func docOf(rows map[string]result) *document {
+	return &document{Benchmarks: rows}
+}
+
+func TestCompareDocs(t *testing.T) {
+	oldDoc := docOf(map[string]result{
+		"BenchmarkA-8":       {NsPerOp: 1000, AllocsPerOp: 100},
+		"BenchmarkB-8":       {NsPerOp: 1000, AllocsPerOp: 100},
+		"BenchmarkC-8":       {NsPerOp: 1000, AllocsPerOp: 100},
+		"BenchmarkRetired-8": {NsPerOp: 5},
+	})
+	newDoc := docOf(map[string]result{
+		"BenchmarkA-8":   {NsPerOp: 1100, AllocsPerOp: 100}, // 1.10x: fine
+		"BenchmarkB-8":   {NsPerOp: 2000, AllocsPerOp: 100}, // 2.00x ns/op: regressed
+		"BenchmarkC-8":   {NsPerOp: 900, AllocsPerOp: 180},  // 1.80x allocs/op: regressed
+		"BenchmarkNew-8": {NsPerOp: 7},
+	})
+	rows := compareDocs(oldDoc, newDoc, 1.5)
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3 (only common benchmarks gate)", len(rows))
+	}
+	// compareDocs sorts by name: A, B, C.
+	if rows[0].Name != "BenchmarkA-8" || rows[0].Regressed {
+		t.Errorf("A: %+v", rows[0])
+	}
+	if !rows[1].Regressed || rows[1].NsRatio != 2.0 {
+		t.Errorf("B should regress on ns/op: %+v", rows[1])
+	}
+	if !rows[2].Regressed || rows[2].AllocsRatio != 1.8 {
+		t.Errorf("C should regress on allocs/op: %+v", rows[2])
+	}
+}
+
+// Improvements and zero-alloc baselines must never trip the gate: an
+// allocs ratio against a zero baseline is undefined, not infinite.
+func TestCompareDocsZeroAllocBaseline(t *testing.T) {
+	oldDoc := docOf(map[string]result{"BenchmarkZ-8": {NsPerOp: 1000, AllocsPerOp: 0}})
+	newDoc := docOf(map[string]result{"BenchmarkZ-8": {NsPerOp: 400, AllocsPerOp: 3}})
+	rows := compareDocs(oldDoc, newDoc, 1.5)
+	if len(rows) != 1 || rows[0].Regressed {
+		t.Fatalf("zero-alloc baseline gated: %+v", rows)
+	}
+}
+
+// End-to-end: the parse path feeds the compare path, and a document
+// self-compares clean at any threshold above 1.0.
+func TestParseThenCompare(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := compareDocs(doc, doc, 1.0+1e-9)
+	if len(rows) != len(doc.Benchmarks) {
+		t.Fatalf("self-compare covered %d of %d benchmarks", len(rows), len(doc.Benchmarks))
+	}
+	for _, row := range rows {
+		if row.Regressed {
+			t.Fatalf("self-compare regressed: %+v", row)
+		}
+	}
+}

@@ -78,7 +78,7 @@ func run() int {
 	if err != nil {
 		return cli.UsageError("%v", err)
 	}
-	opts = append(opts, core.WithParallelism(common.Jobs), core.WithObservability(reg))
+	opts = append(opts, core.WithParallelism(common.Jobs), core.WithObservability(reg), core.WithRowCacheSize(common.RowCache))
 	flow, err := core.NewFlow(opts...)
 	if err != nil {
 		return cli.Fail(err)

@@ -104,6 +104,7 @@ func run() int {
 		RequestTimeout: requestTimeout,
 		MaxSessions:    common.MaxSessions,
 		RequireWarm:    *warm,
+		RowCacheSize:   common.RowCache,
 		Registry:       reg,
 	})
 

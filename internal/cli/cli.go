@@ -1,6 +1,6 @@
 // Package cli is the shared command-line layer of the cmd tools: one
 // definition of the common flags (-j, -timeout, -metrics, -pprof,
-// -engine, -kernel-budget, -on-fault), one benchmark-name validator and
+// -engine, -kernel-budget, -row-cache, -on-fault), one benchmark-name validator and
 // one exit-code mapping, so svtiming, opcrun, lithosim and the resident
 // svtimingd daemon cannot drift apart flag by flag.
 //
@@ -55,6 +55,7 @@ type Common struct {
 	PprofAddr    string
 	EngineName   string
 	KernelBudget float64
+	RowCache     int
 	OnFaultName  string
 
 	// Service-set values (resident daemons only).
@@ -88,6 +89,8 @@ func Register(fs *flag.FlagSet, sets Set) *Common {
 			"aerial-image engine: socs (cached TCC kernel decomposition), abbe (per-source-point sum), or auto (socs for the nominal process); results agree within the kernel budget")
 		fs.Float64Var(&c.KernelBudget, "kernel-budget", 0,
 			"fraction of TCC energy SOCS truncation may drop (0 = the 1e-7 default, -1 = keep every kernel); only the socs engine reads it")
+		fs.IntVar(&c.RowCache, "row-cache", 0,
+			"bound on the content-addressed OPC row-solve cache, in completed row solves (0 = the built-in 4096, negative = disable caching); an execution knob — results are bit-identical at any setting")
 	}
 	if sets&OnFault != 0 {
 		fs.StringVar(&c.OnFaultName, "on-fault", "fail-fast",

@@ -32,7 +32,7 @@ func TestRegisterFlagSets(t *testing.T) {
 		}
 	}
 	service := []string{"max-inflight", "max-queue", "queue-wait", "request-timeout", "drain-timeout", "max-sessions"}
-	for _, n := range append([]string{"engine", "kernel-budget", "on-fault"}, service...) {
+	for _, n := range append([]string{"engine", "kernel-budget", "row-cache", "on-fault"}, service...) {
 		if names[n] {
 			t.Errorf("base set registered optional flag -%s", n)
 		}
@@ -41,7 +41,7 @@ func TestRegisterFlagSets(t *testing.T) {
 	full := flag.NewFlagSet("full", flag.ContinueOnError)
 	Register(full, Engine|OnFault)
 	names = flagNames(full)
-	for _, n := range append(always, "engine", "kernel-budget", "on-fault") {
+	for _, n := range append(always, "engine", "kernel-budget", "row-cache", "on-fault") {
 		if !names[n] {
 			t.Errorf("full set missing flag -%s", n)
 		}
@@ -55,7 +55,7 @@ func TestRegisterFlagSets(t *testing.T) {
 	resident := flag.NewFlagSet("resident", flag.ContinueOnError)
 	Register(resident, Engine|OnFault|Service)
 	names = flagNames(resident)
-	for _, n := range append(append(append([]string{}, always...), "engine", "kernel-budget", "on-fault"), service...) {
+	for _, n := range append(append(append([]string{}, always...), "engine", "kernel-budget", "row-cache", "on-fault"), service...) {
 		if !names[n] {
 			t.Errorf("resident set missing flag -%s", n)
 		}
@@ -202,7 +202,7 @@ func TestWriteMetricsDisabled(t *testing.T) {
 // exists for is gone — this test is the tripwire.
 func TestCmdsRouteThroughSharedLayer(t *testing.T) {
 	tools := []string{"svtiming", "opcrun", "lithosim", "svtimingd"}
-	shared := []string{`"j"`, `"timeout"`, `"metrics"`, `"pprof"`, `"engine"`, `"kernel-budget"`, `"on-fault"`,
+	shared := []string{`"j"`, `"timeout"`, `"metrics"`, `"pprof"`, `"engine"`, `"kernel-budget"`, `"row-cache"`, `"on-fault"`,
 		`"max-inflight"`, `"max-queue"`, `"queue-wait"`, `"request-timeout"`, `"drain-timeout"`, `"max-sessions"`}
 	for _, tool := range tools {
 		src, err := os.ReadFile(filepath.Join("..", "..", "cmd", tool, "main.go"))

@@ -65,6 +65,15 @@ type Flow struct {
 	Budget corners.Budget
 	STAOpt sta.Options
 
+	// Rows is the flow's content-addressed row-solve cache: geometrically
+	// identical placement rows (within one design, across designs, and
+	// across service requests sharing this flow) are OPC-iterated exactly
+	// once. nil disables caching (every row re-solved) — the zero-value
+	// Flow of hand-built tests therefore keeps the pre-cache behavior.
+	// Size it at construction with WithRowCacheSize. Cache warmth changes
+	// runtime, never results (see opc.RowCache).
+	Rows *opc.RowCache
+
 	// WireCapPerUm, when positive, replaces the default per-fanout wire
 	// loading with the placement-derived HPWL model at this capacitance
 	// per micron (≈0.2 fF/µm at 90 nm).
@@ -166,6 +175,14 @@ func NewFlow(opts ...Option) (*Flow, error) {
 	wafer.Observe(reg)
 	recipe := opc.Standard(opc.ModelProcess(wafer))
 	recipe.Model.Observe(reg)
+	// The row-solve cache is per-flow by construction, which is what lets
+	// its key omit the model-process identity: one cache never sees two
+	// recipes with equal scalars but different models.
+	var rowCache *opc.RowCache
+	if cfg.rowCacheSize >= 0 {
+		rowCache = opc.NewRowCache(cfg.rowCacheSize)
+		rowCache.Observe(reg)
+	}
 
 	span := reg.Span("pitchtable")
 	span.AddItems(int64(len(sweep)))
@@ -202,6 +219,7 @@ func NewFlow(opts ...Option) (*Flow, error) {
 		Timing:       timing,
 		Budget:       cfg.budget,
 		STAOpt:       cfg.staOpt,
+		Rows:         rowCache,
 		WireCapPerUm: cfg.wireCapPerUm,
 		Parallelism:  workers,
 		Policy:       cfg.policy,

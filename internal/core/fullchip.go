@@ -7,7 +7,7 @@ import (
 	"svtiming/internal/context"
 	"svtiming/internal/fault"
 	"svtiming/internal/par"
-	"svtiming/internal/process"
+	"svtiming/internal/place"
 )
 
 // GateKey addresses one transistor gate in a design: instance index and
@@ -30,7 +30,9 @@ type GateKey struct {
 // out over the flow's worker pool — the parallel counterpart of the
 // paper's "several CPU days" serial sweep. Rows share the wafer and model
 // processes' concurrent CD caches, so repeated environments across rows
-// are still simulated only once, whichever worker gets there first.
+// are still simulated only once, whichever worker gets there first — and
+// the flow's row-solve cache (Flow.Rows) lifts that sharing a level:
+// geometrically identical rows skip the OPC iteration entirely.
 //
 // Context-first is the one idiom (the former FullChipCDsCtx): a deadline
 // or cancellation aborts the row sweep promptly, and nil ctx means
@@ -50,25 +52,28 @@ func (f *Flow) FullChipCDs(ctx stdctx.Context, d *Design) (map[GateKey]float64, 
 	}
 	rows, err := par.Map(ctx, f.Workers(), len(d.Placement.Rows),
 		func(cctx stdctx.Context, r int) ([]gateCD, error) {
-			lines := d.Placement.RowLines(r)
-			corrected, err := f.Recipe.CorrectCtx(cctx, lines, f.Wafer.TargetCD)
+			// Pooled geometry extraction with the gate↔line join carried
+			// by index: rg.LineIdx[gi] is gate gi's own line in the sorted
+			// row, however the row interleaves (the old map[float64]int
+			// join could lose a gate to float bit inequality; the index
+			// join cannot, so the "gate lost in row" error is gone).
+			rg := place.AcquireRowGeom()
+			defer place.ReleaseRowGeom(rg)
+			d.Placement.RowGeometryInto(rg, r)
+			// The row solve (OPC iteration + per-line environments) comes
+			// from the flow's content-addressed cache: geometrically
+			// identical rows are iterated once, whichever worker gets
+			// there first. A nil cache (hand-built Flow, -row-cache -1)
+			// solves inline. rg.Lines is scratch, but the cache never
+			// retains it: the key is a copied string and the solve
+			// corrects a private copy.
+			sol, err := f.Rows.Solve(cctx, f.Recipe, rg.Lines, f.Wafer.TargetCD, f.Wafer.RadiusOfInfluence)
 			if err != nil {
 				return nil, fmt.Errorf("core: full-chip OPC row %d: %w", r, err)
 			}
-
-			// Map each gate back to its (sorted) row-line index by position.
-			idxByX := make(map[float64]int, len(lines))
-			for i, l := range lines {
-				idxByX[l.CenterX] = i
-			}
-			var out []gateCD
-			for _, rg := range d.Placement.RowGates(r) {
-				i, ok := idxByX[rg.Line.CenterX]
-				if !ok {
-					return nil, fmt.Errorf("core: gate at x=%v lost in row %d", rg.Line.CenterX, r)
-				}
-				env := process.EnvAt(corrected, i, f.Wafer.RadiusOfInfluence)
-				cd, ok, cdErr := f.Wafer.PrintCDChecked(env, 0, f.Wafer.Dose)
+			out := make([]gateCD, 0, len(rg.Gates))
+			for gi, g := range rg.Gates {
+				cd, ok, cdErr := f.Wafer.PrintCDChecked(sol.Envs[rg.LineIdx[gi]], 0, f.Wafer.Dose)
 				if cdErr != nil {
 					return nil, fmt.Errorf("core: full-chip OPC row %d: %w", r, cdErr)
 				}
@@ -77,12 +82,12 @@ func (f *Flow) FullChipCDs(ctx stdctx.Context, d *Design) (map[GateKey]float64, 
 					// a runtime data fault located by (row, gate).
 					return nil, &fault.Numeric{
 						At: fault.Coord{Stage: "fullchip", Index: r,
-							Item: fmt.Sprintf("inst %d gate %d", rg.Inst, rg.Gate)},
+							Item: fmt.Sprintf("inst %d gate %d", g.Inst, g.Gate)},
 						Quantity: "printed gate CD",
 						Value:    0,
 					}
 				}
-				out = append(out, gateCD{key: GateKey{Inst: rg.Inst, Gate: rg.Gate}, cd: cd})
+				out = append(out, gateCD{key: GateKey{Inst: g.Inst, Gate: g.Gate}, cd: cd})
 			}
 			return out, nil
 		})

@@ -31,6 +31,7 @@ type flowConfig struct {
 	obs          *obs.Registry
 	engine       litho.Engine
 	kernelBudget float64
+	rowCacheSize int
 }
 
 // WithParallelism bounds the worker pool every compute stage of the flow
@@ -119,6 +120,17 @@ func WithImagingEngine(e litho.Engine) Option {
 // image faster. No effect on the Abbe engine.
 func WithKernelBudget(budget float64) Option {
 	return func(c *flowConfig) { c.kernelBudget = budget }
+}
+
+// WithRowCacheSize bounds the flow's content-addressed row-solve cache
+// (Flow.Rows): 0 — the default — selects opc.DefaultRowCacheSize, a
+// positive n bounds the cache to roughly n completed row solves, and a
+// negative n disables the cache entirely (every row re-solved, the
+// pre-cache behavior). Like the worker-pool bound, this is an execution
+// knob: it changes runtime and memory, never results — the cache key is
+// the exact drawn-geometry bits, so hits are bit-identical to solves.
+func WithRowCacheSize(n int) Option {
+	return func(c *flowConfig) { c.rowCacheSize = n }
 }
 
 // WithFaultInjection arms a deterministic fault-injection hook: before

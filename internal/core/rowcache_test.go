@@ -1,0 +1,65 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// The row-solve cache is an execution knob: FullChipCDs must return
+// bit-identical CDs with the cache enabled, disabled (nil Flow.Rows),
+// warm, and under a serial schedule. Any divergence means the cache key
+// is missing an input that determines the result.
+func TestFullChipCDsRowCacheBitIdentity(t *testing.T) {
+	f := testFlow(t)
+	d, err := f.PrepareDesign("c432")
+	if err != nil {
+		t.Fatalf("PrepareDesign: %v", err)
+	}
+
+	f.Rows.Clear()
+	cold, err := f.FullChipCDs(nil, d)
+	if err != nil {
+		t.Fatalf("cold cached sweep: %v", err)
+	}
+	warm, err := f.FullChipCDs(nil, d)
+	if err != nil {
+		t.Fatalf("warm cached sweep: %v", err)
+	}
+
+	off := *f
+	off.Rows = nil
+	uncached, err := off.FullChipCDs(nil, d)
+	if err != nil {
+		t.Fatalf("uncached sweep: %v", err)
+	}
+
+	serial := *f
+	serial.Parallelism = 1
+	serialCDs, err := serial.FullChipCDs(nil, d)
+	if err != nil {
+		t.Fatalf("serial sweep: %v", err)
+	}
+
+	diff := func(name string, got map[GateKey]float64) {
+		t.Helper()
+		if len(got) != len(cold) {
+			t.Fatalf("%s: %d gates, cold cached sweep has %d", name, len(got), len(cold))
+		}
+		for k, want := range cold {
+			g, ok := got[k]
+			if !ok {
+				t.Fatalf("%s: gate %v missing", name, k)
+			}
+			if math.Float64bits(g) != math.Float64bits(want) {
+				t.Fatalf("%s: gate %v CD %v != %v (bitwise)", name, k, g, want)
+			}
+		}
+	}
+	diff("warm cache", warm)
+	diff("cache off", uncached)
+	diff("serial schedule", serialCDs)
+
+	if f.Rows.Size() == 0 {
+		t.Fatal("cached sweeps left the row cache empty")
+	}
+}

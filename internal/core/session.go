@@ -114,6 +114,10 @@ func (f *Flow) beginAt(ctx stdctx.Context, d *Design, defocusNm, dose float64) (
 		Radius:  f.Wafer.RadiusOfInfluence,
 		Workers: f.Workers(),
 		Collect: f.Policy == CollectAndReport,
+		// Share the flow's row-solve cache: an edit session warms the
+		// cold full-chip path and vice versa (nil falls back to a
+		// session-private cache inside SolveMask).
+		Rows: f.Rows,
 	}
 	mask, err := incr.SolveMask(ctx, cfg, d.Placement, defocusNm, dose)
 	if err != nil {

@@ -45,6 +45,9 @@ func Manifest(tool string, config map[string]string, benchmarks []string, reg *o
 		Tasks:           reg.CounterValue("par_tasks_completed"),
 		PanicsContained: reg.CounterValue("par_panics_contained"),
 	}
+	rl := reg.CounterValue("opc_row_lookups")
+	rs := reg.CounterValue("opc_row_solves")
+	m.RowSolves = obs.RowSolveStats{Lookups: rl, Solves: rs, Hits: rl - rs}
 	if edits := reg.CounterValue("incr_edits_total"); edits > 0 {
 		m.Incr = &obs.IncrStats{
 			Edits:             edits,

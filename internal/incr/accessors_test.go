@@ -1,0 +1,49 @@
+package incr_test
+
+import (
+	"testing"
+
+	"svtiming/internal/incr"
+)
+
+// The small accessor surface the service layer leans on: Condition must
+// echo the session's exposure point, CD must distinguish a tracked gate
+// from an unknown key, and the two list views must agree with GateCount.
+func TestMaskAccessors(t *testing.T) {
+	f := testFlow(t)
+	sess, err := f.Begin(nil, "c17")
+	if err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+	m := sess.Mask()
+
+	z, dose := m.Condition()
+	sz, sdose := sess.Condition()
+	if z != sz || dose != sdose {
+		t.Errorf("Mask.Condition = (%v, %v), session says (%v, %v)", z, dose, sz, sdose)
+	}
+
+	cds := m.CDList()
+	if len(cds) == 0 {
+		t.Fatal("cold c17 solve tracked no gates")
+	}
+	if len(cds)+len(m.FaultList()) != m.GateCount() {
+		t.Errorf("CDList (%d) + FaultList (%d) != GateCount (%d)",
+			len(cds), len(m.FaultList()), m.GateCount())
+	}
+	if cd, ok := m.CD(cds[0].Key); !ok || cd != cds[0].CD {
+		t.Errorf("CD(%v) = (%v, %v), want (%v, true)", cds[0].Key, cd, ok, cds[0].CD)
+	}
+	if _, ok := m.CD(incr.GateKey{Inst: 1 << 20, Gate: 0}); ok {
+		t.Error("CD reported a gate that does not exist")
+	}
+}
+
+// EditError renders as "edit: <field>: <reason>" — the one 400 schema the
+// service maps edit rejections onto.
+func TestEditErrorString(t *testing.T) {
+	e := &incr.EditError{Field: "dx_nm", Reason: "must be finite"}
+	if got, want := e.Error(), "edit: dx_nm: must be finite"; got != want {
+		t.Errorf("Error() = %q, want %q", got, want)
+	}
+}

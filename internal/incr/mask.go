@@ -2,7 +2,6 @@ package incr
 
 import (
 	stdctx "context"
-	"encoding/binary"
 	"fmt"
 	"math"
 	"sort"
@@ -53,6 +52,14 @@ type Config struct {
 	Radius  float64 // litho radius of influence, nm
 	Workers int     // row fan-out; ≤0 means GOMAXPROCS
 	Collect bool    // record per-gate faults instead of failing fast
+
+	// Rows is the content-addressed row-solve cache the session reads
+	// and warms. Flows pass their shared cache (core sets this from
+	// Flow.Rows) so edit sessions and the cold full-chip path amortize
+	// each other's solves; nil makes SolveMask create a session-private
+	// cache, preserving the old per-session memo behavior for hand-built
+	// configs.
+	Rows *opc.RowCache
 }
 
 // gateEnv is the retained litho state of one gate: its identity, its
@@ -71,27 +78,6 @@ type rowState struct {
 	gates     []gateEnv // RowGates order
 }
 
-// memoPerRow bounds each row's solve memo. Interactive edit scripts
-// revisit a handful of states (a move undone, a cell shuttled between two
-// legal spots); a wandering script resets the map and recomputes — never a
-// correctness event, only a cold solve.
-const memoPerRow = 16
-
-// drawnKey fingerprints a row's drawn geometry exactly: the IEEE-754 bits
-// of every line's centerline, width and span, in row order. Equal keys
-// mean bit-identical correction inputs, so a memoized solve replayed under
-// the same key is the solve CorrectCtx would recompute.
-func drawnKey(lines []geom.PolyLine) string {
-	b := make([]byte, 0, 32*len(lines))
-	for _, l := range lines {
-		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(l.CenterX))
-		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(l.Width))
-		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(l.Span.Lo))
-		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(l.Span.Hi))
-	}
-	return string(b)
-}
-
 // Mask is the retained full-chip litho state of an edit session: every
 // row's corrected mask, every gate's environment, and every gate's printed
 // CD (or fault) at the current exposure condition. RefreshRow re-corrects
@@ -108,14 +94,6 @@ type Mask struct {
 	rows   []rowState
 	cds    map[GateKey]float64
 	faults map[GateKey]FaultEntry
-
-	// memo caches per-row solves (corrected mask + gate environments)
-	// keyed by the exact drawn geometry. The solve is a pure function of
-	// (recipe, drawn lines, target), so a hit replays the very bytes a
-	// cold correction would produce — which is why the differential
-	// contract survives the cache. SolveMask's workers seed it (one
-	// writer per row index); RefreshRow reads and extends it serially.
-	memo []map[string]*rowState
 }
 
 // Refresh summarizes one mask update.
@@ -142,11 +120,16 @@ func SolveMask(ctx stdctx.Context, cfg Config, p *place.Placement, defocusNm, do
 	if ctx == nil {
 		ctx = stdctx.Background()
 	}
+	if cfg.Rows == nil {
+		// Session-private cache: hand-built configs keep memoized replay
+		// of revisited row states (a move undone, a cell shuttled between
+		// two legal spots) without a flow to share with.
+		cfg.Rows = opc.NewRowCache(0)
+	}
 	m := &Mask{cfg: cfg, p: p, defocus: defocusNm, dose: dose,
 		rows:   make([]rowState, len(p.Rows)),
 		cds:    make(map[GateKey]float64),
-		faults: make(map[GateKey]FaultEntry),
-		memo:   make([]map[string]*rowState, len(p.Rows))}
+		faults: make(map[GateKey]FaultEntry)}
 	rows, err := par.Map(ctx, par.Workers(cfg.Workers), len(p.Rows),
 		func(cctx stdctx.Context, r int) (rowMeasure, error) {
 			return m.measureRow(cctx, r, defocusNm, dose)
@@ -164,45 +147,37 @@ func SolveMask(ctx stdctx.Context, cfg Config, p *place.Placement, defocusNm, do
 
 // solveRow produces row r's corrected mask and every gate's quantized
 // environment — the pure geometry→optics part of a row refresh, with no
-// wafer measurement. Solves memoize per row on the exact drawn geometry:
-// an edit script that revisits a row state (a move undone, a shuttle) pays
-// one map hit instead of the full OPC iteration, and purity guarantees the
-// replayed solve is byte-identical to recomputing it.
+// wafer measurement. The solve itself comes from the shared
+// content-addressed cache (cfg.Rows): an edit script that revisits a row
+// state pays one cache hit instead of the full OPC iteration, a cold
+// full-chip sweep warms the same entries, and purity guarantees a replayed
+// solve is byte-identical to recomputing it. The gate view (which cached
+// lines are gates) is rebuilt here per design via the index join, because
+// the cache key is geometry alone.
 func (m *Mask) solveRow(ctx stdctx.Context, r int) (*rowState, error) {
-	lines := m.p.RowLines(r)
-	key := drawnKey(lines)
-	if sol, ok := m.memo[r][key]; ok {
-		return sol, nil
-	}
-	corrected, err := m.cfg.Recipe.CorrectCtx(ctx, lines, m.cfg.Target)
+	rg := place.AcquireRowGeom()
+	defer place.ReleaseRowGeom(rg)
+	m.p.RowGeometryInto(rg, r)
+	sol, err := m.cfg.Rows.Solve(ctx, m.cfg.Recipe, rg.Lines, m.cfg.Target, m.cfg.Radius)
 	if err != nil {
 		return nil, fmt.Errorf("incr: OPC row %d: %w", r, err)
 	}
-	idxByX := make(map[float64]int, len(lines))
-	for i, l := range lines {
-		idxByX[l.CenterX] = i
-	}
-	sol := &rowState{corrected: corrected}
-	for _, rg := range m.p.RowGates(r) {
-		i, ok := idxByX[rg.Line.CenterX]
-		if !ok {
-			return nil, fmt.Errorf("incr: gate at x=%v lost in row %d", rg.Line.CenterX, r)
+	rs := &rowState{corrected: sol.Corrected, gates: make([]gateEnv, len(rg.Gates))}
+	for gi, g := range rg.Gates {
+		li := rg.LineIdx[gi]
+		rs.gates[gi] = gateEnv{
+			key:    GateKey{Inst: g.Inst, Gate: g.Gate},
+			env:    sol.Envs[li],
+			envKey: sol.EnvKeys[li],
 		}
-		env := process.EnvAt(corrected, i, m.cfg.Radius)
-		k := GateKey{Inst: rg.Inst, Gate: rg.Gate}
-		sol.gates = append(sol.gates, gateEnv{key: k, env: env, envKey: env.Key()})
 	}
-	if m.memo[r] == nil || len(m.memo[r]) >= memoPerRow {
-		m.memo[r] = make(map[string]*rowState, memoPerRow)
-	}
-	m.memo[r][key] = sol
-	return sol, nil
+	return rs, nil
 }
 
 // measureRow solves row r's mask and measures every gate at the given
 // condition. Pure with respect to the mask maps (workers call it
-// concurrently; each row index has one worker, so the memo writes don't
-// race); under fail-fast the first gate fault aborts the row.
+// concurrently; the row-solve cache is safe for concurrent use); under
+// fail-fast the first gate fault aborts the row.
 func (m *Mask) measureRow(ctx stdctx.Context, r int, defocusNm, dose float64) (rowMeasure, error) {
 	sol, err := m.solveRow(ctx, r)
 	if err != nil {
@@ -319,7 +294,7 @@ func (m *Mask) RefreshRow(ctx stdctx.Context, r int) (Refresh, error) {
 			delete(m.faults, g.key)
 		}
 	}
-	// The row state aliases the memo entry; both are read-only once built.
+	// The row state aliases the cached solve; both are read-only once built.
 	m.rows[r] = *sol
 	sortRefresh(&ref)
 	return ref, nil

@@ -59,6 +59,18 @@ type RowStats struct {
 	Degraded int `json:"degraded"`
 }
 
+// RowSolveStats summarizes the content-addressed OPC row-solve cache in
+// schedule-invariant terms, mirroring CacheStats: singleflight guarantees
+// every distinct row geometry solves exactly once, so Lookups and Solves
+// are pure functions of the workload and Hits derives as Lookups − Solves.
+// The raw hit/merge split and eviction timing depend on worker scheduling
+// and are visible only in the full metrics dump.
+type RowSolveStats struct {
+	Lookups int64 `json:"lookups"`
+	Solves  int64 `json:"solves"`
+	Hits    int64 `json:"hits"`
+}
+
 // IncrStats summarizes an edit session's incremental re-timing work:
 // edits applied, gates re-simulated against the wafer process, fan-out
 // cones re-propagated across the six retained engines, and graceful full
@@ -90,6 +102,9 @@ type RunManifest struct {
 	Kernels    KernelCacheStats  `json:"socs_kernels"`
 	Pool       PoolStats         `json:"pool"`
 	Rows       RowStats          `json:"rows"`
+	// RowSolves reports the OPC row-solve cache (result rows above are
+	// unrelated Table 2 rows; the name distinguishes the two).
+	RowSolves RowSolveStats `json:"opc_rows"`
 	// Incr reports the incremental re-timing engine's work; nil unless
 	// the run applied edits through a session.
 	Incr *IncrStats `json:"incr,omitempty"`

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math"
 
+	"svtiming/internal/fourier"
 	"svtiming/internal/geom"
 	"svtiming/internal/litho"
 	"svtiming/internal/process"
@@ -140,15 +141,24 @@ func (r Recipe) CorrectCtx(ctx stdctx.Context, lines []geom.PolyLine, target flo
 		valid bool
 	}
 	prev := make([]hist, len(out))
+	// Per-sweep scratch, hoisted out of the iteration: the widths buffer
+	// comes from the fourier float pool (zeroed on acquire, overwritten in
+	// full each sweep), the environment buffers and the space-rule index
+	// scratch are reused across all sweeps. Before this hoist the sweep
+	// loop was the dominant allocation site of the cold full-chip rebuild.
+	wbuf := fourier.AcquireFloat(len(out))
+	defer fourier.ReleaseFloat(wbuf)
+	widths := *wbuf
+	var envScratch process.EnvScratch
+	spaceIdx := make([]int, len(out))
 	const defaultSlope = 1.5 // typical d(printCD)/d(maskWidth) for this process
 	for iter := 0; iter < r.MaxIter; iter++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("opc: correction cancelled at iteration %d: %w", iter, err)
 		}
 		worst := 0.0
-		widths := make([]float64, len(out))
 		for i := range out {
-			env := process.EnvAt(out, i, r.Model.RadiusOfInfluence)
+			env := process.EnvAtInto(&envScratch, out, i, r.Model.RadiusOfInfluence)
 			cd, ok := r.Model.PrintCD(env)
 			if !ok {
 				// Feature lost on the model process: grow it.
@@ -177,7 +187,7 @@ func (r Recipe) CorrectCtx(ctx stdctx.Context, lines []geom.PolyLine, target flo
 		for i := range out {
 			out[i].Width = widths[i]
 		}
-		r.enforceSpaces(out)
+		r.enforceSpaces(out, spaceIdx)
 		if worst <= r.Tolerance {
 			break
 		}
@@ -186,7 +196,7 @@ func (r Recipe) CorrectCtx(ctx stdctx.Context, lines []geom.PolyLine, target flo
 	for i := range out {
 		out[i].Width = math.Max(r.MinWidth, r.Model.SnapToGrid(out[i].Width))
 	}
-	r.enforceSpaces(out)
+	r.enforceSpaces(out, spaceIdx)
 	return out, nil
 }
 
@@ -205,9 +215,10 @@ func (r Recipe) clampWidth(w, drawn float64) float64 {
 }
 
 // enforceSpaces shrinks adjacent features that violate the minimum space
-// rule, splitting the encroachment evenly.
-func (r Recipe) enforceSpaces(lines []geom.PolyLine) {
-	idx := make([]int, len(lines))
+// rule, splitting the encroachment evenly. idx is caller-owned scratch of
+// length len(lines) (its contents are overwritten).
+func (r Recipe) enforceSpaces(lines []geom.PolyLine, idx []int) {
+	idx = idx[:len(lines)]
 	for i := range idx {
 		idx[i] = i
 	}

@@ -1,0 +1,276 @@
+package opc
+
+import (
+	stdctx "context"
+	"encoding/binary"
+	"fmt"
+	"hash/maphash"
+	"math"
+	"sync"
+
+	"svtiming/internal/geom"
+	"svtiming/internal/obs"
+	"svtiming/internal/process"
+)
+
+// RowSolve is one cached row-solve result: the OPC-corrected mask for a
+// sorted row of drawn lines, plus the post-correction optical environment
+// (and its quantized cache key) for every line in the row.
+//
+// Environments are carried for all line indices — not just gate lines —
+// because which lines are gates depends on the cell sequence, while the
+// cache key depends only on geometry: two designs can share a row's drawn
+// bits yet disagree about which lines matter. Callers join gates to
+// environments by line index (see place.RowGeom.LineIdx).
+//
+// A RowSolve is shared between every cache reader and must be treated as
+// immutable.
+type RowSolve struct {
+	Corrected []geom.PolyLine
+	Envs      []process.Env
+	EnvKeys   []string
+}
+
+// DefaultRowCacheSize bounds the cache when no explicit size is given:
+// large enough to hold every distinct row of the Table 1/Table 2 designs
+// simultaneously, small enough that a resident svtimingd stays O(10 MB).
+const DefaultRowCacheSize = 4096
+
+// rowCacheShards must be a power of two for the mask in shardIndex.
+const rowCacheShards = 32
+
+// RowCache is the content-addressed, sharded, singleflight row-solve cache
+// behind the cold full-chip OPC path (the tentpole of ISSUE 10). It is the
+// structural sibling of the CD cache in internal/process/cache.go with two
+// deliberate differences:
+//
+//   - Keys are exact IEEE-754 bits of the drawn row geometry joined with
+//     the recipe's scalar knobs, the target CD and the environment radius —
+//     no quantization. The row solve is a pure function of those inputs
+//     (the purity argument pinned by internal/incr's differential harness),
+//     so bit-exact keys give bit-exact reuse: cache warmth can change
+//     runtime but never results. The model process pointer is excluded
+//     from the key on purpose: a RowCache is owned by one Flow, whose
+//     recipe/model pair is fixed at construction, so recipe scalars
+//     identify the recipe within any one cache's lifetime.
+//
+//   - Errors are never cached. CorrectCtx's only error is cooperative
+//     cancellation, which is a property of the calling schedule, not of
+//     the key; caching it would poison a row for innocent later callers.
+//     A merged waiter whose leader errored retries under its own context.
+//
+// Each shard evicts FIFO beyond its share of the configured size; eviction
+// only costs a re-solve, never correctness. The zero value is NOT ready —
+// use NewRowCache — but a nil *RowCache is: every method degrades to the
+// uncached path, which is how `-row-cache -1` disables caching without
+// branching at call sites.
+type RowCache struct {
+	seed     maphash.Seed
+	seedOnce sync.Once
+	perShard int
+	shards   [rowCacheShards]rowShard
+
+	// Telemetry handles, nil (no-op) unless Observe wired a registry.
+	// lookups and solves are schedule-invariant for a given workload; the
+	// hit/merge split and eviction timing depend on worker scheduling, so
+	// manifests derive hits as lookups−solves and only the raw metrics
+	// dump exposes the split (same contract as the CD cache).
+	lookups   *obs.Counter
+	hits      *obs.Counter
+	solves    *obs.Counter
+	merges    *obs.Counter
+	evictions *obs.Counter
+	entries   *obs.Gauge
+}
+
+type rowShard struct {
+	mu       sync.Mutex
+	done     map[string]*RowSolve
+	order    []string // FIFO eviction order; bounded by perShard+1
+	inflight map[string]*rowCall
+}
+
+// rowCall is one in-flight row solve; waiters block on wg.
+type rowCall struct {
+	wg  sync.WaitGroup
+	sol *RowSolve
+	err error
+}
+
+// NewRowCache returns a RowCache bounded to roughly size completed entries
+// (split evenly across shards). size <= 0 selects DefaultRowCacheSize.
+func NewRowCache(size int) *RowCache {
+	if size <= 0 {
+		size = DefaultRowCacheSize
+	}
+	return &RowCache{perShard: (size + rowCacheShards - 1) / rowCacheShards}
+}
+
+// Observe wires the cache's telemetry to a registry under the opc_row_*
+// metric names consumed by the run manifest.
+func (c *RowCache) Observe(reg *obs.Registry) {
+	if c == nil || !reg.Enabled() {
+		return
+	}
+	c.lookups = reg.Counter("opc_row_lookups")
+	c.hits = reg.Counter("opc_row_hits")
+	c.solves = reg.Counter("opc_row_solves")
+	c.merges = reg.Counter("opc_row_merges")
+	c.evictions = reg.Counter("opc_row_evictions")
+	c.entries = reg.Gauge("opc_row_entries")
+}
+
+func (c *RowCache) shardIndex(key string) int {
+	c.seedOnce.Do(func() { c.seed = maphash.MakeSeed() })
+	return int(maphash.String(c.seed, key) & (rowCacheShards - 1))
+}
+
+// rowKey content-addresses one row solve: the exact bits of every drawn
+// line (center, width, vertical span) plus the recipe scalars, target CD
+// and environment radius. Two calls collide iff every solve input is
+// bit-identical, in which case the solve outputs are too.
+func rowKey(r Recipe, lines []geom.PolyLine, target, radius float64) string {
+	b := make([]byte, 0, 64+32*len(lines))
+	ap := func(v float64) {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	b = binary.LittleEndian.AppendUint64(b, uint64(int64(r.MaxIter)))
+	ap(r.Gain)
+	ap(r.MaxCorrection)
+	ap(r.MinWidth)
+	ap(r.MinSpace)
+	ap(r.Tolerance)
+	ap(target)
+	ap(radius)
+	for _, l := range lines {
+		ap(l.CenterX)
+		ap(l.Width)
+		ap(l.Span.Lo)
+		ap(l.Span.Hi)
+	}
+	return string(b)
+}
+
+// solveRow is the uncached row solve: OPC-correct the row, then extract
+// the post-correction environment of every line. Pure in its arguments.
+func solveRow(ctx stdctx.Context, rec Recipe, lines []geom.PolyLine, target, radius float64) (*RowSolve, error) {
+	corrected, err := rec.CorrectCtx(ctx, lines, target)
+	if err != nil {
+		return nil, err
+	}
+	sol := &RowSolve{
+		Corrected: corrected,
+		Envs:      make([]process.Env, len(corrected)),
+		EnvKeys:   make([]string, len(corrected)),
+	}
+	for i := range corrected {
+		sol.Envs[i] = process.EnvAt(corrected, i, radius)
+		sol.EnvKeys[i] = sol.Envs[i].Key()
+	}
+	return sol, nil
+}
+
+// Solve returns the cached solve for the row, or runs it (at most once per
+// key across all concurrent callers) and caches it. A nil receiver solves
+// directly with no caching. Cancellation errors are returned to the caller
+// but never cached; merged waiters whose leader was cancelled retry under
+// their own context.
+func (c *RowCache) Solve(ctx stdctx.Context, rec Recipe, lines []geom.PolyLine, target, radius float64) (*RowSolve, error) {
+	if c == nil {
+		return solveRow(ctx, rec, lines, target, radius)
+	}
+	key := rowKey(rec, lines, target, radius)
+	s := &c.shards[c.shardIndex(key)]
+	c.lookups.Inc()
+	for {
+		s.mu.Lock()
+		if sol, ok := s.done[key]; ok {
+			s.mu.Unlock()
+			c.hits.Inc()
+			return sol, nil
+		}
+		if call, ok := s.inflight[key]; ok {
+			s.mu.Unlock()
+			c.merges.Inc()
+			call.wg.Wait()
+			if call.err == nil {
+				return call.sol, nil
+			}
+			// The leader was cancelled. Its error reflects its schedule,
+			// not ours: give up only if our own context is also done,
+			// otherwise take another lap and solve (or merge) again.
+			if ctx != nil && ctx.Err() != nil {
+				return nil, fmt.Errorf("opc: row solve cancelled: %w", ctx.Err())
+			}
+			continue
+		}
+		call := &rowCall{}
+		call.wg.Add(1)
+		if s.inflight == nil {
+			s.inflight = make(map[string]*rowCall)
+		}
+		s.inflight[key] = call
+		s.mu.Unlock()
+
+		c.solves.Inc()
+		sol, err := solveRow(ctx, rec, lines, target, radius)
+		call.sol, call.err = sol, err
+
+		s.mu.Lock()
+		delete(s.inflight, key)
+		if err == nil {
+			if s.done == nil {
+				s.done = make(map[string]*RowSolve)
+			}
+			s.done[key] = sol
+			s.order = append(s.order, key)
+			for len(s.order) > c.perShard {
+				delete(s.done, s.order[0])
+				s.order = s.order[1:]
+				c.evictions.Inc()
+			}
+		}
+		s.mu.Unlock()
+		call.wg.Done()
+		if err != nil {
+			return nil, err
+		}
+		if c.entries != nil {
+			// Gauge refresh walks every shard; skip it entirely when
+			// unobserved (the only non-handle cost of instrumentation).
+			c.entries.Set(int64(c.Size()))
+		}
+		return sol, nil
+	}
+}
+
+// Size returns the number of completed entries across all shards. Nil-safe.
+func (c *RowCache) Size() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.done)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Clear discards all completed entries. In-flight solves finish and publish
+// into the cleared cache; callers that need a strictly cold cache must
+// quiesce concurrent lookups first (as the benchmarks do). Nil-safe.
+func (c *RowCache) Clear() {
+	if c == nil {
+		return
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.done = nil
+		s.order = nil
+		s.mu.Unlock()
+	}
+}

@@ -1,0 +1,213 @@
+package opc
+
+import (
+	stdctx "context"
+	"math"
+	"sync"
+	"testing"
+
+	"svtiming/internal/geom"
+	"svtiming/internal/obs"
+	"svtiming/internal/process"
+)
+
+func cacheTestRecipe() Recipe { return Standard(ModelProcess(process.Nominal90nm())) }
+
+// cacheTestRow builds a small row whose geometry is shifted rigidly by
+// shift nm — distinct shifts give distinct content keys.
+func cacheTestRow(shift float64) []geom.PolyLine {
+	span := geom.Interval{Lo: 0, Hi: 1000}
+	return []geom.PolyLine{
+		{CenterX: 100 + shift, Width: 100, Span: span},
+		{CenterX: 350 + shift, Width: 100, Span: span},
+		{CenterX: 720 + shift, Width: 100, Span: span},
+	}
+}
+
+// A cache hit must hand back a solve bit-identical to the uncached path —
+// warmth changes runtime, never results.
+func TestRowCacheHitMatchesUncached(t *testing.T) {
+	rec := cacheTestRecipe()
+	lines := cacheTestRow(0)
+	target := 100.0
+	radius := rec.Model.RadiusOfInfluence
+
+	want, err := solveRow(nil, rec, lines, target, radius)
+	if err != nil {
+		t.Fatalf("solveRow: %v", err)
+	}
+
+	reg := obs.New()
+	c := NewRowCache(0)
+	c.Observe(reg)
+	first, err := c.Solve(nil, rec, lines, target, radius)
+	if err != nil {
+		t.Fatalf("Solve (cold): %v", err)
+	}
+	second, err := c.Solve(nil, rec, lines, target, radius)
+	if err != nil {
+		t.Fatalf("Solve (warm): %v", err)
+	}
+	if first != second {
+		t.Fatalf("warm Solve returned a different *RowSolve: %p vs %p", first, second)
+	}
+	if len(first.Corrected) != len(want.Corrected) || len(first.Envs) != len(want.Envs) {
+		t.Fatalf("cached solve shape differs from uncached")
+	}
+	for i := range want.Corrected {
+		if math.Float64bits(first.Corrected[i].Width) != math.Float64bits(want.Corrected[i].Width) ||
+			math.Float64bits(first.Corrected[i].CenterX) != math.Float64bits(want.Corrected[i].CenterX) {
+			t.Fatalf("line %d: cached %+v, uncached %+v", i, first.Corrected[i], want.Corrected[i])
+		}
+		if first.EnvKeys[i] != want.EnvKeys[i] {
+			t.Fatalf("line %d: env key %q vs %q", i, first.EnvKeys[i], want.EnvKeys[i])
+		}
+	}
+	if got := reg.CounterValue("opc_row_lookups"); got != 2 {
+		t.Fatalf("lookups = %d, want 2", got)
+	}
+	if got := reg.CounterValue("opc_row_solves"); got != 1 {
+		t.Fatalf("solves = %d, want 1", got)
+	}
+	if got := reg.CounterValue("opc_row_hits"); got != 1 {
+		t.Fatalf("hits = %d, want 1", got)
+	}
+	if c.Size() != 1 {
+		t.Fatalf("Size = %d, want 1", c.Size())
+	}
+}
+
+// Concurrent callers asking for one key must solve it exactly once; the
+// rest hit or merge. Run with -race this also exercises the shard locking.
+func TestRowCacheSingleflight(t *testing.T) {
+	rec := cacheTestRecipe()
+	lines := cacheTestRow(0)
+	reg := obs.New()
+	c := NewRowCache(0)
+	c.Observe(reg)
+
+	const workers = 16
+	var wg sync.WaitGroup
+	sols := make([]*RowSolve, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sol, err := c.Solve(nil, rec, lines, 100, rec.Model.RadiusOfInfluence)
+			if err != nil {
+				t.Errorf("worker %d: %v", w, err)
+				return
+			}
+			sols[w] = sol
+		}(w)
+	}
+	wg.Wait()
+	if got := reg.CounterValue("opc_row_solves"); got != 1 {
+		t.Fatalf("solves = %d, want 1", got)
+	}
+	for w := 1; w < workers; w++ {
+		if sols[w] != sols[0] {
+			t.Fatalf("worker %d got a different solve pointer", w)
+		}
+	}
+	hits := reg.CounterValue("opc_row_hits")
+	merges := reg.CounterValue("opc_row_merges")
+	if hits+merges != workers-1 {
+		t.Fatalf("hits %d + merges %d != %d", hits, merges, workers-1)
+	}
+}
+
+// A size-1 cache flooded with distinct rows must evict (pigeonhole over 32
+// shards) and stay bounded at one entry per shard.
+func TestRowCacheEviction(t *testing.T) {
+	rec := cacheTestRecipe()
+	reg := obs.New()
+	c := NewRowCache(1)
+	c.Observe(reg)
+	const distinct = 100
+	for i := 0; i < distinct; i++ {
+		if _, err := c.Solve(nil, rec, cacheTestRow(float64(i)*3), 100, rec.Model.RadiusOfInfluence); err != nil {
+			t.Fatalf("Solve %d: %v", i, err)
+		}
+	}
+	if got := c.Size(); got > rowCacheShards {
+		t.Fatalf("Size = %d, want <= %d", got, rowCacheShards)
+	}
+	if got := reg.CounterValue("opc_row_evictions"); got < distinct-rowCacheShards {
+		t.Fatalf("evictions = %d, want >= %d", got, distinct-rowCacheShards)
+	}
+	c.Clear()
+	if c.Size() != 0 {
+		t.Fatalf("Size after Clear = %d", c.Size())
+	}
+}
+
+// A nil *RowCache is the documented cache-off path: Solve computes, Size
+// and Clear no-op.
+func TestRowCacheNilReceiver(t *testing.T) {
+	var c *RowCache
+	rec := cacheTestRecipe()
+	sol, err := c.Solve(nil, rec, cacheTestRow(0), 100, rec.Model.RadiusOfInfluence)
+	if err != nil {
+		t.Fatalf("nil Solve: %v", err)
+	}
+	if len(sol.Corrected) != 3 {
+		t.Fatalf("nil Solve returned %d lines", len(sol.Corrected))
+	}
+	if c.Size() != 0 {
+		t.Fatalf("nil Size = %d", c.Size())
+	}
+	c.Clear()
+	c.Observe(obs.New())
+}
+
+// Cancellation is schedule, not content: a cancelled solve must error out
+// without poisoning the key, and a later caller must solve successfully.
+func TestRowCacheCancellationNotCached(t *testing.T) {
+	rec := cacheTestRecipe()
+	lines := cacheTestRow(0)
+	reg := obs.New()
+	c := NewRowCache(0)
+	c.Observe(reg)
+
+	ctx, cancel := stdctx.WithCancel(stdctx.Background())
+	cancel()
+	if _, err := c.Solve(ctx, rec, lines, 100, rec.Model.RadiusOfInfluence); err == nil {
+		t.Fatalf("cancelled Solve succeeded")
+	}
+	if c.Size() != 0 {
+		t.Fatalf("cancelled solve was cached: Size = %d", c.Size())
+	}
+	sol, err := c.Solve(stdctx.Background(), rec, lines, 100, rec.Model.RadiusOfInfluence)
+	if err != nil {
+		t.Fatalf("retry after cancellation: %v", err)
+	}
+	if len(sol.Corrected) != len(lines) {
+		t.Fatalf("retry returned %d lines", len(sol.Corrected))
+	}
+	if got := reg.CounterValue("opc_row_solves"); got != 2 {
+		t.Fatalf("solves = %d, want 2 (error not cached)", got)
+	}
+}
+
+// Distinct content must never collide: a rigid shift of the same row is a
+// different key even though relative spacings (and hence the physics) agree.
+func TestRowCacheKeyIsExactBits(t *testing.T) {
+	rec := cacheTestRecipe()
+	a := rowKey(rec, cacheTestRow(0), 100, 400)
+	b := rowKey(rec, cacheTestRow(0.0000001), 100, 400)
+	if a == b {
+		t.Fatalf("shifted row produced an identical key")
+	}
+	recB := rec
+	recB.Gain += 1e-9
+	if rowKey(recB, cacheTestRow(0), 100, 400) == a {
+		t.Fatalf("recipe change produced an identical key")
+	}
+	if rowKey(rec, cacheTestRow(0), 101, 400) == a {
+		t.Fatalf("target change produced an identical key")
+	}
+	if rowKey(rec, cacheTestRow(0), 100, 401) == a {
+		t.Fatalf("radius change produced an identical key")
+	}
+}

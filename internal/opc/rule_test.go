@@ -1,0 +1,215 @@
+package opc
+
+import (
+	"math"
+	"testing"
+
+	"svtiming/internal/geom"
+	"svtiming/internal/process"
+)
+
+// BiasFor edge cases, table-driven: empty table, exact knots, clamping
+// beyond both ends, midpoint interpolation, and a single-entry table
+// (every spacing clamps to the one knot).
+func TestRuleTableBiasForEdgeCases(t *testing.T) {
+	base := RuleTable{DrawnCD: 100, Entries: []RuleEntry{
+		{Space: 100, Bias: 10},
+		{Space: 200, Bias: 4},
+		{Space: 400, Bias: -2},
+	}}
+	single := RuleTable{DrawnCD: 100, Entries: []RuleEntry{{Space: 250, Bias: 7}}}
+	empty := RuleTable{DrawnCD: 100}
+
+	cases := []struct {
+		name  string
+		table RuleTable
+		space float64
+		want  float64
+	}{
+		{"empty table", empty, 150, 0},
+		{"below first knot clamps", base, 10, 10},
+		{"at first knot", base, 100, 10},
+		{"midpoint interpolates", base, 150, 7},
+		{"at middle knot", base, 200, 4},
+		{"second segment interpolates", base, 300, 1},
+		{"at last knot", base, 400, -2},
+		{"beyond last knot clamps", base, 1e9, -2},
+		{"single entry below", single, 0, 7},
+		{"single entry above", single, 1e6, 7},
+	}
+	for _, tc := range cases {
+		if got := tc.table.BiasFor(tc.space); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: BiasFor(%v) = %v, want %v", tc.name, tc.space, got, tc.want)
+		}
+	}
+}
+
+// An unsorted table must behave exactly like its sorted counterpart and
+// must not be reordered in place (BiasFor sorts a copy).
+func TestRuleTableBiasForUnsortedNotMutated(t *testing.T) {
+	unsorted := RuleTable{Entries: []RuleEntry{
+		{Space: 400, Bias: -2},
+		{Space: 100, Bias: 10},
+		{Space: 200, Bias: 4},
+	}}
+	if got := unsorted.BiasFor(150); math.Abs(got-7) > 1e-12 {
+		t.Errorf("unsorted BiasFor(150) = %v, want 7", got)
+	}
+	if unsorted.Entries[0].Space != 400 {
+		t.Errorf("BiasFor reordered the caller's entries: %+v", unsorted.Entries)
+	}
+}
+
+// Apply edge cases: an isolated line (no facing neighbor anywhere) takes
+// the largest-space entry, and a bias that would drive the width negative
+// floors at the 1 nm minimum. The input row must not be modified.
+func TestRuleTableApplyEdgeCases(t *testing.T) {
+	rt := RuleTable{DrawnCD: 100, Entries: []RuleEntry{
+		{Space: 100, Bias: 20},
+		{Space: 500, Bias: -3},
+	}}
+	span := geom.Interval{Lo: 0, Hi: 1000}
+	iso := []geom.PolyLine{{CenterX: 0, Width: 100, Span: span}}
+	out := rt.Apply(iso)
+	if got := out[0].Width; math.Abs(got-97) > 1e-12 {
+		t.Errorf("isolated line width = %v, want 97 (largest-space bias)", got)
+	}
+	if iso[0].Width != 100 {
+		t.Errorf("Apply mutated its input: %+v", iso[0])
+	}
+
+	crush := RuleTable{DrawnCD: 5, Entries: []RuleEntry{{Space: 100, Bias: -50}}}
+	thin := []geom.PolyLine{
+		{CenterX: 0, Width: 5, Span: span},
+		{CenterX: 105, Width: 5, Span: span},
+	}
+	for i, l := range crush.Apply(thin) {
+		if l.Width != 1 {
+			t.Errorf("line %d: width %v, want the 1 nm floor", i, l.Width)
+		}
+	}
+}
+
+// Insert landing rule, table-driven around the MinLanding+Width boundary:
+// a bar lands only where the facing free space is at least
+// MinLanding+Width, on each side independently.
+func TestSRAFInsertLandingBoundary(t *testing.T) {
+	c := SRAFConfig{Width: 30, Offset: 150, MinLanding: 260}
+	span := geom.Interval{Lo: 0, Hi: 1000}
+	need := c.MinLanding + c.Width // 290
+	pair := func(space float64) []geom.PolyLine {
+		return []geom.PolyLine{
+			{CenterX: 0, Width: 100, Span: span},
+			{CenterX: 100 + space, Width: 100, Span: span},
+		}
+	}
+	cases := []struct {
+		name  string
+		space float64
+		bars  int // expected assist bars (outer sides are always isolated: 2)
+	}{
+		{"inner gap below landing", need - 1, 2},
+		{"inner gap exactly at landing", need, 4},
+		{"inner gap above landing", need + 100, 4},
+	}
+	for _, tc := range cases {
+		out := c.Insert(pair(tc.space))
+		bars := 0
+		for _, l := range out {
+			if l.Width == c.Width {
+				bars++
+			}
+		}
+		if bars != tc.bars {
+			t.Errorf("%s: %d assist bars, want %d", tc.name, bars, tc.bars)
+		}
+		for i := 1; i < len(out); i++ {
+			if out[i].CenterX < out[i-1].CenterX {
+				t.Errorf("%s: Insert output not sorted at %d", tc.name, i)
+			}
+		}
+	}
+}
+
+// A non-printing environment must report (0, false) from FocusSensitivity
+// rather than a fabricated slope — at either sample point.
+func TestFocusSensitivityNonPrinting(t *testing.T) {
+	p := process.Nominal90nm()
+	// A 1 nm line is far below the printing threshold at focus.
+	if s, ok := FocusSensitivity(p, process.Env{Width: 1}, 100); ok {
+		t.Errorf("non-printing env returned sensitivity %v, ok=true", s)
+	}
+	// Sanity: a printable isolated line does report a finite slope.
+	s, ok := FocusSensitivity(p, process.Env{Width: 120}, 100)
+	if !ok || math.IsNaN(s) || math.IsInf(s, 0) {
+		t.Errorf("printable env: sensitivity %v ok=%v", s, ok)
+	}
+}
+
+// Run's default-filling: a config with zero Window/Grid/Dose must produce
+// the same printed geometry as one with the defaults spelled out.
+func TestLineEndRunDefaultsMatchExplicit(t *testing.T) {
+	implicit := DefaultLineEnd()
+	implicit.Window, implicit.Grid, implicit.Dose = 0, 0, 0
+	explicit := DefaultLineEnd()
+
+	ri, err := implicit.Run()
+	if err != nil {
+		t.Fatalf("implicit defaults: %v", err)
+	}
+	re, err := explicit.Run()
+	if err != nil {
+		t.Fatalf("explicit defaults: %v", err)
+	}
+	if math.Float64bits(ri.MidWidth) != math.Float64bits(re.MidWidth) ||
+		math.Float64bits(ri.Pullback) != math.Float64bits(re.Pullback) {
+		t.Errorf("defaults diverge: implicit %+v, explicit %+v", ri, re)
+	}
+}
+
+// Hammerhead gating, table-driven: a cap no wider than the line, or with
+// no length, must be ignored (identical result to no hammerhead), while a
+// real cap changes the printed end.
+func TestLineEndHammerheadGating(t *testing.T) {
+	base := DefaultLineEnd()
+	plain, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name           string
+		hw, hl         float64
+		expectDistinct bool
+	}{
+		{"no hammerhead", 0, 0, false},
+		{"cap narrower than line", base.Width - 10, 60, false},
+		{"cap exactly line width", base.Width, 60, false},
+		{"cap with zero length", base.Width + 40, 0, false},
+		{"real cap", base.Width + 40, 60, true},
+	}
+	for _, tc := range cases {
+		cfg := base
+		cfg.HammerWidth, cfg.HammerLength = tc.hw, tc.hl
+		got, err := cfg.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		same := math.Float64bits(got.Pullback) == math.Float64bits(plain.Pullback)
+		if tc.expectDistinct && same {
+			t.Errorf("%s: hammerhead had no effect (pullback %v)", tc.name, got.Pullback)
+		}
+		if !tc.expectDistinct && !same {
+			t.Errorf("%s: inert hammerhead changed pullback %v -> %v", tc.name, plain.Pullback, got.Pullback)
+		}
+	}
+}
+
+// The mid-length error path: a threshold no aerial image reaches makes
+// the line non-printing, and Run must say so rather than return zeros.
+func TestLineEndRunNonPrinting(t *testing.T) {
+	cfg := DefaultLineEnd()
+	cfg.Resist.Threshold = 1e9
+	if _, err := cfg.Run(); err == nil {
+		t.Fatal("non-printing line returned no error")
+	}
+}

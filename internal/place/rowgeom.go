@@ -1,0 +1,109 @@
+package place
+
+import (
+	"sort"
+	"sync"
+
+	"svtiming/internal/geom"
+)
+
+// RowGeom is one row's drawn geometry with the gate↔line join carried by
+// index instead of by coordinate: Lines is the sorted row (what OPC
+// corrects), Gates lists the transistor gates in RowGates order, and
+// LineIdx[g] is the index into Lines of Gates[g]'s own poly line. The
+// index join replaces the old map[float64]int x-coordinate lookup, whose
+// "gate lost in row" failure mode depended on exact float bit equality
+// between two independently-built PolyLine values.
+type RowGeom struct {
+	Lines   []geom.PolyLine
+	Gates   []RowGate
+	LineIdx []int
+
+	// Sort scratch, reused across RowGeometryInto calls on a pooled
+	// RowGeom so a full-chip sweep allocates row buffers once per worker
+	// rather than once per row.
+	perm    []int
+	inv     []int
+	scratch []geom.PolyLine
+}
+
+// rowGeomPool recycles RowGeom buffers across rows and full-chip sweeps;
+// the cold OPC path extracts geometry for every row of every design, and
+// the row buffers are pure scratch once the solve is done.
+var rowGeomPool = sync.Pool{New: func() any { return new(RowGeom) }}
+
+// AcquireRowGeom returns a RowGeom from the scratch pool. Release it with
+// ReleaseRowGeom when the extracted geometry is no longer referenced.
+func AcquireRowGeom() *RowGeom { return rowGeomPool.Get().(*RowGeom) }
+
+// ReleaseRowGeom returns a RowGeom to the scratch pool. Releasing nil is
+// a no-op so callers can defer unconditionally.
+func ReleaseRowGeom(g *RowGeom) {
+	if g != nil {
+		rowGeomPool.Put(g)
+	}
+}
+
+// RowGeometry extracts row r's geometry into a fresh RowGeom. Prefer
+// Acquire/ReleaseRowGeom plus RowGeometryInto on hot paths.
+func (p *Placement) RowGeometry(r int) *RowGeom {
+	g := new(RowGeom)
+	p.RowGeometryInto(g, r)
+	return g
+}
+
+// RowGeometryInto extracts row r's geometry into g, reusing g's buffers.
+// Lines are sorted left to right by centerline with ties broken by
+// emission order (instances left to right, each cell's gates before its
+// stubs), so the order is a pure function of the placement — unlike
+// RowLines' unstable sort, which is only deterministic because legal
+// placements never produce coincident centerlines.
+//
+// The populated slices alias g's internal buffers: they are valid until
+// the next RowGeometryInto on the same g (or its release to the pool).
+func (p *Placement) RowGeometryInto(g *RowGeom, r int) {
+	g.Lines = g.Lines[:0]
+	g.Gates = g.Gates[:0]
+	g.LineIdx = g.LineIdx[:0]
+	for _, inst := range p.Rows[r] {
+		pc := p.Cells[inst]
+		// PolyLines emits the cell's transistor gates first (gate gi at
+		// offset gi from the cell's base), then its stubs — the invariant
+		// TestPolyLinesGatesFirst pins in internal/stdcell.
+		base := len(g.Lines)
+		g.Lines = append(g.Lines, pc.Cell.PolyLines(pc.X)...)
+		for gi := 0; gi < pc.Cell.NumGates(); gi++ {
+			g.Gates = append(g.Gates, RowGate{Inst: inst, Gate: gi, Line: g.Lines[base+gi]})
+			g.LineIdx = append(g.LineIdx, base+gi)
+		}
+	}
+
+	// Index-carrying sort: order a permutation of line positions, apply
+	// it to Lines, and remap LineIdx through the inverse, so every gate
+	// keeps pointing at its own line however the row interleaves.
+	n := len(g.Lines)
+	g.perm = g.perm[:0]
+	for i := 0; i < n; i++ {
+		g.perm = append(g.perm, i)
+	}
+	sort.Slice(g.perm, func(a, b int) bool {
+		ia, ib := g.perm[a], g.perm[b]
+		//lint:allow floateq exact-bits tie detection: ties fall through to the index tie-break, never to an ordering decision
+		if g.Lines[ia].CenterX != g.Lines[ib].CenterX {
+			return g.Lines[ia].CenterX < g.Lines[ib].CenterX
+		}
+		return ia < ib
+	})
+	g.scratch = append(g.scratch[:0], g.Lines...)
+	g.inv = g.inv[:0]
+	for i := 0; i < n; i++ {
+		g.inv = append(g.inv, 0)
+	}
+	for k, old := range g.perm {
+		g.Lines[k] = g.scratch[old]
+		g.inv[old] = k
+	}
+	for gi, old := range g.LineIdx {
+		g.LineIdx[gi] = g.inv[old]
+	}
+}

@@ -14,9 +14,8 @@
 package process
 
 import (
-	"fmt"
 	"math"
-	"strings"
+	"strconv"
 
 	"svtiming/internal/fault"
 	"svtiming/internal/fourier"
@@ -47,16 +46,34 @@ type Flank struct {
 // Key returns a cache key with geometry quantized to 0.25 nm, well below
 // any CD difference the flow cares about.
 func (e Env) Key() string {
-	var b strings.Builder
-	q := func(v float64) int64 { return int64(math.Round(v * 4)) }
-	fmt.Fprintf(&b, "w%d", q(e.Width))
+	return string(e.appendKey(make([]byte, 0, 24+24*(len(e.Left)+len(e.Right)))))
+}
+
+// qkey quantizes a geometry dimension onto the 0.25 nm key grid.
+func qkey(v float64) int64 { return int64(math.Round(v * 4)) }
+
+// appendKey renders the environment key into b. The textual format is
+// pinned ("w%d" then "|L%d,%d" / "|R%d,%d" per flank — CondKey values
+// are part of the incremental-edit contract); the strconv append path
+// just produces those bytes without fmt's interface boxing, which kept
+// the cold full-chip rebuild allocating one transient key per gate per
+// OPC iteration.
+func (e Env) appendKey(b []byte) []byte {
+	b = append(b, 'w')
+	b = strconv.AppendInt(b, qkey(e.Width), 10)
 	for _, f := range e.Left {
-		fmt.Fprintf(&b, "|L%d,%d", q(f.Gap), q(f.Width))
+		b = append(b, '|', 'L')
+		b = strconv.AppendInt(b, qkey(f.Gap), 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, qkey(f.Width), 10)
 	}
 	for _, f := range e.Right {
-		fmt.Fprintf(&b, "|R%d,%d", q(f.Gap), q(f.Width))
+		b = append(b, '|', 'R')
+		b = strconv.AppendInt(b, qkey(f.Gap), 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, qkey(f.Width), 10)
 	}
-	return b.String()
+	return b
 }
 
 // Isolated returns an environment with no neighbors.
@@ -78,15 +95,38 @@ func DensePitch(width, pitch float64, nFlank int) Env {
 // lines in a row, keeping neighbors whose nearest edge lies within
 // radius nm of the measured line's nearest edge. Only lines whose vertical
 // span overlaps that of lines[i] are considered facing neighbors.
+//
+// The returned environment owns freshly-allocated flank buffers and is
+// safe to retain; hot loops that only inspect the environment transiently
+// (the OPC iteration) should use EnvAtInto with a reused EnvScratch.
 func EnvAt(lines []geom.PolyLine, i int, radius float64) Env {
+	return EnvAtInto(new(EnvScratch), lines, i, radius)
+}
+
+// envNB is one candidate neighbor during environment extraction.
+type envNB struct {
+	edge  float64 // inner edge position
+	width float64
+}
+
+// EnvScratch holds the neighbor-extraction buffers EnvAtInto reuses. The
+// zero value is ready; one scratch serves any number of sequential
+// extractions. Not safe for concurrent use.
+type EnvScratch struct {
+	lefts, rights []envNB
+	left, right   []Flank
+}
+
+// EnvAtInto is EnvAt with caller-owned scratch: the returned environment's
+// Left/Right slices alias s and are valid only until the next EnvAtInto on
+// the same scratch. It exists for the OPC iteration, which extracts one
+// transient environment per line per sweep — the dominant allocation site
+// of the cold full-chip rebuild before the scratch variant.
+func EnvAtInto(s *EnvScratch, lines []geom.PolyLine, i int, radius float64) Env {
 	me := lines[i]
 	e := Env{Width: me.Width}
 
-	type nb struct {
-		edge  float64 // inner edge position
-		width float64
-	}
-	var lefts, rights []nb
+	s.lefts, s.rights = s.lefts[:0], s.rights[:0]
 	for j, l := range lines {
 		if j == i {
 			continue
@@ -99,37 +139,44 @@ func EnvAt(lines []geom.PolyLine, i int, radius float64) Env {
 		// in the local feature count rather than the row length.
 		if l.RightEdge() <= me.LeftEdge() {
 			if me.LeftEdge()-l.RightEdge() <= radius {
-				lefts = append(lefts, nb{edge: l.RightEdge(), width: l.Width})
+				s.lefts = append(s.lefts, envNB{edge: l.RightEdge(), width: l.Width})
 			}
 		} else if l.LeftEdge() >= me.RightEdge() {
 			if l.LeftEdge()-me.RightEdge() <= radius {
-				rights = append(rights, nb{edge: l.LeftEdge(), width: l.Width})
+				s.rights = append(s.rights, envNB{edge: l.LeftEdge(), width: l.Width})
 			}
 		}
 		// Overlapping lines are merged upstream; ignore here.
 	}
 	// Nearest first.
-	sortBy(lefts, func(a, b nb) bool { return a.edge > b.edge })
-	sortBy(rights, func(a, b nb) bool { return a.edge < b.edge })
+	sortBy(s.lefts, func(a, b envNB) bool { return a.edge > b.edge })
+	sortBy(s.rights, func(a, b envNB) bool { return a.edge < b.edge })
 
+	s.left, s.right = s.left[:0], s.right[:0]
 	prev := me.LeftEdge()
-	for _, n := range lefts {
-		if prev-n.edge > radius && len(e.Left) > 0 {
+	for _, n := range s.lefts {
+		if prev-n.edge > radius && len(s.left) > 0 {
 			break
 		}
 		if me.LeftEdge()-n.edge > radius {
 			break
 		}
-		e.Left = append(e.Left, Flank{Gap: prev - n.edge, Width: n.width})
+		s.left = append(s.left, Flank{Gap: prev - n.edge, Width: n.width})
 		prev = n.edge - n.width
 	}
 	prev = me.RightEdge()
-	for _, n := range rights {
+	for _, n := range s.rights {
 		if n.edge-me.RightEdge() > radius {
 			break
 		}
-		e.Right = append(e.Right, Flank{Gap: n.edge - prev, Width: n.width})
+		s.right = append(s.right, Flank{Gap: n.edge - prev, Width: n.width})
 		prev = n.edge + n.width
+	}
+	if len(s.left) > 0 {
+		e.Left = s.left
+	}
+	if len(s.right) > 0 {
+		e.Right = s.right
 	}
 	return e
 }
@@ -240,10 +287,16 @@ func (p *Process) PrintCDChecked(env Env, defocus, dose float64) (float64, bool,
 }
 
 // condKey extends the environment key with the exposure condition,
-// quantized on the same 0.25 nm / 0.25‰ grid as the geometry.
+// quantized on the same 0.25 nm / 0.25‰ grid as the geometry. One
+// buffer builds the whole key: the environment prefix and the condition
+// suffix never materialize separately.
 func condKey(env Env, defocus, dose float64) string {
-	return fmt.Sprintf("%s|z%d|d%d",
-		env.Key(), int64(math.Round(defocus*4)), int64(math.Round(dose*4000)))
+	b := env.appendKey(make([]byte, 0, 40+24*(len(env.Left)+len(env.Right))))
+	b = append(b, '|', 'z')
+	b = strconv.AppendInt(b, int64(math.Round(defocus*4)), 10)
+	b = append(b, '|', 'd')
+	b = strconv.AppendInt(b, int64(math.Round(dose*4000)), 10)
+	return string(b)
 }
 
 // CondKey exposes the cache key of a (environment, defocus, dose) triple:

@@ -110,6 +110,13 @@ type Config struct {
 	// daemon's -warm flag sets it so readiness means "the default flow
 	// is actually resident", not merely "the process is up".
 	RequireWarm bool
+	// RowCacheSize bounds each constructed flow's content-addressed
+	// row-solve cache (0 = opc.DefaultRowCacheSize, negative = disabled).
+	// Like Parallelism it is an execution knob, not part of the request
+	// schema: requests sharing a FlowKey share one flow and therefore one
+	// row cache, which is exactly what lets repeated designs skip the OPC
+	// iteration across requests. The daemon's -row-cache flag lands here.
+	RowCacheSize int
 	// Registry receives the service and flow-construction metrics
 	// (nil = Nop). Per-request manifests never read it.
 	Registry *obs.Registry
@@ -335,7 +342,8 @@ func (s *Server) defaultConstruct(req core.Request) (*core.Flow, error) {
 	}
 	opts = append(opts,
 		core.WithParallelism(s.workers),
-		core.WithObservability(s.reg))
+		core.WithObservability(s.reg),
+		core.WithRowCacheSize(s.cfg.RowCacheSize))
 	return core.NewFlow(opts...)
 }
 

@@ -204,3 +204,37 @@ func TestStubSpans(t *testing.T) {
 		t.Errorf("bottom stub span = %v", stub.Span)
 	}
 }
+
+// TestPolyLinesGatesFirst pins the emission order PolyLines guarantees:
+// the cell's transistor gates come first, gate gi at index gi (matching
+// GateLines entry for entry), with any stubs after. The index-carrying
+// row-geometry join in internal/place (and through it the row-solve
+// cache key) relies on this invariant to map a gate to its line without
+// comparing coordinates.
+func TestPolyLinesGatesFirst(t *testing.T) {
+	lib := Default()
+	for _, c := range lib.Cells() {
+		const origin = 1234.5
+		all := c.PolyLines(origin)
+		gates := c.GateLines(origin)
+		if len(all) != len(c.Gates)+len(c.Stubs) {
+			t.Fatalf("%s: PolyLines emitted %d lines, want %d gates + %d stubs",
+				c.Name, len(all), len(c.Gates), len(c.Stubs))
+		}
+		if len(gates) != c.NumGates() {
+			t.Fatalf("%s: GateLines emitted %d lines, want %d", c.Name, len(gates), c.NumGates())
+		}
+		for gi, g := range gates {
+			if all[gi] != g {
+				t.Errorf("%s: PolyLines[%d] = %+v, want gate line %+v", c.Name, gi, all[gi], g)
+			}
+		}
+		full := GateSpan()
+		for si := range c.Stubs {
+			l := all[len(c.Gates)+si]
+			if l.Span == full {
+				t.Errorf("%s: stub %d emitted with a full gate span", c.Name, si)
+			}
+		}
+	}
+}
